@@ -1,0 +1,93 @@
+// Figure 4 — convergence time vs the longest customer-provider chain.
+//
+// The paper's Section VI-A experiment: Gao-Rexford guideline A composed
+// with shortest hop-count (provably safe by the composition rule) runs
+// over AS hierarchies whose longest customer-provider chain ranges from
+// 3 to 16, with routes batched every second. Three series are printed:
+//
+//   CAIDA-Sim      - simulation profile,
+//   CAIDA-Testbed  - deployment profile (per-message host overhead and
+//                    scheduling jitter; Section VI-A's testbed stand-in),
+//   Theoretic Worst Case - 2*(d+1) advertisement phases (Sami et al.).
+//
+// Expected shape (paper): both measured series grow roughly linearly with
+// the chain length and stay clearly below the worst case, because leaf
+// customers are multi-homed and reach providers over peer links without
+// using the full depth.
+#include <cstdio>
+
+#include "algebra/standard_policies.h"
+#include "bench_util.h"
+#include "fsr/emulation.h"
+#include "topology/as_hierarchy.h"
+#include "util/strings.h"
+
+int main() {
+  using fsr::bench::print_banner;
+  using fsr::bench::print_row;
+
+  const auto policy = fsr::algebra::gao_rexford_with_hop_count();
+
+  print_banner(
+      "Figure 4: convergence time (s) vs longest customer-provider chain");
+  print_row({"chain", "nodes", "CAIDA-Sim", "CAIDA-Testbed", "WorstCase(2(d+1))"},
+            20);
+
+  for (std::int32_t depth = 3; depth <= 16; ++depth) {
+    fsr::topology::AsHierarchyParams params;
+    params.depth = depth;
+    params.seed = 42 + static_cast<std::uint64_t>(depth);
+    const auto topo = fsr::topology::generate_as_hierarchy(
+        params, fsr::topology::LabelScheme::business_hop_count);
+    const std::int32_t chain =
+        fsr::topology::longest_customer_provider_chain(topo);
+
+    fsr::EmulationOptions sim_options;
+    sim_options.batch_interval = fsr::net::k_second;  // the paper's batching
+    sim_options.max_time = 200 * fsr::net::k_second;
+
+    fsr::EmulationOptions testbed_options = sim_options;
+    testbed_options.host_profile = fsr::net::HostProfile::testbed();
+
+    const auto sim = fsr::emulate_gpv(*policy, topo, sim_options);
+    const auto testbed = fsr::emulate_gpv(*policy, topo, testbed_options);
+
+    if (!sim.quiesced || !testbed.quiesced) {
+      std::printf("depth %d: did not quiesce (unexpected for a safe policy)\n",
+                  depth);
+      continue;
+    }
+    print_row({std::to_string(chain), std::to_string(topo.nodes.size()),
+               fsr::util::format_fixed(
+                   static_cast<double>(sim.convergence_time) /
+                       fsr::net::k_second, 2),
+               fsr::util::format_fixed(
+                   static_cast<double>(testbed.convergence_time) /
+                       fsr::net::k_second, 2),
+               fsr::util::format_fixed(2.0 * (chain + 1), 1)},
+              20);
+  }
+
+  print_banner("Ablation: batching interval at chain depth 8");
+  print_row({"batch (ms)", "convergence (s)", "messages"}, 20);
+  fsr::topology::AsHierarchyParams params;
+  params.depth = 8;
+  params.seed = 50;
+  const auto topo = fsr::topology::generate_as_hierarchy(
+      params, fsr::topology::LabelScheme::business_hop_count);
+  for (const fsr::net::Time batch :
+       {fsr::net::Time{0}, 100 * fsr::net::k_millisecond,
+        500 * fsr::net::k_millisecond, fsr::net::k_second}) {
+    fsr::EmulationOptions options;
+    options.batch_interval = batch;
+    options.max_time = 200 * fsr::net::k_second;
+    const auto result = fsr::emulate_gpv(*policy, topo, options);
+    print_row({std::to_string(batch / fsr::net::k_millisecond),
+               fsr::util::format_fixed(
+                   static_cast<double>(result.convergence_time) /
+                       fsr::net::k_second, 2),
+               std::to_string(result.messages)},
+              20);
+  }
+  return 0;
+}

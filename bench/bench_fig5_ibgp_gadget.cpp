@@ -1,0 +1,94 @@
+// Figure 5 — average per-node bandwidth over time for the iBGP
+// configuration with and without the embedded gadget (Section VI-B).
+//
+// The Rocketfuel-like 87-router AS (53 reflectors in a 6-level
+// hierarchy, 3 egress routers) runs GPV under the extracted SPP policy.
+// "Gadget" embeds the Figure-3 oscillation at the top-reflector triangle;
+// "NoGadget" is the repaired configuration. Expected shape (paper): the
+// gadget run shows sustained bandwidth (transient oscillation keeps
+// re-advertising) while the fixed run decays to zero quickly; the paper
+// reports ~91% lower communication overhead and ~82% lower convergence
+// time after the fix.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fsr/emulation.h"
+#include "topology/rocketfuel.h"
+#include "util/strings.h"
+
+namespace {
+
+fsr::EmulationResult run(bool gadget) {
+  fsr::topology::RocketfuelParams params;
+  params.embed_gadget = gadget;
+  const auto experiment = fsr::topology::build_rocketfuel_ibgp(params);
+
+  fsr::EmulationOptions options;
+  options.batch_interval = 100 * fsr::net::k_millisecond;
+  // The gadget oscillates forever; cut it off after a fixed horizon so
+  // both configurations are compared over the same window.
+  options.max_time = 30 * fsr::net::k_second;
+  options.stats_bucket = 500 * fsr::net::k_millisecond;
+
+  fsr::net::LinkConfig link;  // 100 Mbps, 10 ms with up to 3 ms jitter
+  link.max_jitter = 3 * fsr::net::k_millisecond;
+  return fsr::emulate_spp(experiment.instance, options, link);
+}
+
+}  // namespace
+
+int main() {
+  using fsr::bench::print_banner;
+  using fsr::bench::print_row;
+
+  const auto gadget = run(true);
+  const auto fixed = run(false);
+
+  print_banner("Figure 5: average per-node bandwidth (MBps) over time");
+  print_row({"time (s)", "Gadget", "NoGadget"}, 14);
+  const std::size_t buckets = std::max(gadget.bandwidth_series_mbps.size(),
+                                       fixed.bandwidth_series_mbps.size());
+  const double bucket_s =
+      static_cast<double>(gadget.stats_bucket) / fsr::net::k_second;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const double g = i < gadget.bandwidth_series_mbps.size()
+                         ? gadget.bandwidth_series_mbps[i]
+                         : 0.0;
+    const double f = i < fixed.bandwidth_series_mbps.size()
+                         ? fixed.bandwidth_series_mbps[i]
+                         : 0.0;
+    print_row({fsr::util::format_fixed(static_cast<double>(i) * bucket_s, 1),
+               fsr::util::format_fixed(g, 4), fsr::util::format_fixed(f, 4)},
+              14);
+  }
+
+  print_banner("Summary (Section VI-B)");
+  std::printf("Gadget  : quiesced=%s bytes=%llu messages=%llu\n",
+              gadget.quiesced ? "yes" : "no (oscillating)",
+              static_cast<unsigned long long>(gadget.bytes),
+              static_cast<unsigned long long>(gadget.messages));
+  std::printf("NoGadget: quiesced=%s bytes=%llu messages=%llu conv=%.2fs\n",
+              fixed.quiesced ? "yes" : "no",
+              static_cast<unsigned long long>(fixed.bytes),
+              static_cast<unsigned long long>(fixed.messages),
+              static_cast<double>(fixed.convergence_time) / fsr::net::k_second);
+  if (gadget.bytes > 0) {
+    const double overhead_drop =
+        100.0 * (1.0 - static_cast<double>(fixed.bytes) /
+                           static_cast<double>(gadget.bytes));
+    std::printf(
+        "communication overhead reduction after fix: %.0f%% (paper: ~91%%)\n",
+        overhead_drop);
+  }
+  const double conv_gadget = static_cast<double>(
+      gadget.quiesced ? gadget.convergence_time : gadget.end_time);
+  if (conv_gadget > 0) {
+    const double conv_drop =
+        100.0 *
+        (1.0 - static_cast<double>(fixed.convergence_time) / conv_gadget);
+    std::printf(
+        "convergence time reduction after fix:       %.0f%% (paper: ~82%%)\n",
+        conv_drop);
+  }
+  return 0;
+}

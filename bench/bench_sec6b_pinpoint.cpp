@@ -1,0 +1,70 @@
+// Section VI-B — pinpointing the iBGP configuration error with the
+// solver.
+//
+// The SPP instance extracted from the Rocketfuel-like 87-router AS is
+// analyzed for strict monotonicity. Expected (paper): a few hundred
+// constraints each for per-node rankings and strict monotonicity (the
+// paper reports 292 + 259), `unsat` in well under 100 ms, and a minimal
+// unsatisfiable core of 6 constraints that names exactly the routers of
+// the embedded gadget — the operator's repair hint. After the repair the
+// instance is satisfiable.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fsr/safety_analyzer.h"
+#include "spp/translate.h"
+#include "topology/rocketfuel.h"
+#include "util/strings.h"
+
+int main() {
+  using fsr::bench::print_banner;
+
+  fsr::topology::RocketfuelParams params;
+  params.embed_gadget = true;
+  const auto broken = fsr::topology::build_rocketfuel_ibgp(params);
+  params.embed_gadget = false;
+  const auto repaired = fsr::topology::build_rocketfuel_ibgp(params);
+
+  print_banner("Input: Rocketfuel-like AS with embedded Figure-3 gadget");
+  std::printf("routers=%zu physical links=%zu iBGP sessions=%zu\n",
+              broken.router_count, broken.physical_link_count,
+              broken.session_count);
+  std::printf("extracted permitted paths=%zu\n",
+              broken.instance.permitted_path_count());
+
+  const fsr::SafetyAnalyzer analyzer;
+  const auto algebra = fsr::spp::algebra_from_spp(broken.instance);
+  const auto check = analyzer.check_monotonicity(
+      *algebra, fsr::MonotonicityMode::strict);
+
+  print_banner("Safety analysis");
+  std::printf("constraints: %zu per-node ranking + %zu strict monotonicity "
+              "(paper: 292 + 259)\n",
+              check.preference_constraint_count,
+              check.monotonicity_constraint_count);
+  std::printf("solver: %s in %s ms (paper: unsat within 100 ms)\n",
+              check.holds ? "sat" : "unsat",
+              fsr::util::format_fixed(check.solve_time_ms, 2).c_str());
+
+  if (!check.holds) {
+    std::printf("minimal unsat core (%zu constraints; paper: 6):\n",
+                check.unsat_core.size());
+    for (const auto& prov : check.unsat_core) {
+      std::printf("  %s\n", prov.description.c_str());
+    }
+    std::printf("gadget routers planted by the experiment:");
+    for (const auto& router : broken.gadget_routers) {
+      std::printf(" %s", router.c_str());
+    }
+    std::printf("\n");
+  }
+
+  print_banner("After repair (reflectors prefer their own clients)");
+  const auto repaired_check = analyzer.check_monotonicity(
+      *fsr::spp::algebra_from_spp(repaired.instance),
+      fsr::MonotonicityMode::strict);
+  std::printf("solver: %s in %s ms\n",
+              repaired_check.holds ? "sat (provably safe)" : "unsat",
+              fsr::util::format_fixed(repaired_check.solve_time_ms, 2).c_str());
+  return 0;
+}

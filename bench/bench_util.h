@@ -1,0 +1,24 @@
+// Shared helpers for the benchmark harnesses: paper-style table printing.
+#ifndef FSR_BENCH_BENCH_UTIL_H
+#define FSR_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fsr::bench {
+
+inline void print_banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 22) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace fsr::bench
+
+#endif  // FSR_BENCH_BENCH_UTIL_H

@@ -1,0 +1,65 @@
+// Researcher scenario (paper Section VI-C): exploring eBGP gadgets.
+//
+// Encodes the classic SPP gadgets, cross-checks three independent
+// methods on each — exhaustive stable-state enumeration, the SMT safety
+// analysis, and distributed emulation — and prints the comparison. This
+// is the workflow a researcher uses to study a new guideline's
+// counter-examples.
+//
+// Build & run:  ./build/examples/gadget_explorer
+#include <cstdio>
+
+#include "fsr/emulation.h"
+#include "fsr/safety_analyzer.h"
+#include "spp/gadgets.h"
+#include "spp/translate.h"
+
+int main() {
+  const std::vector<std::pair<std::string, fsr::spp::SppInstance>> gadgets = {
+      {"GOOD GADGET", fsr::spp::good_gadget()},
+      {"BAD GADGET", fsr::spp::bad_gadget()},
+      {"DISAGREE", fsr::spp::disagree_gadget()},
+      {"iBGP (Figure 3)", fsr::spp::ibgp_figure3_gadget()},
+      {"iBGP repaired", fsr::spp::ibgp_figure3_fixed()},
+  };
+
+  const fsr::SafetyAnalyzer analyzer;
+  std::printf("%-18s %-14s %-18s %-22s\n", "gadget", "stable states",
+              "FSR analysis", "emulation");
+  std::printf("%-18s %-14s %-18s %-22s\n", "------", "-------------",
+              "------------", "---------");
+
+  for (const auto& [name, instance] : gadgets) {
+    // Ground truth: exhaustive enumeration of stable path assignments.
+    const auto stable = fsr::spp::enumerate_stable_assignments(instance);
+
+    // FSR's solver-based verdict.
+    const auto report =
+        analyzer.analyze(*fsr::spp::algebra_from_spp(instance));
+    const bool safe = report.verdict == fsr::SafetyVerdict::safe;
+
+    // Dynamics: the generated NDlog implementation over the simulator.
+    fsr::EmulationOptions options;
+    options.batch_interval = 100 * fsr::net::k_millisecond;
+    options.max_time = 20 * fsr::net::k_second;
+    const auto run = fsr::emulate_spp(instance, options);
+
+    char emu[64];
+    if (run.quiesced) {
+      std::snprintf(emu, sizeof emu, "converges (%.2f s)",
+                    static_cast<double>(run.convergence_time) /
+                        fsr::net::k_second);
+    } else {
+      std::snprintf(emu, sizeof emu, "oscillates (%llu msgs)",
+                    static_cast<unsigned long long>(run.messages));
+    }
+    std::printf("%-18s %-14zu %-18s %-22s\n", name.c_str(), stable.size(),
+                safe ? "safe" : "not provably safe", emu);
+  }
+
+  std::printf(
+      "\nNote how DISAGREE converges in emulation yet is reported 'not\n"
+      "provably safe': strict monotonicity is sufficient, not necessary -\n"
+      "the known false positive the paper discusses in Section IV-A.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Alternative routing mechanisms (paper Section VI-D): swapping GPV for
+// HLP without touching the rest of the toolkit.
+//
+// FSR treats the mechanism as an input: this example runs the same
+// multi-domain topology under the path-vector baseline, HLP, and HLP with
+// cost hiding, then injects intra-domain cost churn and shows how the
+// fragmented path-vector isolates other domains from it.
+//
+// Build & run:  ./build/examples/hlp_comparison
+#include <cstdio>
+
+#include "algebra/additive_algebra.h"
+#include "fsr/emulation.h"
+#include "topology/hlp_domains.h"
+
+int main() {
+  fsr::topology::HlpDomainsParams params;
+  params.domain_count = 6;  // smaller than the benchmark for a quick demo
+  params.nodes_per_domain = 12;
+  params.cross_domain_links = 30;
+  const auto topo = fsr::topology::generate_hlp_domains(params);
+  std::printf("topology: %zu nodes in %d domains, %zu links\n\n",
+              topo.nodes.size(), params.domain_count, topo.links.size());
+
+  fsr::EmulationOptions options;
+  options.batch_interval = 100 * fsr::net::k_millisecond;
+  options.max_time = 90 * fsr::net::k_second;
+  options.churn.events = 10;
+  options.churn.start = 10 * fsr::net::k_second;
+  options.churn.interval = fsr::net::k_second;
+  options.churn.magnitude = 2;  // below the hiding threshold
+
+  const auto pv_algebra =
+      fsr::algebra::igp_cost({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const auto pv = fsr::emulate_gpv(*pv_algebra, topo, options);
+  const auto hlp = fsr::emulate_hlp(topo, 0, options);
+  const auto hlp_ch = fsr::emulate_hlp(topo, 5, options);
+
+  std::printf("%-8s %-12s %-12s %-14s\n", "run", "messages", "bytes",
+              "bytes/node");
+  for (const auto& [name, result] :
+       {std::pair<const char*, const fsr::EmulationResult&>{"PV", pv},
+        {"HLP", hlp},
+        {"HLP-CH", hlp_ch}}) {
+    std::printf("%-8s %-12llu %-12llu %-14.1f\n", name,
+                static_cast<unsigned long long>(result.messages),
+                static_cast<unsigned long long>(result.bytes),
+                static_cast<double>(result.bytes) /
+                    static_cast<double>(result.node_count));
+  }
+
+  std::printf(
+      "\nHLP advertisements across domain boundaries carry one marker per\n"
+      "traversed domain instead of every router, and cost hiding makes\n"
+      "sub-threshold churn invisible outside the domain - hence the\n"
+      "decreasing per-node communication cost.\n");
+
+  // Show what a fragmented route looks like from another domain.
+  for (const auto& [node, route] : hlp.best_routes) {
+    if (topo.domain_of.at(node) != "dom0" && route.second.size() > 2) {
+      std::printf("\nexample fragment at %s (domain %s):", node.c_str(),
+                  topo.domain_of.at(node).c_str());
+      for (const auto& hop : route.second) std::printf(" %s", hop.c_str());
+      std::printf("\n");
+      break;
+    }
+  }
+  return 0;
+}

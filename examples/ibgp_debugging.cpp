@@ -1,0 +1,79 @@
+// Operator scenario (paper Sections IV-C and VI-B): debugging an iBGP
+// configuration with FSR.
+//
+// A network operator extracts the per-router route rankings of an AS with
+// route reflection (here: the Rocketfuel-like 87-router topology with the
+// Figure-3 gadget embedded), runs the safety analysis, reads the minimal
+// unsat core to locate the offending routers, repairs their preferences,
+// and re-checks. Finally both configurations are emulated to see the
+// oscillation and its fix in protocol dynamics.
+//
+// Build & run:  ./build/examples/ibgp_debugging
+#include <cstdio>
+
+#include "fsr/emulation.h"
+#include "fsr/safety_analyzer.h"
+#include "spp/translate.h"
+#include "topology/rocketfuel.h"
+
+int main() {
+  // -- The broken configuration -------------------------------------------
+  fsr::topology::RocketfuelParams params;
+  params.embed_gadget = true;
+  const auto broken = fsr::topology::build_rocketfuel_ibgp(params);
+  std::printf("AS under test: %zu routers, %zu physical links, %zu iBGP "
+              "sessions, %zu permitted paths extracted\n\n",
+              broken.router_count, broken.physical_link_count,
+              broken.session_count,
+              broken.instance.permitted_path_count());
+
+  const fsr::SafetyAnalyzer analyzer;
+  const auto verdict = analyzer.check_monotonicity(
+      *fsr::spp::algebra_from_spp(broken.instance),
+      fsr::MonotonicityMode::strict);
+  std::printf("analysis: %s (%zu ranking + %zu monotonicity constraints, "
+              "%.1f ms)\n",
+              verdict.holds ? "sat" : "unsat",
+              verdict.preference_constraint_count,
+              verdict.monotonicity_constraint_count, verdict.solve_time_ms);
+
+  if (!verdict.holds) {
+    std::printf("\nthe minimal unsat core points at the problem:\n");
+    for (const auto& prov : verdict.unsat_core) {
+      std::printf("  %s\n", prov.description.c_str());
+    }
+    std::printf("\n=> the cycle runs through the reflector triangle; each "
+                "reflector prefers another reflector's client egress.\n\n");
+  }
+
+  // -- The repair -----------------------------------------------------------
+  params.embed_gadget = false;
+  const auto repaired = fsr::topology::build_rocketfuel_ibgp(params);
+  const auto recheck = analyzer.check_monotonicity(
+      *fsr::spp::algebra_from_spp(repaired.instance),
+      fsr::MonotonicityMode::strict);
+  std::printf("after repair (own-client preference): %s\n\n",
+              recheck.holds ? "sat - provably safe" : "still unsat");
+
+  // -- Watch both configurations run ---------------------------------------
+  fsr::EmulationOptions options;
+  options.batch_interval = 100 * fsr::net::k_millisecond;
+  options.max_time = 15 * fsr::net::k_second;
+  fsr::net::LinkConfig link;
+  link.max_jitter = 3 * fsr::net::k_millisecond;
+
+  const auto broken_run =
+      fsr::emulate_spp(broken.instance, options, link);
+  const auto repaired_run =
+      fsr::emulate_spp(repaired.instance, options, link);
+  std::printf("emulation, broken  : %s, %llu messages in %.0f s window\n",
+              broken_run.quiesced ? "converged" : "OSCILLATING",
+              static_cast<unsigned long long>(broken_run.messages),
+              static_cast<double>(options.max_time) / fsr::net::k_second);
+  std::printf("emulation, repaired: %s in %.2f s, %llu messages\n",
+              repaired_run.quiesced ? "converged" : "oscillating",
+              static_cast<double>(repaired_run.convergence_time) /
+                  fsr::net::k_second,
+              static_cast<unsigned long long>(repaired_run.messages));
+  return 0;
+}

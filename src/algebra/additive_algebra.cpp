@@ -1,0 +1,67 @@
+#include "algebra/additive_algebra.h"
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace fsr::algebra {
+
+AdditiveAlgebra::AdditiveAlgebra(std::string name,
+                                 std::set<std::int64_t> label_weights)
+    : name_(std::move(name)), weights_(std::move(label_weights)) {
+  if (name_.empty()) throw InvalidArgument("algebra name must be non-empty");
+  if (weights_.empty()) {
+    throw InvalidArgument("additive algebra '" + name_ +
+                          "' needs at least one label weight");
+  }
+}
+
+bool AdditiveAlgebra::import_allows(const Value&, const Value&) const {
+  return true;  // no filtering in cost-based routing
+}
+
+bool AdditiveAlgebra::export_allows(const Value&, const Value&) const {
+  return true;
+}
+
+std::optional<Value> AdditiveAlgebra::extend(const Value& label,
+                                             const Value& sig) const {
+  return Value::integer(label.as_integer() + sig.as_integer());
+}
+
+Value AdditiveAlgebra::complement(const Value& label) const {
+  return label;  // links are cost-symmetric in these policies
+}
+
+std::optional<Value> AdditiveAlgebra::originate(const Value& label) const {
+  return Value::integer(label.as_integer());
+}
+
+Ordering AdditiveAlgebra::compare(const Value& lhs, const Value& rhs) const {
+  const std::int64_t a = lhs.as_integer();
+  const std::int64_t b = rhs.as_integer();
+  if (a < b) return Ordering::better;
+  if (a > b) return Ordering::worse;
+  return Ordering::equal;
+}
+
+SymbolicSpec AdditiveAlgebra::symbolic() const {
+  SymbolicSpec spec;
+  spec.algebra_name = name_;
+  for (const std::int64_t w : weights_) {
+    spec.additive_templates.push_back(SymbolicSpec::AdditiveTemplate{
+        w, "forall s: s REL s + " + std::to_string(w) + "  [" + name_ + "]"});
+  }
+  return spec;
+}
+
+AlgebraPtr shortest_hop_count() {
+  return std::make_shared<AdditiveAlgebra>("hop-count",
+                                           std::set<std::int64_t>{1});
+}
+
+AlgebraPtr igp_cost(std::set<std::int64_t> weights) {
+  return std::make_shared<AdditiveAlgebra>("igp-cost", std::move(weights));
+}
+
+}  // namespace fsr::algebra

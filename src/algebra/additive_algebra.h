@@ -1,0 +1,56 @@
+// Closed-form additive algebras: shortest hop-count and IGP-cost routing.
+//
+// Signatures are positive integers (path costs), labels are integer link
+// weights, (+)_P is integer addition and lower is better. There are no
+// filters. Symbolically these algebras contribute the universally
+// quantified template the paper shows for hop-count:
+//
+//   (assert (forall (s::Sig) (< s (+ s 1))))
+//
+// one instance per distinct declared label weight, so strict monotonicity
+// holds exactly when every weight is positive.
+#ifndef FSR_ALGEBRA_ADDITIVE_ALGEBRA_H
+#define FSR_ALGEBRA_ADDITIVE_ALGEBRA_H
+
+#include <set>
+#include <string>
+
+#include "algebra/algebra.h"
+
+namespace fsr::algebra {
+
+class AdditiveAlgebra final : public RoutingAlgebra {
+ public:
+  /// `label_weights` is the set of link weights that may appear in a
+  /// deployment; hop-count routing is AdditiveAlgebra("hop-count", {1}).
+  AdditiveAlgebra(std::string name, std::set<std::int64_t> label_weights);
+
+  const std::string& name() const noexcept override { return name_; }
+
+  bool import_allows(const Value& label, const Value& sig) const override;
+  bool export_allows(const Value& label, const Value& sig) const override;
+  std::optional<Value> extend(const Value& label,
+                              const Value& sig) const override;
+  Value complement(const Value& label) const override;
+  std::optional<Value> originate(const Value& label) const override;
+  Ordering compare(const Value& lhs, const Value& rhs) const override;
+  SymbolicSpec symbolic() const override;
+
+  const std::set<std::int64_t>& label_weights() const noexcept {
+    return weights_;
+  }
+
+ private:
+  std::string name_;
+  std::set<std::int64_t> weights_;
+};
+
+/// Shortest hop-count routing (Section II-A's running example).
+AlgebraPtr shortest_hop_count();
+
+/// IGP-cost routing over the given set of link weights.
+AlgebraPtr igp_cost(std::set<std::int64_t> weights);
+
+}  // namespace fsr::algebra
+
+#endif  // FSR_ALGEBRA_ADDITIVE_ALGEBRA_H

@@ -1,0 +1,17 @@
+#include "algebra/algebra.h"
+
+namespace fsr::algebra {
+
+std::optional<Value> RoutingAlgebra::combined_extend(const Value& label,
+                                                     const Value& sig) const {
+  // `label` is the receiver-side label of the link the route crosses. Both
+  // filters are keyed by it (see the orientation note on export_allows):
+  // the import filter is the receiver's own, and the export filter row for
+  // a receiver-side label describes what the sender may announce over the
+  // reverse link. A rejection by either yields phi (std::nullopt).
+  if (!import_allows(label, sig)) return std::nullopt;
+  if (!export_allows(label, sig)) return std::nullopt;
+  return extend(label, sig);
+}
+
+}  // namespace fsr::algebra

@@ -1,0 +1,86 @@
+#include "algebra/lexical_product.h"
+
+#include <memory>
+
+#include "util/error.h"
+
+namespace fsr::algebra {
+
+LexicalProduct::LexicalProduct(AlgebraPtr primary, AlgebraPtr tiebreak)
+    : primary_(std::move(primary)), tiebreak_(std::move(tiebreak)) {
+  if (primary_ == nullptr || tiebreak_ == nullptr) {
+    throw InvalidArgument("lexical product factors must be non-null");
+  }
+  name_ = primary_->name() + " (x) " + tiebreak_->name();
+}
+
+bool LexicalProduct::import_allows(const Value& label,
+                                   const Value& sig) const {
+  return primary_->import_allows(label.first(), sig.first()) &&
+         tiebreak_->import_allows(label.second(), sig.second());
+}
+
+bool LexicalProduct::export_allows(const Value& label,
+                                   const Value& sig) const {
+  return primary_->export_allows(label.first(), sig.first()) &&
+         tiebreak_->export_allows(label.second(), sig.second());
+}
+
+std::optional<Value> LexicalProduct::extend(const Value& label,
+                                            const Value& sig) const {
+  auto first = primary_->extend(label.first(), sig.first());
+  if (!first.has_value()) return std::nullopt;
+  auto second = tiebreak_->extend(label.second(), sig.second());
+  if (!second.has_value()) return std::nullopt;
+  return Value::pair(std::move(*first), std::move(*second));
+}
+
+Value LexicalProduct::complement(const Value& label) const {
+  return Value::pair(primary_->complement(label.first()),
+                     tiebreak_->complement(label.second()));
+}
+
+std::optional<Value> LexicalProduct::originate(const Value& label) const {
+  auto first = primary_->originate(label.first());
+  if (!first.has_value()) return std::nullopt;
+  auto second = tiebreak_->originate(label.second());
+  if (!second.has_value()) return std::nullopt;
+  return Value::pair(std::move(*first), std::move(*second));
+}
+
+Ordering LexicalProduct::compare(const Value& lhs, const Value& rhs) const {
+  const Ordering head = primary_->compare(lhs.first(), rhs.first());
+  if (head != Ordering::equal) return head;
+  return tiebreak_->compare(lhs.second(), rhs.second());
+}
+
+SymbolicSpec LexicalProduct::symbolic() const {
+  // The analyzer never encodes a product directly; it decomposes through
+  // lexical_factors() and applies the composition rule. The spec carries
+  // the name only, so misuse is detectable.
+  SymbolicSpec spec;
+  spec.algebra_name = name_;
+  return spec;
+}
+
+std::vector<const RoutingAlgebra*> LexicalProduct::lexical_factors() const {
+  // Flatten nested products so A (x) (B (x) C) analyzes as [A, B, C].
+  std::vector<const RoutingAlgebra*> factors;
+  for (const RoutingAlgebra* algebra :
+       {primary_.get(), tiebreak_.get()}) {
+    const auto nested = algebra->lexical_factors();
+    if (nested.empty()) {
+      factors.push_back(algebra);
+    } else {
+      factors.insert(factors.end(), nested.begin(), nested.end());
+    }
+  }
+  return factors;
+}
+
+AlgebraPtr lexical_product(AlgebraPtr primary, AlgebraPtr tiebreak) {
+  return std::make_shared<LexicalProduct>(std::move(primary),
+                                          std::move(tiebreak));
+}
+
+}  // namespace fsr::algebra

@@ -1,0 +1,47 @@
+// Lexical product of routing algebras (Section II-A).
+//
+// A (x) B ranks routes by A first and breaks ties with B. Labels and
+// signatures are pairs; every operator acts component-wise; a path is
+// prohibited as soon as either component prohibits it. The safety analyzer
+// exploits the composition theorem of Section IV-B: A strictly monotone =>
+// safe; A monotone and B strictly monotone => safe.
+#ifndef FSR_ALGEBRA_LEXICAL_PRODUCT_H
+#define FSR_ALGEBRA_LEXICAL_PRODUCT_H
+
+#include <string>
+
+#include "algebra/algebra.h"
+
+namespace fsr::algebra {
+
+class LexicalProduct final : public RoutingAlgebra {
+ public:
+  LexicalProduct(AlgebraPtr primary, AlgebraPtr tiebreak);
+
+  const std::string& name() const noexcept override { return name_; }
+
+  bool import_allows(const Value& label, const Value& sig) const override;
+  bool export_allows(const Value& label, const Value& sig) const override;
+  std::optional<Value> extend(const Value& label,
+                              const Value& sig) const override;
+  Value complement(const Value& label) const override;
+  std::optional<Value> originate(const Value& label) const override;
+  Ordering compare(const Value& lhs, const Value& rhs) const override;
+  SymbolicSpec symbolic() const override;
+  std::vector<const RoutingAlgebra*> lexical_factors() const override;
+
+  const RoutingAlgebra& primary() const noexcept { return *primary_; }
+  const RoutingAlgebra& tiebreak() const noexcept { return *tiebreak_; }
+
+ private:
+  AlgebraPtr primary_;
+  AlgebraPtr tiebreak_;
+  std::string name_;
+};
+
+/// Convenience factory: A (x) B.
+AlgebraPtr lexical_product(AlgebraPtr primary, AlgebraPtr tiebreak);
+
+}  // namespace fsr::algebra
+
+#endif  // FSR_ALGEBRA_LEXICAL_PRODUCT_H

@@ -1,0 +1,140 @@
+#include "algebra/standard_policies.h"
+
+#include <string>
+#include <vector>
+
+#include "algebra/additive_algebra.h"
+#include "algebra/finite_algebra.h"
+#include "algebra/lexical_product.h"
+#include "util/error.h"
+
+namespace fsr::algebra {
+namespace {
+
+// Shared scaffolding for the business-relationship algebras: the three
+// labels/signatures, the generation table (route class is determined by
+// the link class alone), the export discipline (only customer routes cross
+// "up" or "sideways"), and the origination map.
+//
+// The export table is keyed by the receiver-side label (see the
+// orientation note in algebra.h): a route announced towards a provider is
+// received over that provider's customer link, hence row 'c' filters P/R.
+void add_business_core(FiniteAlgebra::Builder& builder) {
+  builder.add_signature("C").add_signature("P").add_signature("R");
+  builder.add_label("c", "p");  // reverse of a customer link is a provider
+  builder.add_label("r", "r");  // peer links are self-reverse
+
+  for (const std::string sig : {"C", "P", "R"}) {
+    builder.set_generation("c", sig, "C");  // route via customer is C
+    builder.set_generation("r", sig, "R");  // route via peer is R
+    builder.set_generation("p", sig, "P");  // route via provider is P
+  }
+  // Export: customer routes go everywhere; peer/provider routes reach
+  // customers only. Rows 'c' and 'r' are announcements towards providers
+  // and peers respectively (receiver-side view), row 'p' towards customers.
+  for (const std::string sig : {"P", "R"}) {
+    builder.set_export("c", sig, false);
+    builder.set_export("r", sig, false);
+  }
+  builder.set_origination("c", "C");
+  builder.set_origination("r", "R");
+  builder.set_origination("p", "P");
+}
+
+}  // namespace
+
+AlgebraPtr gao_rexford_guideline_a() {
+  FiniteAlgebra::Builder builder("gao-rexford-A");
+  add_business_core(builder);
+  builder.prefer("C", PrefRel::strictly_better, "P", "guideline A: C < P");
+  builder.prefer("C", PrefRel::strictly_better, "R", "guideline A: C < R");
+  builder.prefer("P", PrefRel::equal, "R", "guideline A: P = R");
+  return builder.build();
+}
+
+AlgebraPtr gao_rexford_guideline_b() {
+  FiniteAlgebra::Builder builder("gao-rexford-B");
+  add_business_core(builder);
+  builder.prefer("C", PrefRel::strictly_better, "R", "guideline B: C < R");
+  builder.prefer("R", PrefRel::strictly_better, "P", "guideline B: R < P");
+  return builder.build();
+}
+
+AlgebraPtr backup_routing() {
+  FiniteAlgebra::Builder builder("backup-routing");
+  builder.add_signature("C").add_signature("P").add_signature("R");
+  builder.add_signature("B");  // traversed a backup link
+  builder.add_label("c", "p");
+  builder.add_label("r", "r");
+  builder.add_label("b", "b");  // backup links are self-reverse
+
+  for (const std::string sig : {"C", "P", "R", "B"}) {
+    if (sig != "B") {
+      builder.set_generation("c", sig, "C");
+      builder.set_generation("r", sig, "R");
+      builder.set_generation("p", sig, "P");
+    } else {
+      // Once a backup route, always a backup route.
+      builder.set_generation("c", sig, "B");
+      builder.set_generation("r", sig, "B");
+      builder.set_generation("p", sig, "B");
+    }
+    builder.set_generation("b", sig, "B");  // crossing a backup link degrades
+  }
+  for (const std::string sig : {"P", "R"}) {
+    builder.set_export("c", sig, false);
+    builder.set_export("r", sig, false);
+  }
+  // Backup routes may be exported anywhere: that is their purpose.
+  builder.prefer("C", PrefRel::strictly_better, "P");
+  builder.prefer("C", PrefRel::strictly_better, "R");
+  builder.prefer("P", PrefRel::equal, "R");
+  builder.prefer("P", PrefRel::strictly_better, "B", "primary < backup");
+  builder.set_origination("c", "C");
+  builder.set_origination("r", "R");
+  builder.set_origination("p", "P");
+  builder.set_origination("b", "B");
+  return builder.build();
+}
+
+AlgebraPtr bandwidth_classes(const std::set<std::int64_t>& classes_mbps) {
+  if (classes_mbps.empty()) {
+    throw InvalidArgument("bandwidth_classes needs at least one class");
+  }
+  FiniteAlgebra::Builder builder("bandwidth-classes");
+  const auto class_name = [](std::int64_t mbps) {
+    return "bw" + std::to_string(mbps);
+  };
+  std::vector<std::int64_t> ordered(classes_mbps.begin(), classes_mbps.end());
+  for (const std::int64_t mbps : ordered) {
+    builder.add_signature(class_name(mbps));
+    builder.add_label(class_name(mbps), class_name(mbps));
+  }
+  // Higher bandwidth is better: bw_hi < bw_lo in preference order.
+  for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+    builder.prefer(class_name(ordered[i + 1]), PrefRel::strictly_better,
+                   class_name(ordered[i]),
+                   "wider is better: " + class_name(ordered[i + 1]) + " < " +
+                       class_name(ordered[i]));
+  }
+  // Extension: the bottleneck bandwidth, min(link, route).
+  for (const std::int64_t link : ordered) {
+    for (const std::int64_t route : ordered) {
+      builder.set_generation(class_name(link), class_name(route),
+                             class_name(std::min(link, route)));
+    }
+    builder.set_origination(class_name(link), class_name(link));
+  }
+  return builder.build();
+}
+
+AlgebraPtr widest_shortest(const std::set<std::int64_t>& classes_mbps) {
+  return lexical_product(bandwidth_classes(classes_mbps),
+                         shortest_hop_count());
+}
+
+AlgebraPtr gao_rexford_with_hop_count() {
+  return lexical_product(gao_rexford_guideline_a(), shortest_hop_count());
+}
+
+}  // namespace fsr::algebra

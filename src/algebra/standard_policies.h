@@ -1,0 +1,57 @@
+// The policy library: ready-made algebras for the configurations the paper
+// studies (Section II-B, IV-C, VI).
+//
+// Business-relationship labels follow the paper's conventions:
+//   label 'c' — the neighbour at the far end is a customer;
+//   label 'p' — the far end is a provider (reverse of 'c');
+//   label 'r' — the far end is a peer (self-reverse).
+// Signatures 'C', 'P', 'R' classify routes learned from a customer,
+// provider, or peer respectively.
+#ifndef FSR_ALGEBRA_STANDARD_POLICIES_H
+#define FSR_ALGEBRA_STANDARD_POLICIES_H
+
+#include <set>
+
+#include "algebra/algebra.h"
+
+namespace fsr::algebra {
+
+/// Gao-Rexford guideline A (Section II-B): prefer customer routes over
+/// peer and provider routes (peer vs provider unconstrained, encoded as
+/// equally preferred); export customer routes everywhere, but peer and
+/// provider routes only to customers. Strictly monotone: NO (c (+) C = C);
+/// monotone: yes — the paper's running example.
+AlgebraPtr gao_rexford_guideline_a();
+
+/// A stricter business-relationship guideline in the style of Gao-Rexford
+/// guideline B: customer routes are preferred over peer routes, and peer
+/// routes over provider routes (C < R < P), with the same export
+/// discipline as guideline A. Still monotone-only, for the same c(+)C=C
+/// reason.
+AlgebraPtr gao_rexford_guideline_b();
+
+/// Backup routing in the spirit of Gao, Griffin and Rexford [8]: a second
+/// signature class B marks routes that traversed a backup link; primary
+/// routes are always preferred over backup routes, and any route crossing
+/// a backup link (label 'b', self-reverse) degrades to B.
+AlgebraPtr backup_routing();
+
+/// Bandwidth-class routing ("prefer higher bandwidth"): signatures are a
+/// finite ladder of bandwidth classes (e.g. {10, 100, 1000} Mbps); the
+/// extension takes the minimum of link class and route class; higher is
+/// better. Monotone but NOT strictly monotone (min can leave the class
+/// unchanged) — the canonical "needs a tie-breaker" primary policy for the
+/// widest-shortest composition.
+AlgebraPtr bandwidth_classes(const std::set<std::int64_t>& classes_mbps);
+
+/// Widest-shortest routing (Section II-A): bandwidth_classes (x) hop-count.
+AlgebraPtr widest_shortest(const std::set<std::int64_t>& classes_mbps);
+
+/// The paper's Section VI-A experiment policy: Gao-Rexford guideline A
+/// composed with shortest hop-count as tie-breaker — provably safe by the
+/// composition rule (A monotone, hop-count strictly monotone).
+AlgebraPtr gao_rexford_with_hop_count();
+
+}  // namespace fsr::algebra
+
+#endif  // FSR_ALGEBRA_STANDARD_POLICIES_H

@@ -1,0 +1,76 @@
+#include "algebra/value.h"
+
+#include <tuple>
+
+#include "util/error.h"
+
+namespace fsr::algebra {
+
+std::int64_t Value::as_integer() const {
+  if (!is_integer()) {
+    throw InvalidArgument("value " + to_string() + " is not an integer");
+  }
+  return integer_;
+}
+
+const std::string& Value::as_atom() const {
+  if (!is_atom()) {
+    throw InvalidArgument("value " + to_string() + " is not an atom");
+  }
+  return atom_;
+}
+
+const Value& Value::first() const {
+  if (!is_pair()) {
+    throw InvalidArgument("value " + to_string() + " is not a pair");
+  }
+  return children_[0];
+}
+
+const Value& Value::second() const {
+  if (!is_pair()) {
+    throw InvalidArgument("value " + to_string() + " is not a pair");
+  }
+  return children_[1];
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ValueKind::integer:
+      return integer_ == other.integer_;
+    case ValueKind::atom:
+      return atom_ == other.atom_;
+    case ValueKind::pair:
+      return children_ == other.children_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case ValueKind::integer:
+      return integer_ < other.integer_;
+    case ValueKind::atom:
+      return atom_ < other.atom_;
+    case ValueKind::pair:
+      return children_ < other.children_;
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case ValueKind::integer:
+      return std::to_string(integer_);
+    case ValueKind::atom:
+      return atom_;
+    case ValueKind::pair:
+      return "(" + children_[0].to_string() + ", " + children_[1].to_string() +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace fsr::algebra

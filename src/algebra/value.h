@@ -1,0 +1,81 @@
+// Runtime values for routing-algebra semantics.
+//
+// A signature or label is, at run time, one of:
+//   * an integer        (closed-form algebras: hop counts, IGP costs)
+//   * an atom           (finite algebras: "C", "P", "R", or SPP path names)
+//   * a pair            (lexical products compose values component-wise)
+// The prohibited-path signature phi is deliberately NOT a Value: operations
+// that can prohibit a path return std::optional<Value>, with std::nullopt
+// playing the role of phi. This makes "forgot to handle phi" a compile
+// error rather than a silent bug.
+#ifndef FSR_ALGEBRA_VALUE_H
+#define FSR_ALGEBRA_VALUE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fsr::algebra {
+
+enum class ValueKind { integer, atom, pair };
+
+class Value {
+ public:
+  /// Default-constructs the integer 0 (needed for map/optional storage).
+  Value() = default;
+
+  static Value integer(std::int64_t v) {
+    Value out;
+    out.kind_ = ValueKind::integer;
+    out.integer_ = v;
+    return out;
+  }
+
+  static Value atom(std::string name) {
+    Value out;
+    out.kind_ = ValueKind::atom;
+    out.atom_ = std::move(name);
+    return out;
+  }
+
+  static Value pair(Value first, Value second) {
+    Value out;
+    out.kind_ = ValueKind::pair;
+    out.children_.reserve(2);
+    out.children_.push_back(std::move(first));
+    out.children_.push_back(std::move(second));
+    return out;
+  }
+
+  ValueKind kind() const noexcept { return kind_; }
+  bool is_integer() const noexcept { return kind_ == ValueKind::integer; }
+  bool is_atom() const noexcept { return kind_ == ValueKind::atom; }
+  bool is_pair() const noexcept { return kind_ == ValueKind::pair; }
+
+  /// Requires is_integer().
+  std::int64_t as_integer() const;
+  /// Requires is_atom().
+  const std::string& as_atom() const;
+  /// Require is_pair().
+  const Value& first() const;
+  const Value& second() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Structural ordering; used only for deterministic container keys, not
+  /// for route preference (which is the algebra's job).
+  bool operator<(const Value& other) const;
+
+  std::string to_string() const;
+
+ private:
+  ValueKind kind_ = ValueKind::integer;
+  std::int64_t integer_ = 0;
+  std::string atom_;
+  std::vector<Value> children_;
+};
+
+}  // namespace fsr::algebra
+
+#endif  // FSR_ALGEBRA_VALUE_H

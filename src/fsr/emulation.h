@@ -1,0 +1,97 @@
+// Emulation driver: runs a generated NDlog implementation of a policy
+// configuration over a simulated network (the right-hand output of the
+// paper's Figure 1, evaluated as in Section VI).
+//
+// Given an algebra and an annotated topology, the driver
+//   1. registers the generated policy functions (Section V-B steps 1-3),
+//   2. emits per-node label facts and origination sig facts (step 4),
+//   3. executes GPV under the distributed runtime with advertisement
+//      batching, and
+//   4. reports convergence time, traffic, and the bandwidth-over-time
+//      series the paper plots.
+//
+// SPP instances can be run directly via emulate_spp (their algebra and
+// topology are derived automatically).
+#ifndef FSR_FSR_EMULATION_H
+#define FSR_FSR_EMULATION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "ndlog/runtime.h"
+#include "spp/spp.h"
+#include "topology/topology.h"
+
+namespace fsr {
+
+/// Post-convergence churn injection: the origination cost at the egress
+/// flaps by `magnitude` every `interval`, `events` times, starting at
+/// `start`. Meaningful only for integer-cost policies (PV, HLP); it is
+/// how the cost-hiding comparison of Figure 6 exercises HLP-CH (small
+/// internal cost changes that hiding suppresses across domains).
+struct ChurnSpec {
+  std::int32_t events = 0;  // 0 disables churn
+  net::Time start = 30 * net::k_second;
+  net::Time interval = 2 * net::k_second;
+  std::int64_t magnitude = 2;
+};
+
+struct EmulationOptions {
+  net::Time batch_interval = net::k_second;  // paper: 1 s advertisement batch
+  /// Advertisement-timer drift as a fraction of the batch interval (see
+  /// ndlog::RuntimeOptions::batch_drift).
+  double batch_drift = 0.05;
+  net::Time max_time = 120 * net::k_second;  // cut-off for divergent runs
+  net::HostProfile host_profile = net::HostProfile::simulation();
+  std::uint64_t seed = 1;
+  net::Time stats_bucket = 10 * net::k_millisecond;
+  ChurnSpec churn;
+};
+
+struct EmulationResult {
+  bool quiesced = false;
+  net::Time convergence_time = 0;
+  net::Time end_time = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t route_changes = 0;  // localOpt deltas across all nodes
+  std::size_t node_count = 0;
+  /// Average per-node bandwidth (MBps) per stats bucket — the Figure 5/6
+  /// series.
+  std::vector<double> bandwidth_series_mbps;
+  net::Time stats_bucket = 0;
+  /// Final best route per node: node -> (signature text, path).
+  std::map<std::string, std::pair<std::string, std::vector<std::string>>>
+      best_routes;
+};
+
+/// Runs GPV with `algebra` over `topology`.
+EmulationResult emulate_gpv(const algebra::RoutingAlgebra& algebra,
+                            const topology::Topology& topology,
+                            const EmulationOptions& options = {});
+
+/// Runs GPV for an SPP instance (algebra from Section III-B; links default
+/// to the paper's 100 Mbps / 10 ms).
+EmulationResult emulate_spp(const spp::SppInstance& instance,
+                            const EmulationOptions& options = {},
+                            net::LinkConfig link_config = {});
+
+/// Derives the policy-annotated topology of an SPP instance (unique labels
+/// per link direction, Section III-B).
+topology::Topology spp_topology(const spp::SppInstance& instance,
+                                net::LinkConfig link_config = {});
+
+/// Runs the HLP mechanism (Section VI-D) over a domain topology produced
+/// by topology::generate_hlp_domains. `hide_threshold` 0 disables cost
+/// hiding (plain HLP); the paper's HLP-CH uses 5. Link labels must be
+/// integer costs.
+EmulationResult emulate_hlp(const topology::Topology& topology,
+                            std::int64_t hide_threshold,
+                            const EmulationOptions& options = {});
+
+}  // namespace fsr
+
+#endif  // FSR_FSR_EMULATION_H

@@ -1,0 +1,165 @@
+#include "fsr/ndlog_generator.h"
+
+#include "algebra/additive_algebra.h"
+#include "algebra/finite_algebra.h"
+#include "fsr/value_bridge.h"
+#include "util/error.h"
+
+namespace fsr {
+
+void register_policy_functions(const algebra::RoutingAlgebra& algebra,
+                               ndlog::FunctionRegistry& registry) {
+  const algebra::RoutingAlgebra* policy = &algebra;
+
+  // Step 1 (pref relation -> f_pref): true iff S1 is strictly preferred.
+  registry.register_function(
+      "f_pref", 2, [policy](const std::vector<ndlog::Value>& args) {
+        return ndlog::Value::boolean(
+            policy->compare(to_algebra(args[0]), to_algebra(args[1])) ==
+            algebra::Ordering::better);
+      });
+
+  // Step 2 ((+)_P -> f_concatSig). Total on inputs admitted by f_import;
+  // a phi here indicates a mechanism bug, hence the hard error.
+  registry.register_function(
+      "f_concatSig", 2, [policy](const std::vector<ndlog::Value>& args) {
+        const auto extended =
+            policy->extend(to_algebra(args[0]), to_algebra(args[1]));
+        if (!extended.has_value()) {
+          throw InvalidArgument(
+              "f_concatSig reached a prohibited combination; f_import must "
+              "filter it first");
+        }
+        return to_ndlog(*extended);
+      });
+
+  // Step 3a ((+)_I -> f_import), with phi generation folded in: a route is
+  // importable iff the filter admits it AND the extension is defined.
+  registry.register_function(
+      "f_import", 2, [policy](const std::vector<ndlog::Value>& args) {
+        const algebra::Value label = to_algebra(args[0]);
+        const algebra::Value sig = to_algebra(args[1]);
+        return ndlog::Value::boolean(policy->import_allows(label, sig) &&
+                                     policy->extend(label, sig).has_value());
+      });
+
+  // Step 3b ((+)_E -> f_export): sender-side call, receiver-side table.
+  registry.register_function(
+      "f_export", 2, [policy](const std::vector<ndlog::Value>& args) {
+        const algebra::Value sender_label = to_algebra(args[0]);
+        return ndlog::Value::boolean(policy->export_allows(
+            policy->complement(sender_label), to_algebra(args[1])));
+      });
+
+  // The GPV selection aggregate ranks signatures by f_pref.
+  registry.register_aggregate(
+      "a_pref", [policy](const ndlog::Value& a, const ndlog::Value& b) {
+        return policy->compare(to_algebra(a), to_algebra(b)) ==
+               algebra::Ordering::better;
+      });
+}
+
+namespace {
+
+/// Pseudo-code rendering for finite algebras: enumerate table entries as
+/// the paper's if-chains.
+std::string render_finite(const algebra::FiniteAlgebra& finite) {
+  std::string out;
+
+  out += "#def_func f_concatSig(L,S) {\n";
+  for (const std::string& label : finite.labels()) {
+    for (const std::string& sig : finite.signatures()) {
+      const auto extended = finite.extend(algebra::Value::atom(label),
+                                          algebra::Value::atom(sig));
+      if (extended.has_value()) {
+        out += "  if (L=='" + label + "') && (S=='" + sig + "') return '" +
+               extended->as_atom() + "'\n";
+      }
+    }
+  }
+  out += "}\n";
+
+  out += "#def_func f_pref(S1,S2) {\n  return ";
+  bool first = true;
+  for (const std::string& s1 : finite.signatures()) {
+    for (const std::string& s2 : finite.signatures()) {
+      if (s1 == s2) continue;
+      if (finite.has_consistent_preferences() &&
+          finite.compare(algebra::Value::atom(s1), algebra::Value::atom(s2)) ==
+              algebra::Ordering::better) {
+        if (!first) out += " ||\n         ";
+        out += "(S1=='" + s1 + "' && S2=='" + s2 + "')";
+        first = false;
+      }
+    }
+  }
+  if (first) out += "false";
+  out += "\n}\n";
+
+  out += "#def_func f_import(L,S) {\n";
+  for (const std::string& label : finite.labels()) {
+    for (const std::string& sig : finite.signatures()) {
+      const algebra::Value l = algebra::Value::atom(label);
+      const algebra::Value s = algebra::Value::atom(sig);
+      if (!finite.import_allows(l, s) || !finite.extend(l, s).has_value()) {
+        out += "  if (L=='" + label + "' && S=='" + sig + "') return false\n";
+      }
+    }
+  }
+  out += "  return true\n}\n";
+
+  out += "#def_func f_export(L,S) {\n";
+  for (const std::string& label : finite.labels()) {
+    for (const std::string& sig : finite.signatures()) {
+      const algebra::Value l = algebra::Value::atom(label);
+      if (!finite.export_allows(finite.complement(l),
+                                algebra::Value::atom(sig))) {
+        out += "  if (L=='" + label + "' && S=='" + sig + "') return false\n";
+      }
+    }
+  }
+  out += "  return true\n}\n";
+  return out;
+}
+
+std::string render_additive(const algebra::AdditiveAlgebra&) {
+  // The paper's hop-count rendering (Section V-C).
+  return
+      "#def_func f_concatSig(L,S) { return L+S }\n"
+      "#def_func f_pref(S1,S2) { return S1 < S2 }\n"
+      "#def_func f_import(L,S) { return true }\n"
+      "#def_func f_export(L,S) { return true }\n";
+}
+
+}  // namespace
+
+std::string render_policy_functions(const algebra::RoutingAlgebra& algebra) {
+  std::string out =
+      "// Generated from algebra '" + algebra.name() + "' (Section V-B)\n";
+  const auto factors = algebra.lexical_factors();
+  if (!factors.empty()) {
+    out += "// lexical product: pairwise functions; f_pref compares the\n"
+           "// first component and tie-breaks on the second.\n";
+    int index = 1;
+    for (const auto* factor : factors) {
+      out += "// ---- factor " + std::to_string(index++) + ": " +
+             factor->name() + " ----\n";
+      out += render_policy_functions(*factor);
+    }
+    return out;
+  }
+  if (const auto* finite =
+          dynamic_cast<const algebra::FiniteAlgebra*>(&algebra)) {
+    out += render_finite(*finite);
+    return out;
+  }
+  if (const auto* additive =
+          dynamic_cast<const algebra::AdditiveAlgebra*>(&algebra)) {
+    out += render_additive(*additive);
+    return out;
+  }
+  out += "// (native algebra; functions are registered programmatically)\n";
+  return out;
+}
+
+}  // namespace fsr

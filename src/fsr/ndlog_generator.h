@@ -1,0 +1,47 @@
+// NDlog implementation generation (paper Section V-B, Table II).
+//
+// Given a routing algebra, this component produces the pieces that turn
+// the mechanism-only GPV template into a runnable distributed protocol:
+//
+//   algebra element      ->  generated artefact
+//   -----------------------------------------------------
+//   pref relation        ->  f_pref(S1,S2) -> true/false
+//   (+)_P                ->  f_concatSig(L,S) -> S'
+//   (+)_I (and phi)      ->  f_import(L,S) -> true/false
+//   (+)_E                ->  f_export(L,S) -> true/false
+//
+// plus, per Step 4, the per-node `label` facts and origination `sig`
+// facts derived from a topology. The functions are registered as native
+// callbacks (the execution path) and also rendered as `#def_func` pseudo
+// code (the paper's presentation; used in reports and tests).
+//
+// Orientation notes:
+//   * f_import(L,S) is true iff the import filter admits S over L *and*
+//     the generation (+)_P(L,S) is defined (phi is folded into the import
+//     decision, so f_concatSig is total on admitted inputs);
+//   * f_export(L,S) is called by the sender with its own label L for the
+//     link; it evaluates the algebra's receiver-side-keyed export table at
+//     complement(L) (see the orientation note in algebra/algebra.h).
+#ifndef FSR_FSR_NDLOG_GENERATOR_H
+#define FSR_FSR_NDLOG_GENERATOR_H
+
+#include <string>
+
+#include "algebra/algebra.h"
+#include "ndlog/functions.h"
+
+namespace fsr {
+
+/// Registers the four policy functions (and the a_pref aggregate) for
+/// `algebra` into `registry`. The algebra must outlive the registry.
+void register_policy_functions(const algebra::RoutingAlgebra& algebra,
+                               ndlog::FunctionRegistry& registry);
+
+/// Renders the generated functions as the paper's #def_func pseudo-code
+/// (finite algebras enumerate their table entries; closed-form algebras
+/// print arithmetic bodies; SPP-derived algebras print table lookups).
+std::string render_policy_functions(const algebra::RoutingAlgebra& algebra);
+
+}  // namespace fsr
+
+#endif  // FSR_FSR_NDLOG_GENERATOR_H

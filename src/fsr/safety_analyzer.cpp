@@ -1,0 +1,310 @@
+#include "fsr/safety_analyzer.h"
+
+#include <cctype>
+#include <chrono>
+#include <map>
+
+#include "smt/yices_frontend.h"
+#include "util/error.h"
+
+namespace fsr {
+namespace {
+
+/// Signature names can contain characters that are not valid solver
+/// symbols (SPP signatures look like "r(a-b-e-0)"), so the encoder works
+/// over sanitized symbols and keeps a bidirectional mapping.
+class SymbolTable {
+ public:
+  explicit SymbolTable(const std::vector<std::string>& names) {
+    for (const std::string& name : names) {
+      std::string symbol;
+      for (const char c : name) {
+        symbol.push_back(
+            std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+      }
+      if (symbol.empty() ||
+          std::isdigit(static_cast<unsigned char>(symbol.front())) != 0) {
+        symbol.insert(symbol.begin(), 's');
+        symbol.insert(symbol.begin() + 1, '_');
+      }
+      while (symbol_to_name_.contains(symbol)) symbol.push_back('_');
+      symbol_to_name_.emplace(symbol, name);
+      name_to_symbol_.emplace(name, symbol);
+      symbols_.push_back(symbol);
+    }
+  }
+
+  const std::string& symbol(const std::string& name) const {
+    const auto it = name_to_symbol_.find(name);
+    if (it == name_to_symbol_.end()) {
+      throw InvalidArgument("symbolic spec references unknown signature '" +
+                            name + "'");
+    }
+    return it->second;
+  }
+
+  const std::string& original(const std::string& symbol) const {
+    return symbol_to_name_.at(symbol);
+  }
+
+  const std::vector<std::string>& symbols() const noexcept { return symbols_; }
+
+ private:
+  std::map<std::string, std::string> symbol_to_name_;
+  std::map<std::string, std::string> name_to_symbol_;
+  std::vector<std::string> symbols_;
+};
+
+/// The constraints of one encoding, in assertion order (the order defines
+/// the AssertionId <-> provenance correspondence for both pipelines).
+struct Encoding {
+  std::vector<ConstraintProvenance> provenance;
+  std::vector<std::string> assert_lines;  // "(< a b)" over sanitized symbols
+  std::vector<std::pair<std::string, std::string>> declarations;  // sym
+};
+
+const char* relation_spelling(algebra::PrefRel rel) {
+  switch (rel) {
+    case algebra::PrefRel::strictly_better:
+      return "<";
+    case algebra::PrefRel::equal:
+      return "=";
+    case algebra::PrefRel::better_or_equal:
+      return "<=";
+  }
+  return "<";
+}
+
+Encoding encode(const algebra::SymbolicSpec& spec, MonotonicityMode mode,
+                const SymbolTable& symbols) {
+  Encoding enc;
+  const char* mono_rel = mode == MonotonicityMode::strict ? "<" : "<=";
+
+  // Step 2: one constraint per declared preference.
+  for (const auto& pref : spec.preferences) {
+    const std::string line = "(" + std::string(relation_spelling(pref.rel)) +
+                             " " + symbols.symbol(pref.lhs) + " " +
+                             symbols.symbol(pref.rhs) + ")";
+    enc.assert_lines.push_back(line);
+    enc.provenance.push_back(
+        ConstraintProvenance{ConstraintProvenance::Kind::preference,
+                             pref.provenance, line});
+  }
+  // Step 3: one (strict-)monotonicity constraint per combined (+) entry.
+  for (const auto& ext : spec.extensions) {
+    const std::string line = "(" + std::string(mono_rel) + " " +
+                             symbols.symbol(ext.from_sig) + " " +
+                             symbols.symbol(ext.to_sig) + ")";
+    enc.assert_lines.push_back(line);
+    enc.provenance.push_back(
+        ConstraintProvenance{ConstraintProvenance::Kind::monotonicity,
+                             ext.provenance, line});
+  }
+  // Closed-form algebras: universally quantified templates.
+  for (const auto& tmpl : spec.additive_templates) {
+    const std::string line = "(forall (s::Sig) (" + std::string(mono_rel) +
+                             " s (+ s " + std::to_string(tmpl.delta) + ")))";
+    enc.assert_lines.push_back(line);
+    enc.provenance.push_back(
+        ConstraintProvenance{ConstraintProvenance::Kind::monotonicity,
+                             tmpl.provenance, line});
+  }
+  return enc;
+}
+
+std::string render_script(const algebra::SymbolicSpec& spec,
+                          MonotonicityMode mode, const SymbolTable& symbols,
+                          const Encoding& enc) {
+  std::string script;
+  script += ";; FSR safety encoding for algebra '" + spec.algebra_name + "'\n";
+  script += ";; mode: ";
+  script += (mode == MonotonicityMode::strict ? "strict monotonicity"
+                                              : "monotonicity");
+  script += "\n(define-type Sig (subtype (n::nat) (> n 0)))\n";
+  for (const std::string& symbol : symbols.symbols()) {
+    script += "(define " + symbol + "::Sig)\n";
+  }
+  bool wrote_pref_banner = false;
+  bool wrote_mono_banner = false;
+  for (std::size_t i = 0; i < enc.assert_lines.size(); ++i) {
+    if (enc.provenance[i].kind == ConstraintProvenance::Kind::preference &&
+        !wrote_pref_banner) {
+      script += ";; route preference constraints\n";
+      wrote_pref_banner = true;
+    }
+    if (enc.provenance[i].kind == ConstraintProvenance::Kind::monotonicity &&
+        !wrote_mono_banner) {
+      script += (mode == MonotonicityMode::strict
+                     ? ";; strict monotonicity constraints\n"
+                     : ";; monotonicity constraints\n");
+      wrote_mono_banner = true;
+    }
+    script += "(assert " + enc.assert_lines[i] + ")\n";
+  }
+  script += "(check)\n";
+  return script;
+}
+
+}  // namespace
+
+double SafetyReport::total_solve_time_ms() const {
+  double total = 0.0;
+  for (const MonotonicityReport& check : checks) total += check.solve_time_ms;
+  return total;
+}
+
+const std::vector<ConstraintProvenance>* SafetyReport::failing_core() const {
+  if (checks.empty() || checks.back().holds) return nullptr;
+  return &checks.back().unsat_core;
+}
+
+std::string SafetyAnalyzer::emit_yices_script(
+    const algebra::SymbolicSpec& spec, MonotonicityMode mode) {
+  const SymbolTable symbols(spec.signatures);
+  const Encoding enc = encode(spec, mode, symbols);
+  return render_script(spec, mode, symbols, enc);
+}
+
+MonotonicityReport SafetyAnalyzer::check_monotonicity(
+    const algebra::RoutingAlgebra& algebra, MonotonicityMode mode) const {
+  const algebra::SymbolicSpec spec = algebra.symbolic();
+  const SymbolTable symbols(spec.signatures);
+  const Encoding enc = encode(spec, mode, symbols);
+
+  MonotonicityReport report;
+  report.algebra_name = spec.algebra_name;
+  report.mode = mode;
+  report.yices_script = render_script(spec, mode, symbols, enc);
+  for (const auto& prov : enc.provenance) {
+    if (prov.kind == ConstraintProvenance::Kind::preference) {
+      ++report.preference_constraint_count;
+    } else {
+      ++report.monotonicity_constraint_count;
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  smt::Status status = smt::Status::sat;
+  smt::Model raw_model;
+  std::vector<smt::AssertionId> core_ids;
+
+  if (options_.via_textual_pipeline) {
+    smt::YicesFrontend frontend;
+    const smt::ScriptResult run = frontend.run_script(report.yices_script);
+    const smt::CheckOutcome& outcome = run.single_check();
+    status = outcome.status;
+    raw_model = outcome.model;
+    core_ids = outcome.core_ids;
+  } else {
+    smt::Context ctx;
+    for (const std::string& symbol : symbols.symbols()) {
+      ctx.declare_variable(symbol);
+    }
+    // Assert in encoding order so AssertionIds stay aligned with the
+    // provenance vector, exactly as in the textual pipeline.
+    for (const std::string& line : enc.assert_lines) {
+      ctx.assert_term(smt::parse_yices_term(smt::parse_sexpr(line)), line);
+    }
+    const smt::CheckResult check = ctx.check();
+    status = check.status;
+    raw_model = check.model;
+    core_ids = check.unsat_core;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  report.solve_time_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+
+  if (status == smt::Status::sat) {
+    report.holds = true;
+    for (const auto& [symbol, value] : raw_model.values) {
+      report.model.values[symbols.original(symbol)] = value;
+    }
+  } else {
+    report.holds = false;
+    for (const smt::AssertionId id : core_ids) {
+      const auto index = static_cast<std::size_t>(id);
+      if (index < enc.provenance.size()) {
+        report.unsat_core.push_back(enc.provenance[index]);
+      }
+    }
+  }
+  return report;
+}
+
+SafetyReport SafetyAnalyzer::analyze(
+    const algebra::RoutingAlgebra& algebra) const {
+  SafetyReport report;
+  const std::vector<const algebra::RoutingAlgebra*> factors =
+      algebra.lexical_factors();
+
+  if (factors.empty()) {
+    // Leaf algebra: strict check, then (on failure) the plain check that
+    // tells the user whether a tie-breaking composition would rescue it.
+    MonotonicityReport strict =
+        check_monotonicity(algebra, MonotonicityMode::strict);
+    const bool strict_holds = strict.holds;
+    report.checks.push_back(std::move(strict));
+    if (strict_holds) {
+      report.verdict = SafetyVerdict::safe;
+      report.narrative = "Algebra '" + algebra.name() +
+                         "' is strictly monotonic; by Theorem 4.1 "
+                         "(Sobrinho) the path-vector protocol converges.";
+      return report;
+    }
+    MonotonicityReport plain =
+        check_monotonicity(algebra, MonotonicityMode::plain);
+    const bool plain_holds = plain.holds;
+    report.checks.push_back(std::move(plain));
+    report.verdict = SafetyVerdict::not_provably_safe;
+    report.narrative =
+        plain_holds
+            ? "Algebra '" + algebra.name() +
+                  "' is monotonic but not strictly monotonic: not provably "
+                  "safe on its own. Composing it (lexical product) with a "
+                  "strictly monotonic tie-breaker such as shortest hop-count "
+                  "yields a provably safe policy (Section IV-B)."
+            : "Algebra '" + algebra.name() +
+                  "' is not even monotonic; the unsat core identifies the "
+                  "conflicting policy constraints.";
+    return report;
+  }
+
+  // Lexical product: factors in significance order. Safe as soon as one
+  // factor is strictly monotone with all earlier factors monotone.
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const algebra::RoutingAlgebra& factor = *factors[i];
+    MonotonicityReport strict =
+        check_monotonicity(factor, MonotonicityMode::strict);
+    const bool strict_holds = strict.holds;
+    report.checks.push_back(std::move(strict));
+    if (strict_holds) {
+      report.verdict = SafetyVerdict::safe;
+      report.narrative =
+          "Lexical product '" + algebra.name() + "': factor '" +
+          factor.name() +
+          "' is strictly monotonic and every earlier factor is monotonic; "
+          "the composition is strictly monotonic (Section IV-B), hence safe.";
+      return report;
+    }
+    MonotonicityReport plain =
+        check_monotonicity(factor, MonotonicityMode::plain);
+    const bool plain_holds = plain.holds;
+    report.checks.push_back(std::move(plain));
+    if (!plain_holds) {
+      report.verdict = SafetyVerdict::not_provably_safe;
+      report.narrative = "Lexical product '" + algebra.name() + "': factor '" +
+                         factor.name() +
+                         "' is not monotonic; the composition is not "
+                         "provably safe.";
+      return report;
+    }
+  }
+  report.verdict = SafetyVerdict::not_provably_safe;
+  report.narrative =
+      "Lexical product '" + algebra.name() +
+      "': every factor is monotonic but none is strictly monotonic; ties "
+      "can persist, so the composition is not provably safe.";
+  return report;
+}
+
+}  // namespace fsr

@@ -1,0 +1,104 @@
+// Automated safety analysis (paper Section IV).
+//
+// Given a routing algebra, the analyzer encodes its symbolic constraints
+// as integer comparisons (the three-step recipe of Section IV-B), renders
+// them as a Yices-style script, runs the solver, and maps the outcome back
+// to the policy level:
+//
+//   * sat   -> the algebra is strictly monotone; by Sobrinho's theorem the
+//              path-vector protocol implementing it converges -> SAFE,
+//              with the solver's model as a witness ranking;
+//   * unsat -> not provably safe; the minimal unsatisfiable core is
+//              translated back into the offending policy constraints.
+//
+// Lexical products follow the composition rule of Section IV-B: the
+// product is safe if some factor is strictly monotone and every factor
+// before it is (at least) monotone.
+//
+// Strict monotonicity is sufficient, not necessary: a "not provably safe"
+// verdict may be a false positive (the paper's own caveat), which is why
+// the verdict enum has no "divergent" member.
+#ifndef FSR_FSR_SAFETY_ANALYZER_H
+#define FSR_FSR_SAFETY_ANALYZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "smt/context.h"
+
+namespace fsr {
+
+enum class SafetyVerdict { safe, not_provably_safe };
+
+enum class MonotonicityMode { strict, plain };
+
+/// Where a generated constraint came from, so unsat cores read as policy
+/// diagnostics rather than solver internals.
+struct ConstraintProvenance {
+  enum class Kind { preference, monotonicity };
+  Kind kind = Kind::preference;
+  std::string description;  // e.g. "rank at a: a-b-e-0 < a-d-0"
+  std::string constraint;   // e.g. "(< s3 s4)"
+};
+
+/// Result of one monotonicity check of one (leaf) algebra.
+struct MonotonicityReport {
+  std::string algebra_name;
+  MonotonicityMode mode = MonotonicityMode::strict;
+  bool holds = false;
+  smt::Model model;  // witness ranking when holds
+  std::vector<ConstraintProvenance> unsat_core;  // when !holds
+  std::size_t preference_constraint_count = 0;
+  std::size_t monotonicity_constraint_count = 0;
+  double solve_time_ms = 0.0;
+  std::string yices_script;  // the emitted textual artifact
+};
+
+/// Result of a full safety analysis (possibly across product factors).
+struct SafetyReport {
+  SafetyVerdict verdict = SafetyVerdict::not_provably_safe;
+  std::string narrative;  // one-paragraph human explanation
+  /// Per-factor checks in evaluation order. For a leaf algebra this holds
+  /// the strict check, preceded by the plain check when the strict one
+  /// fails (mirroring the paper's guideline-A walkthrough).
+  std::vector<MonotonicityReport> checks;
+
+  /// Total solver time across all checks.
+  double total_solve_time_ms() const;
+  /// The unsat core of the final failing check, if any.
+  const std::vector<ConstraintProvenance>* failing_core() const;
+};
+
+class SafetyAnalyzer {
+ public:
+  struct Options {
+    /// Route the constraints through the textual Yices pipeline (emit ->
+    /// parse -> solve), exactly as the original toolkit drives Yices. When
+    /// false the solver API is called directly; both paths must agree (a
+    /// property the test suite checks).
+    bool via_textual_pipeline = true;
+  };
+
+  SafetyAnalyzer() = default;
+  explicit SafetyAnalyzer(Options options) : options_(options) {}
+
+  /// Full analysis with lexical-product decomposition.
+  SafetyReport analyze(const algebra::RoutingAlgebra& algebra) const;
+
+  /// Single monotonicity check of one (leaf) algebra.
+  MonotonicityReport check_monotonicity(const algebra::RoutingAlgebra& algebra,
+                                        MonotonicityMode mode) const;
+
+  /// Renders the Section IV-B encoding of `spec` as a Yices-style script.
+  static std::string emit_yices_script(const algebra::SymbolicSpec& spec,
+                                       MonotonicityMode mode);
+
+ private:
+  Options options_;
+};
+
+}  // namespace fsr
+
+#endif  // FSR_FSR_SAFETY_ANALYZER_H

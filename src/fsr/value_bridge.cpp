@@ -1,0 +1,39 @@
+#include "fsr/value_bridge.h"
+
+#include "util/error.h"
+
+namespace fsr {
+
+ndlog::Value to_ndlog(const algebra::Value& value) {
+  switch (value.kind()) {
+    case algebra::ValueKind::integer:
+      return ndlog::Value::integer(value.as_integer());
+    case algebra::ValueKind::atom:
+      return ndlog::Value::atom(value.as_atom());
+    case algebra::ValueKind::pair:
+      return ndlog::Value::list(
+          {to_ndlog(value.first()), to_ndlog(value.second())});
+  }
+  throw InvalidArgument("unknown algebra value kind");
+}
+
+algebra::Value to_algebra(const ndlog::Value& value) {
+  switch (value.kind()) {
+    case ndlog::ValueKind::integer:
+      return algebra::Value::integer(value.as_integer());
+    case ndlog::ValueKind::atom:
+      return algebra::Value::atom(value.as_atom());
+    case ndlog::ValueKind::list: {
+      const auto& items = value.as_list();
+      if (items.size() != 2) {
+        throw InvalidArgument(
+            "only two-element lists convert to algebra pairs, got " +
+            value.to_string());
+      }
+      return algebra::Value::pair(to_algebra(items[0]), to_algebra(items[1]));
+    }
+  }
+  throw InvalidArgument("unknown NDlog value kind");
+}
+
+}  // namespace fsr

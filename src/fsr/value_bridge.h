@@ -1,0 +1,19 @@
+// Conversions between algebra values and NDlog runtime values.
+//
+// Algebra pairs (lexical products) are encoded as two-element NDlog lists,
+// so composed signatures travel through the generated implementation
+// without special cases.
+#ifndef FSR_FSR_VALUE_BRIDGE_H
+#define FSR_FSR_VALUE_BRIDGE_H
+
+#include "algebra/value.h"
+#include "ndlog/value.h"
+
+namespace fsr {
+
+ndlog::Value to_ndlog(const algebra::Value& value);
+algebra::Value to_algebra(const ndlog::Value& value);
+
+}  // namespace fsr
+
+#endif  // FSR_FSR_VALUE_BRIDGE_H

@@ -1,0 +1,124 @@
+#include "ndlog/ast.h"
+
+namespace fsr::ndlog {
+namespace {
+
+const char* op_spelling(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::eq:
+      return "=";
+    case ComparisonOp::ne:
+      return "!=";
+    case ComparisonOp::lt:
+      return "<";
+    case ComparisonOp::le:
+      return "<=";
+    case ComparisonOp::gt:
+      return ">";
+    case ComparisonOp::ge:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::variable:
+      return name;
+    case ExprKind::constant:
+      return literal.to_string();
+    case ExprKind::call: {
+      std::string out = name + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += args[i].to_string();
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string HeadArg::to_string() const {
+  if (is_aggregate) return aggregate_function + "<" + aggregate_variable + ">";
+  return expr.to_string();
+}
+
+std::string BodyAtom::to_string() const {
+  std::string out = relation + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    if (location_index.has_value() && *location_index == i) out.push_back('@');
+    out += args[i].to_string();
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::string Constraint::to_string() const {
+  return lhs.to_string() + op_spelling(op) + rhs.to_string();
+}
+
+bool RuleHead::has_aggregate() const noexcept {
+  for (const HeadArg& arg : args) {
+    if (arg.is_aggregate) return true;
+  }
+  return false;
+}
+
+std::string RuleHead::to_string() const {
+  std::string out = relation + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    if (location_index.has_value() && *location_index == i) out.push_back('@');
+    out += args[i].to_string();
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::string Rule::to_string() const {
+  std::string out;
+  if (!label.empty()) out += label + " ";
+  out += head.to_string() + " :- ";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += body[i].kind == BodyElement::Kind::atom
+               ? body[i].atom.to_string()
+               : body[i].constraint.to_string();
+  }
+  out.push_back('.');
+  return out;
+}
+
+const MaterializeDecl* Program::find_materialize(
+    const std::string& relation) const {
+  for (const MaterializeDecl& decl : materialized) {
+    if (decl.relation == relation) return &decl;
+  }
+  return nullptr;
+}
+
+std::string Program::to_string() const {
+  std::string out;
+  for (const MaterializeDecl& decl : materialized) {
+    out += "materialize(" + decl.relation + ", keys(";
+    for (std::size_t i = 0; i < decl.key_positions.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += std::to_string(decl.key_positions[i]);
+    }
+    out += ")).\n";
+  }
+  for (const Fact& fact : facts) {
+    out += fact.relation + tuple_to_string(fact.tuple) + ".\n";
+  }
+  for (const Rule& rule : rules) {
+    out += rule.to_string() + "\n";
+  }
+  return out;
+}
+
+}  // namespace fsr::ndlog

@@ -1,0 +1,142 @@
+// Abstract syntax for the NDlog dialect FSR generates (paper Section V).
+//
+// A program is a set of materialize declarations plus rules:
+//
+//   materialize(route, keys(1,2,4)).
+//   gpvRecv sig(@U,SNew,PNew) :- msg(@U,V,D,S,P),
+//       PNew=f_concatPath(U,P), V=f_head(P),
+//       SNew=f_concatSig(L,S), label(@U,V,L),
+//       f_import(L,S)=true.
+//   gpvSelect localOpt(@U,D,a_pref<S>,P) :- route(@U,D,S,P).
+//
+// Body elements are evaluated left to right: predicate atoms join against
+// the stores, `Var=expr` binds the variable on first sight and filters
+// afterwards, and comparisons filter. Head arguments may contain one
+// aggregate (`a_pref<S>`), turning the rule into a group-by view over the
+// remaining bound head arguments.
+#ifndef FSR_NDLOG_AST_H
+#define FSR_NDLOG_AST_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace fsr::ndlog {
+
+enum class ExprKind { variable, constant, call };
+
+/// An expression: a variable, a literal, or a function application.
+struct Expr {
+  ExprKind kind = ExprKind::constant;
+  std::string name;         // variable or function name
+  Value literal;            // when kind == constant
+  std::vector<Expr> args;   // when kind == call
+
+  static Expr variable(std::string name) {
+    Expr e;
+    e.kind = ExprKind::variable;
+    e.name = std::move(name);
+    return e;
+  }
+  static Expr constant(Value v) {
+    Expr e;
+    e.kind = ExprKind::constant;
+    e.literal = std::move(v);
+    return e;
+  }
+  static Expr call(std::string name, std::vector<Expr> args) {
+    Expr e;
+    e.kind = ExprKind::call;
+    e.name = std::move(name);
+    e.args = std::move(args);
+    return e;
+  }
+
+  std::string to_string() const;
+};
+
+/// One head argument: either a plain expression or an aggregate marker
+/// (`a_pref<S>` — aggregate function name + aggregated variable).
+struct HeadArg {
+  Expr expr;
+  bool is_aggregate = false;
+  std::string aggregate_function;  // e.g. "a_pref"
+  std::string aggregate_variable;  // e.g. "S"
+
+  std::string to_string() const;
+};
+
+/// A predicate atom in a rule body (or a fact): relation name, arguments,
+/// and the position of the location specifier (the argument marked '@').
+struct BodyAtom {
+  std::string relation;
+  std::vector<Expr> args;
+  std::optional<std::size_t> location_index;
+
+  std::string to_string() const;
+};
+
+enum class ComparisonOp { eq, ne, lt, le, gt, ge };
+
+/// A non-atom body element: `lhs OP rhs`. With OP == eq and an unbound
+/// variable on the left this is an assignment; otherwise a filter.
+struct Constraint {
+  Expr lhs;
+  ComparisonOp op = ComparisonOp::eq;
+  Expr rhs;
+
+  std::string to_string() const;
+};
+
+/// Body elements preserve source order (joins interleave with bindings).
+struct BodyElement {
+  enum class Kind { atom, constraint };
+  Kind kind = Kind::atom;
+  BodyAtom atom;
+  Constraint constraint;
+};
+
+struct RuleHead {
+  std::string relation;
+  std::vector<HeadArg> args;
+  std::optional<std::size_t> location_index;
+
+  bool has_aggregate() const noexcept;
+  std::string to_string() const;
+};
+
+struct Rule {
+  std::string label;  // e.g. "gpvRecv"; may be empty
+  RuleHead head;
+  std::vector<BodyElement> body;
+
+  std::string to_string() const;
+};
+
+struct MaterializeDecl {
+  std::string relation;
+  std::vector<std::size_t> key_positions;  // 1-based, as written
+};
+
+/// A ground fact stated directly in the program text.
+struct Fact {
+  std::string relation;
+  Tuple tuple;
+  std::size_t location_index = 0;
+};
+
+struct Program {
+  std::vector<MaterializeDecl> materialized;
+  std::vector<Rule> rules;
+  std::vector<Fact> facts;
+
+  const MaterializeDecl* find_materialize(const std::string& relation) const;
+  std::string to_string() const;
+};
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_AST_H

@@ -1,0 +1,426 @@
+#include "ndlog/engine.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fsr::ndlog {
+namespace {
+
+// Safety valve: a single external delta must locally quiesce well below
+// this many internal steps in any sane program.
+constexpr std::uint64_t k_max_local_steps = 10'000'000;
+
+/// Index of the aggregate argument in an aggregate head.
+std::size_t aggregate_position(const RuleHead& head) {
+  for (std::size_t i = 0; i < head.args.size(); ++i) {
+    if (head.args[i].is_aggregate) return i;
+  }
+  throw InvalidArgument("head has no aggregate");
+}
+
+}  // namespace
+
+Engine::Engine(std::string node_name, const Program& program,
+               const FunctionRegistry* registry)
+    : node_name_(std::move(node_name)), program_(program), registry_(registry) {
+  if (registry_ == nullptr) {
+    throw InvalidArgument("engine requires a function registry");
+  }
+  for (const MaterializeDecl& decl : program_.materialized) {
+    materialized_.insert(decl.relation);
+  }
+
+  for (std::size_t r = 0; r < program_.rules.size(); ++r) {
+    const Rule& rule = program_.rules[r];
+    std::size_t atom_count = 0;
+    for (std::size_t e = 0; e < rule.body.size(); ++e) {
+      if (rule.body[e].kind == BodyElement::Kind::atom) {
+        ++atom_count;
+        rule_index_[rule.body[e].atom.relation].emplace_back(r, e);
+      }
+    }
+    if (rule.head.has_aggregate()) {
+      // Aggregate views are group-by selections over a single stored
+      // relation (plus optional row filters); see the header contract.
+      std::size_t agg_args = 0;
+      for (const HeadArg& arg : rule.head.args) {
+        if (arg.is_aggregate) ++agg_args;
+      }
+      if (agg_args != 1) {
+        throw InvalidArgument("rule '" + rule.label +
+                              "': exactly one aggregate per head");
+      }
+      if (atom_count != 1 ||
+          rule.body.front().kind != BodyElement::Kind::atom) {
+        throw InvalidArgument(
+            "rule '" + rule.label +
+            "': aggregate rules need exactly one leading body atom");
+      }
+      if (!materialized_.contains(rule.body.front().atom.relation)) {
+        throw InvalidArgument("rule '" + rule.label +
+                              "': aggregate source must be materialized");
+      }
+      if (!registry_->has_aggregate(
+              rule.head.args[aggregate_position(rule.head)]
+                  .aggregate_function)) {
+        throw InvalidArgument("rule '" + rule.label +
+                              "': unknown aggregate function");
+      }
+      aggregate_state_.emplace(r, AggregateState{});
+    }
+  }
+}
+
+bool Engine::is_materialized(const std::string& relation) const {
+  return materialized_.contains(relation);
+}
+
+void Engine::insert(const std::string& relation, Tuple tuple) {
+  apply(Delta{relation, std::move(tuple), +1});
+}
+
+void Engine::apply(const Delta& delta) {
+  enqueue(delta);
+  drain();
+}
+
+void Engine::enqueue(Delta delta) { worklist_.push_back(std::move(delta)); }
+
+void Engine::drain() {
+  if (draining_) return;  // the active drain loop will pick new work up
+  draining_ = true;
+  std::uint64_t steps = 0;
+  while (!worklist_.empty()) {
+    if (++steps > k_max_local_steps) {
+      draining_ = false;
+      throw Error("NDlog engine at '" + node_name_ +
+                  "' did not reach a local fixpoint");
+    }
+    const Delta delta = std::move(worklist_.front());
+    worklist_.pop_front();
+    process(delta);
+  }
+  draining_ = false;
+}
+
+void Engine::process(const Delta& delta) {
+  if (is_materialized(delta.relation)) {
+    auto& store = stores_[delta.relation];
+    auto it = store.find(delta.tuple);
+    const int old_count = it == store.end() ? 0 : it->second;
+    const int new_count = old_count + delta.polarity;
+    if (new_count < 0) {
+      throw Error("negative derivation count for " + delta.relation +
+                  tuple_to_string(delta.tuple) + " at node '" + node_name_ +
+                  "'");
+    }
+    if (new_count == 0) {
+      if (it != store.end()) store.erase(it);
+    } else if (it == store.end()) {
+      store.emplace(delta.tuple, new_count);
+    } else {
+      it->second = new_count;
+    }
+    // Only 0 <-> 1 transitions are visible downstream (bag semantics).
+    const bool transition = (old_count == 0 && new_count == 1) ||
+                            (old_count == 1 && new_count == 0);
+    if (!transition) return;
+    if (observer_) observer_(delta);
+  }
+  fire_rules(delta);
+}
+
+void Engine::fire_rules(const Delta& delta) {
+  const auto it = rule_index_.find(delta.relation);
+  if (it == rule_index_.end()) return;
+  for (const auto& [rule_idx, element_idx] : it->second) {
+    if (program_.rules[rule_idx].head.has_aggregate()) {
+      refresh_aggregate(rule_idx, delta);
+    } else {
+      fire_rule(rule_idx, delta, element_idx);
+    }
+  }
+}
+
+void Engine::fire_rule(std::size_t rule_index, const Delta& delta,
+                       std::size_t occurrence) {
+  const Rule& rule = program_.rules[rule_index];
+  Bindings bindings;
+  if (!unify_atom(rule.body[occurrence].atom, delta.tuple, bindings)) return;
+  evaluate_body(rule, 0, occurrence, bindings, delta.polarity);
+}
+
+void Engine::evaluate_body(const Rule& rule, std::size_t element_index,
+                           std::size_t skip_index, Bindings& bindings,
+                           int polarity) {
+  if (element_index == rule.body.size()) {
+    emit_head(rule, bindings, polarity);
+    return;
+  }
+  if (element_index == skip_index) {
+    evaluate_body(rule, element_index + 1, skip_index, bindings, polarity);
+    return;
+  }
+  const BodyElement& element = rule.body[element_index];
+  if (element.kind == BodyElement::Kind::constraint) {
+    Bindings scoped = bindings;
+    if (try_bind_or_filter(element.constraint, scoped)) {
+      evaluate_body(rule, element_index + 1, skip_index, scoped, polarity);
+    }
+    return;
+  }
+  // Join against the current contents of the atom's relation. Emissions
+  // during recursion only enqueue deltas (no in-place store mutation), so
+  // iterating the store is safe.
+  const auto store_it = stores_.find(element.atom.relation);
+  if (store_it == stores_.end()) return;
+  for (const auto& [tuple, count] : store_it->second) {
+    if (count <= 0) continue;
+    Bindings scoped = bindings;
+    if (unify_atom(element.atom, tuple, scoped)) {
+      evaluate_body(rule, element_index + 1, skip_index, scoped, polarity);
+    }
+  }
+}
+
+void Engine::emit_head(const Rule& rule, const Bindings& bindings,
+                       int polarity) {
+  ++rule_firings_;
+  Tuple head_tuple;
+  head_tuple.reserve(rule.head.args.size());
+  for (const HeadArg& arg : rule.head.args) {
+    head_tuple.push_back(evaluate(arg.expr, bindings));
+  }
+  const std::size_t loc = rule.head.location_index.value_or(0);
+  const std::string& target = head_tuple.at(loc).as_atom();
+  if (target == node_name_) {
+    enqueue(Delta{rule.head.relation, std::move(head_tuple), polarity});
+  } else if (remote_sink_) {
+    remote_sink_(RemoteDelta{
+        target, Delta{rule.head.relation, std::move(head_tuple), polarity}});
+  }
+}
+
+void Engine::refresh_aggregate(std::size_t rule_index, const Delta& delta) {
+  const Rule& rule = program_.rules[rule_index];
+  const std::size_t agg_pos = aggregate_position(rule.head);
+
+  // Recover the group key from the delta row (whether it was an insert or
+  // a delete, its group may need recomputation). Row filters that reject
+  // the tuple mean it never participated in the view.
+  Bindings bindings;
+  if (!unify_atom(rule.body.front().atom, delta.tuple, bindings)) return;
+  for (std::size_t e = 1; e < rule.body.size(); ++e) {
+    if (!try_bind_or_filter(rule.body[e].constraint, bindings)) return;
+  }
+  Tuple group_key;
+  for (std::size_t i = 0; i < agg_pos; ++i) {
+    group_key.push_back(evaluate(rule.head.args[i].expr, bindings));
+  }
+
+  const std::optional<Tuple> winner = compute_group_winner(rule, group_key);
+  AggregateState& state = aggregate_state_.at(rule_index);
+  const auto current = state.winners.find(group_key);
+
+  const bool unchanged =
+      (current == state.winners.end() && !winner.has_value()) ||
+      (current != state.winners.end() && winner.has_value() &&
+       current->second == *winner);
+  if (unchanged) return;
+
+  ++rule_firings_;
+  const std::size_t loc = rule.head.location_index.value_or(0);
+  if (current != state.winners.end()) {
+    Tuple old = current->second;
+    state.winners.erase(current);
+    if (old.at(loc).as_atom() != node_name_) {
+      throw InvalidArgument("aggregate heads must be located at their node");
+    }
+    enqueue(Delta{rule.head.relation, std::move(old), -1});
+  }
+  if (winner.has_value()) {
+    state.winners.emplace(group_key, *winner);
+    if (winner->at(loc).as_atom() != node_name_) {
+      throw InvalidArgument("aggregate heads must be located at their node");
+    }
+    enqueue(Delta{rule.head.relation, *winner, +1});
+  }
+}
+
+std::optional<Tuple> Engine::compute_group_winner(const Rule& rule,
+                                                  const Tuple& group_key) {
+  const std::size_t agg_pos = aggregate_position(rule.head);
+  const HeadArg& agg = rule.head.args[agg_pos];
+  const AggregateBetter& better = registry_->aggregate(agg.aggregate_function);
+
+  struct Candidate {
+    Value agg_value;
+    Tuple head;
+  };
+  std::vector<Candidate> candidates;
+
+  const auto store_it = stores_.find(rule.body.front().atom.relation);
+  if (store_it != stores_.end()) {
+    for (const auto& [tuple, count] : store_it->second) {
+      if (count <= 0) continue;
+      Bindings bindings;
+      if (!unify_atom(rule.body.front().atom, tuple, bindings)) continue;
+      bool ok = true;
+      for (std::size_t e = 1; e < rule.body.size() && ok; ++e) {
+        ok = try_bind_or_filter(rule.body[e].constraint, bindings);
+      }
+      if (!ok) continue;
+      // Group membership check.
+      bool in_group = true;
+      for (std::size_t i = 0; i < agg_pos && in_group; ++i) {
+        in_group = evaluate(rule.head.args[i].expr, bindings) == group_key[i];
+      }
+      if (!in_group) continue;
+
+      Candidate candidate;
+      const auto agg_binding = bindings.find(agg.aggregate_variable);
+      if (agg_binding == bindings.end()) {
+        throw InvalidArgument("aggregate variable '" + agg.aggregate_variable +
+                              "' is unbound in rule '" + rule.label + "'");
+      }
+      candidate.agg_value = agg_binding->second;
+      for (std::size_t i = 0; i < rule.head.args.size(); ++i) {
+        candidate.head.push_back(
+            i == agg_pos ? candidate.agg_value
+                         : evaluate(rule.head.args[i].expr, bindings));
+      }
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Winner: a non-dominated candidate (no other strictly better under the
+  // aggregate's predicate), tie-broken by structural order of the full
+  // head tuple for determinism. O(n^2) but groups are small.
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    bool dominated = false;
+    for (const Candidate& other : candidates) {
+      if (&other != &c && better(other.agg_value, c.agg_value)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (best == nullptr || c.head < best->head) best = &c;
+  }
+  if (best == nullptr) {
+    // A "better" cycle among candidates (possible with disputing policy
+    // comparators): fall back to the structurally smallest, keeping the
+    // view deterministic.
+    best = &candidates.front();
+    for (const Candidate& c : candidates) {
+      if (c.head < best->head) best = &c;
+    }
+  }
+  return best->head;
+}
+
+bool Engine::unify_atom(const BodyAtom& atom, const Tuple& tuple,
+                        Bindings& bindings) const {
+  if (atom.args.size() != tuple.size()) return false;
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    const Expr& arg = atom.args[i];
+    switch (arg.kind) {
+      case ExprKind::variable: {
+        const auto it = bindings.find(arg.name);
+        if (it == bindings.end()) {
+          bindings.emplace(arg.name, tuple[i]);
+        } else if (it->second != tuple[i]) {
+          return false;
+        }
+        break;
+      }
+      case ExprKind::constant:
+        if (arg.literal != tuple[i]) return false;
+        break;
+      case ExprKind::call:
+        if (evaluate(arg, bindings) != tuple[i]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+Value Engine::evaluate(const Expr& expr, const Bindings& bindings) const {
+  switch (expr.kind) {
+    case ExprKind::variable: {
+      const auto it = bindings.find(expr.name);
+      if (it == bindings.end()) {
+        throw InvalidArgument("unbound NDlog variable '" + expr.name + "'");
+      }
+      return it->second;
+    }
+    case ExprKind::constant:
+      return expr.literal;
+    case ExprKind::call: {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const Expr& arg : expr.args) args.push_back(evaluate(arg, bindings));
+      return registry_->call(expr.name, args);
+    }
+  }
+  throw InvalidArgument("unknown expression kind");
+}
+
+bool Engine::try_bind_or_filter(const Constraint& constraint,
+                                Bindings& bindings) const {
+  if (constraint.op == ComparisonOp::eq) {
+    // Assignment forms: unbound variable on one side.
+    if (constraint.lhs.kind == ExprKind::variable &&
+        !bindings.contains(constraint.lhs.name)) {
+      bindings.emplace(constraint.lhs.name,
+                       evaluate(constraint.rhs, bindings));
+      return true;
+    }
+    if (constraint.rhs.kind == ExprKind::variable &&
+        !bindings.contains(constraint.rhs.name)) {
+      bindings.emplace(constraint.rhs.name,
+                       evaluate(constraint.lhs, bindings));
+      return true;
+    }
+  }
+  const Value lhs = evaluate(constraint.lhs, bindings);
+  const Value rhs = evaluate(constraint.rhs, bindings);
+  switch (constraint.op) {
+    case ComparisonOp::eq:
+      return lhs == rhs;
+    case ComparisonOp::ne:
+      return lhs != rhs;
+    case ComparisonOp::lt:
+      return lhs.as_integer() < rhs.as_integer();
+    case ComparisonOp::le:
+      return lhs.as_integer() <= rhs.as_integer();
+    case ComparisonOp::gt:
+      return lhs.as_integer() > rhs.as_integer();
+    case ComparisonOp::ge:
+      return lhs.as_integer() >= rhs.as_integer();
+  }
+  return false;
+}
+
+std::vector<Tuple> Engine::relation_contents(
+    const std::string& relation) const {
+  std::vector<Tuple> out;
+  const auto it = stores_.find(relation);
+  if (it == stores_.end()) return out;
+  for (const auto& [tuple, count] : it->second) {
+    if (count > 0) out.push_back(tuple);
+  }
+  return out;
+}
+
+int Engine::count(const std::string& relation, const Tuple& tuple) const {
+  const auto it = stores_.find(relation);
+  if (it == stores_.end()) return 0;
+  const auto tuple_it = it->second.find(tuple);
+  return tuple_it == it->second.end() ? 0 : tuple_it->second;
+}
+
+}  // namespace fsr::ndlog

@@ -1,0 +1,141 @@
+// Per-node NDlog evaluation engine.
+//
+// Executes one node's share of a distributed NDlog program in the
+// RapidNet/P2 style: pipelined, incremental, with both insertion and
+// deletion deltas (count-based view maintenance). This delta model is what
+// makes divergent configurations (BAD GADGET, the Figure-3 iBGP gadget)
+// actually oscillate in emulation: when a node's best route changes, the
+// old derivation is retracted downstream and the new one installed,
+// indefinitely if the policies dispute.
+//
+// Semantics implemented:
+//   * materialized relations hold tuples with derivation counts; deltas
+//     propagate downstream only on 0 <-> 1 count transitions;
+//   * non-materialized relations (e.g. msg) are events: deltas flow
+//     through the rules but are never stored;
+//   * rules evaluate body elements in source order: predicate atoms join
+//     against the local stores, Var=expr binds on first sight and filters
+//     afterwards, comparisons filter;
+//   * aggregate heads (localOpt(@U,D,a_pref<S>,P)) maintain one winner per
+//     group. Head arguments before the aggregate form the group key;
+//     arguments after it are payload taken from the winning body row; the
+//     winner is a non-dominated row under the aggregate's "better"
+//     predicate, tie-broken structurally for determinism;
+//   * head tuples whose location specifier is a different node are handed
+//     to the remote sink (the distributed runtime routes them).
+#ifndef FSR_NDLOG_ENGINE_H
+#define FSR_NDLOG_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+#include "ndlog/functions.h"
+#include "ndlog/value.h"
+
+namespace fsr::ndlog {
+
+/// A tuple change: polarity +1 (derive) or -1 (retract).
+struct Delta {
+  std::string relation;
+  Tuple tuple;
+  int polarity = +1;
+};
+
+/// A delta whose head located at another node.
+struct RemoteDelta {
+  std::string target_node;
+  Delta delta;
+};
+
+class Engine {
+ public:
+  using RemoteSink = std::function<void(RemoteDelta)>;
+  /// Observes local store transitions (after counts change); used by the
+  /// runtime for convergence tracking and by tests.
+  using Observer = std::function<void(const Delta&)>;
+
+  /// `registry` must outlive the engine.
+  Engine(std::string node_name, const Program& program,
+         const FunctionRegistry* registry);
+
+  const std::string& node_name() const noexcept { return node_name_; }
+
+  void set_remote_sink(RemoteSink sink) { remote_sink_ = std::move(sink); }
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Applies an externally produced delta (base fact or network arrival)
+  /// and runs local rules to fixpoint. Remote head tuples are emitted
+  /// through the sink as they are derived.
+  void apply(const Delta& delta);
+
+  /// Convenience: apply({relation, tuple, +1}).
+  void insert(const std::string& relation, Tuple tuple);
+
+  /// Current contents (count > 0) of a materialized relation, sorted.
+  std::vector<Tuple> relation_contents(const std::string& relation) const;
+
+  /// Count of a specific tuple (0 when absent).
+  int count(const std::string& relation, const Tuple& tuple) const;
+
+  /// Total number of local rule firings so far (diagnostics/benchmarks).
+  std::uint64_t rule_firings() const noexcept { return rule_firings_; }
+
+ private:
+  using Bindings = std::map<std::string, Value>;
+
+  struct AggregateState {
+    // group key -> currently materialized winning head tuple.
+    std::map<Tuple, Tuple> winners;
+  };
+
+  void enqueue(Delta delta);
+  void drain();
+  void process(const Delta& delta);
+  void fire_rules(const Delta& delta);
+  void fire_rule(std::size_t rule_index, const Delta& delta,
+                 std::size_t occurrence);
+  void evaluate_body(const Rule& rule, std::size_t element_index,
+                     std::size_t skip_index, Bindings& bindings,
+                     int polarity);
+  void emit_head(const Rule& rule, const Bindings& bindings, int polarity);
+  void refresh_aggregate(std::size_t rule_index, const Delta& delta);
+  std::optional<Tuple> compute_group_winner(const Rule& rule,
+                                            const Tuple& group_key);
+
+  bool unify_atom(const BodyAtom& atom, const Tuple& tuple,
+                  Bindings& bindings) const;
+  Value evaluate(const Expr& expr, const Bindings& bindings) const;
+  bool try_bind_or_filter(const Constraint& constraint,
+                          Bindings& bindings) const;
+
+  bool is_materialized(const std::string& relation) const;
+
+  std::string node_name_;
+  const Program& program_;
+  const FunctionRegistry* registry_;
+  RemoteSink remote_sink_;
+  Observer observer_;
+
+  std::map<std::string, std::map<Tuple, int>> stores_;
+  std::set<std::string> materialized_;
+  // relation -> list of (rule index, body element index of the occurrence)
+  std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
+      rule_index_;
+  // rule index -> aggregate maintenance state (aggregate rules only)
+  std::map<std::size_t, AggregateState> aggregate_state_;
+
+  std::deque<Delta> worklist_;
+  bool draining_ = false;
+  std::uint64_t rule_firings_ = 0;
+};
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_ENGINE_H

@@ -1,0 +1,127 @@
+#include "ndlog/functions.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fsr::ndlog {
+
+void FunctionRegistry::register_function(const std::string& name, int arity,
+                                         NativeFunction fn) {
+  if (name.empty() || fn == nullptr) {
+    throw InvalidArgument("function registration requires a name and body");
+  }
+  functions_[name] = Entry{arity, std::move(fn)};
+}
+
+void FunctionRegistry::register_aggregate(const std::string& name,
+                                          AggregateBetter better) {
+  if (name.empty() || better == nullptr) {
+    throw InvalidArgument("aggregate registration requires a name and body");
+  }
+  aggregates_[name] = std::move(better);
+}
+
+bool FunctionRegistry::has_function(const std::string& name) const {
+  return functions_.contains(name);
+}
+
+bool FunctionRegistry::has_aggregate(const std::string& name) const {
+  return aggregates_.contains(name);
+}
+
+Value FunctionRegistry::call(const std::string& name,
+                             const std::vector<Value>& args) const {
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    throw InvalidArgument("unknown NDlog function '" + name + "'");
+  }
+  if (it->second.arity >= 0 &&
+      static_cast<std::size_t>(it->second.arity) != args.size()) {
+    throw InvalidArgument("function '" + name + "' expects " +
+                          std::to_string(it->second.arity) + " arguments, got " +
+                          std::to_string(args.size()));
+  }
+  return it->second.fn(args);
+}
+
+const AggregateBetter& FunctionRegistry::aggregate(
+    const std::string& name) const {
+  const auto it = aggregates_.find(name);
+  if (it == aggregates_.end()) {
+    throw InvalidArgument("unknown NDlog aggregate '" + name + "'");
+  }
+  return it->second;
+}
+
+FunctionRegistry FunctionRegistry::with_builtins() {
+  FunctionRegistry registry;
+
+  registry.register_function("f_mklist", -1, [](const std::vector<Value>& a) {
+    return Value::list(a);
+  });
+  registry.register_function(
+      "f_concatPath", 2, [](const std::vector<Value>& a) {
+        std::vector<Value> path;
+        path.reserve(a[1].as_list().size() + 1);
+        path.push_back(a[0]);
+        path.insert(path.end(), a[1].as_list().begin(), a[1].as_list().end());
+        return Value::list(std::move(path));
+      });
+  registry.register_function("f_head", 1, [](const std::vector<Value>& a) {
+    const auto& list = a[0].as_list();
+    if (list.empty()) throw InvalidArgument("f_head of empty list");
+    return list.front();
+  });
+  registry.register_function("f_last", 1, [](const std::vector<Value>& a) {
+    const auto& list = a[0].as_list();
+    if (list.empty()) throw InvalidArgument("f_last of empty list");
+    return list.back();
+  });
+  registry.register_function("f_size", 1, [](const std::vector<Value>& a) {
+    return Value::integer(static_cast<std::int64_t>(a[0].as_list().size()));
+  });
+  registry.register_function("f_member", 2, [](const std::vector<Value>& a) {
+    const auto& list = a[0].as_list();
+    return Value::boolean(std::find(list.begin(), list.end(), a[1]) !=
+                          list.end());
+  });
+  registry.register_function("f_add", 2, [](const std::vector<Value>& a) {
+    return Value::integer(a[0].as_integer() + a[1].as_integer());
+  });
+  registry.register_function("f_sub", 2, [](const std::vector<Value>& a) {
+    return Value::integer(a[0].as_integer() - a[1].as_integer());
+  });
+  registry.register_function("f_min", 2, [](const std::vector<Value>& a) {
+    return Value::integer(std::min(a[0].as_integer(), a[1].as_integer()));
+  });
+  registry.register_function("f_max", 2, [](const std::vector<Value>& a) {
+    return Value::integer(std::max(a[0].as_integer(), a[1].as_integer()));
+  });
+  registry.register_function("f_lt", 2, [](const std::vector<Value>& a) {
+    return Value::boolean(a[0].as_integer() < a[1].as_integer());
+  });
+  registry.register_function("f_le", 2, [](const std::vector<Value>& a) {
+    return Value::boolean(a[0].as_integer() <= a[1].as_integer());
+  });
+  registry.register_function("f_mkpair", 2, [](const std::vector<Value>& a) {
+    return Value::list({a[0], a[1]});
+  });
+  registry.register_function("f_first", 1, [](const std::vector<Value>& a) {
+    const auto& list = a[0].as_list();
+    if (list.size() != 2) throw InvalidArgument("f_first expects a pair");
+    return list[0];
+  });
+  registry.register_function("f_second", 1, [](const std::vector<Value>& a) {
+    const auto& list = a[0].as_list();
+    if (list.size() != 2) throw InvalidArgument("f_second expects a pair");
+    return list[1];
+  });
+
+  registry.register_aggregate("a_min", [](const Value& a, const Value& b) {
+    return a.as_integer() < b.as_integer();
+  });
+  return registry;
+}
+
+}  // namespace fsr::ndlog

@@ -1,0 +1,70 @@
+// Function registry for NDlog programs.
+//
+// NDlog rule bodies call `f_*` functions (list manipulation, arithmetic,
+// policy predicates) and heads may use `a_*` aggregates. The registry maps
+// names to native C++ implementations; FSR's code generator (Section V-B)
+// injects the four policy functions — f_pref, f_concatSig, f_import,
+// f_export — synthesised from the input routing algebra.
+//
+// Aggregates are "selection" aggregates: a binary predicate
+// better(a, b) -> true when `a` must win over `b`. The engine picks a
+// non-dominated row (deterministically) per group.
+#ifndef FSR_NDLOG_FUNCTIONS_H
+#define FSR_NDLOG_FUNCTIONS_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace fsr::ndlog {
+
+using NativeFunction = std::function<Value(const std::vector<Value>&)>;
+using AggregateBetter = std::function<bool(const Value&, const Value&)>;
+
+class FunctionRegistry {
+ public:
+  /// Registers `fn` under `name` with the given arity (-1 = variadic).
+  /// Re-registering a name replaces the previous binding (policy functions
+  /// override nothing by convention; names are namespaced by prefix).
+  void register_function(const std::string& name, int arity,
+                         NativeFunction fn);
+
+  void register_aggregate(const std::string& name, AggregateBetter better);
+
+  bool has_function(const std::string& name) const;
+  bool has_aggregate(const std::string& name) const;
+
+  /// Calls `name`; throws fsr::InvalidArgument on unknown name or arity
+  /// mismatch.
+  Value call(const std::string& name, const std::vector<Value>& args) const;
+
+  const AggregateBetter& aggregate(const std::string& name) const;
+
+  /// A registry preloaded with the built-ins:
+  ///   f_mklist(...)        list construction ([a,b] literals)
+  ///   f_concatPath(U,P)    prepend U to path P
+  ///   f_head(P) f_last(P)  first / last element
+  ///   f_size(P)            list length
+  ///   f_member(P,X)        membership test -> true/false
+  ///   f_add f_sub f_min f_max   integer arithmetic
+  ///   f_lt f_le            integer comparisons -> true/false
+  ///   f_first f_second     pair (2-list) projections
+  ///   f_mkpair(A,B)        pair construction
+  /// and the aggregate a_min (integer minimisation).
+  static FunctionRegistry with_builtins();
+
+ private:
+  struct Entry {
+    int arity = -1;
+    NativeFunction fn;
+  };
+  std::map<std::string, Entry> functions_;
+  std::map<std::string, AggregateBetter> aggregates_;
+};
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_FUNCTIONS_H

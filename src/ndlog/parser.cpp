@@ -1,0 +1,528 @@
+#include "ndlog/parser.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace fsr::ndlog {
+namespace {
+
+enum class TokenKind {
+  identifier,  // foo, Foo, f_bar (variables vs atoms decided by case)
+  number,
+  lparen,
+  rparen,
+  lbracket,
+  rbracket,
+  comma,
+  period,
+  at,
+  implies,  // :-
+  op_eq,    // =
+  op_ne,    // !=
+  op_lt,
+  op_le,
+  op_gt,
+  op_ge,
+  end,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::end;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+  int column = 1;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view source) : source_(source) {}
+
+  Token next() {
+    skip_trivia();
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+    if (pos_ >= source_.size()) return tok;  // end
+
+    const char c = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      tok.kind = TokenKind::identifier;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) != 0 ||
+              source_[pos_] == '_')) {
+        tok.text.push_back(source_[pos_]);
+        advance();
+      }
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && pos_ + 1 < source_.size() &&
+         std::isdigit(static_cast<unsigned char>(source_[pos_ + 1])) != 0)) {
+      tok.kind = TokenKind::number;
+      std::string digits;
+      if (c == '-') {
+        digits.push_back('-');
+        advance();
+      }
+      while (pos_ < source_.size() &&
+             std::isdigit(static_cast<unsigned char>(source_[pos_])) != 0) {
+        digits.push_back(source_[pos_]);
+        advance();
+      }
+      tok.number = std::stoll(digits);
+      tok.text = digits;
+      return tok;
+    }
+    if (c == '\'' || c == '"') {
+      // Quoted atom: 'c' or "c".
+      const char quote = c;
+      advance();
+      tok.kind = TokenKind::identifier;
+      while (pos_ < source_.size() && source_[pos_] != quote) {
+        tok.text.push_back(source_[pos_]);
+        advance();
+      }
+      if (pos_ >= source_.size()) {
+        throw ParseError("unterminated quoted atom", tok.line, tok.column);
+      }
+      advance();  // closing quote
+      return tok;
+    }
+
+    advance();
+    switch (c) {
+      case '(':
+        tok.kind = TokenKind::lparen;
+        return tok;
+      case ')':
+        tok.kind = TokenKind::rparen;
+        return tok;
+      case '[':
+        tok.kind = TokenKind::lbracket;
+        return tok;
+      case ']':
+        tok.kind = TokenKind::rbracket;
+        return tok;
+      case ',':
+        tok.kind = TokenKind::comma;
+        return tok;
+      case '.':
+        tok.kind = TokenKind::period;
+        return tok;
+      case '@':
+        tok.kind = TokenKind::at;
+        return tok;
+      case ':':
+        if (pos_ < source_.size() && source_[pos_] == '-') {
+          advance();
+          tok.kind = TokenKind::implies;
+          return tok;
+        }
+        throw ParseError("expected ':-'", tok.line, tok.column);
+      case '=':
+        if (pos_ < source_.size() && source_[pos_] == '=') advance();  // ==
+        tok.kind = TokenKind::op_eq;
+        return tok;
+      case '!':
+        if (pos_ < source_.size() && source_[pos_] == '=') {
+          advance();
+          tok.kind = TokenKind::op_ne;
+          return tok;
+        }
+        throw ParseError("expected '!='", tok.line, tok.column);
+      case '<':
+        if (pos_ < source_.size() && source_[pos_] == '=') {
+          advance();
+          tok.kind = TokenKind::op_le;
+          return tok;
+        }
+        tok.kind = TokenKind::op_lt;
+        return tok;
+      case '>':
+        if (pos_ < source_.size() && source_[pos_] == '=') {
+          advance();
+          tok.kind = TokenKind::op_ge;
+          return tok;
+        }
+        tok.kind = TokenKind::op_gt;
+        return tok;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         tok.line, tok.column);
+    }
+  }
+
+ private:
+  void advance() {
+    if (source_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_trivia() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else if (c == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool is_variable_name(const std::string& text) {
+  return !text.empty() && std::isupper(static_cast<unsigned char>(text[0]));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokenizer_(source) {
+    shift();
+    shift();  // fill lookahead_ and ahead_
+  }
+
+  Program parse() {
+    Program program;
+    while (lookahead_.kind != TokenKind::end) {
+      parse_statement(program);
+    }
+    return program;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what, lookahead_.line, lookahead_.column);
+  }
+
+  void shift() {
+    lookahead_ = ahead_;
+    ahead_ = tokenizer_.next();
+  }
+
+  void expect(TokenKind kind, const char* what) {
+    if (lookahead_.kind != kind) fail(std::string("expected ") + what);
+    shift();
+  }
+
+  std::string expect_identifier(const char* what) {
+    if (lookahead_.kind != TokenKind::identifier) {
+      fail(std::string("expected ") + what);
+    }
+    std::string text = lookahead_.text;
+    shift();
+    return text;
+  }
+
+  void parse_statement(Program& program) {
+    if (lookahead_.kind == TokenKind::identifier &&
+        lookahead_.text == "materialize" && ahead_.kind == TokenKind::lparen) {
+      parse_materialize(program);
+      return;
+    }
+    parse_rule_or_fact(program);
+  }
+
+  // materialize(rel, keys(...)). — optional RapidNet lifetime/size args
+  // (identifiers or numbers) before keys are accepted and ignored.
+  void parse_materialize(Program& program) {
+    shift();  // materialize
+    expect(TokenKind::lparen, "'('");
+    MaterializeDecl decl;
+    decl.relation = expect_identifier("relation name");
+    expect(TokenKind::comma, "','");
+    while (!(lookahead_.kind == TokenKind::identifier &&
+             lookahead_.text == "keys")) {
+      if (lookahead_.kind != TokenKind::identifier &&
+          lookahead_.kind != TokenKind::number) {
+        fail("expected keys(...) in materialize");
+      }
+      shift();
+      expect(TokenKind::comma, "','");
+    }
+    shift();  // keys
+    expect(TokenKind::lparen, "'('");
+    while (true) {
+      if (lookahead_.kind != TokenKind::number || lookahead_.number < 1) {
+        fail("expected positive key position");
+      }
+      decl.key_positions.push_back(
+          static_cast<std::size_t>(lookahead_.number));
+      shift();
+      if (lookahead_.kind == TokenKind::comma) {
+        shift();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::rparen, "')'");
+    expect(TokenKind::rparen, "')'");
+    expect(TokenKind::period, "'.'");
+    program.materialized.push_back(std::move(decl));
+  }
+
+  void parse_rule_or_fact(Program& program) {
+    std::string label;
+    std::string relation = expect_identifier("rule label or relation");
+    if (lookahead_.kind == TokenKind::identifier) {
+      label = std::move(relation);
+      relation = expect_identifier("head relation");
+    }
+
+    RuleHead head;
+    head.relation = std::move(relation);
+    expect(TokenKind::lparen, "'('");
+    parse_head_args(head);
+    expect(TokenKind::rparen, "')'");
+
+    if (lookahead_.kind == TokenKind::period) {
+      shift();
+      if (!label.empty()) fail("facts cannot carry a rule label");
+      program.facts.push_back(fact_from_head(head));
+      return;
+    }
+
+    expect(TokenKind::implies, "':-' or '.'");
+    Rule rule;
+    rule.label = std::move(label);
+    rule.head = std::move(head);
+    while (true) {
+      rule.body.push_back(parse_body_element());
+      if (lookahead_.kind == TokenKind::comma) {
+        shift();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::period, "'.'");
+    program.rules.push_back(std::move(rule));
+  }
+
+  void parse_head_args(RuleHead& head) {
+    while (true) {
+      HeadArg arg;
+      if (lookahead_.kind == TokenKind::at) {
+        shift();
+        head.location_index = head.args.size();
+      }
+      // Aggregate: ident '<' Var '>' (only meaningful in heads).
+      if (lookahead_.kind == TokenKind::identifier &&
+          ahead_.kind == TokenKind::op_lt) {
+        arg.is_aggregate = true;
+        arg.aggregate_function = expect_identifier("aggregate function");
+        shift();  // '<'
+        arg.aggregate_variable = expect_identifier("aggregate variable");
+        if (!is_variable_name(arg.aggregate_variable)) {
+          fail("aggregate must range over a variable");
+        }
+        expect(TokenKind::op_gt, "'>'");
+      } else {
+        arg.expr = parse_expr();
+      }
+      head.args.push_back(std::move(arg));
+      if (lookahead_.kind == TokenKind::comma) {
+        shift();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Fact fact_from_head(const RuleHead& head) {
+    Fact fact;
+    fact.relation = head.relation;
+    fact.location_index = head.location_index.value_or(0);
+    for (const HeadArg& arg : head.args) {
+      if (arg.is_aggregate) fail("facts cannot contain aggregates");
+      fact.tuple.push_back(constant_value(arg.expr));
+    }
+    return fact;
+  }
+
+  Value constant_value(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::constant:
+        return expr.literal;
+      case ExprKind::call: {
+        if (expr.name != "f_mklist") {
+          fail("facts may not contain function calls: " + expr.to_string());
+        }
+        std::vector<Value> items;
+        items.reserve(expr.args.size());
+        for (const Expr& arg : expr.args) items.push_back(constant_value(arg));
+        return Value::list(std::move(items));
+      }
+      case ExprKind::variable:
+        fail("facts must be ground (no variables): " + expr.to_string());
+    }
+    fail("unreachable");
+  }
+
+  BodyElement parse_body_element() {
+    BodyElement element;
+    // Possible shapes: predicate atom p(...), or constraint expr OP expr.
+    // A lower-case identifier followed by '(' is ambiguous (atom vs call);
+    // parse it, then look for a comparison operator.
+    Expr lhs = parse_expr_allowing_atom();
+    if (lhs.kind == ExprKind::call && !is_comparison(lookahead_.kind)) {
+      // It was a predicate atom after all.
+      element.kind = BodyElement::Kind::atom;
+      element.atom = atom_from_call(lhs);
+      return element;
+    }
+    if (!is_comparison(lookahead_.kind)) {
+      fail("expected comparison operator after expression");
+    }
+    element.kind = BodyElement::Kind::constraint;
+    element.constraint.lhs = std::move(lhs);
+    element.constraint.op = comparison_op(lookahead_.kind);
+    shift();
+    element.constraint.rhs = parse_expr();
+    return element;
+  }
+
+  static bool is_comparison(TokenKind kind) noexcept {
+    return kind == TokenKind::op_eq || kind == TokenKind::op_ne ||
+           kind == TokenKind::op_lt || kind == TokenKind::op_le ||
+           kind == TokenKind::op_gt || kind == TokenKind::op_ge;
+  }
+
+  static ComparisonOp comparison_op(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::op_eq:
+        return ComparisonOp::eq;
+      case TokenKind::op_ne:
+        return ComparisonOp::ne;
+      case TokenKind::op_lt:
+        return ComparisonOp::lt;
+      case TokenKind::op_le:
+        return ComparisonOp::le;
+      case TokenKind::op_gt:
+        return ComparisonOp::gt;
+      case TokenKind::op_ge:
+        return ComparisonOp::ge;
+      default:
+        throw InvalidArgument("not a comparison token");
+    }
+  }
+
+  /// Converts a parsed call back into a predicate atom, recovering '@'
+  /// markers that parse_expr_allowing_atom recorded.
+  BodyAtom atom_from_call(Expr& call) {
+    BodyAtom atom;
+    atom.relation = std::move(call.name);
+    atom.location_index = pending_location_;
+    pending_location_.reset();
+    atom.args = std::move(call.args);
+    return atom;
+  }
+
+  /// Parses an expression; at the top of a body element a call's arguments
+  /// may carry '@' markers (predicate position). The marker index is
+  /// stashed in pending_location_.
+  Expr parse_expr_allowing_atom() {
+    if (lookahead_.kind == TokenKind::identifier &&
+        ahead_.kind == TokenKind::lparen &&
+        !is_variable_name(lookahead_.text)) {
+      std::string name = expect_identifier("name");
+      shift();  // '('
+      std::vector<Expr> args;
+      pending_location_.reset();
+      if (lookahead_.kind != TokenKind::rparen) {
+        while (true) {
+          if (lookahead_.kind == TokenKind::at) {
+            shift();
+            pending_location_ = args.size();
+          }
+          args.push_back(parse_expr());
+          if (lookahead_.kind == TokenKind::comma) {
+            shift();
+            continue;
+          }
+          break;
+        }
+      }
+      expect(TokenKind::rparen, "')'");
+      return Expr::call(std::move(name), std::move(args));
+    }
+    return parse_expr();
+  }
+
+  Expr parse_expr() {
+    switch (lookahead_.kind) {
+      case TokenKind::number: {
+        const std::int64_t v = lookahead_.number;
+        shift();
+        return Expr::constant(Value::integer(v));
+      }
+      case TokenKind::lbracket: {
+        shift();
+        std::vector<Expr> items;
+        if (lookahead_.kind != TokenKind::rbracket) {
+          while (true) {
+            items.push_back(parse_expr());
+            if (lookahead_.kind == TokenKind::comma) {
+              shift();
+              continue;
+            }
+            break;
+          }
+        }
+        expect(TokenKind::rbracket, "']'");
+        return Expr::call("f_mklist", std::move(items));
+      }
+      case TokenKind::identifier: {
+        if (ahead_.kind == TokenKind::lparen &&
+            !is_variable_name(lookahead_.text)) {
+          std::string name = expect_identifier("function name");
+          shift();  // '('
+          std::vector<Expr> args;
+          if (lookahead_.kind != TokenKind::rparen) {
+            while (true) {
+              args.push_back(parse_expr());
+              if (lookahead_.kind == TokenKind::comma) {
+                shift();
+                continue;
+              }
+              break;
+            }
+          }
+          expect(TokenKind::rparen, "')'");
+          return Expr::call(std::move(name), std::move(args));
+        }
+        std::string text = expect_identifier("identifier");
+        if (is_variable_name(text)) return Expr::variable(std::move(text));
+        return Expr::constant(Value::atom(std::move(text)));
+      }
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  Tokenizer tokenizer_;
+  Token lookahead_;
+  Token ahead_;
+  std::optional<std::size_t> pending_location_;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).parse();
+}
+
+}  // namespace fsr::ndlog

@@ -1,0 +1,33 @@
+// Parser for the NDlog dialect (tokenizer + recursive descent).
+//
+// Accepted surface syntax (see ast.h for semantics):
+//
+//   // comment
+//   materialize(route, keys(1,2,4)).
+//   materialize(link, infinity, infinity, keys(1,2)).   // RapidNet form
+//   label(@a, b, c).                                    // ground fact
+//   gpvRecv sig(@U,SNew,PNew) :- msg(@U,V,D,S,P), V=f_head(P),
+//       label(@U,V,L), f_import(L,S)=true,
+//       SNew=f_concatSig(L,S), PNew=f_concatPath(U,P).
+//   gpvSelect localOpt(@U,D,a_pref<S>,P) :- route(@U,D,S,P).
+//
+// Conventions: variables start with an upper-case letter; relation,
+// function and constant atoms start with a lower-case letter; list
+// literals use brackets ([u,d]); an optional lower-case identifier before
+// the head atom is the rule label.
+#ifndef FSR_NDLOG_PARSER_H
+#define FSR_NDLOG_PARSER_H
+
+#include <string_view>
+
+#include "ndlog/ast.h"
+
+namespace fsr::ndlog {
+
+/// Parses a complete program. Throws fsr::ParseError with line/column
+/// information on malformed input.
+Program parse_program(std::string_view source);
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_PARSER_H

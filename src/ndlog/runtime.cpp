@@ -1,0 +1,196 @@
+#include "ndlog/runtime.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.h"
+
+namespace fsr::ndlog {
+
+namespace {
+
+/// Payload carried by simulator messages: one NDlog delta.
+struct DeltaPayload {
+  Delta delta;
+};
+
+}  // namespace
+
+Runtime::Runtime(net::Simulator& simulator, const Program& program,
+                 const FunctionRegistry* registry, RuntimeOptions options)
+    : simulator_(simulator),
+      program_(program),
+      registry_(registry),
+      options_(std::move(options)) {
+  simulator_.set_receiver(
+      [this](net::NodeId from, net::NodeId to, const net::Message& message) {
+        deliver(from, to, message);
+      });
+}
+
+void Runtime::add_node(const std::string& name) {
+  if (nodes_.contains(name)) {
+    throw InvalidArgument("node '" + name + "' already exists");
+  }
+  NodeState node;
+  node.id = simulator_.add_node(name);
+  node.engine = std::make_unique<Engine>(name, program_, registry_);
+  node.engine->set_remote_sink([this, name](RemoteDelta remote) {
+    handle_remote(name, std::move(remote));
+  });
+  node.engine->set_observer([this, name](const Delta& delta) {
+    if (delta.relation == options_.tracked_relation) {
+      last_tracked_change_ = simulator_.now();
+      ++tracked_changes_;
+    }
+  });
+  nodes_.emplace(name, std::move(node));
+}
+
+void Runtime::add_link(const std::string& a, const std::string& b,
+                       net::LinkConfig config) {
+  simulator_.add_link(state(a).id, state(b).id, config);
+}
+
+Runtime::NodeState& Runtime::state(const std::string& node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw InvalidArgument("unknown node '" + node + "'");
+  }
+  return it->second;
+}
+
+Engine& Runtime::engine(const std::string& node) {
+  return *state(node).engine;
+}
+
+const Engine& Runtime::engine(const std::string& node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    throw InvalidArgument("unknown node '" + node + "'");
+  }
+  return *it->second.engine;
+}
+
+void Runtime::load_program_facts() {
+  for (const Fact& fact : program_.facts) {
+    const std::string& owner =
+        fact.tuple.at(fact.location_index).as_atom();
+    insert_fact(owner, fact.relation, fact.tuple);
+  }
+}
+
+void Runtime::insert_fact(const std::string& node, const std::string& relation,
+                          Tuple tuple) {
+  state(node).engine->apply(Delta{relation, std::move(tuple), +1});
+}
+
+void Runtime::apply_delta(const std::string& node, const Delta& delta) {
+  state(node).engine->apply(delta);
+  if (options_.batch_interval > 0) schedule_flush(node);
+}
+
+void Runtime::handle_remote(const std::string& sender, RemoteDelta remote) {
+  NodeState& node = state(sender);
+  if (options_.batch_interval <= 0) {
+    // Immediate mode: one message per delta, sent as it is derived.
+    const std::size_t size = tuple_wire_size(remote.delta.tuple) +
+                             options_.message_overhead_bytes;
+    const net::NodeId target = state(remote.target_node).id;
+    simulator_.send(node.id, target,
+                    net::Message{size, DeltaPayload{std::move(remote.delta)}});
+    return;
+  }
+  node.outbox.push_back(std::move(remote));
+  schedule_flush(sender);
+}
+
+void Runtime::schedule_flush(const std::string& sender) {
+  NodeState& node = state(sender);
+  if (node.flush_scheduled || node.outbox.empty()) return;
+  node.flush_scheduled = true;
+  // Align flushes to the node's next batching boundary. Boundaries carry a
+  // deterministic per-node phase offset: real routers' advertisement
+  // timers are not synchronised, and instances such as DISAGREE rely on
+  // that asymmetry to settle (with perfectly aligned timers they oscillate
+  // between their two stable states forever).
+  const net::Time phase = static_cast<net::Time>(
+      std::hash<std::string>{}(sender) %
+      static_cast<std::size_t>(options_.batch_interval));
+  const net::Time now = simulator_.now();
+  net::Time next =
+      ((now - phase) / options_.batch_interval + 1) * options_.batch_interval +
+      phase;
+  if (next <= now) next += options_.batch_interval;
+  if (options_.batch_drift > 0.0) {
+    const auto drift_span = static_cast<net::Time>(
+        options_.batch_drift * static_cast<double>(options_.batch_interval));
+    if (drift_span > 0) {
+      next += simulator_.rng().uniform_int(0, drift_span);
+    }
+  }
+  simulator_.schedule(next - now, [this, sender]() { flush(sender); });
+}
+
+void Runtime::flush(const std::string& sender) {
+  NodeState& node = state(sender);
+  node.flush_scheduled = false;
+
+  // Coalesce: net polarity per (target, relation, tuple). A +1 followed by
+  // a -1 within one batch cancels entirely, mirroring RapidNet's batching.
+  std::map<std::pair<std::string, std::string>, std::map<Tuple, int>> net_map;
+  for (RemoteDelta& remote : node.outbox) {
+    net_map[{remote.target_node, remote.delta.relation}]
+           [std::move(remote.delta.tuple)] += remote.delta.polarity;
+  }
+  node.outbox.clear();
+
+  for (auto& [key, tuples] : net_map) {
+    const auto& [target_name, relation] = key;
+    const net::NodeId target = state(target_name).id;
+    for (auto& [tuple, polarity] : tuples) {
+      if (polarity == 0) continue;
+      const int step = polarity > 0 ? +1 : -1;
+      for (int i = 0; i != polarity; i += step) {
+        const std::size_t size =
+            tuple_wire_size(tuple) + options_.message_overhead_bytes;
+        simulator_.send(
+            node.id, target,
+            net::Message{size, DeltaPayload{Delta{relation, tuple, step}}});
+      }
+    }
+  }
+}
+
+void Runtime::deliver(net::NodeId /*from*/, net::NodeId to,
+                      const net::Message& message) {
+  const auto* payload = std::any_cast<DeltaPayload>(&message.payload);
+  if (payload == nullptr) {
+    throw Error("non-NDlog payload delivered to the runtime");
+  }
+  const std::string& name = simulator_.node_name(to);
+  NodeState& node = state(name);
+  node.engine->apply(payload->delta);
+  // Deltas derived while applying are sitting in the outbox; make sure a
+  // flush is pending (or send immediately in immediate mode - already done).
+  if (options_.batch_interval > 0) schedule_flush(name);
+}
+
+RunResult Runtime::run(net::Time max_time) {
+  // Kick off: any deltas already buffered by fact loading need a flush.
+  for (auto& [name, node] : nodes_) {
+    (void)node;
+    if (options_.batch_interval > 0) schedule_flush(name);
+  }
+  RunResult result;
+  result.quiesced = simulator_.run(max_time);
+  result.end_time = simulator_.now();
+  result.convergence_time = last_tracked_change_;
+  result.tracked_changes = tracked_changes_;
+  result.messages = simulator_.stats().total_messages();
+  result.bytes = simulator_.stats().total_bytes();
+  if (!result.quiesced) simulator_.clear_pending();
+  return result;
+}
+
+}  // namespace fsr::ndlog

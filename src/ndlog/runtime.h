@@ -1,0 +1,113 @@
+// Distributed NDlog runtime: one Engine per simulated node, wired through
+// the discrete-event network simulator.
+//
+// Remote deltas produced by a node's rules are buffered and flushed by a
+// periodic batching timer (the paper batches route advertisements every
+// second); opposite-polarity deltas for the same tuple cancel within a
+// batch. Each surviving delta travels as one message whose wire size is
+// the tuple's serialized size plus a fixed header. FIFO links preserve
+// delta order, which keeps the count-based view maintenance sound.
+//
+// The runtime tracks convergence as the time of the last change to a
+// designated relation (localOpt for GPV) across all nodes; an execution
+// "quiesces" when the simulator's event queue drains.
+#ifndef FSR_NDLOG_RUNTIME_H
+#define FSR_NDLOG_RUNTIME_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ndlog/engine.h"
+#include "ndlog/parser.h"
+#include "net/simulator.h"
+
+namespace fsr::ndlog {
+
+struct RuntimeOptions {
+  /// Advertisement batching period; 0 sends every delta immediately.
+  net::Time batch_interval = net::k_second;
+  /// Random drift added to each flush instant, as a fraction of the batch
+  /// interval (default 5%). Router advertisement timers are not phase
+  /// locked in practice; without drift, symmetric disputes such as
+  /// DISAGREE can flap forever between their two stable states.
+  double batch_drift = 0.05;
+  /// Fixed per-message header bytes added to each delta's wire size.
+  std::size_t message_overhead_bytes = 20;
+  /// Relation whose last change defines the convergence instant.
+  std::string tracked_relation = "localOpt";
+};
+
+struct RunResult {
+  bool quiesced = false;          // event queue drained before the deadline
+  net::Time convergence_time = 0;  // last change to the tracked relation
+  net::Time end_time = 0;          // simulation clock when run() returned
+  std::uint64_t messages = 0;      // network messages sent
+  std::uint64_t bytes = 0;         // network bytes sent
+  std::uint64_t tracked_changes = 0;
+};
+
+class Runtime {
+ public:
+  /// `program` and `registry` must outlive the runtime.
+  Runtime(net::Simulator& simulator, const Program& program,
+          const FunctionRegistry* registry, RuntimeOptions options = {});
+
+  /// Creates the node and its engine. Node names must match the atoms used
+  /// as location specifiers in the program's tuples.
+  void add_node(const std::string& name);
+
+  void add_link(const std::string& a, const std::string& b,
+                net::LinkConfig config);
+
+  /// Loads the program's own ground facts into the owning nodes, then any
+  /// additional facts passed here. Must be called before run().
+  void load_program_facts();
+  void insert_fact(const std::string& node, const std::string& relation,
+                   Tuple tuple);
+
+  /// Applies an arbitrary delta at a node (e.g. scheduled churn: retract a
+  /// base fact and insert a replacement mid-run). Flushes are scheduled
+  /// for any remote deltas the change produces.
+  void apply_delta(const std::string& node, const Delta& delta);
+
+  /// Runs the simulation until quiescence or `max_time`.
+  RunResult run(net::Time max_time);
+
+  Engine& engine(const std::string& node);
+  const Engine& engine(const std::string& node) const;
+  net::Simulator& simulator() noexcept { return simulator_; }
+
+  /// Bandwidth series access for the Figure 5/6 harnesses.
+  const net::TrafficStats& stats() const noexcept {
+    return simulator_.stats();
+  }
+
+ private:
+  struct NodeState {
+    net::NodeId id = 0;
+    std::unique_ptr<Engine> engine;
+    // Pending outgoing deltas: (target node, delta); coalesced at flush.
+    std::vector<RemoteDelta> outbox;
+    bool flush_scheduled = false;
+  };
+
+  NodeState& state(const std::string& node);
+  void handle_remote(const std::string& sender, RemoteDelta remote);
+  void flush(const std::string& sender);
+  void schedule_flush(const std::string& sender);
+  void deliver(net::NodeId from, net::NodeId to, const net::Message& message);
+
+  net::Simulator& simulator_;
+  const Program& program_;
+  const FunctionRegistry* registry_;
+  RuntimeOptions options_;
+  std::map<std::string, NodeState> nodes_;
+  net::Time last_tracked_change_ = 0;
+  std::uint64_t tracked_changes_ = 0;
+};
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_RUNTIME_H

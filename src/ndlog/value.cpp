@@ -1,0 +1,104 @@
+#include "ndlog/value.h"
+
+#include "util/error.h"
+
+namespace fsr::ndlog {
+
+std::int64_t Value::as_integer() const {
+  if (!is_integer()) {
+    throw InvalidArgument("NDlog value " + to_string() + " is not an integer");
+  }
+  return integer_;
+}
+
+const std::string& Value::as_atom() const {
+  if (!is_atom()) {
+    throw InvalidArgument("NDlog value " + to_string() + " is not an atom");
+  }
+  return atom_;
+}
+
+const std::vector<Value>& Value::as_list() const {
+  if (!is_list()) {
+    throw InvalidArgument("NDlog value " + to_string() + " is not a list");
+  }
+  return items_;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ValueKind::integer:
+      return integer_ == other.integer_;
+    case ValueKind::atom:
+      return atom_ == other.atom_;
+    case ValueKind::list:
+      return items_ == other.items_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (kind_ != other.kind_) return kind_ < other.kind_;
+  switch (kind_) {
+    case ValueKind::integer:
+      return integer_ < other.integer_;
+    case ValueKind::atom:
+      return atom_ < other.atom_;
+    case ValueKind::list:
+      return items_ < other.items_;
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case ValueKind::integer:
+      return std::to_string(integer_);
+    case ValueKind::atom:
+      return atom_;
+    case ValueKind::list: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += items_[i].to_string();
+      }
+      out.push_back(']');
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::size_t Value::wire_size() const noexcept {
+  switch (kind_) {
+    case ValueKind::integer:
+      return 4;
+    case ValueKind::atom:
+      return atom_.size();
+    case ValueKind::list: {
+      std::size_t total = 2;
+      for (const Value& item : items_) total += item.wire_size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string tuple_to_string(const Tuple& tuple) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += tuple[i].to_string();
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::size_t tuple_wire_size(const Tuple& tuple) {
+  std::size_t total = 0;
+  for (const Value& value : tuple) total += value.wire_size();
+  return total;
+}
+
+}  // namespace fsr::ndlog

@@ -1,0 +1,79 @@
+// Runtime values flowing through NDlog programs.
+//
+// NDlog tuples carry node addresses (atoms), signatures (atoms, integers,
+// or pairs encoded as two-element lists), paths (lists of node atoms) and
+// booleans (the atoms `true` / `false`). A Tuple is a flat vector of
+// values; relations are identified by name at the engine level.
+#ifndef FSR_NDLOG_VALUE_H
+#define FSR_NDLOG_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsr::ndlog {
+
+enum class ValueKind { integer, atom, list };
+
+class Value {
+ public:
+  Value() : kind_(ValueKind::integer), integer_(0) {}
+
+  static Value integer(std::int64_t v) {
+    Value out;
+    out.kind_ = ValueKind::integer;
+    out.integer_ = v;
+    return out;
+  }
+  static Value atom(std::string name) {
+    Value out;
+    out.kind_ = ValueKind::atom;
+    out.atom_ = std::move(name);
+    return out;
+  }
+  static Value list(std::vector<Value> items) {
+    Value out;
+    out.kind_ = ValueKind::list;
+    out.items_ = std::move(items);
+    return out;
+  }
+  static Value boolean(bool b) { return atom(b ? "true" : "false"); }
+
+  ValueKind kind() const noexcept { return kind_; }
+  bool is_integer() const noexcept { return kind_ == ValueKind::integer; }
+  bool is_atom() const noexcept { return kind_ == ValueKind::atom; }
+  bool is_list() const noexcept { return kind_ == ValueKind::list; }
+
+  std::int64_t as_integer() const;
+  const std::string& as_atom() const;
+  const std::vector<Value>& as_list() const;
+
+  bool truthy() const noexcept {
+    return kind_ == ValueKind::atom && atom_ == "true";
+  }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;  // structural; container keys
+
+  std::string to_string() const;
+
+  /// Approximate wire size in bytes, used by the simulator's traffic
+  /// accounting (atoms: length; integers: 4; lists: sum + 2 framing).
+  std::size_t wire_size() const noexcept;
+
+ private:
+  ValueKind kind_;
+  std::int64_t integer_ = 0;
+  std::string atom_;
+  std::vector<Value> items_;
+};
+
+using Tuple = std::vector<Value>;
+
+std::string tuple_to_string(const Tuple& tuple);
+std::size_t tuple_wire_size(const Tuple& tuple);
+
+}  // namespace fsr::ndlog
+
+#endif  // FSR_NDLOG_VALUE_H

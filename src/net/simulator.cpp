@@ -1,0 +1,132 @@
+#include "net/simulator.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fsr::net {
+
+// -------------------------------------------------------- TrafficStats --
+
+void TrafficStats::record_send(NodeId sender, Time when, std::size_t bytes) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  per_node_bytes_[sender] += bytes;
+  const auto bucket = static_cast<std::size_t>(when / bucket_width_);
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  buckets_[bucket] += bytes;
+}
+
+std::uint64_t TrafficStats::node_bytes(NodeId node) const {
+  const auto it = per_node_bytes_.find(node);
+  return it == per_node_bytes_.end() ? 0 : it->second;
+}
+
+double TrafficStats::average_node_bandwidth_mbps(
+    std::size_t bucket, std::size_t node_count) const {
+  if (bucket >= buckets_.size() || node_count == 0) return 0.0;
+  const double bucket_seconds =
+      static_cast<double>(bucket_width_) / static_cast<double>(k_second);
+  const double bytes = static_cast<double>(buckets_[bucket]);
+  return bytes / static_cast<double>(node_count) / bucket_seconds / 1e6;
+}
+
+// ----------------------------------------------------------- Simulator --
+
+Simulator::Simulator(std::uint64_t seed, HostProfile profile,
+                     Time stats_bucket)
+    : rng_(seed), profile_(profile), stats_(stats_bucket) {}
+
+NodeId Simulator::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+const std::string& Simulator::node_name(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= node_names_.size()) {
+    throw InvalidArgument("unknown node id " + std::to_string(id));
+  }
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+void Simulator::add_link(NodeId a, NodeId b, LinkConfig config) {
+  (void)node_name(a);
+  (void)node_name(b);
+  if (a == b) throw InvalidArgument("self-link is not allowed");
+  if (config.bandwidth_mbps <= 0.0) {
+    throw InvalidArgument("link bandwidth must be positive");
+  }
+  links_[{a, b}] = DirectedLink{config, true, 0};
+  links_[{b, a}] = DirectedLink{config, true, 0};
+}
+
+bool Simulator::has_link(NodeId a, NodeId b) const {
+  return links_.contains({a, b});
+}
+
+void Simulator::set_link_up(NodeId a, NodeId b, bool up) {
+  directed_link(a, b).up = up;
+  directed_link(b, a).up = up;
+}
+
+Simulator::DirectedLink& Simulator::directed_link(NodeId from, NodeId to) {
+  const auto it = links_.find({from, to});
+  if (it == links_.end()) {
+    throw InvalidArgument("no link " + node_name(from) + " -> " +
+                          node_name(to));
+  }
+  return it->second;
+}
+
+void Simulator::send(NodeId from, NodeId to, Message message) {
+  DirectedLink& link = directed_link(from, to);
+  stats_.record_send(from, now_, message.size_bytes);
+  if (!link.up) return;  // dropped
+
+  // Host processing (deployment profile) delays the hand-off to the NIC.
+  Time depart = now_ + profile_.per_message_overhead;
+  if (profile_.max_processing_jitter > 0) {
+    depart += rng_.uniform_int(0, profile_.max_processing_jitter);
+  }
+
+  // FIFO serialisation: transmission starts when the link is free.
+  const double tx_seconds = static_cast<double>(message.size_bytes) * 8.0 /
+                            (link.config.bandwidth_mbps * 1e6);
+  const Time tx_time = static_cast<Time>(std::ceil(tx_seconds * k_second));
+  const Time start = std::max(depart, link.busy_until);
+  link.busy_until = start + tx_time;
+
+  Time arrival = link.busy_until + link.config.latency;
+  if (link.config.max_jitter > 0) {
+    arrival += rng_.uniform_int(0, link.config.max_jitter);
+  }
+
+  schedule(arrival - now_,
+           [this, from, to, msg = std::move(message)]() mutable {
+             if (receiver_) receiver_(from, to, msg);
+           });
+}
+
+void Simulator::schedule(Time delay, std::function<void()> action) {
+  if (delay < 0) throw InvalidArgument("cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_sequence_++, std::move(action)});
+}
+
+bool Simulator::run(Time max_time) {
+  while (!queue_.empty()) {
+    if (queue_.top().at > max_time) return false;
+    // std::priority_queue::top is const; the event is copied out before pop
+    // so the action can be moved & run after the queue is updated.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    event.action();
+  }
+  return true;
+}
+
+void Simulator::clear_pending() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace fsr::net

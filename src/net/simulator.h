@@ -1,0 +1,171 @@
+// Discrete-event network simulator: the ns-3 stand-in FSR's emulation runs
+// on (paper Section VI, "Evaluation environment").
+//
+// The model is deliberately scoped to what the experiments measure:
+//   * point-to-point duplex links with bandwidth, propagation latency and
+//     optional uniform jitter;
+//   * per-direction FIFO serialisation (a message occupies the link for
+//     size/bandwidth before propagating);
+//   * timers (used by the protocol layer for periodic advertisement
+//     batching);
+//   * traffic accounting in fixed-width buckets, yielding the
+//     "average per-node bandwidth over time" series of Figures 5 and 6;
+//   * a deployment profile adding per-message host processing overhead and
+//     wider jitter, standing in for the paper's 32-machine testbed runs.
+//
+// Simulated time is in integer microseconds. The simulator is
+// single-threaded and deterministic given its seed.
+#ifndef FSR_NET_SIMULATOR_H
+#define FSR_NET_SIMULATOR_H
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsr::net {
+
+using Time = std::int64_t;    // microseconds since simulation start
+using NodeId = std::int32_t;  // dense node index
+
+constexpr Time k_millisecond = 1'000;
+constexpr Time k_second = 1'000'000;
+
+struct LinkConfig {
+  double bandwidth_mbps = 100.0;  // paper default: 100 Mbps
+  Time latency = 10 * k_millisecond;
+  Time max_jitter = 0;  // uniform in [0, max_jitter]
+};
+
+/// Host-side behaviour profile. `simulation()` is the ns-3-like default;
+/// `testbed()` mimics the paper's deployment mode (socket/stack overhead
+/// per message and some scheduling noise).
+struct HostProfile {
+  Time per_message_overhead = 0;
+  Time max_processing_jitter = 0;
+
+  static HostProfile simulation() { return HostProfile{}; }
+  static HostProfile testbed() {
+    return HostProfile{/*per_message_overhead=*/200,
+                       /*max_processing_jitter=*/3 * k_millisecond};
+  }
+};
+
+/// An in-flight message: opaque payload plus its wire size.
+struct Message {
+  std::size_t size_bytes = 0;
+  std::any payload;
+};
+
+/// Aggregate traffic statistics, accumulated while the simulation runs.
+class TrafficStats {
+ public:
+  explicit TrafficStats(Time bucket_width = 10 * k_millisecond)
+      : bucket_width_(bucket_width) {}
+
+  void record_send(NodeId sender, Time when, std::size_t bytes);
+
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t node_bytes(NodeId node) const;
+  Time bucket_width() const noexcept { return bucket_width_; }
+
+  /// Bytes sent network-wide per bucket, index = bucket number.
+  const std::vector<std::uint64_t>& bucket_bytes() const noexcept {
+    return buckets_;
+  }
+
+  /// Average per-node bandwidth in MBps within `bucket` (the Figure 5/6
+  /// y-axis), given the node count.
+  double average_node_bandwidth_mbps(std::size_t bucket,
+                                     std::size_t node_count) const;
+
+ private:
+  Time bucket_width_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::vector<std::uint64_t> buckets_;
+  std::map<NodeId, std::uint64_t> per_node_bytes_;
+};
+
+/// The simulator core.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed,
+                     HostProfile profile = HostProfile::simulation(),
+                     Time stats_bucket = 10 * k_millisecond);
+
+  NodeId add_node(std::string name);
+  std::size_t node_count() const noexcept { return node_names_.size(); }
+  const std::string& node_name(NodeId id) const;
+
+  /// Declares a duplex link (two independent FIFO directions).
+  void add_link(NodeId a, NodeId b, LinkConfig config);
+  bool has_link(NodeId a, NodeId b) const;
+
+  /// Administrative link state; messages sent over a down link are dropped
+  /// silently (used by failure-injection tests).
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// The receive callback: invoked at delivery time.
+  using Receiver = std::function<void(NodeId from, NodeId to, const Message&)>;
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Sends `message` from `a` to `b` over the declared link. Throws
+  /// fsr::InvalidArgument if no such link exists.
+  void send(NodeId from, NodeId to, Message message);
+
+  /// Schedules `action` to run `delay` microseconds from now.
+  void schedule(Time delay, std::function<void()> action);
+
+  Time now() const noexcept { return now_; }
+
+  /// Runs until the event queue drains or `max_time` is exceeded.
+  /// Returns true when the queue drained (the system quiesced).
+  bool run(Time max_time);
+
+  /// Drops every pending event (used to cut off divergent executions).
+  void clear_pending();
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  const TrafficStats& stats() const noexcept { return stats_; }
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct DirectedLink {
+    LinkConfig config;
+    bool up = true;
+    Time busy_until = 0;  // serialisation frontier
+  };
+  struct Event {
+    Time at = 0;
+    std::uint64_t sequence = 0;  // FIFO among simultaneous events
+    std::function<void()> action;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.sequence > b.sequence;
+    }
+  };
+
+  DirectedLink& directed_link(NodeId from, NodeId to);
+
+  util::Rng rng_;
+  HostProfile profile_;
+  std::vector<std::string> node_names_;
+  std::map<std::pair<NodeId, NodeId>, DirectedLink> links_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_sequence_ = 0;
+  Time now_ = 0;
+  Receiver receiver_;
+  TrafficStats stats_;
+};
+
+}  // namespace fsr::net
+
+#endif  // FSR_NET_SIMULATOR_H

@@ -1,0 +1,32 @@
+#include "proto/gpv.h"
+
+namespace fsr::proto {
+
+std::string gpv_source() {
+  return R"(
+// Generalized Path Vector (GPV) - FSR's default routing mechanism.
+materialize(label, keys(1,2)).
+materialize(sig, keys(1,2,3)).
+materialize(route, keys(1,2,3,4)).
+materialize(localOpt, keys(1,2)).
+
+// Receiving routes: extend the advertised path, apply the import policy.
+gpvRecv sig(@U,SNew,PNew) :- msg(@U,V,D,S,P), V=f_head(P),
+    f_member(P,U)=false, label(@U,V,L), f_import(L,S)=true,
+    SNew=f_concatSig(L,S), PNew=f_concatPath(U,P).
+
+// Storing routes: the candidate route table.
+gpvStore route(@U,D,S,P) :- sig(@U,S,P), D=f_last(P).
+
+// Selecting routes: the best candidate per destination under f_pref.
+gpvSelect localOpt(@U,D,a_pref<S>,P) :- route(@U,D,S,P).
+
+// Sending routes: re-advertise the local optimum, applying export policy.
+gpvSend msg(@N,U,D,S,P) :- localOpt(@U,D,S,P), label(@U,N,L),
+    f_export(L,S)=true.
+)";
+}
+
+ndlog::Program gpv_program() { return ndlog::parse_program(gpv_source()); }
+
+}  // namespace fsr::proto

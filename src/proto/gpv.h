@@ -1,0 +1,31 @@
+// The Generalized Path-Vector protocol in NDlog (paper Section V-A).
+//
+// The program below is the paper's GPV modulo two mechanical adjustments:
+//   * body elements are ordered so every variable is bound before use
+//     (our engine evaluates bodies left to right; Datalog as printed in
+//     the paper is order-free);
+//   * the standard loop-prevention test f_member(P,U)=false from the
+//     declarative-routing literature is written explicitly in gpvRecv
+//     (without it, policies that do not filter loops themselves — e.g.
+//     Gao-Rexford over a cyclic AS graph — would count paths forever).
+//
+// Policy is injected through the four generated functions of Table II:
+// f_pref, f_concatSig, f_import, f_export (see fsr::NdlogGenerator).
+#ifndef FSR_PROTO_GPV_H
+#define FSR_PROTO_GPV_H
+
+#include <string>
+
+#include "ndlog/parser.h"
+
+namespace fsr::proto {
+
+/// The GPV program source text.
+std::string gpv_source();
+
+/// Parsed form (parsed once per call; callers typically cache).
+ndlog::Program gpv_program();
+
+}  // namespace fsr::proto
+
+#endif  // FSR_PROTO_GPV_H

@@ -1,0 +1,40 @@
+#include "proto/hlp.h"
+
+namespace fsr::proto {
+
+std::string hlp_source() {
+  return R"(
+// HLP: link-state style propagation inside a domain, fragmented
+// path-vector across domains, optional cost hiding.
+materialize(link, keys(1,2)).
+materialize(domain, keys(1)).
+materialize(sig, keys(1,2,3)).
+materialize(route, keys(1,2,3,4)).
+materialize(localOpt, keys(1,2)).
+
+// Receive over an intra-domain link: plain cost-vector extension.
+hlpRecvIntra sig(@U,CNew,PNew) :- msg(@U,V,D,C,P), f_member(P,U)=false,
+    link(@U,V,LC,intra), CNew=f_add(C,LC), PNew=f_concatPath(U,P).
+
+// Receive over an inter-domain link: additionally reject routes that
+// already traversed this domain (fragment-level loop prevention).
+hlpRecvInter sig(@U,CNew,PNew) :- msg(@U,V,D,C,P), f_member(P,U)=false,
+    link(@U,V,LC,inter), domain(@U,Dom), f_member(P,Dom)=false,
+    CNew=f_add(C,LC), PNew=f_concatPath(U,P).
+
+hlpStore route(@U,D,C,P) :- sig(@U,C,P), D=f_last(P).
+
+hlpSelect localOpt(@U,D,a_min<C>,P) :- route(@U,D,C,P).
+
+// Within the domain the full path travels.
+hlpSendIntra msg(@N,U,D,C,P) :- localOpt(@U,D,C,P), link(@U,N,LC,intra).
+
+// Across domains the path is fragmented and the cost optionally hidden.
+hlpSendInter msg(@N,U,D,CH,PH) :- localOpt(@U,D,C,P), link(@U,N,LC,inter),
+    domain(@U,Dom), PH=f_hlpHide(P,Dom), CH=f_hideCost(C).
+)";
+}
+
+ndlog::Program hlp_program() { return ndlog::parse_program(hlp_source()); }
+
+}  // namespace fsr::proto

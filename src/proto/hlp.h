@@ -1,0 +1,36 @@
+// HLP — Hybrid Link-state / Path-vector (Subramanian et al.), the
+// alternative routing mechanism of the paper's Section VI-D (Figure 6).
+//
+// HLP partitions the ASes into customer-provider hierarchies ("domains")
+// and hides internal paths when routes cross domain boundaries: the
+// fragmented path-vector carries one marker per traversed domain instead
+// of every internal hop. With cost hiding (HLP-CH), advertised costs are
+// quantised to a threshold, so small internal cost changes produce
+// byte-identical advertisements that the batching layer cancels.
+//
+// Our NDlog rendering (8 rules) keeps the two properties Figure 6
+// measures — smaller inter-domain updates and less cross-domain churn —
+// while modelling intra-domain propagation as a cost vector (the paper's
+// own implementation is 10-11 rules; see DESIGN.md for the substitution
+// note).
+//
+// Policy/topology-specific functions (registered by fsr::emulate_hlp):
+//   f_hlpHide(P, Dom)  -- fragment a path: own-domain marker + the
+//                         markers already present + the destination;
+//   f_hideCost(C)      -- quantise C down to the hiding threshold
+//                         (identity when the threshold is 0).
+#ifndef FSR_PROTO_HLP_H
+#define FSR_PROTO_HLP_H
+
+#include <string>
+
+#include "ndlog/parser.h"
+
+namespace fsr::proto {
+
+std::string hlp_source();
+ndlog::Program hlp_program();
+
+}  // namespace fsr::proto
+
+#endif  // FSR_PROTO_HLP_H

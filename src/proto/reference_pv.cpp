@@ -1,0 +1,136 @@
+#include "proto/reference_pv.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace fsr::proto {
+namespace {
+
+/// Label at `from` for its link towards `to`, if the link exists.
+std::optional<algebra::Value> label_of(const topology::Topology& topology,
+                                       const std::string& from,
+                                       const std::string& to) {
+  for (const topology::TopoLink& link : topology.links) {
+    if (link.u == from && link.v == to) return link.label_uv;
+    if (link.v == from && link.u == to) return link.label_vu;
+  }
+  return std::nullopt;
+}
+
+/// Structural comparison mirroring the NDlog aggregate's deterministic
+/// tie-break: (signature, path) in value order.
+bool structurally_less(const ReferenceRoute& a, const ReferenceRoute& b) {
+  if (a.signature != b.signature) return a.signature < b.signature;
+  return a.path < b.path;
+}
+
+}  // namespace
+
+std::optional<algebra::Value> path_signature(
+    const algebra::RoutingAlgebra& algebra,
+    const topology::Topology& topology,
+    const std::vector<std::string>& path) {
+  if (path.size() < 2 || path.back() != topology.destination) {
+    return std::nullopt;
+  }
+  // One-hop tail: origination over the penultimate node's label.
+  const std::string& origin_node = path[path.size() - 2];
+  const auto origin_label = label_of(topology, origin_node, path.back());
+  if (!origin_label.has_value()) return std::nullopt;
+  std::optional<algebra::Value> sig = algebra.originate(*origin_label);
+  // Fold the remaining links back to the path's source.
+  for (std::size_t i = path.size() - 2; i-- > 0;) {
+    if (!sig.has_value()) return std::nullopt;
+    const auto label = label_of(topology, path[i], path[i + 1]);
+    if (!label.has_value()) return std::nullopt;
+    sig = algebra.combined_extend(*label, *sig);
+  }
+  return sig;
+}
+
+ReferenceResult compute_reference_routes(
+    const algebra::RoutingAlgebra& algebra,
+    const topology::Topology& topology, std::int32_t max_rounds) {
+  if (max_rounds <= 0) {
+    max_rounds = static_cast<std::int32_t>(topology.nodes.size()) + 2;
+  }
+  ReferenceResult result;
+
+  for (std::int32_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    std::map<std::string, ReferenceRoute> next = result.best;
+
+    for (const std::string& node : topology.nodes) {
+      if (node == topology.destination) continue;
+      std::optional<ReferenceRoute> best;
+
+      for (const auto& [neighbor, label] :
+           topology.labelled_neighbors(node)) {
+        std::optional<ReferenceRoute> candidate;
+        if (neighbor == topology.destination) {
+          const auto orig = algebra.originate(label);
+          if (orig.has_value()) {
+            candidate =
+                ReferenceRoute{*orig, {node, topology.destination}};
+          }
+        } else {
+          const auto it = result.best.find(neighbor);
+          if (it == result.best.end()) continue;
+          const ReferenceRoute& via = it->second;
+          // Loop prevention, as in gpvRecv.
+          if (std::find(via.path.begin(), via.path.end(), node) !=
+              via.path.end()) {
+            continue;
+          }
+          const auto extended = algebra.combined_extend(label, via.signature);
+          if (extended.has_value()) {
+            std::vector<std::string> path;
+            path.reserve(via.path.size() + 1);
+            path.push_back(node);
+            path.insert(path.end(), via.path.begin(), via.path.end());
+            candidate = ReferenceRoute{*extended, std::move(path)};
+          }
+        }
+        if (!candidate.has_value()) continue;
+        if (!best.has_value()) {
+          best = std::move(candidate);
+          continue;
+        }
+        const algebra::Ordering order =
+            algebra.compare(candidate->signature, best->signature);
+        if (order == algebra::Ordering::better ||
+            (order != algebra::Ordering::worse &&
+             structurally_less(*candidate, *best))) {
+          best = std::move(candidate);
+        }
+      }
+
+      const auto current = result.best.find(node);
+      const bool had = current != result.best.end();
+      if (best.has_value() != had ||
+          (best.has_value() && had &&
+           (best->signature != current->second.signature ||
+            best->path != current->second.path))) {
+        changed = true;
+        if (best.has_value()) {
+          next[node] = *best;
+        } else {
+          next.erase(node);
+        }
+      }
+    }
+
+    result.best = std::move(next);
+    result.rounds = round + 1;
+    if (!changed) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace fsr::proto

@@ -1,0 +1,52 @@
+// Reference path-vector computation, independent of the NDlog stack.
+//
+// Used to validate the generated implementation (paper Theorem 5.1 and
+// Appendix A): after an emulation converges, every stored signature must
+// equal sigma(p) — the label-fold of the path under the algebra — and,
+// for safe (strictly monotone) configurations, the selected routes must
+// match the synchronous fixpoint computed here.
+#ifndef FSR_PROTO_REFERENCE_PV_H
+#define FSR_PROTO_REFERENCE_PV_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+#include "topology/topology.h"
+
+namespace fsr::proto {
+
+/// sigma(p): the signature of a concrete path under `algebra`, i.e. the
+/// origination signature of its final hop extended through each link's
+/// combined operator (import + export + generation). Returns std::nullopt
+/// when any step is prohibited (phi) or a label is missing.
+std::optional<algebra::Value> path_signature(
+    const algebra::RoutingAlgebra& algebra,
+    const topology::Topology& topology,
+    const std::vector<std::string>& path);
+
+struct ReferenceRoute {
+  algebra::Value signature;
+  std::vector<std::string> path;
+};
+
+struct ReferenceResult {
+  bool converged = false;
+  std::int32_t rounds = 0;
+  std::map<std::string, ReferenceRoute> best;  // node -> selected route
+};
+
+/// Synchronous path-vector fixpoint: every round, every node re-selects
+/// its best extension of its neighbours' current routes (ties broken
+/// structurally, matching the NDlog aggregate's determinism). Converges
+/// within ~|V| rounds for strictly monotone algebras; `max_rounds` cuts
+/// off disputes.
+ReferenceResult compute_reference_routes(
+    const algebra::RoutingAlgebra& algebra,
+    const topology::Topology& topology, std::int32_t max_rounds = 0);
+
+}  // namespace fsr::proto
+
+#endif  // FSR_PROTO_REFERENCE_PV_H

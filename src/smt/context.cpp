@@ -1,0 +1,379 @@
+#include "smt/context.h"
+
+#include <algorithm>
+
+#include "smt/linear.h"
+#include "util/error.h"
+
+namespace fsr::smt {
+namespace {
+
+// Floor/ceil division with mathematically correct behaviour for negative
+// operands (C++ integer division truncates toward zero).
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return -floor_div(-a, b);
+}
+
+// Tag used for type (positivity) constraints; never a valid assertion id.
+constexpr std::int64_t k_builtin_tag = -1;
+
+}  // namespace
+
+std::int64_t Model::at(const std::string& name) const {
+  const auto it = values.find(name);
+  if (it == values.end()) {
+    throw InvalidArgument("model has no value for variable '" + name + "'");
+  }
+  return it->second;
+}
+
+void Context::declare_variable(const std::string& name,
+                               std::optional<std::int64_t> lower_bound) {
+  if (name.empty()) throw InvalidArgument("variable name must be non-empty");
+  if (variable_ids_.contains(name)) {
+    throw InvalidArgument("variable '" + name + "' is already declared");
+  }
+  // Index 0 is the implicit zero variable; named variables start at 1.
+  const auto index = static_cast<std::int32_t>(variables_.size() + 1);
+  variables_.push_back(VariableInfo{name, lower_bound});
+  variable_ids_.emplace(name, index);
+}
+
+bool Context::has_variable(const std::string& name) const {
+  return variable_ids_.contains(name);
+}
+
+std::int32_t Context::variable_index(const std::string& name) const {
+  const auto it = variable_ids_.find(name);
+  if (it == variable_ids_.end()) {
+    throw InvalidArgument("undeclared variable '" + name + "'");
+  }
+  return it->second;
+}
+
+AssertionId Context::assert_term(const Term& term, std::string label) {
+  AssertionInfo info;
+  info.id = static_cast<AssertionId>(assertions_.size());
+  info.label = std::move(label);
+  info.text = term.to_string();
+
+  if (term.is_relation()) {
+    lower_relation(term, info);
+  } else if (term.kind() == TermKind::forall_pos) {
+    lower_forall(term, info);
+  } else {
+    throw InvalidArgument("assertion must be a relation or forall: " +
+                          info.text);
+  }
+  assertions_.push_back(std::move(info));
+  return assertions_.back().id;
+}
+
+AssertionId Context::assert_less(const std::string& lhs,
+                                 const std::string& rhs, std::string label) {
+  return assert_term(Term::lt(Term::variable(lhs), Term::variable(rhs)),
+                     std::move(label));
+}
+
+AssertionId Context::assert_less_equal(const std::string& lhs,
+                                       const std::string& rhs,
+                                       std::string label) {
+  return assert_term(Term::le(Term::variable(lhs), Term::variable(rhs)),
+                     std::move(label));
+}
+
+AssertionId Context::assert_equal(const std::string& lhs,
+                                  const std::string& rhs, std::string label) {
+  return assert_term(Term::eq(Term::variable(lhs), Term::variable(rhs)),
+                     std::move(label));
+}
+
+void Context::retract(AssertionId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
+    throw InvalidArgument("retract: unknown assertion id");
+  }
+  assertions_[static_cast<std::size_t>(id)].active = false;
+}
+
+// Lowers `lhs REL rhs` into difference constraints over variable indices.
+//
+// The linear difference (lhs - rhs) is classified:
+//   * no variables:       decided immediately;
+//   * one variable:       a bound against the implicit zero variable,
+//                         with exact integer tightening for non-unit
+//                         coefficients;
+//   * two variables (+1/-1): a difference constraint;
+//   * anything else:      outside the theory -> InvalidArgument.
+void Context::lower_relation(const Term& term, AssertionInfo& out) const {
+  LinearForm diff = linearize(term.children().at(0));
+  diff -= linearize(term.children().at(1));
+
+  TermKind rel = term.kind();
+  // Normalise > and >= by negating the form.
+  if (rel == TermKind::gt || rel == TermKind::ge) {
+    diff *= -1;
+    rel = (rel == TermKind::gt) ? TermKind::lt : TermKind::le;
+  }
+
+  // Validate variables are declared before any other analysis, so errors
+  // are reported consistently regardless of constraint shape.
+  for (const auto& [name, coeff] : diff.coefficients) {
+    (void)coeff;
+    (void)variable_index(name);
+  }
+
+  const auto emit = [&out](std::int32_t minuend, std::int32_t subtrahend,
+                           std::int64_t bound, AssertionId id) {
+    out.constraints.push_back(DiffConstraint{minuend, subtrahend, bound, id});
+  };
+
+  switch (diff.variable_count()) {
+    case 0: {
+      const std::int64_t c = diff.constant;
+      const bool holds = (rel == TermKind::lt)   ? (c < 0)
+                         : (rel == TermKind::le) ? (c <= 0)
+                                                 : (c == 0);
+      out.trivially_false = !holds;
+      return;
+    }
+    case 1: {
+      const auto& [name, coeff] = *diff.coefficients.begin();
+      const std::int32_t x = variable_index(name);
+      const std::int64_t c = diff.constant;
+      // coeff * x + c REL 0
+      if (rel == TermKind::eq) {
+        if (c % coeff != 0) {
+          out.trivially_false = true;  // no integer solution
+          return;
+        }
+        const std::int64_t v = -c / coeff;
+        emit(x, 0, v, out.id);  // x - 0 <= v
+        emit(0, x, -v, out.id);  // 0 - x <= -v  (x >= v)
+        return;
+      }
+      const std::int64_t strict_adjust = (rel == TermKind::lt) ? 1 : 0;
+      if (coeff > 0) {
+        // x <= floor((-c - adjust) / coeff)
+        emit(x, 0, floor_div(-c - strict_adjust, coeff), out.id);
+      } else {
+        // x >= ceil((c + adjust) / -coeff)
+        emit(0, x, -ceil_div(c + strict_adjust, -coeff), out.id);
+      }
+      return;
+    }
+    case 2: {
+      auto it = diff.coefficients.begin();
+      const auto& [name_a, coeff_a] = *it;
+      ++it;
+      const auto& [name_b, coeff_b] = *it;
+      if (!((coeff_a == 1 && coeff_b == -1) ||
+            (coeff_a == -1 && coeff_b == 1))) {
+        throw InvalidArgument(
+            "relation is outside difference logic (non-unit coefficients): " +
+            out.text);
+      }
+      const std::int32_t pos =
+          variable_index(coeff_a == 1 ? name_a : name_b);
+      const std::int32_t neg =
+          variable_index(coeff_a == 1 ? name_b : name_a);
+      const std::int64_t c = diff.constant;
+      // pos - neg + c REL 0
+      switch (rel) {
+        case TermKind::lt:
+          emit(pos, neg, -c - 1, out.id);
+          return;
+        case TermKind::le:
+          emit(pos, neg, -c, out.id);
+          return;
+        case TermKind::eq:
+          emit(pos, neg, -c, out.id);
+          emit(neg, pos, c, out.id);
+          return;
+        default:
+          break;
+      }
+      throw InvalidArgument("unsupported relation kind");
+    }
+    default:
+      throw InvalidArgument(
+          "relation involves more than two variables, outside difference "
+          "logic: " +
+          out.text);
+  }
+}
+
+// Decides a universally quantified template over positive integers.
+//
+// The body must be `lhs REL rhs` with both sides linear in the bound
+// variable only; writing the difference as a*s + b, validity over all
+// s >= 1 is:
+//   <   : (a < 0 and a+b < 0)  or (a == 0 and b < 0)
+//   <=  : (a < 0 and a+b <= 0) or (a == 0 and b <= 0)
+//   =   : a == 0 and b == 0
+// (for a > 0 the form grows without bound, so < / <= must fail).
+// A valid forall adds nothing to the context; an invalid one makes the
+// whole context unsatisfiable with itself as the (minimal) core.
+void Context::lower_forall(const Term& term, AssertionInfo& out) const {
+  const Term& body = term.children().at(0);
+  if (!body.is_relation()) {
+    throw InvalidArgument("forall body must be a relation: " + out.text);
+  }
+  LinearForm diff = linearize(body.children().at(0));
+  diff -= linearize(body.children().at(1));
+
+  TermKind rel = body.kind();
+  if (rel == TermKind::gt || rel == TermKind::ge) {
+    diff *= -1;
+    rel = (rel == TermKind::gt) ? TermKind::lt : TermKind::le;
+  }
+
+  std::int64_t a = 0;
+  for (const auto& [name, coeff] : diff.coefficients) {
+    if (name != term.name()) {
+      throw InvalidArgument(
+          "forall body may only reference the bound variable '" +
+          term.name() + "': " + out.text);
+    }
+    a = coeff;
+  }
+  const std::int64_t b = diff.constant;
+
+  bool valid = false;
+  switch (rel) {
+    case TermKind::lt:
+      valid = (a < 0 && a + b < 0) || (a == 0 && b < 0);
+      break;
+    case TermKind::le:
+      valid = (a < 0 && a + b <= 0) || (a == 0 && b <= 0);
+      break;
+    case TermKind::eq:
+      valid = (a == 0 && b == 0);
+      break;
+    default:
+      throw InvalidArgument("unsupported relation in forall: " + out.text);
+  }
+  out.trivially_false = !valid;
+}
+
+CheckResult Context::check() const {
+  std::vector<const AssertionInfo*> active;
+  active.reserve(assertions_.size());
+  for (const AssertionInfo& a : assertions_) {
+    if (a.active) active.push_back(&a);
+  }
+  return run_check(active);
+}
+
+CheckResult Context::check_subset(const std::vector<AssertionId>& ids) const {
+  std::vector<const AssertionInfo*> active;
+  active.reserve(ids.size());
+  for (const AssertionId id : ids) {
+    if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
+      throw InvalidArgument("check_subset: unknown assertion id");
+    }
+    active.push_back(&assertions_[static_cast<std::size_t>(id)]);
+  }
+  return run_check(active);
+}
+
+CheckResult Context::run_check(
+    const std::vector<const AssertionInfo*>& active) const {
+  CheckResult result;
+
+  // A decided-false assertion (failed forall schema, contradictory constant
+  // comparison) is an unsat core on its own.
+  for (const AssertionInfo* a : active) {
+    if (a->trivially_false) {
+      result.status = Status::unsat;
+      result.unsat_core = {a->id};
+      return result;
+    }
+  }
+
+  std::vector<DiffConstraint> constraints;
+  for (const AssertionInfo* a : active) {
+    constraints.insert(constraints.end(), a->constraints.begin(),
+                       a->constraints.end());
+  }
+  // Type constraints: a lower bound lb gives x >= lb, i.e. 0 - x <= -lb.
+  for (std::size_t v = 0; v < variables_.size(); ++v) {
+    if (variables_[v].lower_bound.has_value()) {
+      constraints.push_back(DiffConstraint{0,
+                                           static_cast<std::int32_t>(v + 1),
+                                           -*variables_[v].lower_bound,
+                                           k_builtin_tag});
+    }
+  }
+
+  const auto var_count = static_cast<std::int32_t>(variables_.size() + 1);
+  DiffResult diff = solve_difference_system(var_count, constraints);
+
+  if (diff.satisfiable) {
+    result.status = Status::sat;
+    for (std::size_t v = 0; v < variables_.size(); ++v) {
+      result.model.values[variables_[v].name] = diff.model[v + 1];
+    }
+    return result;
+  }
+
+  result.status = Status::unsat;
+  std::vector<AssertionId> candidate;
+  for (const std::int64_t tag : diff.conflict_tags) {
+    if (tag != k_builtin_tag) candidate.push_back(tag);
+  }
+  // Degenerate fallback: a conflict consisting purely of type constraints
+  // cannot happen (x >= 1 alone is satisfiable), but keep the report sound
+  // if the seed was over-approximated.
+  if (candidate.empty()) {
+    for (const AssertionInfo* a : active) candidate.push_back(a->id);
+  }
+  result.unsat_core =
+      minimize_cores_ ? minimize_core(std::move(candidate)) : candidate;
+  return result;
+}
+
+// Deletion-based minimisation: drop one member at a time and keep the
+// removal whenever the remainder is still unsatisfiable. The negative-cycle
+// seed is already small, so this loop runs a handful of cheap re-checks.
+std::vector<AssertionId> Context::minimize_core(
+    std::vector<AssertionId> candidate) const {
+  std::size_t i = 0;
+  while (i < candidate.size()) {
+    std::vector<AssertionId> trial;
+    trial.reserve(candidate.size() - 1);
+    for (std::size_t j = 0; j < candidate.size(); ++j) {
+      if (j != i) trial.push_back(candidate[j]);
+    }
+    if (check_subset(trial).status == Status::unsat) {
+      candidate = std::move(trial);  // keep i pointing at the next element
+    } else {
+      ++i;
+    }
+  }
+  std::sort(candidate.begin(), candidate.end());
+  return candidate;
+}
+
+std::string Context::describe(AssertionId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
+    throw InvalidArgument("describe: unknown assertion id");
+  }
+  const AssertionInfo& a = assertions_[static_cast<std::size_t>(id)];
+  return a.label.empty() ? a.text : a.label;
+}
+
+std::size_t Context::active_assertion_count() const noexcept {
+  std::size_t n = 0;
+  for (const AssertionInfo& a : assertions_) {
+    if (a.active) ++n;
+  }
+  return n;
+}
+
+}  // namespace fsr::smt

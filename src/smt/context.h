@@ -1,0 +1,140 @@
+// Solver context: named assertions, satisfiability checking, model
+// extraction and minimal unsat cores.
+//
+// This is the component that stands in for Yices in the FSR pipeline
+// (Figure 1 of the paper). It accepts the same logical content FSR's
+// encoding produces — integer variables that are positive by type,
+// conjunctions of <, <=, = atoms, and universally quantified linear
+// templates — decides satisfiability exactly, and reproduces the two
+// Yices behaviours the toolkit relies on:
+//
+//   * on `sat`, a concrete model (e.g. C=1, P=2, R=2 for the monotone
+//     Gao-Rexford encoding in Section IV-C);
+//   * on `unsat`, a *minimal* unsatisfiable core of the user's assertions,
+//     which FSR maps back to the offending policy constraints.
+#ifndef FSR_SMT_CONTEXT_H
+#define FSR_SMT_CONTEXT_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/difference_engine.h"
+#include "smt/term.h"
+
+namespace fsr::smt {
+
+enum class Status { sat, unsat };
+
+/// Identifier returned by assert_term; stable across retracts.
+using AssertionId = std::int64_t;
+
+/// Variable assignment for a satisfiable check. Values are normalised so
+/// they are as small as the constraints allow (shortest-path potentials),
+/// which matches the instances Yices prints for FSR's encodings.
+struct Model {
+  std::map<std::string, std::int64_t> values;
+
+  std::int64_t at(const std::string& name) const;
+};
+
+struct CheckResult {
+  Status status = Status::sat;
+  Model model;                          // meaningful when status == sat
+  std::vector<AssertionId> unsat_core;  // meaningful when status == unsat
+};
+
+/// An assertion context in the style of an SMT solver session.
+///
+/// Usage:
+///   Context ctx;
+///   ctx.declare_variable("C");
+///   ctx.declare_variable("P");
+///   auto id = ctx.assert_term(Term::lt(Term::variable("C"),
+///                                      Term::variable("P")), "C < P");
+///   CheckResult r = ctx.check();
+class Context {
+ public:
+  /// Declares an integer variable with an optional lower bound enforced as
+  /// a *type* constraint: always active, never reported in unsat cores,
+  /// exactly like a Yices subtype bound. FSR's signatures are subtypes of
+  /// nat with n > 0, hence the default bound of 1; pass 0 for `nat` and
+  /// std::nullopt for unbounded `int`.
+  void declare_variable(const std::string& name,
+                        std::optional<std::int64_t> lower_bound = 1);
+
+  bool has_variable(const std::string& name) const;
+
+  /// Asserts a relational or universally quantified term. The optional
+  /// label is used in reports; when empty the term's own rendering is used.
+  /// Throws fsr::InvalidArgument for terms outside the supported fragment
+  /// or referencing undeclared variables.
+  AssertionId assert_term(const Term& term, std::string label = {});
+
+  /// Convenience wrappers for the three atom shapes FSR generates.
+  AssertionId assert_less(const std::string& lhs, const std::string& rhs,
+                          std::string label = {});
+  AssertionId assert_less_equal(const std::string& lhs, const std::string& rhs,
+                                std::string label = {});
+  AssertionId assert_equal(const std::string& lhs, const std::string& rhs,
+                           std::string label = {});
+
+  /// Deactivates an assertion (used to remove unsat cores one at a time,
+  /// the iterative repair workflow described in Section IV-B).
+  void retract(AssertionId id);
+
+  /// Checks the conjunction of all active assertions.
+  CheckResult check() const;
+
+  /// Checks only the given assertions (plus type constraints). Used by the
+  /// core minimiser and exposed for tests and ablation benchmarks.
+  CheckResult check_subset(const std::vector<AssertionId>& ids) const;
+
+  /// Human-readable description of an assertion: its label when provided,
+  /// otherwise the asserted term.
+  std::string describe(AssertionId id) const;
+
+  std::size_t active_assertion_count() const noexcept;
+  std::size_t variable_count() const noexcept { return variables_.size(); }
+
+  /// When true (default), unsat cores are minimised by deletion after the
+  /// negative-cycle seed; when false the raw cycle is returned. Exposed so
+  /// the ablation benchmark can measure the cost/benefit.
+  void set_minimize_cores(bool on) noexcept { minimize_cores_ = on; }
+
+ private:
+  struct VariableInfo {
+    std::string name;
+    std::optional<std::int64_t> lower_bound;
+  };
+
+  // One assertion, pre-lowered at assert time into difference constraints
+  // over variable indices (tagged with the assertion id), or a decided
+  // truth value for quantified/constant assertions.
+  struct AssertionInfo {
+    AssertionId id = 0;
+    std::string label;
+    std::string text;
+    bool active = true;
+    bool trivially_false = false;  // e.g. a failed forall schema
+    std::vector<DiffConstraint> constraints;
+  };
+
+  std::int32_t variable_index(const std::string& name) const;
+  void lower_relation(const Term& term, AssertionInfo& out) const;
+  void lower_forall(const Term& term, AssertionInfo& out) const;
+  CheckResult run_check(const std::vector<const AssertionInfo*>& active) const;
+  std::vector<AssertionId> minimize_core(
+      std::vector<AssertionId> candidate) const;
+
+  std::vector<VariableInfo> variables_;
+  std::map<std::string, std::int32_t> variable_ids_;
+  std::vector<AssertionInfo> assertions_;
+  bool minimize_cores_ = true;
+};
+
+}  // namespace fsr::smt
+
+#endif  // FSR_SMT_CONTEXT_H

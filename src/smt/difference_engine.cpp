@@ -1,0 +1,129 @@
+#include "smt/difference_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace fsr::smt {
+namespace {
+
+constexpr std::int64_t k_unreached = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+DiffResult solve_difference_system(
+    std::int32_t variable_count,
+    const std::vector<DiffConstraint>& constraints) {
+  if (variable_count <= 0) {
+    throw InvalidArgument("difference system needs at least one variable");
+  }
+  for (const DiffConstraint& c : constraints) {
+    if (c.minuend < 0 || c.minuend >= variable_count || c.subtrahend < 0 ||
+        c.subtrahend >= variable_count) {
+      throw InvalidArgument("difference constraint references unknown variable");
+    }
+  }
+
+  // Bellman-Ford with an implicit super-source: initialise every distance
+  // to 0 rather than materialising source edges. dist[v] then converges to
+  // the shortest distance from the super-source; an edge that can still be
+  // relaxed after V-1 rounds lies on (or reaches) a negative cycle.
+  const std::size_t n = static_cast<std::size_t>(variable_count);
+  std::vector<std::int64_t> dist(n, 0);
+  // predecessor edge index used to reconstruct the negative cycle.
+  std::vector<std::int64_t> parent_edge(n, -1);
+
+  auto relax_round = [&]() -> std::optional<std::size_t> {
+    std::optional<std::size_t> last_relaxed;
+    for (std::size_t e = 0; e < constraints.size(); ++e) {
+      const DiffConstraint& c = constraints[e];
+      // x - y <= bound  =>  edge y -> x with weight `bound`.
+      const auto y = static_cast<std::size_t>(c.subtrahend);
+      const auto x = static_cast<std::size_t>(c.minuend);
+      if (dist[y] == k_unreached) continue;
+      const std::int64_t candidate = dist[y] + c.bound;
+      if (candidate < dist[x]) {
+        dist[x] = candidate;
+        parent_edge[x] = static_cast<std::int64_t>(e);
+        last_relaxed = x;
+      }
+    }
+    return last_relaxed;
+  };
+
+  std::optional<std::size_t> relaxed_in_last_round;
+  for (std::int32_t round = 0; round < variable_count; ++round) {
+    relaxed_in_last_round = relax_round();
+    if (!relaxed_in_last_round.has_value()) break;
+  }
+
+  DiffResult result;
+  if (!relaxed_in_last_round.has_value()) {
+    result.satisfiable = true;
+    result.model.resize(n);
+    // dist itself is a feasible assignment; shift so variable 0 sits at 0,
+    // which keeps the assignment feasible (difference constraints are
+    // translation invariant) and gives deterministic, readable models.
+    const std::int64_t shift = dist[0];
+    for (std::size_t v = 0; v < n; ++v) result.model[v] = dist[v] - shift;
+    return result;
+  }
+
+  // A vertex relaxed in round V lies on or downstream of a negative cycle.
+  // Walk parents V times to land inside the cycle, then collect it. If the
+  // parent chain is ever broken (possible only in degenerate edge orders)
+  // fall back to reporting every constraint; the deletion-based minimiser
+  // in Context reduces over-approximated conflicts to a minimal core.
+  const auto fallback_all_tags = [&constraints]() {
+    std::vector<std::int64_t> tags;
+    tags.reserve(constraints.size());
+    for (const DiffConstraint& c : constraints) tags.push_back(c.tag);
+    return tags;
+  };
+
+  std::vector<std::int64_t> tags;
+  std::size_t probe = *relaxed_in_last_round;
+  bool chain_ok = true;
+  for (std::int32_t i = 0; i < variable_count && chain_ok; ++i) {
+    if (parent_edge[probe] < 0) {
+      chain_ok = false;
+      break;
+    }
+    probe = static_cast<std::size_t>(
+        constraints[static_cast<std::size_t>(parent_edge[probe])].subtrahend);
+  }
+  if (chain_ok) {
+    // `probe` is now on the cycle; walk it once, recording edge tags. Bound
+    // the walk by V+1 steps as a defensive limit.
+    std::size_t cursor = probe;
+    for (std::int32_t steps = 0; steps <= variable_count; ++steps) {
+      if (parent_edge[cursor] < 0) {
+        chain_ok = false;
+        break;
+      }
+      const auto edge_index = static_cast<std::size_t>(parent_edge[cursor]);
+      tags.push_back(constraints[edge_index].tag);
+      cursor = static_cast<std::size_t>(constraints[edge_index].subtrahend);
+      if (cursor == probe) break;
+      if (steps == variable_count) chain_ok = false;
+    }
+  }
+  if (!chain_ok) tags = fallback_all_tags();
+
+  // Deduplicate tags while preserving cycle order (an equality contributes
+  // two edges with the same tag; both may appear on the cycle).
+  std::vector<std::int64_t> unique_tags;
+  for (const std::int64_t tag : tags) {
+    if (std::find(unique_tags.begin(), unique_tags.end(), tag) ==
+        unique_tags.end()) {
+      unique_tags.push_back(tag);
+    }
+  }
+
+  result.satisfiable = false;
+  result.conflict_tags = std::move(unique_tags);
+  return result;
+}
+
+}  // namespace fsr::smt

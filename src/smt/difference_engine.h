@@ -1,0 +1,58 @@
+// Decision procedure for integer difference logic.
+//
+// Every constraint FSR generates reduces to the form  x - y <= c  over
+// integer variables (a strict `x < y` is `x - y <= -1` because the domain
+// is the integers). A conjunction of such constraints is satisfiable iff
+// the corresponding constraint graph — an edge y --c--> x for each
+// x - y <= c — has no negative-weight cycle (a classical result; see e.g.
+// Cormen et al., "difference constraints and shortest paths").
+//
+// The engine additionally:
+//   * extracts a model from shortest-path potentials when satisfiable;
+//   * reports the set of constraints on a negative cycle when
+//     unsatisfiable, which seeds the minimal unsat-core computation in
+//     Context.
+#ifndef FSR_SMT_DIFFERENCE_ENGINE_H
+#define FSR_SMT_DIFFERENCE_ENGINE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fsr::smt {
+
+/// Dense variable index; variable 0 is reserved by callers for the
+/// implicit "zero" variable used to encode bounds against constants.
+using DiffVar = std::int32_t;
+
+/// One difference constraint: minuend - subtrahend <= bound, tagged with an
+/// opaque caller-supplied id (FSR uses the assertion id) for core reporting.
+struct DiffConstraint {
+  DiffVar minuend = 0;
+  DiffVar subtrahend = 0;
+  std::int64_t bound = 0;
+  std::int64_t tag = 0;
+};
+
+/// Result of a feasibility check.
+struct DiffResult {
+  bool satisfiable = false;
+  /// When satisfiable: one value per variable (size == variable_count).
+  /// The assignment is normalised so that variable 0 maps to 0.
+  std::vector<std::int64_t> model;
+  /// When unsatisfiable: tags of the constraints forming a negative cycle.
+  /// Duplicates are removed; order follows the cycle.
+  std::vector<std::int64_t> conflict_tags;
+};
+
+/// Checks feasibility of `constraints` over `variable_count` integer
+/// variables using Bellman-Ford with a virtual super-source. Runs in
+/// O(V * E); the systems FSR produces (hundreds of constraints) solve in
+/// well under a millisecond, matching the paper's <100ms Yices numbers
+/// with a wide margin.
+DiffResult solve_difference_system(std::int32_t variable_count,
+                                   const std::vector<DiffConstraint>& constraints);
+
+}  // namespace fsr::smt
+
+#endif  // FSR_SMT_DIFFERENCE_ENGINE_H

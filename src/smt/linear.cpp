@@ -1,0 +1,136 @@
+#include "smt/linear.h"
+
+#include "util/error.h"
+
+namespace fsr::smt {
+
+LinearForm& LinearForm::operator+=(const LinearForm& other) {
+  for (const auto& [var, coeff] : other.coefficients) {
+    auto& mine = coefficients[var];
+    mine += coeff;
+    if (mine == 0) coefficients.erase(var);
+  }
+  constant += other.constant;
+  return *this;
+}
+
+LinearForm& LinearForm::operator-=(const LinearForm& other) {
+  for (const auto& [var, coeff] : other.coefficients) {
+    auto& mine = coefficients[var];
+    mine -= coeff;
+    if (mine == 0) coefficients.erase(var);
+  }
+  constant -= other.constant;
+  return *this;
+}
+
+LinearForm& LinearForm::operator*=(std::int64_t factor) {
+  if (factor == 0) {
+    coefficients.clear();
+    constant = 0;
+    return *this;
+  }
+  for (auto& [var, coeff] : coefficients) coeff *= factor;
+  constant *= factor;
+  return *this;
+}
+
+LinearForm linearize(const Term& term) {
+  switch (term.kind()) {
+    case TermKind::variable: {
+      LinearForm f;
+      f.coefficients[term.name()] = 1;
+      return f;
+    }
+    case TermKind::constant: {
+      LinearForm f;
+      f.constant = term.value();
+      return f;
+    }
+    case TermKind::add: {
+      LinearForm f;
+      for (const Term& child : term.children()) f += linearize(child);
+      return f;
+    }
+    case TermKind::sub: {
+      LinearForm f = linearize(term.children().at(0));
+      f -= linearize(term.children().at(1));
+      return f;
+    }
+    case TermKind::mul: {
+      LinearForm lhs = linearize(term.children().at(0));
+      LinearForm rhs = linearize(term.children().at(1));
+      if (lhs.variable_count() != 0 && rhs.variable_count() != 0) {
+        throw InvalidArgument(
+            "non-linear product is outside the solver's theory: " +
+            term.to_string());
+      }
+      if (lhs.variable_count() == 0) {
+        rhs *= lhs.constant;
+        return rhs;
+      }
+      lhs *= rhs.constant;
+      return lhs;
+    }
+    case TermKind::lt:
+    case TermKind::le:
+    case TermKind::gt:
+    case TermKind::ge:
+    case TermKind::eq:
+    case TermKind::forall_pos:
+      throw InvalidArgument("expected an arithmetic term, found: " +
+                            term.to_string());
+  }
+  throw InvalidArgument("unknown term kind");
+}
+
+namespace {
+
+std::string term_kind_spelling(TermKind kind) {
+  switch (kind) {
+    case TermKind::lt:
+      return "<";
+    case TermKind::le:
+      return "<=";
+    case TermKind::gt:
+      return ">";
+    case TermKind::ge:
+      return ">=";
+    case TermKind::eq:
+      return "=";
+    case TermKind::add:
+      return "+";
+    case TermKind::sub:
+      return "-";
+    case TermKind::mul:
+      return "*";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string Term::to_string() const {
+  switch (kind_) {
+    case TermKind::variable:
+      return name_;
+    case TermKind::constant:
+      return std::to_string(value_);
+    case TermKind::forall_pos: {
+      return "(forall (" + name_ + "::Sig) " + children_.front().to_string() +
+             ")";
+    }
+    default: {
+      std::string out = "(" + term_kind_spelling(kind_);
+      for (const Term& child : children_) {
+        out.push_back(' ');
+        out += child.to_string();
+      }
+      out.push_back(')');
+      return out;
+    }
+  }
+}
+
+}  // namespace fsr::smt

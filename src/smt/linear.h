@@ -1,0 +1,41 @@
+// Normalisation of terms into linear forms.
+//
+// Every arithmetic term the toolkit generates is linear over its variables.
+// The solver classifies each asserted atom by first flattening both sides
+// into sum(coefficient * variable) + constant; the difference of the two
+// sides then decides which decision procedure applies (difference logic for
+// at-most-two unit-coefficient variables, the forall schema checker for
+// quantified bodies).
+#ifndef FSR_SMT_LINEAR_H
+#define FSR_SMT_LINEAR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "smt/term.h"
+
+namespace fsr::smt {
+
+/// A linear integer form: sum over `coefficients` of coeff * var, plus
+/// `constant`. Variables with zero coefficient are never stored.
+struct LinearForm {
+  std::map<std::string, std::int64_t> coefficients;
+  std::int64_t constant = 0;
+
+  LinearForm& operator+=(const LinearForm& other);
+  LinearForm& operator-=(const LinearForm& other);
+  LinearForm& operator*=(std::int64_t factor);
+
+  /// Number of variables with non-zero coefficient.
+  std::size_t variable_count() const noexcept { return coefficients.size(); }
+};
+
+/// Flattens `term` (which must be arithmetic: variable/constant/add/sub/mul)
+/// into a LinearForm. Throws fsr::InvalidArgument if the term is non-linear
+/// (e.g. a product of two variables) or is a relation/quantifier.
+LinearForm linearize(const Term& term);
+
+}  // namespace fsr::smt
+
+#endif  // FSR_SMT_LINEAR_H

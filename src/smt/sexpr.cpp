@@ -1,0 +1,179 @@
+#include "smt/sexpr.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace fsr::smt {
+namespace {
+
+struct Token {
+  enum class Kind { lparen, rparen, atom, end };
+  Kind kind = Kind::end;
+  std::string spelling;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_trivia();
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+    if (pos_ >= text_.size()) {
+      tok.kind = Token::Kind::end;
+      return tok;
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      advance();
+      tok.kind = Token::Kind::lparen;
+      return tok;
+    }
+    if (c == ')') {
+      advance();
+      tok.kind = Token::Kind::rparen;
+      return tok;
+    }
+    tok.kind = Token::Kind::atom;
+    while (pos_ < text_.size() && !is_delimiter(text_[pos_])) {
+      tok.spelling.push_back(text_[pos_]);
+      advance();
+    }
+    return tok;
+  }
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  static bool is_delimiter(char c) noexcept {
+    return c == '(' || c == ')' || c == ';' ||
+           std::isspace(static_cast<unsigned char>(c)) != 0;
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void skip_trivia() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance();
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { shift(); }
+
+  std::vector<Sexpr> parse_all() {
+    std::vector<Sexpr> out;
+    while (lookahead_.kind != Token::Kind::end) {
+      out.push_back(parse_one());
+    }
+    return out;
+  }
+
+ private:
+  Sexpr parse_one() {
+    switch (lookahead_.kind) {
+      case Token::Kind::atom: {
+        Sexpr s = Sexpr::atom(lookahead_.spelling);
+        shift();
+        return s;
+      }
+      case Token::Kind::lparen: {
+        shift();
+        std::vector<Sexpr> items;
+        while (lookahead_.kind != Token::Kind::rparen) {
+          if (lookahead_.kind == Token::Kind::end) {
+            throw ParseError("unbalanced '(' in s-expression", lookahead_.line,
+                             lookahead_.column);
+          }
+          items.push_back(parse_one());
+        }
+        shift();  // consume ')'
+        return Sexpr::list(std::move(items));
+      }
+      case Token::Kind::rparen:
+        throw ParseError("unexpected ')'", lookahead_.line, lookahead_.column);
+      case Token::Kind::end:
+        throw ParseError("unexpected end of input", lookahead_.line,
+                         lookahead_.column);
+    }
+    throw ParseError("unreachable token state", lookahead_.line,
+                     lookahead_.column);
+  }
+
+  void shift() { lookahead_ = lexer_.next(); }
+
+  Lexer lexer_;
+  Token lookahead_;
+};
+
+}  // namespace
+
+const std::string& Sexpr::spelling() const {
+  if (!is_atom_) throw InvalidArgument("Sexpr::spelling called on a list");
+  return spelling_;
+}
+
+const std::vector<Sexpr>& Sexpr::items() const {
+  if (is_atom_) throw InvalidArgument("Sexpr::items called on an atom");
+  return items_;
+}
+
+bool Sexpr::is_call(std::string_view head) const {
+  return is_list() && !items_.empty() && items_.front().is_atom() &&
+         items_.front().spelling_ == head;
+}
+
+std::string Sexpr::to_string() const {
+  if (is_atom_) return spelling_;
+  std::string out = "(";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += items_[i].to_string();
+  }
+  out.push_back(')');
+  return out;
+}
+
+std::vector<Sexpr> parse_sexprs(std::string_view text) {
+  return Parser(text).parse_all();
+}
+
+Sexpr parse_sexpr(std::string_view text) {
+  auto all = parse_sexprs(text);
+  if (all.size() != 1) {
+    throw ParseError("expected exactly one s-expression, found " +
+                         std::to_string(all.size()),
+                     1, 1);
+  }
+  return std::move(all.front());
+}
+
+}  // namespace fsr::smt

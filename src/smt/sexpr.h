@@ -1,0 +1,78 @@
+// S-expression reader/printer for the Yices-style solver frontend.
+//
+// The FSR paper feeds Yices a textual constraint language built from
+// s-expressions, e.g.:
+//
+//   (define-type Sig (subtype (n::nat) (> n 0)))
+//   (define C::Sig)
+//   (assert (< C P))
+//   (check)
+//
+// This module provides the concrete syntax layer: a lexer and recursive
+// parser producing a small immutable tree, plus a printer used when FSR
+// emits constraint files.
+#ifndef FSR_SMT_SEXPR_H
+#define FSR_SMT_SEXPR_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::smt {
+
+/// An s-expression: either an atom (symbol or integer literal kept as its
+/// spelling) or a list of child expressions.
+class Sexpr {
+ public:
+  static Sexpr atom(std::string spelling) {
+    Sexpr s;
+    s.is_atom_ = true;
+    s.spelling_ = std::move(spelling);
+    return s;
+  }
+
+  static Sexpr list(std::vector<Sexpr> items) {
+    Sexpr s;
+    s.is_atom_ = false;
+    s.items_ = std::move(items);
+    return s;
+  }
+
+  bool is_atom() const noexcept { return is_atom_; }
+  bool is_list() const noexcept { return !is_atom_; }
+
+  /// Spelling of an atom. Requires is_atom().
+  const std::string& spelling() const;
+
+  /// Children of a list. Requires is_list().
+  const std::vector<Sexpr>& items() const;
+
+  /// Number of children (0 for atoms).
+  std::size_t size() const noexcept { return is_atom_ ? 0 : items_.size(); }
+
+  /// Convenience: true if this is a list whose first element is the atom
+  /// `head` (the usual "command" shape).
+  bool is_call(std::string_view head) const;
+
+  /// Renders back to text (single line).
+  std::string to_string() const;
+
+ private:
+  Sexpr() = default;
+  bool is_atom_ = true;
+  std::string spelling_;
+  std::vector<Sexpr> items_;
+};
+
+/// Parses a whole script: a sequence of top-level s-expressions.
+/// Comments run from ';' to end of line. Throws fsr::ParseError on
+/// malformed input (unbalanced parentheses, stray tokens).
+std::vector<Sexpr> parse_sexprs(std::string_view text);
+
+/// Parses exactly one s-expression; throws if there is not exactly one.
+Sexpr parse_sexpr(std::string_view text);
+
+}  // namespace fsr::smt
+
+#endif  // FSR_SMT_SEXPR_H

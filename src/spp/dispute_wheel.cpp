@@ -1,0 +1,106 @@
+#include "spp/dispute_wheel.h"
+
+#include <map>
+
+#include "spp/translate.h"
+
+namespace fsr::spp {
+namespace {
+
+struct Graph {
+  // adjacency: preferred signature -> (dispreferred signature, provenance)
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> out;
+};
+
+/// Builds the strict-preference digraph: an edge a -> b means "a must
+/// rank strictly better than b".
+Graph build_graph(const SppInstance& instance) {
+  Graph graph;
+  for (const std::string& node : instance.nodes()) {
+    const auto& ranked = instance.permitted(node);
+    for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+      graph.out[spp_signature(ranked[i])].emplace_back(
+          spp_signature(ranked[i + 1]),
+          "rank at " + node + ": " + path_name(ranked[i]) + " < " +
+              path_name(ranked[i + 1]));
+    }
+    for (const Path& path : ranked) {
+      if (path.size() == 2) continue;
+      const Path suffix(path.begin() + 1, path.end());
+      if (instance.rank_of(suffix).has_value()) {
+        // Strict monotonicity: the suffix must rank better than the path.
+        graph.out[spp_signature(suffix)].emplace_back(
+            spp_signature(path),
+            "monotonicity: " + path_name(suffix) + " < " + path_name(path));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+std::optional<std::vector<DisputeEdge>> find_dispute_cycle(
+    const SppInstance& instance) {
+  const Graph graph = build_graph(instance);
+
+  // Iterative DFS with colouring; on finding a back edge, unwind the
+  // explicit stack to reconstruct the cycle with provenance.
+  enum class Colour { white, grey, black };
+  std::map<std::string, Colour> colour;
+
+  struct Frame {
+    std::string node;
+    std::size_t next_edge = 0;
+  };
+
+  for (const auto& [start, edges] : graph.out) {
+    (void)edges;
+    if (colour[start] != Colour::white) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{start, 0});
+    colour[start] = Colour::grey;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto adjacency = graph.out.find(frame.node);
+      const std::size_t degree =
+          adjacency == graph.out.end() ? 0 : adjacency->second.size();
+      if (frame.next_edge >= degree) {
+        colour[frame.node] = Colour::black;
+        stack.pop_back();
+        continue;
+      }
+      const auto& [target, provenance] =
+          adjacency->second[frame.next_edge++];
+      if (colour[target] == Colour::grey) {
+        // Back edge: the cycle runs from `target` up the stack to
+        // frame.node, then closes via this edge.
+        std::vector<DisputeEdge> cycle;
+        std::size_t cycle_start = 0;
+        for (std::size_t i = 0; i < stack.size(); ++i) {
+          if (stack[i].node == target) {
+            cycle_start = i;
+            break;
+          }
+        }
+        for (std::size_t i = cycle_start; i + 1 < stack.size(); ++i) {
+          // The edge taken out of stack[i] was next_edge - 1.
+          const auto& taken =
+              graph.out.at(stack[i].node)[stack[i].next_edge - 1];
+          cycle.push_back(
+              DisputeEdge{stack[i].node, taken.first, taken.second});
+        }
+        cycle.push_back(DisputeEdge{stack.back().node, target, provenance});
+        return cycle;
+      }
+      if (colour[target] == Colour::white) {
+        colour[target] = Colour::grey;
+        stack.push_back(Frame{target, 0});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fsr::spp

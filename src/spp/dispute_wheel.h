@@ -1,0 +1,43 @@
+// Dispute-cycle detection for SPP instances.
+//
+// The paper observes (Section VI-B) that the minimal unsat core of an
+// unsafe instance "forms a dispute wheel". This module makes that notion
+// directly computable: the ranking constraints (p better than p' at the
+// same node) and monotonicity constraints (a permitted path is less
+// preferred than its permitted suffix) form a strict-preference digraph
+// over path signatures; the instance admits a strictly monotone ranking
+// iff that digraph is acyclic. A cycle is a combinatorial witness of the
+// dispute — the same evidence the solver's unsat core provides, derived
+// graph-theoretically.
+//
+// (This is the SPP specialisation: every constraint is a strict "<", so
+// satisfiability over integers is exactly digraph acyclicity. The SMT
+// path remains the general tool — guidelines also carry equalities, weak
+// preferences and quantified templates.)
+#ifndef FSR_SPP_DISPUTE_WHEEL_H
+#define FSR_SPP_DISPUTE_WHEEL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spp/spp.h"
+
+namespace fsr::spp {
+
+/// One edge of a dispute cycle, with human-readable provenance.
+struct DisputeEdge {
+  std::string preferred;   // signature that must rank strictly better
+  std::string dispreferred;
+  std::string provenance;  // "rank at u: ..." or "suffix of ..."
+};
+
+/// Returns a strict-preference cycle if one exists (the instance cannot
+/// be strictly monotone), or std::nullopt if the constraint digraph is
+/// acyclic (a strictly monotone ranking exists).
+std::optional<std::vector<DisputeEdge>> find_dispute_cycle(
+    const SppInstance& instance);
+
+}  // namespace fsr::spp
+
+#endif  // FSR_SPP_DISPUTE_WHEEL_H

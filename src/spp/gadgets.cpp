@@ -1,0 +1,142 @@
+#include "spp/gadgets.h"
+
+#include "util/error.h"
+
+namespace fsr::spp {
+
+SppInstance good_gadget() {
+  SppInstance instance("good-gadget");
+  instance.add_edge("1", "0");
+  instance.add_edge("2", "0");
+  instance.add_edge("3", "0");
+  instance.add_edge("1", "3");
+  instance.add_edge("1", "2");
+  instance.add_permitted_path({"1", "3", "0"});
+  instance.add_permitted_path({"1", "0"});
+  instance.add_permitted_path({"2", "1", "0"});
+  instance.add_permitted_path({"2", "0"});
+  instance.add_permitted_path({"3", "0"});
+  instance.add_permitted_path({"3", "1", "0"});
+  return instance;
+}
+
+SppInstance bad_gadget() {
+  SppInstance instance("bad-gadget");
+  instance.add_edge("1", "0");
+  instance.add_edge("2", "0");
+  instance.add_edge("3", "0");
+  instance.add_edge("1", "2");
+  instance.add_edge("2", "3");
+  instance.add_edge("3", "1");
+  instance.add_permitted_path({"1", "2", "0"});
+  instance.add_permitted_path({"1", "0"});
+  instance.add_permitted_path({"2", "3", "0"});
+  instance.add_permitted_path({"2", "0"});
+  instance.add_permitted_path({"3", "1", "0"});
+  instance.add_permitted_path({"3", "0"});
+  return instance;
+}
+
+SppInstance disagree_gadget() {
+  SppInstance instance("disagree");
+  instance.add_edge("1", "0");
+  instance.add_edge("2", "0");
+  instance.add_edge("1", "2");
+  instance.add_permitted_path({"1", "2", "0"});
+  instance.add_permitted_path({"1", "0"});
+  instance.add_permitted_path({"2", "1", "0"});
+  instance.add_permitted_path({"2", "0"});
+  return instance;
+}
+
+namespace {
+
+/// Shared topology of the Figure-3 instance: reflectors a, b, c in a
+/// triangle; egress nodes d (client of a), e (of b), f (of c) each holding
+/// an external route to the destination.
+SppInstance figure3_topology(const std::string& name) {
+  SppInstance instance(name);
+  // iBGP sessions among reflectors and to clients.
+  instance.add_edge("a", "b");
+  instance.add_edge("b", "c");
+  instance.add_edge("a", "c");
+  instance.add_edge("a", "d");
+  instance.add_edge("b", "e");
+  instance.add_edge("c", "f");
+  // External routes r1, r2, r3 as one-hop egress links.
+  instance.add_edge("d", "0");
+  instance.add_edge("e", "0");
+  instance.add_edge("f", "0");
+  return instance;
+}
+
+}  // namespace
+
+SppInstance ibgp_figure3_gadget() {
+  SppInstance instance = figure3_topology("ibgp-figure3");
+  // Reflectors: each prefers the NEXT reflector's client egress over its
+  // own client's — the oscillation-inducing preferences of the figure.
+  instance.add_permitted_path({"a", "b", "e", "0"});  // aber2
+  instance.add_permitted_path({"a", "d", "0"});       // adr1
+  instance.add_permitted_path({"b", "c", "f", "0"});  // bcfr3
+  instance.add_permitted_path({"b", "e", "0"});       // ber2
+  instance.add_permitted_path({"c", "a", "d", "0"});  // cadr1
+  instance.add_permitted_path({"c", "f", "0"});       // cfr3
+  // Egress nodes: external route first, then routes via the reflectors.
+  instance.add_permitted_path({"d", "0"});                 // r1
+  instance.add_permitted_path({"d", "a", "b", "e", "0"});  // daber2
+  instance.add_permitted_path({"d", "a", "c", "f", "0"});  // dacfr3
+  instance.add_permitted_path({"e", "0"});                 // r2
+  instance.add_permitted_path({"e", "b", "a", "d", "0"});  // ebadr1
+  instance.add_permitted_path({"e", "b", "c", "f", "0"});  // ebcfr3
+  instance.add_permitted_path({"f", "0"});                 // r3
+  instance.add_permitted_path({"f", "c", "b", "e", "0"});  // fcber2
+  instance.add_permitted_path({"f", "c", "a", "d", "0"});  // fcadr1
+  return instance;
+}
+
+SppInstance ibgp_figure3_fixed() {
+  SppInstance instance = figure3_topology("ibgp-figure3-fixed");
+  // Repair: every reflector prefers its own client's egress route.
+  instance.add_permitted_path({"a", "d", "0"});
+  instance.add_permitted_path({"a", "b", "e", "0"});
+  instance.add_permitted_path({"b", "e", "0"});
+  instance.add_permitted_path({"b", "c", "f", "0"});
+  instance.add_permitted_path({"c", "f", "0"});
+  instance.add_permitted_path({"c", "a", "d", "0"});
+  instance.add_permitted_path({"d", "0"});
+  instance.add_permitted_path({"d", "a", "b", "e", "0"});
+  instance.add_permitted_path({"d", "a", "c", "f", "0"});
+  instance.add_permitted_path({"e", "0"});
+  instance.add_permitted_path({"e", "b", "a", "d", "0"});
+  instance.add_permitted_path({"e", "b", "c", "f", "0"});
+  instance.add_permitted_path({"f", "0"});
+  instance.add_permitted_path({"f", "c", "b", "e", "0"});
+  instance.add_permitted_path({"f", "c", "a", "d", "0"});
+  return instance;
+}
+
+SppInstance good_gadget_chain(std::int32_t count) {
+  if (count < 1) throw InvalidArgument("good_gadget_chain needs count >= 1");
+  SppInstance instance("good-gadget-chain");
+  for (std::int32_t k = 0; k < count; ++k) {
+    const std::string suffix = "g" + std::to_string(k);
+    const std::string n1 = "1" + suffix;
+    const std::string n2 = "2" + suffix;
+    const std::string n3 = "3" + suffix;
+    instance.add_edge(n1, "0");
+    instance.add_edge(n2, "0");
+    instance.add_edge(n3, "0");
+    instance.add_edge(n1, n3);
+    instance.add_edge(n1, n2);
+    instance.add_permitted_path({n1, n3, "0"});
+    instance.add_permitted_path({n1, "0"});
+    instance.add_permitted_path({n2, n1, "0"});
+    instance.add_permitted_path({n2, "0"});
+    instance.add_permitted_path({n3, "0"});
+    instance.add_permitted_path({n3, n1, "0"});
+  }
+  return instance;
+}
+
+}  // namespace fsr::spp

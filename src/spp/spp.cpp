@@ -1,0 +1,245 @@
+#include "spp/spp.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace fsr::spp {
+
+const std::vector<Path> SppInstance::k_no_paths{};
+
+std::string path_name(const Path& path) {
+  return util::join(path, "-");
+}
+
+SppInstance::SppInstance(std::string name, std::string destination)
+    : name_(std::move(name)), destination_(std::move(destination)) {
+  if (name_.empty() || destination_.empty()) {
+    throw InvalidArgument("SPP instance and destination names are required");
+  }
+  node_set_.insert(destination_);
+}
+
+void SppInstance::add_edge(const std::string& u, const std::string& v) {
+  if (u == v) throw InvalidArgument("self-loop edge at '" + u + "'");
+  node_set_.insert(u);
+  node_set_.insert(v);
+  const auto normalised = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  if (edge_set_.insert(normalised).second) {
+    edges_.push_back(normalised);
+  }
+}
+
+bool SppInstance::has_edge(const std::string& u, const std::string& v) const {
+  const auto key = u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  return edge_set_.contains(key);
+}
+
+void SppInstance::add_permitted_path(const Path& path) {
+  if (path.size() < 2) {
+    throw InvalidArgument("permitted path must have at least two nodes");
+  }
+  if (path.back() != destination_) {
+    throw InvalidArgument("permitted path " + path_name(path) +
+                          " must end at destination '" + destination_ + "'");
+  }
+  if (path.front() == destination_) {
+    throw InvalidArgument("permitted path may not start at the destination");
+  }
+  std::set<std::string> seen;
+  for (const std::string& node : path) {
+    if (!seen.insert(node).second) {
+      throw InvalidArgument("permitted path " + path_name(path) +
+                            " is not simple");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!has_edge(path[i], path[i + 1])) {
+      throw InvalidArgument("permitted path " + path_name(path) +
+                            " uses undeclared edge " + path[i] + "-" +
+                            path[i + 1]);
+    }
+  }
+  permitted_[path.front()].push_back(path);
+}
+
+std::vector<std::string> SppInstance::nodes() const {
+  std::vector<std::string> out;
+  for (const std::string& node : node_set_) {
+    if (node != destination_) out.push_back(node);
+  }
+  return out;
+}
+
+const std::vector<Path>& SppInstance::permitted(const std::string& node) const {
+  const auto it = permitted_.find(node);
+  return it == permitted_.end() ? k_no_paths : it->second;
+}
+
+std::optional<std::size_t> SppInstance::rank_of(const Path& path) const {
+  if (path.empty()) return std::nullopt;
+  const auto& ranked = permitted(path.front());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == path) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t SppInstance::permitted_path_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [node, paths] : permitted_) {
+    (void)node;
+    n += paths.size();
+  }
+  return n;
+}
+
+namespace {
+
+/// The path `node` would select under assignment `chosen`: its highest
+/// ranked permitted path whose one-step suffix is the current selection of
+/// the next hop (or a direct path to the destination).
+std::optional<Path> best_consistent_choice(const SppInstance& instance,
+                                           const std::string& node,
+                                           const Assignment& chosen) {
+  for (const Path& candidate : instance.permitted(node)) {
+    if (candidate.size() == 2) return candidate;  // direct to destination
+    const std::string& next_hop = candidate[1];
+    const auto it = chosen.find(next_hop);
+    if (it == chosen.end()) continue;
+    const Path& next_path = it->second;
+    if (candidate.size() != next_path.size() + 1) continue;
+    if (std::equal(candidate.begin() + 1, candidate.end(),
+                   next_path.begin())) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Assignment> enumerate_stable_assignments(
+    const SppInstance& instance, std::uint64_t max_states) {
+  const std::vector<std::string> nodes = instance.nodes();
+
+  // Search space: each node picks one permitted path or none.
+  std::uint64_t states = 1;
+  for (const std::string& node : nodes) {
+    const std::uint64_t options = instance.permitted(node).size() + 1;
+    if (states > max_states / options) {
+      throw InvalidArgument(
+          "SPP instance '" + instance.name() +
+          "' is too large for exhaustive stable-state enumeration");
+    }
+    states *= options;
+  }
+
+  std::vector<Assignment> stable;
+  std::vector<std::size_t> choice(nodes.size(), 0);  // index; size() = none
+
+  const auto current_assignment = [&]() {
+    Assignment assignment;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& paths = instance.permitted(nodes[i]);
+      if (choice[i] < paths.size()) {
+        assignment[nodes[i]] = paths[choice[i]];
+      }
+    }
+    return assignment;
+  };
+
+  while (true) {
+    const Assignment assignment = current_assignment();
+    bool is_stable = true;
+    for (const std::string& node : nodes) {
+      const auto best = best_consistent_choice(instance, node, assignment);
+      const auto it = assignment.find(node);
+      const bool has = it != assignment.end();
+      if (best.has_value() != has ||
+          (best.has_value() && has && *best != it->second)) {
+        is_stable = false;
+        break;
+      }
+    }
+    if (is_stable) stable.push_back(assignment);
+
+    // Advance the mixed-radix counter.
+    std::size_t i = 0;
+    for (; i < nodes.size(); ++i) {
+      if (choice[i] < instance.permitted(nodes[i]).size()) {
+        ++choice[i];
+        break;
+      }
+      choice[i] = 0;
+    }
+    if (i == nodes.size()) break;
+  }
+  return stable;
+}
+
+SpvpResult simulate_spvp(const SppInstance& instance, util::Rng& rng,
+                         std::uint64_t max_activations) {
+  const std::vector<std::string> nodes = instance.nodes();
+  SpvpResult result;
+  if (nodes.empty()) {
+    result.converged = true;
+    return result;
+  }
+
+  Assignment chosen;
+  // Quiescence detection: converged once `nodes.size()` consecutive
+  // activations (a full randomized sweep with certainty margin) caused no
+  // change AND a deterministic sweep confirms a fixed point.
+  std::uint64_t since_change = 0;
+  const auto n = static_cast<std::int64_t>(nodes.size());
+
+  const auto apply_activation = [&](const std::string& node) {
+    const auto best = best_consistent_choice(instance, node, chosen);
+    const auto it = chosen.find(node);
+    const bool has = it != chosen.end();
+    if (best.has_value() != has ||
+        (best.has_value() && has && *best != it->second)) {
+      if (best.has_value()) {
+        chosen[node] = *best;
+      } else {
+        chosen.erase(node);
+      }
+      return true;
+    }
+    return false;
+  };
+
+  const auto is_fixed_point = [&]() {
+    for (const std::string& node : nodes) {
+      const auto best = best_consistent_choice(instance, node, chosen);
+      const auto it = chosen.find(node);
+      const bool has = it != chosen.end();
+      if (best.has_value() != has ||
+          (best.has_value() && has && *best != it->second)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (result.activations < max_activations) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    ++result.activations;
+    if (apply_activation(nodes[pick])) {
+      ++result.route_changes;
+      since_change = 0;
+    } else {
+      ++since_change;
+    }
+    if (since_change >= nodes.size() * 4 && is_fixed_point()) {
+      result.converged = true;
+      result.final_assignment = chosen;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace fsr::spp

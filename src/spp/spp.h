@@ -1,0 +1,118 @@
+// The Stable Paths Problem (SPP), Griffin-Shepherd-Wilfong.
+//
+// An SPP instance is a graph with a single destination, where every node
+// carries a ranked list of "permitted paths" to that destination (most
+// preferred first). SPP is the paper's representation for fully concrete
+// policy configurations — eBGP gadgets, extracted iBGP configurations —
+// and Section III-B translates instances into routing algebra for the
+// safety analyzer.
+//
+// External routes (the r1/r2/r3 of the paper's Figure 3) are modelled as
+// one-hop paths to the shared destination node, so an instance is always a
+// plain single-destination SPP.
+//
+// This module also provides ground truth for the toolkit's verdicts:
+//   * enumerate_stable_assignments — exhaustive search for stable path
+//     assignments (GOOD gadget: exactly 1; DISAGREE: 2; BAD: none);
+//   * simulate_spvp — a randomized asynchronous Simple Path Vector Protocol
+//     run, used to observe convergence/oscillation independently of the
+//     NDlog emulation stack.
+#ifndef FSR_SPP_SPP_H
+#define FSR_SPP_SPP_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fsr::spp {
+
+/// A path is the node sequence from its source to the destination,
+/// inclusive: {"a", "b", "e", "0"}.
+using Path = std::vector<std::string>;
+
+/// Renders "a b e 0" as "abe0" style compact text (nodes joined by '-')
+/// for diagnostics and signature naming.
+std::string path_name(const Path& path);
+
+class SppInstance {
+ public:
+  /// `destination` is created implicitly; nodes are added on first use.
+  explicit SppInstance(std::string name, std::string destination = "0");
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& destination() const noexcept { return destination_; }
+
+  /// Declares an undirected link.
+  void add_edge(const std::string& u, const std::string& v);
+
+  /// Appends `path` to the permitted list of its source node (ranked:
+  /// earlier calls are more preferred). Validates that the path starts at
+  /// a non-destination node, ends at the destination, is simple, and uses
+  /// declared edges. Throws fsr::InvalidArgument otherwise.
+  void add_permitted_path(const Path& path);
+
+  /// All non-destination nodes, in deterministic (sorted) order.
+  std::vector<std::string> nodes() const;
+
+  bool has_edge(const std::string& u, const std::string& v) const;
+  const std::vector<std::pair<std::string, std::string>>& edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// Ranked permitted paths of `node` (may be empty).
+  const std::vector<Path>& permitted(const std::string& node) const;
+
+  /// Rank of `path` at its source (0 = most preferred), or nullopt if the
+  /// path is not permitted there.
+  std::optional<std::size_t> rank_of(const Path& path) const;
+
+  std::size_t permitted_path_count() const noexcept;
+
+ private:
+  std::string name_;
+  std::string destination_;
+  std::set<std::string> node_set_;
+  std::set<std::pair<std::string, std::string>> edge_set_;  // normalised
+  std::vector<std::pair<std::string, std::string>> edges_;
+  std::map<std::string, std::vector<Path>> permitted_;
+  static const std::vector<Path> k_no_paths;
+};
+
+/// A path assignment: node -> chosen permitted path (nodes routing to
+/// nothing are absent).
+using Assignment = std::map<std::string, Path>;
+
+/// Exhaustively enumerates all stable assignments of `instance`. A stable
+/// assignment picks, for every node, the highest-ranked permitted path
+/// consistent with the neighbours' choices (or no path when none is
+/// available). Exponential in the instance size; intended for gadgets.
+/// Throws fsr::InvalidArgument when the search space exceeds `max_states`.
+std::vector<Assignment> enumerate_stable_assignments(
+    const SppInstance& instance, std::uint64_t max_states = 1u << 22);
+
+/// Result of an asynchronous SPVP simulation.
+struct SpvpResult {
+  bool converged = false;
+  /// Number of node activations performed (== max_activations when the
+  /// run was cut off without quiescing).
+  std::uint64_t activations = 0;
+  /// Number of times some node changed its selected path.
+  std::uint64_t route_changes = 0;
+  Assignment final_assignment;  // meaningful when converged
+};
+
+/// Runs SPVP with uniformly random node activations: each activation makes
+/// one node re-select its best consistent permitted path given current
+/// neighbour selections. Converged means a full sweep changes nothing.
+SpvpResult simulate_spvp(const SppInstance& instance, util::Rng& rng,
+                         std::uint64_t max_activations = 100000);
+
+}  // namespace fsr::spp
+
+#endif  // FSR_SPP_SPP_H

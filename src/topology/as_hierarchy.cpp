@@ -1,0 +1,154 @@
+#include "topology/as_hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::topology {
+namespace {
+
+algebra::Value make_label(LabelScheme scheme, const char* relationship) {
+  switch (scheme) {
+    case LabelScheme::business:
+      return algebra::Value::atom(relationship);
+    case LabelScheme::business_hop_count:
+      return algebra::Value::pair(algebra::Value::atom(relationship),
+                                  algebra::Value::integer(1));
+  }
+  throw InvalidArgument("unknown label scheme");
+}
+
+}  // namespace
+
+Topology generate_as_hierarchy(const AsHierarchyParams& params,
+                               LabelScheme scheme) {
+  if (params.depth < 2) {
+    throw InvalidArgument("AS hierarchy needs depth >= 2");
+  }
+  if (params.top_level_count < 1 || params.level_growth < 1.0) {
+    throw InvalidArgument("invalid AS hierarchy shape parameters");
+  }
+  util::Rng rng(params.seed);
+
+  Topology topology;
+  topology.name = "as-hierarchy-d" + std::to_string(params.depth);
+
+  // Levels 0 (tier-1 providers) .. depth-1 (deepest transit customers);
+  // sizes grow geometrically but are capped to keep emulations tractable
+  // at depth 16 (the paper's CAIDA subgraphs are similarly modest - they
+  // ran 160 RapidNet instances at most).
+  constexpr std::int32_t k_level_cap = 12;
+  std::vector<std::vector<std::string>> levels;
+  for (std::int32_t level = 0; level < params.depth; ++level) {
+    const auto ideal = static_cast<std::int32_t>(std::llround(
+        params.top_level_count * std::pow(params.level_growth, level)));
+    const std::int32_t count = std::clamp(ideal, 1, k_level_cap);
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(count));
+    for (std::int32_t i = 0; i < count; ++i) {
+      names.push_back("as" + std::to_string(level) + "_" + std::to_string(i));
+      topology.nodes.push_back(names.back());
+    }
+    levels.push_back(std::move(names));
+  }
+
+  const algebra::Value to_customer = make_label(scheme, "c");
+  const algebra::Value to_provider = make_label(scheme, "p");
+  const algebra::Value to_peer = make_label(scheme, "r");
+
+  const auto add_provider_link = [&](const std::string& provider,
+                                     const std::string& customer) {
+    topology.links.push_back(
+        TopoLink{provider, customer, to_customer, to_provider, params.link});
+  };
+
+  // Provider attachments: every AS below the top picks 1-2 providers in
+  // the level above.
+  for (std::size_t level = 1; level < levels.size(); ++level) {
+    const auto& above = levels[level - 1];
+    for (const std::string& as_name : levels[level]) {
+      const auto first = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(above.size()) - 1));
+      add_provider_link(above[first], as_name);
+      if (above.size() > 1 && rng.chance(params.multihome_probability)) {
+        auto second = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(above.size()) - 1));
+        if (second == first) second = (second + 1) % above.size();
+        add_provider_link(above[second], as_name);
+      }
+    }
+  }
+
+  // Peer links within a level. The top level is fully peered (tier-1
+  // mesh), lower levels peer probabilistically.
+  for (std::size_t level = 0; level < levels.size(); ++level) {
+    const auto& peers = levels[level];
+    for (std::size_t i = 0; i < peers.size(); ++i) {
+      for (std::size_t j = i + 1; j < peers.size(); ++j) {
+        const bool top_mesh = level == 0;
+        if (top_mesh || rng.chance(params.peer_probability)) {
+          topology.links.push_back(
+              TopoLink{peers[i], peers[j], to_peer, to_peer, params.link});
+        }
+      }
+    }
+  }
+
+  // Destination: a stub customer below a deepest-level AS, so routes climb
+  // the whole hierarchy.
+  topology.destination = "dst";
+  topology.nodes.push_back(topology.destination);
+  add_provider_link(levels.back().front(), topology.destination);
+
+  return topology;
+}
+
+std::int32_t longest_customer_provider_chain(const Topology& topology) {
+  // Longest path in the provider -> customer DAG, in edges. The generator
+  // produces an acyclic provider structure; a cycle would mean a corrupt
+  // topology, caught by the depth bound below.
+  std::map<std::string, std::vector<std::string>> customers;
+  const auto is_customer_side = [](const algebra::Value& label) {
+    const algebra::Value& core = label.is_pair() ? label.first() : label;
+    return core.is_atom() && core.as_atom() == "c";
+  };
+  for (const TopoLink& link : topology.links) {
+    if (is_customer_side(link.label_uv)) customers[link.u].push_back(link.v);
+    if (is_customer_side(link.label_vu)) customers[link.v].push_back(link.u);
+  }
+
+  std::map<std::string, std::int32_t> memo;
+  const std::int32_t limit =
+      static_cast<std::int32_t>(topology.nodes.size()) + 1;
+
+  // Iterative deepening over memoised depth-first search.
+  std::function<std::int32_t(const std::string&, std::int32_t)> down =
+      [&](const std::string& node, std::int32_t budget) -> std::int32_t {
+    if (budget <= 0) {
+      throw Error("customer-provider structure is not acyclic");
+    }
+    const auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    std::int32_t best = 0;
+    const auto adj = customers.find(node);
+    if (adj != customers.end()) {
+      for (const std::string& customer : adj->second) {
+        best = std::max(best, 1 + down(customer, budget - 1));
+      }
+    }
+    memo[node] = best;
+    return best;
+  };
+
+  std::int32_t longest = 0;
+  for (const std::string& node : topology.nodes) {
+    longest = std::max(longest, down(node, limit));
+  }
+  return longest;
+}
+
+}  // namespace fsr::topology

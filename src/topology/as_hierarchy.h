@@ -1,0 +1,53 @@
+// Synthetic AS-level topologies with annotated business relationships —
+// the stand-in for the paper's CAIDA-derived subgraphs (Section VI-A).
+//
+// The paper prunes stub ASes from the CAIDA graph, roots a subgraph at a
+// random AS and keeps everything reachable over peer/customer links,
+// selecting subgraphs whose longest customer-provider chain ranges from 3
+// to 16. This generator reproduces those structural parameters directly:
+//
+//   * `depth` levels of providers (the longest customer-provider chain);
+//   * every AS below the top level has 1-2 providers in the level above
+//     (multi-homing, which is what lets real convergence beat the
+//     theoretical worst case);
+//   * same-level peer links with configurable probability;
+//   * the destination is a stub customer attached below a deepest-level
+//     AS, so routes must traverse the full hierarchy.
+//
+// All randomness comes from the seed; a (depth, seed) pair is a
+// reproducible experiment input.
+#ifndef FSR_TOPOLOGY_AS_HIERARCHY_H
+#define FSR_TOPOLOGY_AS_HIERARCHY_H
+
+#include <cstdint>
+
+#include "topology/topology.h"
+
+namespace fsr::topology {
+
+struct AsHierarchyParams {
+  std::int32_t depth = 6;            // longest customer-provider chain
+  std::int32_t top_level_count = 2;  // ASes at the top (tier-1) level
+  double level_growth = 1.6;         // level i has ~growth^i ASes
+  double multihome_probability = 0.5;  // chance of a second provider
+  double peer_probability = 0.25;      // chance of a peer link per pair
+  std::uint64_t seed = 1;
+  net::LinkConfig link;  // defaults: 100 Mbps, 10 ms (the paper's setup)
+};
+
+enum class LabelScheme {
+  business,            // atoms c/p/r (plain Gao-Rexford)
+  business_hop_count,  // pairs (c/p/r, 1) for guideline-A (x) hop-count
+};
+
+/// Generates the annotated hierarchy as a ready-to-emulate Topology.
+Topology generate_as_hierarchy(const AsHierarchyParams& params,
+                               LabelScheme scheme);
+
+/// The longest customer-provider chain actually present (graph measure;
+/// equals params.depth + 1 counting the destination's attachment edge).
+std::int32_t longest_customer_provider_chain(const Topology& topology);
+
+}  // namespace fsr::topology
+
+#endif  // FSR_TOPOLOGY_AS_HIERARCHY_H

@@ -1,0 +1,94 @@
+#include "topology/hlp_domains.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::topology {
+
+Topology generate_hlp_domains(const HlpDomainsParams& params) {
+  if (params.domain_count < 2 || params.nodes_per_domain < 2) {
+    throw InvalidArgument("HLP topology needs >= 2 domains of >= 2 nodes");
+  }
+  util::Rng rng(params.seed);
+  Topology topology;
+  topology.name = "hlp-domains";
+
+  net::LinkConfig intra;
+  intra.latency = params.intra_latency;
+  net::LinkConfig inter;
+  inter.latency = params.inter_latency;
+
+  const auto cost_label = [&rng](std::int64_t lo, std::int64_t hi) {
+    return algebra::Value::integer(rng.uniform_int(lo, hi));
+  };
+
+  // Domains: acyclic hierarchies (node i attaches to 1-2 earlier nodes).
+  std::vector<std::vector<std::string>> members(
+      static_cast<std::size_t>(params.domain_count));
+  for (std::int32_t d = 0; d < params.domain_count; ++d) {
+    const std::string marker = "dom" + std::to_string(d);
+    for (std::int32_t i = 0; i < params.nodes_per_domain; ++i) {
+      const std::string name =
+          "n" + std::to_string(d) + "_" + std::to_string(i);
+      topology.nodes.push_back(name);
+      topology.domain_of[name] = marker;
+      members[static_cast<std::size_t>(d)].push_back(name);
+      if (i == 0) continue;  // top provider of the domain
+      const auto first =
+          static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+      const algebra::Value c1 = cost_label(1, 3);
+      topology.links.push_back(
+          TopoLink{name, members[static_cast<std::size_t>(d)][first], c1, c1,
+                   intra});
+      if (i > 1 && rng.chance(0.4)) {
+        auto second = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+        if (second == first) second = (second + 1) % static_cast<std::size_t>(i);
+        const algebra::Value c2 = cost_label(1, 3);
+        topology.links.push_back(
+            TopoLink{name, members[static_cast<std::size_t>(d)][second], c2,
+                     c2, intra});
+      }
+    }
+  }
+
+  // Cross-domain links between random members of distinct domains.
+  std::int32_t placed = 0;
+  std::int32_t guard = 0;
+  while (placed < params.cross_domain_links && ++guard < 100000) {
+    const auto d1 = static_cast<std::size_t>(
+        rng.uniform_int(0, params.domain_count - 1));
+    const auto d2 = static_cast<std::size_t>(
+        rng.uniform_int(0, params.domain_count - 1));
+    if (d1 == d2) continue;
+    const std::string& u = members[d1][static_cast<std::size_t>(
+        rng.uniform_int(0, params.nodes_per_domain - 1))];
+    const std::string& v = members[d2][static_cast<std::size_t>(
+        rng.uniform_int(0, params.nodes_per_domain - 1))];
+    bool duplicate = false;
+    for (const TopoLink& link : topology.links) {
+      if ((link.u == u && link.v == v) || (link.u == v && link.v == u)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    const algebra::Value c = cost_label(5, 10);
+    topology.links.push_back(TopoLink{u, v, c, c, inter});
+    ++placed;
+  }
+
+  // Destination: attached to a node of domain 0 at cost 1.
+  topology.destination = "dst";
+  topology.nodes.push_back(topology.destination);
+  topology.domain_of[topology.destination] = "dom0";
+  topology.links.push_back(TopoLink{members[0].back(), topology.destination,
+                                    algebra::Value::integer(1),
+                                    algebra::Value::integer(1), intra});
+  return topology;
+}
+
+bool is_cross_domain(const Topology& topology, const TopoLink& link) {
+  return topology.domain_of.at(link.u) != topology.domain_of.at(link.v);
+}
+
+}  // namespace fsr::topology

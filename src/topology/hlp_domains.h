@@ -1,0 +1,39 @@
+// The Section VI-D topology: a multi-domain network for the PV / HLP /
+// HLP-CH comparison (Figure 6).
+//
+// Paper parameters, reproduced here: 10 domains, each a 20-node acyclic
+// hierarchy rooted at a top provider where every non-root node has 1-2
+// providers; 84 cross-domain links; 10 ms intra-domain and 50 ms
+// cross-domain latency; 100 Mbps everywhere. Link costs are small
+// integers so that cost hiding (threshold 5) has visible effect. The
+// destination attaches to one node of domain 0.
+#ifndef FSR_TOPOLOGY_HLP_DOMAINS_H
+#define FSR_TOPOLOGY_HLP_DOMAINS_H
+
+#include <cstdint>
+
+#include "topology/topology.h"
+
+namespace fsr::topology {
+
+struct HlpDomainsParams {
+  std::int32_t domain_count = 10;
+  std::int32_t nodes_per_domain = 20;
+  std::int32_t cross_domain_links = 84;
+  std::uint64_t seed = 1;
+  net::Time intra_latency = 10 * net::k_millisecond;
+  net::Time inter_latency = 50 * net::k_millisecond;
+};
+
+/// Generates the domain topology. Link labels are integer costs (the PV
+/// baseline runs the additive algebra directly over them); domain_of maps
+/// every node to its marker atom ("dom0".."dom9"); domain markers and
+/// link types (intra/inter) are what fsr::emulate_hlp consumes.
+Topology generate_hlp_domains(const HlpDomainsParams& params);
+
+/// True if the link crosses domains (used when emitting link facts).
+bool is_cross_domain(const Topology& topology, const TopoLink& link);
+
+}  // namespace fsr::topology
+
+#endif  // FSR_TOPOLOGY_HLP_DOMAINS_H

@@ -1,0 +1,306 @@
+#include "topology/rocketfuel.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::topology {
+namespace {
+
+constexpr std::int32_t k_router_count = 87;
+constexpr std::size_t k_physical_links = 322;
+const std::vector<std::int32_t> k_reflector_levels = {3, 6, 10, 14, 20};
+
+struct PhysicalGraph {
+  std::vector<std::string> routers;
+  std::map<std::string, std::int32_t> level_of;  // 0..5 (5 = clients)
+  std::map<std::pair<std::string, std::string>, std::int32_t> weights;
+  std::map<std::string, std::vector<std::pair<std::string, std::int32_t>>> adj;
+
+  void add_link(const std::string& a, const std::string& b,
+                std::int32_t weight) {
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (weights.contains(key)) return;
+    weights.emplace(key, weight);
+    adj[a].emplace_back(b, weight);
+    adj[b].emplace_back(a, weight);
+  }
+
+  bool has_link(const std::string& a, const std::string& b) const {
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    return weights.contains(key);
+  }
+};
+
+/// Dijkstra from `source` over the physical graph.
+std::map<std::string, std::int64_t> igp_costs_from(const PhysicalGraph& graph,
+                                                   const std::string& source) {
+  std::map<std::string, std::int64_t> dist;
+  using Item = std::pair<std::int64_t, std::string>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0;
+  queue.emplace(0, source);
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    const auto it = dist.find(node);
+    if (it != dist.end() && it->second < d) continue;
+    const auto adj_it = graph.adj.find(node);
+    if (adj_it == graph.adj.end()) continue;
+    for (const auto& [next, weight] : adj_it->second) {
+      const std::int64_t nd = d + weight;
+      const auto next_it = dist.find(next);
+      if (next_it == dist.end() || nd < next_it->second) {
+        dist[next] = nd;
+        queue.emplace(nd, next);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+IbgpExperiment build_rocketfuel_ibgp(const RocketfuelParams& params) {
+  util::Rng rng(params.seed);
+  PhysicalGraph graph;
+  IbgpExperiment experiment;
+
+  // ---- Routers in levels: 53 reflectors in 5 levels + 34 clients. ----
+  std::vector<std::vector<std::string>> levels;
+  std::int32_t made = 0;
+  for (std::size_t level = 0; level < k_reflector_levels.size(); ++level) {
+    std::vector<std::string> names;
+    for (std::int32_t i = 0; i < k_reflector_levels[level]; ++i) {
+      const std::string name =
+          "r" + std::to_string(level) + "_" + std::to_string(i);
+      names.push_back(name);
+      graph.routers.push_back(name);
+      graph.level_of[name] = static_cast<std::int32_t>(level);
+      experiment.reflectors.push_back(name);
+      ++made;
+    }
+    levels.push_back(std::move(names));
+  }
+  std::vector<std::string> clients;
+  for (std::int32_t i = made; i < k_router_count; ++i) {
+    const std::string name = "c" + std::to_string(i - made);
+    clients.push_back(name);
+    graph.routers.push_back(name);
+    graph.level_of[name] = static_cast<std::int32_t>(levels.size());
+  }
+  levels.push_back(clients);
+
+  // ---- Physical links: parent attachments + mesh + random padding. ----
+  const auto weight = [&rng]() {
+    return static_cast<std::int32_t>(rng.uniform_int(1, 20));
+  };
+  // Top-level physical triangle.
+  for (std::size_t i = 0; i < levels[0].size(); ++i) {
+    for (std::size_t j = i + 1; j < levels[0].size(); ++j) {
+      graph.add_link(levels[0][i], levels[0][j], weight());
+    }
+  }
+  for (std::size_t level = 1; level < levels.size(); ++level) {
+    const auto& above = levels[level - 1];
+    for (const std::string& router : levels[level]) {
+      const auto first = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(above.size()) - 1));
+      graph.add_link(router, above[first], weight());
+      if (rng.chance(0.6)) {
+        auto second = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(above.size()) - 1));
+        if (second == first) second = (second + 1) % above.size();
+        graph.add_link(router, above[second], weight());
+      }
+    }
+  }
+  // ---- Egresses: three designated client routers, rewired as direct
+  // clients (physical + session) of the three top reflectors, mirroring
+  // the Figure-3 layout. They stay part of the 87-router population.
+  const std::vector<std::string> gadget_reflectors = levels[0];
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string& egress = clients.at(i);
+    experiment.egresses.push_back(egress);
+    graph.add_link(egress, gadget_reflectors[i], weight());
+  }
+
+  // Pad with random links (any pair) until the Rocketfuel link count.
+  std::int32_t guard = 0;
+  while (graph.weights.size() < k_physical_links && ++guard < 100000) {
+    const auto i = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(graph.routers.size()) - 1));
+    const auto j = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(graph.routers.size()) - 1));
+    if (i == j) continue;
+    graph.add_link(graph.routers[i], graph.routers[j], weight());
+  }
+
+  // ---- iBGP session graph. ----
+  spp::SppInstance instance(params.embed_gadget ? "rocketfuel-ibgp-gadget"
+                                                : "rocketfuel-ibgp",
+                            "0");
+  std::set<std::pair<std::string, std::string>> sessions;
+  const auto add_session = [&](const std::string& a, const std::string& b) {
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (sessions.insert(key).second) instance.add_edge(a, b);
+  };
+  // Sessions follow physical parent/child links between adjacent levels
+  // plus the top-level mesh (including the rewired egress attachments).
+  for (const auto& [key, w] : graph.weights) {
+    (void)w;
+    const std::int32_t la = graph.level_of.at(key.first);
+    const std::int32_t lb = graph.level_of.at(key.second);
+    if (la == 0 && lb == 0) {
+      add_session(key.first, key.second);
+    } else if (std::abs(la - lb) >= 1 &&
+               (la == 0 || lb == 0 || std::abs(la - lb) == 1)) {
+      add_session(key.first, key.second);
+    }
+  }
+  // External routes: one virtual egress link per egress router.
+  for (const std::string& egress : experiment.egresses) {
+    instance.add_edge(egress, "0");
+  }
+
+  // ---- IGP costs to each egress (hot-potato preference). ----
+  std::map<std::string, std::map<std::string, std::int64_t>> cost_to_egress;
+  for (const std::string& egress : experiment.egresses) {
+    cost_to_egress[egress] = igp_costs_from(graph, egress);
+  }
+
+  // Session adjacency for path enumeration.
+  std::map<std::string, std::vector<std::string>> session_adj;
+  for (const auto& [a, b] : sessions) {
+    session_adj[a].push_back(b);
+    session_adj[b].push_back(a);
+  }
+
+  // ---- Permitted paths: IGP-descending session paths to each egress. ----
+  // A hop u -> v is admissible when v is strictly closer (IGP) to the
+  // egress; hot-potato routing only ever uses such paths, and the
+  // discipline guarantees a strictly monotone witness for the clean
+  // configuration (rank(p) = (igp cost of source, length, name)).
+  struct RankedPath {
+    std::int64_t cost = 0;
+    std::size_t length = 0;
+    spp::Path path;
+  };
+  std::map<std::string, std::vector<RankedPath>> ranked;
+
+  for (const std::string& egress : experiment.egresses) {
+    const auto& cost = cost_to_egress.at(egress);
+    // Reverse BFS from the egress over admissible (descending) edges,
+    // collecting up to paths_per_egress paths per router.
+    std::map<std::string, std::vector<spp::Path>> paths_to;  // router->paths
+    paths_to[egress] = {{egress, "0"}};
+    // Process routers in increasing IGP cost so suffix paths exist first.
+    std::vector<std::string> order;
+    for (const auto& [node, c] : cost) {
+      (void)c;
+      if (node != egress && session_adj.contains(node)) order.push_back(node);
+    }
+    std::sort(order.begin(), order.end(),
+              [&cost](const std::string& a, const std::string& b) {
+                return cost.at(a) != cost.at(b) ? cost.at(a) < cost.at(b)
+                                                : a < b;
+              });
+    for (const std::string& node : order) {
+      std::vector<spp::Path> found;
+      for (const std::string& next : session_adj.at(node)) {
+        const auto next_cost = cost.find(next);
+        if (next_cost == cost.end() || next_cost->second >= cost.at(node)) {
+          continue;  // not IGP-descending
+        }
+        const auto suffixes = paths_to.find(next);
+        if (suffixes == paths_to.end()) continue;
+        for (const spp::Path& suffix : suffixes->second) {
+          if (suffix.size() + 1 >
+              static_cast<std::size_t>(params.max_path_length) + 1) {
+            continue;
+          }
+          if (std::find(suffix.begin(), suffix.end(), node) != suffix.end()) {
+            continue;
+          }
+          spp::Path path;
+          path.push_back(node);
+          path.insert(path.end(), suffix.begin(), suffix.end());
+          found.push_back(std::move(path));
+        }
+      }
+      std::sort(found.begin(), found.end(),
+                [](const spp::Path& a, const spp::Path& b) {
+                  return a.size() != b.size() ? a.size() < b.size() : a < b;
+                });
+      if (found.size() > static_cast<std::size_t>(params.paths_per_egress)) {
+        found.resize(static_cast<std::size_t>(params.paths_per_egress));
+      }
+      if (!found.empty()) paths_to[node] = found;
+      for (const spp::Path& path : paths_to[node]) {
+        ranked[node].push_back(RankedPath{cost.at(node), path.size(), path});
+      }
+    }
+    ranked[egress].push_back(RankedPath{0, 2, {egress, "0"}});
+  }
+
+  // ---- Gadget override lists (Figure 3 pattern). ----
+  const std::vector<std::string>& g = gadget_reflectors;  // A, B, C
+  const std::vector<std::string>& e = experiment.egresses;
+  experiment.gadget_routers = {g[0], g[1], g[2], e[0], e[1], e[2]};
+  std::map<std::string, std::vector<spp::Path>> overrides;
+  if (params.embed_gadget) {
+    // Each reflector prefers the NEXT reflector's client egress.
+    overrides[g[0]] = {{g[0], g[1], e[1], "0"}, {g[0], e[0], "0"}};
+    overrides[g[1]] = {{g[1], g[2], e[2], "0"}, {g[1], e[1], "0"}};
+    overrides[g[2]] = {{g[2], g[0], e[0], "0"}, {g[2], e[2], "0"}};
+  } else {
+    // Clean configuration: own client's egress first.
+    overrides[g[0]] = {{g[0], e[0], "0"}, {g[0], g[1], e[1], "0"}};
+    overrides[g[1]] = {{g[1], e[1], "0"}, {g[1], g[2], e[2], "0"}};
+    overrides[g[2]] = {{g[2], e[2], "0"}, {g[2], g[0], e[0], "0"}};
+  }
+  // Egress routers mirror Figure 3: external route first, then the routes
+  // reflected through the triangle.
+  overrides[e[0]] = {{e[0], "0"},
+                     {e[0], g[0], g[1], e[1], "0"},
+                     {e[0], g[0], g[2], e[2], "0"}};
+  overrides[e[1]] = {{e[1], "0"},
+                     {e[1], g[1], g[0], e[0], "0"},
+                     {e[1], g[1], g[2], e[2], "0"}};
+  overrides[e[2]] = {{e[2], "0"},
+                     {e[2], g[2], g[0], e[0], "0"},
+                     {e[2], g[2], g[1], e[1], "0"}};
+
+  // ---- Emit permitted paths: overrides first, everyone else by rank. ----
+  for (const auto& [node, paths] : overrides) {
+    (void)node;
+    for (const spp::Path& path : paths) {
+      instance.add_permitted_path(path);
+    }
+  }
+  for (auto& [node, entries] : ranked) {
+    if (overrides.contains(node)) continue;
+    std::sort(entries.begin(), entries.end(),
+              [](const RankedPath& a, const RankedPath& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.length != b.length) return a.length < b.length;
+                return a.path < b.path;
+              });
+    for (const RankedPath& entry : entries) {
+      instance.add_permitted_path(entry.path);
+    }
+  }
+
+  experiment.instance = std::move(instance);
+  experiment.router_count = graph.routers.size();
+  experiment.physical_link_count = graph.weights.size();
+  experiment.session_count = sessions.size();
+  experiment.level_of = graph.level_of;
+  return experiment;
+}
+
+}  // namespace fsr::topology

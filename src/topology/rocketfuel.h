@@ -1,0 +1,67 @@
+// Rocketfuel-like intradomain topology and iBGP experiment construction
+// (paper Section VI-B, Figure 5).
+//
+// The paper uses the inferred AS 1755 topology: 87 routers, 322 links,
+// IGP link weights, a 6-level route-reflection hierarchy with 53
+// reflectors, and three egress routers holding external routes to one
+// destination. We have no licensed Rocketfuel snapshot offline, so this
+// generator reproduces those structural parameters synthetically and
+// deterministically from a seed:
+//
+//   * 87 routers in 6 levels (3/6/10/14/20 reflectors = 53, plus 34
+//     clients), physical links padded to exactly 322 with random extras,
+//     integer IGP weights;
+//   * pairwise IGP costs computed a priori by Dijkstra (as the paper
+//     does);
+//   * an iBGP session graph: top-level mesh, parent/child sessions, the
+//     three egresses sessioned to the three top reflectors;
+//   * per-router rankings over session paths by hot-potato preference
+//     (lowest IGP cost to the egress), with only IGP-descending paths
+//     permitted — which makes the clean configuration provably safe;
+//   * optionally, the Figure-3 gadget embedded at the top-reflector
+//     triangle by overriding six routers' rankings ("setting their IGP
+//     cost to the egress routers the same as those in Figure 3").
+//
+// The result is expressed as an SPP instance (the paper's own analysis
+// path: per-node rankings extracted from protocol runs), ready for both
+// the safety analyzer and the GPV emulation.
+#ifndef FSR_TOPOLOGY_ROCKETFUEL_H
+#define FSR_TOPOLOGY_ROCKETFUEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spp/spp.h"
+
+namespace fsr::topology {
+
+struct RocketfuelParams {
+  std::uint64_t seed = 1;
+  bool embed_gadget = false;  // Figure-3 pattern at the reflector triangle
+  /// Maximum session paths kept per (router, egress) during extraction.
+  /// The default yields constraint counts in the paper's range (~230
+  /// ranking + ~280 strict-monotonicity constraints vs the paper's
+  /// 292 + 259).
+  std::int32_t paths_per_egress = 4;
+  /// Maximum session-path length (hops) during extraction.
+  std::int32_t max_path_length = 8;
+};
+
+struct IbgpExperiment {
+  spp::SppInstance instance{"rocketfuel-ibgp", "0"};  // session-level SPP
+  std::vector<std::string> reflectors;
+  std::vector<std::string> egresses;
+  std::vector<std::string> gadget_routers;  // the six overridden routers
+  std::size_t router_count = 0;
+  std::size_t physical_link_count = 0;
+  std::size_t session_count = 0;
+  std::map<std::string, std::int32_t> level_of;
+};
+
+IbgpExperiment build_rocketfuel_ibgp(const RocketfuelParams& params);
+
+}  // namespace fsr::topology
+
+#endif  // FSR_TOPOLOGY_ROCKETFUEL_H

@@ -1,0 +1,21 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+
+namespace fsr::topology {
+
+bool Topology::has_node(const std::string& node) const {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+std::vector<std::pair<std::string, algebra::Value>>
+Topology::labelled_neighbors(const std::string& node) const {
+  std::vector<std::pair<std::string, algebra::Value>> out;
+  for (const TopoLink& link : links) {
+    if (link.u == node) out.emplace_back(link.v, link.label_uv);
+    if (link.v == node) out.emplace_back(link.u, link.label_vu);
+  }
+  return out;
+}
+
+}  // namespace fsr::topology

@@ -1,0 +1,47 @@
+// Error types shared across the FSR toolkit.
+//
+// Per C++ Core Guidelines E.2/E.14, errors that callers are expected to
+// handle are reported by throwing exceptions derived from std::exception,
+// with a dedicated type per subsystem so callers can discriminate.
+#ifndef FSR_UTIL_ERROR_H
+#define FSR_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace fsr {
+
+/// Base class for all errors raised by the toolkit.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing a textual artifact (NDlog source, SMT s-expressions,
+/// topology files) fails. Carries a human-readable location.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column)
+      : Error(what + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Raised when an input violates a documented precondition of the public API
+/// (e.g. referencing an undeclared signature in an algebra).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+}  // namespace fsr
+
+#endif  // FSR_UTIL_ERROR_H

@@ -1,0 +1,47 @@
+// Deterministic random-number helper.
+//
+// All stochastic components in the toolkit (topology generators, link
+// jitter) draw from an explicitly seeded engine so that every experiment is
+// reproducible from its seed. Per Core Guidelines ES.48/I.2 we avoid hidden
+// global state: each component owns its Rng instance.
+#ifndef FSR_UTIL_RNG_H
+#define FSR_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+
+namespace fsr::util {
+
+/// A thin deterministic wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child generator; used so that sub-components
+  /// consume random streams that do not interleave with the parent's.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fsr::util
+
+#endif  // FSR_UTIL_RNG_H

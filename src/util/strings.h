@@ -1,0 +1,31 @@
+// Small string utilities used by the parsers and report printers.
+#ifndef FSR_UTIL_STRINGS_H
+#define FSR_UTIL_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::util {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on every occurrence of `sep` (single character).
+/// Consecutive separators produce empty elements; an empty input produces
+/// a single empty element, mirroring common split semantics.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Formats a double with fixed precision (used by report printers so that
+/// benchmark output is stable across locales).
+std::string format_fixed(double value, int digits);
+
+}  // namespace fsr::util
+
+#endif  // FSR_UTIL_STRINGS_H

@@ -1,0 +1,277 @@
+// Unit tests for the routing-algebra layer: values, finite algebras, the
+// combined-extension derivation (checked against the paper's published
+// Gao-Rexford tables), additive algebras, and lexical products.
+#include <gtest/gtest.h>
+
+#include "algebra/additive_algebra.h"
+#include "algebra/finite_algebra.h"
+#include "algebra/lexical_product.h"
+#include "algebra/standard_policies.h"
+#include "util/error.h"
+
+namespace fsr::algebra {
+namespace {
+
+Value A(const char* s) { return Value::atom(s); }
+Value I(std::int64_t v) { return Value::integer(v); }
+
+// ---------------------------------------------------------------- value --
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(I(7).as_integer(), 7);
+  EXPECT_EQ(A("C").as_atom(), "C");
+  const Value p = Value::pair(A("C"), I(3));
+  EXPECT_EQ(p.first().as_atom(), "C");
+  EXPECT_EQ(p.second().as_integer(), 3);
+}
+
+TEST(Value, AccessorTypeErrors) {
+  EXPECT_THROW(I(1).as_atom(), InvalidArgument);
+  EXPECT_THROW(A("x").as_integer(), InvalidArgument);
+  EXPECT_THROW(I(1).first(), InvalidArgument);
+}
+
+TEST(Value, EqualityAndOrdering) {
+  EXPECT_EQ(I(2), I(2));
+  EXPECT_NE(I(2), I(3));
+  EXPECT_NE(I(2), A("2"));
+  EXPECT_LT(I(1), I(2));
+  EXPECT_EQ(Value::pair(A("a"), I(1)), Value::pair(A("a"), I(1)));
+  EXPECT_NE(Value::pair(A("a"), I(1)), Value::pair(A("a"), I(2)));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(I(5).to_string(), "5");
+  EXPECT_EQ(A("C").to_string(), "C");
+  EXPECT_EQ(Value::pair(A("C"), I(2)).to_string(), "(C, 2)");
+}
+
+// ------------------------------------------------------ finite algebra --
+
+TEST(FiniteAlgebra, BuilderValidatesNames) {
+  FiniteAlgebra::Builder b("t");
+  b.add_signature("X");
+  EXPECT_THROW(b.prefer("X", PrefRel::strictly_better, "ghost"),
+               InvalidArgument);
+  EXPECT_THROW(b.set_generation("nolabel", "X", "X"), InvalidArgument);
+}
+
+TEST(FiniteAlgebra, DefaultsPhiGenerationAndOpenFilters) {
+  FiniteAlgebra::Builder b("t");
+  b.add_signature("X");
+  b.add_label("l", "l");
+  const AlgebraPtr a = b.build();
+  EXPECT_TRUE(a->import_allows(A("l"), A("X")));
+  EXPECT_TRUE(a->export_allows(A("l"), A("X")));
+  EXPECT_FALSE(a->extend(A("l"), A("X")).has_value());  // phi by default
+  EXPECT_FALSE(a->originate(A("l")).has_value());
+}
+
+TEST(FiniteAlgebra, ComplementIsSymmetric) {
+  const AlgebraPtr a = gao_rexford_guideline_a();
+  EXPECT_EQ(a->complement(A("c")), A("p"));
+  EXPECT_EQ(a->complement(A("p")), A("c"));
+  EXPECT_EQ(a->complement(A("r")), A("r"));
+}
+
+// The combined (+) of guideline A must reproduce the paper's table:
+//        C    R    P
+//   c    C    phi  phi
+//   r    R    phi  phi
+//   p    P    P    P
+TEST(FiniteAlgebra, GaoRexfordCombinedTableMatchesPaper) {
+  const AlgebraPtr a = gao_rexford_guideline_a();
+  const auto combined = [&](const char* l, const char* s) {
+    return a->combined_extend(A(l), A(s));
+  };
+  EXPECT_EQ(combined("c", "C"), A("C"));
+  EXPECT_FALSE(combined("c", "R").has_value());
+  EXPECT_FALSE(combined("c", "P").has_value());
+  EXPECT_EQ(combined("r", "C"), A("R"));
+  EXPECT_FALSE(combined("r", "R").has_value());
+  EXPECT_FALSE(combined("r", "P").has_value());
+  EXPECT_EQ(combined("p", "C"), A("P"));
+  EXPECT_EQ(combined("p", "R"), A("P"));
+  EXPECT_EQ(combined("p", "P"), A("P"));
+}
+
+TEST(FiniteAlgebra, GaoRexfordSymbolicExtensionsAreTheFiveNonPhiEntries) {
+  const SymbolicSpec spec = gao_rexford_guideline_a()->symbolic();
+  EXPECT_EQ(spec.signatures.size(), 3u);
+  EXPECT_EQ(spec.preferences.size(), 3u);
+  // Exactly the five constraints of the paper's Section IV-C encoding.
+  EXPECT_EQ(spec.extensions.size(), 5u);
+}
+
+TEST(FiniteAlgebra, GaoRexfordPreferences) {
+  const AlgebraPtr a = gao_rexford_guideline_a();
+  EXPECT_EQ(a->compare(A("C"), A("P")), Ordering::better);
+  EXPECT_EQ(a->compare(A("P"), A("C")), Ordering::worse);
+  EXPECT_EQ(a->compare(A("P"), A("R")), Ordering::equal);
+  EXPECT_EQ(a->compare(A("C"), A("C")), Ordering::equal);
+}
+
+TEST(FiniteAlgebra, GuidelineBTotalOrder) {
+  const AlgebraPtr b = gao_rexford_guideline_b();
+  EXPECT_EQ(b->compare(A("C"), A("R")), Ordering::better);
+  EXPECT_EQ(b->compare(A("R"), A("P")), Ordering::better);
+  EXPECT_EQ(b->compare(A("C"), A("P")), Ordering::better);  // transitivity
+}
+
+TEST(FiniteAlgebra, CyclicPreferencesDetected) {
+  FiniteAlgebra::Builder b("cyclic");
+  b.add_signature("X").add_signature("Y");
+  b.add_label("l", "l");
+  b.prefer("X", PrefRel::strictly_better, "Y");
+  b.prefer("Y", PrefRel::strictly_better, "X");
+  const AlgebraPtr a = b.build();
+  const auto* finite = dynamic_cast<const FiniteAlgebra*>(a.get());
+  ASSERT_NE(finite, nullptr);
+  EXPECT_FALSE(finite->has_consistent_preferences());
+  EXPECT_THROW(a->compare(A("X"), A("Y")), InvalidArgument);
+  // Symbolic access still works so the analyzer can diagnose the cycle.
+  EXPECT_EQ(a->symbolic().preferences.size(), 2u);
+}
+
+TEST(FiniteAlgebra, EqualViaMutualWeakConstraints) {
+  FiniteAlgebra::Builder b("weak");
+  b.add_signature("X").add_signature("Y");
+  b.add_label("l", "l");
+  b.prefer("X", PrefRel::better_or_equal, "Y");
+  b.prefer("Y", PrefRel::better_or_equal, "X");
+  const AlgebraPtr a = b.build();
+  EXPECT_EQ(a->compare(A("X"), A("Y")), Ordering::equal);
+}
+
+TEST(FiniteAlgebra, IncomparableWhenUnrelated) {
+  FiniteAlgebra::Builder b("partial");
+  b.add_signature("X").add_signature("Y").add_signature("Z");
+  b.add_label("l", "l");
+  b.prefer("X", PrefRel::strictly_better, "Y");
+  const AlgebraPtr a = b.build();
+  EXPECT_EQ(a->compare(A("X"), A("Z")), Ordering::incomparable);
+}
+
+TEST(FiniteAlgebra, BackupRoutingDegradesAcrossBackupLinks) {
+  const AlgebraPtr a = backup_routing();
+  EXPECT_EQ(a->extend(A("b"), A("C")), A("B"));
+  EXPECT_EQ(a->extend(A("c"), A("B")), A("B"));  // sticky
+  EXPECT_EQ(a->compare(A("P"), A("B")), Ordering::better);
+  EXPECT_EQ(a->compare(A("C"), A("B")), Ordering::better);
+  // Backup routes may be exported towards providers (that is the point).
+  EXPECT_TRUE(a->export_allows(A("c"), A("B")));
+  EXPECT_FALSE(a->export_allows(A("c"), A("P")));
+}
+
+// ---------------------------------------------------- additive algebra --
+
+TEST(AdditiveAlgebra, HopCountSemantics) {
+  const AlgebraPtr a = shortest_hop_count();
+  EXPECT_EQ(a->extend(I(1), I(3)), I(4));
+  EXPECT_EQ(a->originate(I(1)), I(1));
+  EXPECT_EQ(a->compare(I(2), I(5)), Ordering::better);
+  EXPECT_EQ(a->compare(I(5), I(5)), Ordering::equal);
+  EXPECT_TRUE(a->import_allows(I(1), I(9)));
+  EXPECT_TRUE(a->export_allows(I(1), I(9)));
+  EXPECT_EQ(a->complement(I(1)), I(1));
+}
+
+TEST(AdditiveAlgebra, SymbolicTemplatesPerWeight) {
+  const AlgebraPtr a = igp_cost({5, 10});
+  const SymbolicSpec spec = a->symbolic();
+  EXPECT_TRUE(spec.signatures.empty());
+  ASSERT_EQ(spec.additive_templates.size(), 2u);
+  EXPECT_EQ(spec.additive_templates[0].delta, 5);
+  EXPECT_EQ(spec.additive_templates[1].delta, 10);
+}
+
+TEST(AdditiveAlgebra, RejectsEmptyWeights) {
+  EXPECT_THROW(AdditiveAlgebra("x", {}), InvalidArgument);
+}
+
+// ----------------------------------------------------- lexical product --
+
+TEST(LexicalProduct, PairwiseSemantics) {
+  const AlgebraPtr gr_hops = gao_rexford_with_hop_count();
+  const Value label = Value::pair(A("c"), I(1));
+  const Value sig = Value::pair(A("C"), I(2));
+  const auto extended = gr_hops->extend(label, sig);
+  ASSERT_TRUE(extended.has_value());
+  EXPECT_EQ(*extended, Value::pair(A("C"), I(3)));
+}
+
+TEST(LexicalProduct, PrimaryDecidesBeforeTiebreak) {
+  const AlgebraPtr gr_hops = gao_rexford_with_hop_count();
+  // Customer route with MORE hops still beats provider route with fewer.
+  EXPECT_EQ(gr_hops->compare(Value::pair(A("C"), I(9)),
+                             Value::pair(A("P"), I(1))),
+            Ordering::better);
+  // Equal class: hop count breaks the tie.
+  EXPECT_EQ(gr_hops->compare(Value::pair(A("C"), I(2)),
+                             Value::pair(A("C"), I(4))),
+            Ordering::better);
+  // P and R are equally preferred; hop count decides.
+  EXPECT_EQ(gr_hops->compare(Value::pair(A("P"), I(3)),
+                             Value::pair(A("R"), I(2))),
+            Ordering::worse);
+}
+
+TEST(LexicalProduct, PhiInEitherComponentProhibits) {
+  const AlgebraPtr gr_hops = gao_rexford_with_hop_count();
+  // Combined c (+) P = phi: the business factor's export filter rejects
+  // announcing provider routes towards a provider. (Plain extend is only
+  // the generation operator (+)_P, which stays defined.)
+  EXPECT_FALSE(gr_hops
+                   ->combined_extend(Value::pair(A("c"), I(1)),
+                                     Value::pair(A("P"), I(2)))
+                   .has_value());
+  EXPECT_TRUE(gr_hops
+                  ->extend(Value::pair(A("c"), I(1)),
+                           Value::pair(A("P"), I(2)))
+                  .has_value());
+}
+
+TEST(LexicalProduct, ExportFilterComesFromBusinessFactor) {
+  const AlgebraPtr gr_hops = gao_rexford_with_hop_count();
+  EXPECT_FALSE(gr_hops->export_allows(Value::pair(A("c"), I(1)),
+                                      Value::pair(A("P"), I(2))));
+  EXPECT_TRUE(gr_hops->export_allows(Value::pair(A("p"), I(1)),
+                                     Value::pair(A("P"), I(2))));
+}
+
+TEST(LexicalProduct, FactorsFlattenNestedProducts) {
+  const AlgebraPtr nested = lexical_product(
+      gao_rexford_guideline_a(),
+      lexical_product(bandwidth_classes({10, 100}), shortest_hop_count()));
+  EXPECT_EQ(nested->lexical_factors().size(), 3u);
+}
+
+TEST(LexicalProduct, OriginationComposes) {
+  const AlgebraPtr gr_hops = gao_rexford_with_hop_count();
+  const auto orig = gr_hops->originate(Value::pair(A("c"), I(1)));
+  ASSERT_TRUE(orig.has_value());
+  EXPECT_EQ(*orig, Value::pair(A("C"), I(1)));
+}
+
+// ------------------------------------------------------ bandwidth ------
+
+TEST(BandwidthClasses, MinSemanticsAndPreference) {
+  const AlgebraPtr bw = bandwidth_classes({10, 100, 1000});
+  EXPECT_EQ(bw->extend(A("bw100"), A("bw1000")), A("bw100"));  // bottleneck
+  EXPECT_EQ(bw->extend(A("bw1000"), A("bw10")), A("bw10"));
+  EXPECT_EQ(bw->compare(A("bw1000"), A("bw10")), Ordering::better);
+}
+
+TEST(BandwidthClasses, NotStrictlyMonotone) {
+  // min(link, route) can leave the class unchanged: the symbolic spec must
+  // contain an extension with from == to, which breaks strictness.
+  const SymbolicSpec spec = bandwidth_classes({10, 100})->symbolic();
+  bool has_fixed_point = false;
+  for (const auto& ext : spec.extensions) {
+    if (ext.from_sig == ext.to_sig) has_fixed_point = true;
+  }
+  EXPECT_TRUE(has_fixed_point);
+}
+
+}  // namespace
+}  // namespace fsr::algebra

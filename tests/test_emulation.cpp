@@ -1,0 +1,206 @@
+// End-to-end emulation tests (Sections V and VI-C): the generated GPV
+// implementation running over the simulated network must reproduce the
+// gadgets' dynamics (GOOD converges to its unique stable state, BAD
+// oscillates indefinitely, DISAGREE converges, the Figure-3 iBGP gadget
+// oscillates until fixed), Gao-Rexford (x) hop-count must converge on AS
+// hierarchies, and Theorem 5.1 must hold: every NDlog-computed signature
+// equals sigma(p) from the independent reference engine.
+#include <gtest/gtest.h>
+
+#include "algebra/standard_policies.h"
+#include "fsr/emulation.h"
+#include "fsr/value_bridge.h"
+#include "proto/reference_pv.h"
+#include "spp/gadgets.h"
+#include "spp/translate.h"
+#include "topology/as_hierarchy.h"
+
+namespace fsr {
+namespace {
+
+EmulationOptions fast_options() {
+  EmulationOptions options;
+  options.batch_interval = 100 * net::k_millisecond;
+  options.max_time = 60 * net::k_second;
+  return options;
+}
+
+TEST(Emulation, GoodGadgetConvergesToUniqueStableState) {
+  const auto result = emulate_spp(spp::good_gadget(), fast_options());
+  ASSERT_TRUE(result.quiesced);
+  // The unique stable assignment (verified exhaustively in test_spp).
+  ASSERT_TRUE(result.best_routes.contains("1"));
+  EXPECT_EQ(result.best_routes.at("1").second,
+            (std::vector<std::string>{"1", "3", "0"}));
+  EXPECT_EQ(result.best_routes.at("2").second,
+            (std::vector<std::string>{"2", "0"}));
+  EXPECT_EQ(result.best_routes.at("3").second,
+            (std::vector<std::string>{"3", "0"}));
+}
+
+TEST(Emulation, BadGadgetOscillatesIndefinitely) {
+  EmulationOptions options = fast_options();
+  options.max_time = 20 * net::k_second;
+  const auto result = emulate_spp(spp::bad_gadget(), options);
+  EXPECT_FALSE(result.quiesced);  // cut off, still churning
+  // Sustained oscillation: steady stream of route changes and messages.
+  EXPECT_GT(result.route_changes, 50u);
+  EXPECT_GT(result.messages, 100u);
+}
+
+TEST(Emulation, DisagreeConverges) {
+  const auto result = emulate_spp(spp::disagree_gadget(), fast_options());
+  ASSERT_TRUE(result.quiesced);
+  // One of the two stable assignments.
+  const auto& p1 = result.best_routes.at("1").second;
+  const auto& p2 = result.best_routes.at("2").second;
+  const bool state_a = p1 == std::vector<std::string>{"1", "2", "0"} &&
+                       p2 == std::vector<std::string>{"2", "0"};
+  const bool state_b = p1 == std::vector<std::string>{"1", "0"} &&
+                       p2 == std::vector<std::string>{"2", "1", "0"};
+  EXPECT_TRUE(state_a || state_b);
+}
+
+TEST(Emulation, Figure3GadgetOscillatesAndFixedConverges) {
+  EmulationOptions options = fast_options();
+  options.max_time = 20 * net::k_second;
+  const auto broken = emulate_spp(spp::ibgp_figure3_gadget(), options);
+  EXPECT_FALSE(broken.quiesced);
+
+  const auto fixed = emulate_spp(spp::ibgp_figure3_fixed(), fast_options());
+  ASSERT_TRUE(fixed.quiesced);
+  EXPECT_EQ(fixed.best_routes.at("a").second,
+            (std::vector<std::string>{"a", "d", "0"}));
+  // The fix is dramatically cheaper — the Section VI-B observation.
+  EXPECT_LT(fixed.messages, broken.messages / 2);
+}
+
+TEST(Emulation, GadgetChainCostGrowsWithGadgetCount) {
+  // Section VI-C: more GOOD gadgets -> more recomputation and messages,
+  // but still convergent.
+  EmulationOptions options = fast_options();
+  std::uint64_t last_messages = 0;
+  for (const int count : {1, 3, 6}) {
+    const auto result =
+        emulate_spp(spp::good_gadget_chain(count), options);
+    ASSERT_TRUE(result.quiesced) << count;
+    EXPECT_GT(result.messages, last_messages);
+    last_messages = result.messages;
+  }
+}
+
+TEST(Emulation, GaoRexfordHopCountConvergesOnHierarchy) {
+  const auto algebra = algebra::gao_rexford_with_hop_count();
+  topology::AsHierarchyParams params;
+  params.depth = 4;
+  params.seed = 7;
+  const auto topo = topology::generate_as_hierarchy(
+      params, topology::LabelScheme::business_hop_count);
+  const auto result = emulate_gpv(*algebra, topo, fast_options());
+  ASSERT_TRUE(result.quiesced);
+  // Every AS reaches the destination (the graph is connected upward).
+  EXPECT_EQ(result.best_routes.size(), topo.nodes.size() - 1);
+}
+
+TEST(Emulation, Theorem51SignaturesMatchReference) {
+  // Correctness of the generated implementation: for every converged
+  // node, the stored signature equals sigma(path) computed by the
+  // independent reference engine.
+  const auto algebra = algebra::gao_rexford_with_hop_count();
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    topology::AsHierarchyParams params;
+    params.depth = 5;
+    params.seed = seed;
+    const auto topo = topology::generate_as_hierarchy(
+        params, topology::LabelScheme::business_hop_count);
+    const auto result = emulate_gpv(*algebra, topo, fast_options());
+    ASSERT_TRUE(result.quiesced);
+    for (const auto& [node, route] : result.best_routes) {
+      const auto sigma = proto::path_signature(*algebra, topo, route.second);
+      ASSERT_TRUE(sigma.has_value()) << node;
+      EXPECT_EQ(to_ndlog(*sigma).to_string(), route.first) << node;
+    }
+  }
+}
+
+TEST(Emulation, MatchesReferenceFixpointOnSafePolicy) {
+  // For a provably safe policy the asynchronous emulation and the
+  // synchronous reference fixpoint agree on the selected signatures.
+  const auto algebra = algebra::gao_rexford_with_hop_count();
+  topology::AsHierarchyParams params;
+  params.depth = 4;
+  params.seed = 11;
+  const auto topo = topology::generate_as_hierarchy(
+      params, topology::LabelScheme::business_hop_count);
+  const auto emulated = emulate_gpv(*algebra, topo, fast_options());
+  ASSERT_TRUE(emulated.quiesced);
+  const auto reference = proto::compute_reference_routes(*algebra, topo);
+  ASSERT_TRUE(reference.converged);
+  ASSERT_EQ(emulated.best_routes.size(), reference.best.size());
+  for (const auto& [node, route] : reference.best) {
+    ASSERT_TRUE(emulated.best_routes.contains(node)) << node;
+    // Signatures agree; paths may differ among equally-ranked options.
+    EXPECT_EQ(emulated.best_routes.at(node).first,
+              to_ndlog(route.signature).to_string())
+        << node;
+  }
+}
+
+TEST(Emulation, BatchingReducesMessageCount) {
+  // Ablation hook: a 1 s batch coalesces transient flaps that immediate
+  // mode ships one by one.
+  EmulationOptions batched = fast_options();
+  batched.batch_interval = net::k_second;
+  EmulationOptions immediate = fast_options();
+  immediate.batch_interval = 0;
+  const auto with_batch = emulate_spp(spp::ibgp_figure3_fixed(), batched);
+  const auto without = emulate_spp(spp::ibgp_figure3_fixed(), immediate);
+  ASSERT_TRUE(with_batch.quiesced);
+  ASSERT_TRUE(without.quiesced);
+  EXPECT_LE(with_batch.messages, without.messages);
+}
+
+TEST(Emulation, TestbedProfileMirrorsSimulation) {
+  // Section VI-A: deployment-mode results closely mirror simulation. The
+  // testbed profile adds host overhead and jitter but must preserve the
+  // outcome and the convergence ballpark.
+  const auto algebra = algebra::gao_rexford_with_hop_count();
+  topology::AsHierarchyParams params;
+  params.depth = 4;
+  params.seed = 3;
+  const auto topo = topology::generate_as_hierarchy(
+      params, topology::LabelScheme::business_hop_count);
+
+  EmulationOptions sim = fast_options();
+  EmulationOptions testbed = fast_options();
+  testbed.host_profile = net::HostProfile::testbed();
+
+  const auto sim_result = emulate_gpv(*algebra, topo, sim);
+  const auto tb_result = emulate_gpv(*algebra, topo, testbed);
+  ASSERT_TRUE(sim_result.quiesced);
+  ASSERT_TRUE(tb_result.quiesced);
+  for (const auto& [node, route] : sim_result.best_routes) {
+    EXPECT_EQ(tb_result.best_routes.at(node).first, route.first);
+  }
+  // Same batching dominates: convergence within 2x of each other.
+  EXPECT_LT(tb_result.convergence_time,
+            2 * sim_result.convergence_time + net::k_second);
+}
+
+TEST(Emulation, BandwidthSeriesAccountsAllTraffic) {
+  const auto result = emulate_spp(spp::ibgp_figure3_fixed(), fast_options());
+  ASSERT_TRUE(result.quiesced);
+  ASSERT_FALSE(result.bandwidth_series_mbps.empty());
+  double series_bytes = 0.0;
+  const double bucket_seconds =
+      static_cast<double>(result.stats_bucket) / net::k_second;
+  for (const double mbps : result.bandwidth_series_mbps) {
+    series_bytes +=
+        mbps * 1e6 * bucket_seconds * static_cast<double>(result.node_count);
+  }
+  EXPECT_NEAR(series_bytes, static_cast<double>(result.bytes),
+              static_cast<double>(result.bytes) * 0.01 + 1.0);
+}
+
+}  // namespace
+}  // namespace fsr

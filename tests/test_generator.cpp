@@ -1,0 +1,175 @@
+// Tests for the NDlog generation layer (Section V-B / Table II): the
+// value bridge, the registered policy functions' behavioural agreement
+// with the source algebra, the rendered #def_func pseudo-code, and the
+// GPV program template.
+#include <gtest/gtest.h>
+
+#include "algebra/additive_algebra.h"
+#include "algebra/standard_policies.h"
+#include "fsr/ndlog_generator.h"
+#include "fsr/value_bridge.h"
+#include "proto/gpv.h"
+#include "spp/gadgets.h"
+#include "spp/translate.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace fsr {
+namespace {
+
+// --------------------------------------------------------- value bridge --
+
+TEST(ValueBridge, RoundTripsAllShapes) {
+  const std::vector<algebra::Value> values = {
+      algebra::Value::integer(42),
+      algebra::Value::atom("C"),
+      algebra::Value::pair(algebra::Value::atom("C"),
+                           algebra::Value::integer(3)),
+      algebra::Value::pair(
+          algebra::Value::pair(algebra::Value::atom("x"),
+                               algebra::Value::integer(1)),
+          algebra::Value::integer(2)),
+  };
+  for (const algebra::Value& value : values) {
+    EXPECT_EQ(to_algebra(to_ndlog(value)), value) << value.to_string();
+  }
+}
+
+TEST(ValueBridge, RejectsNonPairLists) {
+  EXPECT_THROW(to_algebra(ndlog::Value::list({ndlog::Value::integer(1),
+                                              ndlog::Value::integer(2),
+                                              ndlog::Value::integer(3)})),
+               InvalidArgument);
+}
+
+// ----------------------------------------------------- policy functions --
+
+class PolicyFunctions : public ::testing::Test {
+ protected:
+  void load(const algebra::AlgebraPtr& algebra) {
+    algebra_ = algebra;
+    registry_ = ndlog::FunctionRegistry::with_builtins();
+    register_policy_functions(*algebra_, registry_);
+  }
+  algebra::AlgebraPtr algebra_;
+  ndlog::FunctionRegistry registry_ = ndlog::FunctionRegistry::with_builtins();
+};
+
+TEST_F(PolicyFunctions, GaoRexfordAgreesWithAlgebra) {
+  load(algebra::gao_rexford_guideline_a());
+  const auto atom = [](const char* s) { return ndlog::Value::atom(s); };
+
+  // f_pref: strictly-better pairs only.
+  EXPECT_TRUE(registry_.call("f_pref", {atom("C"), atom("P")}).truthy());
+  EXPECT_FALSE(registry_.call("f_pref", {atom("P"), atom("C")}).truthy());
+  EXPECT_FALSE(registry_.call("f_pref", {atom("P"), atom("R")}).truthy());
+
+  // f_concatSig follows (+)_P.
+  EXPECT_EQ(registry_.call("f_concatSig", {atom("c"), atom("C")}), atom("C"));
+  EXPECT_EQ(registry_.call("f_concatSig", {atom("p"), atom("R")}), atom("P"));
+
+  // f_import is open for guideline A (no import filters, (+)_P total).
+  EXPECT_TRUE(registry_.call("f_import", {atom("c"), atom("P")}).truthy());
+
+  // f_export is called with the SENDER's label: exporting towards a
+  // provider means label 'p'; provider/peer routes must be filtered.
+  EXPECT_TRUE(registry_.call("f_export", {atom("p"), atom("C")}).truthy());
+  EXPECT_FALSE(registry_.call("f_export", {atom("p"), atom("P")}).truthy());
+  EXPECT_FALSE(registry_.call("f_export", {atom("r"), atom("R")}).truthy());
+  // ...but everything may be exported to a customer (label 'c').
+  EXPECT_TRUE(registry_.call("f_export", {atom("c"), atom("P")}).truthy());
+}
+
+TEST_F(PolicyFunctions, SppInstanceFoldsPhiIntoImport) {
+  load(spp::algebra_from_spp(spp::good_gadget()));
+  const auto atom = [](const std::string& s) { return ndlog::Value::atom(s); };
+  // Permitted extension: import allowed, concat defined.
+  EXPECT_TRUE(registry_
+                  .call("f_import", {atom(spp::spp_label("1", "3")),
+                                     atom(spp::spp_signature({"3", "0"}))})
+                  .truthy());
+  // Non-permitted extension: phi folded into the import decision.
+  EXPECT_FALSE(registry_
+                   .call("f_import", {atom(spp::spp_label("2", "1")),
+                                      atom(spp::spp_signature({"3", "0"}))})
+                   .truthy());
+  // Calling f_concatSig on a filtered combination is a mechanism bug.
+  EXPECT_THROW(registry_.call("f_concatSig",
+                              {atom(spp::spp_label("2", "1")),
+                               atom(spp::spp_signature({"3", "0"}))}),
+               InvalidArgument);
+}
+
+TEST_F(PolicyFunctions, LexicalProductWorksOnPairs) {
+  load(algebra::gao_rexford_with_hop_count());
+  const auto pair = [](const char* cls, std::int64_t hops) {
+    return ndlog::Value::list(
+        {ndlog::Value::atom(cls), ndlog::Value::integer(hops)});
+  };
+  EXPECT_TRUE(registry_.call("f_pref", {pair("C", 9), pair("P", 1)}).truthy());
+  EXPECT_TRUE(registry_.call("f_pref", {pair("C", 1), pair("C", 2)}).truthy());
+  EXPECT_FALSE(registry_.call("f_pref", {pair("C", 2), pair("C", 2)}).truthy());
+  EXPECT_EQ(registry_.call("f_concatSig", {pair("c", 1), pair("C", 3)}),
+            pair("C", 4));
+}
+
+TEST_F(PolicyFunctions, AggregateUsesAlgebraPreference) {
+  load(algebra::gao_rexford_guideline_a());
+  const auto& better = registry_.aggregate("a_pref");
+  EXPECT_TRUE(better(ndlog::Value::atom("C"), ndlog::Value::atom("P")));
+  EXPECT_FALSE(better(ndlog::Value::atom("P"), ndlog::Value::atom("R")));
+}
+
+// ------------------------------------------------------------ rendering --
+
+TEST(RenderPolicyFunctions, HopCountMatchesPaperShape) {
+  const std::string rendered =
+      render_policy_functions(*algebra::shortest_hop_count());
+  EXPECT_NE(rendered.find("#def_func f_concatSig(L,S) { return L+S }"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("#def_func f_import(L,S) { return true }"),
+            std::string::npos);
+}
+
+TEST(RenderPolicyFunctions, GaoRexfordListsTableEntries) {
+  const std::string rendered =
+      render_policy_functions(*algebra::gao_rexford_guideline_a());
+  // Generation entries (the paper's f_concatSig if-chain).
+  EXPECT_NE(rendered.find("if (L=='c') && (S=='C') return 'C'"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("if (L=='p') && (S=='R') return 'P'"),
+            std::string::npos);
+  // Export filter rows (sender-side labels).
+  EXPECT_NE(rendered.find("f_export"), std::string::npos);
+  // Preference comparison.
+  EXPECT_NE(rendered.find("(S1=='C' && S2=='P')"), std::string::npos);
+}
+
+TEST(RenderPolicyFunctions, LexicalProductRendersFactors) {
+  const std::string rendered =
+      render_policy_functions(*algebra::gao_rexford_with_hop_count());
+  EXPECT_NE(rendered.find("factor 1: gao-rexford-A"), std::string::npos);
+  EXPECT_NE(rendered.find("factor 2: hop-count"), std::string::npos);
+}
+
+// ------------------------------------------------------------- template --
+
+TEST(GpvTemplate, ParsesAndHasFourRules) {
+  const ndlog::Program program = proto::gpv_program();
+  ASSERT_EQ(program.rules.size(), 4u);
+  EXPECT_EQ(program.rules[0].label, "gpvRecv");
+  EXPECT_EQ(program.rules[1].label, "gpvStore");
+  EXPECT_EQ(program.rules[2].label, "gpvSelect");
+  EXPECT_EQ(program.rules[3].label, "gpvSend");
+  // msg is an event: not materialized.
+  EXPECT_EQ(program.find_materialize("msg"), nullptr);
+  EXPECT_NE(program.find_materialize("route"), nullptr);
+}
+
+TEST(GpvTemplate, RecvGuardsAgainstLoops) {
+  EXPECT_NE(proto::gpv_source().find("f_member(P,U)=false"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsr

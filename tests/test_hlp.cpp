@@ -1,0 +1,153 @@
+// Tests for the HLP mechanism (Section VI-D): program validity, fragment
+// hiding semantics, convergence over multi-domain topologies, the
+// byte-cost ordering PV > HLP > HLP-CH under churn, and churn isolation.
+#include <gtest/gtest.h>
+
+#include "algebra/additive_algebra.h"
+#include "fsr/emulation.h"
+#include "spp/gadgets.h"
+#include "util/error.h"
+#include "proto/hlp.h"
+#include "topology/hlp_domains.h"
+
+namespace fsr {
+namespace {
+
+topology::Topology small_domains(std::uint64_t seed = 3) {
+  topology::HlpDomainsParams params;
+  params.domain_count = 4;
+  params.nodes_per_domain = 6;
+  params.cross_domain_links = 8;
+  params.seed = seed;
+  return topology::generate_hlp_domains(params);
+}
+
+EmulationOptions quick_options() {
+  EmulationOptions options;
+  options.batch_interval = 100 * net::k_millisecond;
+  options.max_time = 60 * net::k_second;
+  return options;
+}
+
+TEST(Hlp, ProgramParses) {
+  const ndlog::Program program = proto::hlp_program();
+  EXPECT_EQ(program.rules.size(), 6u);
+  EXPECT_EQ(program.materialized.size(), 5u);
+}
+
+TEST(Hlp, ConvergesAndRoutesEveryNode) {
+  const auto topo = small_domains();
+  const auto result = emulate_hlp(topo, 0, quick_options());
+  ASSERT_TRUE(result.quiesced);
+  // Every node except the destination selects a route.
+  EXPECT_EQ(result.best_routes.size(), topo.nodes.size() - 1);
+}
+
+TEST(Hlp, ForeignDomainRoutesAreFragmented) {
+  const auto topo = small_domains();
+  const auto result = emulate_hlp(topo, 0, quick_options());
+  ASSERT_TRUE(result.quiesced);
+  const std::string dest_domain = topo.domain_of.at(topo.destination);
+  int fragmented = 0;
+  for (const auto& [node, route] : result.best_routes) {
+    if (topo.domain_of.at(node) == dest_domain) continue;
+    // A route from another domain must contain at least one domain marker
+    // and no plain router names from foreign domains other than the next
+    // hops inside the node's own domain.
+    bool has_marker = false;
+    for (const std::string& hop : route.second) {
+      if (hop.starts_with("dom")) has_marker = true;
+    }
+    EXPECT_TRUE(has_marker) << node << " route lacks domain markers";
+    ++fragmented;
+  }
+  EXPECT_GT(fragmented, 0);
+}
+
+TEST(Hlp, FragmentsAreSmallerThanPvPaths) {
+  const auto topo = small_domains();
+  const auto hlp = emulate_hlp(topo, 0, quick_options());
+  const auto pv_algebra = algebra::igp_cost({1, 2, 3, 5, 6, 7, 8, 9, 10});
+  const auto pv = emulate_gpv(*pv_algebra, topo, quick_options());
+  ASSERT_TRUE(hlp.quiesced);
+  ASSERT_TRUE(pv.quiesced);
+  EXPECT_LT(hlp.bytes, pv.bytes);  // hidden paths are cheaper on the wire
+}
+
+TEST(Hlp, CostHidingReducesChurnTraffic) {
+  const auto topo = small_domains();
+  EmulationOptions options = quick_options();
+  options.max_time = 90 * net::k_second;
+  options.churn.events = 10;
+  options.churn.start = 10 * net::k_second;
+  options.churn.interval = net::k_second;
+  options.churn.magnitude = 2;  // below the threshold of 5
+
+  const auto plain = emulate_hlp(topo, 0, options);
+  const auto hidden = emulate_hlp(topo, 5, options);
+  ASSERT_TRUE(plain.quiesced);
+  ASSERT_TRUE(hidden.quiesced);
+  EXPECT_LT(hidden.bytes, plain.bytes);
+  EXPECT_LT(hidden.messages, plain.messages);
+}
+
+TEST(Hlp, PvHlpChOrderingUnderChurn) {
+  // The Figure 6 ordering: PV > HLP > HLP-CH in bytes per node.
+  const auto topo = small_domains(11);
+  EmulationOptions options = quick_options();
+  options.max_time = 90 * net::k_second;
+  options.churn.events = 12;
+  options.churn.start = 10 * net::k_second;
+  options.churn.interval = net::k_second;
+  options.churn.magnitude = 2;
+
+  const auto pv_algebra = algebra::igp_cost({1, 2, 3, 5, 6, 7, 8, 9, 10});
+  const auto pv = emulate_gpv(*pv_algebra, topo, options);
+  const auto hlp = emulate_hlp(topo, 0, options);
+  const auto ch = emulate_hlp(topo, 5, options);
+  ASSERT_TRUE(pv.quiesced);
+  ASSERT_TRUE(hlp.quiesced);
+  ASSERT_TRUE(ch.quiesced);
+  EXPECT_LT(hlp.bytes, pv.bytes);
+  EXPECT_LT(ch.bytes, hlp.bytes);
+}
+
+TEST(Hlp, SelectsMinimumCostRoutes) {
+  // Tiny two-domain instance with a known optimum: the direct in-domain
+  // path must win over any detour.
+  topology::Topology topo;
+  topo.name = "tiny";
+  topo.nodes = {"n0", "n1", "dst"};
+  topo.destination = "dst";
+  topo.domain_of = {{"n0", "dom0"}, {"n1", "dom1"}, {"dst", "dom0"}};
+  const auto cost = [](std::int64_t c) { return algebra::Value::integer(c); };
+  topo.links.push_back(topology::TopoLink{"n0", "dst", cost(1), cost(1), {}});
+  topo.links.push_back(topology::TopoLink{"n1", "n0", cost(5), cost(5), {}});
+
+  const auto result = emulate_hlp(topo, 0, quick_options());
+  ASSERT_TRUE(result.quiesced);
+  ASSERT_TRUE(result.best_routes.contains("n0"));
+  EXPECT_EQ(result.best_routes.at("n0").first, "1");  // direct cost
+  ASSERT_TRUE(result.best_routes.contains("n1"));
+  EXPECT_EQ(result.best_routes.at("n1").first, "6");  // 5 + 1 across domains
+}
+
+TEST(Hlp, RejectsNegativeThreshold) {
+  const auto topo = small_domains();
+  EXPECT_THROW(emulate_hlp(topo, -1, quick_options()), InvalidArgument);
+}
+
+TEST(Churn, RequiresIntegerCosts) {
+  // Churn on an atom-signature policy is a usage error.
+  EmulationOptions options = quick_options();
+  options.churn.events = 2;
+  const auto topo = small_domains();
+  (void)topo;
+  // Reuse the SPP gadget path: signatures there are atoms.
+  EXPECT_THROW(
+      emulate_spp(spp::good_gadget(), options),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fsr

@@ -1,0 +1,331 @@
+// Tests for the NDlog substrate: values, parser, function registry, and
+// the per-node engine (joins, assignments, filters, count-based deletion
+// propagation, aggregate views, remote heads).
+#include <gtest/gtest.h>
+
+#include "ndlog/engine.h"
+#include "ndlog/functions.h"
+#include "ndlog/parser.h"
+#include "util/error.h"
+
+namespace fsr::ndlog {
+namespace {
+
+Value A(const char* s) { return Value::atom(s); }
+Value I(std::int64_t v) { return Value::integer(v); }
+
+// ---------------------------------------------------------------- value --
+
+TEST(NdlogValue, Basics) {
+  EXPECT_EQ(I(3).as_integer(), 3);
+  EXPECT_EQ(A("u").as_atom(), "u");
+  const Value path = Value::list({A("u"), A("v")});
+  EXPECT_EQ(path.as_list().size(), 2u);
+  EXPECT_TRUE(Value::boolean(true).truthy());
+  EXPECT_FALSE(Value::boolean(false).truthy());
+  EXPECT_THROW(I(1).as_list(), InvalidArgument);
+}
+
+TEST(NdlogValue, WireSize) {
+  EXPECT_EQ(I(7).wire_size(), 4u);
+  EXPECT_EQ(A("abc").wire_size(), 3u);
+  EXPECT_EQ(Value::list({A("ab"), I(1)}).wire_size(), 2u + 2u + 4u);
+  EXPECT_EQ(tuple_wire_size({A("ab"), I(1)}), 6u);
+}
+
+TEST(NdlogValue, ToString) {
+  EXPECT_EQ(Value::list({A("u"), A("d")}).to_string(), "[u,d]");
+  EXPECT_EQ(tuple_to_string({A("u"), I(2)}), "(u,2)");
+}
+
+// --------------------------------------------------------------- parser --
+
+TEST(NdlogParser, ParsesGpvShape) {
+  const Program program = parse_program(R"(
+    materialize(label, keys(1,2)).
+    materialize(route, keys(1,2,3,4)).
+    gpvRecv sig(@U,SNew,PNew) :- msg(@U,V,D,S,P), V=f_head(P),
+        label(@U,V,L), f_import(L,S)=true,
+        SNew=f_concatSig(L,S), PNew=f_concatPath(U,P).
+    gpvSelect localOpt(@U,D,a_pref<S>,P) :- route(@U,D,S,P).
+  )");
+  ASSERT_EQ(program.materialized.size(), 2u);
+  EXPECT_EQ(program.materialized[0].relation, "label");
+  EXPECT_EQ(program.materialized[0].key_positions,
+            (std::vector<std::size_t>{1, 2}));
+  ASSERT_EQ(program.rules.size(), 2u);
+
+  const Rule& recv = program.rules[0];
+  EXPECT_EQ(recv.label, "gpvRecv");
+  EXPECT_EQ(recv.head.relation, "sig");
+  EXPECT_EQ(recv.head.location_index, 0u);
+  ASSERT_EQ(recv.body.size(), 6u);
+  EXPECT_EQ(recv.body[0].kind, BodyElement::Kind::atom);
+  EXPECT_EQ(recv.body[0].atom.relation, "msg");
+  EXPECT_EQ(recv.body[1].kind, BodyElement::Kind::constraint);
+
+  const Rule& select = program.rules[1];
+  EXPECT_TRUE(select.head.has_aggregate());
+  EXPECT_EQ(select.head.args[2].aggregate_function, "a_pref");
+  EXPECT_EQ(select.head.args[2].aggregate_variable, "S");
+}
+
+TEST(NdlogParser, ParsesFactsWithListsAndQuotes) {
+  const Program program = parse_program(R"(
+    label(@u, v, 'c').
+    sig(@u, 1, [u, d]).
+  )");
+  ASSERT_EQ(program.facts.size(), 2u);
+  EXPECT_EQ(program.facts[0].relation, "label");
+  EXPECT_EQ(program.facts[0].tuple[2], A("c"));
+  EXPECT_EQ(program.facts[1].tuple[1], I(1));
+  EXPECT_EQ(program.facts[1].tuple[2], Value::list({A("u"), A("d")}));
+}
+
+TEST(NdlogParser, RapidNetMaterializeForm) {
+  const Program program =
+      parse_program("materialize(link, infinity, infinity, keys(1,2)).");
+  ASSERT_EQ(program.materialized.size(), 1u);
+  EXPECT_EQ(program.materialized[0].key_positions,
+            (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(NdlogParser, CommentsAndNegativeNumbers) {
+  const Program program = parse_program(R"(
+    // a comment
+    cost(@u, v, -5).  // trailing comment
+  )");
+  ASSERT_EQ(program.facts.size(), 1u);
+  EXPECT_EQ(program.facts[0].tuple[2], I(-5));
+}
+
+TEST(NdlogParser, Errors) {
+  EXPECT_THROW(parse_program("rule("), ParseError);
+  EXPECT_THROW(parse_program("foo(@X Y)."), ParseError);
+  EXPECT_THROW(parse_program("x bad(X) :- y(X)"), ParseError);  // missing '.'
+  EXPECT_THROW(parse_program("f(X) :- g(X), ."), ParseError);
+  EXPECT_THROW(parse_program("lbl fact(@a,b)."), ParseError);  // labelled fact
+  EXPECT_THROW(parse_program("f(Var)."), ParseError);  // non-ground fact
+}
+
+TEST(NdlogParser, RoundTripToString) {
+  const Program program = parse_program(
+      "materialize(t, keys(1)).\n"
+      "r1 t(@U,V) :- s(@U,V), V!=u.\n");
+  const Program reparsed = parse_program(program.to_string());
+  EXPECT_EQ(reparsed.rules.size(), 1u);
+  EXPECT_EQ(reparsed.materialized.size(), 1u);
+}
+
+// ------------------------------------------------------------ functions --
+
+TEST(Functions, Builtins) {
+  const FunctionRegistry registry = FunctionRegistry::with_builtins();
+  EXPECT_EQ(registry.call("f_concatPath", {A("u"), Value::list({A("v")})}),
+            Value::list({A("u"), A("v")}));
+  EXPECT_EQ(registry.call("f_head", {Value::list({A("v"), A("d")})}), A("v"));
+  EXPECT_EQ(registry.call("f_last", {Value::list({A("v"), A("d")})}), A("d"));
+  EXPECT_EQ(registry.call("f_size", {Value::list({A("v")})}), I(1));
+  EXPECT_TRUE(
+      registry.call("f_member", {Value::list({A("v"), A("d")}), A("d")})
+          .truthy());
+  EXPECT_FALSE(
+      registry.call("f_member", {Value::list({A("v")}), A("x")}).truthy());
+  EXPECT_EQ(registry.call("f_add", {I(2), I(3)}), I(5));
+  EXPECT_EQ(registry.call("f_min", {I(2), I(3)}), I(2));
+  EXPECT_TRUE(registry.call("f_lt", {I(2), I(3)}).truthy());
+}
+
+TEST(Functions, ErrorsOnUnknownAndArity) {
+  const FunctionRegistry registry = FunctionRegistry::with_builtins();
+  EXPECT_THROW(registry.call("f_nothere", {}), InvalidArgument);
+  EXPECT_THROW(registry.call("f_head", {I(1), I(2)}), InvalidArgument);
+  EXPECT_THROW(registry.call("f_head", {Value::list({})}), InvalidArgument);
+}
+
+// --------------------------------------------------------------- engine --
+
+class EngineTest : public ::testing::Test {
+ protected:
+  FunctionRegistry registry_ = FunctionRegistry::with_builtins();
+};
+
+TEST_F(EngineTest, JoinAssignFilterPipeline) {
+  const Program program = parse_program(R"(
+    materialize(edge, keys(1,2)).
+    materialize(twoHop, keys(1,2)).
+    r twoHop(@U,W) :- edge(@U,V), edge(@V2,W), V2=V, W!=U.
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("edge", {A("u"), A("v")});
+  engine.insert("edge", {A("v"), A("w")});
+  engine.insert("edge", {A("v"), A("u")});  // filtered: W != U
+  const auto hops = engine.relation_contents("twoHop");
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0], (Tuple{A("u"), A("w")}));
+}
+
+TEST_F(EngineTest, DeletionPropagatesThroughRules) {
+  const Program program = parse_program(R"(
+    materialize(base, keys(1,2)).
+    materialize(derived, keys(1,2)).
+    r derived(@U,V) :- base(@U,V).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("base", {A("u"), A("x")});
+  EXPECT_EQ(engine.relation_contents("derived").size(), 1u);
+  engine.apply(Delta{"base", {A("u"), A("x")}, -1});
+  EXPECT_TRUE(engine.relation_contents("derived").empty());
+}
+
+TEST_F(EngineTest, CountBasedSemanticsForMultipleDerivations) {
+  const Program program = parse_program(R"(
+    materialize(src1, keys(1,2)).
+    materialize(src2, keys(1,2)).
+    materialize(out, keys(1,2)).
+    ra out(@U,V) :- src1(@U,V).
+    rb out(@U,V) :- src2(@U,V).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("src1", {A("u"), A("x")});
+  engine.insert("src2", {A("u"), A("x")});
+  EXPECT_EQ(engine.count("out", {A("u"), A("x")}), 2);
+  // Removing one derivation keeps the tuple alive...
+  engine.apply(Delta{"src1", {A("u"), A("x")}, -1});
+  EXPECT_EQ(engine.relation_contents("out").size(), 1u);
+  // ...removing the second deletes it.
+  engine.apply(Delta{"src2", {A("u"), A("x")}, -1});
+  EXPECT_TRUE(engine.relation_contents("out").empty());
+}
+
+TEST_F(EngineTest, NegativeCountIsAnError) {
+  const Program program = parse_program("materialize(t, keys(1)).");
+  Engine engine("u", program, &registry_);
+  EXPECT_THROW(engine.apply(Delta{"t", {A("x")}, -1}), Error);
+}
+
+TEST_F(EngineTest, AggregateSelectsMinimum) {
+  const Program program = parse_program(R"(
+    materialize(cost, keys(1,2,3)).
+    materialize(best, keys(1)).
+    r best(@U,a_min<C>,V) :- cost(@U,C,V).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("cost", {A("u"), I(5), A("v1")});
+  engine.insert("cost", {A("u"), I(3), A("v2")});
+  engine.insert("cost", {A("u"), I(9), A("v3")});
+  auto best = engine.relation_contents("best");
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], (Tuple{A("u"), I(3), A("v2")}));
+  // Deleting the winner promotes the runner-up.
+  engine.apply(Delta{"cost", {A("u"), I(3), A("v2")}, -1});
+  best = engine.relation_contents("best");
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], (Tuple{A("u"), I(5), A("v1")}));
+  // Deleting everything clears the view.
+  engine.apply(Delta{"cost", {A("u"), I(5), A("v1")}, -1});
+  engine.apply(Delta{"cost", {A("u"), I(9), A("v3")}, -1});
+  EXPECT_TRUE(engine.relation_contents("best").empty());
+}
+
+TEST_F(EngineTest, AggregateGroupsIndependently) {
+  const Program program = parse_program(R"(
+    materialize(cost, keys(1,2,3)).
+    materialize(best, keys(1,2)).
+    r best(@U,D,a_min<C>) :- cost(@U,D,C).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("cost", {A("u"), A("d1"), I(4)});
+  engine.insert("cost", {A("u"), A("d2"), I(7)});
+  engine.insert("cost", {A("u"), A("d1"), I(2)});
+  const auto best = engine.relation_contents("best");
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_EQ(best[0], (Tuple{A("u"), A("d1"), I(2)}));
+  EXPECT_EQ(best[1], (Tuple{A("u"), A("d2"), I(7)}));
+}
+
+TEST_F(EngineTest, RemoteHeadsGoToSink) {
+  const Program program = parse_program(R"(
+    materialize(link, keys(1,2)).
+    r msg(@N,U) :- link(@U,N).
+  )");
+  Engine engine("u", program, &registry_);
+  std::vector<RemoteDelta> remote;
+  engine.set_remote_sink([&remote](RemoteDelta d) { remote.push_back(d); });
+  engine.insert("link", {A("u"), A("v")});
+  ASSERT_EQ(remote.size(), 1u);
+  EXPECT_EQ(remote[0].target_node, "v");
+  EXPECT_EQ(remote[0].delta.relation, "msg");
+  EXPECT_EQ(remote[0].delta.polarity, +1);
+}
+
+TEST_F(EngineTest, EventRelationsAreNotStored) {
+  const Program program = parse_program(R"(
+    materialize(seen, keys(1,2)).
+    r seen(@U,X) :- ping(@U,X).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.apply(Delta{"ping", {A("u"), A("a")}, +1});
+  EXPECT_EQ(engine.relation_contents("seen").size(), 1u);
+  EXPECT_TRUE(engine.relation_contents("ping").empty());  // event: no store
+}
+
+TEST_F(EngineTest, ObserverSeesTransitions) {
+  const Program program = parse_program("materialize(t, keys(1)).");
+  Engine engine("u", program, &registry_);
+  std::vector<int> polarities;
+  engine.set_observer(
+      [&polarities](const Delta& d) { polarities.push_back(d.polarity); });
+  engine.insert("t", {A("x")});
+  engine.insert("t", {A("x")});  // count 2: no transition
+  engine.apply(Delta{"t", {A("x")}, -1});  // count 1: no transition
+  engine.apply(Delta{"t", {A("x")}, -1});  // count 0: transition
+  EXPECT_EQ(polarities, (std::vector<int>{+1, -1}));
+}
+
+TEST_F(EngineTest, ValidatesAggregateRuleShape) {
+  // Two body atoms under an aggregate head are rejected.
+  const Program bad = parse_program(R"(
+    materialize(a, keys(1)).
+    materialize(b, keys(1)).
+    r best(@U,a_min<C>) :- a(@U,C), b(@U,C).
+  )");
+  EXPECT_THROW(Engine("u", bad, &registry_), InvalidArgument);
+}
+
+TEST_F(EngineTest, ValidatesAggregateFunctionExists) {
+  const Program bad = parse_program(R"(
+    materialize(a, keys(1)).
+    r best(@U,a_ghost<C>) :- a(@U,C).
+  )");
+  EXPECT_THROW(Engine("u", bad, &registry_), InvalidArgument);
+}
+
+TEST_F(EngineTest, ConstantsInAtomsFilter) {
+  const Program program = parse_program(R"(
+    materialize(pair, keys(1,2,3)).
+    materialize(only5, keys(1,2)).
+    r only5(@U,X) :- pair(@U,X,5).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("pair", {A("u"), A("a"), I(5)});
+  engine.insert("pair", {A("u"), A("b"), I(6)});
+  const auto out = engine.relation_contents("only5");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Tuple{A("u"), A("a")}));
+}
+
+TEST_F(EngineTest, RepeatedVariableInAtomUnifies) {
+  const Program program = parse_program(R"(
+    materialize(pair, keys(1,2,3)).
+    materialize(diag, keys(1,2)).
+    r diag(@U,X) :- pair(@U,X,X).
+  )");
+  Engine engine("u", program, &registry_);
+  engine.insert("pair", {A("u"), I(3), I(3)});
+  engine.insert("pair", {A("u"), I(3), I(4)});
+  EXPECT_EQ(engine.relation_contents("diag").size(), 1u);
+}
+
+}  // namespace
+}  // namespace fsr::ndlog

@@ -1,0 +1,231 @@
+// Unit tests for the discrete-event network simulator: scheduling order,
+// link delay arithmetic (serialisation + latency), FIFO ordering, jitter
+// bounds, failure injection, host profiles, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/simulator.h"
+#include "util/error.h"
+
+namespace fsr::net {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(30, [&order]() { order.push_back(3); });
+  sim.schedule(10, [&order]() { order.push_back(1); });
+  sim.schedule(20, [&order]() { order.push_back(2); });
+  EXPECT_TRUE(sim.run(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SimultaneousEventsKeepFifoOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(10, [&order, i]() { order.push_back(i); });
+  }
+  EXPECT_TRUE(sim.run(100));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunStopsAtDeadline) {
+  Simulator sim(1);
+  bool ran = false;
+  sim.schedule(1000, [&ran]() { ran = true; });
+  EXPECT_FALSE(sim.run(500));  // not quiesced
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.clear_pending();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RejectsSchedulingIntoThePast) {
+  Simulator sim(1);
+  EXPECT_THROW(sim.schedule(-1, []() {}), InvalidArgument);
+}
+
+TEST(Simulator, MessageDelayIsSerializationPlusLatency) {
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  LinkConfig config;
+  config.bandwidth_mbps = 8.0;  // 1 byte/us
+  config.latency = 100;
+  sim.add_link(a, b, config);
+
+  Time delivered_at = -1;
+  sim.set_receiver([&](NodeId, NodeId, const Message&) {
+    delivered_at = sim.now();
+  });
+  sim.send(a, b, Message{50, {}});  // tx = 50 us
+  EXPECT_TRUE(sim.run(10'000));
+  EXPECT_EQ(delivered_at, 150);  // 50 tx + 100 latency
+}
+
+TEST(Simulator, LinkSerializesBackToBackMessages) {
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  LinkConfig config;
+  config.bandwidth_mbps = 8.0;
+  config.latency = 0;
+  sim.add_link(a, b, config);
+
+  std::vector<Time> deliveries;
+  sim.set_receiver([&](NodeId, NodeId, const Message&) {
+    deliveries.push_back(sim.now());
+  });
+  sim.send(a, b, Message{100, {}});
+  sim.send(a, b, Message{100, {}});  // must wait for the first
+  EXPECT_TRUE(sim.run(10'000));
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 100);
+  EXPECT_EQ(deliveries[1], 200);  // serialised, not parallel
+}
+
+TEST(Simulator, FifoPerDirectionEvenAcrossSizes) {
+  // A small message sent after a large one must not overtake it.
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  LinkConfig config;
+  config.bandwidth_mbps = 8.0;
+  config.latency = 50;
+  sim.add_link(a, b, config);
+  std::vector<std::size_t> sizes;
+  sim.set_receiver([&](NodeId, NodeId, const Message& m) {
+    sizes.push_back(m.size_bytes);
+  });
+  sim.send(a, b, Message{1000, {}});
+  sim.send(a, b, Message{1, {}});
+  EXPECT_TRUE(sim.run(100'000));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1000, 1}));
+}
+
+TEST(Simulator, JitterStaysWithinBounds) {
+  Simulator sim(7);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  LinkConfig config;
+  config.bandwidth_mbps = 8000.0;  // negligible tx time
+  config.latency = 1000;
+  config.max_jitter = 500;
+  sim.add_link(a, b, config);
+  std::vector<Time> deliveries;
+  sim.set_receiver([&](NodeId, NodeId, const Message&) {
+    deliveries.push_back(sim.now());
+  });
+  for (int i = 0; i < 50; ++i) sim.send(a, b, Message{1, {}});
+  EXPECT_TRUE(sim.run(1'000'000));
+  Time lo = deliveries.front();
+  Time hi = deliveries.front();
+  for (const Time t : deliveries) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GE(lo, 1000);
+  EXPECT_LE(hi, 1000 + 500 + 50);  // latency + jitter + tx residue
+  EXPECT_GT(hi - lo, 0);           // jitter actually applied
+}
+
+TEST(Simulator, DownLinkDropsMessages) {
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  sim.add_link(a, b, LinkConfig{});
+  int received = 0;
+  sim.set_receiver([&](NodeId, NodeId, const Message&) { ++received; });
+  sim.set_link_up(a, b, false);
+  sim.send(a, b, Message{10, {}});
+  EXPECT_TRUE(sim.run(1'000'000));
+  EXPECT_EQ(received, 0);
+  sim.set_link_up(a, b, true);
+  sim.send(a, b, Message{10, {}});
+  EXPECT_TRUE(sim.run(2'000'000));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Simulator, SendWithoutLinkThrows) {
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  const NodeId b = sim.add_node("b");
+  EXPECT_THROW(sim.send(a, b, Message{1, {}}), InvalidArgument);
+}
+
+TEST(Simulator, RejectsBadLinks) {
+  Simulator sim(1);
+  const NodeId a = sim.add_node("a");
+  EXPECT_THROW(sim.add_link(a, a, LinkConfig{}), InvalidArgument);
+  LinkConfig bad;
+  bad.bandwidth_mbps = 0.0;
+  const NodeId b = sim.add_node("b");
+  EXPECT_THROW(sim.add_link(a, b, bad), InvalidArgument);
+}
+
+TEST(Simulator, TestbedProfileDelaysDeliveries) {
+  const auto run_once = [](HostProfile profile) {
+    Simulator sim(3, profile);
+    const NodeId a = sim.add_node("a");
+    const NodeId b = sim.add_node("b");
+    sim.add_link(a, b, LinkConfig{});
+    Time delivered = 0;
+    sim.set_receiver(
+        [&](NodeId, NodeId, const Message&) { delivered = sim.now(); });
+    sim.send(a, b, Message{10, {}});
+    sim.run(10 * k_second);
+    return delivered;
+  };
+  EXPECT_GT(run_once(HostProfile::testbed()),
+            run_once(HostProfile::simulation()));
+}
+
+TEST(TrafficStats, BucketsAndTotals) {
+  TrafficStats stats(/*bucket_width=*/1000);
+  stats.record_send(0, 100, 500);
+  stats.record_send(0, 1500, 300);
+  stats.record_send(1, 1700, 200);
+  EXPECT_EQ(stats.total_messages(), 3u);
+  EXPECT_EQ(stats.total_bytes(), 1000u);
+  EXPECT_EQ(stats.node_bytes(0), 800u);
+  EXPECT_EQ(stats.node_bytes(1), 200u);
+  EXPECT_EQ(stats.node_bytes(9), 0u);
+  ASSERT_EQ(stats.bucket_bytes().size(), 2u);
+  EXPECT_EQ(stats.bucket_bytes()[0], 500u);
+  EXPECT_EQ(stats.bucket_bytes()[1], 500u);
+}
+
+TEST(TrafficStats, AverageBandwidthComputation) {
+  TrafficStats stats(/*bucket_width=*/k_second);
+  stats.record_send(0, 0, 2'000'000);  // 2 MB in a 1 s bucket
+  // 2 MB / 4 nodes / 1 s = 0.5 MBps per node.
+  EXPECT_DOUBLE_EQ(stats.average_node_bandwidth_mbps(0, 4), 0.5);
+  EXPECT_DOUBLE_EQ(stats.average_node_bandwidth_mbps(5, 4), 0.0);
+  EXPECT_DOUBLE_EQ(stats.average_node_bandwidth_mbps(0, 0), 0.0);
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    const NodeId a = sim.add_node("a");
+    const NodeId b = sim.add_node("b");
+    LinkConfig config;
+    config.max_jitter = 5000;
+    sim.add_link(a, b, config);
+    std::vector<Time> times;
+    sim.set_receiver(
+        [&](NodeId, NodeId, const Message&) { times.push_back(sim.now()); });
+    for (int i = 0; i < 10; ++i) sim.send(a, b, Message{10, {}});
+    sim.run(10 * k_second);
+    return times;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace fsr::net

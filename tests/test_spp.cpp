@@ -1,0 +1,213 @@
+// Tests for the SPP substrate: instance validation, the gadget library's
+// ground-truth stable-state structure, the asynchronous SPVP simulator,
+// and the SPP -> algebra translation of Section III-B (including the
+// paper's eighteen-constraint Figure-3 encoding).
+#include <gtest/gtest.h>
+
+#include "algebra/finite_algebra.h"
+#include "spp/gadgets.h"
+#include "spp/spp.h"
+#include "spp/translate.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::spp {
+namespace {
+
+// ------------------------------------------------------------ instance --
+
+TEST(SppInstance, ValidatesPaths) {
+  SppInstance instance("t");
+  instance.add_edge("1", "0");
+  instance.add_edge("1", "2");
+  EXPECT_THROW(instance.add_permitted_path({"1"}), InvalidArgument);
+  EXPECT_THROW(instance.add_permitted_path({"1", "2"}), InvalidArgument);
+  EXPECT_THROW(instance.add_permitted_path({"0", "1", "0"}), InvalidArgument);
+  EXPECT_THROW(instance.add_permitted_path({"2", "0"}), InvalidArgument);
+  EXPECT_THROW(instance.add_permitted_path({"1", "1", "0"}), InvalidArgument);
+  instance.add_permitted_path({"1", "0"});
+  EXPECT_EQ(instance.permitted("1").size(), 1u);
+}
+
+TEST(SppInstance, RankOfReflectsInsertionOrder) {
+  const SppInstance g = good_gadget();
+  EXPECT_EQ(g.rank_of({"1", "3", "0"}), 0u);
+  EXPECT_EQ(g.rank_of({"1", "0"}), 1u);
+  EXPECT_EQ(g.rank_of({"1", "2", "0"}), std::nullopt);
+}
+
+TEST(SppInstance, EdgesDeduplicated) {
+  SppInstance instance("t");
+  instance.add_edge("1", "2");
+  instance.add_edge("2", "1");
+  EXPECT_EQ(instance.edges().size(), 1u);
+  EXPECT_TRUE(instance.has_edge("2", "1"));
+}
+
+TEST(SppInstance, RejectsSelfLoop) {
+  SppInstance instance("t");
+  EXPECT_THROW(instance.add_edge("1", "1"), InvalidArgument);
+}
+
+TEST(SppInstance, NodesExcludeDestination) {
+  const SppInstance g = disagree_gadget();
+  const auto nodes = g.nodes();
+  EXPECT_EQ(nodes.size(), 2u);
+  for (const auto& n : nodes) EXPECT_NE(n, "0");
+}
+
+// ------------------------------------------------- stable enumeration --
+
+TEST(StableStates, GoodGadgetHasUniqueSolution) {
+  const auto stable = enumerate_stable_assignments(good_gadget());
+  ASSERT_EQ(stable.size(), 1u);
+  const Assignment& a = stable.front();
+  EXPECT_EQ(a.at("1"), (Path{"1", "3", "0"}));
+  EXPECT_EQ(a.at("2"), (Path{"2", "0"}));
+  EXPECT_EQ(a.at("3"), (Path{"3", "0"}));
+}
+
+TEST(StableStates, BadGadgetHasNoSolution) {
+  EXPECT_TRUE(enumerate_stable_assignments(bad_gadget()).empty());
+}
+
+TEST(StableStates, DisagreeHasExactlyTwoSolutions) {
+  const auto stable = enumerate_stable_assignments(disagree_gadget());
+  EXPECT_EQ(stable.size(), 2u);
+}
+
+TEST(StableStates, Figure3GadgetHasNoSolution) {
+  // The iBGP reflection instance oscillates: no stable assignment.
+  EXPECT_TRUE(enumerate_stable_assignments(ibgp_figure3_gadget()).empty());
+}
+
+TEST(StableStates, Figure3FixedHasSolution) {
+  const auto stable = enumerate_stable_assignments(ibgp_figure3_fixed());
+  ASSERT_FALSE(stable.empty());
+  // In every stable state each reflector uses its own client's egress.
+  for (const Assignment& a : stable) {
+    EXPECT_EQ(a.at("a"), (Path{"a", "d", "0"}));
+    EXPECT_EQ(a.at("b"), (Path{"b", "e", "0"}));
+    EXPECT_EQ(a.at("c"), (Path{"c", "f", "0"}));
+  }
+}
+
+TEST(StableStates, EnumerationGuardsSearchSpace) {
+  EXPECT_THROW(
+      enumerate_stable_assignments(good_gadget_chain(30), /*max_states=*/100),
+      InvalidArgument);
+}
+
+// ----------------------------------------------------------- SPVP sim --
+
+TEST(Spvp, GoodGadgetConvergesToTheUniqueSolution) {
+  util::Rng rng(1);
+  const SpvpResult r = simulate_spvp(good_gadget(), rng);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.final_assignment.at("1"), (Path{"1", "3", "0"}));
+}
+
+TEST(Spvp, BadGadgetNeverConverges) {
+  util::Rng rng(2);
+  const SpvpResult r = simulate_spvp(bad_gadget(), rng, 20000);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.activations, 20000u);
+  EXPECT_GT(r.route_changes, 100u);  // sustained oscillation, not silence
+}
+
+TEST(Spvp, DisagreeConvergesToOneOfTwoStates) {
+  const auto stable = enumerate_stable_assignments(disagree_gadget());
+  ASSERT_EQ(stable.size(), 2u);
+  int seen_first = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    const SpvpResult r = simulate_spvp(disagree_gadget(), rng);
+    ASSERT_TRUE(r.converged);
+    const bool is_first = r.final_assignment == stable[0];
+    const bool is_second = r.final_assignment == stable[1];
+    EXPECT_TRUE(is_first || is_second);
+    if (is_first) ++seen_first;
+  }
+  // Both outcomes are reachable across seeds (non-determinism is real).
+  EXPECT_GT(seen_first, 0);
+  EXPECT_LT(seen_first, 20);
+}
+
+TEST(Spvp, Figure3GadgetOscillates) {
+  util::Rng rng(3);
+  const SpvpResult r = simulate_spvp(ibgp_figure3_gadget(), rng, 20000);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Spvp, Figure3FixedConverges) {
+  util::Rng rng(4);
+  const SpvpResult r = simulate_spvp(ibgp_figure3_fixed(), rng);
+  EXPECT_TRUE(r.converged);
+}
+
+// --------------------------------------------------------- translation --
+
+TEST(Translate, Figure3ProducesEighteenConstraints) {
+  const auto a = algebra_from_spp(ibgp_figure3_gadget());
+  const algebra::SymbolicSpec spec = a->symbolic();
+  // 15 permitted paths -> 15 signatures.
+  EXPECT_EQ(spec.signatures.size(), 15u);
+  // 9 pairwise ranking constraints (1+1+1+2+2+2).
+  EXPECT_EQ(spec.preferences.size(), 9u);
+  // 9 concatenation entries (paths whose suffix is itself permitted).
+  EXPECT_EQ(spec.extensions.size(), 9u);
+  // Together: the paper's "eighteen constraints" for this instance.
+  EXPECT_EQ(spec.preferences.size() + spec.extensions.size(), 18u);
+}
+
+TEST(Translate, LabelsAndComplements) {
+  const auto a = algebra_from_spp(disagree_gadget());
+  EXPECT_EQ(a->complement(algebra::Value::atom(spp_label("1", "2"))),
+            algebra::Value::atom(spp_label("2", "1")));
+}
+
+TEST(Translate, ExtensionReplaysSppDynamics) {
+  const auto a = algebra_from_spp(good_gadget());
+  // 1 extends 3's direct route over link 1->3: permitted, yields r(1-3-0).
+  const auto extended =
+      a->extend(algebra::Value::atom(spp_label("1", "3")),
+                algebra::Value::atom(spp_signature({"3", "0"})));
+  ASSERT_TRUE(extended.has_value());
+  EXPECT_EQ(extended->as_atom(), spp_signature({"1", "3", "0"}));
+  // 2 extending 3's route is not permitted anywhere: phi.
+  EXPECT_FALSE(a->extend(algebra::Value::atom(spp_label("2", "1")),
+                         algebra::Value::atom(spp_signature({"3", "0"})))
+                   .has_value());
+}
+
+TEST(Translate, OriginationCoversOneHopPermittedPaths) {
+  const auto a = algebra_from_spp(good_gadget());
+  const auto orig = a->originate(algebra::Value::atom(spp_label("3", "0")));
+  ASSERT_TRUE(orig.has_value());
+  EXPECT_EQ(orig->as_atom(), spp_signature({"3", "0"}));
+}
+
+TEST(Translate, PerNodeRankingBecomesStrictPreference) {
+  const auto a = algebra_from_spp(good_gadget());
+  EXPECT_EQ(a->compare(algebra::Value::atom(spp_signature({"1", "3", "0"})),
+                       algebra::Value::atom(spp_signature({"1", "0"}))),
+            algebra::Ordering::better);
+  // Paths of different nodes are incomparable (partial order; the paper's
+  // soundness argument in Section IV-C explains why this is fine).
+  EXPECT_EQ(a->compare(algebra::Value::atom(spp_signature({"1", "0"})),
+                       algebra::Value::atom(spp_signature({"2", "0"}))),
+            algebra::Ordering::incomparable);
+}
+
+TEST(Translate, RejectsEmptyInstance) {
+  SppInstance empty("empty");
+  EXPECT_THROW(algebra_from_spp(empty), InvalidArgument);
+}
+
+TEST(Translate, GoodGadgetChainScales) {
+  const auto a = algebra_from_spp(good_gadget_chain(4));
+  EXPECT_EQ(a->symbolic().signatures.size(), 4u * 6u);
+}
+
+}  // namespace
+}  // namespace fsr::spp

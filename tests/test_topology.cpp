@@ -1,0 +1,291 @@
+// Tests for the topology generators: the AS hierarchy (Figure 4 input),
+// the Rocketfuel-like iBGP experiment (Figure 5 / Section VI-B input) and
+// the HLP domain topology (Figure 6 input). Generators must be
+// deterministic in their seeds and reproduce the structural parameters
+// the paper's experiments depend on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spp/translate.h"
+#include "fsr/safety_analyzer.h"
+#include "topology/as_hierarchy.h"
+#include "topology/hlp_domains.h"
+#include "topology/rocketfuel.h"
+#include "util/error.h"
+
+namespace fsr::topology {
+namespace {
+
+// -------------------------------------------------------- AS hierarchy --
+
+TEST(AsHierarchy, ChainLengthMatchesRequestedDepth) {
+  for (const std::int32_t depth : {3, 6, 10, 16}) {
+    AsHierarchyParams params;
+    params.depth = depth;
+    params.seed = 9;
+    const Topology topo =
+        generate_as_hierarchy(params, LabelScheme::business);
+    EXPECT_EQ(longest_customer_provider_chain(topo), depth);
+  }
+}
+
+TEST(AsHierarchy, DeterministicPerSeed) {
+  AsHierarchyParams params;
+  params.depth = 5;
+  params.seed = 33;
+  const Topology a = generate_as_hierarchy(params, LabelScheme::business);
+  const Topology b = generate_as_hierarchy(params, LabelScheme::business);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].u, b.links[i].u);
+    EXPECT_EQ(a.links[i].v, b.links[i].v);
+  }
+  params.seed = 34;
+  const Topology c = generate_as_hierarchy(params, LabelScheme::business);
+  const auto link_endpoints = [](const Topology& topo) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const TopoLink& link : topo.links) out.emplace_back(link.u, link.v);
+    return out;
+  };
+  EXPECT_NE(link_endpoints(a), link_endpoints(c));
+}
+
+TEST(AsHierarchy, LabelsAreComplementary) {
+  AsHierarchyParams params;
+  params.depth = 4;
+  const Topology topo = generate_as_hierarchy(params, LabelScheme::business);
+  for (const TopoLink& link : topo.links) {
+    const std::string u_side = link.label_uv.as_atom();
+    const std::string v_side = link.label_vu.as_atom();
+    if (u_side == "c") {
+      EXPECT_EQ(v_side, "p");
+    } else if (u_side == "p") {
+      EXPECT_EQ(v_side, "c");
+    } else {
+      EXPECT_EQ(u_side, "r");
+      EXPECT_EQ(v_side, "r");
+    }
+  }
+}
+
+TEST(AsHierarchy, HopCountSchemeUsesPairs) {
+  AsHierarchyParams params;
+  params.depth = 3;
+  const Topology topo =
+      generate_as_hierarchy(params, LabelScheme::business_hop_count);
+  for (const TopoLink& link : topo.links) {
+    ASSERT_TRUE(link.label_uv.is_pair());
+    EXPECT_EQ(link.label_uv.second().as_integer(), 1);
+  }
+}
+
+TEST(AsHierarchy, DestinationIsStubAtDeepestLevel) {
+  AsHierarchyParams params;
+  params.depth = 5;
+  const Topology topo = generate_as_hierarchy(params, LabelScheme::business);
+  EXPECT_EQ(topo.destination, "dst");
+  int incident = 0;
+  for (const TopoLink& link : topo.links) {
+    if (link.u == "dst" || link.v == "dst") ++incident;
+  }
+  EXPECT_EQ(incident, 1);  // a stub: single provider
+}
+
+TEST(AsHierarchy, RejectsDegenerateParameters) {
+  AsHierarchyParams params;
+  params.depth = 1;
+  EXPECT_THROW(generate_as_hierarchy(params, LabelScheme::business),
+               InvalidArgument);
+  params.depth = 3;
+  params.top_level_count = 0;
+  EXPECT_THROW(generate_as_hierarchy(params, LabelScheme::business),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------- Rocketfuel --
+
+TEST(Rocketfuel, ReproducesPaperScale) {
+  RocketfuelParams params;
+  const IbgpExperiment experiment = build_rocketfuel_ibgp(params);
+  EXPECT_EQ(experiment.router_count, 87u);
+  EXPECT_EQ(experiment.physical_link_count, 322u);
+  EXPECT_EQ(experiment.reflectors.size(), 53u);
+  EXPECT_EQ(experiment.egresses.size(), 3u);
+  // 6 levels: reflector levels 0..4 plus the client level.
+  std::set<std::int32_t> levels;
+  for (const auto& [node, level] : experiment.level_of) {
+    (void)node;
+    levels.insert(level);
+  }
+  EXPECT_EQ(levels.size(), 6u);
+}
+
+TEST(Rocketfuel, ConstraintCountsInPaperRange) {
+  RocketfuelParams params;
+  params.embed_gadget = true;
+  const auto experiment = build_rocketfuel_ibgp(params);
+  const SafetyAnalyzer analyzer;
+  const auto check = analyzer.check_monotonicity(
+      *spp::algebra_from_spp(experiment.instance),
+      MonotonicityMode::strict);
+  // Paper: 292 ranking + 259 strict-monotonicity constraints. The
+  // synthetic extraction lands in the same range.
+  EXPECT_GT(check.preference_constraint_count, 150u);
+  EXPECT_LT(check.preference_constraint_count, 400u);
+  EXPECT_GT(check.monotonicity_constraint_count, 150u);
+  EXPECT_LT(check.monotonicity_constraint_count, 400u);
+}
+
+TEST(Rocketfuel, GadgetMakesItUnsafeWithSixConstraintCore) {
+  RocketfuelParams params;
+  params.embed_gadget = true;
+  const auto experiment = build_rocketfuel_ibgp(params);
+  const SafetyAnalyzer analyzer;
+  const auto check = analyzer.check_monotonicity(
+      *spp::algebra_from_spp(experiment.instance),
+      MonotonicityMode::strict);
+  ASSERT_FALSE(check.holds);
+  EXPECT_EQ(check.unsat_core.size(), 6u);  // the paper's minimal core
+  // Every core constraint mentions only planted gadget routers.
+  for (const auto& prov : check.unsat_core) {
+    bool mentions_gadget = false;
+    for (const std::string& router : experiment.gadget_routers) {
+      if (prov.description.find(router) != std::string::npos) {
+        mentions_gadget = true;
+      }
+    }
+    EXPECT_TRUE(mentions_gadget) << prov.description;
+  }
+}
+
+TEST(Rocketfuel, CleanConfigurationIsProvablySafe) {
+  RocketfuelParams params;
+  params.embed_gadget = false;
+  const auto experiment = build_rocketfuel_ibgp(params);
+  const SafetyAnalyzer analyzer;
+  const auto check = analyzer.check_monotonicity(
+      *spp::algebra_from_spp(experiment.instance),
+      MonotonicityMode::strict);
+  EXPECT_TRUE(check.holds);
+}
+
+TEST(Rocketfuel, AnalysisWellUnderHundredMilliseconds) {
+  RocketfuelParams params;
+  params.embed_gadget = true;
+  const auto experiment = build_rocketfuel_ibgp(params);
+  const SafetyAnalyzer analyzer;
+  const auto check = analyzer.check_monotonicity(
+      *spp::algebra_from_spp(experiment.instance),
+      MonotonicityMode::strict);
+  EXPECT_LT(check.solve_time_ms, 100.0);  // the paper's bound
+}
+
+TEST(Rocketfuel, HoldsAcrossSeeds) {
+  for (const std::uint64_t seed : {2u, 3u, 4u}) {
+    RocketfuelParams params;
+    params.seed = seed;
+    params.embed_gadget = true;
+    const auto broken = build_rocketfuel_ibgp(params);
+    params.embed_gadget = false;
+    const auto clean = build_rocketfuel_ibgp(params);
+    const SafetyAnalyzer analyzer;
+    EXPECT_FALSE(analyzer
+                     .check_monotonicity(
+                         *spp::algebra_from_spp(broken.instance),
+                         MonotonicityMode::strict)
+                     .holds)
+        << "seed " << seed;
+    EXPECT_TRUE(analyzer
+                    .check_monotonicity(
+                        *spp::algebra_from_spp(clean.instance),
+                        MonotonicityMode::strict)
+                    .holds)
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------- HLP domains --
+
+TEST(HlpDomains, ReproducesPaperParameters) {
+  HlpDomainsParams params;
+  const Topology topo = generate_hlp_domains(params);
+  // 10 x 20 nodes + the destination.
+  EXPECT_EQ(topo.nodes.size(), 201u);
+  // Count cross-domain links.
+  int cross = 0;
+  for (const TopoLink& link : topo.links) {
+    if (is_cross_domain(topo, link)) ++cross;
+  }
+  EXPECT_EQ(cross, 84);
+  // Every node has a domain marker.
+  for (const std::string& node : topo.nodes) {
+    EXPECT_TRUE(topo.domain_of.contains(node)) << node;
+  }
+}
+
+TEST(HlpDomains, LatenciesFollowLinkType) {
+  HlpDomainsParams params;
+  const Topology topo = generate_hlp_domains(params);
+  for (const TopoLink& link : topo.links) {
+    if (is_cross_domain(topo, link)) {
+      EXPECT_EQ(link.net_config.latency, params.inter_latency);
+    } else {
+      EXPECT_EQ(link.net_config.latency, params.intra_latency);
+    }
+  }
+}
+
+TEST(HlpDomains, IntraDomainGraphsAreConnected) {
+  HlpDomainsParams params;
+  params.domain_count = 4;
+  params.nodes_per_domain = 8;
+  params.cross_domain_links = 6;
+  const Topology topo = generate_hlp_domains(params);
+  // Union-find per domain over intra links only.
+  std::map<std::string, std::string> parent;
+  const std::function<std::string(const std::string&)> find =
+      [&](const std::string& x) -> std::string {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    return it->second = find(it->second);
+  };
+  for (const TopoLink& link : topo.links) {
+    if (!is_cross_domain(topo, link)) {
+      parent[find(link.u)] = find(link.v);
+    }
+  }
+  std::map<std::string, std::set<std::string>> components;
+  for (const std::string& node : topo.nodes) {
+    if (node == topo.destination) continue;
+    components[topo.domain_of.at(node)].insert(find(node));
+  }
+  for (const auto& [domain, roots] : components) {
+    EXPECT_EQ(roots.size(), 1u) << domain << " is disconnected";
+  }
+}
+
+TEST(HlpDomains, RejectsDegenerateParameters) {
+  HlpDomainsParams params;
+  params.domain_count = 1;
+  EXPECT_THROW(generate_hlp_domains(params), InvalidArgument);
+}
+
+TEST(TopologyType, LabelledNeighborsBothDirections) {
+  Topology topo;
+  topo.nodes = {"a", "b"};
+  topo.destination = "b";
+  topo.links.push_back(TopoLink{"a", "b", algebra::Value::integer(3),
+                                algebra::Value::integer(4), {}});
+  const auto a_neighbors = topo.labelled_neighbors("a");
+  ASSERT_EQ(a_neighbors.size(), 1u);
+  EXPECT_EQ(a_neighbors[0].first, "b");
+  EXPECT_EQ(a_neighbors[0].second.as_integer(), 3);
+  const auto b_neighbors = topo.labelled_neighbors("b");
+  ASSERT_EQ(b_neighbors.size(), 1u);
+  EXPECT_EQ(b_neighbors[0].second.as_integer(), 4);
+}
+
+}  // namespace
+}  // namespace fsr::topology
