@@ -1,0 +1,143 @@
+#include "campaign/cache.h"
+
+#include "util/error.h"
+
+namespace fsr::campaign {
+namespace {
+
+void append_path(std::string& out, const spp::Path& path) {
+  out += spp::path_name(path);
+}
+
+const char* pref_rel_spelling(algebra::PrefRel rel) {
+  switch (rel) {
+    case algebra::PrefRel::strictly_better:
+      return "<";
+    case algebra::PrefRel::equal:
+      return "=";
+    case algebra::PrefRel::better_or_equal:
+      return "<=";
+  }
+  return "<";
+}
+
+}  // namespace
+
+std::string canonical_spp(const spp::SppInstance& instance) {
+  std::string out = "dest=" + instance.destination() + ";edges=";
+  for (const auto& [u, v] : instance.edges()) {
+    out += u + "~" + v + ",";
+  }
+  out += ";paths=";
+  for (const std::string& node : instance.nodes()) {
+    out += node + ":";
+    for (const spp::Path& path : instance.permitted(node)) {
+      append_path(out, path);
+      out += ",";
+    }
+    out += ";";
+  }
+  return out;
+}
+
+std::string canonical_spec(const algebra::SymbolicSpec& spec) {
+  std::string out = "sigs=";
+  for (const std::string& sig : spec.signatures) out += sig + ",";
+  out += ";prefs=";
+  for (const auto& pref : spec.preferences) {
+    out += pref.lhs + pref_rel_spelling(pref.rel) + pref.rhs + ",";
+  }
+  out += ";exts=";
+  for (const auto& ext : spec.extensions) {
+    out += ext.label + "(+)" + ext.from_sig + "=" + ext.to_sig + ",";
+  }
+  out += ";templates=";
+  for (const auto& tmpl : spec.additive_templates) {
+    out += std::to_string(tmpl.delta) + ",";
+  }
+  return out;
+}
+
+std::string canonical_topology(const topology::Topology& topology) {
+  std::string out = "dest=" + topology.destination + ";nodes=";
+  for (const std::string& node : topology.nodes) out += node + ",";
+  out += ";links=";
+  for (const auto& link : topology.links) {
+    out += link.u + "~" + link.v + "[" + link.label_uv.to_string() + "/" +
+           link.label_vu.to_string() + "]" +
+           std::to_string(link.net_config.bandwidth_mbps) + "mbps," +
+           std::to_string(link.net_config.latency) + "us," +
+           std::to_string(link.net_config.max_jitter) + "j;";
+  }
+  out += ";domains=";
+  for (const auto& [node, domain] : topology.domain_of) {
+    out += node + "=" + domain + ",";
+  }
+  return out;
+}
+
+std::string scenario_cache_key(const Scenario& scenario) {
+  std::string out = to_string(scenario.kind);
+  if (scenario.kind == ScenarioKind::emulation) {
+    // Emulation outcomes depend on the scenario seed (jitter, batching
+    // drift); safety verdicts do not.
+    out += "|seed=" + std::to_string(scenario.seed);
+  }
+  if (scenario.spp) {
+    out += "|spp|" + canonical_spp(*scenario.spp);
+  } else if (scenario.algebra) {
+    out += "|alg|" + scenario.algebra->name() + "|" +
+           canonical_spec(scenario.algebra->symbolic());
+    if (scenario.topology) out += "|topo|" + canonical_topology(*scenario.topology);
+  } else {
+    throw InvalidArgument("scenario '" + scenario.id +
+                          "' carries neither an SPP instance nor an algebra");
+  }
+  return out;
+}
+
+std::string content_digest(const std::string& canonical) {
+  std::uint64_t hash = fnv1a64(canonical);
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::shared_ptr<const ScenarioOutcome> ResultCache::find(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const ScenarioOutcome> outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.emplace(key, std::move(outcome));
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace fsr::campaign

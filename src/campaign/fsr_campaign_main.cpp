@@ -1,0 +1,119 @@
+// fsr_campaign: run scenario campaigns from the command line.
+//
+//   fsr_campaign --source gadgets --source rocketfuel --threads 4
+//   fsr_campaign --source all --emulate --format table --timings
+//
+// Default output is deterministic JSON on stdout: for a fixed campaign
+// seed the bytes are identical for any --threads value (see
+// campaign/report.h). --timings adds wall-clock data and breaks that
+// property on purpose.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "util/error.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: fsr_campaign [options]\n"
+      "  --source NAME    scenario source (repeatable); NAME is one of\n"
+      "                   gadgets, rocketfuel, as-hierarchy, random-spp,\n"
+      "                   policies, or 'all' (default: all)\n"
+      "  --threads N      worker threads (default 1)\n"
+      "  --seed S         campaign seed (default 1)\n"
+      "  --format F       json | table (default json)\n"
+      "  --timings        include wall-clock data (JSON output is then no\n"
+      "                   longer byte-stable across runs)\n"
+      "  --emulate        add emulation variants to the gadget source\n"
+      "  --no-cache       disable the cross-run result cache\n"
+      "  --list-sources   print available sources and exit\n"
+      "  --help           this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsr::campaign;
+
+  CampaignOptions options;
+  std::vector<std::string> source_names;
+  std::string format = "json";
+  bool timings = false;
+  bool emulate = false;
+
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "fsr_campaign: %s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--source") == 0) {
+      source_names.emplace_back(need_value(i, "--source"));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = std::atoi(need_value(i, "--threads"));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = std::strtoull(need_value(i, "--seed"), nullptr, 10);
+    } else if (std::strcmp(arg, "--format") == 0) {
+      format = need_value(i, "--format");
+    } else if (std::strcmp(arg, "--timings") == 0) {
+      timings = true;
+    } else if (std::strcmp(arg, "--emulate") == 0) {
+      emulate = true;
+    } else if (std::strcmp(arg, "--no-cache") == 0) {
+      options.use_cache = false;
+    } else if (std::strcmp(arg, "--list-sources") == 0) {
+      for (const std::string& name : builtin_source_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fsr_campaign: unknown option '%s'\n", arg);
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (format != "json" && format != "table") {
+    std::fprintf(stderr, "fsr_campaign: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (source_names.empty() ||
+      (source_names.size() == 1 && source_names[0] == "all")) {
+    source_names = builtin_source_names();
+  }
+
+  try {
+    std::vector<std::unique_ptr<ScenarioSource>> sources;
+    sources.reserve(source_names.size());
+    for (const std::string& name : source_names) {
+      sources.push_back(make_builtin_source(name, emulate));
+    }
+
+    CampaignRunner runner(options);
+    const CampaignReport report = runner.run(sources);
+
+    if (format == "table") {
+      std::fputs(render_table(report).c_str(), stdout);
+    } else {
+      JsonOptions json_options;
+      json_options.include_timings = timings;
+      std::fputs(to_json(report, json_options).c_str(), stdout);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fsr_campaign: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,355 @@
+#include "campaign/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace fsr::campaign {
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string quoted(const std::string& text) {
+  return "\"" + json_escape(text) + "\"";
+}
+
+std::string fixed3(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+bool executed(const ScenarioResult& result) {
+  return !result.deduplicated && !result.cache_hit && result.outcome != nullptr;
+}
+
+const char* safety_verdict_text(const SafetyReport& report) {
+  return report.verdict == SafetyVerdict::safe ? "safe" : "not_provably_safe";
+}
+
+void append_scenario_json(std::string& out, const ScenarioResult& result,
+                          const JsonOptions& options, const char* indent) {
+  out += indent;
+  out += "{\"id\": " + quoted(result.id) +
+         ", \"source\": " + quoted(result.source) +
+         ", \"kind\": " + quoted(to_string(result.kind)) +
+         ", \"seed\": " + quoted(std::to_string(result.seed)) +
+         ", \"content\": " + quoted(result.content_id) +
+         ", \"deduplicated\": " + (result.deduplicated ? "true" : "false") +
+         ", \"cache_hit\": " + (result.cache_hit ? "true" : "false");
+  const ScenarioOutcome* outcome = result.outcome.get();
+  if (outcome != nullptr && !outcome->error.empty()) {
+    out += ", \"verdict\": \"error\", \"error\": " + quoted(outcome->error);
+  }
+  if (outcome != nullptr && outcome->safety.has_value()) {
+    const SafetyReport& safety = *outcome->safety;
+    out += ", \"verdict\": " + quoted(safety_verdict_text(safety));
+    out += ", \"checks\": [";
+    for (std::size_t i = 0; i < safety.checks.size(); ++i) {
+      const MonotonicityReport& check = safety.checks[i];
+      if (i > 0) out += ", ";
+      out += "{\"algebra\": " + quoted(check.algebra_name) + ", \"mode\": " +
+             quoted(check.mode == MonotonicityMode::strict ? "strict"
+                                                           : "plain") +
+             ", \"holds\": " + (check.holds ? "true" : "false") +
+             ", \"preference_constraints\": " +
+             std::to_string(check.preference_constraint_count) +
+             ", \"monotonicity_constraints\": " +
+             std::to_string(check.monotonicity_constraint_count);
+      if (!check.holds && !check.unsat_core.empty()) {
+        out += ", \"core\": [";
+        for (std::size_t j = 0; j < check.unsat_core.size(); ++j) {
+          if (j > 0) out += ", ";
+          out += quoted(check.unsat_core[j].description);
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  if (outcome != nullptr && outcome->emulation.has_value()) {
+    const EmulationResult& emu = *outcome->emulation;
+    out += ", \"verdict\": ";
+    out += emu.quiesced ? quoted("converged") : quoted("diverged");
+    out += ", \"convergence_time_us\": " +
+           std::to_string(emu.convergence_time) +
+           ", \"end_time_us\": " + std::to_string(emu.end_time) +
+           ", \"messages\": " + std::to_string(emu.messages) +
+           ", \"bytes\": " + std::to_string(emu.bytes) +
+           ", \"route_changes\": " + std::to_string(emu.route_changes) +
+           ", \"nodes\": " + std::to_string(emu.node_count);
+  }
+  if (options.include_timings && outcome != nullptr) {
+    out += ", \"wall_ms\": " + fixed3(outcome->wall_ms);
+  }
+  out += "}";
+}
+
+void append_summary_json(std::string& out, const char* key,
+                         const SourceSummary& summary) {
+  out += std::string(key) + "{\"scenarios\": " +
+         std::to_string(summary.scenarios) +
+         ", \"safe\": " + std::to_string(summary.safe) +
+         ", \"not_provably_safe\": " + std::to_string(summary.not_provably_safe) +
+         ", \"converged\": " + std::to_string(summary.converged) +
+         ", \"diverged\": " + std::to_string(summary.diverged) + "}";
+}
+
+void tally(SourceSummary& summary, const ScenarioResult& result) {
+  ++summary.scenarios;
+  const ScenarioOutcome* outcome = result.outcome.get();
+  if (outcome == nullptr) return;
+  if (outcome->safety.has_value()) {
+    if (outcome->safety->verdict == SafetyVerdict::safe) {
+      ++summary.safe;
+    } else {
+      ++summary.not_provably_safe;
+    }
+  }
+  if (outcome->emulation.has_value()) {
+    if (outcome->emulation->quiesced) {
+      ++summary.converged;
+    } else {
+      ++summary.diverged;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, SourceSummary>> CampaignReport::per_source()
+    const {
+  std::vector<std::pair<std::string, SourceSummary>> out;
+  for (const ScenarioResult& result : results) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const auto& entry) {
+      return entry.first == result.source;
+    });
+    if (it == out.end()) {
+      out.emplace_back(result.source, SourceSummary{});
+      it = std::prev(out.end());
+    }
+    tally(it->second, result);
+  }
+  return out;
+}
+
+SourceSummary CampaignReport::totals() const {
+  SourceSummary summary;
+  for (const ScenarioResult& result : results) tally(summary, result);
+  return summary;
+}
+
+std::vector<CoreConstraintCount> CampaignReport::core_frequencies() const {
+  std::map<std::string, std::size_t> counts;
+  for (const ScenarioResult& result : results) {
+    if (result.outcome == nullptr || !result.outcome->safety.has_value()) {
+      continue;
+    }
+    const auto* core = result.outcome->safety->failing_core();
+    if (core == nullptr) continue;
+    // Count each constraint once per scenario, however often it recurs
+    // within that scenario's core.
+    std::set<std::string> seen;
+    for (const ConstraintProvenance& entry : *core) {
+      if (seen.insert(entry.description).second) ++counts[entry.description];
+    }
+  }
+  std::vector<CoreConstraintCount> out;
+  out.reserve(counts.size());
+  for (const auto& [description, count] : counts) {
+    out.push_back(CoreConstraintCount{description, count});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count != b.count ? a.count > b.count
+                              : a.description < b.description;
+  });
+  return out;
+}
+
+std::vector<std::size_t> CampaignReport::solve_time_histogram() const {
+  std::vector<std::size_t> buckets;
+  for (const ScenarioResult& result : results) {
+    if (!executed(result)) continue;
+    const double ms = result.outcome->wall_ms;
+    const std::size_t bucket =
+        ms < 1.0 ? 0
+                 : static_cast<std::size_t>(std::floor(std::log2(ms))) + 1;
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+std::vector<std::size_t> CampaignReport::slowest(std::size_t limit) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (executed(results[i])) indices.push_back(i);
+  }
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    const double wa = results[a].outcome->wall_ms;
+    const double wb = results[b].outcome->wall_ms;
+    return wa != wb ? wa > wb : a < b;
+  });
+  if (indices.size() > limit) indices.resize(limit);
+  return indices;
+}
+
+std::string to_json(const CampaignReport& report, JsonOptions options) {
+  std::string out = "{\n";
+  out += "  \"campaign\": {\"seed\": " + quoted(std::to_string(
+             report.campaign_seed)) +
+         ", \"scenarios\": " + std::to_string(report.results.size()) +
+         ", \"solved\": " + std::to_string(report.solved_count) +
+         ", \"deduplicated\": " + std::to_string(report.deduplicated_count) +
+         ", \"cache_hits\": " + std::to_string(report.cache_hit_count) + "},\n";
+  append_summary_json(out, "  \"totals\": ", report.totals());
+  out += ",\n  \"per_source\": [";
+  bool first = true;
+  for (const auto& [source, summary] : report.per_source()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"source\": " + quoted(source) +
+           ", \"scenarios\": " + std::to_string(summary.scenarios) +
+           ", \"safe\": " + std::to_string(summary.safe) +
+           ", \"not_provably_safe\": " +
+           std::to_string(summary.not_provably_safe) +
+           ", \"converged\": " + std::to_string(summary.converged) +
+           ", \"diverged\": " + std::to_string(summary.diverged) + "}";
+  }
+  out += "],\n";
+  out += "  \"core_frequency\": [";
+  first = true;
+  for (const CoreConstraintCount& entry : report.core_frequencies()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"constraint\": " + quoted(entry.description) +
+           ", \"count\": " + std::to_string(entry.count) + "}";
+  }
+  out += "],\n";
+  out += "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    append_scenario_json(out, report.results[i], options, "    ");
+    out += i + 1 < report.results.size() ? ",\n" : "\n";
+  }
+  out += "  ]";
+  if (options.include_timings) {
+    out += ",\n  \"timings\": {\"threads\": " + std::to_string(report.threads) +
+           ", \"total_wall_ms\": " + fixed3(report.total_wall_ms) +
+           ", \"histogram_pow2_ms\": [";
+    first = true;
+    for (const std::size_t count : report.solve_time_histogram()) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(count);
+    }
+    out += "], \"slowest\": [";
+    first = true;
+    for (const std::size_t index : report.slowest()) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"id\": " + quoted(report.results[index].id) +
+             ", \"wall_ms\": " + fixed3(report.results[index].outcome->wall_ms) +
+             "}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string render_table(const CampaignReport& report) {
+  char buf[256];
+  std::string out;
+  out += "==== FSR campaign report ====\n";
+  std::snprintf(buf, sizeof(buf),
+                "seed %llu | %zu scenarios | %zu solved | %zu deduplicated | "
+                "%zu cache hits | %d threads | %.1f ms wall\n",
+                static_cast<unsigned long long>(report.campaign_seed),
+                report.results.size(), report.solved_count,
+                report.deduplicated_count, report.cache_hit_count,
+                report.threads, report.total_wall_ms);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf), "%-16s%10s%8s%14s%10s%10s\n", "source",
+                "scenarios", "safe", "not-provable", "converged", "diverged");
+  out += buf;
+  const auto emit_row = [&](const std::string& source,
+                            const SourceSummary& summary) {
+    std::snprintf(buf, sizeof(buf), "%-16s%10zu%8zu%14zu%10zu%10zu\n",
+                  source.c_str(), summary.scenarios, summary.safe,
+                  summary.not_provably_safe, summary.converged,
+                  summary.diverged);
+    out += buf;
+  };
+  for (const auto& [source, summary] : report.per_source()) {
+    emit_row(source, summary);
+  }
+  emit_row("TOTAL", report.totals());
+
+  const auto cores = report.core_frequencies();
+  if (!cores.empty()) {
+    out += "\nmost frequent unsat-core constraints:\n";
+    const std::size_t shown = std::min<std::size_t>(cores.size(), 10);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::snprintf(buf, sizeof(buf), "%6zux  %s\n", cores[i].count,
+                    cores[i].description.c_str());
+      out += buf;
+    }
+  }
+
+  const auto histogram = report.solve_time_histogram();
+  if (!histogram.empty()) {
+    out += "\nsolve-time histogram (power-of-two ms buckets):\n";
+    for (std::size_t i = 0; i < histogram.size(); ++i) {
+      const double lo = i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i) - 1);
+      const double hi = std::pow(2.0, static_cast<double>(i));
+      std::snprintf(buf, sizeof(buf), "  [%8.1f, %8.1f) ms  %zu\n", lo, hi,
+                    histogram[i]);
+      out += buf;
+    }
+  }
+
+  const auto slowest = report.slowest();
+  if (!slowest.empty()) {
+    out += "\nslowest scenarios:\n";
+    for (const std::size_t index : slowest) {
+      std::snprintf(buf, sizeof(buf), "  %10.2f ms  %s\n",
+                    report.results[index].outcome->wall_ms,
+                    report.results[index].id.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace fsr::campaign

@@ -1,0 +1,87 @@
+// Campaign result aggregation and rendering.
+//
+// A CampaignReport collects every scenario's outcome (in scenario order,
+// independent of which worker solved it) plus campaign-level aggregates:
+// verdict counts per source, the unsat-core constraint frequency table
+// (which policy constraints recur across failing configurations — the
+// campaign-scale version of the paper's pinpointing workflow), solve-time
+// histograms, and the slowest scenarios.
+//
+// Rendering contract: to_json() with default options emits ONLY
+// deterministic fields — reports are byte-identical across runs for a
+// fixed campaign seed, regardless of worker count. Wall-clock data
+// (per-scenario solve times, histogram, slowest table, thread count) is
+// included only when JsonOptions.include_timings is set. The table
+// renderer is human-facing and always shows timings.
+#ifndef FSR_CAMPAIGN_REPORT_H
+#define FSR_CAMPAIGN_REPORT_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+
+namespace fsr::campaign {
+
+/// One scenario's slot in the report. `outcome` may be shared with other
+/// results (duplicates and cache hits point at the representative's).
+struct ScenarioResult {
+  std::string id;
+  std::string source;
+  ScenarioKind kind = ScenarioKind::safety;
+  std::uint64_t seed = 0;
+  std::string content_id;     // 16-hex digest of the canonical content
+  bool deduplicated = false;  // duplicate of an earlier scenario this run
+  bool cache_hit = false;     // served from the runner's persistent cache
+  std::shared_ptr<const ScenarioOutcome> outcome;
+};
+
+struct SourceSummary {
+  std::size_t scenarios = 0;
+  std::size_t safe = 0;
+  std::size_t not_provably_safe = 0;
+  std::size_t converged = 0;
+  std::size_t diverged = 0;
+};
+
+struct CoreConstraintCount {
+  std::string description;  // policy-level provenance text
+  std::size_t count = 0;    // scenarios whose failing core contains it
+};
+
+struct CampaignReport {
+  std::uint64_t campaign_seed = 0;
+  int threads = 1;  // wall-clock-affecting only; excluded from default JSON
+  std::vector<ScenarioResult> results;
+  std::size_t solved_count = 0;      // scenarios actually executed
+  std::size_t deduplicated_count = 0;
+  std::size_t cache_hit_count = 0;
+  double total_wall_ms = 0.0;
+
+  /// Verdict counts per source, in first-appearance order.
+  std::vector<std::pair<std::string, SourceSummary>> per_source() const;
+  SourceSummary totals() const;
+  /// Failing-core constraint frequencies, sorted by count desc then text.
+  std::vector<CoreConstraintCount> core_frequencies() const;
+  /// Power-of-two solve-time histogram: bucket i counts outcomes with
+  /// wall_ms in [2^(i-1), 2^i) ms (bucket 0: < 1 ms).
+  std::vector<std::size_t> solve_time_histogram() const;
+  /// Indices into `results` of the `limit` slowest executed scenarios.
+  std::vector<std::size_t> slowest(std::size_t limit = 5) const;
+};
+
+struct JsonOptions {
+  bool include_timings = false;
+};
+
+std::string to_json(const CampaignReport& report, JsonOptions options = {});
+
+/// Paper-style fixed-width table (bench_util style) for terminals.
+std::string render_table(const CampaignReport& report);
+
+}  // namespace fsr::campaign
+
+#endif  // FSR_CAMPAIGN_REPORT_H

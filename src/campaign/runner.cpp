@@ -1,0 +1,166 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <unordered_map>
+
+#include "spp/translate.h"
+#include "util/error.h"
+
+namespace fsr::campaign {
+namespace {
+
+ScenarioOutcome execute_scenario(const Scenario& scenario,
+                                 const SafetyAnalyzer& analyzer,
+                                 const CampaignOptions& options) {
+  ScenarioOutcome outcome;
+  outcome.kind = scenario.kind;
+  const auto start = std::chrono::steady_clock::now();
+  if (scenario.kind == ScenarioKind::safety) {
+    const algebra::AlgebraPtr algebra =
+        scenario.algebra != nullptr ? scenario.algebra
+                                    : spp::algebra_from_spp(*scenario.spp);
+    outcome.safety = analyzer.analyze(*algebra);
+  } else {
+    EmulationOptions emu_options = options.emulation;
+    emu_options.seed = scenario.seed;
+    outcome.emulation = scenario.spp != nullptr
+                            ? emulate_spp(*scenario.spp, emu_options)
+                            : emulate_gpv(*scenario.algebra, *scenario.topology,
+                                          emu_options);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  outcome.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return outcome;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+  if (options_.threads < 1) {
+    throw InvalidArgument("campaign thread count must be >= 1");
+  }
+}
+
+std::vector<Scenario> CampaignRunner::generate(
+    const std::vector<std::unique_ptr<ScenarioSource>>& sources) const {
+  std::vector<Scenario> scenarios;
+  for (const auto& source : sources) {
+    std::vector<Scenario> batch =
+        source->generate(options_.seed, scenarios.size());
+    for (Scenario& scenario : batch) {
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+  return scenarios;
+}
+
+CampaignReport CampaignRunner::run(
+    const std::vector<std::unique_ptr<ScenarioSource>>& sources) {
+  return run_scenarios(generate(sources));
+}
+
+CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
+  CampaignReport report;
+  report.campaign_seed = options_.seed;
+  report.threads = options_.threads;
+  report.results.resize(scenarios.size());
+
+  // ---- sequential scheduling phase: canonicalize, dedup, consult cache --
+  // All bookkeeping that affects the report's deterministic fields happens
+  // here, before any worker runs.
+  constexpr std::size_t k_no_representative =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::string> keys(scenarios.size());
+  std::vector<std::size_t> representative(scenarios.size(),
+                                          k_no_representative);
+  std::unordered_map<std::string, std::size_t> first_with_key;
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& scenario = scenarios[i];
+    ScenarioResult& result = report.results[i];
+    result.id = scenario.id;
+    result.source = scenario.source;
+    result.kind = scenario.kind;
+    result.seed = scenario.seed;
+    validate_scenario(scenario);
+    keys[i] = scenario_cache_key(scenario);
+    result.content_id = content_digest(keys[i]);
+
+    const auto [it, inserted] = first_with_key.emplace(keys[i], i);
+    if (!inserted) {
+      result.deduplicated = true;
+      representative[i] = it->second;
+      ++report.deduplicated_count;
+      continue;
+    }
+    if (options_.use_cache) {
+      if (auto cached = cache_.find(keys[i])) {
+        result.cache_hit = true;
+        result.outcome = std::move(cached);
+        ++report.cache_hit_count;
+        continue;
+      }
+    }
+    work.push_back(i);
+  }
+  report.solved_count = work.size();
+
+  // ---------------------- parallel phase: workers pull unique scenarios --
+  std::vector<std::shared_ptr<const ScenarioOutcome>> outcomes(
+      scenarios.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    // Per-worker analyzer: SafetyAnalyzer is thread-compatible (stateless,
+    // per-call solver instances), but owning one per worker keeps the
+    // contract explicit and future-proofs stateful analyzer options.
+    const SafetyAnalyzer analyzer(options_.analyzer);
+    while (true) {
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= work.size()) break;
+      const std::size_t index = work[slot];
+      auto outcome = std::make_shared<ScenarioOutcome>();
+      try {
+        *outcome = execute_scenario(scenarios[index], analyzer, options_);
+      } catch (const std::exception& error) {
+        outcome->kind = scenarios[index].kind;
+        outcome->error = error.what();
+      }
+      outcomes[index] = std::move(outcome);  // disjoint slots; no lock
+    }
+  };
+
+  const int thread_count = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(options_.threads), std::max<std::size_t>(
+                                                      work.size(), 1)));
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(thread_count));
+    for (int i = 0; i < thread_count; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // ------------------- sequential assembly: reattach duplicates, cache --
+  for (const std::size_t index : work) {
+    report.results[index].outcome = outcomes[index];
+    report.total_wall_ms += outcomes[index]->wall_ms;
+    if (options_.use_cache && outcomes[index]->error.empty()) {
+      cache_.insert(keys[index], outcomes[index]);
+    }
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (representative[i] != k_no_representative) {
+      report.results[i].outcome = report.results[representative[i]].outcome;
+    }
+  }
+  return report;
+}
+
+}  // namespace fsr::campaign

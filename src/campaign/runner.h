@@ -1,0 +1,66 @@
+// Parallel campaign execution.
+//
+// The CampaignRunner expands scenario sources, deduplicates scenarios by
+// canonical content (and consults its persistent ResultCache), then fans
+// the remaining unique work out over a fixed pool of worker threads
+// pulling from a shared queue. Each worker owns its SafetyAnalyzer — and,
+// transitively, its smt::Context / YicesFrontend instances, which are
+// mutable and must not be shared across threads (see the
+// thread-compatibility notes in fsr/safety_analyzer.h and smt/context.h).
+//
+// Determinism contract: every scenario's outcome is a pure function of its
+// content and derived seed, results are reassembled in scenario order, and
+// duplicate/cache bookkeeping happens in the sequential scheduling phase —
+// so the report's deterministic fields (everything except wall-clock
+// timings) are byte-identical for any thread count.
+#ifndef FSR_CAMPAIGN_RUNNER_H
+#define FSR_CAMPAIGN_RUNNER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "campaign/cache.h"
+#include "campaign/report.h"
+#include "campaign/scenario.h"
+#include "campaign/scenario_source.h"
+#include "fsr/emulation.h"
+#include "fsr/safety_analyzer.h"
+
+namespace fsr::campaign {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  int threads = 1;  // clamped to [1, scenario count]
+  /// Consult/fill the persistent cross-run cache. In-run deduplication is
+  /// always on.
+  bool use_cache = true;
+  SafetyAnalyzer::Options analyzer;
+  /// Base emulation options; each scenario overrides `.seed` with its own.
+  EmulationOptions emulation;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Expands sources in order into a scenario list (sequential and
+  /// deterministic; ids are prefixed by source names).
+  std::vector<Scenario> generate(
+      const std::vector<std::unique_ptr<ScenarioSource>>& sources) const;
+
+  CampaignReport run(
+      const std::vector<std::unique_ptr<ScenarioSource>>& sources);
+  CampaignReport run_scenarios(std::vector<Scenario> scenarios);
+
+  const CampaignOptions& options() const noexcept { return options_; }
+  ResultCache& cache() noexcept { return cache_; }
+
+ private:
+  CampaignOptions options_;
+  ResultCache cache_;
+};
+
+}  // namespace fsr::campaign
+
+#endif  // FSR_CAMPAIGN_RUNNER_H

@@ -1,0 +1,367 @@
+#include "campaign/scenario_source.h"
+
+#include <algorithm>
+#include <map>
+
+#include "algebra/standard_policies.h"
+#include "spp/gadgets.h"
+#include "topology/as_hierarchy.h"
+#include "topology/rocketfuel.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::campaign {
+namespace {
+
+Scenario make_scenario(std::string source, std::string id, ScenarioKind kind,
+                       std::uint64_t campaign_seed, std::uint64_t ordinal) {
+  Scenario scenario;
+  scenario.source = std::move(source);
+  scenario.id = std::move(id);
+  scenario.kind = kind;
+  scenario.seed = derive_scenario_seed(campaign_seed, scenario.id, ordinal);
+  return scenario;
+}
+
+/// Fisher-Yates with an explicit draw per swap: unlike std::shuffle, the
+/// number of engine draws is pinned down, so the permutation is stable for
+/// a given standard library. (uniform_int_distribution's mapping is still
+/// implementation-defined, as everywhere else in the generators — the
+/// determinism contract is per-binary, not cross-stdlib.)
+template <typename T>
+void deterministic_shuffle(std::vector<T>& items, util::Rng& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// All simple paths from `from` to the destination over `adjacency`, with
+/// at most `max_edges` edges, capped at `max_paths` results.
+void enumerate_paths(const std::map<std::string, std::vector<std::string>>&
+                         adjacency,
+                     const std::string& destination, spp::Path& prefix,
+                     std::int32_t max_edges, std::size_t max_paths,
+                     std::vector<spp::Path>& out) {
+  if (out.size() >= max_paths) return;
+  const std::string& here = prefix.back();
+  if (here == destination) {
+    out.push_back(prefix);
+    return;
+  }
+  if (static_cast<std::int32_t>(prefix.size()) > max_edges) return;
+  const auto it = adjacency.find(here);
+  if (it == adjacency.end()) return;
+  for (const std::string& next : it->second) {
+    if (std::find(prefix.begin(), prefix.end(), next) != prefix.end()) continue;
+    prefix.push_back(next);
+    enumerate_paths(adjacency, destination, prefix, max_edges, max_paths, out);
+    prefix.pop_back();
+  }
+}
+
+class GadgetSource final : public ScenarioSource {
+ public:
+  explicit GadgetSource(GadgetSweep sweep) : sweep_(std::move(sweep)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    std::vector<Scenario> out;
+    const auto add = [&](spp::SppInstance instance, ScenarioKind kind) {
+      const std::string suffix =
+          kind == ScenarioKind::emulation ? "(emulated)" : "";
+      Scenario scenario =
+          make_scenario(name_, name_ + "/" + instance.name() + suffix, kind,
+                        campaign_seed, ordinal_base + out.size());
+      scenario.spp =
+          std::make_shared<const spp::SppInstance>(std::move(instance));
+      out.push_back(std::move(scenario));
+    };
+    add(spp::good_gadget(), ScenarioKind::safety);
+    add(spp::bad_gadget(), ScenarioKind::safety);
+    add(spp::disagree_gadget(), ScenarioKind::safety);
+    add(spp::ibgp_figure3_gadget(), ScenarioKind::safety);
+    add(spp::ibgp_figure3_fixed(), ScenarioKind::safety);
+    for (const std::int32_t length : sweep_.chain_lengths) {
+      spp::SppInstance chain = spp::good_gadget_chain(length);
+      Scenario scenario = make_scenario(
+          name_, name_ + "/" + chain.name() + "x" + std::to_string(length),
+          ScenarioKind::safety, campaign_seed, ordinal_base + out.size());
+      scenario.spp = std::make_shared<const spp::SppInstance>(std::move(chain));
+      out.push_back(std::move(scenario));
+    }
+    if (sweep_.include_emulations) {
+      add(spp::good_gadget(), ScenarioKind::emulation);
+      add(spp::disagree_gadget(), ScenarioKind::emulation);
+      add(spp::ibgp_figure3_fixed(), ScenarioKind::emulation);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_ = "gadgets";
+  GadgetSweep sweep_;
+};
+
+class RocketfuelSource final : public ScenarioSource {
+ public:
+  explicit RocketfuelSource(RocketfuelSweep sweep) : sweep_(std::move(sweep)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    std::vector<Scenario> out;
+    for (const std::uint64_t seed : sweep_.seeds) {
+      for (const bool embed : sweep_.embeddings) {
+        for (const std::int32_t paths : sweep_.paths_per_egress) {
+          topology::RocketfuelParams params;
+          params.seed = seed;
+          params.embed_gadget = embed;
+          params.paths_per_egress = paths;
+          topology::IbgpExperiment experiment =
+              topology::build_rocketfuel_ibgp(params);
+          const std::string id = name_ + "/seed" + std::to_string(seed) +
+                                 (embed ? "+gadget" : "+clean") + "-ppe" +
+                                 std::to_string(paths);
+          Scenario scenario =
+              make_scenario(name_, id, ScenarioKind::safety, campaign_seed,
+                            ordinal_base + out.size());
+          scenario.spp = std::make_shared<const spp::SppInstance>(
+              std::move(experiment.instance));
+          out.push_back(std::move(scenario));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string name_ = "rocketfuel";
+  RocketfuelSweep sweep_;
+};
+
+class AsHierarchySource final : public ScenarioSource {
+ public:
+  explicit AsHierarchySource(AsHierarchySweep sweep)
+      : sweep_(std::move(sweep)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    std::vector<Scenario> out;
+    struct SchemeChoice {
+      topology::LabelScheme scheme;
+      const char* tag;
+    };
+    std::vector<SchemeChoice> schemes;
+    if (sweep_.include_business) {
+      schemes.push_back({topology::LabelScheme::business, "gr-a"});
+    }
+    if (sweep_.include_business_hop_count) {
+      schemes.push_back(
+          {topology::LabelScheme::business_hop_count, "gr-a-hops"});
+    }
+    for (const std::int32_t depth : sweep_.depths) {
+      for (const std::uint64_t seed : sweep_.seeds) {
+        for (const SchemeChoice& choice : schemes) {
+          topology::AsHierarchyParams params;
+          params.depth = depth;
+          params.seed = seed;
+          topology::Topology topo =
+              topology::generate_as_hierarchy(params, choice.scheme);
+          const std::string id = name_ + "/depth" + std::to_string(depth) +
+                                 "-seed" + std::to_string(seed) + "-" +
+                                 choice.tag;
+          Scenario scenario =
+              make_scenario(name_, id, ScenarioKind::emulation, campaign_seed,
+                            ordinal_base + out.size());
+          scenario.topology =
+              std::make_shared<const topology::Topology>(std::move(topo));
+          scenario.algebra =
+              choice.scheme == topology::LabelScheme::business
+                  ? algebra::gao_rexford_guideline_a()
+                  : algebra::gao_rexford_with_hop_count();
+          out.push_back(std::move(scenario));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string name_ = "as-hierarchy";
+  AsHierarchySweep sweep_;
+};
+
+class RandomSppSource final : public ScenarioSource {
+ public:
+  explicit RandomSppSource(RandomSppSweep sweep) : sweep_(std::move(sweep)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    std::vector<Scenario> out;
+    for (std::int32_t i = 0; i < sweep_.count; ++i) {
+      const std::string id = name_ + "/instance" + std::to_string(i);
+      Scenario scenario = make_scenario(name_, id, ScenarioKind::safety,
+                                        campaign_seed, ordinal_base + out.size());
+      // The generation seed IS the scenario seed, so the instance is a
+      // pure function of (campaign seed, id, ordinal).
+      scenario.spp = std::make_shared<const spp::SppInstance>(
+          random_spp_instance("random-spp-" + std::to_string(i), scenario.seed,
+                              sweep_));
+      out.push_back(std::move(scenario));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_ = "random-spp";
+  RandomSppSweep sweep_;
+};
+
+class StandardPolicySource final : public ScenarioSource {
+ public:
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    const std::set<std::int64_t> classes = {10, 100, 1000};
+    std::vector<Scenario> out;
+    const auto add = [&](algebra::AlgebraPtr algebra) {
+      Scenario scenario =
+          make_scenario(name_, name_ + "/" + algebra->name(),
+                        ScenarioKind::safety, campaign_seed,
+                        ordinal_base + out.size());
+      scenario.algebra = std::move(algebra);
+      out.push_back(std::move(scenario));
+    };
+    add(algebra::gao_rexford_guideline_a());
+    add(algebra::gao_rexford_guideline_b());
+    add(algebra::backup_routing());
+    add(algebra::bandwidth_classes(classes));
+    add(algebra::widest_shortest(classes));
+    add(algebra::gao_rexford_with_hop_count());
+    return out;
+  }
+
+ private:
+  std::string name_ = "policies";
+};
+
+}  // namespace
+
+spp::SppInstance random_spp_instance(std::string name, std::uint64_t seed,
+                                     const RandomSppSweep& sweep) {
+  util::Rng rng(seed);
+  const auto node_count = static_cast<std::int32_t>(
+      rng.uniform_int(sweep.min_nodes, sweep.max_nodes));
+
+  std::vector<std::string> nodes;
+  nodes.reserve(static_cast<std::size_t>(node_count));
+  for (std::int32_t i = 1; i <= node_count; ++i) {
+    nodes.push_back("n" + std::to_string(i));
+  }
+
+  spp::SppInstance instance(std::move(name));
+  const std::string& destination = instance.destination();
+  std::map<std::string, std::vector<std::string>> adjacency;
+  const auto connect = [&](const std::string& u, const std::string& v) {
+    if (instance.has_edge(u, v)) return;
+    instance.add_edge(u, v);
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  };
+
+  // Random spanning structure rooted at the destination keeps every node
+  // reachable; extra edges create the path diversity that makes ranking
+  // conflicts (and hence interesting verdicts) possible.
+  for (std::int32_t i = 0; i < node_count; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const std::string& attach =
+        i == 0 ? destination
+               : (rng.chance(0.4)
+                      ? destination
+                      : nodes[static_cast<std::size_t>(
+                            rng.uniform_int(0, i - 1))]);
+    connect(nodes[ui], attach);
+  }
+  for (std::int32_t i = 0; i < node_count; ++i) {
+    for (std::int32_t j = i + 1; j < node_count; ++j) {
+      if (rng.chance(sweep.extra_edge_probability)) {
+        connect(nodes[static_cast<std::size_t>(i)],
+                nodes[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+
+  for (const std::string& node : nodes) {
+    std::vector<spp::Path> candidates;
+    spp::Path prefix = {node};
+    enumerate_paths(adjacency, destination, prefix, sweep.max_path_length,
+                    /*max_paths=*/64, candidates);
+    if (candidates.empty()) {
+      // Length cap starved this node; retry unbounded (a simple path
+      // visits each node once, so node_count edges always suffice).
+      enumerate_paths(adjacency, destination, prefix, node_count + 1,
+                      /*max_paths=*/64, candidates);
+    }
+    deterministic_shuffle(candidates, rng);
+    const auto keep = std::min<std::size_t>(
+        candidates.size(), static_cast<std::size_t>(sweep.paths_per_node));
+    for (std::size_t i = 0; i < keep; ++i) {
+      instance.add_permitted_path(candidates[i]);
+    }
+  }
+  return instance;
+}
+
+std::unique_ptr<ScenarioSource> gadget_source(GadgetSweep sweep) {
+  return std::make_unique<GadgetSource>(std::move(sweep));
+}
+
+std::unique_ptr<ScenarioSource> rocketfuel_source(RocketfuelSweep sweep) {
+  return std::make_unique<RocketfuelSource>(std::move(sweep));
+}
+
+std::unique_ptr<ScenarioSource> as_hierarchy_source(AsHierarchySweep sweep) {
+  return std::make_unique<AsHierarchySource>(std::move(sweep));
+}
+
+std::unique_ptr<ScenarioSource> random_spp_source(RandomSppSweep sweep) {
+  return std::make_unique<RandomSppSource>(std::move(sweep));
+}
+
+std::unique_ptr<ScenarioSource> standard_policy_source() {
+  return std::make_unique<StandardPolicySource>();
+}
+
+const std::vector<std::string>& builtin_source_names() {
+  static const std::vector<std::string> names = {
+      "gadgets", "rocketfuel", "as-hierarchy", "random-spp", "policies"};
+  return names;
+}
+
+std::unique_ptr<ScenarioSource> make_builtin_source(const std::string& name,
+                                                    bool include_emulations) {
+  if (name == "gadgets") {
+    GadgetSweep sweep;
+    sweep.include_emulations = include_emulations;
+    return gadget_source(std::move(sweep));
+  }
+  if (name == "rocketfuel") return rocketfuel_source();
+  if (name == "as-hierarchy") return as_hierarchy_source();
+  if (name == "random-spp") return random_spp_source();
+  if (name == "policies") return standard_policy_source();
+  throw InvalidArgument("unknown scenario source '" + name +
+                        "' (available: gadgets, rocketfuel, as-hierarchy, "
+                        "random-spp, policies)");
+}
+
+}  // namespace fsr::campaign

@@ -71,6 +71,14 @@ struct SafetyReport {
   const std::vector<ConstraintProvenance>* failing_core() const;
 };
 
+/// Thread-compatibility: a SafetyAnalyzer holds no mutable state — analyze
+/// and check_monotonicity construct their solver session (smt::Context or
+/// smt::YicesFrontend, both single-thread objects) per call, and
+/// RoutingAlgebra implementations are immutable — so one analyzer instance
+/// MAY be shared by concurrent callers, and distinct instances are fully
+/// independent. The campaign runner still allocates one analyzer per
+/// worker to keep the contract explicit should Options ever grow state
+/// (audited 2026-07; see campaign/runner.cpp).
 class SafetyAnalyzer {
  public:
   struct Options {

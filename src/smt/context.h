@@ -48,6 +48,14 @@ struct CheckResult {
 
 /// An assertion context in the style of an SMT solver session.
 ///
+/// Thread-compatibility: a Context is a mutable single-thread object — no
+/// internal synchronization, and even the logically-const check() methods
+/// build solver state from the assertion store, so a Context must be
+/// confined to one thread at a time. There is NO hidden global/static
+/// state anywhere in the smt layer (audited 2026-07), so distinct Context
+/// instances on distinct threads never interfere; that is the contract
+/// the parallel campaign runner relies on (one solver session per worker).
+///
 /// Usage:
 ///   Context ctx;
 ///   ctx.declare_variable("C");

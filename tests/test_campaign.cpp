@@ -1,0 +1,314 @@
+// Tests for the scenario-campaign engine: deterministic seed derivation,
+// source generation, content canonicalization, in-run deduplication,
+// cross-run caching, parallel-vs-serial report identity (the subsystem's
+// core contract), and the JSON/table renderers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "campaign/cache.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "algebra/standard_policies.h"
+#include "campaign/scenario_source.h"
+#include "spp/gadgets.h"
+#include "util/error.h"
+
+namespace fsr::campaign {
+namespace {
+
+std::vector<std::unique_ptr<ScenarioSource>> quick_sources() {
+  std::vector<std::unique_ptr<ScenarioSource>> sources;
+  sources.push_back(gadget_source());
+  sources.push_back(standard_policy_source());
+  RandomSppSweep random_sweep;
+  random_sweep.count = 4;
+  sources.push_back(random_spp_source(random_sweep));
+  return sources;
+}
+
+// ------------------------------------------------------------------ seeds --
+
+TEST(ScenarioSeed, DependsOnCampaignSeedIdAndOrdinal) {
+  const std::uint64_t base = derive_scenario_seed(1, "gadgets/good", 0);
+  EXPECT_EQ(base, derive_scenario_seed(1, "gadgets/good", 0));  // stable
+  EXPECT_NE(base, derive_scenario_seed(2, "gadgets/good", 0));
+  EXPECT_NE(base, derive_scenario_seed(1, "gadgets/bad", 0));
+  EXPECT_NE(base, derive_scenario_seed(1, "gadgets/good", 1));
+}
+
+TEST(ScenarioSource, GeneratesUniqueIdsWithDerivedSeeds) {
+  CampaignRunner runner;
+  const std::vector<Scenario> scenarios = runner.generate(quick_sources());
+  ASSERT_FALSE(scenarios.empty());
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_TRUE(ids.insert(scenarios[i].id).second)
+        << "duplicate id " << scenarios[i].id;
+    EXPECT_EQ(scenarios[i].seed,
+              derive_scenario_seed(runner.options().seed, scenarios[i].id, i));
+  }
+}
+
+// -------------------------------------------------------- canonical forms --
+
+TEST(Cache, CanonicalSppIgnoresNameButNotContent) {
+  spp::SppInstance renamed = spp::good_gadget();
+  EXPECT_EQ(canonical_spp(spp::good_gadget()), canonical_spp(renamed));
+  EXPECT_NE(canonical_spp(spp::good_gadget()),
+            canonical_spp(spp::bad_gadget()));
+}
+
+TEST(Cache, ScenarioKeySeparatesKindsAndEmulationSeeds) {
+  Scenario safety;
+  safety.id = "x";
+  safety.kind = ScenarioKind::safety;
+  safety.seed = 7;
+  safety.spp = std::make_shared<const spp::SppInstance>(spp::good_gadget());
+
+  Scenario emulation = safety;
+  emulation.kind = ScenarioKind::emulation;
+
+  // Safety verdicts are seed-independent; emulations are not.
+  Scenario safety_reseeded = safety;
+  safety_reseeded.seed = 8;
+  Scenario emulation_reseeded = emulation;
+  emulation_reseeded.seed = 8;
+
+  EXPECT_NE(scenario_cache_key(safety), scenario_cache_key(emulation));
+  EXPECT_EQ(scenario_cache_key(safety), scenario_cache_key(safety_reseeded));
+  EXPECT_NE(scenario_cache_key(emulation),
+            scenario_cache_key(emulation_reseeded));
+}
+
+TEST(Cache, PayloadlessScenarioRejected) {
+  Scenario empty;
+  empty.id = "empty";
+  EXPECT_THROW(scenario_cache_key(empty), InvalidArgument);
+}
+
+// -------------------------------------------------------------- random spp --
+
+TEST(RandomSpp, DeterministicValidInstances) {
+  const RandomSppSweep sweep;
+  const spp::SppInstance one = random_spp_instance("r", 123, sweep);
+  const spp::SppInstance two = random_spp_instance("r", 123, sweep);
+  EXPECT_EQ(canonical_spp(one), canonical_spp(two));
+  EXPECT_NE(canonical_spp(one),
+            canonical_spp(random_spp_instance("r", 124, sweep)));
+  EXPECT_GT(one.permitted_path_count(), 0u);
+  // Every generated path passed SppInstance validation (edges declared,
+  // simple, destination-terminated) or add_permitted_path would have
+  // thrown during construction.
+  for (const std::string& node : one.nodes()) {
+    EXPECT_LE(one.permitted(node).size(),
+              static_cast<std::size_t>(sweep.paths_per_node));
+  }
+}
+
+// ----------------------------------------------------------- determinism --
+
+TEST(CampaignRunner, ReportBytesIdenticalForAnyThreadCount) {
+  // The acceptance property: same campaign seed => byte-identical default
+  // JSON, whether solved serially or by a contended worker pool. Includes
+  // emulation scenarios so their seed-dependence is covered too.
+  const auto run_with_threads = [](int threads) {
+    GadgetSweep sweep;
+    sweep.include_emulations = true;
+    std::vector<std::unique_ptr<ScenarioSource>> sources;
+    sources.push_back(gadget_source(std::move(sweep)));
+    RandomSppSweep random_sweep;
+    random_sweep.count = 4;
+    sources.push_back(random_spp_source(random_sweep));
+    CampaignOptions options;
+    options.seed = 7;
+    options.threads = threads;
+    CampaignRunner runner(options);
+    return to_json(runner.run(sources));
+  };
+  const std::string serial = run_with_threads(1);
+  EXPECT_EQ(serial, run_with_threads(2));
+  EXPECT_EQ(serial, run_with_threads(5));
+}
+
+TEST(CampaignRunner, DifferentCampaignSeedsChangeRandomScenarios) {
+  const auto run_with_seed = [](std::uint64_t seed) {
+    std::vector<std::unique_ptr<ScenarioSource>> sources;
+    RandomSppSweep sweep;
+    sweep.count = 4;
+    sources.push_back(random_spp_source(sweep));
+    CampaignOptions options;
+    options.seed = seed;
+    CampaignRunner runner(options);
+    return to_json(runner.run(sources));
+  };
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+// ------------------------------------------------------ dedup and caching --
+
+TEST(CampaignRunner, DeduplicatesIdenticalContentWithinARun) {
+  // The same gadget reached twice under different ids must be solved once,
+  // with both results sharing the representative's outcome object.
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < 3; ++i) {
+    Scenario scenario;
+    scenario.id = "dup/" + std::to_string(i);
+    scenario.source = "dup";
+    scenario.kind = ScenarioKind::safety;
+    scenario.seed = derive_scenario_seed(1, scenario.id, i);
+    scenario.spp =
+        std::make_shared<const spp::SppInstance>(spp::bad_gadget());
+    scenarios.push_back(std::move(scenario));
+  }
+  CampaignRunner runner;
+  const CampaignReport report = runner.run_scenarios(std::move(scenarios));
+  EXPECT_EQ(report.solved_count, 1u);
+  EXPECT_EQ(report.deduplicated_count, 2u);
+  EXPECT_EQ(report.cache_hit_count, 0u);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_FALSE(report.results[0].deduplicated);
+  EXPECT_TRUE(report.results[1].deduplicated);
+  EXPECT_TRUE(report.results[2].deduplicated);
+  EXPECT_EQ(report.results[0].outcome.get(), report.results[1].outcome.get());
+  EXPECT_EQ(report.results[0].outcome.get(), report.results[2].outcome.get());
+  EXPECT_EQ(report.results[0].content_id, report.results[2].content_id);
+  ASSERT_TRUE(report.results[2].outcome->safety.has_value());
+  EXPECT_EQ(report.results[2].outcome->safety->verdict,
+            SafetyVerdict::not_provably_safe);
+}
+
+TEST(CampaignRunner, SecondRunServedEntirelyFromCache) {
+  CampaignRunner runner;
+  const CampaignReport first = runner.run(quick_sources());
+  EXPECT_GT(first.solved_count, 0u);
+  EXPECT_EQ(first.cache_hit_count, 0u);
+
+  const CampaignReport second = runner.run(quick_sources());
+  EXPECT_EQ(second.solved_count, 0u);
+  EXPECT_EQ(second.cache_hit_count,
+            second.results.size() - second.deduplicated_count);
+  // Cached outcomes render identically to freshly solved ones.
+  EXPECT_NE(to_json(first), to_json(second));  // cache_hit flags differ...
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].content_id, second.results[i].content_id);
+    if (!first.results[i].deduplicated) {
+      // ...but the outcome objects themselves are shared, not re-solved.
+      EXPECT_EQ(first.results[i].outcome.get(),
+                second.results[i].outcome.get());
+    }
+  }
+}
+
+TEST(CampaignRunner, CacheCanBeDisabled) {
+  CampaignOptions options;
+  options.use_cache = false;
+  CampaignRunner runner(options);
+  (void)runner.run(quick_sources());
+  const CampaignReport second = runner.run(quick_sources());
+  EXPECT_EQ(second.cache_hit_count, 0u);
+  EXPECT_GT(second.solved_count, 0u);
+  EXPECT_EQ(runner.cache().size(), 0u);
+}
+
+// ------------------------------------------------------------- robustness --
+
+TEST(CampaignRunner, FailingScenarioRecordsErrorWithoutAborting) {
+  // An SPP instance with no permitted paths fails translation; the
+  // campaign must record the error, keep going, and keep the failure out
+  // of the cache.
+  std::vector<Scenario> scenarios;
+  Scenario broken;
+  broken.id = "broken/empty";
+  broken.source = "broken";
+  broken.kind = ScenarioKind::safety;
+  broken.spp = std::make_shared<const spp::SppInstance>(
+      spp::SppInstance("pathless"));
+  scenarios.push_back(broken);
+  Scenario good;
+  good.id = "ok/good";
+  good.source = "ok";
+  good.kind = ScenarioKind::safety;
+  good.spp = std::make_shared<const spp::SppInstance>(spp::good_gadget());
+  scenarios.push_back(good);
+
+  CampaignRunner runner;
+  const CampaignReport report = runner.run_scenarios(std::move(scenarios));
+  ASSERT_EQ(report.results.size(), 2u);
+  EXPECT_FALSE(report.results[0].outcome->error.empty());
+  EXPECT_TRUE(report.results[1].outcome->error.empty());
+  EXPECT_EQ(runner.cache().size(), 1u);  // only the good outcome cached
+  EXPECT_NE(to_json(report).find("\"verdict\": \"error\""), std::string::npos);
+}
+
+TEST(CampaignRunner, RejectsMalformedScenarioShapes) {
+  // Shape errors are programming mistakes: they fail fast in the
+  // sequential scheduling phase, never inside a worker.
+  const auto run_one = [](Scenario scenario) {
+    scenario.id = "shape";
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(std::move(scenario));
+    CampaignRunner runner;
+    (void)runner.run_scenarios(std::move(scenarios));
+  };
+  Scenario emulation_without_topology;
+  emulation_without_topology.kind = ScenarioKind::emulation;
+  emulation_without_topology.algebra = algebra::gao_rexford_guideline_a();
+  EXPECT_THROW(run_one(emulation_without_topology), InvalidArgument);
+
+  Scenario safety_with_both;
+  safety_with_both.kind = ScenarioKind::safety;
+  safety_with_both.algebra = algebra::gao_rexford_guideline_a();
+  safety_with_both.spp =
+      std::make_shared<const spp::SppInstance>(spp::good_gadget());
+  EXPECT_THROW(run_one(safety_with_both), InvalidArgument);
+}
+
+TEST(CampaignRunner, RejectsNonPositiveThreadCount) {
+  CampaignOptions options;
+  options.threads = 0;
+  EXPECT_THROW(CampaignRunner{options}, InvalidArgument);
+}
+
+// -------------------------------------------------------------- reporting --
+
+TEST(CampaignReport, AggregatesVerdictsPerSource) {
+  CampaignRunner runner;
+  const CampaignReport report = runner.run(quick_sources());
+  const auto per_source = report.per_source();
+  ASSERT_EQ(per_source.size(), 3u);
+  EXPECT_EQ(per_source[0].first, "gadgets");
+  // good, fixed figure-3 and the chains are safe; bad, disagree and the
+  // broken figure-3 are not provably safe.
+  EXPECT_EQ(per_source[0].second.safe, 5u);
+  EXPECT_EQ(per_source[0].second.not_provably_safe, 3u);
+  const SourceSummary totals = report.totals();
+  EXPECT_EQ(totals.scenarios, report.results.size());
+  EXPECT_EQ(totals.safe + totals.not_provably_safe + totals.converged +
+                totals.diverged,
+            report.results.size());
+  EXPECT_FALSE(report.core_frequencies().empty());
+}
+
+TEST(CampaignReport, TimingsAreOptInAndTableRenders) {
+  CampaignRunner runner;
+  const CampaignReport report = runner.run(quick_sources());
+  const std::string plain = to_json(report);
+  EXPECT_EQ(plain.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(plain.find("timings"), std::string::npos);
+  JsonOptions options;
+  options.include_timings = true;
+  const std::string timed = to_json(report, options);
+  EXPECT_NE(timed.find("\"timings\""), std::string::npos);
+  EXPECT_NE(timed.find("wall_ms"), std::string::npos);
+
+  const std::string table = render_table(report);
+  EXPECT_NE(table.find("FSR campaign report"), std::string::npos);
+  EXPECT_NE(table.find("gadgets"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsr::campaign
