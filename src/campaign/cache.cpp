@@ -96,6 +96,18 @@ std::string scenario_cache_key(const Scenario& scenario) {
   return out;
 }
 
+std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair) {
+  std::string out = scenario_cache_key(scenario);
+  if (attempt_repair && scenario.kind == ScenarioKind::safety &&
+      scenario.spp != nullptr) {
+    // Repair outcomes are content-determined (ground-truth trials are
+    // seeded from the content digest), so the marker carries no seed and
+    // duplicate-content scenarios still collapse to one solve.
+    out += "|repair";
+  }
+  return out;
+}
+
 std::string content_digest(const std::string& canonical) {
   std::uint64_t hash = fnv1a64(canonical);
   static const char* digits = "0123456789abcdef";

@@ -23,13 +23,17 @@ void print_usage() {
       "usage: fsr_campaign [options]\n"
       "  --source NAME    scenario source (repeatable); NAME is one of\n"
       "                   gadgets, rocketfuel, as-hierarchy, random-spp,\n"
-      "                   policies, or 'all' (default: all)\n"
+      "                   policies, repair-targets, or 'all' (default: all)\n"
       "  --threads N      worker threads (default 1)\n"
       "  --seed S         campaign seed (default 1)\n"
       "  --format F       json | table (default json)\n"
       "  --timings        include wall-clock data (JSON output is then no\n"
       "                   longer byte-stable across runs)\n"
       "  --emulate        add emulation variants to the gadget source\n"
+      "  --repair         run the repair engine on every not-provably-safe\n"
+      "                   SPP scenario; adds repair data to the report\n"
+      "  --repair-max-edits K  edit-size cap for repair candidates "
+      "(default 2)\n"
       "  --no-cache       disable the cross-run result cache\n"
       "  --list-sources   print available sources and exit\n"
       "  --help           this message\n");
@@ -68,6 +72,16 @@ int main(int argc, char** argv) {
       timings = true;
     } else if (std::strcmp(arg, "--emulate") == 0) {
       emulate = true;
+    } else if (std::strcmp(arg, "--repair") == 0) {
+      options.attempt_repair = true;
+    } else if (std::strcmp(arg, "--repair-max-edits") == 0) {
+      const int max_edits = std::atoi(need_value(i, "--repair-max-edits"));
+      if (max_edits < 1) {
+        std::fprintf(stderr,
+                     "fsr_campaign: --repair-max-edits needs a value >= 1\n");
+        return 2;
+      }
+      options.repair.max_edits = static_cast<std::size_t>(max_edits);
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       options.use_cache = false;
     } else if (std::strcmp(arg, "--list-sources") == 0) {

@@ -5,42 +5,12 @@
 #include <cstdio>
 #include <set>
 
+#include "util/strings.h"
+
 namespace fsr::campaign {
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-std::string quoted(const std::string& text) {
-  return "\"" + json_escape(text) + "\"";
-}
+std::string quoted(const std::string& text) { return util::json_quoted(text); }
 
 std::string fixed3(double value) {
   char buf[64];
@@ -97,6 +67,23 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
     }
     out += "]";
   }
+  if (outcome != nullptr && outcome->repair.has_value()) {
+    const repair::RepairSummary& repair = *outcome->repair;
+    out += ", \"repair\": {\"solver_repaired\": ";
+    out += repair.solver_repaired ? "true" : "false";
+    out += ", \"verified\": ";
+    out += repair.verified ? "true" : "false";
+    out += ", \"edit_count\": " + std::to_string(repair.edit_count) +
+           ", \"edits\": [";
+    for (std::size_t j = 0; j < repair.edits.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += quoted(repair.edits[j]);
+    }
+    out += "], \"candidates\": " + std::to_string(repair.candidates_checked) +
+           ", \"checks\": " + std::to_string(repair.solver_checks);
+    if (!repair.error.empty()) out += ", \"error\": " + quoted(repair.error);
+    out += "}";
+  }
   if (outcome != nullptr && outcome->emulation.has_value()) {
     const EmulationResult& emu = *outcome->emulation;
     out += ", \"verdict\": ";
@@ -115,14 +102,23 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
   out += "}";
 }
 
-void append_summary_json(std::string& out, const char* key,
-                         const SourceSummary& summary) {
-  out += std::string(key) + "{\"scenarios\": " +
-         std::to_string(summary.scenarios) +
-         ", \"safe\": " + std::to_string(summary.safe) +
-         ", \"not_provably_safe\": " + std::to_string(summary.not_provably_safe) +
-         ", \"converged\": " + std::to_string(summary.converged) +
-         ", \"diverged\": " + std::to_string(summary.diverged) + "}";
+/// The comma-separated fields of a summary object, WITHOUT braces — the
+/// call sites wrap them (the per-source objects prepend a "source" field).
+std::string summary_json_fields(const SourceSummary& summary,
+                                bool with_repair) {
+  std::string out = "\"scenarios\": " + std::to_string(summary.scenarios) +
+                    ", \"safe\": " + std::to_string(summary.safe) +
+                    ", \"not_provably_safe\": " +
+                    std::to_string(summary.not_provably_safe) +
+                    ", \"converged\": " + std::to_string(summary.converged) +
+                    ", \"diverged\": " + std::to_string(summary.diverged);
+  if (with_repair) {
+    out += ", \"repairs_attempted\": " +
+           std::to_string(summary.repairs_attempted) +
+           ", \"repaired\": " + std::to_string(summary.repaired) +
+           ", \"repair_verified\": " + std::to_string(summary.repair_verified);
+  }
+  return out;
 }
 
 void tally(SourceSummary& summary, const ScenarioResult& result) {
@@ -142,6 +138,11 @@ void tally(SourceSummary& summary, const ScenarioResult& result) {
     } else {
       ++summary.diverged;
     }
+  }
+  if (outcome->repair.has_value()) {
+    ++summary.repairs_attempted;
+    if (outcome->repair->solver_repaired) ++summary.repaired;
+    if (outcome->repair->verified) ++summary.repair_verified;
   }
 }
 
@@ -210,6 +211,22 @@ std::vector<std::size_t> CampaignReport::solve_time_histogram() const {
   return buckets;
 }
 
+std::vector<std::size_t> CampaignReport::repair_edit_size_histogram() const {
+  std::vector<std::size_t> buckets;
+  for (const ScenarioResult& result : results) {
+    if (result.outcome == nullptr || !result.outcome->repair.has_value()) {
+      continue;
+    }
+    const repair::RepairSummary& repair = *result.outcome->repair;
+    if (!repair.solver_repaired) continue;
+    if (repair.edit_count >= buckets.size()) {
+      buckets.resize(repair.edit_count + 1, 0);
+    }
+    ++buckets[repair.edit_count];
+  }
+  return buckets;
+}
+
 std::vector<std::size_t> CampaignReport::slowest(std::size_t limit) const {
   std::vector<std::size_t> indices;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -232,19 +249,16 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
          ", \"solved\": " + std::to_string(report.solved_count) +
          ", \"deduplicated\": " + std::to_string(report.deduplicated_count) +
          ", \"cache_hits\": " + std::to_string(report.cache_hit_count) + "},\n";
-  append_summary_json(out, "  \"totals\": ", report.totals());
+  const SourceSummary totals = report.totals();
+  const bool with_repair = totals.repairs_attempted > 0;
+  out += "  \"totals\": {" + summary_json_fields(totals, with_repair) + "}";
   out += ",\n  \"per_source\": [";
   bool first = true;
   for (const auto& [source, summary] : report.per_source()) {
     if (!first) out += ", ";
     first = false;
-    out += "{\"source\": " + quoted(source) +
-           ", \"scenarios\": " + std::to_string(summary.scenarios) +
-           ", \"safe\": " + std::to_string(summary.safe) +
-           ", \"not_provably_safe\": " +
-           std::to_string(summary.not_provably_safe) +
-           ", \"converged\": " + std::to_string(summary.converged) +
-           ", \"diverged\": " + std::to_string(summary.diverged) + "}";
+    out += "{\"source\": " + quoted(source) + ", " +
+           summary_json_fields(summary, with_repair) + "}";
   }
   out += "],\n";
   out += "  \"core_frequency\": [";
@@ -256,6 +270,20 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
            ", \"count\": " + std::to_string(entry.count) + "}";
   }
   out += "],\n";
+  if (with_repair) {
+    out += "  \"repair_summary\": {\"attempted\": " +
+           std::to_string(totals.repairs_attempted) +
+           ", \"repaired\": " + std::to_string(totals.repaired) +
+           ", \"verified\": " + std::to_string(totals.repair_verified) +
+           ", \"edit_size_histogram\": [";
+    first = true;
+    for (const std::size_t count : report.repair_edit_size_histogram()) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(count);
+    }
+    out += "]},\n";
+  }
   out += "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     append_scenario_json(out, report.results[i], options, "    ");
@@ -300,21 +328,40 @@ std::string render_table(const CampaignReport& report) {
                 report.threads, report.total_wall_ms);
   out += buf;
 
-  std::snprintf(buf, sizeof(buf), "%-16s%10s%8s%14s%10s%10s\n", "source",
-                "scenarios", "safe", "not-provable", "converged", "diverged");
+  const bool with_repair = report.totals().repairs_attempted > 0;
+  std::snprintf(buf, sizeof(buf), "%-16s%10s%8s%14s%10s%10s%s\n", "source",
+                "scenarios", "safe", "not-provable", "converged", "diverged",
+                with_repair ? "  repaired/attempted" : "");
   out += buf;
   const auto emit_row = [&](const std::string& source,
                             const SourceSummary& summary) {
-    std::snprintf(buf, sizeof(buf), "%-16s%10zu%8zu%14zu%10zu%10zu\n",
+    std::snprintf(buf, sizeof(buf), "%-16s%10zu%8zu%14zu%10zu%10zu",
                   source.c_str(), summary.scenarios, summary.safe,
                   summary.not_provably_safe, summary.converged,
                   summary.diverged);
     out += buf;
+    if (with_repair) {
+      std::snprintf(buf, sizeof(buf), "  %zu/%zu (%zu verified)",
+                    summary.repaired, summary.repairs_attempted,
+                    summary.repair_verified);
+      out += buf;
+    }
+    out += "\n";
   };
   for (const auto& [source, summary] : report.per_source()) {
     emit_row(source, summary);
   }
   emit_row("TOTAL", report.totals());
+
+  const auto edit_histogram = report.repair_edit_size_histogram();
+  if (!edit_histogram.empty()) {
+    out += "\nrepair edit-size histogram (best candidate per scenario):\n";
+    for (std::size_t k = 1; k < edit_histogram.size(); ++k) {
+      std::snprintf(buf, sizeof(buf), "  %zu edit(s)  %zu\n", k,
+                    edit_histogram[k]);
+      out += buf;
+    }
+  }
 
   const auto cores = report.core_frequencies();
   if (!cores.empty()) {

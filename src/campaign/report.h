@@ -45,6 +45,10 @@ struct SourceSummary {
   std::size_t not_provably_safe = 0;
   std::size_t converged = 0;
   std::size_t diverged = 0;
+  // Repair campaign aggregates (all zero unless attempt_repair was on).
+  std::size_t repairs_attempted = 0;
+  std::size_t repaired = 0;         // solver found a safe edit set
+  std::size_t repair_verified = 0;  // ...and ground truth confirmed it
 };
 
 struct CoreConstraintCount {
@@ -69,6 +73,10 @@ struct CampaignReport {
   /// Power-of-two solve-time histogram: bucket i counts outcomes with
   /// wall_ms in [2^(i-1), 2^i) ms (bucket 0: < 1 ms).
   std::vector<std::size_t> solve_time_histogram() const;
+  /// Bucket k counts successfully repaired scenarios whose best candidate
+  /// has k edits (bucket 0 stays 0; minimal repairs start at one edit).
+  /// Empty when no scenario was repaired.
+  std::vector<std::size_t> repair_edit_size_histogram() const;
   /// Indices into `results` of the `limit` slowest executed scenarios.
   std::vector<std::size_t> slowest(std::size_t limit = 5) const;
 };

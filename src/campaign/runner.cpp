@@ -24,6 +24,25 @@ ScenarioOutcome execute_scenario(const Scenario& scenario,
         scenario.algebra != nullptr ? scenario.algebra
                                     : spp::algebra_from_spp(*scenario.spp);
     outcome.safety = analyzer.analyze(*algebra);
+    if (options.attempt_repair && scenario.spp != nullptr &&
+        outcome.safety->verdict == SafetyVerdict::not_provably_safe) {
+      // A repair failure must not discard the safety verdict already in
+      // hand; it is recorded on the summary instead. The SPVP ground-truth
+      // trials are seeded from the instance CONTENT, not the scenario seed,
+      // so repair outcomes (like safety verdicts) are a pure function of
+      // content and the cache/dedup machinery keeps collapsing duplicates.
+      const std::uint64_t repair_seed = fnv1a64(canonical_spp(*scenario.spp));
+      try {
+        const repair::RepairEngine engine(options.repair);
+        outcome.repair =
+            repair::summarize(engine.repair(*scenario.spp, repair_seed));
+      } catch (const std::exception& error) {
+        repair::RepairSummary failed;
+        failed.attempted = true;
+        failed.error = error.what();
+        outcome.repair = std::move(failed);
+      }
+    }
   } else {
     EmulationOptions emu_options = options.emulation;
     emu_options.seed = scenario.seed;
@@ -89,7 +108,7 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
     result.kind = scenario.kind;
     result.seed = scenario.seed;
     validate_scenario(scenario);
-    keys[i] = scenario_cache_key(scenario);
+    keys[i] = scenario_cache_key(scenario, options_.attempt_repair);
     result.content_id = content_digest(keys[i]);
 
     const auto [it, inserted] = first_with_key.emplace(keys[i], i);
@@ -119,6 +138,10 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
     // Per-worker analyzer: SafetyAnalyzer is thread-compatible (stateless,
     // per-call solver instances), but owning one per worker keeps the
     // contract explicit and future-proofs stateful analyzer options.
+    // Repair preserves the one-solver-session-per-worker invariant the
+    // same way: each execute_scenario call constructs its RepairEngine and
+    // (transitively) its private IncrementalSafetySession inside this
+    // worker; nothing mutable crosses threads (audited 2026-07).
     const SafetyAnalyzer analyzer(options_.analyzer);
     while (true) {
       const std::size_t slot = next.fetch_add(1);

@@ -38,6 +38,12 @@ struct CampaignOptions {
   SafetyAnalyzer::Options analyzer;
   /// Base emulation options; each scenario overrides `.seed` with its own.
   EmulationOptions emulation;
+  /// Run the repair engine on every not-provably-safe SPP safety scenario
+  /// (fsr_campaign --repair). Repair happens inside the worker that solved
+  /// the scenario, with a private per-call solver session, preserving the
+  /// one-solver-session-per-worker invariant.
+  bool attempt_repair = false;
+  repair::RepairOptions repair;
 };
 
 class CampaignRunner {

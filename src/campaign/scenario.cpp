@@ -1,6 +1,7 @@
 #include "campaign/scenario.h"
 
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace fsr::campaign {
 namespace {
@@ -41,14 +42,7 @@ void validate_scenario(const Scenario& scenario) {
   }
 }
 
-std::uint64_t fnv1a64(const std::string& text) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
+std::uint64_t fnv1a64(const std::string& text) { return util::fnv1a64(text); }
 
 std::uint64_t derive_scenario_seed(std::uint64_t campaign_seed,
                                    const std::string& id,

@@ -18,6 +18,7 @@
 #include "algebra/algebra.h"
 #include "fsr/emulation.h"
 #include "fsr/safety_analyzer.h"
+#include "repair/repair_engine.h"
 #include "spp/spp.h"
 #include "topology/topology.h"
 
@@ -52,6 +53,12 @@ struct ScenarioOutcome {
   ScenarioKind kind = ScenarioKind::safety;
   std::optional<SafetyReport> safety;
   std::optional<EmulationResult> emulation;
+  /// Present when the campaign ran with attempt_repair and this scenario
+  /// was an unsafe SPP safety scenario: the repair engine's digest. All
+  /// fields are deterministic — the SPVP ground-truth trials are seeded
+  /// from the instance's content digest — so repair data participates in
+  /// the byte-stable JSON and duplicates still share one outcome.
+  std::optional<repair::RepairSummary> repair;
   /// Non-empty when the scenario raised instead of completing; a failed
   /// scenario never aborts the campaign (or pollutes the cache).
   std::string error;

@@ -255,6 +255,52 @@ class StandardPolicySource final : public ScenarioSource {
   std::string name_ = "policies";
 };
 
+class RepairTargetSource final : public ScenarioSource {
+ public:
+  explicit RepairTargetSource(RepairTargetSweep sweep)
+      : sweep_(std::move(sweep)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+
+  std::vector<Scenario> generate(std::uint64_t campaign_seed,
+                                 std::uint64_t ordinal_base) const override {
+    std::vector<Scenario> out;
+    const auto add = [&](spp::SppInstance instance, const std::string& id) {
+      Scenario scenario = make_scenario(name_, name_ + "/" + id,
+                                        ScenarioKind::safety, campaign_seed,
+                                        ordinal_base + out.size());
+      scenario.spp =
+          std::make_shared<const spp::SppInstance>(std::move(instance));
+      out.push_back(std::move(scenario));
+    };
+    add(spp::bad_gadget(), "bad");
+    add(spp::disagree_gadget(), "disagree");
+    add(spp::ibgp_figure3_gadget(), "ibgp-figure3");
+    for (const std::int32_t length : sweep_.bad_chain_lengths) {
+      add(spp::bad_gadget_chain(length),
+          "bad-chain-x" + std::to_string(length));
+    }
+    RandomSppSweep fuzz;
+    fuzz.extra_edge_probability = 0.5;
+    fuzz.paths_per_node = 4;
+    for (std::int32_t i = 0; i < sweep_.random_count; ++i) {
+      const std::string id = name_ + "/fuzz" + std::to_string(i);
+      Scenario scenario = make_scenario(name_, id, ScenarioKind::safety,
+                                        campaign_seed,
+                                        ordinal_base + out.size());
+      scenario.spp = std::make_shared<const spp::SppInstance>(
+          random_spp_instance("repair-fuzz-" + std::to_string(i),
+                              scenario.seed, fuzz));
+      out.push_back(std::move(scenario));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_ = "repair-targets";
+  RepairTargetSweep sweep_;
+};
+
 }  // namespace
 
 spp::SppInstance random_spp_instance(std::string name, std::uint64_t seed,
@@ -266,7 +312,11 @@ spp::SppInstance random_spp_instance(std::string name, std::uint64_t seed,
   std::vector<std::string> nodes;
   nodes.reserve(static_cast<std::size_t>(node_count));
   for (std::int32_t i = 1; i <= node_count; ++i) {
-    nodes.push_back("n" + std::to_string(i));
+    // Built in two steps: GCC 12's -Wrestrict false-fires on
+    // `"literal" + std::to_string(...)` under some inlining decisions.
+    std::string node = "n";
+    node += std::to_string(i);
+    nodes.push_back(std::move(node));
   }
 
   spp::SppInstance instance(std::move(name));
@@ -342,9 +392,14 @@ std::unique_ptr<ScenarioSource> standard_policy_source() {
   return std::make_unique<StandardPolicySource>();
 }
 
+std::unique_ptr<ScenarioSource> repair_target_source(RepairTargetSweep sweep) {
+  return std::make_unique<RepairTargetSource>(std::move(sweep));
+}
+
 const std::vector<std::string>& builtin_source_names() {
   static const std::vector<std::string> names = {
-      "gadgets", "rocketfuel", "as-hierarchy", "random-spp", "policies"};
+      "gadgets",  "rocketfuel",     "as-hierarchy",
+      "random-spp", "policies", "repair-targets"};
   return names;
 }
 
@@ -359,9 +414,10 @@ std::unique_ptr<ScenarioSource> make_builtin_source(const std::string& name,
   if (name == "as-hierarchy") return as_hierarchy_source();
   if (name == "random-spp") return random_spp_source();
   if (name == "policies") return standard_policy_source();
+  if (name == "repair-targets") return repair_target_source();
   throw InvalidArgument("unknown scenario source '" + name +
                         "' (available: gadgets, rocketfuel, as-hierarchy, "
-                        "random-spp, policies)");
+                        "random-spp, policies, repair-targets)");
 }
 
 }  // namespace fsr::campaign

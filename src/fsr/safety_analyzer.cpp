@@ -1,151 +1,18 @@
 #include "fsr/safety_analyzer.h"
 
-#include <cctype>
 #include <chrono>
-#include <map>
 
+#include "fsr/constraint_encoder.h"
+#include "fsr/incremental_session.h"
 #include "smt/yices_frontend.h"
 #include "util/error.h"
 
 namespace fsr {
-namespace {
 
-/// Signature names can contain characters that are not valid solver
-/// symbols (SPP signatures look like "r(a-b-e-0)"), so the encoder works
-/// over sanitized symbols and keeps a bidirectional mapping.
-class SymbolTable {
- public:
-  explicit SymbolTable(const std::vector<std::string>& names) {
-    for (const std::string& name : names) {
-      std::string symbol;
-      for (const char c : name) {
-        symbol.push_back(
-            std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
-      }
-      if (symbol.empty() ||
-          std::isdigit(static_cast<unsigned char>(symbol.front())) != 0) {
-        symbol.insert(symbol.begin(), 's');
-        symbol.insert(symbol.begin() + 1, '_');
-      }
-      while (symbol_to_name_.contains(symbol)) symbol.push_back('_');
-      symbol_to_name_.emplace(symbol, name);
-      name_to_symbol_.emplace(name, symbol);
-      symbols_.push_back(symbol);
-    }
-  }
-
-  const std::string& symbol(const std::string& name) const {
-    const auto it = name_to_symbol_.find(name);
-    if (it == name_to_symbol_.end()) {
-      throw InvalidArgument("symbolic spec references unknown signature '" +
-                            name + "'");
-    }
-    return it->second;
-  }
-
-  const std::string& original(const std::string& symbol) const {
-    return symbol_to_name_.at(symbol);
-  }
-
-  const std::vector<std::string>& symbols() const noexcept { return symbols_; }
-
- private:
-  std::map<std::string, std::string> symbol_to_name_;
-  std::map<std::string, std::string> name_to_symbol_;
-  std::vector<std::string> symbols_;
-};
-
-/// The constraints of one encoding, in assertion order (the order defines
-/// the AssertionId <-> provenance correspondence for both pipelines).
-struct Encoding {
-  std::vector<ConstraintProvenance> provenance;
-  std::vector<std::string> assert_lines;  // "(< a b)" over sanitized symbols
-  std::vector<std::pair<std::string, std::string>> declarations;  // sym
-};
-
-const char* relation_spelling(algebra::PrefRel rel) {
-  switch (rel) {
-    case algebra::PrefRel::strictly_better:
-      return "<";
-    case algebra::PrefRel::equal:
-      return "=";
-    case algebra::PrefRel::better_or_equal:
-      return "<=";
-  }
-  return "<";
-}
-
-Encoding encode(const algebra::SymbolicSpec& spec, MonotonicityMode mode,
-                const SymbolTable& symbols) {
-  Encoding enc;
-  const char* mono_rel = mode == MonotonicityMode::strict ? "<" : "<=";
-
-  // Step 2: one constraint per declared preference.
-  for (const auto& pref : spec.preferences) {
-    const std::string line = "(" + std::string(relation_spelling(pref.rel)) +
-                             " " + symbols.symbol(pref.lhs) + " " +
-                             symbols.symbol(pref.rhs) + ")";
-    enc.assert_lines.push_back(line);
-    enc.provenance.push_back(
-        ConstraintProvenance{ConstraintProvenance::Kind::preference,
-                             pref.provenance, line});
-  }
-  // Step 3: one (strict-)monotonicity constraint per combined (+) entry.
-  for (const auto& ext : spec.extensions) {
-    const std::string line = "(" + std::string(mono_rel) + " " +
-                             symbols.symbol(ext.from_sig) + " " +
-                             symbols.symbol(ext.to_sig) + ")";
-    enc.assert_lines.push_back(line);
-    enc.provenance.push_back(
-        ConstraintProvenance{ConstraintProvenance::Kind::monotonicity,
-                             ext.provenance, line});
-  }
-  // Closed-form algebras: universally quantified templates.
-  for (const auto& tmpl : spec.additive_templates) {
-    const std::string line = "(forall (s::Sig) (" + std::string(mono_rel) +
-                             " s (+ s " + std::to_string(tmpl.delta) + ")))";
-    enc.assert_lines.push_back(line);
-    enc.provenance.push_back(
-        ConstraintProvenance{ConstraintProvenance::Kind::monotonicity,
-                             tmpl.provenance, line});
-  }
-  return enc;
-}
-
-std::string render_script(const algebra::SymbolicSpec& spec,
-                          MonotonicityMode mode, const SymbolTable& symbols,
-                          const Encoding& enc) {
-  std::string script;
-  script += ";; FSR safety encoding for algebra '" + spec.algebra_name + "'\n";
-  script += ";; mode: ";
-  script += (mode == MonotonicityMode::strict ? "strict monotonicity"
-                                              : "monotonicity");
-  script += "\n(define-type Sig (subtype (n::nat) (> n 0)))\n";
-  for (const std::string& symbol : symbols.symbols()) {
-    script += "(define " + symbol + "::Sig)\n";
-  }
-  bool wrote_pref_banner = false;
-  bool wrote_mono_banner = false;
-  for (std::size_t i = 0; i < enc.assert_lines.size(); ++i) {
-    if (enc.provenance[i].kind == ConstraintProvenance::Kind::preference &&
-        !wrote_pref_banner) {
-      script += ";; route preference constraints\n";
-      wrote_pref_banner = true;
-    }
-    if (enc.provenance[i].kind == ConstraintProvenance::Kind::monotonicity &&
-        !wrote_mono_banner) {
-      script += (mode == MonotonicityMode::strict
-                     ? ";; strict monotonicity constraints\n"
-                     : ";; monotonicity constraints\n");
-      wrote_mono_banner = true;
-    }
-    script += "(assert " + enc.assert_lines[i] + ")\n";
-  }
-  script += "(check)\n";
-  return script;
-}
-
-}  // namespace
+using encoding::Encoding;
+using encoding::SymbolTable;
+using encoding::encode;
+using encoding::render_script;
 
 double SafetyReport::total_solve_time_ms() const {
   double total = 0.0;
@@ -163,6 +30,14 @@ std::string SafetyAnalyzer::emit_yices_script(
   const SymbolTable symbols(spec.signatures);
   const Encoding enc = encode(spec, mode, symbols);
   return render_script(spec, mode, symbols, enc);
+}
+
+IncrementalSafetySession SafetyAnalyzer::open_incremental(
+    const algebra::RoutingAlgebra& algebra, MonotonicityMode mode,
+    bool incremental) {
+  IncrementalSafetySession::Options options;
+  options.incremental = incremental;
+  return IncrementalSafetySession(algebra.symbolic(), mode, options);
 }
 
 MonotonicityReport SafetyAnalyzer::check_monotonicity(

@@ -30,6 +30,8 @@
 
 namespace fsr {
 
+class IncrementalSafetySession;
+
 enum class SafetyVerdict { safe, not_provably_safe };
 
 enum class MonotonicityMode { strict, plain };
@@ -102,6 +104,15 @@ class SafetyAnalyzer {
   /// Renders the Section IV-B encoding of `spec` as a Yices-style script.
   static std::string emit_yices_script(const algebra::SymbolicSpec& spec,
                                        MonotonicityMode mode);
+
+  /// Incremental entry point: encodes `algebra`'s symbolic spec once into a
+  /// session whose solver state is shared across many near-identical
+  /// re-checks — the repair engine's workhorse (see
+  /// fsr/incremental_session.h, which callers must include for the complete
+  /// type). `incremental = false` selects the from-scratch ablation path.
+  static IncrementalSafetySession open_incremental(
+      const algebra::RoutingAlgebra& algebra, MonotonicityMode mode,
+      bool incremental = true);
 
  private:
   Options options_;

@@ -1,0 +1,71 @@
+#include "repair/edit.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fsr::repair {
+
+const char* to_string(EditKind kind) noexcept {
+  switch (kind) {
+    case EditKind::drop_path:
+      return "drop";
+    case EditKind::demote_path:
+      return "demote";
+    case EditKind::relax_preference:
+      return "relax";
+  }
+  return "drop";
+}
+
+std::string PolicyEdit::describe() const {
+  if (kind == EditKind::relax_preference) {
+    return "relax " + spp::path_name(path) + " < " + spp::path_name(other) +
+           " to <=";
+  }
+  return std::string(to_string(kind)) + " " + spp::path_name(path) + " at " +
+         node;
+}
+
+bool operator==(const PolicyEdit& a, const PolicyEdit& b) {
+  return a.kind == b.kind && a.node == b.node && a.path == b.path &&
+         a.other == b.other;
+}
+
+std::optional<spp::SppInstance> apply_edits(
+    const spp::SppInstance& instance, const std::vector<PolicyEdit>& edits) {
+  // Work on the rankings as plain vectors; rebuild the instance at the end
+  // (SppInstance deliberately has no removal API).
+  std::map<std::string, std::vector<spp::Path>> rankings;
+  for (const std::string& node : instance.nodes()) {
+    rankings[node] = instance.permitted(node);
+  }
+
+  for (const PolicyEdit& edit : edits) {
+    if (edit.kind == EditKind::relax_preference) continue;
+    const auto node_it = rankings.find(edit.node);
+    if (node_it == rankings.end()) return std::nullopt;
+    std::vector<spp::Path>& ranked = node_it->second;
+    const auto path_it = std::find(ranked.begin(), ranked.end(), edit.path);
+    if (path_it == ranked.end()) return std::nullopt;
+    if (edit.kind == EditKind::drop_path) {
+      ranked.erase(path_it);
+    } else {  // demote_path
+      if (path_it + 1 == ranked.end()) return std::nullopt;  // already last
+      std::rotate(path_it, path_it + 1, ranked.end());
+    }
+  }
+
+  std::size_t remaining = 0;
+  for (const auto& [node, ranked] : rankings) remaining += ranked.size();
+  if (remaining == 0) return std::nullopt;
+
+  spp::SppInstance edited(instance.name() + "+repair",
+                          instance.destination());
+  for (const auto& [u, v] : instance.edges()) edited.add_edge(u, v);
+  for (const auto& [node, ranked] : rankings) {
+    for (const spp::Path& path : ranked) edited.add_permitted_path(path);
+  }
+  return edited;
+}
+
+}  // namespace fsr::repair

@@ -1,0 +1,57 @@
+// Candidate policy edits for the repair engine.
+//
+// The counterexample-guided search (repair_engine.h) explores three moves,
+// each derived from a member of the minimal unsat core:
+//
+//   * drop_path        — remove one permitted path from its node's ranking;
+//   * demote_path      — move one permitted path to the bottom of its
+//                        node's ranking (keeps the path usable as a last
+//                        resort, the least destructive structural edit);
+//   * relax_preference — weaken one strict encoded constraint (ranking
+//                        pair or monotonicity entry) from < to <=. This is
+//                        a constraint-level edit with no exact SPP
+//                        rendering (SPP rankings are strict), so such
+//                        candidates are solver-verified but cannot be
+//                        ground-truthed against enumerate_stable_assignments.
+//
+// Thread-compatibility: PolicyEdit is a plain value type and apply_edits is
+// a pure function; both are freely usable from concurrent workers.
+#ifndef FSR_REPAIR_EDIT_H
+#define FSR_REPAIR_EDIT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spp/spp.h"
+
+namespace fsr::repair {
+
+enum class EditKind { drop_path, demote_path, relax_preference };
+
+const char* to_string(EditKind kind) noexcept;
+
+struct PolicyEdit {
+  EditKind kind = EditKind::drop_path;
+  std::string node;  // ranking owner; empty for relax_preference
+  spp::Path path;    // edited path (drop/demote) or LHS path (relax)
+  spp::Path other;   // relax only: RHS path of the relaxed constraint
+
+  /// Stable human-readable form, also the search's dedup/sort key.
+  std::string describe() const;
+};
+
+bool operator==(const PolicyEdit& a, const PolicyEdit& b);
+
+/// Applies the SPP-expressible edits (drop/demote) to a copy of `instance`,
+/// in the given order; relax_preference entries are skipped (they live at
+/// the constraint level only). Returns std::nullopt when any edit is
+/// inapplicable — its path is absent from the node's ranking, a demoted
+/// path is already last — or when the edits would leave the instance with
+/// no permitted paths at all.
+std::optional<spp::SppInstance> apply_edits(
+    const spp::SppInstance& instance, const std::vector<PolicyEdit>& edits);
+
+}  // namespace fsr::repair
+
+#endif  // FSR_REPAIR_EDIT_H

@@ -1,0 +1,168 @@
+// fsr_repair: counterexample-guided policy repair from the command line.
+//
+//   fsr_repair --gadget bad --gadget disagree
+//   fsr_repair --gadget ibgp-figure3 --format json
+//   fsr_repair --random 4 --seed 42 --max-edits 3
+//
+// For every requested instance the tool runs the repair engine
+// (src/repair/repair_engine.h): minimal unsat core -> candidate edits ->
+// incremental re-checks -> ground-truth validation. Text output includes
+// timings; JSON output contains only deterministic fields.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario_source.h"
+#include "repair/repair_engine.h"
+#include "spp/gadgets.h"
+#include "util/error.h"
+
+namespace {
+
+const std::vector<std::string>& gadget_names() {
+  static const std::vector<std::string> names = {
+      "good",          "bad",
+      "disagree",      "ibgp-figure3",
+      "ibgp-figure3-fixed", "bad-chain-4",
+      "bad-chain-8"};
+  return names;
+}
+
+fsr::spp::SppInstance gadget_by_name(const std::string& name) {
+  using namespace fsr::spp;
+  if (name == "good") return good_gadget();
+  if (name == "bad") return bad_gadget();
+  if (name == "disagree") return disagree_gadget();
+  if (name == "ibgp-figure3") return ibgp_figure3_gadget();
+  if (name == "ibgp-figure3-fixed") return ibgp_figure3_fixed();
+  const std::string chain_prefix = "bad-chain-";
+  if (name.rfind(chain_prefix, 0) == 0) {
+    const int count = std::atoi(name.c_str() + chain_prefix.size());
+    if (count >= 1) return bad_gadget_chain(count);
+  }
+  throw fsr::InvalidArgument("unknown gadget '" + name +
+                             "' (try --list-gadgets)");
+}
+
+void print_usage() {
+  std::printf(
+      "usage: fsr_repair [options]\n"
+      "  --gadget NAME    repair a named gadget (repeatable); NAME is one\n"
+      "                   of good, bad, disagree, ibgp-figure3,\n"
+      "                   ibgp-figure3-fixed, bad-chain-N\n"
+      "  --random N       also repair N random fuzz instances\n"
+      "  --seed S         seed for fuzz instances and SPVP trials (default 1)\n"
+      "  --max-edits K    edit-size cap for candidates (default 2)\n"
+      "  --max-checks N   solver re-check budget per instance (default 512)\n"
+      "  --no-relax       disable constraint-level relax edits\n"
+      "  --from-scratch   disable incremental solving (ablation)\n"
+      "  --format F       text | json (default text)\n"
+      "  --list-gadgets   print known gadget names and exit\n"
+      "  --help           this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsr::repair;
+
+  RepairOptions options;
+  std::vector<std::string> gadgets;
+  int random_count = 0;
+  std::uint64_t seed = 1;
+  std::string format = "text";
+
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "fsr_repair: %s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--gadget") == 0) {
+      gadgets.emplace_back(need_value(i, "--gadget"));
+    } else if (std::strcmp(arg, "--random") == 0) {
+      random_count = std::atoi(need_value(i, "--random"));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seed = std::strtoull(need_value(i, "--seed"), nullptr, 10);
+    } else if (std::strcmp(arg, "--max-edits") == 0) {
+      const int max_edits = std::atoi(need_value(i, "--max-edits"));
+      if (max_edits < 1) {
+        std::fprintf(stderr, "fsr_repair: --max-edits needs a value >= 1\n");
+        return 2;
+      }
+      options.max_edits = static_cast<std::size_t>(max_edits);
+    } else if (std::strcmp(arg, "--max-checks") == 0) {
+      const int max_checks = std::atoi(need_value(i, "--max-checks"));
+      if (max_checks < 1) {
+        std::fprintf(stderr, "fsr_repair: --max-checks needs a value >= 1\n");
+        return 2;
+      }
+      options.max_checks = static_cast<std::size_t>(max_checks);
+    } else if (std::strcmp(arg, "--no-relax") == 0) {
+      options.allow_relax = false;
+    } else if (std::strcmp(arg, "--from-scratch") == 0) {
+      options.use_incremental = false;
+    } else if (std::strcmp(arg, "--format") == 0) {
+      format = need_value(i, "--format");
+    } else if (std::strcmp(arg, "--list-gadgets") == 0) {
+      for (const std::string& name : gadget_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fsr_repair: unknown option '%s'\n", arg);
+      print_usage();
+      return 2;
+    }
+  }
+
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "fsr_repair: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (gadgets.empty() && random_count == 0) {
+    gadgets = {"bad", "disagree", "ibgp-figure3"};
+  }
+
+  try {
+    std::vector<fsr::spp::SppInstance> instances;
+    for (const std::string& name : gadgets) {
+      instances.push_back(gadget_by_name(name));
+    }
+    fsr::campaign::RandomSppSweep sweep;
+    for (int i = 0; i < random_count; ++i) {
+      instances.push_back(fsr::campaign::random_spp_instance(
+          "fuzz-" + std::to_string(i), seed + static_cast<std::uint64_t>(i),
+          sweep));
+    }
+
+    const RepairEngine engine(options);
+    bool first = true;
+    if (format == "json") std::printf("[\n");
+    for (const fsr::spp::SppInstance& instance : instances) {
+      const RepairReport report = engine.repair(instance, seed);
+      if (format == "json") {
+        if (!first) std::printf(",\n");
+        std::fputs(to_json(report).c_str(), stdout);
+      } else {
+        if (!first) std::printf("\n");
+        std::fputs(render_text(report).c_str(), stdout);
+      }
+      first = false;
+    }
+    if (format == "json") std::printf("]\n");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fsr_repair: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

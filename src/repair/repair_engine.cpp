@@ -1,0 +1,679 @@
+#include "repair/repair_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "fsr/incremental_session.h"
+#include "spp/translate.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace fsr::repair {
+namespace {
+
+std::uint64_t trial_seed(std::uint64_t seed, const std::string& candidate_key,
+                         int trial) {
+  std::uint64_t x = seed ^ util::fnv1a64(candidate_key) ^
+                    (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(trial + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+int kind_weight(EditKind kind) {
+  switch (kind) {
+    case EditKind::demote_path:
+      return 1;
+    case EditKind::drop_path:
+      return 2;
+    case EditKind::relax_preference:
+      return 3;
+  }
+  return 3;
+}
+
+int ground_truth_rank(GroundTruth truth) {
+  switch (truth) {
+    case GroundTruth::verified:
+      return 0;
+    case GroundTruth::not_applicable:
+      return 1;
+    case GroundTruth::failed:
+      return 2;
+  }
+  return 2;
+}
+
+std::string edits_key(const std::vector<PolicyEdit>& edits) {
+  std::string key;
+  for (const PolicyEdit& edit : edits) {
+    if (!key.empty()) key += " + ";
+    key += edit.describe();
+  }
+  return key;
+}
+
+struct SigInfo {
+  std::string node;
+  spp::Path path;
+};
+
+struct SearchState {
+  std::vector<PolicyEdit> edits;  // sorted by describe()
+  std::string key;
+};
+
+struct Evaluation {
+  bool applicable = false;
+  bool holds = false;
+  std::vector<std::size_t> core;
+  /// Follow-up edits derived from core members that were per-check extras
+  /// (constraints the candidate itself introduced, e.g. a merged ranking
+  /// pair after a demote) — the search must branch on these too.
+  std::vector<PolicyEdit> extra_core_edits;
+  std::optional<spp::SppInstance> edited;  // set when drop/demote edits ran
+  bool pure_spp = false;                   // no relax edits in the set
+};
+
+/// One repair search: owns the shared session and all per-run bookkeeping.
+///
+/// Candidate evaluation never re-translates the instance: permitted paths
+/// are interned to integers once, a candidate's constraint set is derived
+/// straight from its edited rankings (mirroring spp::algebra_from_spp:
+/// adjacent ranking pairs + permitted-suffix extensions), and the diff
+/// against the base encoding runs over integer pairs. That keeps the
+/// per-candidate cost proportional to the instance, with the solver work
+/// delegated to the shared incremental session.
+class Search {
+ public:
+  Search(const spp::SppInstance& instance, const RepairOptions& options,
+         std::uint64_t seed)
+      : instance_(instance),
+        options_(options),
+        seed_(seed),
+        spec_(spp::algebra_from_spp(instance)->symbolic()),
+        session_(spec_, MonotonicityMode::strict, session_options(options)) {
+    for (const std::string& node : instance.nodes()) {
+      for (const spp::Path& path : instance.permitted(node)) {
+        sig_info_.emplace(spp::spp_signature(path), SigInfo{node, path});
+        const int pid = static_cast<int>(paths_.size());
+        path_ids_.emplace(path, pid);
+        paths_.push_back(path);
+        path_names_.push_back(spp::spp_signature(path));
+        base_rankings_[node].push_back(pid);
+      }
+    }
+    suffix_pid_.assign(paths_.size(), -1);
+    for (std::size_t pid = 0; pid < paths_.size(); ++pid) {
+      if (paths_[pid].size() <= 2) continue;
+      const spp::Path suffix(paths_[pid].begin() + 1, paths_[pid].end());
+      const auto it = path_ids_.find(suffix);
+      if (it != path_ids_.end()) suffix_pid_[pid] = it->second;
+    }
+    std::map<std::string, int> name_to_pid;
+    for (std::size_t pid = 0; pid < paths_.size(); ++pid) {
+      name_to_pid.emplace(path_names_[pid], static_cast<int>(pid));
+    }
+    for (std::size_t i = 0; i < session_.constraint_count(); ++i) {
+      const encoding::RelationShape& shape = session_.shape(i);
+      const auto lhs = name_to_pid.find(shape.lhs);
+      const auto rhs = name_to_pid.find(shape.rhs);
+      if (lhs == name_to_pid.end() || rhs == name_to_pid.end()) continue;
+      base_pair_to_index_.emplace(
+          std::make_pair(lhs->second, rhs->second), i);
+    }
+  }
+
+  RepairReport run() {
+    const auto start = std::chrono::steady_clock::now();
+    RepairReport report;
+    report.instance = instance_.name();
+
+    const auto initial = session_.check({});
+    if (initial.holds) {
+      report.already_safe = true;
+      finish(report, start);
+      return report;
+    }
+    note_core(initial.core);
+    for (const std::size_t index : initial.core) {
+      report.initial_core.push_back(session_.provenance(index));
+    }
+
+    std::set<std::string> visited;
+    std::vector<SearchState> frontier =
+        expand({}, edit_pool(initial.core, {}), visited);
+    for (std::size_t depth = 1;
+         depth <= options_.max_edits && !frontier.empty(); ++depth) {
+      premark(frontier);
+      std::vector<SearchState> next;
+      for (const SearchState& state : frontier) {
+        if (session_.check_count() >= options_.max_checks) {
+          report.budget_exhausted = true;
+          break;
+        }
+        Evaluation eval = evaluate(state);
+        if (!eval.applicable) continue;
+        ++report.candidates_checked;
+        if (eval.holds) {
+          report.repairs.push_back(make_candidate(state, eval));
+        } else if (depth < options_.max_edits) {
+          for (SearchState& successor :
+               expand(state.edits,
+                      edit_pool(eval.core, eval.extra_core_edits), visited)) {
+            next.push_back(std::move(successor));
+          }
+        }
+      }
+      // All states of the minimal successful depth were evaluated before
+      // stopping, so `repairs` holds every minimal fix the budget allowed.
+      if (!report.repairs.empty() || report.budget_exhausted) break;
+      frontier = std::move(next);
+    }
+
+    rank(report.repairs);
+    finish(report, start);
+    return report;
+  }
+
+ private:
+  static IncrementalSafetySession::Options session_options(
+      const RepairOptions& options) {
+    IncrementalSafetySession::Options session_options;
+    session_options.incremental = options.use_incremental;
+    // The search branches on holds/core only; witness models are dead
+    // weight at hundreds of re-checks per repair.
+    session_options.extract_models = false;
+    return session_options;
+  }
+
+  void finish(RepairReport& report,
+              std::chrono::steady_clock::time_point start) {
+    report.solver_checks = session_.check_count();
+    report.cores_seen = cores_seen_.size();
+    report.engine_rebuilds = session_.engine_rebuilds();
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+
+  void note_core(const std::vector<std::size_t>& core) {
+    std::string key;
+    for (const std::size_t index : core) key += std::to_string(index) + ",";
+    cores_seen_.insert(std::move(key));
+  }
+
+  const SigInfo& info_of(const std::string& signature) const {
+    const auto it = sig_info_.find(signature);
+    if (it == sig_info_.end()) {
+      throw InvalidArgument("repair: spec signature '" + signature +
+                            "' has no SPP path");
+    }
+    return it->second;
+  }
+
+  /// Candidate edits justified by core element `index`.
+  std::vector<PolicyEdit> edits_for(std::size_t index) const {
+    std::vector<PolicyEdit> out;
+    const std::size_t preference_count = spec_.preferences.size();
+    if (index < preference_count) {
+      const auto& pref = spec_.preferences[index];
+      const SigInfo& preferred = info_of(pref.lhs);
+      const SigInfo& dispreferred = info_of(pref.rhs);
+      out.push_back(PolicyEdit{EditKind::demote_path, preferred.node,
+                               preferred.path, {}});
+      out.push_back(
+          PolicyEdit{EditKind::drop_path, preferred.node, preferred.path, {}});
+      out.push_back(PolicyEdit{EditKind::drop_path, dispreferred.node,
+                               dispreferred.path, {}});
+      if (options_.allow_relax &&
+          pref.rel == algebra::PrefRel::strictly_better) {
+        out.push_back(PolicyEdit{EditKind::relax_preference, {},
+                                 preferred.path, dispreferred.path});
+      }
+    } else if (index < preference_count + spec_.extensions.size()) {
+      const auto& ext = spec_.extensions[index - preference_count];
+      const SigInfo& extended = info_of(ext.to_sig);
+      const SigInfo& sub = info_of(ext.from_sig);
+      out.push_back(
+          PolicyEdit{EditKind::drop_path, extended.node, extended.path, {}});
+      if (options_.allow_relax) {
+        out.push_back(PolicyEdit{EditKind::relax_preference, {}, sub.path,
+                                 extended.path});
+      }
+    }
+    return out;
+  }
+
+  /// Candidate edits justified by a counterexample: the base-core members'
+  /// edits plus the edits already derived from in-core extras.
+  std::vector<PolicyEdit> edit_pool(
+      const std::vector<std::size_t>& core,
+      const std::vector<PolicyEdit>& extra_edits) const {
+    std::vector<PolicyEdit> pool;
+    for (const std::size_t index : core) {
+      for (PolicyEdit& edit : edits_for(index)) pool.push_back(std::move(edit));
+    }
+    pool.insert(pool.end(), extra_edits.begin(), extra_edits.end());
+    return pool;
+  }
+
+  /// Candidate edits for a constraint over two interned paths — the shape
+  /// of a per-check extra in the core. Same-node pairs behave like ranking
+  /// preferences; cross-node pairs like extension entries.
+  std::vector<PolicyEdit> edits_for_pair(int lhs, int rhs,
+                                         bool strict) const {
+    const spp::Path& preferred = paths_[static_cast<std::size_t>(lhs)];
+    const spp::Path& dispreferred = paths_[static_cast<std::size_t>(rhs)];
+    std::vector<PolicyEdit> out;
+    if (preferred.front() == dispreferred.front()) {
+      out.push_back(PolicyEdit{EditKind::demote_path, preferred.front(),
+                               preferred, {}});
+      out.push_back(
+          PolicyEdit{EditKind::drop_path, preferred.front(), preferred, {}});
+    }
+    out.push_back(PolicyEdit{EditKind::drop_path, dispreferred.front(),
+                             dispreferred, {}});
+    if (strict && options_.allow_relax) {
+      out.push_back(
+          PolicyEdit{EditKind::relax_preference, {}, preferred, dispreferred});
+    }
+    return out;
+  }
+
+  std::vector<SearchState> expand(const std::vector<PolicyEdit>& prefix,
+                                  const std::vector<PolicyEdit>& pool,
+                                  std::set<std::string>& visited) const {
+    // Descriptions are computed once per edit; all dedup/ordering below
+    // works on the cached strings (describe() allocates).
+    std::vector<std::string> prefix_descriptions;
+    prefix_descriptions.reserve(prefix.size());
+    for (const PolicyEdit& edit : prefix) {
+      prefix_descriptions.push_back(edit.describe());
+    }
+    std::vector<SearchState> out;
+    for (const PolicyEdit& edit : pool) {
+      std::string description = edit.describe();
+      if (std::find(prefix_descriptions.begin(), prefix_descriptions.end(),
+                    description) != prefix_descriptions.end()) {
+        continue;
+      }
+      std::vector<std::pair<std::string, const PolicyEdit*>> decorated;
+      decorated.reserve(prefix.size() + 1);
+      for (std::size_t i = 0; i < prefix.size(); ++i) {
+        decorated.emplace_back(prefix_descriptions[i], &prefix[i]);
+      }
+      decorated.emplace_back(std::move(description), &edit);
+      std::sort(decorated.begin(), decorated.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      SearchState state;
+      state.edits.reserve(decorated.size());
+      for (auto& [text, source] : decorated) {
+        state.edits.push_back(*source);
+        if (!state.key.empty()) state.key += " + ";
+        state.key += text;
+      }
+      if (visited.insert(state.key).second) out.push_back(std::move(state));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SearchState& a, const SearchState& b) {
+                return a.key < b.key;
+              });
+    return out;
+  }
+
+  /// Moves every constraint some frontier edit could exclude into the
+  /// session's variable set in one batch, so the shared engine base
+  /// rebuilds at most once per search depth. An edit can only remove
+  /// constraints that mention a signature it touches.
+  void premark(const std::vector<SearchState>& frontier) {
+    std::set<std::string> touched;
+    for (const SearchState& state : frontier) {
+      for (const PolicyEdit& edit : state.edits) {
+        touched.insert(spp::spp_signature(edit.path));
+        if (!edit.other.empty()) touched.insert(spp::spp_signature(edit.other));
+      }
+    }
+    std::vector<std::size_t> to_mark;
+    for (std::size_t i = 0; i < session_.constraint_count(); ++i) {
+      if (session_.is_variable(i)) continue;
+      const encoding::RelationShape& shape = session_.shape(i);
+      if (touched.contains(shape.lhs) || touched.contains(shape.rhs)) {
+        to_mark.push_back(i);
+      }
+    }
+    session_.make_variable(to_mark);
+  }
+
+  int path_id(const spp::Path& path) const {
+    const auto it = path_ids_.find(path);
+    return it == path_ids_.end() ? -1 : it->second;
+  }
+
+  Evaluation evaluate(const SearchState& state) {
+    Evaluation eval;
+    std::vector<PolicyEdit> relax_edits;
+    std::size_t spp_edit_count = 0;
+
+    // Apply drop/demote edits to an integer-id copy of the rankings.
+    std::map<std::string, std::vector<int>> rankings = base_rankings_;
+    std::size_t remaining = paths_.size();
+    for (const PolicyEdit& edit : state.edits) {
+      if (edit.kind == EditKind::relax_preference) {
+        relax_edits.push_back(edit);
+        continue;
+      }
+      ++spp_edit_count;
+      const int pid = path_id(edit.path);
+      const auto node_it = rankings.find(edit.node);
+      if (pid < 0 || node_it == rankings.end()) return eval;
+      std::vector<int>& ranked = node_it->second;
+      const auto it = std::find(ranked.begin(), ranked.end(), pid);
+      if (it == ranked.end()) return eval;  // already dropped by a sibling
+      if (edit.kind == EditKind::drop_path) {
+        ranked.erase(it);
+        --remaining;
+      } else {  // demote_path
+        if (it + 1 == ranked.end()) return eval;  // already last
+        std::rotate(it, it + 1, ranked.end());
+      }
+    }
+    if (remaining == 0) return eval;  // the edits emptied the instance
+    eval.pure_spp = relax_edits.empty();
+
+    // The candidate's constraint set, derived exactly as the Section III-B
+    // translation would: adjacent ranking pairs + permitted-suffix
+    // extensions, as (lhs path, rhs path) id pairs.
+    std::vector<std::pair<int, int>> pairs;
+    for (const auto& [node, ranked] : rankings) {
+      (void)node;
+      for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+        pairs.emplace_back(ranked[i], ranked[i + 1]);
+      }
+      for (const int pid : ranked) {
+        const int suffix = suffix_pid_[static_cast<std::size_t>(pid)];
+        if (suffix < 0) continue;
+        const spp::Path& suffix_path = paths_[static_cast<std::size_t>(suffix)];
+        const auto& suffix_ranked = rankings.at(suffix_path.front());
+        if (std::find(suffix_ranked.begin(), suffix_ranked.end(), suffix) !=
+            suffix_ranked.end()) {
+          pairs.emplace_back(suffix, pid);
+        }
+      }
+    }
+    std::vector<IncrementalSafetySession::Extra> extras;
+    // The (path pair, strictness) behind each extra, so core members that
+    // are extras can seed further edits.
+    std::vector<std::pair<int, int>> extra_pairs;
+    std::vector<char> extra_strict;
+    for (const PolicyEdit& edit : relax_edits) {
+      const std::pair<int, int> target{path_id(edit.path),
+                                       path_id(edit.other)};
+      const auto it = std::find(pairs.begin(), pairs.end(), target);
+      if (it == pairs.end()) return eval;  // constraint already gone
+      pairs.erase(it);
+      extras.push_back(IncrementalSafetySession::Extra{
+          algebra::PrefRel::better_or_equal,
+          path_names_[static_cast<std::size_t>(target.first)],
+          path_names_[static_cast<std::size_t>(target.second)],
+          "relaxed: " + edit.describe()});
+      extra_pairs.push_back(target);
+      extra_strict.push_back(0);
+    }
+
+    // Diff against the base encoding: matched base constraints are
+    // retained (passed as assumptions when variable); unmatched candidate
+    // pairs become per-check extras; unmatched base constraints are
+    // excluded (premark made them variable).
+    consumed_.assign(session_.constraint_count(), 0);
+    std::vector<std::size_t> keep;
+    for (const std::pair<int, int>& pair : pairs) {
+      const auto it = base_pair_to_index_.find(pair);
+      if (it != base_pair_to_index_.end() && consumed_[it->second] == 0) {
+        consumed_[it->second] = 1;
+        if (session_.is_variable(it->second)) keep.push_back(it->second);
+      } else {
+        extras.push_back(IncrementalSafetySession::Extra{
+            algebra::PrefRel::strictly_better,
+            path_names_[static_cast<std::size_t>(pair.first)],
+            path_names_[static_cast<std::size_t>(pair.second)],
+            path_names_[static_cast<std::size_t>(pair.first)] + " < " +
+                path_names_[static_cast<std::size_t>(pair.second)]});
+        extra_pairs.push_back(pair);
+        extra_strict.push_back(1);
+      }
+    }
+    // premark covers every exclusion; keep the fallback for safety.
+    std::vector<std::size_t> must_mark;
+    for (std::size_t i = 0; i < consumed_.size(); ++i) {
+      if (consumed_[i] == 0 && !session_.is_variable(i)) must_mark.push_back(i);
+    }
+    if (!must_mark.empty()) session_.make_variable(must_mark);
+
+    std::sort(keep.begin(), keep.end());
+    const auto result = session_.check(keep, extras);
+    eval.applicable = true;
+    eval.holds = result.holds;
+    eval.core = result.core;
+    if (result.holds) {
+      if (eval.pure_spp && spp_edit_count > 0) {
+        eval.edited = apply_edits(instance_, state.edits);
+      }
+    } else {
+      note_core(result.core);
+      for (const std::size_t extra_index : result.extra_core) {
+        const std::pair<int, int>& pair = extra_pairs[extra_index];
+        for (PolicyEdit& edit :
+             edits_for_pair(pair.first, pair.second,
+                            extra_strict[extra_index] != 0)) {
+          eval.extra_core_edits.push_back(std::move(edit));
+        }
+      }
+    }
+    return eval;
+  }
+
+  RepairCandidate make_candidate(const SearchState& state,
+                                 const Evaluation& eval) {
+    RepairCandidate candidate;
+    candidate.edits = state.edits;
+    candidate.solver_safe = true;
+    if (eval.pure_spp && eval.edited.has_value()) {
+      bool converged = true;
+      for (int trial = 0; trial < options_.spvp_trials; ++trial) {
+        util::Rng rng(trial_seed(seed_, state.key, trial));
+        converged = converged &&
+                    spp::simulate_spvp(*eval.edited, rng,
+                                       options_.spvp_max_activations)
+                        .converged;
+      }
+      candidate.spvp_converged = converged;
+      try {
+        candidate.stable_assignments =
+            spp::enumerate_stable_assignments(*eval.edited,
+                                              options_.ground_truth_max_states)
+                .size();
+        candidate.ground_truth =
+            (candidate.stable_assignments >= 1 && converged)
+                ? GroundTruth::verified
+                : GroundTruth::failed;
+      } catch (const Error&) {
+        // Enumeration blew the state cap (it is exponential): the solver
+        // verdict stands unverified; SPVP convergence is still recorded.
+        candidate.ground_truth = converged ? GroundTruth::not_applicable
+                                           : GroundTruth::failed;
+      }
+    } else {
+      candidate.ground_truth = GroundTruth::not_applicable;
+    }
+    return candidate;
+  }
+
+  static void rank(std::vector<RepairCandidate>& repairs) {
+    std::sort(repairs.begin(), repairs.end(),
+              [](const RepairCandidate& a, const RepairCandidate& b) {
+                if (a.edits.size() != b.edits.size()) {
+                  return a.edits.size() < b.edits.size();
+                }
+                const int truth_a = ground_truth_rank(a.ground_truth);
+                const int truth_b = ground_truth_rank(b.ground_truth);
+                if (truth_a != truth_b) return truth_a < truth_b;
+                int weight_a = 0;
+                int weight_b = 0;
+                for (const PolicyEdit& e : a.edits) {
+                  weight_a += kind_weight(e.kind);
+                }
+                for (const PolicyEdit& e : b.edits) {
+                  weight_b += kind_weight(e.kind);
+                }
+                if (weight_a != weight_b) return weight_a < weight_b;
+                return edits_key(a.edits) < edits_key(b.edits);
+              });
+  }
+
+  const spp::SppInstance& instance_;
+  const RepairOptions& options_;
+  std::uint64_t seed_;
+  algebra::SymbolicSpec spec_;
+  IncrementalSafetySession session_;
+  std::map<std::string, SigInfo> sig_info_;
+  // Interned permitted paths and the base structures evaluate() diffs
+  // against (see class comment).
+  std::vector<spp::Path> paths_;
+  std::map<spp::Path, int> path_ids_;
+  std::vector<std::string> path_names_;  // spp_signature per path id
+  std::map<std::string, std::vector<int>> base_rankings_;
+  std::vector<int> suffix_pid_;  // permitted-suffix path id, or -1
+  std::map<std::pair<int, int>, std::size_t> base_pair_to_index_;
+  std::vector<char> consumed_;  // scratch buffer for the per-candidate diff
+  std::set<std::string> cores_seen_;
+};
+
+std::string quoted(const std::string& text) { return util::json_quoted(text); }
+
+}  // namespace
+
+const char* to_string(GroundTruth truth) noexcept {
+  switch (truth) {
+    case GroundTruth::verified:
+      return "verified";
+    case GroundTruth::failed:
+      return "failed";
+    case GroundTruth::not_applicable:
+      return "not_applicable";
+  }
+  return "not_applicable";
+}
+
+std::string RepairCandidate::describe() const { return edits_key(edits); }
+
+RepairReport RepairEngine::repair(const spp::SppInstance& instance,
+                                  std::uint64_t seed) const {
+  Search search(instance, options_, seed);
+  return search.run();
+}
+
+RepairSummary summarize(const RepairReport& report) {
+  RepairSummary summary;
+  summary.attempted = true;
+  summary.candidates_checked = report.candidates_checked;
+  summary.solver_checks = report.solver_checks;
+  if (const RepairCandidate* best = report.best()) {
+    summary.solver_repaired = best->solver_safe;
+    summary.verified = best->ground_truth == GroundTruth::verified;
+    summary.edit_count = best->edits.size();
+    for (const PolicyEdit& edit : best->edits) {
+      summary.edits.push_back(edit.describe());
+    }
+  }
+  return summary;
+}
+
+std::string to_json(const RepairReport& report) {
+  std::string out = "{\n";
+  out += "  \"instance\": " + quoted(report.instance) + ",\n";
+  out += "  \"already_safe\": ";
+  out += report.already_safe ? "true" : "false";
+  out += ",\n  \"initial_core\": [";
+  for (std::size_t i = 0; i < report.initial_core.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += quoted(report.initial_core[i].description);
+  }
+  out += "],\n  \"repaired\": ";
+  out += report.repaired() ? "true" : "false";
+  out += ",\n  \"candidates_checked\": " +
+         std::to_string(report.candidates_checked) +
+         ", \"solver_checks\": " + std::to_string(report.solver_checks) +
+         ", \"cores_seen\": " + std::to_string(report.cores_seen) +
+         ", \"budget_exhausted\": ";
+  out += report.budget_exhausted ? "true" : "false";
+  out += ",\n  \"repairs\": [\n";
+  for (std::size_t i = 0; i < report.repairs.size(); ++i) {
+    const RepairCandidate& candidate = report.repairs[i];
+    out += "    {\"edits\": [";
+    for (std::size_t j = 0; j < candidate.edits.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += quoted(candidate.edits[j].describe());
+    }
+    out += "], \"ground_truth\": " +
+           quoted(to_string(candidate.ground_truth)) +
+           ", \"stable_assignments\": " +
+           std::to_string(candidate.stable_assignments) +
+           ", \"spvp_converged\": ";
+    out += candidate.spvp_converged ? "true" : "false";
+    out += "}";
+    out += i + 1 < report.repairs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string render_text(const RepairReport& report) {
+  char buf[256];
+  std::string out = "==== repair report: " + report.instance + " ====\n";
+  if (report.already_safe) {
+    out += "already provably safe; nothing to repair\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf), "minimal unsat core (%zu constraints):\n",
+                report.initial_core.size());
+  out += buf;
+  for (const ConstraintProvenance& prov : report.initial_core) {
+    out += "  - " + prov.description + "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "search: %zu candidates, %zu solver checks, %zu cores, "
+                "%zu engine rebuilds, %.2f ms%s\n",
+                report.candidates_checked, report.solver_checks,
+                report.cores_seen, report.engine_rebuilds, report.wall_ms,
+                report.budget_exhausted ? " (budget exhausted)" : "");
+  out += buf;
+  if (!report.repaired()) {
+    out += "no repair found within the edit budget\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf), "repaired: %zu minimal fix(es) of size %zu\n",
+                report.repairs.size(), report.repairs.front().edits.size());
+  out += buf;
+  for (std::size_t i = 0; i < report.repairs.size(); ++i) {
+    const RepairCandidate& candidate = report.repairs[i];
+    out += "  " + std::to_string(i + 1) + ". " + candidate.describe();
+    out += "  [" + std::string(to_string(candidate.ground_truth));
+    if (candidate.ground_truth != GroundTruth::not_applicable) {
+      std::snprintf(buf, sizeof(buf), ", %zu stable assignment(s), spvp %s",
+                    candidate.stable_assignments,
+                    candidate.spvp_converged ? "converged" : "diverged");
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace fsr::repair

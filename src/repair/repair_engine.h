@@ -1,0 +1,140 @@
+// Counterexample-guided policy repair (closing the paper's Section VI-B
+// pinpointing loop).
+//
+// Given an SPP instance that is not provably safe, the engine:
+//
+//   1. encodes it once into an IncrementalSafetySession and takes the
+//      minimal unsat core of the strict-monotonicity check — the
+//      counterexample: the dispute cycle's policy constraints;
+//   2. derives candidate edits from the core (drop a permitted path,
+//      demote a path in its node's ranking, relax one strict constraint);
+//   3. re-checks every candidate against the SHARED solver session —
+//      untouched constraints stay in the incremental engine's base, so a
+//      re-check costs the candidate's delta, not a rebuild;
+//   4. when a candidate is still unsat, its new core seeds further edits
+//      (breadth-first, up to max_edits), so every explored edit is
+//      justified by some counterexample;
+//   5. cross-validates solver-safe candidates against ground truth:
+//      enumerate_stable_assignments must find a stable state and repeated
+//      simulate_spvp runs must converge;
+//   6. returns all fixes of minimal edit size, ranked (ground-truth
+//      verified first, then least destructive edit kinds).
+//
+// Thread-compatibility: a RepairEngine holds only immutable options;
+// repair() builds its session and bookkeeping per call, so one engine MAY
+// be shared by concurrent callers and distinct engines are fully
+// independent — the same contract as SafetyAnalyzer, which is how the
+// campaign runner keeps its one-solver-session-per-worker invariant with
+// repair enabled (each worker's repair call owns its private session).
+#ifndef FSR_REPAIR_REPAIR_ENGINE_H
+#define FSR_REPAIR_REPAIR_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsr/safety_analyzer.h"
+#include "repair/edit.h"
+#include "spp/spp.h"
+
+namespace fsr::repair {
+
+/// How a solver-safe candidate fared against the SPP ground truth.
+enum class GroundTruth {
+  verified,        // >= 1 stable assignment and every SPVP trial converged
+  failed,          // ground truth contradicted the solver verdict
+  not_applicable,  // candidate includes constraint-level (relax) edits, or
+                   // the instance was too large to enumerate
+};
+
+const char* to_string(GroundTruth truth) noexcept;
+
+struct RepairCandidate {
+  std::vector<PolicyEdit> edits;  // sorted by describe(); the edit set
+  bool solver_safe = false;
+  GroundTruth ground_truth = GroundTruth::not_applicable;
+  std::size_t stable_assignments = 0;  // when ground truth ran
+  bool spvp_converged = false;         // when ground truth ran
+
+  std::string describe() const;  // "demote 1-2-0 at 1" or joined edits
+};
+
+struct RepairOptions {
+  /// Maximum edits per candidate (search depth). The engine stops at the
+  /// first depth that yields any repair, so this is a cap, not a target.
+  std::size_t max_edits = 2;
+  /// Budget on solver re-checks across the whole search.
+  std::size_t max_checks = 512;
+  /// Use the shared incremental session (false = from-scratch ablation).
+  bool use_incremental = true;
+  /// Explore constraint-level relax edits (solver-verified only).
+  bool allow_relax = true;
+  /// State cap handed to enumerate_stable_assignments; larger instances
+  /// skip enumeration and report GroundTruth::not_applicable. Enumeration
+  /// is exponential in instance size, so this bounds per-candidate cost.
+  std::uint64_t ground_truth_max_states = 1u << 17;
+  std::uint64_t spvp_max_activations = 20000;
+  int spvp_trials = 3;
+};
+
+struct RepairReport {
+  std::string instance;
+  bool already_safe = false;
+  /// The original counterexample: minimal core of the unedited instance.
+  std::vector<ConstraintProvenance> initial_core;
+  /// Successful candidates at the minimal edit size, ranked best-first.
+  std::vector<RepairCandidate> repairs;
+  std::size_t candidates_checked = 0;
+  std::size_t solver_checks = 0;
+  std::size_t cores_seen = 0;       // distinct counterexamples encountered
+  std::size_t engine_rebuilds = 0;  // incremental-base rebuilds (ablation: 0)
+  bool budget_exhausted = false;    // max_checks hit before the search ended
+  double wall_ms = 0.0;
+
+  bool repaired() const noexcept { return !repairs.empty(); }
+  const RepairCandidate* best() const noexcept {
+    return repairs.empty() ? nullptr : &repairs.front();
+  }
+};
+
+/// Deterministic fields only (no wall-clock data), in candidate rank order.
+std::string to_json(const RepairReport& report);
+/// Human-facing rendering, timings included.
+std::string render_text(const RepairReport& report);
+
+class RepairEngine {
+ public:
+  RepairEngine() : RepairEngine(RepairOptions()) {}
+  explicit RepairEngine(RepairOptions options) : options_(options) {}
+
+  const RepairOptions& options() const noexcept { return options_; }
+
+  /// Runs the repair loop. `seed` drives only the SPVP ground-truth trials
+  /// (the search itself is deterministic in the instance), so a report's
+  /// deterministic fields are a pure function of (instance, options, seed).
+  RepairReport repair(const spp::SppInstance& instance,
+                      std::uint64_t seed = 1) const;
+
+ private:
+  RepairOptions options_;
+};
+
+/// The compact per-scenario digest the campaign layer embeds in outcomes
+/// and reports. All fields are deterministic.
+struct RepairSummary {
+  bool attempted = false;
+  bool solver_repaired = false;  // some candidate made the solver say safe
+  bool verified = false;         // the best candidate is ground-truthed
+  std::size_t edit_count = 0;    // best candidate's edit count
+  std::vector<std::string> edits;  // best candidate's edit descriptions
+  std::size_t candidates_checked = 0;
+  std::size_t solver_checks = 0;
+  std::string error;  // non-empty when the repair attempt itself threw
+};
+
+RepairSummary summarize(const RepairReport& report);
+
+}  // namespace fsr::repair
+
+#endif  // FSR_REPAIR_REPAIR_ENGINE_H

@@ -1,6 +1,7 @@
 #include "smt/context.h"
 
 #include <algorithm>
+#include <set>
 
 #include "smt/linear.h"
 #include "util/error.h"
@@ -43,6 +44,7 @@ void Context::declare_variable(const std::string& name,
   const auto index = static_cast<std::int32_t>(variables_.size() + 1);
   variables_.push_back(VariableInfo{name, lower_bound});
   variable_ids_.emplace(name, index);
+  ++base_revision_;
 }
 
 bool Context::has_variable(const std::string& name) const {
@@ -57,9 +59,26 @@ std::int32_t Context::variable_index(const std::string& name) const {
   return it->second;
 }
 
+std::size_t Context::index_for(AssertionId id, const char* who) const {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end()) {
+    throw InvalidArgument(std::string(who) + ": unknown assertion id");
+  }
+  return it->second;
+}
+
+Context::AssertionInfo& Context::info_for(AssertionId id, const char* who) {
+  return assertions_[index_for(id, who)];
+}
+
+const Context::AssertionInfo& Context::info_for(AssertionId id,
+                                                const char* who) const {
+  return assertions_[index_for(id, who)];
+}
+
 AssertionId Context::assert_term(const Term& term, std::string label) {
   AssertionInfo info;
-  info.id = static_cast<AssertionId>(assertions_.size());
+  info.id = next_id_;
   info.label = std::move(label);
   info.text = term.to_string();
 
@@ -71,6 +90,10 @@ AssertionId Context::assert_term(const Term& term, std::string label) {
     throw InvalidArgument("assertion must be a relation or forall: " +
                           info.text);
   }
+  ++next_id_;
+  id_to_index_.emplace(info.id, assertions_.size());
+  if (info.trivially_false) ++active_trivial_count_;
+  if (scopes_.empty()) ++base_revision_;  // base-level assert grows the base
   assertions_.push_back(std::move(info));
   return assertions_.back().id;
 }
@@ -94,11 +117,71 @@ AssertionId Context::assert_equal(const std::string& lhs,
                      std::move(label));
 }
 
-void Context::retract(AssertionId id) {
-  if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
-    throw InvalidArgument("retract: unknown assertion id");
+void Context::record_flag_change(AssertionId id, bool previous) {
+  if (!scopes_.empty()) {
+    scopes_.back().flag_changes.emplace_back(id, previous);
   }
-  assertions_[static_cast<std::size_t>(id)].active = false;
+}
+
+void Context::retract(AssertionId id) {
+  AssertionInfo& info = info_for(id, "retract");
+  if (info.active) {
+    record_flag_change(id, true);
+    info.active = false;
+    if (info.trivially_false) --active_trivial_count_;
+    ++base_revision_;
+  }
+}
+
+void Context::reassert(AssertionId id) {
+  AssertionInfo& info = info_for(id, "reassert");
+  if (!info.active) {
+    record_flag_change(id, false);
+    info.active = true;
+    if (info.trivially_false) ++active_trivial_count_;
+    ++base_revision_;
+  }
+}
+
+bool Context::is_active(AssertionId id) const {
+  return info_for(id, "is_active").active;
+}
+
+void Context::push() {
+  ScopeInfo scope;
+  scope.assertion_count = assertions_.size();
+  scopes_.push_back(std::move(scope));
+}
+
+void Context::pop() {
+  if (scopes_.empty()) {
+    throw InvalidArgument("pop without matching push");
+  }
+  ScopeInfo scope = std::move(scopes_.back());
+  scopes_.pop_back();
+  // Undo flag flips in reverse order; skip ids of assertions that were both
+  // created and flipped inside the scope (they are about to be removed).
+  for (auto it = scope.flag_changes.rbegin(); it != scope.flag_changes.rend();
+       ++it) {
+    const auto found = id_to_index_.find(it->first);
+    if (found == id_to_index_.end()) continue;
+    if (found->second >= scope.assertion_count) continue;
+    AssertionInfo& info = assertions_[found->second];
+    if (info.active != it->second && info.trivially_false) {
+      it->second ? ++active_trivial_count_ : --active_trivial_count_;
+    }
+    info.active = it->second;
+  }
+  while (assertions_.size() > scope.assertion_count) {
+    const AssertionInfo& info = assertions_.back();
+    if (info.active && info.trivially_false) --active_trivial_count_;
+    id_to_index_.erase(info.id);
+    assertions_.pop_back();
+  }
+  // Scope-created assertions are never part of the engine base, so a pop
+  // only invalidates it when it restored retract/reassert flips (which may
+  // touch base assertions).
+  if (!scope.flag_changes.empty()) ++base_revision_;
 }
 
 // Lowers `lhs REL rhs` into difference constraints over variable indices.
@@ -274,12 +357,180 @@ CheckResult Context::check_subset(const std::vector<AssertionId>& ids) const {
   std::vector<const AssertionInfo*> active;
   active.reserve(ids.size());
   for (const AssertionId id : ids) {
-    if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
-      throw InvalidArgument("check_subset: unknown assertion id");
-    }
-    active.push_back(&assertions_[static_cast<std::size_t>(id)]);
+    active.push_back(&info_for(id, "check_subset"));
   }
   return run_check(active);
+}
+
+// Rebuilds or extends the cached incremental engine so its base equals the
+// active assertions below the outermost live scope (plus type constraints).
+// A base that changed by anything other than additions forces a rebuild.
+void Context::sync_engine_base() {
+  // Fast path: nothing that can affect the base changed since last sync.
+  if (engine_synced_once_ && engine_base_revision_ == base_revision_) return;
+
+  const std::size_t floor =
+      scopes_.empty() ? assertions_.size()
+                      : std::min(scopes_.front().assertion_count,
+                                 assertions_.size());
+  std::vector<AssertionId> base;
+  base.reserve(floor);
+  for (std::size_t i = 0; i < floor; ++i) {
+    if (assertions_[i].active) base.push_back(assertions_[i].id);
+  }
+
+  bool reuse = engine_.has_value();
+  if (reuse) {
+    const std::set<AssertionId> current(base.begin(), base.end());
+    for (const AssertionId id : engine_base_ids_) {
+      if (!current.contains(id)) {
+        reuse = false;
+        break;
+      }
+    }
+  }
+  if (!reuse) {
+    ++stat_engine_rebuilds_;
+    engine_.emplace(1);
+    engine_base_ids_.clear();
+    engine_variable_count_ = 0;
+  }
+
+  // Grow variables. Seeding each new variable at potential(0) + bound makes
+  // the type-constraint add a zero-slack no-op.
+  for (std::size_t v = engine_variable_count_; v < variables_.size(); ++v) {
+    const VariableInfo& info = variables_[v];
+    const std::int64_t zero = engine_->potential(0);
+    engine_->add_variable(info.lower_bound.has_value() ? zero + *info.lower_bound
+                                                       : zero);
+    if (info.lower_bound.has_value()) {
+      engine_->add(DiffConstraint{0, static_cast<std::int32_t>(v + 1),
+                                  -*info.lower_bound, k_builtin_tag});
+    }
+  }
+  engine_variable_count_ = variables_.size();
+
+  // Add base assertions the engine has not seen yet. Once the base turns
+  // infeasible the remaining constraints are recorded without solving; the
+  // stored conflict stands for every later check until the base changes.
+  const std::set<AssertionId> synced(engine_base_ids_.begin(),
+                                     engine_base_ids_.end());
+  for (const AssertionId id : base) {
+    if (synced.contains(id)) continue;
+    const AssertionInfo& a = info_for(id, "check");
+    for (const DiffConstraint& c : a.constraints) engine_->add(c);
+    engine_base_ids_.push_back(id);
+  }
+  engine_base_revision_ = base_revision_;
+  engine_synced_once_ = true;
+}
+
+CheckResult Context::finish_unsat_from_engine(
+    const std::vector<const AssertionInfo*>& assumed) {
+  CheckResult result;
+  result.status = Status::unsat;
+  std::vector<AssertionId> candidate;
+  for (const std::int64_t tag : engine_->conflict_tags()) {
+    if (tag != k_builtin_tag) candidate.push_back(tag);
+  }
+  if (candidate.empty()) {
+    // Degenerate fallback (cannot normally happen): over-approximate with
+    // everything considered and let the minimiser reduce it.
+    for (const AssertionInfo& a : assertions_) {
+      if (a.active) candidate.push_back(a.id);
+    }
+    for (const AssertionInfo* a : assumed) {
+      if (!a->active) candidate.push_back(a->id);
+    }
+  }
+  result.unsat_core =
+      minimize_cores_ ? minimize_core(std::move(candidate)) : candidate;
+  return result;
+}
+
+CheckResult Context::check(const std::vector<AssertionId>& assumptions,
+                           bool extract_model) {
+  ++stat_incremental_checks_;
+
+  // Validate assumptions before touching solver state.
+  std::vector<const AssertionInfo*> assumed;
+  assumed.reserve(assumptions.size());
+  for (const AssertionId id : assumptions) {
+    assumed.push_back(&info_for(id, "check"));
+  }
+
+  // Decided-false assertions mirror run_check: actives in assertion order
+  // first, then the assumptions. The counter keeps the no-hit case O(1).
+  CheckResult result;
+  if (active_trivial_count_ > 0) {
+    for (const AssertionInfo& a : assertions_) {
+      if (a.active && a.trivially_false) {
+        result.status = Status::unsat;
+        result.unsat_core = {a.id};
+        return result;
+      }
+    }
+  }
+  for (const AssertionInfo* a : assumed) {
+    if (a->trivially_false) {
+      result.status = Status::unsat;
+      result.unsat_core = {a->id};
+      return result;
+    }
+  }
+
+  sync_engine_base();
+
+  if (!engine_->feasible()) {
+    // The always-active base is already unsatisfiable; its recorded
+    // conflict answers every check until the base changes.
+    return finish_unsat_from_engine(assumed);
+  }
+
+  // Layer scope-local actives and assumptions on the shared base.
+  const std::size_t floor =
+      scopes_.empty() ? assertions_.size()
+                      : std::min(scopes_.front().assertion_count,
+                                 assertions_.size());
+  engine_->push();
+  bool feasible = true;
+  std::set<AssertionId> layered;
+  for (std::size_t i = floor; i < assertions_.size() && feasible; ++i) {
+    const AssertionInfo& a = assertions_[i];
+    if (!a.active) continue;
+    layered.insert(a.id);
+    for (const DiffConstraint& c : a.constraints) {
+      if (!engine_->add(c)) {
+        feasible = false;
+        break;
+      }
+    }
+  }
+  for (const AssertionInfo* a : assumed) {
+    if (!feasible) break;
+    if (a->active) continue;  // already part of the base or scoped layer
+    if (!layered.insert(a->id).second) continue;
+    for (const DiffConstraint& c : a->constraints) {
+      if (!engine_->add(c)) {
+        feasible = false;
+        break;
+      }
+    }
+  }
+
+  if (feasible) {
+    result.status = Status::sat;
+    if (extract_model) {
+      const std::vector<std::int64_t> values = engine_->model();
+      for (std::size_t v = 0; v < variables_.size(); ++v) {
+        result.model.values[variables_[v].name] = values[v + 1];
+      }
+    }
+  } else {
+    result = finish_unsat_from_engine(assumed);
+  }
+  engine_->pop();
+  return result;
 }
 
 CheckResult Context::run_check(
@@ -361,10 +612,7 @@ std::vector<AssertionId> Context::minimize_core(
 }
 
 std::string Context::describe(AssertionId id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= assertions_.size()) {
-    throw InvalidArgument("describe: unknown assertion id");
-  }
-  const AssertionInfo& a = assertions_[static_cast<std::size_t>(id)];
+  const AssertionInfo& a = info_for(id, "describe");
   return a.label.empty() ? a.text : a.label;
 }
 

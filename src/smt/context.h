@@ -28,12 +28,17 @@ namespace fsr::smt {
 
 enum class Status { sat, unsat };
 
-/// Identifier returned by assert_term; stable across retracts.
+/// Identifier returned by assert_term. Ids are drawn from a monotonically
+/// increasing counter that is never reused, so an id stays stable across
+/// retracts, reasserts and scope pops (an id popped out of existence is
+/// simply rejected by later calls, never recycled for a new assertion).
 using AssertionId = std::int64_t;
 
-/// Variable assignment for a satisfiable check. Values are normalised so
-/// they are as small as the constraints allow (shortest-path potentials),
-/// which matches the instances Yices prints for FSR's encodings.
+/// Variable assignment for a satisfiable check. check() values are
+/// normalised so they are as small as the constraints allow (shortest-path
+/// potentials), which matches the instances Yices prints for FSR's
+/// encodings. The incremental check(assumptions) returns a feasible
+/// witness that need not be that minimal assignment.
 struct Model {
   std::map<std::string, std::int64_t> values;
 
@@ -49,12 +54,14 @@ struct CheckResult {
 /// An assertion context in the style of an SMT solver session.
 ///
 /// Thread-compatibility: a Context is a mutable single-thread object — no
-/// internal synchronization, and even the logically-const check() methods
-/// build solver state from the assertion store, so a Context must be
-/// confined to one thread at a time. There is NO hidden global/static
-/// state anywhere in the smt layer (audited 2026-07), so distinct Context
-/// instances on distinct threads never interfere; that is the contract
-/// the parallel campaign runner relies on (one solver session per worker).
+/// internal synchronization; the logically-const check() methods build
+/// solver state from the assertion store, and the incremental
+/// check(assumptions) additionally mutates a cached IncrementalDiffEngine —
+/// so a Context must be confined to one thread at a time. There is NO
+/// hidden global/static state anywhere in the smt layer (audited 2026-07),
+/// so distinct Context instances on distinct threads never interfere; that
+/// is the contract the parallel campaign runner relies on (one solver
+/// session per worker).
 ///
 /// Usage:
 ///   Context ctx;
@@ -69,7 +76,8 @@ class Context {
   /// a *type* constraint: always active, never reported in unsat cores,
   /// exactly like a Yices subtype bound. FSR's signatures are subtypes of
   /// nat with n > 0, hence the default bound of 1; pass 0 for `nat` and
-  /// std::nullopt for unbounded `int`.
+  /// std::nullopt for unbounded `int`. Declarations are NOT scoped: pop()
+  /// discards scope-local assertions but keeps every declared variable.
   void declare_variable(const std::string& name,
                         std::optional<std::int64_t> lower_bound = 1);
 
@@ -93,8 +101,35 @@ class Context {
   /// the iterative repair workflow described in Section IV-B).
   void retract(AssertionId id);
 
-  /// Checks the conjunction of all active assertions.
+  /// Re-activates a previously retracted assertion under its original id.
+  void reassert(AssertionId id);
+
+  bool is_active(AssertionId id) const;
+
+  /// Opens an assertion scope. pop() removes every assertion made since the
+  /// matching push() and undoes retract/reassert flips performed inside the
+  /// scope. The repair engine layers per-candidate constraints this way on
+  /// a shared base session.
+  void push();
+  void pop();
+  std::size_t scope_depth() const noexcept { return scopes_.size(); }
+
+  /// Checks the conjunction of all active assertions. Always solves from
+  /// scratch (and therefore yields the normalised minimal model).
   CheckResult check() const;
+
+  /// Incremental check of (all active assertions) AND (the given
+  /// assumptions, activated for this call regardless of retraction).
+  /// Reuses a cached incremental difference engine across calls: the
+  /// engine's base holds the active assertions below the outermost live
+  /// scope, so repeated checks that only vary assumptions or scope-local
+  /// assertions never rebuild it. The unsat core may name both active
+  /// assertions and assumptions and is minimised as usual.
+  /// `extract_model = false` skips model construction on sat — callers that
+  /// only branch on the status (the repair loop) save the O(variables)
+  /// map-building cost per check.
+  CheckResult check(const std::vector<AssertionId>& assumptions,
+                    bool extract_model = true);
 
   /// Checks only the given assertions (plus type constraints). Used by the
   /// core minimiser and exposed for tests and ablation benchmarks.
@@ -111,6 +146,14 @@ class Context {
   /// negative-cycle seed; when false the raw cycle is returned. Exposed so
   /// the ablation benchmark can measure the cost/benefit.
   void set_minimize_cores(bool on) noexcept { minimize_cores_ = on; }
+
+  /// Instrumentation for the incremental path (bench_repair's ablation).
+  std::uint64_t incremental_check_count() const noexcept {
+    return stat_incremental_checks_;
+  }
+  std::uint64_t incremental_rebuild_count() const noexcept {
+    return stat_engine_rebuilds_;
+  }
 
  private:
   struct VariableInfo {
@@ -130,17 +173,52 @@ class Context {
     std::vector<DiffConstraint> constraints;
   };
 
+  struct ScopeInfo {
+    std::size_t assertion_count = 0;
+    // (id, previous active flag) for every retract/reassert in the scope,
+    // in application order; pop() replays them in reverse.
+    std::vector<std::pair<AssertionId, bool>> flag_changes;
+  };
+
   std::int32_t variable_index(const std::string& name) const;
+  std::size_t index_for(AssertionId id, const char* who) const;
+  AssertionInfo& info_for(AssertionId id, const char* who);
+  const AssertionInfo& info_for(AssertionId id, const char* who) const;
+  void record_flag_change(AssertionId id, bool previous);
   void lower_relation(const Term& term, AssertionInfo& out) const;
   void lower_forall(const Term& term, AssertionInfo& out) const;
   CheckResult run_check(const std::vector<const AssertionInfo*>& active) const;
   std::vector<AssertionId> minimize_core(
       std::vector<AssertionId> candidate) const;
+  void sync_engine_base();
+  CheckResult finish_unsat_from_engine(
+      const std::vector<const AssertionInfo*>& considered);
 
   std::vector<VariableInfo> variables_;
   std::map<std::string, std::int32_t> variable_ids_;
   std::vector<AssertionInfo> assertions_;
+  std::map<AssertionId, std::size_t> id_to_index_;
+  AssertionId next_id_ = 0;
+  std::vector<ScopeInfo> scopes_;
   bool minimize_cores_ = true;
+  // Count of active decided-false assertions, so the incremental check's
+  // hot path skips the O(n) scan when (as almost always) there are none.
+  std::size_t active_trivial_count_ = 0;
+  // Bumped by every mutation that can change the engine base (declares,
+  // base-level asserts, flag flips, pops); when unchanged since the last
+  // sync, check(assumptions) skips base recomputation entirely.
+  std::uint64_t base_revision_ = 0;
+
+  // Cached incremental engine (see check(assumptions)). base_ids_ lists the
+  // active below-scope assertions synced into the engine; a base change
+  // that is not a pure addition forces a rebuild.
+  std::optional<IncrementalDiffEngine> engine_;
+  std::vector<AssertionId> engine_base_ids_;
+  std::size_t engine_variable_count_ = 0;
+  std::uint64_t engine_base_revision_ = 0;
+  bool engine_synced_once_ = false;
+  std::uint64_t stat_incremental_checks_ = 0;
+  std::uint64_t stat_engine_rebuilds_ = 0;
 };
 
 }  // namespace fsr::smt

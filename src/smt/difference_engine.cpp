@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 
 #include "util/error.h"
 
@@ -124,6 +125,140 @@ DiffResult solve_difference_system(
   result.satisfiable = false;
   result.conflict_tags = std::move(unique_tags);
   return result;
+}
+
+IncrementalDiffEngine::IncrementalDiffEngine(std::int32_t variable_count) {
+  if (variable_count <= 0) {
+    throw InvalidArgument("incremental engine needs at least one variable");
+  }
+  potentials_.assign(static_cast<std::size_t>(variable_count), 0);
+  out_.resize(static_cast<std::size_t>(variable_count));
+}
+
+std::int32_t IncrementalDiffEngine::add_variable(std::int64_t potential) {
+  const auto index = static_cast<std::int32_t>(potentials_.size());
+  potentials_.push_back(potential);
+  out_.emplace_back();
+  return index;
+}
+
+std::int64_t IncrementalDiffEngine::potential(std::int32_t variable) const {
+  if (variable < 0 || variable >= variable_count()) {
+    throw InvalidArgument("incremental engine: unknown variable");
+  }
+  return potentials_[static_cast<std::size_t>(variable)];
+}
+
+bool IncrementalDiffEngine::add(const DiffConstraint& constraint) {
+  if (constraint.minuend < 0 || constraint.minuend >= variable_count() ||
+      constraint.subtrahend < 0 || constraint.subtrahend >= variable_count()) {
+    throw InvalidArgument("difference constraint references unknown variable");
+  }
+  const auto u = static_cast<std::size_t>(constraint.subtrahend);
+  const auto v = static_cast<std::size_t>(constraint.minuend);
+  const auto edge_index = static_cast<std::int32_t>(edges_.size());
+  edges_.push_back(Edge{constraint.subtrahend, constraint.minuend,
+                        constraint.bound, constraint.tag});
+  out_[u].push_back(edge_index);
+
+  // Once infeasible the conflict is already recorded; later additions are
+  // kept (so pop() bookkeeping stays simple) but not solved.
+  if (!feasible_) return false;
+
+  const std::int64_t slack = potentials_[u] + constraint.bound - potentials_[v];
+  if (slack >= 0) return true;
+
+  // Cotton-Maler repair: Dijkstra on reduced costs from the edge's target.
+  // gamma[x] is the (negative) amount potentials_[x] must still decrease;
+  // popping the edge's *source* with a negative gamma means the new edge
+  // closes a negative cycle.
+  const std::size_t n = potentials_.size();
+  std::vector<std::int64_t> gamma(n, 0);
+  std::vector<std::int32_t> parent_edge(n, -1);
+  std::vector<char> settled(n, 0);
+  using QueueEntry = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  gamma[v] = slack;
+  parent_edge[v] = edge_index;
+  queue.emplace(slack, v);
+
+  while (!queue.empty()) {
+    const auto [g, s] = queue.top();
+    queue.pop();
+    if (settled[s] != 0 || g != gamma[s]) continue;  // stale entry
+    if (gamma[s] >= 0) break;
+    if (s == u) {
+      // Negative cycle: the new edge plus the parent-edge path back to it.
+      feasible_ = false;
+      conflict_tags_.clear();
+      std::size_t cursor = u;
+      do {
+        const Edge& edge = edges_[static_cast<std::size_t>(parent_edge[cursor])];
+        if (std::find(conflict_tags_.begin(), conflict_tags_.end(),
+                      edge.tag) == conflict_tags_.end()) {
+          conflict_tags_.push_back(edge.tag);
+        }
+        cursor = static_cast<std::size_t>(edge.from);
+      } while (cursor != u);
+      return false;
+    }
+    settled[s] = 1;
+    potentials_[s] += gamma[s];
+    gamma[s] = 0;
+    for (const std::int32_t e : out_[s]) {
+      const Edge& edge = edges_[static_cast<std::size_t>(e)];
+      const auto t = static_cast<std::size_t>(edge.to);
+      if (settled[t] != 0) continue;
+      const std::int64_t candidate =
+          potentials_[s] + edge.weight - potentials_[t];
+      if (candidate < gamma[t]) {
+        gamma[t] = candidate;
+        parent_edge[t] = e;
+        queue.emplace(candidate, t);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::int64_t> IncrementalDiffEngine::model() const {
+  if (!feasible_) {
+    throw InvalidArgument("incremental engine is infeasible; no model");
+  }
+  std::vector<std::int64_t> values(potentials_.size());
+  const std::int64_t shift = potentials_[0];
+  for (std::size_t v = 0; v < potentials_.size(); ++v) {
+    values[v] = potentials_[v] - shift;
+  }
+  return values;
+}
+
+void IncrementalDiffEngine::push() {
+  Scope scope;
+  scope.edge_count = edges_.size();
+  scope.var_count = potentials_.size();
+  scope.potentials = potentials_;
+  scope.feasible = feasible_;
+  scope.conflict_tags = conflict_tags_;
+  scopes_.push_back(std::move(scope));
+}
+
+void IncrementalDiffEngine::pop() {
+  if (scopes_.empty()) {
+    throw InvalidArgument("incremental engine: pop without matching push");
+  }
+  Scope scope = std::move(scopes_.back());
+  scopes_.pop_back();
+  while (edges_.size() > scope.edge_count) {
+    out_[static_cast<std::size_t>(edges_.back().from)].pop_back();
+    edges_.pop_back();
+  }
+  potentials_ = std::move(scope.potentials);
+  out_.resize(scope.var_count);
+  feasible_ = scope.feasible;
+  conflict_tags_ = std::move(scope.conflict_tags);
 }
 
 }  // namespace fsr::smt

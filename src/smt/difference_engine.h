@@ -53,6 +53,88 @@ struct DiffResult {
 DiffResult solve_difference_system(std::int32_t variable_count,
                                    const std::vector<DiffConstraint>& constraints);
 
+/// Incremental difference-logic engine (Cotton-Maler style).
+///
+/// Maintains a feasible potential function over the constraint graph so
+/// that each added constraint costs only a local Dijkstra-like repair on
+/// reduced costs — O(1) when the new edge is already satisfied — instead of
+/// the full O(V * E) Bellman-Ford pass solve_difference_system runs per
+/// call. push()/pop() snapshot the engine so a caller can layer temporary
+/// constraints (assumption-based checks, repair candidates) on a shared
+/// base without ever rebuilding it. This is what makes the repair engine's
+/// hundreds of near-identical re-checks cheap.
+///
+/// Thread-compatibility: a mutable single-thread object with no global
+/// state; distinct instances on distinct threads never interfere (same
+/// contract as Context, which owns one per solver session).
+class IncrementalDiffEngine {
+ public:
+  /// Starts with `variable_count` variables, all at potential 0. Callers
+  /// reserve variable 0 as the implicit zero variable.
+  explicit IncrementalDiffEngine(std::int32_t variable_count = 1);
+
+  std::int32_t variable_count() const noexcept {
+    return static_cast<std::int32_t>(potentials_.size());
+  }
+  std::size_t constraint_count() const noexcept { return edges_.size(); }
+
+  /// Adds a variable with the given initial potential and returns its
+  /// index. Choosing the potential so the variable's already-known bounds
+  /// hold (e.g. potential(0) + lower_bound before adding the type
+  /// constraint) makes the subsequent add() a no-repair fast path.
+  std::int32_t add_variable(std::int64_t potential);
+
+  std::int64_t potential(std::int32_t variable) const;
+
+  /// Adds a constraint and repairs the potential function. Returns false
+  /// when the constraint closes a negative cycle: the engine becomes
+  /// infeasible, conflict_tags() names the cycle, and it stays infeasible
+  /// (later adds are recorded but not solved) until the offending scope is
+  /// popped.
+  bool add(const DiffConstraint& constraint);
+
+  bool feasible() const noexcept { return feasible_; }
+
+  /// Tags of the constraints on the detected negative cycle, in cycle
+  /// order with duplicates removed. Meaningful only when !feasible().
+  const std::vector<std::int64_t>& conflict_tags() const noexcept {
+    return conflict_tags_;
+  }
+
+  /// A satisfying assignment (one value per variable, variable 0 at 0).
+  /// Unlike solve_difference_system's model this is a feasible witness,
+  /// not the minimal shortest-path assignment. Requires feasible().
+  std::vector<std::int64_t> model() const;
+
+  /// Snapshots constraints, potentials and feasibility; pop() restores the
+  /// snapshot exactly (constraints added in the scope are discarded).
+  void push();
+  void pop();
+  std::size_t scope_depth() const noexcept { return scopes_.size(); }
+
+ private:
+  struct Edge {
+    DiffVar from = 0;  // subtrahend
+    DiffVar to = 0;    // minuend:  to - from <= weight
+    std::int64_t weight = 0;
+    std::int64_t tag = 0;
+  };
+  struct Scope {
+    std::size_t edge_count = 0;
+    std::size_t var_count = 0;
+    std::vector<std::int64_t> potentials;
+    bool feasible = true;
+    std::vector<std::int64_t> conflict_tags;
+  };
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::int32_t>> out_;  // var -> indices into edges_
+  std::vector<std::int64_t> potentials_;
+  bool feasible_ = true;
+  std::vector<std::int64_t> conflict_tags_;
+  std::vector<Scope> scopes_;
+};
+
 }  // namespace fsr::smt
 
 #endif  // FSR_SMT_DIFFERENCE_ENGINE_H

@@ -116,10 +116,11 @@ SppInstance ibgp_figure3_fixed() {
   return instance;
 }
 
-SppInstance good_gadget_chain(std::int32_t count) {
-  if (count < 1) throw InvalidArgument("good_gadget_chain needs count >= 1");
-  SppInstance instance("good-gadget-chain");
-  for (std::int32_t k = 0; k < count; ++k) {
+namespace {
+
+void append_good_gadgets(SppInstance& instance, std::int32_t first,
+                         std::int32_t count) {
+  for (std::int32_t k = first; k < first + count; ++k) {
     const std::string suffix = "g" + std::to_string(k);
     const std::string n1 = "1" + suffix;
     const std::string n2 = "2" + suffix;
@@ -136,6 +137,34 @@ SppInstance good_gadget_chain(std::int32_t count) {
     instance.add_permitted_path({n3, "0"});
     instance.add_permitted_path({n3, n1, "0"});
   }
+}
+
+}  // namespace
+
+SppInstance good_gadget_chain(std::int32_t count) {
+  if (count < 1) throw InvalidArgument("good_gadget_chain needs count >= 1");
+  SppInstance instance("good-gadget-chain");
+  append_good_gadgets(instance, 0, count);
+  return instance;
+}
+
+SppInstance bad_gadget_chain(std::int32_t count) {
+  if (count < 1) throw InvalidArgument("bad_gadget_chain needs count >= 1");
+  SppInstance instance("bad-gadget-chain");
+  // The BAD gadget proper (nodes b1/b2/b3 to keep the chain's namespace).
+  instance.add_edge("b1", "0");
+  instance.add_edge("b2", "0");
+  instance.add_edge("b3", "0");
+  instance.add_edge("b1", "b2");
+  instance.add_edge("b2", "b3");
+  instance.add_edge("b3", "b1");
+  instance.add_permitted_path({"b1", "b2", "0"});
+  instance.add_permitted_path({"b1", "0"});
+  instance.add_permitted_path({"b2", "b3", "0"});
+  instance.add_permitted_path({"b2", "0"});
+  instance.add_permitted_path({"b3", "b1", "0"});
+  instance.add_permitted_path({"b3", "0"});
+  append_good_gadgets(instance, 0, count - 1);
   return instance;
 }
 

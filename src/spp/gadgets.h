@@ -52,6 +52,13 @@ SppInstance ibgp_figure3_fixed();
 /// that scales the number of gadgets.
 SppInstance good_gadget_chain(std::int32_t count);
 
+/// The BAD-gadget family: one BAD gadget plus `count - 1` independent GOOD
+/// gadgets sharing the destination. The instance grows linearly while the
+/// dispute cycle (and hence the minimal unsat core and the minimal repair)
+/// stays the BAD gadget's six constraints — the shape the repair engine's
+/// incremental re-checks are benchmarked on.
+SppInstance bad_gadget_chain(std::int32_t count);
+
 }  // namespace fsr::spp
 
 #endif  // FSR_SPP_GADGETS_H

@@ -2,6 +2,7 @@
 #ifndef FSR_UTIL_STRINGS_H
 #define FSR_UTIL_STRINGS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,18 @@ bool starts_with(std::string_view text, std::string_view prefix) noexcept;
 /// Formats a double with fixed precision (used by report printers so that
 /// benchmark output is stable across locales).
 std::string format_fixed(double value, int digits);
+
+/// Escapes `text` for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every JSON renderer so the
+/// escaping rules cannot drift between reports.
+std::string json_escape(const std::string& text);
+
+/// json_escape plus surrounding double quotes.
+std::string json_quoted(const std::string& text);
+
+/// 64-bit FNV-1a — the toolkit's one content-hash primitive (seed
+/// derivation, cache digests, repair trial seeds).
+std::uint64_t fnv1a64(const std::string& text);
 
 }  // namespace fsr::util
 

@@ -4,6 +4,7 @@
 // core contract), and the JSON/table renderers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "campaign/cache.h"
@@ -211,6 +212,106 @@ TEST(CampaignRunner, CacheCanBeDisabled) {
   EXPECT_EQ(second.cache_hit_count, 0u);
   EXPECT_GT(second.solved_count, 0u);
   EXPECT_EQ(runner.cache().size(), 0u);
+}
+
+// ----------------------------------------------------------------- repair --
+
+TEST(CampaignRunner, RepairReportBytesIdenticalForAnyThreadCount) {
+  const auto run_with_threads = [](int threads) {
+    std::vector<std::unique_ptr<ScenarioSource>> sources;
+    RepairTargetSweep sweep;
+    sweep.bad_chain_lengths = {2};
+    sweep.random_count = 3;
+    sources.push_back(repair_target_source(sweep));
+    CampaignOptions options;
+    options.seed = 11;
+    options.threads = threads;
+    options.attempt_repair = true;
+    CampaignRunner runner(options);
+    return to_json(runner.run(sources));
+  };
+  const std::string serial = run_with_threads(1);
+  EXPECT_EQ(serial, run_with_threads(4));
+  EXPECT_NE(serial.find("\"repair_summary\""), std::string::npos);
+  EXPECT_NE(serial.find("\"repair\": {\"solver_repaired\": true"),
+            std::string::npos);
+}
+
+TEST(CampaignRunner, RepairAggregatesAndHistogram) {
+  std::vector<std::unique_ptr<ScenarioSource>> sources;
+  RepairTargetSweep sweep;
+  sweep.bad_chain_lengths = {2};
+  sweep.random_count = 0;
+  sources.push_back(repair_target_source(sweep));
+  CampaignOptions options;
+  options.attempt_repair = true;
+  CampaignRunner runner(options);
+  const CampaignReport report = runner.run(sources);
+
+  const SourceSummary totals = report.totals();
+  // bad, disagree, ibgp-figure3, bad-chain-2: all unsafe, all repairable.
+  EXPECT_EQ(totals.repairs_attempted, 4u);
+  EXPECT_EQ(totals.repaired, 4u);
+  EXPECT_EQ(totals.repair_verified, 4u);
+  const auto histogram = report.repair_edit_size_histogram();
+  ASSERT_EQ(histogram.size(), 2u);  // every best fix is a single edit
+  EXPECT_EQ(histogram[1], 4u);
+
+  const std::string table = render_table(report);
+  EXPECT_NE(table.find("repaired/attempted"), std::string::npos);
+  EXPECT_NE(table.find("repair edit-size histogram"), std::string::npos);
+}
+
+TEST(CampaignRunner, RepairOffLeavesReportUnchanged) {
+  std::vector<std::unique_ptr<ScenarioSource>> sources;
+  sources.push_back(gadget_source());
+  CampaignRunner runner;
+  const CampaignReport report = runner.run(sources);
+  EXPECT_EQ(report.totals().repairs_attempted, 0u);
+  const std::string json = to_json(report);
+  EXPECT_EQ(json.find("repair"), std::string::npos);
+  EXPECT_TRUE(report.repair_edit_size_histogram().empty());
+}
+
+TEST(Cache, RepairModeSeparatesKeys) {
+  Scenario safety;
+  safety.id = "x";
+  safety.kind = ScenarioKind::safety;
+  safety.seed = 7;
+  safety.spp = std::make_shared<const spp::SppInstance>(spp::bad_gadget());
+  // Outcomes with repair data must not alias plain safety outcomes, but
+  // repair results are content-determined (SPVP trials seeded from the
+  // content digest), so the repair key stays seed-free and duplicates
+  // still dedup.
+  EXPECT_NE(scenario_cache_key(safety, true), scenario_cache_key(safety, false));
+  EXPECT_EQ(scenario_cache_key(safety, false), scenario_cache_key(safety));
+  Scenario reseeded = safety;
+  reseeded.seed = 8;
+  EXPECT_EQ(scenario_cache_key(safety, true),
+            scenario_cache_key(reseeded, true));
+  EXPECT_EQ(scenario_cache_key(safety, false),
+            scenario_cache_key(reseeded, false));
+
+  // Algebra scenarios are not repair-eligible; their key is mode-invariant.
+  Scenario algebra_scenario;
+  algebra_scenario.id = "alg";
+  algebra_scenario.kind = ScenarioKind::safety;
+  algebra_scenario.algebra = algebra::gao_rexford_guideline_a();
+  EXPECT_EQ(scenario_cache_key(algebra_scenario, true),
+            scenario_cache_key(algebra_scenario, false));
+}
+
+TEST(ScenarioSource, RepairTargetsSourceIsRegistered) {
+  const auto& names = builtin_source_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "repair-targets"),
+            names.end());
+  const auto source = make_builtin_source("repair-targets", false);
+  const std::vector<Scenario> scenarios = source->generate(1, 0);
+  EXPECT_GE(scenarios.size(), 7u);
+  for (const Scenario& scenario : scenarios) {
+    EXPECT_EQ(scenario.kind, ScenarioKind::safety);
+    EXPECT_NE(scenario.spp, nullptr);
+  }
 }
 
 // ------------------------------------------------------------- robustness --

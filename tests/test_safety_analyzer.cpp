@@ -12,11 +12,13 @@
 // against each other.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "algebra/additive_algebra.h"
 #include "algebra/lexical_product.h"
 #include "algebra/standard_policies.h"
+#include "fsr/incremental_session.h"
 #include "fsr/safety_analyzer.h"
 #include "spp/gadgets.h"
 #include "spp/translate.h"
@@ -225,6 +227,117 @@ TEST(SafetyAnalyzer, NarrativeSuggestsCompositionForMonotoneAlgebras) {
   const auto report =
       textual_analyzer().analyze(*algebra::gao_rexford_guideline_a());
   EXPECT_NE(report.narrative.find("tie-breaker"), std::string::npos);
+}
+
+// Unsat-core *minimality* on the gadget library: every reported core
+// element is necessary — removing any single one flips the check to sat.
+TEST(SafetyAnalyzer, GadgetLibraryCoresAreMinimal) {
+  const std::vector<spp::SppInstance> unsafe_gadgets = {
+      spp::bad_gadget(), spp::disagree_gadget(), spp::ibgp_figure3_gadget()};
+  for (const spp::SppInstance& gadget : unsafe_gadgets) {
+    const auto algebra = spp::algebra_from_spp(gadget);
+    IncrementalSafetySession session =
+        SafetyAnalyzer::open_incremental(*algebra, MonotonicityMode::strict);
+    const auto full = session.check({});
+    ASSERT_FALSE(full.holds) << gadget.name();
+    ASSERT_FALSE(full.core.empty()) << gadget.name();
+
+    // The core must itself be unsatisfiable even with everything else
+    // removed, and minimal: dropping any one member restores sat.
+    std::vector<std::size_t> non_core;
+    for (std::size_t i = 0; i < session.constraint_count(); ++i) {
+      if (std::find(full.core.begin(), full.core.end(), i) ==
+          full.core.end()) {
+        non_core.push_back(i);
+      }
+    }
+    std::vector<std::size_t> everything(session.constraint_count());
+    for (std::size_t i = 0; i < everything.size(); ++i) everything[i] = i;
+    session.make_variable(everything);
+    EXPECT_FALSE(session.check(full.core).holds) << gadget.name();
+    for (std::size_t i = 0; i < full.core.size(); ++i) {
+      std::vector<std::size_t> keep = non_core;
+      for (std::size_t j = 0; j < full.core.size(); ++j) {
+        if (j != i) keep.push_back(full.core[j]);
+      }
+      EXPECT_TRUE(session.check(keep).holds)
+          << gadget.name() << ": core element '"
+          << session.provenance(full.core[i]).description
+          << "' is not necessary";
+    }
+  }
+}
+
+// The incremental session must agree with the per-call analyzer pipelines
+// on every standard case: same verdicts, same core provenance.
+TEST(IncrementalSession, AgreesWithAnalyzer) {
+  const std::vector<algebra::AlgebraPtr> algebras = {
+      algebra::gao_rexford_guideline_a(),
+      spp::algebra_from_spp(spp::good_gadget()),
+      spp::algebra_from_spp(spp::bad_gadget()),
+      spp::algebra_from_spp(spp::disagree_gadget()),
+      spp::algebra_from_spp(spp::ibgp_figure3_gadget()),
+      spp::algebra_from_spp(spp::ibgp_figure3_fixed()),
+  };
+  for (const auto& algebra : algebras) {
+    const MonotonicityReport direct = direct_analyzer().check_monotonicity(
+        *algebra, MonotonicityMode::strict);
+    IncrementalSafetySession session =
+        SafetyAnalyzer::open_incremental(*algebra, MonotonicityMode::strict);
+    const auto result = session.check({});
+    EXPECT_EQ(result.holds, direct.holds) << algebra->name();
+    if (!result.holds) {
+      ASSERT_EQ(result.core.size(), direct.unsat_core.size())
+          << algebra->name();
+      for (std::size_t i = 0; i < result.core.size(); ++i) {
+        EXPECT_EQ(session.provenance(result.core[i]).description,
+                  direct.unsat_core[i].description);
+      }
+    }
+  }
+}
+
+TEST(IncrementalSession, ExtrasInTheCoreAreReportedByIndex) {
+  // A counterexample can run through constraints a check introduced itself
+  // (per-check extras); the session must surface them so the repair search
+  // can branch on them instead of silently dying.
+  const auto algebra = spp::algebra_from_spp(spp::good_gadget());
+  IncrementalSafetySession session =
+      SafetyAnalyzer::open_incremental(*algebra, MonotonicityMode::strict);
+  // Retract the whole base so the only possible cycle is the two extras.
+  std::vector<std::size_t> everything(session.constraint_count());
+  for (std::size_t i = 0; i < everything.size(); ++i) everything[i] = i;
+  session.make_variable(everything);
+  std::vector<IncrementalSafetySession::Extra> extras = {
+      {algebra::PrefRel::strictly_better, "r(1-0)", "r(2-0)", "one"},
+      {algebra::PrefRel::strictly_better, "r(2-0)", "r(1-0)", "two"},
+  };
+  const auto result = session.check({}, extras);
+  ASSERT_FALSE(result.holds);
+  EXPECT_TRUE(result.core.empty());  // the cycle is purely the extras
+  EXPECT_EQ(result.extra_core, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(IncrementalSession, RepeatedChecksReuseTheEngine) {
+  const auto algebra = spp::algebra_from_spp(spp::bad_gadget());
+  IncrementalSafetySession session =
+      SafetyAnalyzer::open_incremental(*algebra, MonotonicityMode::strict);
+  const auto first = session.check({});
+  ASSERT_FALSE(first.holds);
+  session.make_variable(first.core);
+  for (int round = 0; round < 5; ++round) {
+    // Dropping any single core member must flip the gadget to provably
+    // safe, and each re-check shares the one engine base.
+    std::vector<std::size_t> keep;
+    for (std::size_t j = 0; j < first.core.size(); ++j) {
+      if (j != static_cast<std::size_t>(round % first.core.size())) {
+        keep.push_back(first.core[j]);
+      }
+    }
+    EXPECT_TRUE(session.check(keep).holds);
+  }
+  EXPECT_EQ(session.check_count(), 6u);
+  EXPECT_LE(session.engine_rebuilds(), 2u);
 }
 
 TEST(SafetyAnalyzer, SolveTimeIsRecorded) {

@@ -347,6 +347,232 @@ TEST(Context, UnminimizedCoreStillConflicting) {
   EXPECT_EQ(ctx.check_subset(r.unsat_core).status, Status::unsat);
 }
 
+// ------------------------------------- incremental solving and scopes --
+
+// Regression for the AssertionId stability contract: ids survive
+// interleaved assert/retract/reassert, and unsat cores reported afterwards
+// name the right assertions.
+TEST(Context, AssertionIdsStableAcrossRetractAndReassert) {
+  Context ctx;
+  for (const char* v : {"x", "y", "z"}) ctx.declare_variable(v);
+  const auto a = ctx.assert_less("x", "y", "x<y");
+  const auto b = ctx.assert_less("y", "z", "y<z");
+  ctx.retract(a);
+  const auto c = ctx.assert_less("z", "x", "z<x");
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+  // A retracted assertion keeps its identity...
+  EXPECT_EQ(ctx.describe(a), "x<y");
+  EXPECT_FALSE(ctx.is_active(a));
+  EXPECT_EQ(ctx.check().status, Status::sat);  // y<z, z<x alone: satisfiable
+  // ...and reasserting restores it under the original id, with a correct
+  // minimal core across the whole interleaving.
+  ctx.reassert(a);
+  const CheckResult r = ctx.check();
+  ASSERT_EQ(r.status, Status::unsat);
+  const std::set<AssertionId> core(r.unsat_core.begin(), r.unsat_core.end());
+  EXPECT_EQ(core, (std::set<AssertionId>{a, b, c}));
+  for (const AssertionId id : r.unsat_core) {
+    EXPECT_NO_THROW((void)ctx.describe(id));
+  }
+}
+
+TEST(Context, PoppedIdsAreNeverReused) {
+  Context ctx;
+  ctx.declare_variable("x");
+  ctx.declare_variable("y");
+  const auto base = ctx.assert_less("x", "y", "base");
+  ctx.push();
+  const auto scoped = ctx.assert_less("y", "x", "scoped");
+  EXPECT_EQ(ctx.check().status, Status::unsat);
+  ctx.pop();
+  const auto later = ctx.assert_less_equal("x", "y", "later");
+  EXPECT_NE(later, scoped);  // the popped id is gone for good
+  EXPECT_THROW((void)ctx.describe(scoped), InvalidArgument);
+  EXPECT_EQ(ctx.describe(later), "later");
+  EXPECT_EQ(ctx.describe(base), "base");
+  EXPECT_EQ(ctx.check().status, Status::sat);
+}
+
+TEST(Context, PopUndoesFlagFlipsMadeInScope) {
+  Context ctx;
+  ctx.declare_variable("x");
+  ctx.declare_variable("y");
+  const auto a = ctx.assert_less("x", "y");
+  ctx.push();
+  ctx.retract(a);
+  const auto b = ctx.assert_less("y", "x");
+  EXPECT_EQ(ctx.check().status, Status::sat);  // only y<x active in scope
+  (void)b;
+  ctx.pop();
+  EXPECT_TRUE(ctx.is_active(a));
+  EXPECT_EQ(ctx.active_assertion_count(), 1u);
+  EXPECT_EQ(ctx.check().status, Status::sat);
+}
+
+TEST(Context, AssumptionCheckActivatesRetractedAssertions) {
+  Context ctx;
+  for (const char* v : {"a", "b", "c"}) ctx.declare_variable(v);
+  const auto i1 = ctx.assert_less("a", "b", "a<b");
+  const auto i2 = ctx.assert_less("b", "c", "b<c");
+  const auto i3 = ctx.assert_less("c", "a", "c<a");
+  ctx.retract(i3);
+
+  CheckResult without = ctx.check(std::vector<AssertionId>{});
+  ASSERT_EQ(without.status, Status::sat);
+  EXPECT_LT(without.model.at("a"), without.model.at("b"));
+  EXPECT_LT(without.model.at("b"), without.model.at("c"));
+
+  const CheckResult with = ctx.check({i3});
+  ASSERT_EQ(with.status, Status::unsat);
+  const std::set<AssertionId> core(with.unsat_core.begin(),
+                                   with.unsat_core.end());
+  EXPECT_EQ(core, (std::set<AssertionId>{i1, i2, i3}));
+  // The retraction itself is untouched by assumption checks.
+  EXPECT_FALSE(ctx.is_active(i3));
+  EXPECT_EQ(ctx.check(std::vector<AssertionId>{}).status, Status::sat);
+}
+
+TEST(Context, AssumptionChecksShareOneEngineAcrossScopedExtras) {
+  // The repair pattern: a fixed base, retractable members, per-candidate
+  // scoped extras. The incremental engine must be built exactly once.
+  Context ctx;
+  for (const char* v : {"a", "b", "c", "d"}) ctx.declare_variable(v);
+  ctx.assert_less("a", "b");
+  ctx.assert_less("b", "c");
+  const auto variable = ctx.assert_less("c", "d", "c<d");
+  ctx.retract(variable);
+
+  for (int round = 0; round < 8; ++round) {
+    ctx.push();
+    const auto extra = (round % 2 == 0)
+                           ? ctx.assert_less("d", "a", "d<a")
+                           : ctx.assert_less_equal("a", "d", "a<=d");
+    (void)extra;
+    const CheckResult r = ctx.check({variable});
+    EXPECT_EQ(r.status, round % 2 == 0 ? Status::unsat : Status::sat);
+    ctx.pop();
+  }
+  EXPECT_EQ(ctx.incremental_check_count(), 8u);
+  EXPECT_EQ(ctx.incremental_rebuild_count(), 1u);
+}
+
+TEST(Context, AssumptionCheckHandlesTriviallyFalseAssumption) {
+  Context ctx;
+  ctx.declare_variable("x");
+  const auto bad = ctx.assert_term(Term::forall_positive(
+      "s", Term::lt(Term::variable("s"), Term::variable("s"))));
+  ctx.retract(bad);
+  EXPECT_EQ(ctx.check(std::vector<AssertionId>{}).status, Status::sat);
+  const CheckResult r = ctx.check({bad});
+  ASSERT_EQ(r.status, Status::unsat);
+  EXPECT_EQ(r.unsat_core, (std::vector<AssertionId>{bad}));
+}
+
+TEST(Context, IncrementalRebuildAfterBaseRetraction) {
+  Context ctx;
+  ctx.declare_variable("x");
+  ctx.declare_variable("y");
+  const auto a = ctx.assert_less("x", "y");
+  const auto b = ctx.assert_less("y", "x");
+  EXPECT_EQ(ctx.check(std::vector<AssertionId>{}).status, Status::unsat);
+  // Retracting a base member invalidates the engine base; the next
+  // incremental check must rebuild and get the right answer.
+  ctx.retract(b);
+  EXPECT_EQ(ctx.check(std::vector<AssertionId>{}).status, Status::sat);
+  EXPECT_EQ(ctx.check({b}).status, Status::unsat);
+  (void)a;
+  EXPECT_GE(ctx.incremental_rebuild_count(), 2u);
+}
+
+// Property sweep: incremental assumption checks agree with from-scratch
+// subset checks on random systems, models satisfy the checked constraints,
+// and unsat cores are genuine minimal conflicts.
+class IncrementalContextProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalContextProperty, AgreesWithFromScratch) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  constexpr int n_vars = 5;
+  std::uniform_int_distribution<int> var_dist(1, n_vars);
+  std::uniform_int_distribution<int> rel_dist(0, 2);
+
+  Context ctx;
+  for (int v = 1; v <= n_vars; ++v) {
+    ctx.declare_variable("v" + std::to_string(v));
+  }
+  struct Atom {
+    AssertionId id;
+    int lhs, rhs, rel;  // rel: 0 '<', 1 '<=', 2 '='
+  };
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 10; ++i) {
+    Atom atom{0, var_dist(rng), var_dist(rng), rel_dist(rng)};
+    const std::string lhs = "v" + std::to_string(atom.lhs);
+    const std::string rhs = "v" + std::to_string(atom.rhs);
+    atom.id = atom.rel == 0   ? ctx.assert_less(lhs, rhs)
+              : atom.rel == 1 ? ctx.assert_less_equal(lhs, rhs)
+                              : ctx.assert_equal(lhs, rhs);
+    atoms.push_back(atom);
+  }
+  // Retract a random subset; those become assumption candidates.
+  std::vector<AssertionId> retractable;
+  for (const Atom& atom : atoms) {
+    if (rng() % 2 == 0) {
+      ctx.retract(atom.id);
+      retractable.push_back(atom.id);
+    }
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    std::vector<AssertionId> assumptions;
+    for (const AssertionId id : retractable) {
+      if (rng() % 2 == 0) assumptions.push_back(id);
+    }
+    const CheckResult incremental = ctx.check(assumptions);
+
+    std::vector<AssertionId> subset;
+    for (const Atom& atom : atoms) {
+      if (ctx.is_active(atom.id)) subset.push_back(atom.id);
+    }
+    subset.insert(subset.end(), assumptions.begin(), assumptions.end());
+    const CheckResult scratch = ctx.check_subset(subset);
+
+    ASSERT_EQ(incremental.status, scratch.status) << "round " << round;
+    if (incremental.status == Status::sat) {
+      // The incremental model (unlike check()'s) is any feasible witness;
+      // verify it satisfies every checked atom exactly.
+      const std::set<AssertionId> checked(subset.begin(), subset.end());
+      for (const Atom& atom : atoms) {
+        if (!checked.contains(atom.id)) continue;
+        const auto l = incremental.model.at("v" + std::to_string(atom.lhs));
+        const auto r = incremental.model.at("v" + std::to_string(atom.rhs));
+        if (atom.rel == 0) {
+          EXPECT_LT(l, r);
+        } else if (atom.rel == 1) {
+          EXPECT_LE(l, r);
+        } else {
+          EXPECT_EQ(l, r);
+        }
+        EXPECT_GE(l, 1);  // positivity type constraint
+      }
+    } else {
+      EXPECT_EQ(ctx.check_subset(incremental.unsat_core).status,
+                Status::unsat);
+      for (std::size_t i = 0; i < incremental.unsat_core.size(); ++i) {
+        std::vector<AssertionId> without;
+        for (std::size_t j = 0; j < incremental.unsat_core.size(); ++j) {
+          if (j != i) without.push_back(incremental.unsat_core[j]);
+        }
+        EXPECT_EQ(ctx.check_subset(without).status, Status::sat)
+            << "incremental core is not minimal";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomIncrementalSystems, IncrementalContextProperty,
+                         ::testing::Range(0, 30));
+
 // ------------------------------------------------------ yices frontend --
 
 // Paper Section IV-C, example 1: shortest hop-count. Expected: sat.
