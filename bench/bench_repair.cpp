@@ -4,8 +4,16 @@
 // share one difference-engine base instead of re-running Bellman-Ford).
 // Everything runs at a fixed seed, so both solver paths explore the exact
 // same candidate sequence and the speedup isolates the solver.
+//
+//   bench_repair [--json FILE] [--check THRESHOLDS]
+//
+// --json writes the aggregate incremental-vs-scratch speedup (and per-
+// instance ratios) as flat metrics; --check enforces the floors in
+// bench/thresholds.json — the CI bench-regression gate.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -41,8 +49,15 @@ std::string fmt(double value, const char* suffix = "") {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fsr;
+
+  std::string json_path;
+  std::string thresholds_path;
+  if (!bench::parse_metric_args(argc, argv, "bench_repair", json_path,
+                                thresholds_path)) {
+    return 2;
+  }
 
   std::vector<std::pair<std::string, spp::SppInstance>> workload;
   workload.emplace_back("bad", spp::bad_gadget());
@@ -106,6 +121,7 @@ int main() {
   constexpr int k_recheck_rounds = 500;
   double incremental_total = 0.0;
   double scratch_total = 0.0;
+  std::map<std::string, double> metrics;
   for (const auto& [name, instance] : workload) {
     const auto algebra = spp::algebra_from_spp(instance);
     const auto time_rechecks = [&](bool incremental) {
@@ -144,6 +160,7 @@ int main() {
     const double scr_ms = time_rechecks(false);
     incremental_total += inc_ms;
     scratch_total += scr_ms;
+    metrics["repair_" + name + "_speedup"] = scr_ms / inc_ms;
     IncrementalSafetySession probe = SafetyAnalyzer::open_incremental(
         *algebra, MonotonicityMode::strict);
     bench::print_row({name, std::to_string(probe.constraint_count()),
@@ -156,5 +173,16 @@ int main() {
       "%.1f ms)\n",
       scratch_total / incremental_total, k_recheck_rounds, scratch_total,
       incremental_total);
+  metrics["repair_incremental_speedup"] = scratch_total / incremental_total;
+
+  if (!json_path.empty() && !bench::write_metrics_file(json_path, metrics)) {
+    std::fprintf(stderr, "bench_repair: cannot write '%s'\n",
+                 json_path.c_str());
+    return 1;
+  }
+  if (!thresholds_path.empty() &&
+      !bench::check_thresholds(metrics, thresholds_path, "repair_")) {
+    return 1;
+  }
   return 0;
 }

@@ -1,8 +1,17 @@
-// Shared helpers for the benchmark harnesses: paper-style table printing.
+// Shared helpers for the benchmark harnesses: paper-style table printing,
+// plus the tiny flat-JSON metric I/O the CI bench-regression gate uses
+// (benches emit {"metric": value} files; thresholds are read back the same
+// way — no JSON library needed for flat numeric objects).
 #ifndef FSR_BENCH_BENCH_UTIL_H
 #define FSR_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +26,131 @@ inline void print_row(const std::vector<std::string>& cells, int width = 22) {
     std::printf("%-*s", width, cell.c_str());
   }
   std::printf("\n");
+}
+
+/// Finds `"key": <number>` in flat JSON text. Good enough for the
+/// bench-metric and threshold files this repo exchanges with CI.
+inline std::optional<double> read_json_number(const std::string& text,
+                                              const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  at = text.find(':', at + needle.size());
+  if (at == std::string::npos) return std::nullopt;
+  const char* start = text.c_str() + at + 1;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return value;
+}
+
+inline std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Renders metrics as a flat JSON object (sorted keys, %.4f values).
+inline std::string metrics_json(const std::map<std::string, double>& metrics) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out += ",\n";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    out += "  \"" + key + "\": " + buf;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+inline bool write_metrics_file(const std::string& path,
+                               const std::map<std::string, double>& metrics) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << metrics_json(metrics);
+  return static_cast<bool>(out);
+}
+
+/// Enforces every `<metric>_min` entry of the thresholds file whose base
+/// metric the bench computed: metric >= floor. `metric_prefix` names this
+/// bench's metric family (e.g. "groundtruth_"): any thresholds entry in
+/// that family with NO matching emitted metric is a hard failure — a
+/// renamed workload or a typo in thresholds.json must break the gate
+/// loudly, never disable it silently. Prints a PASS/FAIL line per
+/// enforced threshold; returns false when any floor is violated (the CI
+/// gate's exit status).
+inline bool check_thresholds(const std::map<std::string, double>& metrics,
+                             const std::string& thresholds_path,
+                             const std::string& metric_prefix) {
+  const auto text = read_file(thresholds_path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "bench: cannot read thresholds file '%s'\n",
+                 thresholds_path.c_str());
+    return false;
+  }
+  bool all_pass = true;
+  std::size_t enforced = 0;
+  for (const auto& [metric, value] : metrics) {
+    const auto floor = read_json_number(*text, metric + "_min");
+    if (!floor.has_value()) continue;
+    ++enforced;
+    const bool pass = value >= *floor;
+    all_pass = all_pass && pass;
+    std::printf("threshold %-40s %8.2f >= %-8.2f %s\n", metric.c_str(), value,
+                *floor, pass ? "PASS" : "FAIL");
+  }
+  // Orphan scan: every `"<prefix>..._min"` key in the file must have been
+  // enforced above.
+  const std::string needle = "\"" + metric_prefix;
+  for (std::size_t at = text->find(needle); at != std::string::npos;
+       at = text->find(needle, at + 1)) {
+    const std::size_t end = text->find('"', at + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text->substr(at + 1, end - at - 1);
+    if (key.size() < 4 || key.compare(key.size() - 4, 4, "_min") != 0) {
+      continue;
+    }
+    const std::string base = key.substr(0, key.size() - 4);
+    if (!metrics.contains(base)) {
+      std::fprintf(stderr,
+                   "bench: thresholds entry '%s' matches no emitted metric "
+                   "(renamed workload or typo?) — failing the gate\n",
+                   key.c_str());
+      all_pass = false;
+    }
+  }
+  if (enforced == 0) {
+    std::fprintf(stderr,
+                 "bench: thresholds file '%s' gates none of this bench's "
+                 "metrics\n",
+                 thresholds_path.c_str());
+    return false;
+  }
+  return all_pass;
+}
+
+/// The shared `[--json FILE] [--check THRESHOLDS]` argv contract of the
+/// CI-gated benches. Returns false (after printing usage) on unknown
+/// arguments.
+inline bool parse_metric_args(int argc, char** argv, const char* bench_name,
+                              std::string& json_path,
+                              std::string& thresholds_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      thresholds_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json FILE] [--check THRESHOLDS]\n",
+                   bench_name);
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace fsr::bench

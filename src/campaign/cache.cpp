@@ -1,5 +1,15 @@
 #include "campaign/cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "groundtruth/engine.h"
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "util/error.h"
 
 namespace fsr::campaign {
@@ -96,14 +106,29 @@ std::string scenario_cache_key(const Scenario& scenario) {
   return out;
 }
 
-std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair) {
+std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair,
+                               const repair::RepairOptions& repair) {
   std::string out = scenario_cache_key(scenario);
   if (attempt_repair && scenario.kind == ScenarioKind::safety &&
       scenario.spp != nullptr) {
     // Repair outcomes are content-determined (ground-truth trials are
     // seeded from the content digest), so the marker carries no seed and
-    // duplicate-content scenarios still collapse to one solve.
-    out += "|repair";
+    // duplicate-content scenarios still collapse to one solve. It DOES
+    // carry every option that shapes the outcome: the disk cache outlives
+    // the process, and a warm run under a different oracle or budget must
+    // miss, not serve stale verdicts. use_incremental is deliberately
+    // absent — both solver strategies produce identical reports (a tested
+    // property), so ablation runs share cache entries.
+    out += "|repair|gt=";
+    out += groundtruth::to_string(repair.ground_truth);
+    out += ";edits=" + std::to_string(repair.max_edits) +
+           ";checks=" + std::to_string(repair.max_checks) +
+           ";relax=" + (repair.allow_relax ? std::string("1") : "0") +
+           ";states=" + std::to_string(repair.ground_truth_max_states) +
+           ";conflicts=" + std::to_string(repair.ground_truth_max_conflicts) +
+           ";solutions=" + std::to_string(repair.ground_truth_max_solutions) +
+           ";spvp=" + std::to_string(repair.spvp_max_activations) + "x" +
+           std::to_string(repair.spvp_trials);
   }
   return out;
 }
@@ -117,6 +142,375 @@ std::string content_digest(const std::string& canonical) {
     hash >>= 4;
   }
   return out;
+}
+
+// ------------------------------------------------------- disk persistence --
+//
+// One outcome per file, as a versioned line-oriented record: every line is
+// "<field> <value>" with backslash/newline escaping, exactly one value per
+// line (multi-valued fields write a count line followed by that many value
+// lines). The format is append-only versioned: readers reject records
+// whose header they do not know, so stale caches degrade to misses.
+
+namespace {
+
+constexpr const char* k_record_header = "fsr-outcome v1";
+
+std::string escape_value(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_value(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    const char next = text[++i];
+    out += next == 'n' ? '\n' : next == 'r' ? '\r' : next;
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);  // round-trips IEEE-754
+  return buf;
+}
+
+class RecordWriter {
+ public:
+  void field(const char* name, const std::string& value) {
+    out_ += name;
+    out_ += ' ';
+    out_ += escape_value(value);
+    out_ += '\n';
+  }
+  void field(const char* name, bool value) {
+    field(name, std::string(value ? "1" : "0"));
+  }
+  void field(const char* name, double value) {
+    field(name, format_double(value));
+  }
+  void field(const char* name, std::uint64_t value) {
+    field(name, std::to_string(value));
+  }
+  void field(const char* name, std::int64_t value) {
+    field(name, std::to_string(value));
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_ = std::string(k_record_header) + "\n";
+};
+
+/// Sequential reader over "<field> <value>" lines. Every getter checks the
+/// expected field name; any mismatch poisons the record (ok() false), so a
+/// truncated or corrupted file is rejected as a whole.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& text) : stream_(text) {
+    std::string header;
+    if (!std::getline(stream_, header) || header != k_record_header) {
+      ok_ = false;
+    }
+  }
+
+  bool ok() const noexcept { return ok_; }
+
+  std::string text(const char* name) {
+    std::string line;
+    if (!ok_ || !std::getline(stream_, line)) {
+      ok_ = false;
+      return {};
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || line.compare(0, space, name) != 0) {
+      ok_ = false;
+      return {};
+    }
+    return unescape_value(line.substr(space + 1));
+  }
+  bool boolean(const char* name) { return text(name) == "1"; }
+  double real(const char* name) {
+    const std::string value = text(name);
+    return ok_ ? std::strtod(value.c_str(), nullptr) : 0.0;
+  }
+  std::uint64_t u64(const char* name) {
+    const std::string value = text(name);
+    return ok_ ? std::strtoull(value.c_str(), nullptr, 10) : 0;
+  }
+  std::int64_t i64(const char* name) {
+    const std::string value = text(name);
+    return ok_ ? std::strtoll(value.c_str(), nullptr, 10) : 0;
+  }
+
+ private:
+  std::istringstream stream_;
+  bool ok_ = true;
+};
+
+void write_safety(RecordWriter& writer, const SafetyReport& safety) {
+  writer.field("safety.verdict",
+               std::string(safety.verdict == SafetyVerdict::safe
+                               ? "safe"
+                               : "not_provably_safe"));
+  writer.field("safety.narrative", safety.narrative);
+  writer.field("safety.checks", safety.checks.size());
+  for (const MonotonicityReport& check : safety.checks) {
+    writer.field("check.algebra", check.algebra_name);
+    writer.field("check.mode",
+                 std::string(check.mode == MonotonicityMode::strict
+                                 ? "strict"
+                                 : "plain"));
+    writer.field("check.holds", check.holds);
+    writer.field("check.pref", check.preference_constraint_count);
+    writer.field("check.mono", check.monotonicity_constraint_count);
+    writer.field("check.solve_ms", check.solve_time_ms);
+    writer.field("check.script", check.yices_script);
+    writer.field("check.model", check.model.values.size());
+    for (const auto& [name, value] : check.model.values) {
+      writer.field("model.name", name);
+      writer.field("model.value", value);
+    }
+    writer.field("check.core", check.unsat_core.size());
+    for (const ConstraintProvenance& entry : check.unsat_core) {
+      writer.field("core.kind",
+                   std::string(entry.kind ==
+                                       ConstraintProvenance::Kind::preference
+                                   ? "preference"
+                                   : "monotonicity"));
+      writer.field("core.desc", entry.description);
+      writer.field("core.constraint", entry.constraint);
+    }
+  }
+}
+
+bool read_safety(RecordReader& reader, SafetyReport& safety) {
+  const std::string verdict = reader.text("safety.verdict");
+  safety.verdict = verdict == "safe" ? SafetyVerdict::safe
+                                     : SafetyVerdict::not_provably_safe;
+  safety.narrative = reader.text("safety.narrative");
+  const std::uint64_t checks = reader.u64("safety.checks");
+  if (!reader.ok() || checks > 1u << 16) return false;
+  safety.checks.resize(checks);
+  for (MonotonicityReport& check : safety.checks) {
+    check.algebra_name = reader.text("check.algebra");
+    check.mode = reader.text("check.mode") == "strict"
+                     ? MonotonicityMode::strict
+                     : MonotonicityMode::plain;
+    check.holds = reader.boolean("check.holds");
+    check.preference_constraint_count =
+        static_cast<std::size_t>(reader.u64("check.pref"));
+    check.monotonicity_constraint_count =
+        static_cast<std::size_t>(reader.u64("check.mono"));
+    check.solve_time_ms = reader.real("check.solve_ms");
+    check.yices_script = reader.text("check.script");
+    const std::uint64_t model_entries = reader.u64("check.model");
+    if (!reader.ok() || model_entries > 1u << 20) return false;
+    for (std::uint64_t i = 0; i < model_entries; ++i) {
+      const std::string name = reader.text("model.name");
+      check.model.values[name] = reader.i64("model.value");
+    }
+    const std::uint64_t core_entries = reader.u64("check.core");
+    if (!reader.ok() || core_entries > 1u << 20) return false;
+    check.unsat_core.resize(core_entries);
+    for (ConstraintProvenance& entry : check.unsat_core) {
+      entry.kind = reader.text("core.kind") == "preference"
+                       ? ConstraintProvenance::Kind::preference
+                       : ConstraintProvenance::Kind::monotonicity;
+      entry.description = reader.text("core.desc");
+      entry.constraint = reader.text("core.constraint");
+    }
+  }
+  return reader.ok();
+}
+
+void write_emulation(RecordWriter& writer, const EmulationResult& emu) {
+  writer.field("emu.quiesced", emu.quiesced);
+  writer.field("emu.convergence", static_cast<std::int64_t>(emu.convergence_time));
+  writer.field("emu.end", static_cast<std::int64_t>(emu.end_time));
+  writer.field("emu.messages", emu.messages);
+  writer.field("emu.bytes", emu.bytes);
+  writer.field("emu.route_changes", emu.route_changes);
+  writer.field("emu.nodes", emu.node_count);
+  writer.field("emu.stats_bucket", static_cast<std::int64_t>(emu.stats_bucket));
+  writer.field("emu.series", emu.bandwidth_series_mbps.size());
+  for (const double value : emu.bandwidth_series_mbps) {
+    writer.field("series", value);
+  }
+  writer.field("emu.routes", emu.best_routes.size());
+  for (const auto& [node, route] : emu.best_routes) {
+    writer.field("route.node", node);
+    writer.field("route.sig", route.first);
+    writer.field("route.hops", route.second.size());
+    for (const std::string& hop : route.second) {
+      writer.field("hop", hop);
+    }
+  }
+}
+
+bool read_emulation(RecordReader& reader, EmulationResult& emu) {
+  emu.quiesced = reader.boolean("emu.quiesced");
+  emu.convergence_time = reader.i64("emu.convergence");
+  emu.end_time = reader.i64("emu.end");
+  emu.messages = reader.u64("emu.messages");
+  emu.bytes = reader.u64("emu.bytes");
+  emu.route_changes = reader.u64("emu.route_changes");
+  emu.node_count = static_cast<std::size_t>(reader.u64("emu.nodes"));
+  emu.stats_bucket = reader.i64("emu.stats_bucket");
+  const std::uint64_t series = reader.u64("emu.series");
+  if (!reader.ok() || series > 1u << 24) return false;
+  emu.bandwidth_series_mbps.resize(series);
+  for (double& value : emu.bandwidth_series_mbps) {
+    value = reader.real("series");
+  }
+  const std::uint64_t routes = reader.u64("emu.routes");
+  if (!reader.ok() || routes > 1u << 20) return false;
+  for (std::uint64_t i = 0; i < routes; ++i) {
+    const std::string node = reader.text("route.node");
+    const std::string sig = reader.text("route.sig");
+    const std::uint64_t hops = reader.u64("route.hops");
+    if (!reader.ok() || hops > 1u << 16) return false;
+    std::vector<std::string> path(hops);
+    for (std::string& hop : path) hop = reader.text("hop");
+    emu.best_routes[node] = {sig, std::move(path)};
+  }
+  return reader.ok();
+}
+
+void write_repair(RecordWriter& writer, const repair::RepairSummary& repair) {
+  writer.field("repair.attempted", repair.attempted);
+  writer.field("repair.solver_repaired", repair.solver_repaired);
+  writer.field("repair.verified", repair.verified);
+  writer.field("repair.gt_mode", repair.ground_truth_mode);
+  writer.field("repair.edit_count", repair.edit_count);
+  writer.field("repair.edits", repair.edits.size());
+  for (const std::string& edit : repair.edits) {
+    writer.field("edit", edit);
+  }
+  writer.field("repair.candidates", repair.candidates_checked);
+  writer.field("repair.checks", repair.solver_checks);
+  writer.field("repair.error", repair.error);
+}
+
+bool read_repair(RecordReader& reader, repair::RepairSummary& repair) {
+  repair.attempted = reader.boolean("repair.attempted");
+  repair.solver_repaired = reader.boolean("repair.solver_repaired");
+  repair.verified = reader.boolean("repair.verified");
+  repair.ground_truth_mode = reader.text("repair.gt_mode");
+  repair.edit_count = static_cast<std::size_t>(reader.u64("repair.edit_count"));
+  const std::uint64_t edits = reader.u64("repair.edits");
+  if (!reader.ok() || edits > 1u << 16) return false;
+  repair.edits.resize(edits);
+  for (std::string& edit : repair.edits) edit = reader.text("edit");
+  repair.candidates_checked =
+      static_cast<std::size_t>(reader.u64("repair.candidates"));
+  repair.solver_checks = static_cast<std::size_t>(reader.u64("repair.checks"));
+  repair.error = reader.text("repair.error");
+  return reader.ok();
+}
+
+}  // namespace
+
+std::string serialize_outcome(const ScenarioOutcome& outcome) {
+  RecordWriter writer;
+  writer.field("kind", std::string(to_string(outcome.kind)));
+  writer.field("error", outcome.error);
+  writer.field("wall_ms", outcome.wall_ms);
+  writer.field("has_safety", outcome.safety.has_value());
+  if (outcome.safety.has_value()) write_safety(writer, *outcome.safety);
+  writer.field("has_emulation", outcome.emulation.has_value());
+  if (outcome.emulation.has_value()) {
+    write_emulation(writer, *outcome.emulation);
+  }
+  writer.field("has_repair", outcome.repair.has_value());
+  if (outcome.repair.has_value()) write_repair(writer, *outcome.repair);
+  return writer.take();
+}
+
+std::shared_ptr<const ScenarioOutcome> deserialize_outcome(
+    const std::string& text) {
+  RecordReader reader(text);
+  auto outcome = std::make_shared<ScenarioOutcome>();
+  outcome->kind = reader.text("kind") == "emulation" ? ScenarioKind::emulation
+                                                     : ScenarioKind::safety;
+  outcome->error = reader.text("error");
+  outcome->wall_ms = reader.real("wall_ms");
+  if (reader.boolean("has_safety")) {
+    SafetyReport safety;
+    if (!read_safety(reader, safety)) return nullptr;
+    outcome->safety = std::move(safety);
+  }
+  if (reader.boolean("has_emulation")) {
+    EmulationResult emulation;
+    if (!read_emulation(reader, emulation)) return nullptr;
+    outcome->emulation = std::move(emulation);
+  }
+  if (reader.boolean("has_repair")) {
+    repair::RepairSummary repair;
+    if (!read_repair(reader, repair)) return nullptr;
+    outcome->repair = std::move(repair);
+  }
+  return reader.ok() ? outcome : nullptr;
+}
+
+ResultCache::ResultCache(std::string directory)
+    : directory_(std::move(directory)) {
+  if (!directory_.empty()) load_directory();
+}
+
+void ResultCache::load_directory() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) return;  // unwritable: behave as an in-memory cache
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file() || entry.path().extension() != ".outcome") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string record = text.str();
+    // The first line after the header names the full cache key, so digest
+    // collisions (two keys, one file name) load as the stored key only.
+    const std::size_t header_end = record.find('\n');
+    if (header_end == std::string::npos) continue;
+    const std::string body = record.substr(header_end + 1);
+    const std::size_t key_end = body.find('\n');
+    if (key_end == std::string::npos ||
+        body.compare(0, 4, "key ") != 0) {
+      continue;
+    }
+    const std::string key = unescape_value(body.substr(4, key_end - 4));
+    const std::string payload =
+        std::string(k_record_header) + "\n" + body.substr(key_end + 1);
+    auto outcome = deserialize_outcome(payload);
+    if (outcome != nullptr) entries_.emplace(key, std::move(outcome));
+  }
 }
 
 std::shared_ptr<const ScenarioOutcome> ResultCache::find(
@@ -133,8 +527,48 @@ std::shared_ptr<const ScenarioOutcome> ResultCache::find(
 
 void ResultCache::insert(const std::string& key,
                          std::shared_ptr<const ScenarioOutcome> outcome) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.emplace(key, std::move(outcome));
+  std::shared_ptr<const ScenarioOutcome> to_persist;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = entries_.emplace(key, std::move(outcome));
+    if (!inserted || directory_.empty()) return;
+    to_persist = it->second;
+  }
+  // Serialization and disk I/O happen outside the lock: outcomes are
+  // immutable once inserted, and first-insertion-wins means only the
+  // inserting caller reaches this point for a given key — so concurrent
+  // workers' find()/insert() never stall on a slow filesystem.
+
+  // Persist as <digest>.outcome with the full key recorded inside (see
+  // load_directory); write-to-temp-then-rename keeps concurrent readers of
+  // the directory from ever seeing a torn record.
+  namespace fs = std::filesystem;
+  const std::string record = serialize_outcome(*to_persist);
+  const std::size_t header_end = record.find('\n');
+  if (header_end == std::string::npos) return;
+  std::string with_key = record.substr(0, header_end + 1);
+  with_key += "key " + escape_value(key) + "\n";
+  with_key += record.substr(header_end + 1);
+
+  // The temp name is unique per process AND per write (pid + counter):
+  // concurrent processes (or runners) sharing one cache directory must
+  // never interleave writes into the same temp file, or the atomic-rename
+  // guarantee would publish a torn record.
+  static std::atomic<std::uint64_t> write_counter{0};
+  const fs::path final_path =
+      fs::path(directory_) / (content_digest(key) + ".outcome");
+  const fs::path temp_path =
+      fs::path(directory_) /
+      (content_digest(key) + ".tmp." + std::to_string(::getpid()) + "." +
+       std::to_string(write_counter.fetch_add(1)));
+  std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+  if (!out) return;  // best-effort: unwritable directory degrades gracefully
+  out << with_key;
+  out.close();
+  if (!out) return;
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) fs::remove(temp_path, ec);
 }
 
 std::size_t ResultCache::size() const {

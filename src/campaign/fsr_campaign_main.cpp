@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "campaign/runner.h"
+#include "groundtruth/engine.h"
 #include "util/error.h"
 
 namespace {
@@ -34,7 +35,13 @@ void print_usage() {
       "                   SPP scenario; adds repair data to the report\n"
       "  --repair-max-edits K  edit-size cap for repair candidates "
       "(default 2)\n"
+      "  --ground-truth M ground-truth oracle for repair validation:\n"
+      "                   sat-search (default; conflict-driven, exact far\n"
+      "                   beyond the enumeration cap) | enumerate\n"
       "  --no-cache       disable the cross-run result cache\n"
+      "  --cache-dir DIR  persist the result cache under DIR and reload it\n"
+      "                   at startup (warm runs skip solved scenarios and\n"
+      "                   render byte-identical JSON)\n"
       "  --list-sources   print available sources and exit\n"
       "  --help           this message\n");
 }
@@ -82,8 +89,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.repair.max_edits = static_cast<std::size_t>(max_edits);
+    } else if (std::optional<fsr::groundtruth::Mode> mode;
+               fsr::groundtruth::consume_mode_flag(argc, argv, i, mode)) {
+      if (!mode.has_value()) {
+        std::fprintf(stderr,
+                     "fsr_campaign: --ground-truth needs a mode "
+                     "(enumerate | sat-search)\n");
+        return 2;
+      }
+      options.repair.ground_truth = *mode;
     } else if (std::strcmp(arg, "--no-cache") == 0) {
       options.use_cache = false;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      options.cache_dir = need_value(i, "--cache-dir");
     } else if (std::strcmp(arg, "--list-sources") == 0) {
       for (const std::string& name : builtin_source_names()) {
         std::printf("%s\n", name.c_str());

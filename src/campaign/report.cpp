@@ -34,8 +34,14 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
          ", \"kind\": " + quoted(to_string(result.kind)) +
          ", \"seed\": " + quoted(std::to_string(result.seed)) +
          ", \"content\": " + quoted(result.content_id) +
-         ", \"deduplicated\": " + (result.deduplicated ? "true" : "false") +
-         ", \"cache_hit\": " + (result.cache_hit ? "true" : "false");
+         ", \"deduplicated\": " + (result.deduplicated ? "true" : "false");
+  if (options.include_timings) {
+    // Cache provenance is execution metadata, like wall-clock time: a warm
+    // run's deterministic fields must match the cold run that filled the
+    // cache, so the flag is timings-gated.
+    out += std::string(", \"cache_hit\": ") +
+           (result.cache_hit ? "true" : "false");
+  }
   const ScenarioOutcome* outcome = result.outcome.get();
   if (outcome != nullptr && !outcome->error.empty()) {
     out += ", \"verdict\": \"error\", \"error\": " + quoted(outcome->error);
@@ -73,6 +79,9 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
     out += repair.solver_repaired ? "true" : "false";
     out += ", \"verified\": ";
     out += repair.verified ? "true" : "false";
+    if (!repair.ground_truth_mode.empty()) {
+      out += ", \"ground_truth_mode\": " + quoted(repair.ground_truth_mode);
+    }
     out += ", \"edit_count\": " + std::to_string(repair.edit_count) +
            ", \"edits\": [";
     for (std::size_t j = 0; j < repair.edits.size(); ++j) {
@@ -243,12 +252,14 @@ std::vector<std::size_t> CampaignReport::slowest(std::size_t limit) const {
 
 std::string to_json(const CampaignReport& report, JsonOptions options) {
   std::string out = "{\n";
+  // "solved" and "cache_hits" are execution provenance — a warm cached run
+  // solves nothing yet must render byte-identically to the cold run that
+  // produced the outcomes — so they live in the timings section.
   out += "  \"campaign\": {\"seed\": " + quoted(std::to_string(
              report.campaign_seed)) +
          ", \"scenarios\": " + std::to_string(report.results.size()) +
-         ", \"solved\": " + std::to_string(report.solved_count) +
          ", \"deduplicated\": " + std::to_string(report.deduplicated_count) +
-         ", \"cache_hits\": " + std::to_string(report.cache_hit_count) + "},\n";
+         "},\n";
   const SourceSummary totals = report.totals();
   const bool with_repair = totals.repairs_attempted > 0;
   out += "  \"totals\": {" + summary_json_fields(totals, with_repair) + "}";
@@ -292,6 +303,8 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
   out += "  ]";
   if (options.include_timings) {
     out += ",\n  \"timings\": {\"threads\": " + std::to_string(report.threads) +
+           ", \"solved\": " + std::to_string(report.solved_count) +
+           ", \"cache_hits\": " + std::to_string(report.cache_hit_count) +
            ", \"total_wall_ms\": " + fixed3(report.total_wall_ms) +
            ", \"histogram_pow2_ms\": [";
     first = true;

@@ -9,10 +9,12 @@
 //
 // Rendering contract: to_json() with default options emits ONLY
 // deterministic fields — reports are byte-identical across runs for a
-// fixed campaign seed, regardless of worker count. Wall-clock data
-// (per-scenario solve times, histogram, slowest table, thread count) is
-// included only when JsonOptions.include_timings is set. The table
-// renderer is human-facing and always shows timings.
+// fixed campaign seed, regardless of worker count AND regardless of cache
+// temperature (a warm --cache-dir run matches the cold run that filled
+// it). Wall-clock data and execution provenance (per-scenario solve
+// times, cache_hit flags, solved/cache-hit counts, histogram, slowest
+// table, thread count) are included only when JsonOptions.include_timings
+// is set. The table renderer is human-facing and always shows both.
 #ifndef FSR_CAMPAIGN_REPORT_H
 #define FSR_CAMPAIGN_REPORT_H
 

@@ -60,7 +60,11 @@ ScenarioOutcome execute_scenario(const Scenario& scenario,
 }  // namespace
 
 CampaignRunner::CampaignRunner(CampaignOptions options)
-    : options_(std::move(options)) {
+    // With the cache disabled, skip loading the directory too: find() and
+    // insert() are never called, so a warm disk cache would be pure
+    // wasted startup I/O.
+    : options_(std::move(options)),
+      cache_(options_.use_cache ? options_.cache_dir : std::string()) {
   if (options_.threads < 1) {
     throw InvalidArgument("campaign thread count must be >= 1");
   }
@@ -108,7 +112,8 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
     result.kind = scenario.kind;
     result.seed = scenario.seed;
     validate_scenario(scenario);
-    keys[i] = scenario_cache_key(scenario, options_.attempt_repair);
+    keys[i] = scenario_cache_key(scenario, options_.attempt_repair,
+                                 options_.repair);
     result.content_id = content_digest(keys[i]);
 
     const auto [it, inserted] = first_with_key.emplace(keys[i], i);

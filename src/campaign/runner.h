@@ -35,6 +35,11 @@ struct CampaignOptions {
   /// Consult/fill the persistent cross-run cache. In-run deduplication is
   /// always on.
   bool use_cache = true;
+  /// Non-empty: back the result cache with this directory, reloading
+  /// prior runs' outcomes at startup and persisting new ones (see
+  /// campaign/cache.h). Warm runs render byte-identical reports to the
+  /// cold runs that filled the directory.
+  std::string cache_dir;
   SafetyAnalyzer::Options analyzer;
   /// Base emulation options; each scenario overrides `.seed` with its own.
   EmulationOptions emulation;
@@ -64,7 +69,7 @@ class CampaignRunner {
 
  private:
   CampaignOptions options_;
-  ResultCache cache_;
+  ResultCache cache_;  // disk-backed when options_.cache_dir is set
 };
 
 }  // namespace fsr::campaign

@@ -1,0 +1,309 @@
+#include "groundtruth/sat_solver.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fsr::groundtruth {
+
+namespace {
+constexpr std::uint64_t k_restart_base = 64;  // conflicts per Luby unit
+constexpr double k_activity_decay = 0.95;
+constexpr double k_activity_rescale = 1e100;
+}  // namespace
+
+std::int32_t SatSolver::new_variable() {
+  const auto var = static_cast<std::int32_t>(activity_.size());
+  assigns_.push_back(k_unassigned);
+  model_.push_back(0);
+  saved_phase_.push_back(1);  // branch negative first: sparse assignments
+  levels_.push_back(0);
+  reasons_.push_back(k_no_reason);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return var;
+}
+
+void SatSolver::add_clause(std::vector<Lit> literals) {
+  if (!trail_limits_.empty()) {
+    throw InvalidArgument("SatSolver::add_clause requires decision level 0");
+  }
+  if (contradiction_) return;
+
+  std::sort(literals.begin(), literals.end());
+  literals.erase(std::unique(literals.begin(), literals.end()),
+                 literals.end());
+  std::vector<Lit> kept;
+  kept.reserve(literals.size());
+  for (std::size_t i = 0; i < literals.size(); ++i) {
+    const Lit lit = literals[i];
+    if (i + 1 < literals.size() && literals[i + 1] == lit_negate(lit)) {
+      return;  // tautology: contains var and its negation (sorted adjacency)
+    }
+    const std::int8_t value = value_of(lit);
+    if (value == 0) return;     // already satisfied at level 0
+    if (value == 1) continue;   // already false at level 0: drop the literal
+    kept.push_back(lit);
+  }
+
+  if (kept.empty()) {
+    contradiction_ = true;
+    return;
+  }
+  if (kept.size() == 1) {
+    enqueue(kept[0], k_no_reason);
+    return;
+  }
+  clauses_.push_back(Clause{std::move(kept)});
+  attach_clause(static_cast<std::int32_t>(clauses_.size()) - 1);
+}
+
+void SatSolver::attach_clause(std::int32_t clause_index) {
+  const Clause& clause = clauses_[static_cast<std::size_t>(clause_index)];
+  watches_[static_cast<std::size_t>(clause.literals[0])].push_back(
+      Watcher{clause_index, clause.literals[1]});
+  watches_[static_cast<std::size_t>(clause.literals[1])].push_back(
+      Watcher{clause_index, clause.literals[0]});
+}
+
+void SatSolver::enqueue(Lit lit, std::int32_t reason) {
+  const auto var = static_cast<std::size_t>(lit_var(lit));
+  assigns_[var] = static_cast<std::int8_t>(lit & 1);
+  levels_[var] = static_cast<std::int32_t>(trail_limits_.size());
+  reasons_[var] = reason;
+  trail_.push_back(lit);
+}
+
+std::int32_t SatSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++propagations_;
+    // Clauses watching ¬p lost that watch; find them a replacement.
+    const Lit false_lit = lit_negate(p);
+    std::vector<Watcher>& watchers =
+        watches_[static_cast<std::size_t>(false_lit)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watchers.size(); ++i) {
+      const Watcher watcher = watchers[i];
+      if (value_of(watcher.blocker) == 0) {
+        watchers[keep++] = watcher;
+        continue;
+      }
+      Clause& clause = clauses_[static_cast<std::size_t>(watcher.clause)];
+      if (clause.literals[0] == false_lit) {
+        std::swap(clause.literals[0], clause.literals[1]);
+      }
+      const Lit first = clause.literals[0];
+      if (value_of(first) == 0) {
+        watchers[keep++] = Watcher{watcher.clause, first};
+        continue;
+      }
+      bool rewatched = false;
+      for (std::size_t j = 2; j < clause.literals.size(); ++j) {
+        if (value_of(clause.literals[j]) != 1) {
+          std::swap(clause.literals[1], clause.literals[j]);
+          watches_[static_cast<std::size_t>(clause.literals[1])].push_back(
+              Watcher{watcher.clause, first});
+          rewatched = true;
+          break;
+        }
+      }
+      if (rewatched) continue;
+      // Unit or conflicting on `first`.
+      watchers[keep++] = Watcher{watcher.clause, first};
+      if (value_of(first) == 1) {
+        for (++i; i < watchers.size(); ++i) watchers[keep++] = watchers[i];
+        watchers.resize(keep);
+        propagate_head_ = trail_.size();
+        return watcher.clause;
+      }
+      enqueue(first, watcher.clause);
+    }
+    watchers.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bump_variable(std::int32_t var) {
+  double& activity = activity_[static_cast<std::size_t>(var)];
+  activity += activity_increment_;
+  if (activity > k_activity_rescale) {
+    for (double& entry : activity_) entry /= k_activity_rescale;
+    activity_increment_ /= k_activity_rescale;
+  }
+}
+
+void SatSolver::decay_activities() { activity_increment_ /= k_activity_decay; }
+
+std::int32_t SatSolver::analyze(std::int32_t conflict_index,
+                                std::vector<Lit>& learned) {
+  learned.assign(1, 0);  // slot 0: the asserting (first-UIP) literal
+  std::vector<std::int32_t> to_clear;
+  const auto current_level = static_cast<std::int32_t>(trail_limits_.size());
+  std::int32_t open_paths = 0;
+  Lit uip = 0;
+  bool have_uip = false;
+  std::size_t index = trail_.size();
+
+  std::int32_t reason_index = conflict_index;
+  do {
+    const Clause& reason = clauses_[static_cast<std::size_t>(reason_index)];
+    // For a propagation reason, literals[0] is the propagated literal
+    // itself (already handled as `uip`); the initial conflict clause is
+    // scanned in full.
+    for (std::size_t j = have_uip ? 1 : 0; j < reason.literals.size(); ++j) {
+      const Lit q = reason.literals[j];
+      const std::int32_t var = lit_var(q);
+      if (seen_[static_cast<std::size_t>(var)] != 0 ||
+          levels_[static_cast<std::size_t>(var)] == 0) {
+        continue;
+      }
+      seen_[static_cast<std::size_t>(var)] = 1;
+      to_clear.push_back(var);
+      bump_variable(var);
+      if (levels_[static_cast<std::size_t>(var)] >= current_level) {
+        ++open_paths;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (seen_[static_cast<std::size_t>(lit_var(trail_[index - 1]))] == 0) {
+      --index;
+    }
+    --index;
+    uip = trail_[index];
+    have_uip = true;
+    seen_[static_cast<std::size_t>(lit_var(uip))] = 0;
+    reason_index = reasons_[static_cast<std::size_t>(lit_var(uip))];
+    --open_paths;
+  } while (open_paths > 0);
+  learned[0] = lit_negate(uip);
+
+  std::int32_t backjump_level = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    backjump_level = std::max(
+        backjump_level,
+        levels_[static_cast<std::size_t>(lit_var(learned[i]))]);
+  }
+  // Put a literal of the backjump level in slot 1 so it gets watched: after
+  // backtracking it is the clause's only other non-false literal.
+  for (std::size_t i = 2; i < learned.size(); ++i) {
+    if (levels_[static_cast<std::size_t>(lit_var(learned[i]))] ==
+        backjump_level) {
+      std::swap(learned[1], learned[i]);
+      break;
+    }
+  }
+  for (const std::int32_t var : to_clear) {
+    seen_[static_cast<std::size_t>(var)] = 0;
+  }
+  return backjump_level;
+}
+
+void SatSolver::backtrack(std::int32_t level) {
+  if (static_cast<std::int32_t>(trail_limits_.size()) <= level) return;
+  const std::size_t floor = trail_limits_[static_cast<std::size_t>(level)];
+  for (std::size_t i = trail_.size(); i > floor; --i) {
+    const auto var = static_cast<std::size_t>(lit_var(trail_[i - 1]));
+    saved_phase_[var] = assigns_[var];
+    assigns_[var] = k_unassigned;
+    reasons_[var] = k_no_reason;
+  }
+  trail_.resize(floor);
+  trail_limits_.resize(static_cast<std::size_t>(level));
+  propagate_head_ = std::min(propagate_head_, trail_.size());
+}
+
+std::int32_t SatSolver::pick_branch_variable() const {
+  std::int32_t best = -1;
+  double best_activity = -1.0;
+  for (std::int32_t var = 0; var < variable_count(); ++var) {
+    if (assigns_[static_cast<std::size_t>(var)] != k_unassigned) continue;
+    const double activity = activity_[static_cast<std::size_t>(var)];
+    if (activity > best_activity) {  // strict: ties keep the lowest index
+      best_activity = activity;
+      best = var;
+    }
+  }
+  return best;
+}
+
+std::uint64_t SatSolver::luby(std::uint64_t i) {
+  // Value of the Luby sequence at 0-based index i: 1 1 2 1 1 2 4 ...
+  std::uint64_t size = 1;
+  std::uint64_t exponent = 0;
+  while (size < i + 1) {
+    ++exponent;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --exponent;
+    i %= size;
+  }
+  return std::uint64_t{1} << exponent;
+}
+
+SolveStatus SatSolver::solve(std::uint64_t max_conflicts) {
+  if (contradiction_) return SolveStatus::unsatisfiable;
+
+  const std::uint64_t conflict_floor = conflicts_;
+  std::uint64_t restart_sequence = restarts_;
+  std::uint64_t restart_budget = k_restart_base * luby(restart_sequence);
+  std::uint64_t conflicts_this_restart = 0;
+  std::vector<Lit> learned;
+
+  while (true) {
+    const std::int32_t conflict_index = propagate();
+    if (conflict_index >= 0) {
+      ++conflicts_;
+      if (trail_limits_.empty()) {
+        contradiction_ = true;
+        return SolveStatus::unsatisfiable;
+      }
+      const std::int32_t backjump_level = analyze(conflict_index, learned);
+      backtrack(backjump_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], k_no_reason);
+      } else {
+        clauses_.push_back(Clause{learned});
+        const auto clause_index =
+            static_cast<std::int32_t>(clauses_.size()) - 1;
+        attach_clause(clause_index);
+        enqueue(learned[0], clause_index);
+      }
+      ++learned_;
+      decay_activities();
+
+      if (max_conflicts != 0 && conflicts_ - conflict_floor >= max_conflicts) {
+        backtrack(0);
+        return SolveStatus::unknown;
+      }
+      if (++conflicts_this_restart >= restart_budget) {
+        ++restarts_;
+        ++restart_sequence;
+        restart_budget = k_restart_base * luby(restart_sequence);
+        conflicts_this_restart = 0;
+        backtrack(0);
+      }
+      continue;
+    }
+
+    const std::int32_t branch_var = pick_branch_variable();
+    if (branch_var < 0) {
+      model_ = assigns_;
+      backtrack(0);
+      return SolveStatus::satisfiable;
+    }
+    ++decisions_;
+    trail_limits_.push_back(trail_.size());
+    enqueue(make_lit(branch_var,
+                     saved_phase_[static_cast<std::size_t>(branch_var)] == 1),
+            k_no_reason);
+  }
+}
+
+}  // namespace fsr::groundtruth

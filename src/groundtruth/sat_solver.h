@@ -1,0 +1,135 @@
+// A small, fully deterministic CDCL SAT solver — the search core behind
+// the stable-assignment ground-truth engine (stable_sat.h).
+//
+// Feature set (the classic conflict-driven loop, sized for SPP encodings):
+//   * two-watched-literal unit propagation;
+//   * first-UIP conflict analysis with clause learning and backjumping;
+//   * VSIDS-style activity branching (decay on every conflict; ties break
+//     toward the lowest variable index, so runs are reproducible);
+//   * phase saving and Luby-sequence restarts;
+//   * model enumeration support: the caller re-solves after adding a
+//     blocking clause; learned clauses persist across solve() calls.
+//
+// Determinism contract: solve() is a pure function of the clause set and
+// the call history — no randomization, no time-based heuristics — so every
+// consumer (tests, benches, the campaign's byte-stable JSON) sees identical
+// behaviour across runs, platforms, and thread counts.
+//
+// Thread-compatibility: a SatSolver is a mutable single-thread object;
+// distinct instances are fully independent.
+#ifndef FSR_GROUNDTRUTH_SAT_SOLVER_H
+#define FSR_GROUNDTRUTH_SAT_SOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fsr::groundtruth {
+
+/// A literal: variable index with sign. Encoded as 2*var (positive) or
+/// 2*var+1 (negated), the usual DIMACS-free packed form.
+using Lit = std::int32_t;
+
+inline Lit make_lit(std::int32_t var, bool negated) {
+  return (var << 1) | static_cast<std::int32_t>(negated);
+}
+inline std::int32_t lit_var(Lit lit) { return lit >> 1; }
+inline bool lit_negated(Lit lit) { return (lit & 1) != 0; }
+inline Lit lit_negate(Lit lit) { return lit ^ 1; }
+
+enum class SolveStatus {
+  satisfiable,
+  unsatisfiable,
+  unknown,  // conflict budget exhausted before a verdict
+};
+
+class SatSolver {
+ public:
+  /// Creates one unassigned variable and returns its index.
+  std::int32_t new_variable();
+
+  std::int32_t variable_count() const noexcept {
+    return static_cast<std::int32_t>(activity_.size());
+  }
+
+  /// Adds a clause (disjunction of literals). Duplicate literals are
+  /// removed; a clause containing both polarities of a variable is a
+  /// tautology and is dropped. The empty clause makes the instance
+  /// trivially unsatisfiable. Must be called at decision level 0 (i.e.
+  /// before solve(), or after solve() returned — the solver backtracks to
+  /// level 0 on completion), which is when blocking clauses are added.
+  void add_clause(std::vector<Lit> literals);
+
+  /// Decides the clause set. `max_conflicts` == 0 means no budget.
+  SolveStatus solve(std::uint64_t max_conflicts = 0);
+
+  /// Value of `var` in the model of the last satisfiable solve().
+  bool model_value(std::int32_t var) const {
+    return model_[static_cast<std::size_t>(var)] == 0;  // 0 encodes true
+  }
+
+  // Search statistics (cumulative across solve() calls).
+  std::uint64_t conflicts() const noexcept { return conflicts_; }
+  std::uint64_t decisions() const noexcept { return decisions_; }
+  std::uint64_t propagations() const noexcept { return propagations_; }
+  std::uint64_t learned_clauses() const noexcept { return learned_; }
+  std::uint64_t restarts() const noexcept { return restarts_; }
+
+ private:
+  static constexpr std::int32_t k_no_reason = -1;
+  static constexpr std::int8_t k_unassigned = 2;
+
+  struct Clause {
+    std::vector<Lit> literals;
+  };
+
+  struct Watcher {
+    std::int32_t clause = 0;  // index into clauses_
+    Lit blocker = 0;          // other watched literal (fast sat check)
+  };
+
+  std::int8_t value_of(Lit lit) const {
+    const std::int8_t assigned = assigns_[static_cast<std::size_t>(lit_var(lit))];
+    if (assigned == k_unassigned) return k_unassigned;
+    return static_cast<std::int8_t>(assigned ^ static_cast<std::int8_t>(lit & 1));
+  }
+
+  void enqueue(Lit lit, std::int32_t reason);
+  /// Returns the index of a conflicting clause, or -1.
+  std::int32_t propagate();
+  void attach_clause(std::int32_t clause_index);
+  /// First-UIP analysis of `conflict_index`; fills `learned` (UIP literal
+  /// first) and returns the backjump level.
+  std::int32_t analyze(std::int32_t conflict_index, std::vector<Lit>& learned);
+  void backtrack(std::int32_t level);
+  void bump_variable(std::int32_t var);
+  void decay_activities();
+  std::int32_t pick_branch_variable() const;
+  static std::uint64_t luby(std::uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<std::int8_t> assigns_;  // per var: 0 = true, 1 = false, 2 = none
+  std::vector<std::int8_t> model_;
+  std::vector<std::int8_t> saved_phase_;  // 0 = true, 1 = false
+  std::vector<std::int32_t> levels_;      // per var
+  std::vector<std::int32_t> reasons_;     // per var: clause index or -1
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_limits_;  // decision-level boundaries
+  std::size_t propagate_head_ = 0;
+  double activity_increment_ = 1.0;
+  bool contradiction_ = false;  // a top-level conflict was derived
+
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+  std::uint64_t learned_ = 0;
+  std::uint64_t restarts_ = 0;
+
+  // Scratch for analyze().
+  mutable std::vector<std::int8_t> seen_;
+};
+
+}  // namespace fsr::groundtruth
+
+#endif  // FSR_GROUNDTRUTH_SAT_SOLVER_H

@@ -1,0 +1,224 @@
+#include "groundtruth/stable_sat.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace fsr::groundtruth {
+namespace {
+
+/// The per-node variable block: one selector per permitted path plus the
+/// trailing "routes to nothing" selector.
+struct NodeVars {
+  std::vector<std::int32_t> path_vars;  // index = rank
+  std::int32_t none_var = -1;
+};
+
+struct Encoding {
+  SatSolver solver;
+  std::vector<std::string> nodes;
+  std::map<std::string, NodeVars> vars;
+  std::uint64_t clause_count = 0;
+};
+
+void add_counted(Encoding& encoding, std::vector<Lit> literals) {
+  encoding.solver.add_clause(std::move(literals));
+  ++encoding.clause_count;
+}
+
+/// Availability literal of a permitted path: the positive selector of its
+/// one-step suffix at the next hop, or nullopt when the path is direct
+/// (always available) — the suffix-not-permitted case (never available)
+/// is signalled via `never_available`.
+std::optional<Lit> availability_literal(const spp::SppInstance& instance,
+                                        const Encoding& encoding,
+                                        const spp::Path& path,
+                                        bool& never_available) {
+  never_available = false;
+  if (path.size() == 2) return std::nullopt;  // direct to the destination
+  const spp::Path suffix(path.begin() + 1, path.end());
+  const auto rank = instance.rank_of(suffix);
+  if (!rank.has_value()) {
+    never_available = true;
+    return std::nullopt;
+  }
+  const NodeVars& next_hop = encoding.vars.at(suffix.front());
+  return make_lit(next_hop.path_vars[*rank], false);
+}
+
+Encoding encode(const spp::SppInstance& instance) {
+  Encoding encoding;
+  encoding.nodes = instance.nodes();
+
+  for (const std::string& node : encoding.nodes) {
+    NodeVars block;
+    for (std::size_t i = 0; i < instance.permitted(node).size(); ++i) {
+      block.path_vars.push_back(encoding.solver.new_variable());
+    }
+    block.none_var = encoding.solver.new_variable();
+    encoding.vars.emplace(node, std::move(block));
+  }
+
+  for (const std::string& node : encoding.nodes) {
+    const NodeVars& block = encoding.vars.at(node);
+    const std::vector<spp::Path>& ranked = instance.permitted(node);
+
+    // Exactly-one: at-least-one over all selectors, at-most-one pairwise.
+    std::vector<Lit> at_least_one;
+    for (const std::int32_t var : block.path_vars) {
+      at_least_one.push_back(make_lit(var, false));
+    }
+    at_least_one.push_back(make_lit(block.none_var, false));
+    add_counted(encoding, at_least_one);
+    for (std::size_t i = 0; i < at_least_one.size(); ++i) {
+      for (std::size_t j = i + 1; j < at_least_one.size(); ++j) {
+        add_counted(encoding, {lit_negate(at_least_one[i]),
+                               lit_negate(at_least_one[j])});
+      }
+    }
+
+    for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+      const Lit selected = make_lit(block.path_vars[rank], false);
+
+      // Consistency: a selected transit path needs its suffix selected at
+      // the next hop; a path whose suffix is not even permitted there can
+      // never be chosen (unit clause — pure ranking structure).
+      bool never_available = false;
+      const auto available =
+          availability_literal(instance, encoding, ranked[rank],
+                               never_available);
+      if (never_available) {
+        add_counted(encoding, {lit_negate(selected)});
+        continue;
+      }
+      if (available.has_value()) {
+        add_counted(encoding, {lit_negate(selected), *available});
+      }
+
+      // Bestness: every better-ranked alternative must be unavailable.
+      for (std::size_t better = 0; better < rank; ++better) {
+        bool better_never = false;
+        const auto better_available = availability_literal(
+            instance, encoding, ranked[better], better_never);
+        if (better_never) continue;  // that alternative can never pre-empt
+        if (!better_available.has_value()) {
+          // A better-ranked direct path is always available: this path can
+          // never be the best consistent choice.
+          add_counted(encoding, {lit_negate(selected)});
+          break;
+        }
+        add_counted(encoding,
+                    {lit_negate(selected), lit_negate(*better_available)});
+      }
+    }
+
+    // Routing to nothing requires every permitted path to be unavailable.
+    const Lit none = make_lit(block.none_var, false);
+    for (const spp::Path& path : ranked) {
+      bool never_available = false;
+      const auto available =
+          availability_literal(instance, encoding, path, never_available);
+      if (never_available) continue;
+      if (!available.has_value()) {
+        add_counted(encoding, {lit_negate(none)});  // a direct path exists
+        break;
+      }
+      add_counted(encoding, {lit_negate(none), lit_negate(*available)});
+    }
+  }
+  return encoding;
+}
+
+spp::Assignment decode(const spp::SppInstance& instance,
+                       const Encoding& encoding) {
+  spp::Assignment assignment;
+  for (const std::string& node : encoding.nodes) {
+    const NodeVars& block = encoding.vars.at(node);
+    for (std::size_t rank = 0; rank < block.path_vars.size(); ++rank) {
+      if (encoding.solver.model_value(block.path_vars[rank])) {
+        assignment[node] = instance.permitted(node)[rank];
+        break;
+      }
+    }
+  }
+  return assignment;
+}
+
+/// The clause forbidding the model just found: some node must select a
+/// different option. One literal per node (the selected one, negated).
+std::vector<Lit> blocking_clause(const Encoding& encoding) {
+  std::vector<Lit> clause;
+  for (const std::string& node : encoding.nodes) {
+    const NodeVars& block = encoding.vars.at(node);
+    bool blocked = false;
+    for (const std::int32_t var : block.path_vars) {
+      if (encoding.solver.model_value(var)) {
+        clause.push_back(make_lit(var, true));
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) clause.push_back(make_lit(block.none_var, true));
+  }
+  return clause;
+}
+
+}  // namespace
+
+StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
+                                            std::size_t max_solutions,
+                                            std::uint64_t max_conflicts) {
+  StableSearchResult result;
+  if (instance.nodes().empty()) {
+    result.decided = true;
+    result.has_stable = true;
+    result.count = 1;  // the empty assignment is vacuously stable
+    result.count_exact = true;
+    result.assignments.push_back({});
+    return result;
+  }
+
+  Encoding encoding = encode(instance);
+  const std::size_t target = std::max<std::size_t>(max_solutions, 1);
+
+  while (true) {
+    std::uint64_t budget = 0;
+    if (max_conflicts != 0) {
+      const std::uint64_t spent = encoding.solver.conflicts();
+      if (spent >= max_conflicts) break;  // budget gone mid-enumeration
+      budget = max_conflicts - spent;
+    }
+    const SolveStatus status = encoding.solver.solve(budget);
+    if (status == SolveStatus::unknown) break;
+    if (status == SolveStatus::unsatisfiable) {
+      result.decided = true;
+      result.has_stable = !result.assignments.empty();
+      result.count_exact = true;
+      break;
+    }
+    result.decided = true;
+    result.has_stable = true;
+    result.assignments.push_back(decode(instance, encoding));
+    if (result.assignments.size() >= target) break;  // count stays a floor
+    encoding.solver.add_clause(blocking_clause(encoding));
+  }
+
+  // An exhausted budget with no witness yet leaves the question open.
+  if (result.assignments.empty() && !result.count_exact) {
+    result.decided = false;
+  }
+  result.count = result.assignments.size();
+  std::sort(result.assignments.begin(), result.assignments.end());
+
+  result.stats.variables =
+      static_cast<std::uint64_t>(encoding.solver.variable_count());
+  result.stats.clauses = encoding.clause_count;
+  result.stats.conflicts = encoding.solver.conflicts();
+  result.stats.decisions = encoding.solver.decisions();
+  result.stats.propagations = encoding.solver.propagations();
+  result.stats.learned_clauses = encoding.solver.learned_clauses();
+  return result;
+}
+
+}  // namespace fsr::groundtruth

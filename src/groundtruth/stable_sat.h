@@ -1,0 +1,66 @@
+// SAT encoding of the stable-paths problem (the conflict-driven
+// ground-truth oracle behind engine.h).
+//
+// A stable assignment picks, per node, one permitted path or none, such
+// that every node's pick is its best consistent choice (spp.h). That
+// condition is exactly a CNF over one Boolean per (node, permitted path)
+// pair plus one "routes to nothing" Boolean per node:
+//
+//   * exactly-one: each node selects exactly one option;
+//   * consistency: a non-direct path requires its next hop to select the
+//     path's one-step suffix;
+//   * bestness:    selecting a path (or nothing) forbids the availability
+//                  of every better-ranked alternative — a direct better
+//                  path yields a unit clause (the ranking structure the
+//                  solver unit-propagates before ever branching), a
+//                  transit one a binary clause against its suffix.
+//
+// The CDCL solver (sat_solver.h) then decides existence, and enumerates
+// stable assignments up to a bound by re-solving under blocking clauses.
+// Everything is deterministic in the instance alone.
+#ifndef FSR_GROUNDTRUTH_STABLE_SAT_H
+#define FSR_GROUNDTRUTH_STABLE_SAT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "groundtruth/sat_solver.h"
+#include "spp/spp.h"
+
+namespace fsr::groundtruth {
+
+struct StableSearchStats {
+  std::uint64_t variables = 0;
+  std::uint64_t clauses = 0;       // encoded clauses (units included)
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t learned_clauses = 0;
+};
+
+struct StableSearchResult {
+  /// False only when the conflict budget ran out before a verdict; every
+  /// other field is then meaningless.
+  bool decided = false;
+  bool has_stable = false;
+  /// Distinct stable assignments found, capped at `max_solutions`;
+  /// `count_exact` marks whether enumeration finished under the cap.
+  std::size_t count = 0;
+  bool count_exact = false;
+  /// Found assignments in canonical (lexicographic) order, at most
+  /// `max_solutions` of them.
+  std::vector<spp::Assignment> assignments;
+  StableSearchStats stats;
+};
+
+/// Decides whether `instance` has a stable path assignment and enumerates
+/// up to `max_solutions` of them (0 = decide existence only, still
+/// returning one witness). `max_conflicts` bounds total solver effort
+/// across the enumeration (0 = unbounded).
+StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
+                                            std::size_t max_solutions,
+                                            std::uint64_t max_conflicts = 0);
+
+}  // namespace fsr::groundtruth
+
+#endif  // FSR_GROUNDTRUTH_STABLE_SAT_H

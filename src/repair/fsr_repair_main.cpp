@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "campaign/scenario_source.h"
+#include "groundtruth/engine.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
 #include "util/error.h"
@@ -57,6 +58,8 @@ void print_usage() {
       "  --max-edits K    edit-size cap for candidates (default 2)\n"
       "  --max-checks N   solver re-check budget per instance (default 512)\n"
       "  --no-relax       disable constraint-level relax edits\n"
+      "  --ground-truth M ground-truth oracle: sat-search (default) |\n"
+      "                   enumerate\n"
       "  --from-scratch   disable incremental solving (ablation)\n"
       "  --format F       text | json (default text)\n"
       "  --list-gadgets   print known gadget names and exit\n"
@@ -106,6 +109,15 @@ int main(int argc, char** argv) {
       options.max_checks = static_cast<std::size_t>(max_checks);
     } else if (std::strcmp(arg, "--no-relax") == 0) {
       options.allow_relax = false;
+    } else if (std::optional<fsr::groundtruth::Mode> mode;
+               fsr::groundtruth::consume_mode_flag(argc, argv, i, mode)) {
+      if (!mode.has_value()) {
+        std::fprintf(stderr,
+                     "fsr_repair: --ground-truth needs a mode "
+                     "(enumerate | sat-search)\n");
+        return 2;
+      }
+      options.ground_truth = *mode;
     } else if (std::strcmp(arg, "--from-scratch") == 0) {
       options.use_incremental = false;
     } else if (std::strcmp(arg, "--format") == 0) {

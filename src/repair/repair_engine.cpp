@@ -98,7 +98,9 @@ class Search {
         options_(options),
         seed_(seed),
         spec_(spp::algebra_from_spp(instance)->symbolic()),
-        session_(spec_, MonotonicityMode::strict, session_options(options)) {
+        session_(spec_, MonotonicityMode::strict, session_options(options)),
+        oracle_(groundtruth::make_engine(options.ground_truth,
+                                         oracle_options(options))) {
     for (const std::string& node : instance.nodes()) {
       for (const spp::Path& path : instance.permitted(node)) {
         sig_info_.emplace(spp::spp_signature(path), SigInfo{node, path});
@@ -134,6 +136,7 @@ class Search {
     const auto start = std::chrono::steady_clock::now();
     RepairReport report;
     report.instance = instance_.name();
+    report.ground_truth_mode = options_.ground_truth;
 
     const auto initial = session_.check({});
     if (initial.holds) {
@@ -183,6 +186,14 @@ class Search {
   }
 
  private:
+  static groundtruth::Options oracle_options(const RepairOptions& options) {
+    groundtruth::Options oracle_options;
+    oracle_options.max_states = options.ground_truth_max_states;
+    oracle_options.max_conflicts = options.ground_truth_max_conflicts;
+    oracle_options.max_solutions = options.ground_truth_max_solutions;
+    return oracle_options;
+  }
+
   static IncrementalSafetySession::Options session_options(
       const RepairOptions& options) {
     IncrementalSafetySession::Options session_options;
@@ -494,18 +505,16 @@ class Search {
                         .converged;
       }
       candidate.spvp_converged = converged;
-      try {
-        candidate.stable_assignments =
-            spp::enumerate_stable_assignments(*eval.edited,
-                                              options_.ground_truth_max_states)
-                .size();
-        candidate.ground_truth =
-            (candidate.stable_assignments >= 1 && converged)
-                ? GroundTruth::verified
-                : GroundTruth::failed;
-      } catch (const Error&) {
-        // Enumeration blew the state cap (it is exponential): the solver
-        // verdict stands unverified; SPVP convergence is still recorded.
+      const groundtruth::Result truth = oracle_->analyze(*eval.edited);
+      if (truth.decided) {
+        candidate.stable_assignments = truth.count;
+        candidate.ground_truth = (truth.has_stable && converged)
+                                     ? GroundTruth::verified
+                                     : GroundTruth::failed;
+      } else {
+        // The oracle's budget ran out (enumerate: state cap; sat-search:
+        // conflict cap): the solver verdict stands unverified; SPVP
+        // convergence is still recorded.
         candidate.ground_truth = converged ? GroundTruth::not_applicable
                                            : GroundTruth::failed;
       }
@@ -542,6 +551,7 @@ class Search {
   std::uint64_t seed_;
   algebra::SymbolicSpec spec_;
   IncrementalSafetySession session_;
+  std::unique_ptr<groundtruth::GroundTruthEngine> oracle_;
   std::map<std::string, SigInfo> sig_info_;
   // Interned permitted paths and the base structures evaluate() diffs
   // against (see class comment).
@@ -582,6 +592,7 @@ RepairReport RepairEngine::repair(const spp::SppInstance& instance,
 RepairSummary summarize(const RepairReport& report) {
   RepairSummary summary;
   summary.attempted = true;
+  summary.ground_truth_mode = groundtruth::to_string(report.ground_truth_mode);
   summary.candidates_checked = report.candidates_checked;
   summary.solver_checks = report.solver_checks;
   if (const RepairCandidate* best = report.best()) {
@@ -598,6 +609,8 @@ RepairSummary summarize(const RepairReport& report) {
 std::string to_json(const RepairReport& report) {
   std::string out = "{\n";
   out += "  \"instance\": " + quoted(report.instance) + ",\n";
+  out += "  \"ground_truth_mode\": " +
+         quoted(groundtruth::to_string(report.ground_truth_mode)) + ",\n";
   out += "  \"already_safe\": ";
   out += report.already_safe ? "true" : "false";
   out += ",\n  \"initial_core\": [";
@@ -649,9 +662,10 @@ std::string render_text(const RepairReport& report) {
   }
   std::snprintf(buf, sizeof(buf),
                 "search: %zu candidates, %zu solver checks, %zu cores, "
-                "%zu engine rebuilds, %.2f ms%s\n",
+                "%zu engine rebuilds, %.2f ms, %s oracle%s\n",
                 report.candidates_checked, report.solver_checks,
                 report.cores_seen, report.engine_rebuilds, report.wall_ms,
+                groundtruth::to_string(report.ground_truth_mode),
                 report.budget_exhausted ? " (budget exhausted)" : "");
   out += buf;
   if (!report.repaired()) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "fsr/safety_analyzer.h"
+#include "groundtruth/engine.h"
 #include "repair/edit.h"
 #include "spp/spp.h"
 
@@ -45,7 +46,7 @@ enum class GroundTruth {
   verified,        // >= 1 stable assignment and every SPVP trial converged
   failed,          // ground truth contradicted the solver verdict
   not_applicable,  // candidate includes constraint-level (relax) edits, or
-                   // the instance was too large to enumerate
+                   // the oracle's budget ran out before a verdict
 };
 
 const char* to_string(GroundTruth truth) noexcept;
@@ -70,16 +71,26 @@ struct RepairOptions {
   bool use_incremental = true;
   /// Explore constraint-level relax edits (solver-verified only).
   bool allow_relax = true;
-  /// State cap handed to enumerate_stable_assignments; larger instances
-  /// skip enumeration and report GroundTruth::not_applicable. Enumeration
-  /// is exponential in instance size, so this bounds per-candidate cost.
+  /// Which exact oracle validates solver-safe candidates (see
+  /// groundtruth/engine.h). sat-search decides instances far beyond the
+  /// enumeration cap; enumerate preserves the seed toolkit's behaviour.
+  groundtruth::Mode ground_truth = groundtruth::Mode::sat_search;
+  /// State cap for the enumerate oracle; candidates whose oracle budget
+  /// runs out report GroundTruth::not_applicable. Enumeration is
+  /// exponential in instance size, so this bounds per-candidate cost.
   std::uint64_t ground_truth_max_states = 1u << 17;
+  /// Conflict budget for the sat-search oracle (0 = unbounded).
+  std::uint64_t ground_truth_max_conflicts = 1u << 20;
+  /// Stable-assignment enumeration bound reported per candidate.
+  std::size_t ground_truth_max_solutions = 64;
   std::uint64_t spvp_max_activations = 20000;
   int spvp_trials = 3;
 };
 
 struct RepairReport {
   std::string instance;
+  /// The oracle that validated candidates (RepairOptions.ground_truth).
+  groundtruth::Mode ground_truth_mode = groundtruth::Mode::sat_search;
   bool already_safe = false;
   /// The original counterexample: minimal core of the unedited instance.
   std::vector<ConstraintProvenance> initial_core;
@@ -126,6 +137,7 @@ struct RepairSummary {
   bool attempted = false;
   bool solver_repaired = false;  // some candidate made the solver say safe
   bool verified = false;         // the best candidate is ground-truthed
+  std::string ground_truth_mode;  // oracle name ("enumerate"/"sat-search")
   std::size_t edit_count = 0;    // best candidate's edit count
   std::vector<std::string> edits;  // best candidate's edit descriptions
   std::size_t candidates_checked = 0;

@@ -120,23 +120,25 @@ std::optional<Path> best_consistent_choice(const SppInstance& instance,
 
 }  // namespace
 
-std::vector<Assignment> enumerate_stable_assignments(
-    const SppInstance& instance, std::uint64_t max_states) {
-  const std::vector<std::string> nodes = instance.nodes();
-
-  // Search space: each node picks one permitted path or none.
-  std::uint64_t states = 1;
-  for (const std::string& node : nodes) {
-    const std::uint64_t options = instance.permitted(node).size() + 1;
-    if (states > max_states / options) {
-      throw InvalidArgument(
-          "SPP instance '" + instance.name() +
-          "' is too large for exhaustive stable-state enumeration");
+bool is_stable_assignment(const SppInstance& instance,
+                          const Assignment& assignment) {
+  for (const std::string& node : instance.nodes()) {
+    const auto best = best_consistent_choice(instance, node, assignment);
+    const auto it = assignment.find(node);
+    const bool has = it != assignment.end();
+    if (best.has_value() != has ||
+        (best.has_value() && has && *best != it->second)) {
+      return false;
     }
-    states *= options;
   }
+  return true;
+}
 
-  std::vector<Assignment> stable;
+BudgetedEnumeration enumerate_stable_assignments_budgeted(
+    const SppInstance& instance, std::uint64_t max_states,
+    std::size_t max_solutions) {
+  const std::vector<std::string> nodes = instance.nodes();
+  BudgetedEnumeration result;
   std::vector<std::size_t> choice(nodes.size(), 0);  // index; size() = none
 
   const auto current_assignment = [&]() {
@@ -150,20 +152,12 @@ std::vector<Assignment> enumerate_stable_assignments(
     return assignment;
   };
 
-  while (true) {
-    const Assignment assignment = current_assignment();
-    bool is_stable = true;
-    for (const std::string& node : nodes) {
-      const auto best = best_consistent_choice(instance, node, assignment);
-      const auto it = assignment.find(node);
-      const bool has = it != assignment.end();
-      if (best.has_value() != has ||
-          (best.has_value() && has && *best != it->second)) {
-        is_stable = false;
-        break;
-      }
+  while (result.states_scanned < max_states) {
+    ++result.states_scanned;
+    Assignment assignment = current_assignment();
+    if (is_stable_assignment(instance, assignment)) {
+      result.assignments.push_back(std::move(assignment));
     }
-    if (is_stable) stable.push_back(assignment);
 
     // Advance the mixed-radix counter.
     std::size_t i = 0;
@@ -174,9 +168,31 @@ std::vector<Assignment> enumerate_stable_assignments(
       }
       choice[i] = 0;
     }
-    if (i == nodes.size()) break;
+    if (i == nodes.size()) {
+      result.complete = true;
+      return result;
+    }
+    if (result.assignments.size() >= max_solutions) return result;
   }
-  return stable;
+  return result;
+}
+
+std::vector<Assignment> enumerate_stable_assignments(
+    const SppInstance& instance, std::uint64_t max_states) {
+  // Search space: each node picks one permitted path or none.
+  std::uint64_t states = 1;
+  for (const std::string& node : instance.nodes()) {
+    const std::uint64_t options = instance.permitted(node).size() + 1;
+    if (states > max_states / options) {
+      throw InvalidArgument(
+          "SPP instance '" + instance.name() +
+          "' is too large for exhaustive stable-state enumeration");
+    }
+    states *= options;
+  }
+  BudgetedEnumeration scan =
+      enumerate_stable_assignments_budgeted(instance, states);
+  return std::move(scan.assignments);
 }
 
 SpvpResult simulate_spvp(const SppInstance& instance, util::Rng& rng,
@@ -212,16 +228,7 @@ SpvpResult simulate_spvp(const SppInstance& instance, util::Rng& rng,
   };
 
   const auto is_fixed_point = [&]() {
-    for (const std::string& node : nodes) {
-      const auto best = best_consistent_choice(instance, node, chosen);
-      const auto it = chosen.find(node);
-      const bool has = it != chosen.end();
-      if (best.has_value() != has ||
-          (best.has_value() && has && *best != it->second)) {
-        return false;
-      }
-    }
-    return true;
+    return is_stable_assignment(instance, chosen);
   };
 
   while (result.activations < max_activations) {

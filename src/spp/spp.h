@@ -88,6 +88,12 @@ class SppInstance {
 /// nothing are absent).
 using Assignment = std::map<std::string, Path>;
 
+/// True when `assignment` is stable: every node's entry equals its best
+/// consistent permitted path given the others' choices (and nodes without
+/// an entry have no consistent permitted path at all).
+bool is_stable_assignment(const SppInstance& instance,
+                          const Assignment& assignment);
+
 /// Exhaustively enumerates all stable assignments of `instance`. A stable
 /// assignment picks, for every node, the highest-ranked permitted path
 /// consistent with the neighbours' choices (or no path when none is
@@ -95,6 +101,25 @@ using Assignment = std::map<std::string, Path>;
 /// Throws fsr::InvalidArgument when the search space exceeds `max_states`.
 std::vector<Assignment> enumerate_stable_assignments(
     const SppInstance& instance, std::uint64_t max_states = 1u << 22);
+
+/// Outcome of a budgeted brute-force scan (enumerate_stable_assignments
+/// without the up-front throw): `complete` is true when the whole state
+/// space was covered, so `assignments` is the exact answer; otherwise the
+/// scan stopped after `states_scanned` states (or at `max_solutions`
+/// found) and `assignments` is only a partial floor.
+struct BudgetedEnumeration {
+  std::vector<Assignment> assignments;
+  bool complete = false;
+  std::uint64_t states_scanned = 0;
+};
+
+/// Scans up to `max_states` candidate states for stable assignments,
+/// stopping early once `max_solutions` have been found. Never throws on
+/// large instances — the budget simply runs out (`complete` false). The
+/// ground-truth engine's enumerate backend.
+BudgetedEnumeration enumerate_stable_assignments_budgeted(
+    const SppInstance& instance, std::uint64_t max_states,
+    std::size_t max_solutions = static_cast<std::size_t>(-1));
 
 /// Result of an asynchronous SPVP simulation.
 struct SpvpResult {

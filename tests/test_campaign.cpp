@@ -4,7 +4,11 @@
 // core contract), and the JSON/table renderers.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "campaign/cache.h"
@@ -190,17 +194,118 @@ TEST(CampaignRunner, SecondRunServedEntirelyFromCache) {
   EXPECT_EQ(second.solved_count, 0u);
   EXPECT_EQ(second.cache_hit_count,
             second.results.size() - second.deduplicated_count);
-  // Cached outcomes render identically to freshly solved ones.
-  EXPECT_NE(to_json(first), to_json(second));  // cache_hit flags differ...
+  // Cache provenance is timings-gated metadata, so a warm run renders the
+  // exact same deterministic JSON as the cold run that filled the cache...
+  EXPECT_EQ(to_json(first), to_json(second));
+  JsonOptions timed;
+  timed.include_timings = true;
+  EXPECT_NE(to_json(second, timed).find("\"cache_hit\": true"),
+            std::string::npos);
   ASSERT_EQ(first.results.size(), second.results.size());
   for (std::size_t i = 0; i < first.results.size(); ++i) {
     EXPECT_EQ(first.results[i].content_id, second.results[i].content_id);
     if (!first.results[i].deduplicated) {
-      // ...but the outcome objects themselves are shared, not re-solved.
+      // ...and the outcome objects themselves are shared, not re-solved.
       EXPECT_EQ(first.results[i].outcome.get(),
                 second.results[i].outcome.get());
     }
   }
+}
+
+TEST(Cache, OutcomesRoundTripThroughSerialization) {
+  // Every outcome shape the campaign produces (safety with cores and
+  // models, emulations with series/routes, repair summaries, errors) must
+  // survive the disk format byte-for-byte at the JSON level.
+  GadgetSweep sweep;
+  sweep.include_emulations = true;
+  std::vector<std::unique_ptr<ScenarioSource>> sources;
+  sources.push_back(gadget_source(std::move(sweep)));
+  sources.push_back(standard_policy_source());
+  CampaignOptions options;
+  options.attempt_repair = true;
+  CampaignRunner runner(options);
+  CampaignReport report = runner.run(sources);
+  JsonOptions timed;
+  timed.include_timings = true;
+  const std::string plain_before = to_json(report);
+  const std::string timed_before = to_json(report, timed);
+
+  std::size_t round_tripped = 0;
+  for (ScenarioResult& result : report.results) {
+    if (result.outcome == nullptr) continue;
+    const auto restored =
+        deserialize_outcome(serialize_outcome(*result.outcome));
+    ASSERT_NE(restored, nullptr) << result.id;
+    result.outcome = restored;
+    ++round_tripped;
+  }
+  EXPECT_GT(round_tripped, 0u);
+
+  // Deterministic AND timing renderings agree: the format loses nothing
+  // (wall-clock fields included, so warm table renderings stay faithful).
+  EXPECT_EQ(plain_before, to_json(report));
+  EXPECT_EQ(timed_before, to_json(report, timed));
+}
+
+TEST(Cache, MalformedRecordsAreRejectedNotFatal) {
+  EXPECT_EQ(deserialize_outcome(""), nullptr);
+  EXPECT_EQ(deserialize_outcome("not a record"), nullptr);
+  EXPECT_EQ(deserialize_outcome("fsr-outcome v99\nkind safety\n"), nullptr);
+  // A truncated but well-headed record is rejected as a whole.
+  const ScenarioOutcome outcome;
+  const std::string full = serialize_outcome(outcome);
+  EXPECT_NE(deserialize_outcome(full), nullptr);
+  EXPECT_EQ(deserialize_outcome(full.substr(0, full.size() / 2)), nullptr);
+}
+
+TEST(Cache, DiskBackedCachePersistsAcrossRunners) {
+  const std::string dir =
+      testing::TempDir() + "fsr_cache_persist_" +
+      std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  CampaignOptions options;
+  options.cache_dir = dir;
+  std::string cold_json;
+  {
+    CampaignRunner cold(options);
+    const CampaignReport report = cold.run(quick_sources());
+    EXPECT_GT(report.solved_count, 0u);
+    cold_json = to_json(report);
+  }
+  EXPECT_FALSE(std::filesystem::is_empty(dir));
+
+  // A fresh process (modelled by a fresh runner) reloads every outcome:
+  // nothing re-solves and the deterministic JSON is byte-identical.
+  CampaignRunner warm(options);
+  const CampaignReport report = warm.run(quick_sources());
+  EXPECT_EQ(report.solved_count, 0u);
+  EXPECT_GT(report.cache_hit_count, 0u);
+  EXPECT_EQ(cold_json, to_json(report));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, CorruptedDiskEntriesDegradeToMisses) {
+  const std::string dir =
+      testing::TempDir() + "fsr_cache_corrupt_" +
+      std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  CampaignOptions options;
+  options.cache_dir = dir;
+  {
+    CampaignRunner cold(options);
+    (void)cold.run(quick_sources());
+  }
+  // Vandalise every stored record; the reload must shrug, not crash.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "fsr-outcome v1\ngarbage";
+  }
+  CampaignRunner warm(options);
+  const CampaignReport report = warm.run(quick_sources());
+  EXPECT_EQ(report.cache_hit_count, 0u);
+  EXPECT_GT(report.solved_count, 0u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CampaignRunner, CacheCanBeDisabled) {

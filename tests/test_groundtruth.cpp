@@ -1,0 +1,330 @@
+// Tests for the ground-truth subsystem (src/groundtruth/): the CDCL SAT
+// core, the stable-assignment CNF encoding, and the engine facade — ending
+// in the acceptance sweep: the sat-search backend must agree with exact
+// enumeration on the whole gadget library plus 200 seeded random SPP
+// instances (existence verdict, exact solution count, and witnesses that
+// hold up under both the stability predicate and seeded SPVP runs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "campaign/scenario_source.h"
+#include "groundtruth/engine.h"
+#include "groundtruth/sat_solver.h"
+#include "groundtruth/stable_sat.h"
+#include "spp/gadgets.h"
+#include "spp/spp.h"
+#include "util/rng.h"
+
+namespace fsr::groundtruth {
+namespace {
+
+// ------------------------------------------------------------ SAT solver --
+
+TEST(SatSolver, DecidesTinyFormulas) {
+  SatSolver sat;
+  const std::int32_t a = sat.new_variable();
+  const std::int32_t b = sat.new_variable();
+  sat.add_clause({make_lit(a, false), make_lit(b, false)});
+  sat.add_clause({make_lit(a, true), make_lit(b, false)});
+  EXPECT_EQ(sat.solve(), SolveStatus::satisfiable);
+  EXPECT_TRUE(sat.model_value(b));  // b is forced by resolution
+
+  SatSolver unsat;
+  const std::int32_t x = unsat.new_variable();
+  unsat.add_clause({make_lit(x, false)});
+  unsat.add_clause({make_lit(x, true)});
+  EXPECT_EQ(unsat.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(SatSolver, EmptyClauseIsContradiction) {
+  SatSolver sat;
+  (void)sat.new_variable();
+  sat.add_clause({});
+  EXPECT_EQ(sat.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(SatSolver, TautologiesAndDuplicatesAreHarmless) {
+  SatSolver sat;
+  const std::int32_t a = sat.new_variable();
+  sat.add_clause({make_lit(a, false), make_lit(a, true)});   // tautology
+  sat.add_clause({make_lit(a, false), make_lit(a, false)});  // duplicate lit
+  EXPECT_EQ(sat.solve(), SolveStatus::satisfiable);
+  EXPECT_TRUE(sat.model_value(a));
+}
+
+TEST(SatSolver, PigeonholePrinciplesAreRefutedByLearning) {
+  // 4 pigeons into 3 holes: every clause-learning path gets exercised.
+  SatSolver sat;
+  constexpr int pigeons = 4;
+  constexpr int holes = 3;
+  std::int32_t var[pigeons][holes];
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) var[p][h] = sat.new_variable();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some_hole;
+    for (int h = 0; h < holes; ++h) {
+      some_hole.push_back(make_lit(var[p][h], false));
+    }
+    sat.add_clause(some_hole);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        sat.add_clause({make_lit(var[p][h], true), make_lit(var[q][h], true)});
+      }
+    }
+  }
+  EXPECT_EQ(sat.solve(), SolveStatus::unsatisfiable);
+  EXPECT_GT(sat.conflicts(), 0u);
+  EXPECT_GT(sat.learned_clauses(), 0u);
+}
+
+TEST(SatSolver, ConflictBudgetYieldsUnknown) {
+  // A hard-enough refutation with a one-conflict budget cannot finish.
+  SatSolver sat;
+  constexpr int pigeons = 5;
+  constexpr int holes = 4;
+  std::vector<std::vector<std::int32_t>> var(pigeons);
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) var[p].push_back(sat.new_variable());
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some_hole;
+    for (int h = 0; h < holes; ++h) {
+      some_hole.push_back(make_lit(var[p][h], false));
+    }
+    sat.add_clause(some_hole);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        sat.add_clause({make_lit(var[p][h], true), make_lit(var[q][h], true)});
+      }
+    }
+  }
+  EXPECT_EQ(sat.solve(/*max_conflicts=*/1), SolveStatus::unknown);
+  // With the budget lifted the refutation completes (state is reusable).
+  EXPECT_EQ(sat.solve(), SolveStatus::unsatisfiable);
+}
+
+TEST(SatSolver, ModelEnumerationViaBlockingClauses) {
+  // x ∨ y has exactly three models over {x, y}.
+  SatSolver sat;
+  const std::int32_t x = sat.new_variable();
+  const std::int32_t y = sat.new_variable();
+  sat.add_clause({make_lit(x, false), make_lit(y, false)});
+  std::set<std::pair<bool, bool>> models;
+  while (sat.solve() == SolveStatus::satisfiable) {
+    const bool vx = sat.model_value(x);
+    const bool vy = sat.model_value(y);
+    EXPECT_TRUE(models.emplace(vx, vy).second) << "model repeated";
+    sat.add_clause({make_lit(x, !vx ? false : true),
+                    make_lit(y, !vy ? false : true)});
+  }
+  EXPECT_EQ(models.size(), 3u);
+  EXPECT_FALSE(models.contains({false, false}));
+}
+
+// ------------------------------------------------- stable-assignment CNF --
+
+TEST(StableSat, GadgetLibraryCounts) {
+  EXPECT_EQ(solve_stable_assignments(spp::good_gadget(), 16).count, 1u);
+  EXPECT_EQ(solve_stable_assignments(spp::bad_gadget(), 16).count, 0u);
+  EXPECT_FALSE(solve_stable_assignments(spp::bad_gadget(), 16).has_stable);
+  EXPECT_EQ(solve_stable_assignments(spp::disagree_gadget(), 16).count, 2u);
+  EXPECT_EQ(solve_stable_assignments(spp::ibgp_figure3_gadget(), 16).count,
+            0u);
+  EXPECT_EQ(solve_stable_assignments(spp::ibgp_figure3_fixed(), 16).count,
+            1u);
+}
+
+TEST(StableSat, WitnessesAreStableAndCanonicallyOrdered) {
+  const StableSearchResult result =
+      solve_stable_assignments(spp::disagree_gadget(), 16);
+  ASSERT_EQ(result.assignments.size(), 2u);
+  EXPECT_TRUE(result.count_exact);
+  for (const spp::Assignment& assignment : result.assignments) {
+    EXPECT_TRUE(spp::is_stable_assignment(spp::disagree_gadget(), assignment));
+  }
+  EXPECT_LT(result.assignments[0], result.assignments[1]);
+}
+
+TEST(StableSat, SolutionBoundTurnsCountIntoFloor) {
+  const StableSearchResult bounded =
+      solve_stable_assignments(spp::disagree_gadget(), 1);
+  EXPECT_TRUE(bounded.decided);
+  EXPECT_TRUE(bounded.has_stable);
+  EXPECT_EQ(bounded.count, 1u);
+  EXPECT_FALSE(bounded.count_exact);
+}
+
+TEST(StableSat, RankingStructureUnitPropagatesWithoutSearch) {
+  // GOOD-gadget chains are decided by propagation over the ranking
+  // structure alone: the unique stable state needs no conflicts at all.
+  const StableSearchResult result =
+      solve_stable_assignments(spp::good_gadget_chain(8), 4);
+  EXPECT_TRUE(result.decided);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_EQ(result.stats.conflicts, 0u);
+  EXPECT_GT(result.stats.propagations, 0u);
+}
+
+TEST(StableSat, DecidesFarBeyondTheEnumerationCap) {
+  // 3^48 candidate states; enumeration is hopeless, the CDCL search needs
+  // a couple of conflicts.
+  const StableSearchResult result =
+      solve_stable_assignments(spp::bad_gadget_chain(16), 4);
+  EXPECT_TRUE(result.decided);
+  EXPECT_FALSE(result.has_stable);
+  EXPECT_TRUE(result.count_exact);
+}
+
+TEST(StableSat, EmptyInstanceHasTheVacuousAssignment) {
+  const spp::SppInstance empty("empty");
+  const StableSearchResult result = solve_stable_assignments(empty, 4);
+  EXPECT_TRUE(result.decided);
+  EXPECT_TRUE(result.has_stable);
+  EXPECT_EQ(result.count, 1u);
+  ASSERT_EQ(result.assignments.size(), 1u);
+  EXPECT_TRUE(result.assignments[0].empty());
+}
+
+// ----------------------------------------------------------- engine modes --
+
+TEST(Engine, ModeNamesRoundTrip) {
+  EXPECT_STREQ(to_string(Mode::enumerate), "enumerate");
+  EXPECT_STREQ(to_string(Mode::sat_search), "sat-search");
+  EXPECT_EQ(parse_mode("enumerate"), Mode::enumerate);
+  EXPECT_EQ(parse_mode("sat-search"), Mode::sat_search);
+  EXPECT_EQ(parse_mode("brute-force"), std::nullopt);
+}
+
+TEST(Engine, EnumerateBackendGivesUpBeyondItsBudget) {
+  Options options;
+  options.max_states = 1000;
+  const auto engine = make_engine(Mode::enumerate, options);
+  // A state space beyond the budget is rejected in O(nodes) — zero states
+  // scanned (the seed enumerator's up-front guard, minus the throw).
+  const Result result = engine->analyze(spp::bad_gadget_chain(8));
+  EXPECT_FALSE(result.decided);
+  EXPECT_EQ(result.states_scanned, 0u);
+
+  const auto sat = make_engine(Mode::sat_search, options);
+  const Result exact = sat->analyze(spp::bad_gadget_chain(8));
+  EXPECT_TRUE(exact.decided);
+  EXPECT_FALSE(exact.has_stable);
+}
+
+TEST(Engine, SatBackendReportsUndecidedOnZeroConflictBudget) {
+  // A budget too small to refute BAD leaves the question open rather than
+  // guessing. (BAD needs at least one conflict to refute.)
+  Options options;
+  options.max_conflicts = 1;
+  const auto engine = make_engine(Mode::sat_search, options);
+  const Result result = engine->analyze(spp::bad_gadget());
+  EXPECT_FALSE(result.decided);
+}
+
+// ------------------------------------------------------ acceptance sweep --
+
+void expect_agreement(const spp::SppInstance& instance,
+                      const GroundTruthEngine& sat,
+                      const GroundTruthEngine& enumerate,
+                      std::uint64_t spvp_seed) {
+  const Result a = sat.analyze(instance);
+  const Result b = enumerate.analyze(instance);
+  ASSERT_TRUE(b.decided) << instance.name() << ": enumeration was capped";
+  ASSERT_TRUE(b.count_exact) << instance.name();
+  ASSERT_TRUE(a.decided) << instance.name();
+  EXPECT_TRUE(a.count_exact) << instance.name();
+  EXPECT_EQ(a.has_stable, b.has_stable) << instance.name();
+  EXPECT_EQ(a.count, b.count) << instance.name();
+  EXPECT_EQ(a.witness.has_value(), b.witness.has_value()) << instance.name();
+  if (a.witness.has_value()) {
+    // Both backends surface the canonical (lexicographically least)
+    // witness, and it must satisfy the stability predicate.
+    EXPECT_EQ(*a.witness, *b.witness) << instance.name();
+    EXPECT_TRUE(spp::is_stable_assignment(instance, *a.witness))
+        << instance.name();
+    // Spot-check against the protocol: seeded SPVP, when it converges,
+    // lands on one of the enumerated stable assignments.
+    util::Rng rng(spvp_seed);
+    const spp::SpvpResult run = spp::simulate_spvp(instance, rng, 50000);
+    if (run.converged) {
+      EXPECT_TRUE(spp::is_stable_assignment(instance, run.final_assignment))
+          << instance.name();
+      EXPECT_TRUE(a.has_stable) << instance.name();
+    }
+  }
+}
+
+TEST(Agreement, EveryGadgetInTheLibrary) {
+  Options options;
+  options.max_solutions = 1u << 12;  // exact counts on gadget scale
+  const auto sat = make_engine(Mode::sat_search, options);
+  const auto enumerate = make_engine(Mode::enumerate, options);
+  // Chains stop at x4 (3^12 states): the largest family member exact
+  // enumeration can still cross-check — beyond that only sat-search
+  // answers, which is the point of the subsystem, not of this test.
+  std::vector<spp::SppInstance> gadgets = {
+      spp::good_gadget(),         spp::bad_gadget(),
+      spp::disagree_gadget(),     spp::ibgp_figure3_gadget(),
+      spp::ibgp_figure3_fixed(),  spp::good_gadget_chain(2),
+      spp::good_gadget_chain(4),  spp::bad_gadget_chain(2),
+      spp::bad_gadget_chain(4)};
+  for (const spp::SppInstance& gadget : gadgets) {
+    expect_agreement(gadget, *sat, *enumerate, /*spvp_seed=*/7);
+  }
+}
+
+TEST(Agreement, TwoHundredSeededRandomInstances) {
+  Options options;
+  options.max_solutions = 1u << 12;
+  const auto sat = make_engine(Mode::sat_search, options);
+  const auto enumerate = make_engine(Mode::enumerate, options);
+
+  campaign::RandomSppSweep plain;  // defaults: 3-6 nodes, sparse
+  campaign::RandomSppSweep dense;  // conflict-heavy (repair-fuzz shape)
+  dense.extra_edge_probability = 0.5;
+  dense.paths_per_node = 4;
+
+  std::size_t with_stable = 0;
+  std::size_t multi_stable = 0;
+  for (int i = 0; i < 200; ++i) {
+    const campaign::RandomSppSweep& sweep = i % 2 == 0 ? plain : dense;
+    const spp::SppInstance instance = campaign::random_spp_instance(
+        "agreement-" + std::to_string(i),
+        /*seed=*/9000 + static_cast<std::uint64_t>(i), sweep);
+    expect_agreement(instance, *sat, *enumerate,
+                     /*spvp_seed=*/31 + static_cast<std::uint64_t>(i));
+    const Result verdict = sat->analyze(instance);
+    if (verdict.has_stable) ++with_stable;
+    if (verdict.count > 1) ++multi_stable;
+  }
+  // Random instances nearly always admit a stable state (BAD-style cycles
+  // are covered by the gadget sweep above); the interesting random cases
+  // are the DISAGREE-shaped multi-solution ones, which must occur.
+  EXPECT_GT(with_stable, 100u);
+  EXPECT_GT(multi_stable, 0u);
+}
+
+TEST(Agreement, DeterministicAcrossRepeatedRuns) {
+  const auto engine = make_engine(Mode::sat_search);
+  const spp::SppInstance instance = campaign::random_spp_instance(
+      "determinism", 424242, campaign::RandomSppSweep{});
+  const Result first = engine->analyze(instance);
+  for (int round = 0; round < 3; ++round) {
+    const Result repeat = engine->analyze(instance);
+    EXPECT_EQ(first.has_stable, repeat.has_stable);
+    EXPECT_EQ(first.count, repeat.count);
+    EXPECT_EQ(first.witness, repeat.witness);
+    EXPECT_EQ(first.conflicts, repeat.conflicts);
+    EXPECT_EQ(first.decisions, repeat.decisions);
+  }
+}
+
+}  // namespace
+}  // namespace fsr::groundtruth

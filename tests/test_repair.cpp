@@ -216,6 +216,59 @@ TEST(RepairEngine, RelaxCanBeDisabled) {
   }
 }
 
+// ----------------------------------------------------- ground-truth modes --
+
+TEST(RepairEngine, GroundTruthBackendsAgreeOnGadgetRepairs) {
+  // Same search, same candidates; only the validation oracle differs. On
+  // gadget-scale instances both oracles are exact, so the full report —
+  // ranked repairs, stable-assignment counts, verdicts — must match
+  // except for the recorded mode name.
+  RepairOptions sat_options;
+  sat_options.ground_truth = groundtruth::Mode::sat_search;
+  RepairOptions enum_options;
+  enum_options.ground_truth = groundtruth::Mode::enumerate;
+  const std::vector<spp::SppInstance> instances = {
+      spp::bad_gadget(), spp::disagree_gadget(), spp::ibgp_figure3_gadget(),
+      spp::bad_gadget_chain(2)};
+  for (const spp::SppInstance& instance : instances) {
+    RepairReport via_sat = RepairEngine(sat_options).repair(instance, 5);
+    const RepairReport via_enum =
+        RepairEngine(enum_options).repair(instance, 5);
+    EXPECT_EQ(via_sat.ground_truth_mode, groundtruth::Mode::sat_search);
+    via_sat.ground_truth_mode = via_enum.ground_truth_mode;
+    EXPECT_EQ(to_json(via_sat), to_json(via_enum)) << instance.name();
+  }
+}
+
+TEST(RepairEngine, SatSearchVerifiesWhereEnumerationCannot) {
+  // bad_gadget_chain(8) has 24 nodes: any candidate's state space (3^24)
+  // dwarfs the enumeration cap, so the enumerate oracle must abstain
+  // (not_applicable) while sat-search proves the repair outright.
+  RepairOptions enum_options;
+  enum_options.ground_truth = groundtruth::Mode::enumerate;
+  const RepairReport unverified =
+      RepairEngine(enum_options).repair(spp::bad_gadget_chain(8), 7);
+  ASSERT_TRUE(unverified.repaired());
+  EXPECT_EQ(unverified.best()->ground_truth, GroundTruth::not_applicable);
+
+  RepairOptions sat_options;
+  sat_options.ground_truth = groundtruth::Mode::sat_search;
+  const RepairReport verified =
+      RepairEngine(sat_options).repair(spp::bad_gadget_chain(8), 7);
+  ASSERT_TRUE(verified.repaired());
+  EXPECT_EQ(verified.best()->ground_truth, GroundTruth::verified);
+  EXPECT_GE(verified.best()->stable_assignments, 1u);
+  // Identical searches: the oracle cannot change which edits are found.
+  EXPECT_EQ(verified.best()->describe(), unverified.best()->describe());
+}
+
+TEST(RepairSummary, CarriesTheGroundTruthMode) {
+  const RepairEngine engine;  // default: sat-search
+  const RepairSummary summary =
+      summarize(engine.repair(spp::disagree_gadget()));
+  EXPECT_EQ(summary.ground_truth_mode, "sat-search");
+}
+
 // ----------------------------------------------------------------- digest --
 
 TEST(RepairSummary, SummarizesTheBestCandidate) {

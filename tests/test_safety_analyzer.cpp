@@ -18,10 +18,13 @@
 #include "algebra/additive_algebra.h"
 #include "algebra/lexical_product.h"
 #include "algebra/standard_policies.h"
+#include "campaign/scenario_source.h"
 #include "fsr/incremental_session.h"
 #include "fsr/safety_analyzer.h"
+#include "groundtruth/engine.h"
 #include "spp/gadgets.h"
 #include "spp/translate.h"
+#include "util/error.h"
 
 namespace fsr {
 namespace {
@@ -338,6 +341,68 @@ TEST(IncrementalSession, RepeatedChecksReuseTheEngine) {
   }
   EXPECT_EQ(session.check_count(), 6u);
   EXPECT_LE(session.engine_rebuilds(), 2u);
+}
+
+// Agreement sweep between the solver verdict and the exact ground-truth
+// backends: a SAFE verdict is a proof of strict monotonicity, which (by
+// Sobrinho / Griffin-Shepherd-Wilfong) implies a UNIQUE stable assignment
+// — so both oracles must report exactly one on every provably-safe SPP
+// instance, gadget or random. (The converse is not checked: not-provably-
+// safe instances may have any number of stable states — DISAGREE has two,
+// BAD none — which is the false-positive caveat the paper itself makes.)
+TEST(SafetyAnalyzer, SafeVerdictImpliesUniqueStableAssignmentBothOracles) {
+  const SafetyAnalyzer analyzer;
+  const auto sat =
+      groundtruth::make_engine(groundtruth::Mode::sat_search);
+  const auto enumerate =
+      groundtruth::make_engine(groundtruth::Mode::enumerate);
+
+  std::vector<spp::SppInstance> instances = {
+      spp::good_gadget(), spp::bad_gadget(), spp::disagree_gadget(),
+      spp::ibgp_figure3_gadget(), spp::ibgp_figure3_fixed(),
+      spp::good_gadget_chain(4), spp::bad_gadget_chain(3)};
+  for (int i = 0; i < 20; ++i) {
+    instances.push_back(campaign::random_spp_instance(
+        "sweep-" + std::to_string(i), 500 + static_cast<std::uint64_t>(i),
+        campaign::RandomSppSweep{}));
+  }
+
+  std::size_t safe_seen = 0;
+  for (const spp::SppInstance& instance : instances) {
+    const SafetyReport report =
+        analyzer.analyze(*spp::algebra_from_spp(instance));
+    if (report.verdict != SafetyVerdict::safe) continue;
+    ++safe_seen;
+    const groundtruth::Result via_sat = sat->analyze(instance);
+    ASSERT_TRUE(via_sat.decided) << instance.name();
+    EXPECT_TRUE(via_sat.has_stable) << instance.name();
+    EXPECT_EQ(via_sat.count, 1u) << instance.name();
+    EXPECT_TRUE(via_sat.count_exact) << instance.name();
+    const groundtruth::Result via_enum = enumerate->analyze(instance);
+    ASSERT_TRUE(via_enum.decided) << instance.name();
+    EXPECT_EQ(via_enum.count, 1u) << instance.name();
+  }
+  EXPECT_GT(safe_seen, 2u);  // the sweep actually hit safe instances
+}
+
+// The safety analyzer's big win over enumeration-backed validation: on a
+// Rocketfuel-shaped chain whose state space dwarfs any enumeration cap,
+// the solver verdict and the CDCL ground truth still cross-validate.
+TEST(SafetyAnalyzer, SatSearchCrossValidatesBeyondEnumeration) {
+  const spp::SppInstance chain = spp::good_gadget_chain(16);  // 3^48 states
+  const SafetyReport report =
+      SafetyAnalyzer().analyze(*spp::algebra_from_spp(chain));
+  EXPECT_EQ(report.verdict, SafetyVerdict::safe);
+  const auto result =
+      groundtruth::make_engine(groundtruth::Mode::sat_search)->analyze(chain);
+  ASSERT_TRUE(result.decided);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_TRUE(result.count_exact);
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(spp::is_stable_assignment(chain, *result.witness));
+  // Enumeration cannot even start here.
+  EXPECT_THROW((void)spp::enumerate_stable_assignments(chain),
+               InvalidArgument);
 }
 
 TEST(SafetyAnalyzer, SolveTimeIsRecorded) {

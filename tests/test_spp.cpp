@@ -98,6 +98,39 @@ TEST(StableStates, EnumerationGuardsSearchSpace) {
       InvalidArgument);
 }
 
+TEST(StableStates, StabilityPredicateMatchesEnumeration) {
+  const auto stable = enumerate_stable_assignments(disagree_gadget());
+  for (const Assignment& assignment : stable) {
+    EXPECT_TRUE(is_stable_assignment(disagree_gadget(), assignment));
+  }
+  // Perturbing a stable state breaks the predicate.
+  Assignment broken = stable.front();
+  broken.erase(broken.begin()->first);
+  EXPECT_FALSE(is_stable_assignment(disagree_gadget(), broken));
+  EXPECT_FALSE(is_stable_assignment(bad_gadget(), {}));
+}
+
+TEST(StableStates, BudgetedScanStopsInsteadOfThrowing) {
+  // The full space of good_gadget_chain(8) is 3^24 states; a 1000-state
+  // budget must stop cleanly and say so.
+  const BudgetedEnumeration capped =
+      enumerate_stable_assignments_budgeted(good_gadget_chain(8), 1000);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_EQ(capped.states_scanned, 1000u);
+
+  const BudgetedEnumeration full =
+      enumerate_stable_assignments_budgeted(disagree_gadget(), 1u << 20);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.states_scanned, 9u);  // 3 options x 3 options
+  EXPECT_EQ(full.assignments.size(), 2u);
+
+  // The solutions bound also ends the scan early.
+  const BudgetedEnumeration bounded = enumerate_stable_assignments_budgeted(
+      disagree_gadget(), 1u << 20, /*max_solutions=*/1);
+  EXPECT_FALSE(bounded.complete);
+  EXPECT_EQ(bounded.assignments.size(), 1u);
+}
+
 // ----------------------------------------------------------- SPVP sim --
 
 TEST(Spvp, GoodGadgetConvergesToTheUniqueSolution) {
