@@ -1,15 +1,20 @@
 // Repair-engine throughput: repairs/sec on the BAD-gadget family and
-// random-SPP fuzz instances, plus the incremental-vs-from-scratch re-check
-// ablation (the point of Context::check(assumptions): candidate re-checks
-// share one difference-engine base instead of re-running Bellman-Ford).
-// Everything runs at a fixed seed, so both solver paths explore the exact
-// same candidate sequence and the speedup isolates the solver.
+// random-SPP fuzz instances, plus two ablations at a fixed seed so both
+// paths see the exact same work and the speedup isolates the machinery:
+//
+//   * solver re-checks — incremental Context::check(assumptions) over one
+//     difference-engine base vs a full solve per re-check;
+//   * oracle validation — ONE persistent StableSatSession answering every
+//     candidate through clause-group CNF deltas vs the PR-3 behaviour of
+//     re-encoding each edited instance from scratch (the bad-chain family:
+//     the instance grows linearly while each candidate's delta stays one
+//     node's ranking block).
 //
 //   bench_repair [--json FILE] [--check THRESHOLDS]
 //
-// --json writes the aggregate incremental-vs-scratch speedup (and per-
-// instance ratios) as flat metrics; --check enforces the floors in
-// bench/thresholds.json — the CI bench-regression gate.
+// --json writes the aggregate speedups (and per-instance ratios) as flat
+// metrics; --check enforces the floors in bench/thresholds.json — the CI
+// bench-regression gate.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,6 +25,8 @@
 #include "bench_util.h"
 #include "campaign/scenario_source.h"
 #include "fsr/incremental_session.h"
+#include "groundtruth/stable_sat.h"
+#include "repair/edit.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
 #include "spp/translate.h"
@@ -174,6 +181,118 @@ int main(int argc, char** argv) {
       scratch_total / incremental_total, k_recheck_rounds, scratch_total,
       incremental_total);
   metrics["repair_incremental_speedup"] = scratch_total / incremental_total;
+
+  // ---- oracle ablation: incremental session vs scratch re-encodes --------
+  // The candidate-validation workload the repair engine hands its oracle:
+  // every single demote/drop edit across the instance (capped), validated
+  // (a) through one persistent StableSatSession — construction included,
+  // since a repair run pays it exactly once — and (b) by re-encoding each
+  // edited instance from scratch, the PR 3 baseline. Verdicts are checked
+  // to agree before anything is timed.
+  bench::print_banner(
+      "oracle ablation: incremental session vs scratch candidate validation");
+  bench::print_row({"instance", "candidates", "session ms", "scratch ms",
+                    "speedup", "validations/sec (inc)"},
+                   18);
+  constexpr std::size_t k_max_oracle_candidates = 64;
+  constexpr std::size_t k_oracle_solutions = 64;
+  double oracle_incremental_total = 0.0;
+  double oracle_scratch_total = 0.0;
+  for (const int length : {4, 8, 16}) {
+    const std::string name = "bad-chain-x" + std::to_string(length);
+    const spp::SppInstance instance = spp::bad_gadget_chain(length);
+
+    struct OracleCandidate {
+      groundtruth::RankingDelta delta;
+      spp::SppInstance edited;
+    };
+    std::vector<OracleCandidate> candidates;
+    for (const std::string& node : instance.nodes()) {
+      const std::vector<spp::Path>& ranked = instance.permitted(node);
+      for (std::size_t rank = 0;
+           rank < ranked.size() &&
+           candidates.size() < k_max_oracle_candidates;
+           ++rank) {
+        for (const repair::EditKind kind :
+             {repair::EditKind::demote_path, repair::EditKind::drop_path}) {
+          if (kind == repair::EditKind::demote_path &&
+              rank + 1 == ranked.size()) {
+            continue;  // already last
+          }
+          const repair::PolicyEdit edit{kind, node, ranked[rank], {}};
+          auto edited = repair::apply_edits(instance, {edit});
+          if (!edited.has_value()) continue;
+          candidates.push_back(OracleCandidate{
+              groundtruth::RankingDelta{node, edited->permitted(node)},
+              std::move(*edited)});
+          if (candidates.size() >= k_max_oracle_candidates) break;
+        }
+      }
+    }
+
+    // Agreement sanity pass (untimed): same verdict and count everywhere.
+    {
+      fsr::groundtruth::StableSatSession session(instance);
+      for (const OracleCandidate& candidate : candidates) {
+        const auto incremental =
+            session.analyze({candidate.delta}, k_oracle_solutions);
+        const auto scratch = fsr::groundtruth::solve_stable_assignments(
+            candidate.edited, k_oracle_solutions);
+        if (incremental.has_stable != scratch.has_stable ||
+            incremental.count != scratch.count) {
+          std::fprintf(stderr,
+                       "bench_repair: oracle disagreement on %s (%s)\n",
+                       name.c_str(), candidate.delta.node.c_str());
+          return 1;
+        }
+      }
+    }
+
+    const int reps = length >= 16 ? 3 : 10;
+    const auto time_session_ms = [&]() {
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        fsr::groundtruth::StableSatSession session(instance);
+        for (const OracleCandidate& candidate : candidates) {
+          const auto result =
+              session.analyze({candidate.delta}, k_oracle_solutions);
+          (void)result;
+        }
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count() /
+             reps;
+    };
+    const auto time_scratch_ms = [&]() {
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        for (const OracleCandidate& candidate : candidates) {
+          const auto result = fsr::groundtruth::solve_stable_assignments(
+              candidate.edited, k_oracle_solutions);
+          (void)result;
+        }
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::milli>(stop - start).count() /
+             reps;
+    };
+    const double inc_ms = time_session_ms();
+    const double scr_ms = time_scratch_ms();
+    oracle_incremental_total += inc_ms;
+    oracle_scratch_total += scr_ms;
+    metrics["repair_oracle_" + name + "_speedup"] = scr_ms / inc_ms;
+    bench::print_row(
+        {name, std::to_string(candidates.size()), fmt(inc_ms), fmt(scr_ms),
+         fmt(scr_ms / inc_ms, "x"),
+         fmt(1000.0 * static_cast<double>(candidates.size()) / inc_ms)},
+        18);
+  }
+  std::printf(
+      "aggregate: %.2fx candidate-validation speedup (%.1f ms -> %.1f ms)\n",
+      oracle_scratch_total / oracle_incremental_total, oracle_scratch_total,
+      oracle_incremental_total);
+  metrics["repair_oracle_incremental_speedup"] =
+      oracle_scratch_total / oracle_incremental_total;
 
   if (!json_path.empty() && !bench::write_metrics_file(json_path, metrics)) {
     std::fprintf(stderr, "bench_repair: cannot write '%s'\n",

@@ -115,13 +115,22 @@ std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair,
     // seeded from the content digest), so the marker carries no seed and
     // duplicate-content scenarios still collapse to one solve. It DOES
     // carry every option that shapes the outcome: the disk cache outlives
-    // the process, and a warm run under a different oracle or budget must
-    // miss, not serve stale verdicts. use_incremental is deliberately
-    // absent — both solver strategies produce identical reports (a tested
-    // property), so ablation runs share cache entries.
+    // the process, and a warm run under a different oracle, beam width, or
+    // budget must miss, not serve stale verdicts. use_incremental is
+    // deliberately absent — both SMT solver strategies produce identical
+    // reports unconditionally (a tested property), so that ablation shares
+    // cache entries. use_incremental_oracle IS keyed: the oracle paths
+    // agree only while no conflict budget dies mid-query (the persistent
+    // session's learned clauses can decide instances the scratch encode
+    // cannot afford), so cross-strategy sharing could serve a verdict the
+    // other strategy would abstain from.
     out += "|repair|gt=";
     out += groundtruth::to_string(repair.ground_truth);
+    if (repair.ground_truth == groundtruth::Mode::sat_search) {
+      out += repair.use_incremental_oracle ? "/session" : "/scratch";
+    }
     out += ";edits=" + std::to_string(repair.max_edits) +
+           ";beam=" + std::to_string(repair.beam_width) +
            ";checks=" + std::to_string(repair.max_checks) +
            ";relax=" + (repair.allow_relax ? std::string("1") : "0") +
            ";states=" + std::to_string(repair.ground_truth_max_states) +
@@ -154,7 +163,9 @@ std::string content_digest(const std::string& canonical) {
 
 namespace {
 
-constexpr const char* k_record_header = "fsr-outcome v1";
+// v2: RepairSummary gained oracle_budget (the incremental-oracle PR); v1
+// records from older builds fail the header check and degrade to misses.
+constexpr const char* k_record_header = "fsr-outcome v2";
 
 std::string escape_value(const std::string& text) {
   std::string out;
@@ -404,6 +415,7 @@ void write_repair(RecordWriter& writer, const repair::RepairSummary& repair) {
   writer.field("repair.solver_repaired", repair.solver_repaired);
   writer.field("repair.verified", repair.verified);
   writer.field("repair.gt_mode", repair.ground_truth_mode);
+  writer.field("repair.oracle_budget", repair.oracle_budget);
   writer.field("repair.edit_count", repair.edit_count);
   writer.field("repair.edits", repair.edits.size());
   for (const std::string& edit : repair.edits) {
@@ -419,6 +431,7 @@ bool read_repair(RecordReader& reader, repair::RepairSummary& repair) {
   repair.solver_repaired = reader.boolean("repair.solver_repaired");
   repair.verified = reader.boolean("repair.verified");
   repair.ground_truth_mode = reader.text("repair.gt_mode");
+  repair.oracle_budget = reader.text("repair.oracle_budget");
   repair.edit_count = static_cast<std::size_t>(reader.u64("repair.edit_count"));
   const std::uint64_t edits = reader.u64("repair.edits");
   if (!reader.ok() || edits > 1u << 16) return false;

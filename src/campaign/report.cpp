@@ -82,6 +82,9 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
     if (!repair.ground_truth_mode.empty()) {
       out += ", \"ground_truth_mode\": " + quoted(repair.ground_truth_mode);
     }
+    if (!repair.oracle_budget.empty()) {
+      out += ", \"oracle_budget\": " + quoted(repair.oracle_budget);
+    }
     out += ", \"edit_count\": " + std::to_string(repair.edit_count) +
            ", \"edits\": [";
     for (std::size_t j = 0; j < repair.edits.size(); ++j) {

@@ -26,7 +26,9 @@ class EnumerateEngine final : public GroundTruthEngine {
     for (const std::string& node : instance.nodes()) {
       const std::uint64_t node_options = instance.permitted(node).size() + 1;
       if (states > options_.max_states / node_options) {
-        return Result{};  // undecided, zero states scanned
+        Result capped;  // undecided, zero states scanned
+        capped.budget_stop = BudgetStop::states;
+        return capped;
       }
       states *= node_options;
     }
@@ -40,6 +42,16 @@ class EnumerateEngine final : public GroundTruthEngine {
     result.decided = scan.complete || !scan.assignments.empty();
     result.has_stable = !scan.assignments.empty();
     result.count_exact = scan.complete;
+    switch (scan.stopped_by) {
+      case spp::EnumerationStop::completed:
+        break;
+      case spp::EnumerationStop::state_budget:
+        result.budget_stop = BudgetStop::states;
+        break;
+      case spp::EnumerationStop::solution_budget:
+        result.budget_stop = BudgetStop::solutions;
+        break;
+    }
     if (!scan.assignments.empty()) {
       result.witness = *std::min_element(scan.assignments.begin(),
                                          scan.assignments.end());
@@ -65,6 +77,7 @@ class SatSearchEngine final : public GroundTruthEngine {
     result.has_stable = search.has_stable;
     result.count = search.count;
     result.count_exact = search.count_exact;
+    result.budget_stop = search.budget_stop;
     if (!search.assignments.empty()) {
       result.witness = search.assignments.front();  // canonical order
     }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "groundtruth/stable_sat.h"
 #include "spp/spp.h"
 
 namespace fsr::groundtruth {
@@ -69,6 +70,10 @@ struct Result {
   /// `count_exact`, otherwise a floor.
   std::size_t count = 0;
   bool count_exact = false;
+  /// Which budget (if any) cut the analysis short: `states` (enumerate's
+  /// state cap), `conflicts` (sat-search's conflict cap), or `solutions`
+  /// (the enumeration bound — verdict exact, count a floor).
+  BudgetStop budget_stop = BudgetStop::none;
   /// A stable assignment when one was found, in canonical order (the
   /// lexicographically least of those enumerated).
   std::optional<spp::Assignment> witness;

@@ -248,6 +248,38 @@ std::uint64_t SatSolver::luby(std::uint64_t i) {
 }
 
 SolveStatus SatSolver::solve(std::uint64_t max_conflicts) {
+  return solve_under({}, max_conflicts);
+}
+
+void SatSolver::analyze_final(Lit failed) {
+  // The subset of assumptions implying ¬failed: walk the trail above level
+  // 0, expanding propagation reasons and collecting assumption decisions
+  // (every decision below the branching levels IS an assumption literal).
+  failed_assumptions_.assign(1, failed);
+  if (trail_limits_.empty()) return;
+  seen_[static_cast<std::size_t>(lit_var(failed))] = 1;
+  for (std::size_t i = trail_.size(); i > trail_limits_[0]; --i) {
+    const Lit lit = trail_[i - 1];
+    const auto var = static_cast<std::size_t>(lit_var(lit));
+    if (seen_[var] == 0) continue;
+    seen_[var] = 0;
+    const std::int32_t reason = reasons_[var];
+    if (reason == k_no_reason) {
+      failed_assumptions_.push_back(lit);
+      continue;
+    }
+    const Clause& clause = clauses_[static_cast<std::size_t>(reason)];
+    for (std::size_t j = 1; j < clause.literals.size(); ++j) {
+      const auto other = static_cast<std::size_t>(lit_var(clause.literals[j]));
+      if (levels_[other] > 0) seen_[other] = 1;
+    }
+  }
+  seen_[static_cast<std::size_t>(lit_var(failed))] = 0;
+}
+
+SolveStatus SatSolver::solve_under(const std::vector<Lit>& assumptions,
+                                   std::uint64_t max_conflicts) {
+  failed_assumptions_.clear();
   if (contradiction_) return SolveStatus::unsatisfiable;
 
   const std::uint64_t conflict_floor = conflicts_;
@@ -292,18 +324,58 @@ SolveStatus SatSolver::solve(std::uint64_t max_conflicts) {
       continue;
     }
 
-    const std::int32_t branch_var = pick_branch_variable();
-    if (branch_var < 0) {
-      model_ = assigns_;
-      backtrack(0);
-      return SolveStatus::satisfiable;
+    // Establish pending assumptions as pseudo-decisions before branching
+    // (a dummy level when already propagated true; unsat-under-assumptions
+    // when falsified).
+    Lit next = 0;
+    bool have_next = false;
+    while (trail_limits_.size() < assumptions.size()) {
+      const Lit assumption = assumptions[trail_limits_.size()];
+      const std::int8_t value = value_of(assumption);
+      if (value == 0) {
+        trail_limits_.push_back(trail_.size());
+      } else if (value == 1) {
+        analyze_final(assumption);
+        backtrack(0);
+        return SolveStatus::unsatisfiable;
+      } else {
+        next = assumption;
+        have_next = true;
+        break;
+      }
     }
-    ++decisions_;
+    if (!have_next) {
+      const std::int32_t branch_var = pick_branch_variable();
+      if (branch_var < 0) {
+        model_ = assigns_;
+        backtrack(0);
+        return SolveStatus::satisfiable;
+      }
+      ++decisions_;
+      next = make_lit(branch_var,
+                      saved_phase_[static_cast<std::size_t>(branch_var)] == 1);
+    }
     trail_limits_.push_back(trail_.size());
-    enqueue(make_lit(branch_var,
-                     saved_phase_[static_cast<std::size_t>(branch_var)] == 1),
-            k_no_reason);
+    enqueue(next, k_no_reason);
   }
+}
+
+GroupId SatSolver::new_group() {
+  group_selectors_.push_back(new_variable());
+  group_retired_.push_back(0);
+  return static_cast<GroupId>(group_selectors_.size()) - 1;
+}
+
+void SatSolver::add_clause_in_group(GroupId group, std::vector<Lit> literals) {
+  if (group_retired(group)) return;
+  literals.push_back(group_disable(group));
+  add_clause(std::move(literals));
+}
+
+void SatSolver::retire_group(GroupId group) {
+  if (group_retired(group)) return;
+  group_retired_[static_cast<std::size_t>(group)] = 1;
+  add_clause({group_disable(group)});
 }
 
 }  // namespace fsr::groundtruth

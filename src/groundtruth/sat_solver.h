@@ -7,6 +7,15 @@
 //   * VSIDS-style activity branching (decay on every conflict; ties break
 //     toward the lowest variable index, so runs are reproducible);
 //   * phase saving and Luby-sequence restarts;
+//   * solve-under-assumptions: assumption literals are established as
+//     pseudo-decisions ahead of the search (MiniSat-style), so a single
+//     solver instance answers many "what if" queries without rebuilding;
+//     an unsatisfiable answer under assumptions leaves the solver reusable
+//     and exposes the failed-assumption subset;
+//   * retractable clause groups: clauses tagged with a fresh selector
+//     variable, activated per solve via its assumption literal and
+//     permanently retired with one unit clause — the mechanism behind the
+//     incremental stable-paths oracle's per-edit CNF deltas;
 //   * model enumeration support: the caller re-solves after adding a
 //     blocking clause; learned clauses persist across solve() calls.
 //
@@ -42,6 +51,9 @@ enum class SolveStatus {
   unknown,  // conflict budget exhausted before a verdict
 };
 
+/// Index of a retractable clause group (see SatSolver::new_group).
+using GroupId = std::int32_t;
+
 class SatSolver {
  public:
   /// Creates one unassigned variable and returns its index.
@@ -61,6 +73,66 @@ class SatSolver {
 
   /// Decides the clause set. `max_conflicts` == 0 means no budget.
   SolveStatus solve(std::uint64_t max_conflicts = 0);
+
+  /// Decides the clause set under `assumptions` (literals established as
+  /// pseudo-decisions before any branching, MiniSat-style). An
+  /// `unsatisfiable` answer means unsat UNDER the assumptions — the solver
+  /// stays reusable and failed_assumptions() names a responsible subset —
+  /// unless the clause set itself derived a top-level contradiction, in
+  /// which case every later solve is unsatisfiable too. Learned clauses
+  /// are implied by the clause set alone (assumptions only steer the
+  /// search), so they remain valid across queries with different
+  /// assumption vectors.
+  SolveStatus solve_under(const std::vector<Lit>& assumptions,
+                          std::uint64_t max_conflicts = 0);
+
+  /// After solve_under() returned unsatisfiable because of the
+  /// assumptions: a subset of the assumption literals that is already
+  /// jointly unsatisfiable with the clause set (the assumption-level unsat
+  /// core). Empty after any other outcome, including top-level
+  /// contradictions.
+  const std::vector<Lit>& failed_assumptions() const noexcept {
+    return failed_assumptions_;
+  }
+
+  // --- Retractable clause groups -----------------------------------------
+  //
+  // A group is a fresh selector variable s. add_clause_in_group(g, C)
+  // stores C ∨ ¬s, so C constrains a solve exactly when that solve assumes
+  // s (group_enable). Assuming ¬s (group_disable) switches the group's
+  // clauses off; retiring the group asserts ¬s as a unit, permanently
+  // satisfying them. Selector variables appear only negatively in clauses,
+  // so learned clauses inherit the same on/off behaviour automatically.
+
+  /// Creates a group (allocating its selector variable) and returns its id.
+  GroupId new_group();
+
+  std::int32_t group_count() const noexcept {
+    return static_cast<std::int32_t>(group_selectors_.size());
+  }
+
+  /// Assumption literal that activates the group's clauses for one solve.
+  Lit group_enable(GroupId group) const {
+    return make_lit(group_selectors_[static_cast<std::size_t>(group)], false);
+  }
+  /// Assumption literal that deactivates the group's clauses for one solve.
+  Lit group_disable(GroupId group) const {
+    return make_lit(group_selectors_[static_cast<std::size_t>(group)], true);
+  }
+
+  /// Adds a clause that participates only in solves assuming the group's
+  /// enable literal. Same level-0 contract as add_clause. No-op on a
+  /// retired group.
+  void add_clause_in_group(GroupId group, std::vector<Lit> literals);
+
+  /// Permanently deactivates the group (unit ¬selector): its clauses are
+  /// satisfied in every later solve and the enable literal must not be
+  /// assumed again. Idempotent.
+  void retire_group(GroupId group);
+
+  bool group_retired(GroupId group) const {
+    return group_retired_[static_cast<std::size_t>(group)] != 0;
+  }
 
   /// Value of `var` in the model of the last satisfiable solve().
   bool model_value(std::int32_t var) const {
@@ -104,6 +176,9 @@ class SatSolver {
   void bump_variable(std::int32_t var);
   void decay_activities();
   std::int32_t pick_branch_variable() const;
+  /// Fills failed_assumptions_ with the assumption subset responsible for
+  /// falsifying assumption literal `failed` (MiniSat's analyzeFinal).
+  void analyze_final(Lit failed);
   static std::uint64_t luby(std::uint64_t i);
 
   std::vector<Clause> clauses_;
@@ -119,6 +194,9 @@ class SatSolver {
   std::size_t propagate_head_ = 0;
   double activity_increment_ = 1.0;
   bool contradiction_ = false;  // a top-level conflict was derived
+  std::vector<std::int32_t> group_selectors_;  // per group: selector var
+  std::vector<std::int8_t> group_retired_;
+  std::vector<Lit> failed_assumptions_;
 
   std::uint64_t conflicts_ = 0;
   std::uint64_t decisions_ = 0;

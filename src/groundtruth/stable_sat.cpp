@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
+#include "util/error.h"
+
 namespace fsr::groundtruth {
+
+const char* to_string(BudgetStop stop) noexcept {
+  switch (stop) {
+    case BudgetStop::none:
+      return "none";
+    case BudgetStop::states:
+      return "states";
+    case BudgetStop::conflicts:
+      return "conflicts";
+    case BudgetStop::solutions:
+      return "solutions";
+  }
+  return "none";
+}
+
 namespace {
 
 /// The per-node variable block: one selector per permitted path plus the
@@ -186,11 +204,17 @@ StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
     std::uint64_t budget = 0;
     if (max_conflicts != 0) {
       const std::uint64_t spent = encoding.solver.conflicts();
-      if (spent >= max_conflicts) break;  // budget gone mid-enumeration
+      if (spent >= max_conflicts) {  // budget gone mid-enumeration
+        result.budget_stop = BudgetStop::conflicts;
+        break;
+      }
       budget = max_conflicts - spent;
     }
     const SolveStatus status = encoding.solver.solve(budget);
-    if (status == SolveStatus::unknown) break;
+    if (status == SolveStatus::unknown) {
+      result.budget_stop = BudgetStop::conflicts;
+      break;
+    }
     if (status == SolveStatus::unsatisfiable) {
       result.decided = true;
       result.has_stable = !result.assignments.empty();
@@ -200,7 +224,10 @@ StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
     result.decided = true;
     result.has_stable = true;
     result.assignments.push_back(decode(instance, encoding));
-    if (result.assignments.size() >= target) break;  // count stays a floor
+    if (result.assignments.size() >= target) {  // count stays a floor
+      result.budget_stop = BudgetStop::solutions;
+      break;
+    }
     encoding.solver.add_clause(blocking_clause(encoding));
   }
 
@@ -218,6 +245,324 @@ StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
   result.stats.decisions = encoding.solver.decisions();
   result.stats.propagations = encoding.solver.propagations();
   result.stats.learned_clauses = encoding.solver.learned_clauses();
+  return result;
+}
+
+// ------------------------------------------------------- incremental side --
+
+namespace {
+
+std::string ranking_key(const std::string& node, const std::vector<int>& pids) {
+  std::string key = node + "|";
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    if (i > 0) key += ",";
+    key += std::to_string(pids[i]);
+  }
+  return key;
+}
+
+}  // namespace
+
+StableSatSession::StableSatSession(const spp::SppInstance& base) {
+  nodes_ = base.nodes();
+
+  // Variables first (availability clauses reference other nodes' blocks).
+  for (const std::string& node : nodes_) {
+    NodeBlock block;
+    for (const spp::Path& path : base.permitted(node)) {
+      const int pid = static_cast<int>(paths_.size());
+      paths_.push_back(path);
+      pid_of_.emplace(path, pid);
+      var_of_pid_.push_back(solver_.new_variable());
+      block.base_pids.push_back(pid);
+    }
+    block.none_var = solver_.new_variable();
+    blocks_.emplace(node, std::move(block));
+  }
+
+  // Availability is fixed by the base instance: a path is direct, forever
+  // unavailable (its suffix is not even base-permitted, and drop edits only
+  // shrink membership), or gated on its suffix's selector.
+  avail_of_pid_.reserve(paths_.size());
+  suffix_pid_.assign(paths_.size(), -1);
+  for (std::size_t pid = 0; pid < paths_.size(); ++pid) {
+    if (paths_[pid].size() == 2) {
+      avail_of_pid_.push_back(Avail::direct);
+      continue;
+    }
+    const spp::Path suffix(paths_[pid].begin() + 1, paths_[pid].end());
+    const auto it = pid_of_.find(suffix);
+    if (it == pid_of_.end()) {
+      avail_of_pid_.push_back(Avail::never);
+    } else {
+      avail_of_pid_.push_back(Avail::suffix);
+      suffix_pid_[pid] = it->second;
+    }
+  }
+
+  // Permanent (rank-independent) clauses: exactly-one per node and
+  // consistency per path. Dropped paths are handled by membership units in
+  // the edited ranking groups — a forced-off selector satisfies or prunes
+  // every permanent clause that mentions it, exactly as re-encoding the
+  // edited instance would.
+  const auto add_permanent = [this](std::vector<Lit> literals) {
+    solver_.add_clause(std::move(literals));
+    ++stats_.base_clauses;
+  };
+  for (const std::string& node : nodes_) {
+    const NodeBlock& block = blocks_.at(node);
+    std::vector<Lit> options;
+    for (const int pid : block.base_pids) {
+      options.push_back(make_lit(var_of_pid_[static_cast<std::size_t>(pid)],
+                                 false));
+    }
+    options.push_back(make_lit(block.none_var, false));
+    add_permanent(options);
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      for (std::size_t j = i + 1; j < options.size(); ++j) {
+        add_permanent({lit_negate(options[i]), lit_negate(options[j])});
+      }
+    }
+  }
+  for (std::size_t pid = 0; pid < paths_.size(); ++pid) {
+    const Lit selected = make_lit(var_of_pid_[pid], false);
+    if (avail_of_pid_[pid] == Avail::never) {
+      add_permanent({lit_negate(selected)});
+    } else if (avail_of_pid_[pid] == Avail::suffix) {
+      const auto suffix = static_cast<std::size_t>(suffix_pid_[pid]);
+      add_permanent({lit_negate(selected), make_lit(var_of_pid_[suffix],
+                                                    false)});
+    }
+  }
+
+  // Base ranking groups, pre-seeded into the cache so an unedited node's
+  // query resolves like any other ranking lookup.
+  const std::uint64_t base_group_clause_floor = encoded_clauses_;
+  for (const std::string& node : nodes_) {
+    (void)ranking_group(node, blocks_.at(node).base_pids);
+  }
+  stats_.base_clauses += encoded_clauses_ - base_group_clause_floor;
+  stats_.group_cache_hits = 0;  // construction lookups are not query hits
+}
+
+void StableSatSession::add_group_clause(GroupId group,
+                                        std::vector<Lit> literals) {
+  solver_.add_clause_in_group(group, std::move(literals));
+  ++encoded_clauses_;
+}
+
+GroupId StableSatSession::ranking_group(const std::string& node,
+                                        const std::vector<int>& pids) {
+  const std::string key = ranking_key(node, pids);
+  const auto it = group_cache_.find(key);
+  if (it != group_cache_.end()) {
+    ++stats_.group_cache_hits;
+    return it->second;
+  }
+  const GroupId group = solver_.new_group();
+  ranking_groups_.push_back(group);
+  ++stats_.groups_encoded;
+  encode_ranking_group(group, blocks_.at(node), pids);
+  group_cache_.emplace(key, group);
+  return group;
+}
+
+void StableSatSession::encode_ranking_group(GroupId group,
+                                            const NodeBlock& block,
+                                            const std::vector<int>& pids) {
+  // Membership units: base paths absent from this ranking can never be
+  // selected while the group is active. Everything downstream of a drop
+  // (upstream consistency, bestness clauses that mention the dropped
+  // path's availability) follows from these by unit propagation.
+  for (const int pid : block.base_pids) {
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) {
+      add_group_clause(group,
+                       {make_lit(var_of_pid_[static_cast<std::size_t>(pid)],
+                                 true)});
+    }
+  }
+
+  // Bestness under THIS ranking order (mirrors encode() above; consistency
+  // and the never-available units are permanent, so only the rank-dependent
+  // clauses are re-emitted).
+  for (std::size_t rank = 0; rank < pids.size(); ++rank) {
+    const auto pid = static_cast<std::size_t>(pids[rank]);
+    if (avail_of_pid_[pid] == Avail::never) continue;  // permanently off
+    const Lit selected = make_lit(var_of_pid_[pid], false);
+    for (std::size_t better = 0; better < rank; ++better) {
+      const auto alt = static_cast<std::size_t>(pids[better]);
+      if (avail_of_pid_[alt] == Avail::never) continue;
+      if (avail_of_pid_[alt] == Avail::direct) {
+        // A better-ranked direct path is always available: this path can
+        // never be the best consistent choice.
+        add_group_clause(group, {lit_negate(selected)});
+        break;
+      }
+      const auto suffix = static_cast<std::size_t>(suffix_pid_[alt]);
+      add_group_clause(group, {lit_negate(selected),
+                               make_lit(var_of_pid_[suffix], true)});
+    }
+  }
+
+  // Routing to nothing requires every ranked path to be unavailable.
+  const Lit none = make_lit(block.none_var, false);
+  for (const int signed_pid : pids) {
+    const auto pid = static_cast<std::size_t>(signed_pid);
+    if (avail_of_pid_[pid] == Avail::never) continue;
+    if (avail_of_pid_[pid] == Avail::direct) {
+      add_group_clause(group, {lit_negate(none)});  // a direct path exists
+      break;
+    }
+    const auto suffix = static_cast<std::size_t>(suffix_pid_[pid]);
+    add_group_clause(group, {lit_negate(none),
+                             make_lit(var_of_pid_[suffix], true)});
+  }
+}
+
+StableSearchResult StableSatSession::analyze(
+    const std::vector<RankingDelta>& deltas, std::size_t max_solutions,
+    std::uint64_t max_conflicts) {
+  ++stats_.queries;
+  StableSearchResult result;
+  if (nodes_.empty()) {
+    result.decided = true;
+    result.has_stable = true;
+    result.count = 1;  // the empty assignment is vacuously stable
+    result.count_exact = true;
+    result.assignments.push_back({});
+    return result;
+  }
+
+  // Resolve the desired ranking (as interned path ids) per edited node.
+  std::map<std::string, std::vector<int>> desired;
+  for (const RankingDelta& delta : deltas) {
+    const auto block_it = blocks_.find(delta.node);
+    if (block_it == blocks_.end()) {
+      throw InvalidArgument("stable-sat session: delta names unknown node '" +
+                            delta.node + "'");
+    }
+    std::vector<int> pids;
+    std::set<int> unique;
+    for (const spp::Path& path : delta.ranked) {
+      const auto pid_it = pid_of_.find(path);
+      const bool permitted_here =
+          pid_it != pid_of_.end() &&
+          std::find(block_it->second.base_pids.begin(),
+                    block_it->second.base_pids.end(),
+                    pid_it->second) != block_it->second.base_pids.end();
+      if (!permitted_here || !unique.insert(pid_it->second).second) {
+        throw InvalidArgument("stable-sat session: delta for node '" +
+                              delta.node + "' lists path " +
+                              spp::path_name(path) +
+                              (permitted_here ? " twice"
+                                              : " not base-permitted there"));
+      }
+      pids.push_back(pid_it->second);
+    }
+    if (!desired.emplace(delta.node, std::move(pids)).second) {
+      throw InvalidArgument("stable-sat session: two deltas for node '" +
+                            delta.node + "'");
+    }
+  }
+
+  const std::uint64_t conflict_floor = solver_.conflicts();
+  const std::uint64_t decision_floor = solver_.decisions();
+  const std::uint64_t propagation_floor = solver_.propagations();
+  const std::uint64_t learned_floor = solver_.learned_clauses();
+  const std::uint64_t clause_floor = encoded_clauses_;
+
+  // One active ranking group per node; every other group is switched off
+  // for this query.
+  std::set<GroupId> active;
+  for (const std::string& node : nodes_) {
+    const auto it = desired.find(node);
+    active.insert(ranking_group(
+        node, it != desired.end() ? it->second : blocks_.at(node).base_pids));
+  }
+  std::vector<Lit> assumptions;
+  assumptions.reserve(ranking_groups_.size() + 1);
+  for (const GroupId group : ranking_groups_) {
+    assumptions.push_back(active.contains(group) ? solver_.group_enable(group)
+                                                 : solver_.group_disable(group));
+  }
+
+  const std::size_t target = std::max<std::size_t>(max_solutions, 1);
+  GroupId query_group = -1;
+  while (true) {
+    std::uint64_t budget = 0;
+    if (max_conflicts != 0) {
+      const std::uint64_t spent = solver_.conflicts() - conflict_floor;
+      if (spent >= max_conflicts) {
+        result.budget_stop = BudgetStop::conflicts;
+        break;
+      }
+      budget = max_conflicts - spent;
+    }
+    const SolveStatus status = solver_.solve_under(assumptions, budget);
+    if (status == SolveStatus::unknown) {
+      result.budget_stop = BudgetStop::conflicts;
+      break;
+    }
+    if (status == SolveStatus::unsatisfiable) {
+      result.decided = true;
+      result.has_stable = !result.assignments.empty();
+      result.count_exact = true;
+      break;
+    }
+    result.decided = true;
+    result.has_stable = true;
+    spp::Assignment assignment;
+    std::vector<Lit> blocking;
+    for (const std::string& node : nodes_) {
+      const auto it = desired.find(node);
+      const std::vector<int>& pids =
+          it != desired.end() ? it->second : blocks_.at(node).base_pids;
+      bool blocked = false;
+      for (const int pid : pids) {
+        const auto var = var_of_pid_[static_cast<std::size_t>(pid)];
+        if (solver_.model_value(var)) {
+          assignment[node] = paths_[static_cast<std::size_t>(pid)];
+          blocking.push_back(make_lit(var, true));
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        blocking.push_back(make_lit(blocks_.at(node).none_var, true));
+      }
+    }
+    result.assignments.push_back(std::move(assignment));
+    if (result.assignments.size() >= target) {  // count stays a floor
+      result.budget_stop = BudgetStop::solutions;
+      break;
+    }
+    if (query_group < 0) {
+      // Blocking clauses are scoped to this query: they live in a fresh
+      // group, assumed active now and retired below, so the next query's
+      // enumeration starts from a clean slate.
+      query_group = solver_.new_group();
+      assumptions.push_back(solver_.group_enable(query_group));
+    }
+    solver_.add_clause_in_group(query_group, std::move(blocking));
+    ++encoded_clauses_;
+  }
+  if (query_group >= 0) solver_.retire_group(query_group);
+
+  // An exhausted budget with no witness yet leaves the question open.
+  if (result.assignments.empty() && !result.count_exact) {
+    result.decided = false;
+  }
+  result.count = result.assignments.size();
+  std::sort(result.assignments.begin(), result.assignments.end());
+
+  stats_.delta_clauses += encoded_clauses_ - clause_floor;
+  result.stats.variables =
+      static_cast<std::uint64_t>(solver_.variable_count());
+  result.stats.clauses = encoded_clauses_ - clause_floor;
+  result.stats.conflicts = solver_.conflicts() - conflict_floor;
+  result.stats.decisions = solver_.decisions() - decision_floor;
+  result.stats.propagations = solver_.propagations() - propagation_floor;
+  result.stats.learned_clauses = solver_.learned_clauses() - learned_floor;
   return result;
 }
 

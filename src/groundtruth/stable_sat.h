@@ -18,16 +18,48 @@
 // The CDCL solver (sat_solver.h) then decides existence, and enumerates
 // stable assignments up to a bound by re-solving under blocking clauses.
 // Everything is deterministic in the instance alone.
+//
+// Two entry points share the encoding:
+//
+//   * solve_stable_assignments — one-shot: encode the instance from
+//     scratch, decide, enumerate. The PR-3 behaviour, kept as the
+//     differential cross-check against the session below.
+//   * StableSatSession — incremental: encode a BASE instance once, then
+//     answer a stream of "what if node X ranked its paths like THIS?"
+//     queries. Only the clauses that depend on a node's ranking ORDER and
+//     MEMBERSHIP (its bestness and route-to-nothing clauses) live in
+//     retractable clause groups (sat_solver.h); exactly-one and
+//     consistency clauses are rank-independent and permanent. A query
+//     activates one ranking group per node via assumption literals; edited
+//     rankings are encoded as fresh groups (a per-node CNF delta, cached
+//     across queries), and a dropped path is forced off by a membership
+//     unit inside the edited group — every other effect of the drop
+//     (upstream paths losing their suffix, bestness clauses that mention
+//     it) follows by unit propagation. Per-query blocking clauses go into
+//     a throwaway group retired when the query ends, so enumeration never
+//     leaks constraints into the next query. This is how the repair
+//     engine validates hundreds of candidate edits against one persistent
+//     solver instead of re-encoding each edited instance from scratch.
 #ifndef FSR_GROUNDTRUTH_STABLE_SAT_H
 #define FSR_GROUNDTRUTH_STABLE_SAT_H
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "groundtruth/sat_solver.h"
 #include "spp/spp.h"
 
 namespace fsr::groundtruth {
+
+/// Which budget cut a search short. `none` means no budget interfered
+/// (verdict and count are exact); `solutions` means the existence verdict
+/// is exact but enumeration stopped at the solution bound (count is a
+/// floor); `conflicts`/`states` mean the backend's effort budget ran out.
+enum class BudgetStop { none, states, conflicts, solutions };
+
+const char* to_string(BudgetStop stop) noexcept;
 
 struct StableSearchStats {
   std::uint64_t variables = 0;
@@ -47,6 +79,10 @@ struct StableSearchResult {
   /// `count_exact` marks whether enumeration finished under the cap.
   std::size_t count = 0;
   bool count_exact = false;
+  /// Which budget (if any) stopped the search: `conflicts` when the
+  /// conflict cap ran out (possibly mid-enumeration), `solutions` when the
+  /// solution bound was reached first.
+  BudgetStop budget_stop = BudgetStop::none;
   /// Found assignments in canonical (lexicographic) order, at most
   /// `max_solutions` of them.
   std::vector<spp::Assignment> assignments;
@@ -60,6 +96,89 @@ struct StableSearchResult {
 StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
                                             std::size_t max_solutions,
                                             std::uint64_t max_conflicts = 0);
+
+/// One node's replacement ranking for an incremental session query:
+/// `ranked` must list paths permitted at `node` in the session's BASE
+/// instance (any subset, any order, no duplicates). Paths absent from
+/// `ranked` are dropped for the query; a pure reorder is a demote-style
+/// edit. Queries with an empty delta list analyze the base instance.
+struct RankingDelta {
+  std::string node;
+  std::vector<spp::Path> ranked;
+};
+
+/// Cumulative work counters for a session (cheap diagnostics for benches
+/// and the repair report).
+struct StableSessionStats {
+  std::uint64_t queries = 0;
+  std::uint64_t base_clauses = 0;      // permanent + base ranking groups
+  std::uint64_t delta_clauses = 0;     // clauses encoded after construction
+  std::uint64_t groups_encoded = 0;    // ranking groups built (incl. base)
+  std::uint64_t group_cache_hits = 0;  // node rankings served from cache
+};
+
+/// The incremental stable-paths oracle: one persistent CDCL solver, many
+/// edited-instance queries (see the file comment for the clause-group
+/// layout). analyze() answers with the same semantics — and, wherever no
+/// budget is exhausted mid-query, the same verdict, count, and canonical
+/// witness set — as solve_stable_assignments on the correspondingly edited
+/// instance; the differential test harness sweeps exactly that agreement.
+///
+/// Thread-compatibility: a session is a mutable single-thread object
+/// (it owns a SatSolver); distinct sessions are fully independent.
+class StableSatSession {
+ public:
+  /// Snapshots `base` (rankings, variables, permanent clauses); the
+  /// instance need not outlive the session.
+  explicit StableSatSession(const spp::SppInstance& base);
+
+  StableSatSession(const StableSatSession&) = delete;
+  StableSatSession& operator=(const StableSatSession&) = delete;
+  StableSatSession(StableSatSession&&) = default;
+  StableSatSession& operator=(StableSatSession&&) = default;
+
+  /// Decides/enumerates the base instance with each delta's node re-ranked
+  /// as given (at most one delta per node). Throws fsr::InvalidArgument on
+  /// a delta naming an unknown node or a path not permitted there in the
+  /// base. `max_conflicts` bounds this query's solver effort only; the
+  /// reported stats are likewise per query (clauses = newly encoded).
+  StableSearchResult analyze(const std::vector<RankingDelta>& deltas,
+                             std::size_t max_solutions,
+                             std::uint64_t max_conflicts = 0);
+
+  const StableSessionStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// How a path can become available to its owner (fixed by the base
+  /// instance: membership only ever shrinks under drop edits, so a
+  /// never-available path stays never-available in every query).
+  enum class Avail { direct, never, suffix };
+
+  struct NodeBlock {
+    std::vector<int> base_pids;  // base ranking as interned path ids
+    std::int32_t none_var = -1;
+  };
+
+  /// Returns the (cached or freshly encoded) ranking group for `node`
+  /// ranked as `pids`.
+  GroupId ranking_group(const std::string& node, const std::vector<int>& pids);
+  void encode_ranking_group(GroupId group, const NodeBlock& block,
+                            const std::vector<int>& pids);
+  void add_group_clause(GroupId group, std::vector<Lit> literals);
+
+  SatSolver solver_;
+  std::vector<std::string> nodes_;
+  std::map<std::string, NodeBlock> blocks_;
+  std::vector<spp::Path> paths_;  // by interned path id
+  std::map<spp::Path, int> pid_of_;
+  std::vector<std::int32_t> var_of_pid_;
+  std::vector<Avail> avail_of_pid_;
+  std::vector<int> suffix_pid_;          // valid when avail == suffix
+  std::vector<GroupId> ranking_groups_;  // creation order = assumption order
+  std::map<std::string, GroupId> group_cache_;  // "<node>|p0,p1,..." -> group
+  std::uint64_t encoded_clauses_ = 0;  // current query's clause counter
+  StableSessionStats stats_;
+};
 
 }  // namespace fsr::groundtruth
 

@@ -56,11 +56,16 @@ void print_usage() {
       "  --random N       also repair N random fuzz instances\n"
       "  --seed S         seed for fuzz instances and SPVP trials (default 1)\n"
       "  --max-edits K    edit-size cap for candidates (default 2)\n"
+      "  --beam W         frontier cap per search depth, pruned by\n"
+      "                   unsat-core frequency (default 64; 0 = exhaustive\n"
+      "                   breadth-first search)\n"
       "  --max-checks N   solver re-check budget per instance (default 512)\n"
       "  --no-relax       disable constraint-level relax edits\n"
       "  --ground-truth M ground-truth oracle: sat-search (default) |\n"
       "                   enumerate\n"
       "  --from-scratch   disable incremental solving (ablation)\n"
+      "  --scratch-oracle re-encode every candidate's oracle query from\n"
+      "                   scratch instead of the shared session (ablation)\n"
       "  --format F       text | json (default text)\n"
       "  --list-gadgets   print known gadget names and exit\n"
       "  --help           this message\n");
@@ -100,6 +105,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.max_edits = static_cast<std::size_t>(max_edits);
+    } else if (std::strcmp(arg, "--beam") == 0) {
+      const int beam = std::atoi(need_value(i, "--beam"));
+      if (beam < 0) {
+        std::fprintf(stderr, "fsr_repair: --beam needs a value >= 0\n");
+        return 2;
+      }
+      options.beam_width = static_cast<std::size_t>(beam);
     } else if (std::strcmp(arg, "--max-checks") == 0) {
       const int max_checks = std::atoi(need_value(i, "--max-checks"));
       if (max_checks < 1) {
@@ -120,6 +132,8 @@ int main(int argc, char** argv) {
       options.ground_truth = *mode;
     } else if (std::strcmp(arg, "--from-scratch") == 0) {
       options.use_incremental = false;
+    } else if (std::strcmp(arg, "--scratch-oracle") == 0) {
+      options.use_incremental_oracle = false;
     } else if (std::strcmp(arg, "--format") == 0) {
       format = need_value(i, "--format");
     } else if (std::strcmp(arg, "--list-gadgets") == 0) {

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "fsr/incremental_session.h"
+#include "groundtruth/stable_sat.h"
 #include "spp/translate.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -78,6 +79,9 @@ struct Evaluation {
   /// pair after a demote) — the search must branch on these too.
   std::vector<PolicyEdit> extra_core_edits;
   std::optional<spp::SppInstance> edited;  // set when drop/demote edits ran
+  /// The candidate's edited rankings as per-node deltas against the base —
+  /// the incremental oracle's query shape (set alongside `edited`).
+  std::vector<groundtruth::RankingDelta> deltas;
   bool pure_spp = false;                   // no relax edits in the set
 };
 
@@ -98,9 +102,7 @@ class Search {
         options_(options),
         seed_(seed),
         spec_(spp::algebra_from_spp(instance)->symbolic()),
-        session_(spec_, MonotonicityMode::strict, session_options(options)),
-        oracle_(groundtruth::make_engine(options.ground_truth,
-                                         oracle_options(options))) {
+        session_(spec_, MonotonicityMode::strict, session_options(options)) {
     for (const std::string& node : instance.nodes()) {
       for (const spp::Path& path : instance.permitted(node)) {
         sig_info_.emplace(spp::spp_signature(path), SigInfo{node, path});
@@ -177,6 +179,9 @@ class Search {
       // All states of the minimal successful depth were evaluated before
       // stopping, so `repairs` holds every minimal fix the budget allowed.
       if (!report.repairs.empty() || report.budget_exhausted) break;
+      if (options_.beam_width > 0 && next.size() > options_.beam_width) {
+        next = prune_frontier(std::move(next), report);
+      }
       frontier = std::move(next);
     }
 
@@ -209,9 +214,45 @@ class Search {
     report.solver_checks = session_.check_count();
     report.cores_seen = cores_seen_.size();
     report.engine_rebuilds = session_.engine_rebuilds();
+    if (oracle_session_.has_value()) {
+      const groundtruth::StableSessionStats& stats = oracle_session_->stats();
+      report.oracle_queries = stats.queries;
+      report.oracle_groups_encoded = stats.groups_encoded;
+      report.oracle_cache_hits = stats.group_cache_hits;
+    }
     report.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+  }
+
+  /// Beam pruning: keep the beam_width states whose edits were most often
+  /// demanded by counterexample cores (summed per-edit core frequency),
+  /// best-first; ties and evaluation order stay deterministic via the
+  /// state key.
+  std::vector<SearchState> prune_frontier(std::vector<SearchState> states,
+                                          RepairReport& report) const {
+    std::vector<std::size_t> score(states.size(), 0);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (const PolicyEdit& edit : states[i].edits) {
+        const auto it = edit_frequency_.find(edit.describe());
+        if (it != edit_frequency_.end()) score[i] += it->second;
+      }
+    }
+    std::vector<std::size_t> order(states.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (score[a] != score[b]) return score[a] > score[b];
+                return states[a].key < states[b].key;
+              });
+    order.resize(options_.beam_width);
+    report.beam_pruned += states.size() - order.size();
+    std::vector<SearchState> kept;
+    kept.reserve(order.size());
+    for (const std::size_t index : order) {
+      kept.push_back(std::move(states[index]));
+    }
+    return kept;
   }
 
   void note_core(const std::vector<std::size_t>& core) {
@@ -263,15 +304,17 @@ class Search {
   }
 
   /// Candidate edits justified by a counterexample: the base-core members'
-  /// edits plus the edits already derived from in-core extras.
+  /// edits plus the edits already derived from in-core extras. Every
+  /// occurrence feeds the core-frequency tally the beam pruning ranks by.
   std::vector<PolicyEdit> edit_pool(
       const std::vector<std::size_t>& core,
-      const std::vector<PolicyEdit>& extra_edits) const {
+      const std::vector<PolicyEdit>& extra_edits) {
     std::vector<PolicyEdit> pool;
     for (const std::size_t index : core) {
       for (PolicyEdit& edit : edits_for(index)) pool.push_back(std::move(edit));
     }
     pool.insert(pool.end(), extra_edits.begin(), extra_edits.end());
+    for (const PolicyEdit& edit : pool) ++edit_frequency_[edit.describe()];
     return pool;
   }
 
@@ -475,6 +518,17 @@ class Search {
     if (result.holds) {
       if (eval.pure_spp && spp_edit_count > 0) {
         eval.edited = apply_edits(instance_, state.edits);
+        // The candidate's oracle query: one RankingDelta per node whose
+        // ranking the edits changed (everything else rides on the base).
+        for (const auto& [node, ranked] : rankings) {
+          if (ranked == base_rankings_.at(node)) continue;
+          groundtruth::RankingDelta delta;
+          delta.node = node;
+          for (const int pid : ranked) {
+            delta.ranked.push_back(paths_[static_cast<std::size_t>(pid)]);
+          }
+          eval.deltas.push_back(std::move(delta));
+        }
       }
     } else {
       note_core(result.core);
@@ -495,31 +549,58 @@ class Search {
     RepairCandidate candidate;
     candidate.edits = state.edits;
     candidate.solver_safe = true;
-    if (eval.pure_spp && eval.edited.has_value()) {
-      bool converged = true;
-      for (int trial = 0; trial < options_.spvp_trials; ++trial) {
-        util::Rng rng(trial_seed(seed_, state.key, trial));
-        converged = converged &&
-                    spp::simulate_spvp(*eval.edited, rng,
-                                       options_.spvp_max_activations)
-                        .converged;
-      }
-      candidate.spvp_converged = converged;
-      const groundtruth::Result truth = oracle_->analyze(*eval.edited);
-      if (truth.decided) {
-        candidate.stable_assignments = truth.count;
-        candidate.ground_truth = (truth.has_stable && converged)
-                                     ? GroundTruth::verified
-                                     : GroundTruth::failed;
-      } else {
-        // The oracle's budget ran out (enumerate: state cap; sat-search:
-        // conflict cap): the solver verdict stands unverified; SPVP
-        // convergence is still recorded.
-        candidate.ground_truth = converged ? GroundTruth::not_applicable
-                                           : GroundTruth::failed;
-      }
-    } else {
+    if (!(eval.pure_spp && eval.edited.has_value())) {
       candidate.ground_truth = GroundTruth::not_applicable;
+      return candidate;
+    }
+    bool converged = true;
+    for (int trial = 0; trial < options_.spvp_trials; ++trial) {
+      util::Rng rng(trial_seed(seed_, state.key, trial));
+      converged = converged &&
+                  spp::simulate_spvp(*eval.edited, rng,
+                                     options_.spvp_max_activations)
+                      .converged;
+    }
+    candidate.spvp_converged = converged;
+
+    bool decided = false;
+    bool has_stable = false;
+    std::size_t count = 0;
+    if (options_.ground_truth == groundtruth::Mode::sat_search &&
+        options_.use_incremental_oracle) {
+      // The run's ONE persistent oracle session: lazily built (already-safe
+      // instances never pay for it), then shared by every candidate — each
+      // validation costs the candidate's CNF delta, not a re-encode.
+      if (!oracle_session_.has_value()) oracle_session_.emplace(instance_);
+      const groundtruth::StableSearchResult truth = oracle_session_->analyze(
+          eval.deltas, options_.ground_truth_max_solutions,
+          options_.ground_truth_max_conflicts);
+      decided = truth.decided;
+      has_stable = truth.has_stable;
+      count = truth.count;
+      candidate.oracle_budget = truth.budget_stop;
+    } else {
+      if (oracle_ == nullptr) {
+        oracle_ = groundtruth::make_engine(options_.ground_truth,
+                                           oracle_options(options_));
+      }
+      const groundtruth::Result truth = oracle_->analyze(*eval.edited);
+      decided = truth.decided;
+      has_stable = truth.has_stable;
+      count = truth.count;
+      candidate.oracle_budget = truth.budget_stop;
+    }
+    if (decided) {
+      candidate.stable_assignments = count;
+      candidate.ground_truth = (has_stable && converged)
+                                   ? GroundTruth::verified
+                                   : GroundTruth::failed;
+    } else {
+      // The oracle's budget ran out (see candidate.oracle_budget: states
+      // for enumerate, conflicts for sat-search): the solver verdict
+      // stands unverified; SPVP convergence is still recorded.
+      candidate.ground_truth = converged ? GroundTruth::not_applicable
+                                         : GroundTruth::failed;
     }
     return candidate;
   }
@@ -551,7 +632,12 @@ class Search {
   std::uint64_t seed_;
   algebra::SymbolicSpec spec_;
   IncrementalSafetySession session_;
+  // Exactly one oracle path materialises, lazily, at the first solver-safe
+  // candidate: the persistent incremental session (default sat-search) or
+  // the per-candidate engine (enumerate / the from-scratch ablation).
+  std::optional<groundtruth::StableSatSession> oracle_session_;
   std::unique_ptr<groundtruth::GroundTruthEngine> oracle_;
+  std::map<std::string, std::size_t> edit_frequency_;  // beam scoring
   std::map<std::string, SigInfo> sig_info_;
   // Interned permitted paths and the base structures evaluate() diffs
   // against (see class comment).
@@ -598,6 +684,7 @@ RepairSummary summarize(const RepairReport& report) {
   if (const RepairCandidate* best = report.best()) {
     summary.solver_repaired = best->solver_safe;
     summary.verified = best->ground_truth == GroundTruth::verified;
+    summary.oracle_budget = groundtruth::to_string(best->oracle_budget);
     summary.edit_count = best->edits.size();
     for (const PolicyEdit& edit : best->edits) {
       summary.edits.push_back(edit.describe());
@@ -624,6 +711,7 @@ std::string to_json(const RepairReport& report) {
          std::to_string(report.candidates_checked) +
          ", \"solver_checks\": " + std::to_string(report.solver_checks) +
          ", \"cores_seen\": " + std::to_string(report.cores_seen) +
+         ", \"beam_pruned\": " + std::to_string(report.beam_pruned) +
          ", \"budget_exhausted\": ";
   out += report.budget_exhausted ? "true" : "false";
   out += ",\n  \"repairs\": [\n";
@@ -638,6 +726,8 @@ std::string to_json(const RepairReport& report) {
            quoted(to_string(candidate.ground_truth)) +
            ", \"stable_assignments\": " +
            std::to_string(candidate.stable_assignments) +
+           ", \"oracle_budget\": " +
+           quoted(groundtruth::to_string(candidate.oracle_budget)) +
            ", \"spvp_converged\": ";
     out += candidate.spvp_converged ? "true" : "false";
     out += "}";
@@ -662,12 +752,21 @@ std::string render_text(const RepairReport& report) {
   }
   std::snprintf(buf, sizeof(buf),
                 "search: %zu candidates, %zu solver checks, %zu cores, "
-                "%zu engine rebuilds, %.2f ms, %s oracle%s\n",
+                "%zu engine rebuilds, %zu beam-pruned, %.2f ms, %s oracle%s\n",
                 report.candidates_checked, report.solver_checks,
-                report.cores_seen, report.engine_rebuilds, report.wall_ms,
+                report.cores_seen, report.engine_rebuilds, report.beam_pruned,
+                report.wall_ms,
                 groundtruth::to_string(report.ground_truth_mode),
                 report.budget_exhausted ? " (budget exhausted)" : "");
   out += buf;
+  if (report.oracle_queries > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "oracle session: %zu queries, %zu ranking groups encoded, "
+                  "%zu cache hits\n",
+                  report.oracle_queries, report.oracle_groups_encoded,
+                  report.oracle_cache_hits);
+    out += buf;
+  }
   if (!report.repaired()) {
     out += "no repair found within the edit budget\n";
     return out;

@@ -12,11 +12,18 @@
 //      untouched constraints stay in the incremental engine's base, so a
 //      re-check costs the candidate's delta, not a rebuild;
 //   4. when a candidate is still unsat, its new core seeds further edits
-//      (breadth-first, up to max_edits), so every explored edit is
-//      justified by some counterexample;
-//   5. cross-validates solver-safe candidates against ground truth:
-//      enumerate_stable_assignments must find a stable state and repeated
-//      simulate_spvp runs must converge;
+//      (depth by depth, up to max_edits), so every explored edit is
+//      justified by some counterexample. Each depth's frontier is a BEAM:
+//      when it outgrows beam_width, states are ranked by how often their
+//      edits were demanded by counterexample cores (core-frequency
+//      scoring) and only the best beam_width survive — the pruning that
+//      keeps max_edits >= 3 tractable on Rocketfuel-sized instances;
+//   5. cross-validates solver-safe candidates against ground truth — a
+//      stable state must exist and repeated simulate_spvp runs must
+//      converge. With the default sat-search oracle the candidates share
+//      ONE persistent StableSatSession: the base instance is encoded once
+//      and each candidate costs a per-node CNF delta (clause groups +
+//      assumptions), mirroring how the SMT side amortises re-checks;
 //   6. returns all fixes of minimal edit size, ranked (ground-truth
 //      verified first, then least destructive edit kinds).
 //
@@ -57,6 +64,13 @@ struct RepairCandidate {
   GroundTruth ground_truth = GroundTruth::not_applicable;
   std::size_t stable_assignments = 0;  // when ground truth ran
   bool spvp_converged = false;         // when ground truth ran
+  /// Which oracle budget (if any) cut the validation short. `none` when
+  /// no oracle ran (relax edits) or no budget interfered. Any other value
+  /// marks stable_assignments as a floor; on a not_applicable verdict it
+  /// names the budget that kept the oracle from deciding at all (`states`
+  /// for enumerate, `conflicts` for sat-search) — a verified verdict with
+  /// a non-`none` stop just means enumeration ended early.
+  groundtruth::BudgetStop oracle_budget = groundtruth::BudgetStop::none;
 
   std::string describe() const;  // "demote 1-2-0 at 1" or joined edits
 };
@@ -65,10 +79,22 @@ struct RepairOptions {
   /// Maximum edits per candidate (search depth). The engine stops at the
   /// first depth that yields any repair, so this is a cap, not a target.
   std::size_t max_edits = 2;
+  /// Frontier cap per search depth (0 = unbounded breadth-first search).
+  /// An overgrown frontier is pruned to the beam_width states whose edits
+  /// were most often demanded by counterexample cores, best-first; pruned
+  /// states are counted in RepairReport::beam_pruned, so a "no repair
+  /// found" under pruning is never silent.
+  std::size_t beam_width = 64;
   /// Budget on solver re-checks across the whole search.
   std::size_t max_checks = 512;
   /// Use the shared incremental session (false = from-scratch ablation).
   bool use_incremental = true;
+  /// Validate sat-search-oracle candidates through one persistent
+  /// StableSatSession (per-candidate CNF deltas) instead of re-encoding
+  /// each edited instance from scratch (false = the oracle ablation
+  /// bench_repair measures; both paths report identical verdicts wherever
+  /// no conflict budget is exhausted mid-query — a tested property).
+  bool use_incremental_oracle = true;
   /// Explore constraint-level relax edits (solver-verified only).
   bool allow_relax = true;
   /// Which exact oracle validates solver-safe candidates (see
@@ -100,7 +126,13 @@ struct RepairReport {
   std::size_t solver_checks = 0;
   std::size_t cores_seen = 0;       // distinct counterexamples encountered
   std::size_t engine_rebuilds = 0;  // incremental-base rebuilds (ablation: 0)
+  std::size_t beam_pruned = 0;      // frontier states dropped by the beam
   bool budget_exhausted = false;    // max_checks hit before the search ended
+  // Incremental-oracle session effort (zero when the enumerate oracle or
+  // the from-scratch ablation validated candidates instead).
+  std::size_t oracle_queries = 0;
+  std::size_t oracle_groups_encoded = 0;
+  std::size_t oracle_cache_hits = 0;
   double wall_ms = 0.0;
 
   bool repaired() const noexcept { return !repairs.empty(); }
@@ -138,6 +170,7 @@ struct RepairSummary {
   bool solver_repaired = false;  // some candidate made the solver say safe
   bool verified = false;         // the best candidate is ground-truthed
   std::string ground_truth_mode;  // oracle name ("enumerate"/"sat-search")
+  std::string oracle_budget;  // best candidate's BudgetStop ("none", ...)
   std::size_t edit_count = 0;    // best candidate's edit count
   std::vector<std::string> edits;  // best candidate's edit descriptions
   std::size_t candidates_checked = 0;

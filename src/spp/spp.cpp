@@ -13,6 +13,18 @@ std::string path_name(const Path& path) {
   return util::join(path, "-");
 }
 
+const char* to_string(EnumerationStop stop) noexcept {
+  switch (stop) {
+    case EnumerationStop::completed:
+      return "completed";
+    case EnumerationStop::state_budget:
+      return "state-budget";
+    case EnumerationStop::solution_budget:
+      return "solution-budget";
+  }
+  return "state-budget";
+}
+
 SppInstance::SppInstance(std::string name, std::string destination)
     : name_(std::move(name)), destination_(std::move(destination)) {
   if (name_.empty() || destination_.empty()) {
@@ -170,10 +182,15 @@ BudgetedEnumeration enumerate_stable_assignments_budgeted(
     }
     if (i == nodes.size()) {
       result.complete = true;
+      result.stopped_by = EnumerationStop::completed;
       return result;
     }
-    if (result.assignments.size() >= max_solutions) return result;
+    if (result.assignments.size() >= max_solutions) {
+      result.stopped_by = EnumerationStop::solution_budget;
+      return result;
+    }
   }
+  result.stopped_by = EnumerationStop::state_budget;
   return result;
 }
 

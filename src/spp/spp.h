@@ -102,15 +102,23 @@ bool is_stable_assignment(const SppInstance& instance,
 std::vector<Assignment> enumerate_stable_assignments(
     const SppInstance& instance, std::uint64_t max_states = 1u << 22);
 
+/// Why a budgeted brute-force scan ended: it covered the whole state space
+/// (`completed`), ran out of its state budget (`state_budget`), or found
+/// `max_solutions` stable assignments first (`solution_budget`).
+enum class EnumerationStop { completed, state_budget, solution_budget };
+
+const char* to_string(EnumerationStop stop) noexcept;
+
 /// Outcome of a budgeted brute-force scan (enumerate_stable_assignments
 /// without the up-front throw): `complete` is true when the whole state
-/// space was covered, so `assignments` is the exact answer; otherwise the
-/// scan stopped after `states_scanned` states (or at `max_solutions`
-/// found) and `assignments` is only a partial floor.
+/// space was covered, so `assignments` is the exact answer; otherwise
+/// `stopped_by` names the exhausted budget and `assignments` is only a
+/// partial floor.
 struct BudgetedEnumeration {
   std::vector<Assignment> assignments;
   bool complete = false;
   std::uint64_t states_scanned = 0;
+  EnumerationStop stopped_by = EnumerationStop::state_budget;
 };
 
 /// Scans up to `max_states` candidate states for stable assignments,

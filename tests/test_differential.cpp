@@ -1,0 +1,211 @@
+// Differential fuzz harness: four independent stable-paths oracles swept
+// over 300+ seeded random SPP instances (plus random drop/demote edit
+// schedules per instance) and held to agreement —
+//
+//   1. incremental-assumption SAT (StableSatSession: persistent solver,
+//      clause groups + assumptions, per-edit CNF deltas);
+//   2. scratch SAT (solve_stable_assignments: full re-encode per query);
+//   3. capped brute-force enumeration (the seed toolkit's oracle);
+//   4. seeded SPVP simulation (a protocol run, not a solver).
+//
+// Checked per instance: existence verdict, exact model count (wherever a
+// backend's bound permits exactness), the full canonical witness set
+// between the two SAT paths, witness validity under the stability
+// predicate, and SPVP convergence landing inside the enumerated set. Any
+// disagreement fails with the instance's generator seed and a full dump,
+// so every finding reproduces from one integer.
+//
+// The sweep seed base comes from FSR_FUZZ_SEED (default 9500) — CI pins it
+// so the fuzz lane is reproducible run over run. Runs under the `fuzz`
+// ctest label: `ctest -L fuzz`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario_source.h"
+#include "groundtruth/engine.h"
+#include "groundtruth/stable_sat.h"
+#include "repair/edit.h"
+#include "spp/spp.h"
+#include "util/rng.h"
+
+namespace fsr::groundtruth {
+namespace {
+
+constexpr std::size_t k_instances = 300;
+constexpr std::size_t k_edit_schedules = 3;  // random edit queries/instance
+constexpr std::size_t k_solution_bound = std::size_t{1} << 12;
+
+std::uint64_t fuzz_seed_base() {
+  const char* env = std::getenv("FSR_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return 9500;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Everything needed to reproduce a finding by hand.
+std::string dump_instance(const spp::SppInstance& instance) {
+  std::string out = "instance " + instance.name() + "\n";
+  out += "  edges:";
+  for (const auto& [u, v] : instance.edges()) out += " " + u + "-" + v;
+  out += "\n";
+  for (const std::string& node : instance.nodes()) {
+    out += "  " + node + ":";
+    for (const spp::Path& path : instance.permitted(node)) {
+      out += " " + spp::path_name(path);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void expect_same_search(const StableSearchResult& incremental,
+                        const StableSearchResult& scratch,
+                        const spp::SppInstance& instance) {
+  ASSERT_TRUE(scratch.decided) << dump_instance(instance);
+  ASSERT_TRUE(incremental.decided) << dump_instance(instance);
+  EXPECT_EQ(incremental.has_stable, scratch.has_stable)
+      << dump_instance(instance);
+  EXPECT_EQ(incremental.count, scratch.count) << dump_instance(instance);
+  EXPECT_EQ(incremental.count_exact, scratch.count_exact)
+      << dump_instance(instance);
+  EXPECT_EQ(incremental.assignments, scratch.assignments)
+      << dump_instance(instance);
+  for (const spp::Assignment& assignment : incremental.assignments) {
+    EXPECT_TRUE(spp::is_stable_assignment(instance, assignment))
+        << dump_instance(instance);
+  }
+}
+
+void expect_enumeration_agrees(const StableSearchResult& sat,
+                               const spp::SppInstance& instance) {
+  Options options;
+  options.max_states = std::uint64_t{1} << 18;
+  options.max_solutions = k_solution_bound;
+  const auto enumerate = make_engine(Mode::enumerate, options);
+  const Result scan = enumerate->analyze(instance);
+  if (!scan.decided) return;  // state space beyond the cap: nothing to check
+  EXPECT_EQ(scan.has_stable, sat.has_stable) << dump_instance(instance);
+  if (scan.count_exact && sat.count_exact) {
+    EXPECT_EQ(scan.count, sat.count) << dump_instance(instance);
+  }
+  if (scan.witness.has_value()) {
+    EXPECT_TRUE(spp::is_stable_assignment(instance, *scan.witness))
+        << dump_instance(instance);
+    if (sat.count_exact && !sat.assignments.empty()) {
+      // Both canonical: the least witness must coincide.
+      EXPECT_EQ(*scan.witness, sat.assignments.front())
+          << dump_instance(instance);
+    }
+  }
+}
+
+void expect_spvp_agrees(const StableSearchResult& sat,
+                        const spp::SppInstance& instance,
+                        std::uint64_t spvp_seed) {
+  util::Rng rng(spvp_seed);
+  const spp::SpvpResult run = spp::simulate_spvp(instance, rng, 20000);
+  if (!run.converged) return;  // oscillation/cutoff proves nothing by itself
+  EXPECT_TRUE(spp::is_stable_assignment(instance, run.final_assignment))
+      << dump_instance(instance);
+  EXPECT_TRUE(sat.has_stable) << dump_instance(instance);
+  if (sat.count_exact) {
+    EXPECT_NE(std::find(sat.assignments.begin(), sat.assignments.end(),
+                        run.final_assignment),
+              sat.assignments.end())
+        << "SPVP fixed point missing from the enumerated stable set\n"
+        << dump_instance(instance);
+  }
+}
+
+/// A seeded random drop or demote edit applicable to `instance`, or
+/// nullopt when the instance offers none (no node has editable paths).
+std::optional<repair::PolicyEdit> random_edit(const spp::SppInstance& instance,
+                                              util::Rng& rng) {
+  const std::vector<std::string> nodes = instance.nodes();
+  if (nodes.empty()) return std::nullopt;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& node = nodes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    const std::vector<spp::Path>& ranked = instance.permitted(node);
+    if (ranked.empty()) continue;
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ranked.size()) - 1));
+    const bool demote = rng.chance(0.5);
+    if (demote && pick + 1 == ranked.size()) continue;  // already last
+    if (!demote && instance.permitted_path_count() == 1) continue;
+    return repair::PolicyEdit{demote ? repair::EditKind::demote_path
+                                     : repair::EditKind::drop_path,
+                              node, ranked[pick], {}};
+  }
+  return std::nullopt;
+}
+
+TEST(Differential, FourOraclesAgreeAcrossTheFuzzSweep) {
+  const std::uint64_t base = fuzz_seed_base();
+
+  campaign::RandomSppSweep plain;  // defaults: 3-6 nodes, sparse
+  campaign::RandomSppSweep dense;  // conflict-heavy (repair-fuzz shape)
+  dense.extra_edge_probability = 0.5;
+  dense.paths_per_node = 4;
+
+  std::size_t with_stable = 0;
+  std::size_t multi_stable = 0;
+  std::size_t edited_queries = 0;
+  for (std::size_t i = 0; i < k_instances; ++i) {
+    const std::uint64_t seed = base + i;
+    const campaign::RandomSppSweep& sweep = i % 2 == 0 ? plain : dense;
+    const spp::SppInstance instance = campaign::random_spp_instance(
+        "differential-" + std::to_string(seed), seed, sweep);
+    SCOPED_TRACE("generator seed " + std::to_string(seed) +
+                 (i % 2 == 0 ? " (plain sweep)" : " (dense sweep)"));
+
+    const StableSearchResult scratch =
+        solve_stable_assignments(instance, k_solution_bound);
+    StableSatSession session(instance);
+    const StableSearchResult incremental =
+        session.analyze({}, k_solution_bound);
+    expect_same_search(incremental, scratch, instance);
+    expect_enumeration_agrees(scratch, instance);
+    expect_spvp_agrees(scratch, instance, /*spvp_seed=*/base + 31 * i);
+    if (scratch.has_stable) ++with_stable;
+    if (scratch.count > 1) ++multi_stable;
+
+    // Random edit schedules: the same persistent session answers each
+    // edited configuration via a CNF delta; scratch re-encodes the edited
+    // instance. Base round-trips between edits catch state leaks.
+    util::Rng edit_rng(seed ^ 0xed17u);
+    for (std::size_t round = 0; round < k_edit_schedules; ++round) {
+      const auto edit = random_edit(instance, edit_rng);
+      if (!edit.has_value()) break;
+      const auto edited = repair::apply_edits(instance, {*edit});
+      if (!edited.has_value()) continue;  // edit emptied the instance
+      SCOPED_TRACE("edit: " + edit->describe());
+      RankingDelta delta;
+      delta.node = edit->node;
+      delta.ranked = edited->permitted(edit->node);
+      const StableSearchResult edited_scratch =
+          solve_stable_assignments(*edited, k_solution_bound);
+      const StableSearchResult edited_incremental =
+          session.analyze({delta}, k_solution_bound);
+      expect_same_search(edited_incremental, edited_scratch, *edited);
+      expect_spvp_agrees(edited_scratch, *edited,
+                         /*spvp_seed=*/base + 31 * i + round + 1);
+      ++edited_queries;
+    }
+    const StableSearchResult back = session.analyze({}, k_solution_bound);
+    expect_same_search(back, scratch, instance);
+  }
+
+  // The sweep must actually exercise the interesting shapes: stable and
+  // multi-stable instances, and a healthy number of edited queries.
+  EXPECT_GT(with_stable, k_instances / 2);
+  EXPECT_GT(multi_stable, 0u);
+  EXPECT_GT(edited_queries, k_instances);
+}
+
+}  // namespace
+}  // namespace fsr::groundtruth

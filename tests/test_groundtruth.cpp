@@ -13,8 +13,10 @@
 #include "groundtruth/engine.h"
 #include "groundtruth/sat_solver.h"
 #include "groundtruth/stable_sat.h"
+#include "repair/edit.h"
 #include "spp/gadgets.h"
 #include "spp/spp.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace fsr::groundtruth {
@@ -128,6 +130,186 @@ TEST(SatSolver, ModelEnumerationViaBlockingClauses) {
   EXPECT_FALSE(models.contains({false, false}));
 }
 
+// ------------------------------------- clause groups + assumptions --------
+
+TEST(SatSolverGroups, GroupClausesBindOnlyWhenAssumed) {
+  SatSolver sat;
+  const std::int32_t x = sat.new_variable();
+  const GroupId group = sat.new_group();
+  sat.add_clause({make_lit(x, false)});
+  sat.add_clause_in_group(group, {make_lit(x, true)});  // contradicts x
+  // Group off: satisfiable. Group on: unsat under the assumption, and the
+  // solver stays reusable.
+  EXPECT_EQ(sat.solve_under({sat.group_disable(group)}), SolveStatus::satisfiable);
+  EXPECT_TRUE(sat.model_value(x));
+  EXPECT_EQ(sat.solve_under({sat.group_enable(group)}),
+            SolveStatus::unsatisfiable);
+  EXPECT_EQ(sat.solve_under({sat.group_disable(group)}), SolveStatus::satisfiable);
+}
+
+TEST(SatSolverGroups, RetireIsPermanentAndIdempotent) {
+  SatSolver sat;
+  const std::int32_t x = sat.new_variable();
+  const GroupId group = sat.new_group();
+  sat.add_clause({make_lit(x, false)});
+  sat.add_clause_in_group(group, {make_lit(x, true)});
+  sat.retire_group(group);
+  sat.retire_group(group);
+  EXPECT_TRUE(sat.group_retired(group));
+  // Retired clauses are permanently satisfied; later adds are dropped.
+  sat.add_clause_in_group(group, {make_lit(x, true)});
+  EXPECT_EQ(sat.solve(), SolveStatus::satisfiable);
+  EXPECT_TRUE(sat.model_value(x));
+}
+
+TEST(SatSolverGroups, FailedAssumptionsAreASufficientSubset) {
+  SatSolver sat;
+  const std::int32_t x = sat.new_variable();
+  const std::int32_t y = sat.new_variable();
+  const std::int32_t z = sat.new_variable();
+  sat.add_clause({make_lit(x, true), make_lit(y, true)});  // ¬x ∨ ¬y
+  const std::vector<Lit> assumptions = {make_lit(z, false), make_lit(x, false),
+                                        make_lit(y, false)};
+  ASSERT_EQ(sat.solve_under(assumptions), SolveStatus::unsatisfiable);
+  const std::vector<Lit> failed = sat.failed_assumptions();
+  ASSERT_FALSE(failed.empty());
+  for (const Lit lit : failed) {
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), lit),
+              assumptions.end());
+  }
+  // z is irrelevant to the conflict and must not be blamed.
+  EXPECT_EQ(std::find(failed.begin(), failed.end(), make_lit(z, false)),
+            failed.end());
+  // The named subset is itself unsatisfiable with the clause set.
+  EXPECT_EQ(sat.solve_under(failed), SolveStatus::unsatisfiable);
+  // And the solver still answers the unconstrained question.
+  EXPECT_EQ(sat.solve(), SolveStatus::satisfiable);
+}
+
+namespace {
+
+/// A random CNF instance partitioned into groups, for the activate/
+/// deactivate round-trip property below.
+struct GroupedCnf {
+  std::int32_t variables = 0;
+  std::vector<std::vector<Lit>> clauses;
+  std::vector<std::size_t> group_of;  // clause -> group index
+  std::size_t groups = 0;
+};
+
+GroupedCnf random_grouped_cnf(util::Rng& rng) {
+  GroupedCnf cnf;
+  cnf.variables = static_cast<std::int32_t>(rng.uniform_int(3, 8));
+  cnf.groups = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  const std::int64_t clause_count = rng.uniform_int(
+      cnf.variables, 3 * static_cast<std::int64_t>(cnf.variables));
+  for (std::int64_t c = 0; c < clause_count; ++c) {
+    const std::int64_t width = rng.uniform_int(1, 3);
+    std::vector<Lit> clause;
+    for (std::int64_t l = 0; l < width; ++l) {
+      const auto var =
+          static_cast<std::int32_t>(rng.uniform_int(0, cnf.variables - 1));
+      clause.push_back(make_lit(var, rng.chance(0.5)));
+    }
+    cnf.clauses.push_back(std::move(clause));
+    cnf.group_of.push_back(
+        static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(cnf.groups) - 1)));
+  }
+  return cnf;
+}
+
+/// Model count over the original variables for the active clause subset,
+/// via a fresh plainly-built solver (the reference the session mechanics
+/// must reproduce).
+std::size_t fresh_model_count(const GroupedCnf& cnf,
+                              const std::vector<bool>& active,
+                              SolveStatus& verdict) {
+  SatSolver sat;
+  for (std::int32_t v = 0; v < cnf.variables; ++v) (void)sat.new_variable();
+  for (std::size_t c = 0; c < cnf.clauses.size(); ++c) {
+    if (active[cnf.group_of[c]]) sat.add_clause(cnf.clauses[c]);
+  }
+  verdict = sat.solve();
+  std::size_t models = 0;
+  while (sat.solve() == SolveStatus::satisfiable) {
+    ++models;
+    std::vector<Lit> blocking;
+    for (std::int32_t v = 0; v < cnf.variables; ++v) {
+      blocking.push_back(make_lit(v, sat.model_value(v)));
+    }
+    sat.add_clause(std::move(blocking));
+    if (models > 1024) break;  // cannot happen with <= 8 variables
+  }
+  return models;
+}
+
+}  // namespace
+
+TEST(SatSolverGroups, ActivationRoundTripsMatchFreshBuilds) {
+  // The clause-group acceptance property: across 100 seeded random group
+  // schedules, a persistent solver answering through assumptions (with
+  // per-round blocking clauses in a throwaway group, retired after use)
+  // stays equivalent to a fresh solver built from only the active clauses
+  // — same verdict, same model count over the original variables.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    util::Rng rng(7100 + seed);
+    const GroupedCnf cnf = random_grouped_cnf(rng);
+
+    SatSolver persistent;
+    for (std::int32_t v = 0; v < cnf.variables; ++v) {
+      (void)persistent.new_variable();
+    }
+    std::vector<GroupId> groups;
+    for (std::size_t g = 0; g < cnf.groups; ++g) {
+      groups.push_back(persistent.new_group());
+    }
+    for (std::size_t c = 0; c < cnf.clauses.size(); ++c) {
+      persistent.add_clause_in_group(groups[cnf.group_of[c]],
+                                     cnf.clauses[c]);
+    }
+
+    const std::int64_t rounds = rng.uniform_int(4, 8);
+    for (std::int64_t round = 0; round < rounds; ++round) {
+      std::vector<bool> active(cnf.groups);
+      for (std::size_t g = 0; g < cnf.groups; ++g) active[g] = rng.chance(0.5);
+
+      SolveStatus fresh_verdict = SolveStatus::unknown;
+      const std::size_t fresh_models =
+          fresh_model_count(cnf, active, fresh_verdict);
+
+      std::vector<Lit> assumptions;
+      for (std::size_t g = 0; g < cnf.groups; ++g) {
+        assumptions.push_back(active[g] ? persistent.group_enable(groups[g])
+                                        : persistent.group_disable(groups[g]));
+      }
+      const SolveStatus verdict = persistent.solve_under(assumptions);
+      EXPECT_EQ(verdict, fresh_verdict)
+          << "seed " << 7100 + seed << " round " << round;
+
+      GroupId query = -1;
+      std::size_t models = 0;
+      while (persistent.solve_under(assumptions) ==
+             SolveStatus::satisfiable) {
+        ++models;
+        std::vector<Lit> blocking;
+        for (std::int32_t v = 0; v < cnf.variables; ++v) {
+          blocking.push_back(make_lit(v, persistent.model_value(v)));
+        }
+        if (query < 0) {
+          query = persistent.new_group();
+          assumptions.push_back(persistent.group_enable(query));
+        }
+        persistent.add_clause_in_group(query, std::move(blocking));
+        ASSERT_LE(models, 1024u);
+      }
+      if (query >= 0) persistent.retire_group(query);
+      EXPECT_EQ(models, fresh_models)
+          << "seed " << 7100 + seed << " round " << round;
+    }
+  }
+}
+
 // ------------------------------------------------- stable-assignment CNF --
 
 TEST(StableSat, GadgetLibraryCounts) {
@@ -190,6 +372,143 @@ TEST(StableSat, EmptyInstanceHasTheVacuousAssignment) {
   EXPECT_EQ(result.count, 1u);
   ASSERT_EQ(result.assignments.size(), 1u);
   EXPECT_TRUE(result.assignments[0].empty());
+}
+
+// ------------------------------------------------------ incremental session --
+
+TEST(StableSatSession, BaseQueriesMatchScratchOnTheGadgetLibrary) {
+  for (const spp::SppInstance& instance :
+       {spp::good_gadget(), spp::bad_gadget(), spp::disagree_gadget(),
+        spp::ibgp_figure3_gadget(), spp::ibgp_figure3_fixed(),
+        spp::bad_gadget_chain(4)}) {
+    const StableSearchResult scratch =
+        solve_stable_assignments(instance, 64);
+    StableSatSession session(instance);
+    for (int round = 0; round < 3; ++round) {
+      const StableSearchResult incremental = session.analyze({}, 64);
+      EXPECT_EQ(incremental.decided, scratch.decided) << instance.name();
+      EXPECT_EQ(incremental.has_stable, scratch.has_stable) << instance.name();
+      EXPECT_EQ(incremental.count, scratch.count) << instance.name();
+      EXPECT_EQ(incremental.count_exact, scratch.count_exact)
+          << instance.name();
+      EXPECT_EQ(incremental.assignments, scratch.assignments)
+          << instance.name();
+    }
+    // Round 2 and 3 hit the ranking-group cache for every node.
+    EXPECT_GT(session.stats().group_cache_hits, 0u);
+  }
+}
+
+TEST(StableSatSession, DeltaQueriesMatchScratchOnEditedInstances) {
+  // Every single-path demote and drop across the bad gadget: the session's
+  // CNF delta must agree with a from-scratch encode of the edited
+  // instance (applied by the REAL edit implementation, repair::apply_edits,
+  // so the two paths cannot drift apart), and interleaved base queries
+  // must stay unpolluted.
+  const spp::SppInstance bad = spp::bad_gadget();
+  const StableSearchResult base_scratch = solve_stable_assignments(bad, 64);
+  StableSatSession session(bad);
+  const auto expect_delta_agreement = [&](const repair::PolicyEdit& edit) {
+    const auto edited = repair::apply_edits(bad, {edit});
+    ASSERT_TRUE(edited.has_value()) << edit.describe();
+    const RankingDelta delta{edit.node, edited->permitted(edit.node)};
+    const StableSearchResult scratch = solve_stable_assignments(*edited, 64);
+    const StableSearchResult incremental = session.analyze({delta}, 64);
+    EXPECT_EQ(incremental.has_stable, scratch.has_stable) << edit.describe();
+    EXPECT_EQ(incremental.count, scratch.count) << edit.describe();
+    EXPECT_EQ(incremental.assignments, scratch.assignments)
+        << edit.describe();
+  };
+  for (const std::string& node : bad.nodes()) {
+    const std::vector<spp::Path>& ranked = bad.permitted(node);
+    for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+      if (rank + 1 < ranked.size()) {
+        expect_delta_agreement(repair::PolicyEdit{
+            repair::EditKind::demote_path, node, ranked[rank], {}});
+      }
+      expect_delta_agreement(repair::PolicyEdit{repair::EditKind::drop_path,
+                                                node, ranked[rank], {}});
+      // Base round-trip: no delta leaks into the next query.
+      const StableSearchResult back = session.analyze({}, 64);
+      EXPECT_EQ(back.has_stable, base_scratch.has_stable);
+      EXPECT_EQ(back.assignments, base_scratch.assignments);
+    }
+  }
+}
+
+TEST(StableSatSession, MultiNodeDeltaDropsAndReordersTogether) {
+  // Drop node 1's through-route AND demote node 2's in one query: the
+  // all-direct-ish configuration has a unique stable state.
+  const spp::SppInstance bad = spp::bad_gadget();
+  StableSatSession session(bad);
+  RankingDelta drop1{"1", {{"1", "0"}}};
+  RankingDelta demote2{"2", {{"2", "0"}, {"2", "3", "0"}}};
+  const StableSearchResult result = session.analyze({drop1, demote2}, 64);
+  EXPECT_TRUE(result.decided);
+  EXPECT_TRUE(result.has_stable);
+  EXPECT_EQ(result.count, 1u);
+  EXPECT_TRUE(result.count_exact);
+  for (const spp::Assignment& assignment : result.assignments) {
+    // The witness decodes against the EDITED rankings.
+    EXPECT_EQ(assignment.at("1"), (spp::Path{"1", "0"}));
+  }
+}
+
+TEST(StableSatSession, BudgetStopsAreReported) {
+  const spp::SppInstance bad = spp::bad_gadget();
+  StableSatSession session(bad);
+  // A one-conflict budget cannot refute BAD: undecided, conflicts stop.
+  const StableSearchResult starved = session.analyze({}, 64, 1);
+  EXPECT_FALSE(starved.decided);
+  EXPECT_EQ(starved.budget_stop, BudgetStop::conflicts);
+  // DISAGREE at a solution bound of 1: verdict exact, count a floor.
+  StableSatSession disagree(spp::disagree_gadget());
+  const StableSearchResult capped = disagree.analyze({}, 1);
+  EXPECT_TRUE(capped.decided);
+  EXPECT_FALSE(capped.count_exact);
+  EXPECT_EQ(capped.budget_stop, BudgetStop::solutions);
+  // And with room to finish: no budget interfered.
+  const StableSearchResult full = disagree.analyze({}, 64);
+  EXPECT_TRUE(full.count_exact);
+  EXPECT_EQ(full.count, 2u);
+  EXPECT_EQ(full.budget_stop, BudgetStop::none);
+}
+
+TEST(StableSatSession, RejectsMalformedDeltas) {
+  const spp::SppInstance bad = spp::bad_gadget();
+  StableSatSession session(bad);
+  RankingDelta unknown_node{"9", {}};
+  EXPECT_THROW((void)session.analyze({unknown_node}, 4), InvalidArgument);
+  RankingDelta foreign_path{"1", {{"2", "3", "0"}}};
+  EXPECT_THROW((void)session.analyze({foreign_path}, 4), InvalidArgument);
+  RankingDelta duplicated{"1", {{"1", "0"}, {"1", "0"}}};
+  EXPECT_THROW((void)session.analyze({duplicated}, 4), InvalidArgument);
+  RankingDelta twice{"1", {{"1", "0"}}};
+  EXPECT_THROW((void)session.analyze({twice, twice}, 4), InvalidArgument);
+  // A failed query must not poison the session.
+  const StableSearchResult after = session.analyze({}, 4);
+  EXPECT_TRUE(after.decided);
+  EXPECT_FALSE(after.has_stable);
+}
+
+TEST(StableSat, ScratchSearchReportsBudgetStops) {
+  const StableSearchResult starved =
+      solve_stable_assignments(spp::bad_gadget(), 64, /*max_conflicts=*/1);
+  EXPECT_FALSE(starved.decided);
+  EXPECT_EQ(starved.budget_stop, BudgetStop::conflicts);
+  const StableSearchResult capped =
+      solve_stable_assignments(spp::disagree_gadget(), 1);
+  EXPECT_EQ(capped.budget_stop, BudgetStop::solutions);
+  const StableSearchResult full =
+      solve_stable_assignments(spp::disagree_gadget(), 64);
+  EXPECT_EQ(full.budget_stop, BudgetStop::none);
+}
+
+TEST(StableSat, BudgetStopNamesRoundTrip) {
+  EXPECT_STREQ(to_string(BudgetStop::none), "none");
+  EXPECT_STREQ(to_string(BudgetStop::states), "states");
+  EXPECT_STREQ(to_string(BudgetStop::conflicts), "conflicts");
+  EXPECT_STREQ(to_string(BudgetStop::solutions), "solutions");
 }
 
 // ----------------------------------------------------------- engine modes --

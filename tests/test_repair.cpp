@@ -269,6 +269,171 @@ TEST(RepairSummary, CarriesTheGroundTruthMode) {
   EXPECT_EQ(summary.ground_truth_mode, "sat-search");
 }
 
+TEST(RepairEngine, IncrementalAndScratchOraclesAgree) {
+  // Same search, same candidates; only the oracle PLUMBING differs (one
+  // persistent StableSatSession vs a from-scratch encode per candidate).
+  // Reports must be byte-identical.
+  RepairOptions session_options;
+  RepairOptions scratch_options;
+  scratch_options.use_incremental_oracle = false;
+  const std::vector<spp::SppInstance> instances = {
+      spp::bad_gadget(), spp::disagree_gadget(), spp::ibgp_figure3_gadget(),
+      spp::bad_gadget_chain(4)};
+  for (const spp::SppInstance& instance : instances) {
+    const RepairReport incremental =
+        RepairEngine(session_options).repair(instance, 5);
+    const RepairReport scratch =
+        RepairEngine(scratch_options).repair(instance, 5);
+    EXPECT_EQ(to_json(incremental), to_json(scratch)) << instance.name();
+    // The session really ran (and only on the incremental side).
+    EXPECT_GT(incremental.oracle_queries, 0u) << instance.name();
+    EXPECT_EQ(scratch.oracle_queries, 0u) << instance.name();
+  }
+}
+
+TEST(RepairEngine, OracleSessionCachesRankingGroupsAcrossCandidates) {
+  const RepairEngine engine;
+  const RepairReport report = engine.repair(spp::bad_gadget_chain(4), 5);
+  ASSERT_TRUE(report.repaired());
+  EXPECT_GT(report.oracle_queries, 1u);
+  // Candidates touch the BAD member's three nodes; every untouched node's
+  // ranking group is encoded once and reused by every later query.
+  EXPECT_GT(report.oracle_cache_hits, 0u);
+}
+
+// -------------------------------------------------- oracle budget reasons --
+
+TEST(RepairEngine, EnumerateOracleReportsStateBudgetExhaustion) {
+  RepairOptions options;
+  options.ground_truth = groundtruth::Mode::enumerate;
+  options.ground_truth_max_states = 4;  // even the gadget overflows this
+  const RepairReport report = RepairEngine(options).repair(spp::bad_gadget());
+  ASSERT_TRUE(report.repaired());
+  EXPECT_EQ(report.best()->ground_truth, GroundTruth::not_applicable);
+  EXPECT_EQ(report.best()->oracle_budget, groundtruth::BudgetStop::states);
+  EXPECT_EQ(summarize(report).oracle_budget, "states");
+  EXPECT_NE(to_json(report).find("\"oracle_budget\": \"states\""),
+            std::string::npos);
+}
+
+TEST(RepairEngine, StarvedSatOracleStillReportsHonestly) {
+  // Gadget-scale repaired candidates are decided by unit propagation, so a
+  // one-conflict budget cannot make the sat-search oracle LIE — it either
+  // still verifies or abstains with the conflicts reason (the session-level
+  // conflicts stop itself is pinned down in test_groundtruth.cpp).
+  RepairOptions options;
+  options.ground_truth_max_conflicts = 1;
+  const RepairReport report =
+      RepairEngine(options).repair(spp::ibgp_figure3_gadget(), 7);
+  ASSERT_TRUE(report.repaired());
+  for (const RepairCandidate& candidate : report.repairs) {
+    if (candidate.ground_truth == GroundTruth::not_applicable &&
+        candidate.edits.front().kind != EditKind::relax_preference) {
+      EXPECT_EQ(candidate.oracle_budget, groundtruth::BudgetStop::conflicts)
+          << candidate.describe();
+    }
+    if (candidate.ground_truth == GroundTruth::verified) {
+      EXPECT_GE(candidate.stable_assignments, 1u) << candidate.describe();
+    }
+  }
+  // And the full-budget run verifies the same best repair.
+  const RepairReport full = RepairEngine().repair(spp::ibgp_figure3_gadget(), 7);
+  EXPECT_EQ(report.best()->describe(), full.best()->describe());
+}
+
+TEST(RepairEngine, SolutionBoundMarksCountsAsFloors) {
+  RepairOptions options;
+  options.ground_truth_max_solutions = 1;
+  const RepairReport report =
+      RepairEngine(options).repair(spp::disagree_gadget(), 7);
+  ASSERT_TRUE(report.repaired());
+  // Some repaired DISAGREE variants keep two stable states; capping the
+  // enumeration at one makes the verdict exact but the count a floor.
+  bool saw_solutions_stop = false;
+  for (const RepairCandidate& candidate : report.repairs) {
+    if (candidate.oracle_budget == groundtruth::BudgetStop::solutions) {
+      saw_solutions_stop = true;
+      EXPECT_EQ(candidate.ground_truth, GroundTruth::verified);
+      EXPECT_EQ(candidate.stable_assignments, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_solutions_stop);
+}
+
+// -------------------------------------------------------------- beam search --
+
+TEST(RepairEngine, BeamPruningKeepsTheCoreJustifiedRepair) {
+  // A width-1 beam still repairs BAD: depth-1 candidates are evaluated
+  // before pruning, and the surviving state is the most core-demanded one.
+  RepairOptions options;
+  options.beam_width = 1;
+  options.max_edits = 2;
+  const RepairReport report = RepairEngine(options).repair(spp::bad_gadget());
+  ASSERT_TRUE(report.repaired());
+  EXPECT_EQ(report.best()->edits.size(), 1u);
+}
+
+TEST(RepairEngine, BeamPruningIsCountedNeverSilent) {
+  spp::SppInstance twin("twin-disagree");
+  const auto add_pair = [&](const std::string& u, const std::string& v) {
+    twin.add_edge(u, "0");
+    twin.add_edge(v, "0");
+    twin.add_edge(u, v);
+    twin.add_permitted_path({u, v, "0"});
+    twin.add_permitted_path({u, "0"});
+    twin.add_permitted_path({v, u, "0"});
+    twin.add_permitted_path({v, "0"});
+  };
+  add_pair("1", "2");
+  add_pair("3", "4");
+
+  RepairOptions wide;
+  wide.beam_width = 0;  // exhaustive BFS: nothing is ever pruned
+  const RepairReport unpruned = RepairEngine(wide).repair(twin, 5);
+  EXPECT_EQ(unpruned.beam_pruned, 0u);
+  ASSERT_TRUE(unpruned.repaired());
+
+  RepairOptions narrow;
+  narrow.beam_width = 2;
+  const RepairReport pruned = RepairEngine(narrow).repair(twin, 5);
+  EXPECT_GT(pruned.beam_pruned, 0u);
+  EXPECT_NE(to_json(pruned).find("\"beam_pruned\": "), std::string::npos);
+  // Core-frequency ranking keeps both disputes' edits in play: the
+  // two-edit repair is still found through the width-2 beam.
+  ASSERT_TRUE(pruned.repaired());
+  EXPECT_EQ(pruned.best()->edits.size(), 2u);
+  EXPECT_EQ(pruned.best()->ground_truth, GroundTruth::verified);
+}
+
+TEST(RepairEngine, ThreeDisputesNeedThreeEditsThroughTheBeam) {
+  // Three disjoint DISAGREE pairs: minimal repair = one edit per dispute.
+  // max_edits = 3 with the default beam stays tractable and exact.
+  spp::SppInstance triple("triple-disagree");
+  const auto add_pair = [&](const std::string& u, const std::string& v) {
+    triple.add_edge(u, "0");
+    triple.add_edge(v, "0");
+    triple.add_edge(u, v);
+    triple.add_permitted_path({u, v, "0"});
+    triple.add_permitted_path({u, "0"});
+    triple.add_permitted_path({v, u, "0"});
+    triple.add_permitted_path({v, "0"});
+  };
+  add_pair("1", "2");
+  add_pair("3", "4");
+  add_pair("5", "6");
+
+  RepairOptions options;
+  options.max_edits = 3;
+  options.max_checks = 4096;
+  const RepairReport report = RepairEngine(options).repair(triple, 5);
+  ASSERT_TRUE(report.repaired());
+  EXPECT_EQ(report.best()->edits.size(), 3u);
+  EXPECT_EQ(report.best()->ground_truth, GroundTruth::verified);
+  // The beam actually pruned (the depth-3 frontier outgrows the width),
+  // yet a minimal verified repair survived.
+  EXPECT_GT(report.beam_pruned, 0u);
+}
+
 // ----------------------------------------------------------------- digest --
 
 TEST(RepairSummary, SummarizesTheBestCandidate) {

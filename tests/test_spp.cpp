@@ -131,6 +131,25 @@ TEST(StableStates, BudgetedScanStopsInsteadOfThrowing) {
   EXPECT_EQ(bounded.assignments.size(), 1u);
 }
 
+TEST(StableStates, BudgetedScanNamesTheExhaustedBudget) {
+  // An incomplete scan says WHICH budget ended it — the repair report
+  // surfaces this instead of a bare not_applicable.
+  const BudgetedEnumeration states_out =
+      enumerate_stable_assignments_budgeted(good_gadget_chain(8), 1000);
+  EXPECT_EQ(states_out.stopped_by, EnumerationStop::state_budget);
+  const BudgetedEnumeration solutions_out =
+      enumerate_stable_assignments_budgeted(disagree_gadget(), 1u << 20,
+                                            /*max_solutions=*/1);
+  EXPECT_EQ(solutions_out.stopped_by, EnumerationStop::solution_budget);
+  const BudgetedEnumeration done =
+      enumerate_stable_assignments_budgeted(disagree_gadget(), 1u << 20);
+  EXPECT_EQ(done.stopped_by, EnumerationStop::completed);
+  EXPECT_STREQ(to_string(EnumerationStop::completed), "completed");
+  EXPECT_STREQ(to_string(EnumerationStop::state_budget), "state-budget");
+  EXPECT_STREQ(to_string(EnumerationStop::solution_budget),
+               "solution-budget");
+}
+
 // ----------------------------------------------------------- SPVP sim --
 
 TEST(Spvp, GoodGadgetConvergesToTheUniqueSolution) {
