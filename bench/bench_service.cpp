@@ -1,0 +1,197 @@
+// AnalysisService throughput: requests/sec for cold vs warm-session
+// request streams on the gadget library.
+//
+// The stream interleaves ground-truth and repair requests over the gadget
+// library (the BAD-chain family included, where the base CNF/SMT encodings
+// dominate per-request cost). "Cold" runs the stream through a service
+// with session reuse disabled (session_cache_capacity 0): every request
+// re-encodes its instance from scratch, the pre-façade behaviour. "Warm"
+// runs the same stream through a service whose workers keep persistent
+// sessions keyed by instance fingerprint, primed by one untimed pass — so
+// the measured passes hit warm solver state (cached CNF ranking groups,
+// learned clauses, encoded SMT bases) on every request.
+//
+// Responses are byte-compared (ids zeroed) before anything is timed: warm
+// serving must never change deterministic bytes, and this bench refuses to
+// publish a speedup for answers that drifted.
+//
+//   bench_service [--json FILE] [--check THRESHOLDS]
+//
+// --json writes the speedup/rps metrics; --check enforces
+// service_warm_speedup_min from bench/thresholds.json — the CI gate for
+// the warm-session contract.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "api/wire.h"
+#include "bench_util.h"
+#include "spp/gadgets.h"
+
+namespace {
+
+constexpr std::uint64_t k_seed = 42;
+
+const std::vector<const char*>& gadget_names() {
+  static const std::vector<const char*> names = {
+      "bad",         "disagree",    "ibgp-figure3",
+      "bad-chain-4", "bad-chain-8", "bad-chain-16"};
+  return names;
+}
+
+/// The gated workload: repeated exact queries over a hot instance set —
+/// the "many scenarios, heavy traffic" shape warm sessions exist for. A
+/// cold service pays the CNF encode per request; a warm one only solves.
+std::vector<fsr::api::Request> query_stream() {
+  std::vector<fsr::api::Request> requests;
+  for (const char* name : gadget_names()) {
+    auto instance = std::make_shared<const fsr::spp::SppInstance>(
+        fsr::spp::gadget_by_name(name));
+    requests.push_back(fsr::api::GroundTruthRequest{instance, {}});
+  }
+  return requests;
+}
+
+/// The informational workload: full repairs, where the candidate search
+/// dominates and warm sessions only shave the encode/base costs.
+std::vector<fsr::api::Request> repair_stream() {
+  std::vector<fsr::api::Request> requests;
+  for (const char* name : gadget_names()) {
+    requests.push_back(fsr::api::RepairRequest{
+        std::make_shared<const fsr::spp::SppInstance>(
+            fsr::spp::gadget_by_name(name)),
+        k_seed});
+  }
+  return requests;
+}
+
+std::vector<std::string> response_bytes(
+    std::vector<fsr::api::Response> responses) {
+  std::vector<std::string> bytes;
+  bytes.reserve(responses.size());
+  for (fsr::api::Response& response : responses) {
+    response.id = 0;  // submission order, not content
+    bytes.push_back(fsr::api::wire::render_response(response));
+  }
+  return bytes;
+}
+
+double time_passes_ms(fsr::api::AnalysisService& service,
+                      const std::vector<fsr::api::Request>& stream,
+                      int passes) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    const auto responses = service.run(stream);
+    (void)responses;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         passes;
+}
+
+std::string fmt(double value, const char* suffix = "") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsr::api;
+  namespace bench = fsr::bench;
+
+  std::string json_path;
+  std::string thresholds_path;
+  if (!bench::parse_metric_args(argc, argv, "bench_service", json_path,
+                                thresholds_path)) {
+    return 2;
+  }
+
+  std::map<std::string, double> metrics;
+
+  ServiceOptions cold_options;
+  cold_options.session_cache_capacity = 0;  // reuse disabled: the ablation
+  ServiceOptions warm_options;
+  warm_options.session_cache_capacity = 16;
+
+  constexpr int k_passes = 5;
+  const auto measure_stream =
+      [&](const char* label, const std::vector<Request>& stream,
+          const char* metric_prefix) {
+        // Byte-agreement sanity pass (untimed): warm serving must never
+        // change deterministic bytes.
+        {
+          AnalysisService cold(cold_options);
+          AnalysisService warm(warm_options);
+          warm.run(stream);  // prime
+          if (response_bytes(cold.run(stream)) !=
+              response_bytes(warm.run(stream))) {
+            std::fprintf(
+                stderr,
+                "bench_service: warm responses drifted from cold bytes (%s)\n",
+                label);
+            std::exit(1);
+          }
+        }
+        AnalysisService cold(cold_options);
+        const double cold_ms = time_passes_ms(cold, stream, k_passes);
+        AnalysisService warm(warm_options);
+        warm.run(stream);  // prime the session cache (untimed cold pass)
+        const double warm_ms = time_passes_ms(warm, stream, k_passes);
+        const double requests = static_cast<double>(stream.size());
+        bench::print_row({label, std::to_string(stream.size()), fmt(cold_ms),
+                          fmt(warm_ms), fmt(cold_ms / warm_ms, "x"),
+                          fmt(1000.0 * requests / warm_ms)},
+                         17);
+        metrics[std::string(metric_prefix) + "cold_requests_per_sec"] =
+            1000.0 * requests / cold_ms;
+        metrics[std::string(metric_prefix) + "warm_requests_per_sec"] =
+            1000.0 * requests / warm_ms;
+        return cold_ms / warm_ms;
+      };
+
+  bench::print_banner(
+      "service throughput: cold vs warm-session request streams");
+  bench::print_row({"stream", "requests", "cold ms", "warm ms", "speedup",
+                    "req/sec (warm)"},
+                   17);
+  // The gated metric: the hot-query workload the warm-session design
+  // exists for (repeated ground-truth requests over a fixed instance set).
+  metrics["service_warm_speedup"] =
+      measure_stream("ground-truth", query_stream(), "service_");
+  // Informational: full repairs re-run the candidate search either way, so
+  // warmth only shaves the encode/base construction.
+  metrics["service_repair_warm_speedup"] =
+      measure_stream("repair", repair_stream(), "service_repair_");
+
+  // ---- pool scaling (informational, not gated) ---------------------------
+  bench::print_banner("service throughput: worker-pool scaling (warm)");
+  bench::print_row({"threads", "ms/stream", "req/sec"}, 14);
+  const std::vector<Request> scaling_stream = repair_stream();
+  for (const int threads : {1, 2, 4}) {
+    ServiceOptions options = warm_options;
+    options.threads = threads;
+    AnalysisService service(options);
+    service.run(scaling_stream);  // prime every worker's cache somewhere
+    const double ms = time_passes_ms(service, scaling_stream, k_passes);
+    bench::print_row(
+        {std::to_string(threads), fmt(ms),
+         fmt(1000.0 * static_cast<double>(scaling_stream.size()) / ms)},
+        14);
+  }
+
+  if (!json_path.empty() && !bench::write_metrics_file(json_path, metrics)) {
+    std::fprintf(stderr, "bench_service: cannot write '%s'\n",
+                 json_path.c_str());
+    return 1;
+  }
+  if (!thresholds_path.empty() &&
+      !bench::check_thresholds(metrics, thresholds_path, "service_")) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+// fsr_serve: the streaming front-end of the fsr::api service.
+//
+//   printf '%s\n' \
+//     '{"kind": "analyze-safety", "gadget": "bad"}' \
+//     '{"kind": "ground-truth", "gadget": "bad-chain-8"}' \
+//     '{"kind": "repair", "gadget": "bad"}' | fsr_serve --threads 4
+//
+// Reads JSON-lines requests from stdin (see api/wire.h for the schema),
+// fans them out over the AnalysisService worker pool, and streams
+// JSON-lines responses to stdout IN REQUEST ORDER — for a fixed request
+// stream and options the output bytes are identical for any --threads
+// value (the service determinism contract; --timings adds scheduling-
+// dependent provenance and breaks that property on purpose).
+//
+// A malformed or failing request answers with an error response on its
+// line — it never aborts the stream. The process exits 0 when every line
+// was answered, 1 when any response carried an error (so batch pipelines
+// notice), 2 on usage errors.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <string>
+
+#include "api/json.h"
+#include "api/service.h"
+#include "api/wire.h"
+#include "groundtruth/engine.h"
+#include "util/error.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: fsr_serve [options] < requests.jsonl > responses.jsonl\n"
+      "  --threads N        service worker threads (default 1); responses\n"
+      "                     are byte-identical for any value\n"
+      "  --session-cache N  warm solver sessions kept per worker\n"
+      "                     (default 8; 0 disables cross-request reuse)\n"
+      "  --max-edits K      repair edit-size cap (default 2)\n"
+      "  --beam W           repair frontier beam width (default 64)\n"
+      "  --ground-truth M   default oracle: sat-search (default) |\n"
+      "                     enumerate\n"
+      "  --timings          add warm_session/wall_ms provenance (output\n"
+      "                     is then no longer byte-stable)\n"
+      "  --help             this message\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsr::api;
+
+  ServiceOptions options;
+  wire::RenderOptions render_options;
+
+  const auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "fsr_serve: %s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0) {
+      options.threads = std::atoi(need_value(i, "--threads"));
+      if (options.threads < 1) {
+        std::fprintf(stderr, "fsr_serve: --threads needs a value >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--session-cache") == 0) {
+      const int capacity = std::atoi(need_value(i, "--session-cache"));
+      if (capacity < 0) {
+        std::fprintf(stderr, "fsr_serve: --session-cache needs a value >= 0\n");
+        return 2;
+      }
+      options.session_cache_capacity = static_cast<std::size_t>(capacity);
+    } else if (std::strcmp(arg, "--max-edits") == 0) {
+      const int max_edits = std::atoi(need_value(i, "--max-edits"));
+      if (max_edits < 1) {
+        std::fprintf(stderr, "fsr_serve: --max-edits needs a value >= 1\n");
+        return 2;
+      }
+      options.repair.max_edits = static_cast<std::size_t>(max_edits);
+    } else if (std::strcmp(arg, "--beam") == 0) {
+      const int beam = std::atoi(need_value(i, "--beam"));
+      if (beam < 0) {
+        std::fprintf(stderr, "fsr_serve: --beam needs a value >= 0\n");
+        return 2;
+      }
+      options.repair.beam_width = static_cast<std::size_t>(beam);
+    } else if (std::optional<fsr::groundtruth::Mode> mode;
+               fsr::groundtruth::consume_mode_flag(argc, argv, i, mode)) {
+      if (!mode.has_value()) {
+        std::fprintf(stderr,
+                     "fsr_serve: --ground-truth needs a mode "
+                     "(enumerate | sat-search)\n");
+        return 2;
+      }
+      options.ground_truth = *mode;
+      options.repair.ground_truth = *mode;
+    } else if (std::strcmp(arg, "--timings") == 0) {
+      render_options.timings = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "fsr_serve: unknown option '%s'\n", arg);
+      print_usage();
+      return 2;
+    }
+  }
+
+  AnalysisService service(options);
+
+  // In-flight responses, drained to stdout in request order: submissions
+  // stream in while earlier requests still compute, and a ready prefix is
+  // flushed opportunistically after every enqueue — the front-end never
+  // needs the whole stream in memory. Output ids are the request's
+  // ordinal in the stream (dense over non-blank lines), so they stay
+  // deterministic even when a malformed line never reaches the service.
+  std::deque<std::future<Response>> pending;
+  bool any_error = false;
+  std::uint64_t next_output_id = 0;
+  const auto flush_ready = [&](bool wait_all) {
+    while (!pending.empty() &&
+           (wait_all || pending.front().wait_for(std::chrono::seconds(0)) ==
+                            std::future_status::ready)) {
+      Response response = pending.front().get();
+      pending.pop_front();
+      response.id = next_output_id++;
+      if (!response.error.empty()) any_error = true;
+      std::string line = wire::render_response(response, render_options);
+      line += '\n';
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fflush(stdout);
+    }
+  };
+
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+    try {
+      pending.push_back(service.submit(wire::parse_request(line)));
+    } catch (const std::exception& error) {
+      // Parse/schema failures answer in-band, one response per request
+      // line, WITHOUT touching the service — a synthetic ready future
+      // keeps the stream flowing while earlier requests still compute.
+      Response response;
+      try {
+        // Best-effort kind attribution when the line at least parsed.
+        const json::Value body = json::parse(line);
+        if (const json::Value* kind_value = body.find("kind")) {
+          if (const auto kind =
+                  parse_request_kind(kind_value->as_string("kind"))) {
+            response.kind = *kind;
+          }
+        }
+      } catch (...) {
+        // Not even JSON: the default kind stands; the error text explains.
+      }
+      response.error = "line " + std::to_string(line_number) + ": " +
+                       error.what();
+      std::promise<Response> failed;
+      failed.set_value(std::move(response));
+      pending.push_back(failed.get_future());
+    }
+    flush_ready(false);
+  }
+  flush_ready(true);
+  return any_error ? 1 : 0;
+}

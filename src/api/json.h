@@ -1,0 +1,75 @@
+// Minimal JSON value model + recursive-descent parser for the fsr_serve
+// wire protocol (one request object per input line).
+//
+// Scope: full JSON syntax (objects, arrays, strings with escapes, numbers,
+// booleans, null) with object member ORDER PRESERVED; numbers are held as
+// doubles plus the exact integer when the literal is integral, which is
+// all the wire layer needs (ids, seeds, small budgets). This is a reader
+// for trusted-operator input, not a streaming parser: inputs are single
+// request lines, and any syntax error throws fsr::InvalidArgument with a
+// byte offset so the CLI can report the offending line precisely.
+//
+// Rendering stays out of scope on purpose: responses are rendered by
+// purpose-built writers (wire.cpp) because byte-stable output — field
+// order, number formatting — is part of the service contract, and a
+// generic value printer would make those choices implicit.
+#ifndef FSR_API_JSON_H
+#define FSR_API_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fsr::api::json {
+
+class Value {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::null; }
+
+  /// Typed getters throw fsr::InvalidArgument on a type mismatch, naming
+  /// `where` (usually the field being read) in the message.
+  bool as_bool(const std::string& where) const;
+  double as_number(const std::string& where) const;
+  /// The number as a non-negative integer; throws when the literal was
+  /// fractional, negative, or not a number.
+  std::uint64_t as_u64(const std::string& where) const;
+  const std::string& as_string(const std::string& where) const;
+  const std::vector<Value>& as_array(const std::string& where) const;
+  const std::vector<std::pair<std::string, Value>>& as_object(
+      const std::string& where) const;
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const Value* find(const std::string& key) const noexcept;
+
+  // Construction is the parser's business; tests may use these directly.
+  static Value make_null();
+  static Value make_bool(bool value);
+  static Value make_number(double value, bool integral, std::uint64_t integer);
+  static Value make_string(std::string value);
+  static Value make_array(std::vector<Value> items);
+  static Value make_object(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::uint64_t integer_ = 0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses exactly one JSON value from `text` (surrounding whitespace
+/// allowed, trailing garbage rejected). Throws fsr::InvalidArgument on any
+/// syntax error.
+Value parse(const std::string& text);
+
+}  // namespace fsr::api::json
+
+#endif  // FSR_API_JSON_H

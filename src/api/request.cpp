@@ -1,0 +1,115 @@
+#include "api/request.h"
+
+#include "campaign/cache.h"
+#include "util/error.h"
+
+namespace fsr::api {
+
+const char* to_string(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::analyze_safety:
+      return "analyze-safety";
+    case RequestKind::ground_truth:
+      return "ground-truth";
+    case RequestKind::repair:
+      return "repair";
+    case RequestKind::emulate:
+      return "emulate";
+  }
+  return "analyze-safety";
+}
+
+std::optional<RequestKind> parse_request_kind(const std::string& text) {
+  if (text == "analyze-safety") return RequestKind::analyze_safety;
+  if (text == "ground-truth") return RequestKind::ground_truth;
+  if (text == "repair") return RequestKind::repair;
+  if (text == "emulate") return RequestKind::emulate;
+  return std::nullopt;
+}
+
+RequestKind kind_of(const Request& request) noexcept {
+  struct Visitor {
+    RequestKind operator()(const AnalyzeSafetyRequest&) const {
+      return RequestKind::analyze_safety;
+    }
+    RequestKind operator()(const GroundTruthRequest&) const {
+      return RequestKind::ground_truth;
+    }
+    RequestKind operator()(const RepairRequest&) const {
+      return RequestKind::repair;
+    }
+    RequestKind operator()(const EmulateRequest&) const {
+      return RequestKind::emulate;
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+void validate(const Request& request) {
+  struct Visitor {
+    void operator()(const AnalyzeSafetyRequest& req) const {
+      const bool has_algebra = req.algebra != nullptr;
+      const bool has_spp = req.spp != nullptr;
+      if (has_algebra == has_spp) {
+        throw InvalidArgument(
+            "analyze-safety request needs exactly one of {algebra, spp}");
+      }
+    }
+    void operator()(const GroundTruthRequest& req) const {
+      if (req.spp == nullptr) {
+        throw InvalidArgument("ground-truth request needs an SPP instance");
+      }
+    }
+    void operator()(const RepairRequest& req) const {
+      if (req.spp == nullptr) {
+        throw InvalidArgument("repair request needs an SPP instance");
+      }
+    }
+    void operator()(const EmulateRequest& req) const {
+      const bool spp_shape = req.spp != nullptr && req.algebra == nullptr &&
+                             req.topology == nullptr;
+      const bool gpv_shape = req.spp == nullptr && req.algebra != nullptr &&
+                             req.topology != nullptr;
+      if (!spp_shape && !gpv_shape) {
+        throw InvalidArgument(
+            "emulate request needs an SPP instance, or an algebra plus a "
+            "topology");
+      }
+    }
+  };
+  std::visit(Visitor{}, request);
+}
+
+namespace {
+
+std::string payload_canonical(const Request& request) {
+  struct Visitor {
+    std::string operator()(const AnalyzeSafetyRequest& req) const {
+      if (req.spp != nullptr) return campaign::canonical_spp(*req.spp);
+      return "alg|" + req.algebra->name() + "|" +
+             campaign::canonical_spec(req.algebra->symbolic());
+    }
+    std::string operator()(const GroundTruthRequest& req) const {
+      return campaign::canonical_spp(*req.spp);
+    }
+    std::string operator()(const RepairRequest& req) const {
+      return campaign::canonical_spp(*req.spp);
+    }
+    std::string operator()(const EmulateRequest& req) const {
+      if (req.spp != nullptr) return campaign::canonical_spp(*req.spp);
+      return "alg|" + req.algebra->name() + "|" +
+             campaign::canonical_spec(req.algebra->symbolic()) + "|topo|" +
+             campaign::canonical_topology(*req.topology);
+    }
+  };
+  return std::visit(Visitor{}, request);
+}
+
+}  // namespace
+
+std::string fingerprint(const Request& request) {
+  validate(request);
+  return campaign::content_digest(payload_canonical(request));
+}
+
+}  // namespace fsr::api

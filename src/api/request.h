@@ -1,0 +1,114 @@
+// The typed request/response family of the fsr::api service façade.
+//
+// Every analysis the toolkit can run — safety analysis, exact stable-paths
+// ground truth, counterexample-guided repair, NDlog emulation — is phrased
+// as one tagged Request and answered by one Response. The request carries
+// only the PROBLEM (shared immutable payloads plus the seed where results
+// are legitimately seed-dependent); engine configuration lives in
+// ServiceOptions (service.h), so two services with equal options answer
+// equal requests identically, byte for byte.
+//
+// Determinism contract: a Response's deterministic fields (everything
+// except wall_ms and warm_session, which renderers exclude by default) are
+// a pure function of (request content, service options, request seed) —
+// independent of worker count, scheduling, and warm-session temperature.
+// That is what lets fsr_serve promise byte-identical output for any
+// --threads value, and what the service-layer tests sweep.
+#ifndef FSR_API_REQUEST_H
+#define FSR_API_REQUEST_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "algebra/algebra.h"
+#include "fsr/emulation.h"
+#include "fsr/safety_analyzer.h"
+#include "groundtruth/engine.h"
+#include "repair/repair_engine.h"
+#include "spp/spp.h"
+#include "topology/topology.h"
+
+namespace fsr::api {
+
+enum class RequestKind { analyze_safety, ground_truth, repair, emulate };
+
+const char* to_string(RequestKind kind) noexcept;
+/// Parses the wire spelling ("analyze-safety", "ground-truth", "repair",
+/// "emulate"); nullopt for anything else.
+std::optional<RequestKind> parse_request_kind(const std::string& text);
+
+/// Safety analysis (paper Section IV): exactly one of `algebra` (analyze
+/// directly) or `spp` (translate per Section III-B, then analyze).
+struct AnalyzeSafetyRequest {
+  algebra::AlgebraPtr algebra;
+  std::shared_ptr<const spp::SppInstance> spp;
+};
+
+/// Exact stable-paths verdict for an SPP instance. `mode` overrides the
+/// service's default oracle per request (sat-search answers through the
+/// worker's warm StableSatSession when one is cached for this instance).
+struct GroundTruthRequest {
+  std::shared_ptr<const spp::SppInstance> spp;
+  std::optional<groundtruth::Mode> mode;
+};
+
+/// Counterexample-guided repair of an SPP instance. `seed` drives only the
+/// SPVP ground-truth trials (the campaign layer passes the content-derived
+/// seed to keep repair outcomes content-determined; the CLIs pass --seed).
+struct RepairRequest {
+  std::shared_ptr<const spp::SppInstance> spp;
+  std::uint64_t seed = 1;
+};
+
+/// NDlog emulation (paper Section VI): an SPP instance, or an algebra over
+/// an annotated topology. Results are seed-dependent by design (timer
+/// jitter, batching drift), so the seed is part of the request identity.
+struct EmulateRequest {
+  std::shared_ptr<const spp::SppInstance> spp;
+  algebra::AlgebraPtr algebra;
+  std::shared_ptr<const topology::Topology> topology;
+  std::uint64_t seed = 1;
+};
+
+using Request = std::variant<AnalyzeSafetyRequest, GroundTruthRequest,
+                             RepairRequest, EmulateRequest>;
+
+RequestKind kind_of(const Request& request) noexcept;
+
+/// Throws fsr::InvalidArgument unless the request carries exactly the
+/// payload shape its kind needs (the service turns the throw into an
+/// error Response; callers may validate early for fail-fast behaviour).
+void validate(const Request& request);
+
+/// 16-hex content digest of the request's payload — kind-free and
+/// seed-free, so a ground-truth request and a repair request over the same
+/// instance share one fingerprint and hence one warm session-cache entry.
+/// Built from the campaign layer's canonical forms (campaign/cache.h).
+std::string fingerprint(const Request& request);
+
+/// One request's answer. Exactly one payload optional is set on success
+/// (matching the request kind); `error` is non-empty instead when the
+/// request failed, and a failed request never aborts the service.
+struct Response {
+  std::uint64_t id = 0;  // dense submission order, the response ordering key
+  RequestKind kind = RequestKind::analyze_safety;
+  std::string fingerprint;
+  std::string error;
+
+  std::optional<SafetyReport> safety;
+  std::optional<groundtruth::Result> ground_truth;
+  std::optional<repair::RepairReport> repair;
+  std::optional<EmulationResult> emulation;
+
+  // Execution provenance: scheduling-dependent, so excluded from
+  // deterministic renderings (wire.h gates them behind `timings`).
+  bool warm_session = false;  // served entirely from cached solver sessions
+  double wall_ms = 0.0;
+};
+
+}  // namespace fsr::api
+
+#endif  // FSR_API_REQUEST_H

@@ -1,0 +1,227 @@
+#include "api/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "spp/translate.h"
+#include "util/error.h"
+
+namespace fsr::api {
+namespace {
+
+/// Maps a session query result onto the engine-facade Result shape,
+/// exactly as groundtruth's SatSearchEngine does for the scratch path —
+/// the two paths agree on every deterministic field wherever no conflict
+/// budget dies mid-query (the PR-4 tested property); effort counters are
+/// execution provenance either way.
+groundtruth::Result to_ground_truth_result(
+    const groundtruth::StableSearchResult& search) {
+  groundtruth::Result result;
+  result.decided = search.decided;
+  result.has_stable = search.has_stable;
+  result.count = search.count;
+  result.count_exact = search.count_exact;
+  result.budget_stop = search.budget_stop;
+  if (!search.assignments.empty()) {
+    result.witness = search.assignments.front();  // canonical order
+  }
+  result.conflicts = search.stats.conflicts;
+  result.decisions = search.stats.decisions;
+  result.propagations = search.stats.propagations;
+  return result;
+}
+
+}  // namespace
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.threads < 1) {
+    throw InvalidArgument("service thread count must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+AnalysisService::~AnalysisService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<Response> AnalysisService::submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<Response> future = job.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw InvalidArgument("submit on a shut-down AnalysisService");
+    }
+    job.id = next_id_++;
+    queue_.push_back(std::move(job));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+std::vector<Response> AnalysisService::run(std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  std::vector<Response> responses;
+  responses.reserve(futures.size());
+  for (std::future<Response>& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+Response AnalysisService::call(Request request) {
+  return submit(std::move(request)).get();
+}
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats.submitted = next_id_;
+  }
+  stats.completed = completed_.load();
+  stats.errors = errors_.load();
+  stats.warm_hits = warm_hits_.load();
+  stats.sessions_built = sessions_built_.load();
+  stats.sessions_evicted = sessions_evicted_.load();
+  return stats;
+}
+
+void AnalysisService::worker_loop() {
+  // Worker-owned mutable state: the session cache and (transitively) every
+  // solver session it stores live and die with this thread; nothing
+  // mutable is ever shared across workers.
+  SessionCache cache(options_.session_cache_capacity);
+  std::uint64_t evictions_reported = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Response response = execute(job.id, job.request, cache);
+    completed_.fetch_add(1);
+    if (!response.error.empty()) errors_.fetch_add(1);
+    if (response.warm_session) warm_hits_.fetch_add(1);
+    if (cache.evictions() > evictions_reported) {
+      sessions_evicted_.fetch_add(cache.evictions() - evictions_reported);
+      evictions_reported = cache.evictions();
+    }
+    job.promise.set_value(std::move(response));
+  }
+}
+
+Response AnalysisService::execute(std::uint64_t id, const Request& request,
+                                  SessionCache& cache) {
+  Response response;
+  response.id = id;
+  response.kind = kind_of(request);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    validate(request);
+    response.fingerprint = fingerprint(request);
+
+    if (const auto* req = std::get_if<AnalyzeSafetyRequest>(&request)) {
+      // Safety analysis stays on the stateless analyzer: its reports embed
+      // solver-path artifacts (scripts, witness models, textual-pipeline
+      // cores), so serving them from a warm session could legitimately
+      // pick a different minimal core — byte-stability wins over warmth.
+      const SafetyAnalyzer analyzer(options_.analyzer);
+      const algebra::AlgebraPtr algebra =
+          req->algebra != nullptr ? req->algebra
+                                  : spp::algebra_from_spp(*req->spp);
+      response.safety = analyzer.analyze(*algebra);
+    } else if (const auto* req = std::get_if<GroundTruthRequest>(&request)) {
+      const groundtruth::Mode mode = req->mode.value_or(options_.ground_truth);
+      const groundtruth::Options& truth_options =
+          options_.ground_truth_options;
+      if (mode == groundtruth::Mode::sat_search) {
+        SessionCache::Entry* entry =
+            cache.ensure(response.fingerprint, req->spp);
+        response.warm_session = entry->oracle.has_value();
+        if (!response.warm_session) {
+          entry->oracle.emplace(*entry->instance);
+          sessions_built_.fetch_add(1);
+        }
+        groundtruth::StableSearchResult search = entry->oracle->analyze(
+            {}, truth_options.max_solutions, truth_options.max_conflicts);
+        if (response.warm_session &&
+            search.budget_stop != groundtruth::BudgetStop::none) {
+          // A budget-stopped answer is order-dependent: WHICH assignments a
+          // capped enumeration finds (and whether a conflict cap decides at
+          // all) follows the solver's search order, which a warm session's
+          // learned clauses and activity perturb. The byte-identity
+          // contract outranks warmth here: recompute on a fresh session,
+          // exactly what a cold worker would have done.
+          groundtruth::StableSatSession fresh(*entry->instance);
+          search = fresh.analyze({}, truth_options.max_solutions,
+                                 truth_options.max_conflicts);
+          response.warm_session = false;
+        }
+        response.ground_truth = to_ground_truth_result(search);
+      } else {
+        // The enumerate backend keeps no solver state worth warming.
+        response.ground_truth =
+            groundtruth::make_engine(mode, truth_options)->analyze(*req->spp);
+      }
+    } else if (const auto* req = std::get_if<RepairRequest>(&request)) {
+      SessionCache::Entry* entry = cache.ensure(response.fingerprint, req->spp);
+      const bool gate_warm = entry->strict_gate.has_value();
+      if (!gate_warm) {
+        IncrementalSafetySession::Options gate_options;
+        gate_options.extract_models = false;  // gates branch on holds/core
+        entry->strict_gate.emplace(
+            spp::algebra_from_spp(*entry->instance)->symbolic(),
+            MonotonicityMode::strict, gate_options);
+        sessions_built_.fetch_add(1);
+      }
+      repair::RepairSessions sessions;
+      sessions.strict_gate = &*entry->strict_gate;
+      bool oracle_warm = true;
+      if (options_.repair.ground_truth == groundtruth::Mode::sat_search &&
+          options_.repair.use_incremental_oracle) {
+        oracle_warm = entry->oracle.has_value();
+        if (!oracle_warm) {
+          entry->oracle.emplace(*entry->instance);
+          sessions_built_.fetch_add(1);
+        }
+        sessions.oracle = &*entry->oracle;
+      }
+      response.warm_session = gate_warm && oracle_warm;
+      response.repair = repair::RepairEngine(options_.repair)
+                            .repair(*req->spp, req->seed, sessions);
+    } else if (const auto* req = std::get_if<EmulateRequest>(&request)) {
+      EmulationOptions emulation = options_.emulation;
+      emulation.seed = req->seed;
+      response.emulation = req->spp != nullptr
+                               ? emulate_spp(*req->spp, emulation)
+                               : emulate_gpv(*req->algebra, *req->topology,
+                                             emulation);
+    }
+  } catch (const std::exception& error) {
+    response.error = error.what();
+  }
+  response.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return response;
+}
+
+}  // namespace fsr::api

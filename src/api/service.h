@@ -1,0 +1,130 @@
+// AnalysisService: the one public way into the toolkit's engines.
+//
+// A service owns a fixed pool of worker threads. Callers submit typed
+// Requests (request.h) and receive std::future<Response>; each worker
+// keeps a SessionCache of persistent solver sessions (session_cache.h)
+// reused across requests keyed by instance fingerprint, so repeated and
+// nearby queries hit warm solver state instead of rebuilding — the PR 2 /
+// PR 4 within-one-run amortisation extended across the whole service
+// lifetime. The previous per-engine surfaces (SafetyAnalyzer,
+// GroundTruthEngine, RepairEngine, the emulation drivers) remain as the
+// service's backends; new workloads plumb requests, not engines.
+//
+// Determinism contract (inherited by fsr_serve and the campaign runner):
+// every Response's deterministic fields are a pure function of (request
+// content, ServiceOptions, request seed). Responses are identified and
+// ordered by their dense submission id; worker count, scheduling, and
+// session-cache temperature never change deterministic bytes — warm
+// sessions are only reused where the answer is provably byte-identical to
+// a cold solve (see session_cache.h). Budget-stopped ground-truth answers
+// are order-dependent, so those recompute on a fresh session instead of
+// trusting warm state; the one residual caveat is a repair oracle's
+// conflict budget dying mid-search, the same edge the campaign cache
+// keys by.
+//
+// Thread-safety: submit()/call()/run() and stats() are safe from any
+// thread. Workers never share mutable solver state (the
+// one-solver-session-per-worker invariant, now owned by the service).
+#ifndef FSR_API_SERVICE_H
+#define FSR_API_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/request.h"
+#include "api/session_cache.h"
+#include "fsr/emulation.h"
+#include "fsr/safety_analyzer.h"
+#include "groundtruth/engine.h"
+#include "repair/repair_engine.h"
+
+namespace fsr::api {
+
+/// The one options struct behind the façade: subsumes the per-engine
+/// option structs the four previous entry points took separately.
+struct ServiceOptions {
+  /// Worker threads (>= 1). Each worker owns its solver sessions and its
+  /// SessionCache; deterministic response fields never depend on this.
+  int threads = 1;
+  /// Warm solver-session entries kept per worker (LRU beyond that);
+  /// 0 disables cross-request session reuse entirely.
+  std::size_t session_cache_capacity = 8;
+  SafetyAnalyzer::Options analyzer;
+  repair::RepairOptions repair;
+  /// Default ground-truth oracle for GroundTruthRequest (per-request
+  /// override via GroundTruthRequest::mode) and its budgets.
+  groundtruth::Mode ground_truth = groundtruth::Mode::sat_search;
+  groundtruth::Options ground_truth_options;
+  /// Base emulation options; each EmulateRequest overrides `.seed`.
+  EmulationOptions emulation;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;       // responses with a non-empty error
+  std::uint64_t warm_hits = 0;    // responses served from warm sessions
+  std::uint64_t sessions_built = 0;
+  std::uint64_t sessions_evicted = 0;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Enqueues `request` and returns the future response. Ids are dense and
+  /// assigned in submission order; a request that fails (invalid payload,
+  /// engine exception) resolves to a Response with `error` set — submit
+  /// itself throws only after the service started shutting down.
+  std::future<Response> submit(Request request);
+
+  /// Submits the batch and waits for all of it; responses come back in
+  /// submission (id) order regardless of which workers answered.
+  std::vector<Response> run(std::vector<Request> requests);
+
+  /// Synchronous convenience: submit + get.
+  Response call(Request request);
+
+  const ServiceOptions& options() const noexcept { return options_; }
+  ServiceStats stats() const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  Response execute(std::uint64_t id, const Request& request,
+                   SessionCache& cache);
+
+  ServiceOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::uint64_t next_id_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> warm_hits_{0};
+  std::atomic<std::uint64_t> sessions_built_{0};
+  std::atomic<std::uint64_t> sessions_evicted_{0};
+};
+
+}  // namespace fsr::api
+
+#endif  // FSR_API_SERVICE_H

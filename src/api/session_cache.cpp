@@ -1,0 +1,33 @@
+#include "api/session_cache.h"
+
+namespace fsr::api {
+
+SessionCache::Entry* SessionCache::ensure(
+    const std::string& fingerprint,
+    const std::shared_ptr<const spp::SppInstance>& instance) {
+  if (capacity_ == 0) {
+    ++misses_;
+    scratch_.emplace();
+    scratch_->fingerprint = fingerprint;
+    scratch_->instance = instance;
+    return &*scratch_;
+  }
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fingerprint == fingerprint) {
+      ++hits_;
+      entries_.splice(entries_.begin(), entries_, it);  // bump to MRU
+      return &entries_.front();
+    }
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_) {
+    entries_.pop_back();
+    ++evictions_;
+  }
+  entries_.emplace_front();
+  entries_.front().fingerprint = fingerprint;
+  entries_.front().instance = instance;
+  return &entries_.front();
+}
+
+}  // namespace fsr::api

@@ -1,0 +1,60 @@
+// The fsr_serve wire protocol: JSON-lines requests in, JSON-lines
+// responses out.
+//
+// One request object per input line. Schema:
+//
+//   {"kind": K, <payload>, ["seed": N], ["mode": M]}
+//
+//   K        — "analyze-safety" | "ground-truth" | "repair" | "emulate"
+//   payload  — exactly one of
+//     "gadget": NAME          library gadget (spp::gadget_by_name: good,
+//                             bad, disagree, ibgp-figure3,
+//                             ibgp-figure3-fixed, good-chain-N,
+//                             bad-chain-N)
+//     "policy": NAME          standard policy algebra (analyze-safety
+//                             only): guideline-a, guideline-b, backup,
+//                             bandwidth, widest-shortest,
+//                             gao-rexford-hop-count
+//     "random": {"seed": N, ...}
+//                             seeded random SPP instance (campaign fuzz
+//                             generator; optional min_nodes, max_nodes,
+//                             paths_per_node, max_path_length)
+//     "spp": {"destination": D, "edges": [[U,V],...],
+//             "paths": [[hop,...],...], ["name": S]}
+//                             inline instance; paths are added in ranked
+//                             order (earlier = more preferred at their
+//                             source node)
+//   "seed"   — SPVP-trial seed (repair) or emulation seed; optional
+//   "mode"   — ground-truth oracle override: "sat-search" | "enumerate"
+//
+// Responses are one object per line, in request order, with fixed field
+// order and formatting — byte-identical for a fixed request stream and
+// ServiceOptions, regardless of --threads (the service determinism
+// contract). Deterministic fields only, unless RenderOptions.timings adds
+// execution provenance (warm_session, wall_ms, solver effort counters).
+#ifndef FSR_API_WIRE_H
+#define FSR_API_WIRE_H
+
+#include <string>
+
+#include "api/request.h"
+
+namespace fsr::api::wire {
+
+/// Parses one request line; throws fsr::InvalidArgument on malformed JSON
+/// or schema violations (fsr_serve answers those with an error response).
+Request parse_request(const std::string& line);
+
+struct RenderOptions {
+  /// Adds the scheduling-dependent provenance fields. Output is then no
+  /// longer byte-stable across thread counts or cache temperature.
+  bool timings = false;
+};
+
+/// Renders one response as a single JSON line (no trailing newline).
+std::string render_response(const Response& response,
+                            const RenderOptions& options = {});
+
+}  // namespace fsr::api::wire
+
+#endif  // FSR_API_WIRE_H

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 
@@ -488,9 +489,32 @@ std::shared_ptr<const ScenarioOutcome> deserialize_outcome(
   return reader.ok() ? outcome : nullptr;
 }
 
-ResultCache::ResultCache(std::string directory)
-    : directory_(std::move(directory)) {
-  if (!directory_.empty()) load_directory();
+namespace {
+
+/// The sweep-order stamp of a record file, in file-clock ticks (the same
+/// clock touch uses, so loaded stamps and in-process accesses interleave
+/// correctly).
+std::int64_t file_stamp(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto time = std::filesystem::last_write_time(path, ec);
+  return ec ? 0 : time.time_since_epoch().count();
+}
+
+std::int64_t file_stamp_now() {
+  return std::filesystem::file_time_type::clock::now()
+      .time_since_epoch()
+      .count();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string directory, std::uint64_t max_bytes)
+    : directory_(std::move(directory)), max_bytes_(max_bytes) {
+  if (!directory_.empty()) {
+    load_directory();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sweep_locked();
+  }
 }
 
 void ResultCache::load_directory() {
@@ -522,8 +546,51 @@ void ResultCache::load_directory() {
     const std::string payload =
         std::string(k_record_header) + "\n" + body.substr(key_end + 1);
     auto outcome = deserialize_outcome(payload);
-    if (outcome != nullptr) entries_.emplace(key, std::move(outcome));
+    if (outcome == nullptr) continue;
+    entries_.emplace(key, std::move(outcome));
+    const std::string digest = entry.path().stem().string();
+    digest_of_key_.emplace(key, digest);
+    DiskRecord disk_record;
+    disk_record.bytes = record.size();
+    disk_record.last_access = file_stamp(entry.path());
+    disk_bytes_ += disk_record.bytes;
+    disk_records_.emplace(digest, std::move(disk_record));
   }
+}
+
+void ResultCache::sweep_locked() {
+  namespace fs = std::filesystem;
+  if (max_bytes_ == 0) return;
+  // A single over-sized record survives alone: deleting the only entry
+  // would leave an empty cache that serves nothing at all.
+  while (disk_bytes_ > max_bytes_ && disk_records_.size() > 1) {
+    auto oldest = disk_records_.begin();
+    for (auto it = disk_records_.begin(); it != disk_records_.end(); ++it) {
+      if (it->second.last_access < oldest->second.last_access) oldest = it;
+    }
+    std::error_code ec;
+    fs::remove(fs::path(directory_) / (oldest->first + ".outcome"), ec);
+    disk_bytes_ -= oldest->second.bytes;
+    ++evicted_files_;
+    disk_records_.erase(oldest);
+  }
+}
+
+std::int64_t ResultCache::next_stamp_locked() {
+  access_clock_ = std::max(file_stamp_now(), access_clock_ + 1);
+  return access_clock_;
+}
+
+void ResultCache::touch_locked(const std::string& digest) {
+  const auto it = disk_records_.find(digest);
+  if (it == disk_records_.end()) return;
+  it->second.last_access = next_stamp_locked();
+  // Persist the recency so the NEXT process's sweep order sees this
+  // access too (best-effort; a read-only directory costs nothing).
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      std::filesystem::path(directory_) / (digest + ".outcome"),
+      std::filesystem::file_time_type::clock::now(), ec);
 }
 
 std::shared_ptr<const ScenarioOutcome> ResultCache::find(
@@ -535,6 +602,12 @@ std::shared_ptr<const ScenarioOutcome> ResultCache::find(
     return nullptr;
   }
   ++hits_;
+  // Recency bookkeeping (and its per-hit metadata write) only matters to
+  // the size-cap sweep; an uncapped cache keeps find() memory-only.
+  if (!directory_.empty() && max_bytes_ != 0) {
+    const auto digest_it = digest_of_key_.find(key);
+    if (digest_it != digest_of_key_.end()) touch_locked(digest_it->second);
+  }
   return it->second;
 }
 
@@ -581,7 +654,25 @@ void ResultCache::insert(const std::string& key,
   if (!out) return;
   std::error_code ec;
   fs::rename(temp_path, final_path, ec);
-  if (ec) fs::remove(temp_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    return;
+  }
+
+  // Record the new file and enforce the size cap. The freshly written
+  // record is stamped now, so the sweep sheds older (least recently
+  // accessed) files first.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string digest = content_digest(key);
+  digest_of_key_.emplace(key, digest);
+  const auto [record_it, record_inserted] =
+      disk_records_.emplace(digest, DiskRecord{});
+  if (record_inserted) {
+    record_it->second.bytes = with_key.size();
+    disk_bytes_ += with_key.size();
+  }
+  record_it->second.last_access = next_stamp_locked();
+  sweep_locked();
 }
 
 std::size_t ResultCache::size() const {
@@ -597,6 +688,16 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::uint64_t ResultCache::disk_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return disk_bytes_;
+}
+
+std::uint64_t ResultCache::evicted_files() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_files_;
 }
 
 }  // namespace fsr::campaign

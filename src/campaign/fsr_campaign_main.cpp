@@ -42,8 +42,12 @@ void print_usage() {
       "  --cache-dir DIR  persist the result cache under DIR and reload it\n"
       "                   at startup (warm runs skip solved scenarios and\n"
       "                   render byte-identical JSON)\n"
+      "  --cache-max-bytes N  cap the disk cache at N bytes, evicting the\n"
+      "                   least recently accessed records on overflow\n"
       "  --list-sources   print available sources and exit\n"
-      "  --help           this message\n");
+      "  --help           this message\n"
+      "exit status: 0 on success, 1 on fatal errors, 2 on usage errors,\n"
+      "3 when any scenario failed internally (its error is in the report)\n");
 }
 
 }  // namespace
@@ -102,6 +106,9 @@ int main(int argc, char** argv) {
       options.use_cache = false;
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       options.cache_dir = need_value(i, "--cache-dir");
+    } else if (std::strcmp(arg, "--cache-max-bytes") == 0) {
+      options.cache_max_bytes =
+          std::strtoull(need_value(i, "--cache-max-bytes"), nullptr, 10);
     } else if (std::strcmp(arg, "--list-sources") == 0) {
       for (const std::string& name : builtin_source_names()) {
         std::printf("%s\n", name.c_str());
@@ -142,6 +149,17 @@ int main(int argc, char** argv) {
       JsonOptions json_options;
       json_options.include_timings = timings;
       std::fputs(to_json(report, json_options).c_str(), stdout);
+    }
+
+    // Internal scenario failures are recorded in the report (a failed
+    // scenario never aborts the campaign), but the process must not claim
+    // success: pipelines watch the exit status, not every error field.
+    for (const ScenarioResult& result : report.results) {
+      if (result.outcome != nullptr && !result.outcome->error.empty()) {
+        std::fprintf(stderr, "fsr_campaign: scenario '%s' failed: %s\n",
+                     result.id.c_str(), result.outcome->error.c_str());
+        return 3;
+      }
     }
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fsr_campaign: %s\n", error.what());

@@ -1,60 +1,53 @@
 #include "campaign/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
+#include <future>
 #include <limits>
-#include <thread>
 #include <unordered_map>
+#include <utility>
 
+#include "api/service.h"
 #include "spp/translate.h"
 #include "util/error.h"
 
 namespace fsr::campaign {
 namespace {
 
-ScenarioOutcome execute_scenario(const Scenario& scenario,
-                                 const SafetyAnalyzer& analyzer,
-                                 const CampaignOptions& options) {
-  ScenarioOutcome outcome;
-  outcome.kind = scenario.kind;
-  const auto start = std::chrono::steady_clock::now();
+/// Maps campaign options onto the service façade's one options struct.
+/// The campaign runner keeps its own scheduling (dedup, cache) and uses
+/// the service purely as the execution backend.
+api::ServiceOptions service_options(const CampaignOptions& options) {
+  api::ServiceOptions service;
+  service.threads = options.threads;
+  service.analyzer = options.analyzer;
+  service.repair = options.repair;
+  service.emulation = options.emulation;
+  return service;
+}
+
+/// The scenario's primary request: safety analysis or emulation.
+api::Request primary_request(const Scenario& scenario) {
   if (scenario.kind == ScenarioKind::safety) {
-    const algebra::AlgebraPtr algebra =
-        scenario.algebra != nullptr ? scenario.algebra
-                                    : spp::algebra_from_spp(*scenario.spp);
-    outcome.safety = analyzer.analyze(*algebra);
-    if (options.attempt_repair && scenario.spp != nullptr &&
-        outcome.safety->verdict == SafetyVerdict::not_provably_safe) {
-      // A repair failure must not discard the safety verdict already in
-      // hand; it is recorded on the summary instead. The SPVP ground-truth
-      // trials are seeded from the instance CONTENT, not the scenario seed,
-      // so repair outcomes (like safety verdicts) are a pure function of
-      // content and the cache/dedup machinery keeps collapsing duplicates.
-      const std::uint64_t repair_seed = fnv1a64(canonical_spp(*scenario.spp));
-      try {
-        const repair::RepairEngine engine(options.repair);
-        outcome.repair =
-            repair::summarize(engine.repair(*scenario.spp, repair_seed));
-      } catch (const std::exception& error) {
-        repair::RepairSummary failed;
-        failed.attempted = true;
-        failed.error = error.what();
-        outcome.repair = std::move(failed);
-      }
+    api::AnalyzeSafetyRequest request;
+    // Prefer the algebra payload when both are present (translated SPP
+    // scenarios carry only the instance).
+    if (scenario.algebra != nullptr) {
+      request.algebra = scenario.algebra;
+    } else {
+      request.spp = scenario.spp;
     }
-  } else {
-    EmulationOptions emu_options = options.emulation;
-    emu_options.seed = scenario.seed;
-    outcome.emulation = scenario.spp != nullptr
-                            ? emulate_spp(*scenario.spp, emu_options)
-                            : emulate_gpv(*scenario.algebra, *scenario.topology,
-                                          emu_options);
+    return request;
   }
-  const auto stop = std::chrono::steady_clock::now();
-  outcome.wall_ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
-  return outcome;
+  api::EmulateRequest request;
+  request.seed = scenario.seed;
+  if (scenario.spp != nullptr) {
+    request.spp = scenario.spp;
+  } else {
+    request.algebra = scenario.algebra;
+    request.topology = scenario.topology;
+  }
+  return request;
 }
 
 }  // namespace
@@ -64,7 +57,8 @@ CampaignRunner::CampaignRunner(CampaignOptions options)
     // insert() are never called, so a warm disk cache would be pure
     // wasted startup I/O.
     : options_(std::move(options)),
-      cache_(options_.use_cache ? options_.cache_dir : std::string()) {
+      cache_(options_.use_cache ? options_.cache_dir : std::string(),
+             options_.cache_max_bytes) {
   if (options_.threads < 1) {
     throw InvalidArgument("campaign thread count must be >= 1");
   }
@@ -96,7 +90,7 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
 
   // ---- sequential scheduling phase: canonicalize, dedup, consult cache --
   // All bookkeeping that affects the report's deterministic fields happens
-  // here, before any worker runs.
+  // here, before any request is submitted.
   constexpr std::size_t k_no_representative =
       std::numeric_limits<std::size_t>::max();
   std::vector<std::string> keys(scenarios.size());
@@ -135,44 +129,93 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
   }
   report.solved_count = work.size();
 
-  // ---------------------- parallel phase: workers pull unique scenarios --
+  // -------- parallel phase: dispatch unique scenarios through the API --
+  // The service owns the worker pool (and, per worker, the solver-session
+  // invariants the runner used to guarantee inline — see api/service.h).
+  // Two waves keep repair requests content-gated exactly as before: the
+  // primary wave answers safety/emulation, and every not-provably-safe SPP
+  // safety scenario of a repair campaign gets a follow-up repair request
+  // seeded from its content digest, so repair outcomes (like safety
+  // verdicts) stay a pure function of content and the cache/dedup
+  // machinery keeps collapsing duplicates.
   std::vector<std::shared_ptr<const ScenarioOutcome>> outcomes(
       scenarios.size());
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    // Per-worker analyzer: SafetyAnalyzer is thread-compatible (stateless,
-    // per-call solver instances), but owning one per worker keeps the
-    // contract explicit and future-proofs stateful analyzer options.
-    // Repair preserves the one-solver-session-per-worker invariant the
-    // same way: each execute_scenario call constructs its RepairEngine and
-    // (transitively) its private IncrementalSafetySession inside this
-    // worker; nothing mutable crosses threads (audited 2026-07).
-    const SafetyAnalyzer analyzer(options_.analyzer);
-    while (true) {
-      const std::size_t slot = next.fetch_add(1);
-      if (slot >= work.size()) break;
-      const std::size_t index = work[slot];
-      auto outcome = std::make_shared<ScenarioOutcome>();
-      try {
-        *outcome = execute_scenario(scenarios[index], analyzer, options_);
-      } catch (const std::exception& error) {
-        outcome->kind = scenarios[index].kind;
-        outcome->error = error.what();
-      }
-      outcomes[index] = std::move(outcome);  // disjoint slots; no lock
-    }
-  };
+  api::AnalysisService service(service_options(options_));
+  std::vector<std::future<api::Response>> primary;
+  primary.reserve(work.size());
+  for (const std::size_t index : work) {
+    primary.push_back(service.submit(primary_request(scenarios[index])));
+  }
 
-  const int thread_count = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(options_.threads), std::max<std::size_t>(
-                                                      work.size(), 1)));
-  if (thread_count <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(thread_count));
-    for (int i = 0; i < thread_count; ++i) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
+  std::vector<std::pair<std::size_t, std::future<api::Response>>> followups;
+  const auto consume_primary = [&](std::size_t slot) {
+    const std::size_t index = work[slot];
+    const Scenario& scenario = scenarios[index];
+    const api::Response response = primary[slot].get();
+    auto outcome = std::make_shared<ScenarioOutcome>();
+    outcome->kind = scenario.kind;
+    outcome->error = response.error;
+    outcome->wall_ms = response.wall_ms;
+    if (response.safety.has_value()) outcome->safety = response.safety;
+    if (response.emulation.has_value()) {
+      outcome->emulation = response.emulation;
+    }
+    if (options_.attempt_repair && response.error.empty() &&
+        scenario.kind == ScenarioKind::safety && scenario.spp != nullptr &&
+        outcome->safety.has_value() &&
+        outcome->safety->verdict == SafetyVerdict::not_provably_safe) {
+      api::RepairRequest request;
+      request.spp = scenario.spp;
+      request.seed = fnv1a64(canonical_spp(*scenario.spp));
+      followups.emplace_back(index, service.submit(std::move(request)));
+    }
+    outcomes[index] = std::move(outcome);
+  };
+  // Consume primaries as they become READY, not in slot order: a slow
+  // early scenario must not delay later scenarios' repair follow-ups (the
+  // old in-worker repair overlapped freely, and so does this). Outcomes
+  // are slotted by index, so consumption order never touches the report.
+  std::vector<char> consumed(work.size(), 0);
+  std::size_t remaining = work.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t slot = 0; slot < work.size(); ++slot) {
+      if (consumed[slot] != 0 ||
+          primary[slot].wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        continue;
+      }
+      consume_primary(slot);
+      consumed[slot] = 1;
+      --remaining;
+      progressed = true;
+    }
+    if (!progressed && remaining > 0) {
+      // Nothing ready: block on the first outstanding primary instead of
+      // spinning; any completion restarts the sweep.
+      for (std::size_t slot = 0; slot < work.size(); ++slot) {
+        if (consumed[slot] == 0) {
+          primary[slot].wait();
+          break;
+        }
+      }
+    }
+  }
+  for (auto& [index, future] : followups) {
+    const api::Response response = future.get();
+    // A repair failure must not discard the safety verdict already in
+    // hand; it is recorded on the summary instead.
+    repair::RepairSummary summary;
+    if (response.repair.has_value()) {
+      summary = repair::summarize(*response.repair);
+    } else {
+      summary.attempted = true;
+      summary.error = response.error;
+    }
+    auto patched = std::make_shared<ScenarioOutcome>(*outcomes[index]);
+    patched->repair = std::move(summary);
+    patched->wall_ms += response.wall_ms;
+    outcomes[index] = std::move(patched);
   }
 
   // ------------------- sequential assembly: reattach duplicates, cache --

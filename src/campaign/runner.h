@@ -1,11 +1,12 @@
 // Parallel campaign execution.
 //
 // The CampaignRunner expands scenario sources, deduplicates scenarios by
-// canonical content (and consults its persistent ResultCache), then fans
-// the remaining unique work out over a fixed pool of worker threads
-// pulling from a shared queue. Each worker owns its SafetyAnalyzer — and,
-// transitively, its smt::Context / YicesFrontend instances, which are
-// mutable and must not be shared across threads (see the
+// canonical content (and consults its persistent ResultCache), then
+// dispatches the remaining unique work through the fsr::api service façade
+// (api/service.h): one AnalysisService per run owns the worker pool, and
+// each service worker owns its solver sessions — the
+// one-solver-session-per-worker invariant the runner used to enforce with
+// hand-rolled threads now lives behind the API (see the
 // thread-compatibility notes in fsr/safety_analyzer.h and smt/context.h).
 //
 // Determinism contract: every scenario's outcome is a pure function of its
@@ -40,13 +41,17 @@ struct CampaignOptions {
   /// campaign/cache.h). Warm runs render byte-identical reports to the
   /// cold runs that filled the directory.
   std::string cache_dir;
+  /// Non-zero: cap the disk cache at this many bytes, evicting the
+  /// least recently accessed records on overflow (fsr_campaign
+  /// --cache-max-bytes; see ResultCache).
+  std::uint64_t cache_max_bytes = 0;
   SafetyAnalyzer::Options analyzer;
   /// Base emulation options; each scenario overrides `.seed` with its own.
   EmulationOptions emulation;
   /// Run the repair engine on every not-provably-safe SPP safety scenario
-  /// (fsr_campaign --repair). Repair happens inside the worker that solved
-  /// the scenario, with a private per-call solver session, preserving the
-  /// one-solver-session-per-worker invariant.
+  /// (fsr_campaign --repair). Repair is a follow-up RepairRequest through
+  /// the same AnalysisService, seeded from the scenario's content digest;
+  /// the service worker that answers it owns the solver sessions.
   bool attempt_repair = false;
   repair::RepairOptions repair;
 };

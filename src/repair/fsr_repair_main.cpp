@@ -1,19 +1,26 @@
-// fsr_repair: counterexample-guided policy repair from the command line.
+// fsr_repair: counterexample-guided policy repair from the command line —
+// a thin client of the fsr::api service façade.
 //
 //   fsr_repair --gadget bad --gadget disagree
-//   fsr_repair --gadget ibgp-figure3 --format json
-//   fsr_repair --random 4 --seed 42 --max-edits 3
+//   fsr_repair --gadget ibgp-figure3 | jq '.[0].repaired'
+//   fsr_repair --random 4 --seed 42 --max-edits 3 --table
 //
-// For every requested instance the tool runs the repair engine
-// (src/repair/repair_engine.h): minimal unsat core -> candidate edits ->
-// incremental re-checks -> ground-truth validation. Text output includes
-// timings; JSON output contains only deterministic fields.
+// Each requested instance becomes one RepairRequest through an
+// AnalysisService (src/api/service.h): minimal unsat core -> candidate
+// edits -> incremental re-checks -> ground-truth validation, with warm
+// solver sessions shared across requests per worker. Default output is
+// the machine-readable JSON report array on stdout (deterministic fields
+// only, byte-identical for any --threads); --table renders the human
+// tables instead, timings included. Exit status: 0 on success, 1 when any
+// repair failed internally, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
+#include "api/service.h"
 #include "campaign/scenario_source.h"
 #include "groundtruth/engine.h"
 #include "repair/repair_engine.h"
@@ -22,39 +29,16 @@
 
 namespace {
 
-const std::vector<std::string>& gadget_names() {
-  static const std::vector<std::string> names = {
-      "good",          "bad",
-      "disagree",      "ibgp-figure3",
-      "ibgp-figure3-fixed", "bad-chain-4",
-      "bad-chain-8"};
-  return names;
-}
-
-fsr::spp::SppInstance gadget_by_name(const std::string& name) {
-  using namespace fsr::spp;
-  if (name == "good") return good_gadget();
-  if (name == "bad") return bad_gadget();
-  if (name == "disagree") return disagree_gadget();
-  if (name == "ibgp-figure3") return ibgp_figure3_gadget();
-  if (name == "ibgp-figure3-fixed") return ibgp_figure3_fixed();
-  const std::string chain_prefix = "bad-chain-";
-  if (name.rfind(chain_prefix, 0) == 0) {
-    const int count = std::atoi(name.c_str() + chain_prefix.size());
-    if (count >= 1) return bad_gadget_chain(count);
-  }
-  throw fsr::InvalidArgument("unknown gadget '" + name +
-                             "' (try --list-gadgets)");
-}
-
 void print_usage() {
   std::printf(
       "usage: fsr_repair [options]\n"
       "  --gadget NAME    repair a named gadget (repeatable); NAME is one\n"
       "                   of good, bad, disagree, ibgp-figure3,\n"
-      "                   ibgp-figure3-fixed, bad-chain-N\n"
+      "                   ibgp-figure3-fixed, good-chain-N, bad-chain-N\n"
       "  --random N       also repair N random fuzz instances\n"
       "  --seed S         seed for fuzz instances and SPVP trials (default 1)\n"
+      "  --threads N      service worker threads (default 1); output is\n"
+      "                   byte-identical for any value\n"
       "  --max-edits K    edit-size cap for candidates (default 2)\n"
       "  --beam W         frontier cap per search depth, pruned by\n"
       "                   unsat-core frequency (default 64; 0 = exhaustive\n"
@@ -66,7 +50,9 @@ void print_usage() {
       "  --from-scratch   disable incremental solving (ablation)\n"
       "  --scratch-oracle re-encode every candidate's oracle query from\n"
       "                   scratch instead of the shared session (ablation)\n"
-      "  --format F       text | json (default text)\n"
+      "  --json           machine-readable JSON report array (the default)\n"
+      "  --table          human-readable tables, timings included\n"
+      "  --format F       compat alias: json | text\n"
       "  --list-gadgets   print known gadget names and exit\n"
       "  --help           this message\n");
 }
@@ -76,11 +62,12 @@ void print_usage() {
 int main(int argc, char** argv) {
   using namespace fsr::repair;
 
-  RepairOptions options;
+  fsr::api::ServiceOptions service_options;
+  RepairOptions& options = service_options.repair;
   std::vector<std::string> gadgets;
   int random_count = 0;
   std::uint64_t seed = 1;
-  std::string format = "text";
+  std::string format = "json";
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -98,6 +85,12 @@ int main(int argc, char** argv) {
       random_count = std::atoi(need_value(i, "--random"));
     } else if (std::strcmp(arg, "--seed") == 0) {
       seed = std::strtoull(need_value(i, "--seed"), nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      service_options.threads = std::atoi(need_value(i, "--threads"));
+      if (service_options.threads < 1) {
+        std::fprintf(stderr, "fsr_repair: --threads needs a value >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--max-edits") == 0) {
       const int max_edits = std::atoi(need_value(i, "--max-edits"));
       if (max_edits < 1) {
@@ -134,10 +127,14 @@ int main(int argc, char** argv) {
       options.use_incremental = false;
     } else if (std::strcmp(arg, "--scratch-oracle") == 0) {
       options.use_incremental_oracle = false;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      format = "json";
+    } else if (std::strcmp(arg, "--table") == 0) {
+      format = "text";
     } else if (std::strcmp(arg, "--format") == 0) {
       format = need_value(i, "--format");
     } else if (std::strcmp(arg, "--list-gadgets") == 0) {
-      for (const std::string& name : gadget_names()) {
+      for (const std::string& name : fsr::spp::gadget_names()) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
@@ -162,7 +159,7 @@ int main(int argc, char** argv) {
   try {
     std::vector<fsr::spp::SppInstance> instances;
     for (const std::string& name : gadgets) {
-      instances.push_back(gadget_by_name(name));
+      instances.push_back(fsr::spp::gadget_by_name(name));
     }
     fsr::campaign::RandomSppSweep sweep;
     for (int i = 0; i < random_count; ++i) {
@@ -171,21 +168,38 @@ int main(int argc, char** argv) {
           sweep));
     }
 
-    const RepairEngine engine(options);
+    fsr::api::AnalysisService service(service_options);
+    std::vector<std::future<fsr::api::Response>> futures;
+    futures.reserve(instances.size());
+    for (fsr::spp::SppInstance& instance : instances) {
+      fsr::api::RepairRequest request;
+      request.spp = std::make_shared<const fsr::spp::SppInstance>(
+          std::move(instance));
+      request.seed = seed;
+      futures.push_back(service.submit(std::move(request)));
+    }
+
     bool first = true;
+    bool any_error = false;
     if (format == "json") std::printf("[\n");
-    for (const fsr::spp::SppInstance& instance : instances) {
-      const RepairReport report = engine.repair(instance, seed);
+    for (std::future<fsr::api::Response>& future : futures) {
+      const fsr::api::Response response = future.get();
+      if (!response.error.empty()) {
+        std::fprintf(stderr, "fsr_repair: %s\n", response.error.c_str());
+        any_error = true;
+        continue;
+      }
       if (format == "json") {
         if (!first) std::printf(",\n");
-        std::fputs(to_json(report).c_str(), stdout);
+        std::fputs(to_json(*response.repair).c_str(), stdout);
       } else {
         if (!first) std::printf("\n");
-        std::fputs(render_text(report).c_str(), stdout);
+        std::fputs(render_text(*response.repair).c_str(), stdout);
       }
       first = false;
     }
     if (format == "json") std::printf("]\n");
+    if (any_error) return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fsr_repair: %s\n", error.what());
     return 1;

@@ -85,7 +85,9 @@ struct Evaluation {
   bool pure_spp = false;                   // no relax edits in the set
 };
 
-/// One repair search: owns the shared session and all per-run bookkeeping.
+/// One repair search: owns all per-run bookkeeping plus the shared search
+/// session — built lazily, since a borrowed gate (RepairSessions) answers
+/// the initial check and an already-safe run then needs no session at all.
 ///
 /// Candidate evaluation never re-translates the instance: permitted paths
 /// are interned to integers once, a candidate's constraint set is derived
@@ -97,12 +99,20 @@ struct Evaluation {
 class Search {
  public:
   Search(const spp::SppInstance& instance, const RepairOptions& options,
-         std::uint64_t seed)
+         std::uint64_t seed, const RepairSessions& sessions)
       : instance_(instance),
         options_(options),
         seed_(seed),
         spec_(spp::algebra_from_spp(instance)->symbolic()),
-        session_(spec_, MonotonicityMode::strict, session_options(options)) {
+        gate_(sessions.strict_gate) {
+    // A borrowed oracle only applies to the configuration that would build
+    // one (the persistent sat-search session); any other oracle choice
+    // ignores the loan so the ablation paths stay exactly what they claim.
+    if (options.ground_truth == groundtruth::Mode::sat_search &&
+        options.use_incremental_oracle && sessions.oracle != nullptr) {
+      oracle_session_ = sessions.oracle;
+      oracle_stats_base_ = sessions.oracle->stats();
+    }
     for (const std::string& node : instance.nodes()) {
       for (const spp::Path& path : instance.permitted(node)) {
         sig_info_.emplace(spp::spp_signature(path), SigInfo{node, path});
@@ -124,8 +134,9 @@ class Search {
     for (std::size_t pid = 0; pid < paths_.size(); ++pid) {
       name_to_pid.emplace(path_names_[pid], static_cast<int>(pid));
     }
-    for (std::size_t i = 0; i < session_.constraint_count(); ++i) {
-      const encoding::RelationShape& shape = session_.shape(i);
+    const IncrementalSafetySession& info = info_session();
+    for (std::size_t i = 0; i < info.constraint_count(); ++i) {
+      const encoding::RelationShape& shape = info.shape(i);
       const auto lhs = name_to_pid.find(shape.lhs);
       const auto rhs = name_to_pid.find(shape.rhs);
       if (lhs == name_to_pid.end() || rhs == name_to_pid.end()) continue;
@@ -140,7 +151,17 @@ class Search {
     report.instance = instance_.name();
     report.ground_truth_mode = options_.ground_truth;
 
-    const auto initial = session_.check({});
+    IncrementalSafetySession::Result initial;
+    if (gate_ != nullptr) {
+      // The borrowed gate only ever answers this retraction-free query, so
+      // its recorded engine verdict/core is byte-identical to what a fresh
+      // session's first check would report — and it still counts as one
+      // solver check, exactly as the self-built initial check did.
+      initial = gate_->check({});
+      ++borrowed_checks_;
+    } else {
+      initial = search_session().check({});
+    }
     if (initial.holds) {
       report.already_safe = true;
       finish(report, start);
@@ -148,7 +169,7 @@ class Search {
     }
     note_core(initial.core);
     for (const std::size_t index : initial.core) {
-      report.initial_core.push_back(session_.provenance(index));
+      report.initial_core.push_back(info_session().provenance(index));
     }
 
     std::set<std::string> visited;
@@ -159,7 +180,7 @@ class Search {
       premark(frontier);
       std::vector<SearchState> next;
       for (const SearchState& state : frontier) {
-        if (session_.check_count() >= options_.max_checks) {
+        if (solver_checks() >= options_.max_checks) {
           report.budget_exhausted = true;
           break;
         }
@@ -209,16 +230,46 @@ class Search {
     return session_options;
   }
 
+  /// The mutable search session, built on first use — an already-safe run
+  /// answered by a borrowed gate never constructs one.
+  IncrementalSafetySession& search_session() {
+    if (!own_session_.has_value()) {
+      own_session_.emplace(spec_, MonotonicityMode::strict,
+                           session_options(options_));
+    }
+    return *own_session_;
+  }
+
+  /// Read-only encoding info (shapes, provenance, constraint count): the
+  /// borrowed gate encodes the same spec deterministically, so preferring
+  /// it avoids building the search session just to describe constraints.
+  const IncrementalSafetySession& info_session() {
+    return gate_ != nullptr ? *gate_ : search_session();
+  }
+
+  /// Total solver checks so far, gate queries included — the number the
+  /// max_checks budget and the report count, exactly as when every check
+  /// ran on one self-built session.
+  std::uint64_t solver_checks() const noexcept {
+    return borrowed_checks_ +
+           (own_session_.has_value() ? own_session_->check_count() : 0);
+  }
+
   void finish(RepairReport& report,
               std::chrono::steady_clock::time_point start) {
-    report.solver_checks = session_.check_count();
+    report.solver_checks = static_cast<std::size_t>(solver_checks());
     report.cores_seen = cores_seen_.size();
-    report.engine_rebuilds = session_.engine_rebuilds();
-    if (oracle_session_.has_value()) {
+    report.engine_rebuilds =
+        own_session_.has_value()
+            ? static_cast<std::size_t>(own_session_->engine_rebuilds())
+            : 0;
+    if (oracle_session_ != nullptr) {
       const groundtruth::StableSessionStats& stats = oracle_session_->stats();
-      report.oracle_queries = stats.queries;
-      report.oracle_groups_encoded = stats.groups_encoded;
-      report.oracle_cache_hits = stats.group_cache_hits;
+      report.oracle_queries = stats.queries - oracle_stats_base_.queries;
+      report.oracle_groups_encoded =
+          stats.groups_encoded - oracle_stats_base_.groups_encoded;
+      report.oracle_cache_hits =
+          stats.group_cache_hits - oracle_stats_base_.group_cache_hits;
     }
     report.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
@@ -394,15 +445,16 @@ class Search {
         if (!edit.other.empty()) touched.insert(spp::spp_signature(edit.other));
       }
     }
+    IncrementalSafetySession& session = search_session();
     std::vector<std::size_t> to_mark;
-    for (std::size_t i = 0; i < session_.constraint_count(); ++i) {
-      if (session_.is_variable(i)) continue;
-      const encoding::RelationShape& shape = session_.shape(i);
+    for (std::size_t i = 0; i < session.constraint_count(); ++i) {
+      if (session.is_variable(i)) continue;
+      const encoding::RelationShape& shape = session.shape(i);
       if (touched.contains(shape.lhs) || touched.contains(shape.rhs)) {
         to_mark.push_back(i);
       }
     }
-    session_.make_variable(to_mark);
+    session.make_variable(to_mark);
   }
 
   int path_id(const spp::Path& path) const {
@@ -485,13 +537,14 @@ class Search {
     // retained (passed as assumptions when variable); unmatched candidate
     // pairs become per-check extras; unmatched base constraints are
     // excluded (premark made them variable).
-    consumed_.assign(session_.constraint_count(), 0);
+    IncrementalSafetySession& session = search_session();
+    consumed_.assign(session.constraint_count(), 0);
     std::vector<std::size_t> keep;
     for (const std::pair<int, int>& pair : pairs) {
       const auto it = base_pair_to_index_.find(pair);
       if (it != base_pair_to_index_.end() && consumed_[it->second] == 0) {
         consumed_[it->second] = 1;
-        if (session_.is_variable(it->second)) keep.push_back(it->second);
+        if (session.is_variable(it->second)) keep.push_back(it->second);
       } else {
         extras.push_back(IncrementalSafetySession::Extra{
             algebra::PrefRel::strictly_better,
@@ -506,12 +559,12 @@ class Search {
     // premark covers every exclusion; keep the fallback for safety.
     std::vector<std::size_t> must_mark;
     for (std::size_t i = 0; i < consumed_.size(); ++i) {
-      if (consumed_[i] == 0 && !session_.is_variable(i)) must_mark.push_back(i);
+      if (consumed_[i] == 0 && !session.is_variable(i)) must_mark.push_back(i);
     }
-    if (!must_mark.empty()) session_.make_variable(must_mark);
+    if (!must_mark.empty()) session.make_variable(must_mark);
 
     std::sort(keep.begin(), keep.end());
-    const auto result = session_.check(keep, extras);
+    const auto result = session.check(keep, extras);
     eval.applicable = true;
     eval.holds = result.holds;
     eval.core = result.core;
@@ -568,10 +621,14 @@ class Search {
     std::size_t count = 0;
     if (options_.ground_truth == groundtruth::Mode::sat_search &&
         options_.use_incremental_oracle) {
-      // The run's ONE persistent oracle session: lazily built (already-safe
+      // The run's ONE persistent oracle session: borrowed from the caller
+      // when lent (warm across requests), else lazily built (already-safe
       // instances never pay for it), then shared by every candidate — each
       // validation costs the candidate's CNF delta, not a re-encode.
-      if (!oracle_session_.has_value()) oracle_session_.emplace(instance_);
+      if (oracle_session_ == nullptr) {
+        own_oracle_.emplace(instance_);
+        oracle_session_ = &*own_oracle_;
+      }
       const groundtruth::StableSearchResult truth = oracle_session_->analyze(
           eval.deltas, options_.ground_truth_max_solutions,
           options_.ground_truth_max_conflicts);
@@ -631,11 +688,21 @@ class Search {
   const RepairOptions& options_;
   std::uint64_t seed_;
   algebra::SymbolicSpec spec_;
-  IncrementalSafetySession session_;
-  // Exactly one oracle path materialises, lazily, at the first solver-safe
-  // candidate: the persistent incremental session (default sat-search) or
-  // the per-candidate engine (enumerate / the from-scratch ablation).
-  std::optional<groundtruth::StableSatSession> oracle_session_;
+  // Borrowed read-only gate session (see RepairSessions); answers the
+  // initial check so the mutable search session below can stay unbuilt
+  // until a candidate actually needs a re-check.
+  IncrementalSafetySession* gate_ = nullptr;
+  std::optional<IncrementalSafetySession> own_session_;
+  std::uint64_t borrowed_checks_ = 0;  // gate queries, counted in the report
+  // Exactly one oracle path materialises at the first solver-safe
+  // candidate: the persistent incremental session (default sat-search;
+  // borrowed from RepairSessions when lent, else built lazily) or the
+  // per-candidate engine (enumerate / the from-scratch ablation).
+  groundtruth::StableSatSession* oracle_session_ = nullptr;
+  std::optional<groundtruth::StableSatSession> own_oracle_;
+  // Stats snapshot at borrow time, so report effort fields are per-run
+  // deltas even on a session warmed by earlier requests.
+  groundtruth::StableSessionStats oracle_stats_base_{};
   std::unique_ptr<groundtruth::GroundTruthEngine> oracle_;
   std::map<std::string, std::size_t> edit_frequency_;  // beam scoring
   std::map<std::string, SigInfo> sig_info_;
@@ -670,8 +737,9 @@ const char* to_string(GroundTruth truth) noexcept {
 std::string RepairCandidate::describe() const { return edits_key(edits); }
 
 RepairReport RepairEngine::repair(const spp::SppInstance& instance,
-                                  std::uint64_t seed) const {
-  Search search(instance, options_, seed);
+                                  std::uint64_t seed,
+                                  const RepairSessions& sessions) const {
+  Search search(instance, options_, seed, sessions);
   return search.run();
 }
 

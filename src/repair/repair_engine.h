@@ -30,9 +30,11 @@
 // Thread-compatibility: a RepairEngine holds only immutable options;
 // repair() builds its session and bookkeeping per call, so one engine MAY
 // be shared by concurrent callers and distinct engines are fully
-// independent — the same contract as SafetyAnalyzer, which is how the
-// campaign runner keeps its one-solver-session-per-worker invariant with
-// repair enabled (each worker's repair call owns its private session).
+// independent — the same contract as SafetyAnalyzer. Borrowed sessions
+// (RepairSessions below) are mutable single-thread objects: a call that
+// lends them must confine them to its thread, which is exactly how the
+// api::AnalysisService keeps its one-solver-session-per-worker invariant
+// (each worker lends only its own SessionCache entries).
 #ifndef FSR_REPAIR_REPAIR_ENGINE_H
 #define FSR_REPAIR_REPAIR_ENGINE_H
 
@@ -146,6 +148,33 @@ std::string to_json(const RepairReport& report);
 /// Human-facing rendering, timings included.
 std::string render_text(const RepairReport& report);
 
+/// Caller-owned solver state a repair run may borrow instead of building
+/// its own — the hook the fsr::api service layer uses to keep warm sessions
+/// alive ACROSS requests (extending the within-one-run amortisation to the
+/// whole service lifetime). Both pointers are optional and independent.
+///
+/// Contract (what keeps borrowed-session reports byte-identical to the
+/// self-built path, a tested property):
+///   * `strict_gate` must be a strict-mode session over exactly this
+///     instance's translated spec that has only ever answered plain
+///     check({}) queries — never make_variable — so its verdict/core is the
+///     recorded engine answer a fresh session's first check would give. The
+///     engine uses it for the initial already-safe gate + counterexample
+///     and counts that query in RepairReport::solver_checks; the mutable
+///     search session is then built lazily, so an already-safe instance
+///     borrows everything and builds nothing.
+///   * `oracle` must be a StableSatSession over exactly this base instance.
+///     Its per-query blocking groups retire when each query ends, so reuse
+///     across runs answers with the same verdicts/counts/witnesses as a
+///     fresh session wherever no conflict budget dies mid-query (the same
+///     caveat the campaign cache keys by). Session-effort stats in the
+///     report are per-run deltas. Used only when options select the
+///     sat-search oracle with use_incremental_oracle.
+struct RepairSessions {
+  IncrementalSafetySession* strict_gate = nullptr;
+  groundtruth::StableSatSession* oracle = nullptr;
+};
+
 class RepairEngine {
  public:
   RepairEngine() : RepairEngine(RepairOptions()) {}
@@ -156,8 +185,11 @@ class RepairEngine {
   /// Runs the repair loop. `seed` drives only the SPVP ground-truth trials
   /// (the search itself is deterministic in the instance), so a report's
   /// deterministic fields are a pure function of (instance, options, seed).
+  /// `sessions` optionally lends warm solver state (see RepairSessions);
+  /// the deterministic report fields do not depend on what was lent.
   RepairReport repair(const spp::SppInstance& instance,
-                      std::uint64_t seed = 1) const;
+                      std::uint64_t seed = 1,
+                      const RepairSessions& sessions = {}) const;
 
  private:
   RepairOptions options_;

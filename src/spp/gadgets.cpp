@@ -1,5 +1,8 @@
 #include "spp/gadgets.h"
 
+#include <cstdlib>
+#include <utility>
+
 #include "util/error.h"
 
 namespace fsr::spp {
@@ -166,6 +169,34 @@ SppInstance bad_gadget_chain(std::int32_t count) {
   instance.add_permitted_path({"b3", "0"});
   append_good_gadgets(instance, 0, count - 1);
   return instance;
+}
+
+const std::vector<std::string>& gadget_names() {
+  static const std::vector<std::string> names = {
+      "good",          "bad",
+      "disagree",      "ibgp-figure3",
+      "ibgp-figure3-fixed", "good-chain-N",
+      "bad-chain-N"};
+  return names;
+}
+
+SppInstance gadget_by_name(const std::string& name) {
+  if (name == "good") return good_gadget();
+  if (name == "bad") return bad_gadget();
+  if (name == "disagree") return disagree_gadget();
+  if (name == "ibgp-figure3") return ibgp_figure3_gadget();
+  if (name == "ibgp-figure3-fixed") return ibgp_figure3_fixed();
+  using ChainBuilder = SppInstance (*)(std::int32_t);
+  constexpr std::pair<const char*, ChainBuilder> chains[] = {
+      {"good-chain-", good_gadget_chain}, {"bad-chain-", bad_gadget_chain}};
+  for (const auto& [prefix, build] : chains) {
+    const std::string prefix_text(prefix);
+    if (name.rfind(prefix_text, 0) == 0) {
+      const int count = std::atoi(name.c_str() + prefix_text.size());
+      if (count >= 1) return build(count);
+    }
+  }
+  throw InvalidArgument("unknown gadget '" + name + "' (try --list-gadgets)");
 }
 
 }  // namespace fsr::spp

@@ -59,6 +59,17 @@ SppInstance good_gadget_chain(std::int32_t count);
 /// incremental re-checks are benchmarked on.
 SppInstance bad_gadget_chain(std::int32_t count);
 
+/// The names gadget_by_name accepts (display order). The two chain
+/// families appear by their documented spelling ("good-chain-N",
+/// "bad-chain-N"); any positive N is valid.
+const std::vector<std::string>& gadget_names();
+
+/// Builds a library gadget from its CLI/wire name: good, bad, disagree,
+/// ibgp-figure3, ibgp-figure3-fixed, good-chain-N, bad-chain-N. Throws
+/// fsr::InvalidArgument for anything else — the one lookup shared by
+/// fsr_repair, fsr_serve, and the scenario sources.
+SppInstance gadget_by_name(const std::string& name);
+
 }  // namespace fsr::spp
 
 #endif  // FSR_SPP_GADGETS_H

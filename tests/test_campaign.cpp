@@ -516,5 +516,131 @@ TEST(CampaignReport, TimingsAreOptInAndTableRenders) {
   EXPECT_NE(table.find("TOTAL"), std::string::npos);
 }
 
+// -------------------------------------------------- size-capped LRU sweep --
+
+namespace {
+
+/// An outcome whose serialized record is at least `bytes` long (padding
+/// rides in the narrative, which round-trips verbatim).
+std::shared_ptr<const ScenarioOutcome> padded_outcome(std::size_t bytes) {
+  auto outcome = std::make_shared<ScenarioOutcome>();
+  SafetyReport safety;
+  safety.verdict = SafetyVerdict::safe;
+  safety.narrative = std::string(bytes, 'x');
+  outcome->safety = std::move(safety);
+  return outcome;
+}
+
+std::string eviction_dir(const char* tag) {
+  const std::string dir = testing::TempDir() + "fsr_cache_evict_" + tag +
+                          "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::size_t outcome_files(const std::string& dir) {
+  std::size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".outcome") ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TEST(Cache, SizeCapEvictsOldestRecordsOnOverflow) {
+  const std::string dir = eviction_dir("cap");
+  const std::uint64_t cap = 4000;
+  {
+    ResultCache cache(dir, cap);
+    for (int i = 0; i < 8; ++i) {
+      cache.insert("key-" + std::to_string(i), padded_outcome(1000));
+    }
+    // Every insert swept: the directory never exceeds the cap, the oldest
+    // records are the ones that went, and the in-memory entries all
+    // survive (eviction sheds disk history, not this run's answers).
+    EXPECT_LE(cache.disk_bytes(), cap);
+    EXPECT_GT(cache.evicted_files(), 0u);
+    EXPECT_EQ(cache.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NE(cache.find("key-" + std::to_string(i)), nullptr) << i;
+    }
+  }
+  EXPECT_LT(outcome_files(dir), 8u);
+
+  // A fresh cache reloads only the surviving (most recent) records; the
+  // newest insertion is always among them.
+  ResultCache reloaded(dir, cap);
+  EXPECT_EQ(reloaded.size(), outcome_files(dir));
+  EXPECT_NE(reloaded.find("key-7"), nullptr);
+  EXPECT_EQ(reloaded.find("key-0"), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, FindHitsRefreshRecencySoHotRecordsSurviveTheSweep) {
+  const std::string dir = eviction_dir("touch");
+  // Measure one record's on-disk size so the cap holds exactly two.
+  std::uint64_t record_bytes = 0;
+  {
+    const std::string probe_dir = eviction_dir("touch_probe");
+    ResultCache probe(probe_dir);
+    probe.insert("probe", padded_outcome(1000));
+    record_bytes = probe.disk_bytes();
+    std::filesystem::remove_all(probe_dir);
+  }
+  ASSERT_GT(record_bytes, 0u);
+  ResultCache cache(dir, 2 * record_bytes + record_bytes / 2);
+  cache.insert("hot", padded_outcome(1000));
+  cache.insert("cold", padded_outcome(1000));
+  // Touch the older record: it becomes the most recently ACCESSED even
+  // though "cold" was written later.
+  EXPECT_NE(cache.find("hot"), nullptr);
+  // Overflow: the sweep must shed "cold" (oldest access), not "hot".
+  cache.insert("new", padded_outcome(1000));
+  ResultCache reloaded(dir);
+  EXPECT_NE(reloaded.find("hot"), nullptr);
+  EXPECT_NE(reloaded.find("new"), nullptr);
+  EXPECT_EQ(reloaded.find("cold"), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, StartupLoadAppliesTheCapToAnOverfullDirectory) {
+  const std::string dir = eviction_dir("startup");
+  {
+    ResultCache unbounded(dir);  // fill without a cap
+    for (int i = 0; i < 6; ++i) {
+      unbounded.insert("key-" + std::to_string(i), padded_outcome(1000));
+    }
+  }
+  EXPECT_EQ(outcome_files(dir), 6u);
+  ResultCache capped(dir, 3000);
+  EXPECT_LE(capped.disk_bytes(), 3000u);
+  EXPECT_GT(capped.evicted_files(), 0u);
+  EXPECT_LT(outcome_files(dir), 6u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, SingleOversizedRecordSurvivesAlone) {
+  const std::string dir = eviction_dir("oversize");
+  ResultCache cache(dir, 100);
+  cache.insert("big", padded_outcome(5000));
+  // Deleting the only record would leave a cache that serves nothing.
+  EXPECT_EQ(outcome_files(dir), 1u);
+  EXPECT_EQ(cache.evicted_files(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignRunner, CacheMaxBytesFlowsThroughCampaignOptions) {
+  const std::string dir = eviction_dir("runner");
+  CampaignOptions options;
+  options.cache_dir = dir;
+  options.cache_max_bytes = 8000;
+  CampaignRunner runner(options);
+  const CampaignReport report = runner.run(quick_sources());
+  EXPECT_GT(report.solved_count, 0u);
+  EXPECT_LE(runner.cache().disk_bytes(), options.cache_max_bytes);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace fsr::campaign

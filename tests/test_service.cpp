@@ -1,0 +1,417 @@
+// Tests for the fsr::api service façade: typed request validation and
+// fingerprints, the JSON wire protocol, and the service's two core
+// contracts — responses byte-identical to serial execution for any pool
+// size and any client-thread interleaving, and warm-session reuse that
+// never changes deterministic bytes (only provenance).
+//
+// Runs under the `service` ctest label.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.h"
+#include "api/request.h"
+#include "api/service.h"
+#include "api/wire.h"
+#include "fsr/incremental_session.h"
+#include "groundtruth/stable_sat.h"
+#include "repair/repair_engine.h"
+#include "spp/gadgets.h"
+#include "spp/translate.h"
+#include "util/error.h"
+
+namespace fsr::api {
+namespace {
+
+std::shared_ptr<const spp::SppInstance> shared_gadget(const std::string& name) {
+  return std::make_shared<const spp::SppInstance>(spp::gadget_by_name(name));
+}
+
+/// A mixed batch exercising every request kind, with duplicated content so
+/// pooled runs hit warm sessions on SOME schedule.
+std::vector<Request> mixed_batch() {
+  std::vector<Request> requests;
+  for (const char* name : {"bad", "disagree", "good", "bad-chain-4"}) {
+    requests.push_back(GroundTruthRequest{shared_gadget(name), {}});
+    requests.push_back(RepairRequest{shared_gadget(name), 7});
+    requests.push_back(AnalyzeSafetyRequest{nullptr, shared_gadget(name)});
+  }
+  // Duplicates of earlier content (fresh shared_ptrs on purpose: identity
+  // comes from the fingerprint, not the pointer).
+  requests.push_back(GroundTruthRequest{shared_gadget("bad"), {}});
+  requests.push_back(RepairRequest{shared_gadget("bad-chain-4"), 7});
+  requests.push_back(
+      GroundTruthRequest{shared_gadget("good"), groundtruth::Mode::enumerate});
+  EmulateRequest emulate;
+  emulate.spp = shared_gadget("good");
+  emulate.seed = 7;
+  requests.push_back(emulate);
+  return requests;
+}
+
+/// Deterministic rendering of a response: the id is zeroed because it
+/// encodes submission ORDER, which multi-client submission legitimately
+/// permutes — everything else must be schedule-independent.
+std::string deterministic_bytes(Response response) {
+  response.id = 0;
+  return wire::render_response(response);
+}
+
+// ------------------------------------------------------- request basics --
+
+TEST(Request, KindsRoundTripTheirWireNames) {
+  for (const RequestKind kind :
+       {RequestKind::analyze_safety, RequestKind::ground_truth,
+        RequestKind::repair, RequestKind::emulate}) {
+    EXPECT_EQ(parse_request_kind(to_string(kind)), kind);
+  }
+  EXPECT_FALSE(parse_request_kind("nonsense").has_value());
+}
+
+TEST(Request, ValidationRejectsMalformedShapes) {
+  EXPECT_THROW(validate(Request(AnalyzeSafetyRequest{})), InvalidArgument);
+  EXPECT_THROW(validate(Request(GroundTruthRequest{})), InvalidArgument);
+  EXPECT_THROW(validate(Request(RepairRequest{})), InvalidArgument);
+  EXPECT_THROW(validate(Request(EmulateRequest{})), InvalidArgument);
+  AnalyzeSafetyRequest both;
+  both.spp = shared_gadget("bad");
+  both.algebra = spp::algebra_from_spp(*both.spp);
+  EXPECT_THROW(validate(Request(both)), InvalidArgument);
+}
+
+TEST(Request, FingerprintIsKindFreeAndSeedFreeContentIdentity) {
+  const Request truth = GroundTruthRequest{shared_gadget("bad"), {}};
+  const Request repair_a = RepairRequest{shared_gadget("bad"), 1};
+  const Request repair_b = RepairRequest{shared_gadget("bad"), 99};
+  const Request other = RepairRequest{shared_gadget("disagree"), 1};
+  EXPECT_EQ(fingerprint(truth), fingerprint(repair_a));
+  EXPECT_EQ(fingerprint(repair_a), fingerprint(repair_b));
+  EXPECT_NE(fingerprint(repair_a), fingerprint(other));
+}
+
+// ------------------------------------------------------------- json/wire --
+
+TEST(Json, ParsesTheWireSubset) {
+  const json::Value value = json::parse(
+      R"({"kind": "repair", "seed": 42, "deep": {"list": [1, 2.5, "x\n", true, null]}})");
+  ASSERT_NE(value.find("kind"), nullptr);
+  EXPECT_EQ(value.find("kind")->as_string("kind"), "repair");
+  EXPECT_EQ(value.find("seed")->as_u64("seed"), 42u);
+  const json::Value* list = value.find("deep")->find("list");
+  ASSERT_NE(list, nullptr);
+  const auto& items = list->as_array("list");
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].as_u64("0"), 1u);
+  EXPECT_DOUBLE_EQ(items[1].as_number("1"), 2.5);
+  EXPECT_EQ(items[2].as_string("2"), "x\n");
+  EXPECT_TRUE(items[3].as_bool("3"));
+  EXPECT_TRUE(items[4].is_null());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), InvalidArgument);
+  EXPECT_THROW(json::parse("{\"a\": }"), InvalidArgument);
+  EXPECT_THROW(json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW(json::parse("tru"), InvalidArgument);
+  // Type mismatches surface as InvalidArgument too.
+  EXPECT_THROW(json::parse("3.5").as_u64("x"), InvalidArgument);
+  EXPECT_THROW(json::parse("-2").as_u64("x"), InvalidArgument);
+}
+
+TEST(Wire, ParsesEveryPayloadShape) {
+  EXPECT_EQ(kind_of(wire::parse_request(
+                R"({"kind": "ground-truth", "gadget": "bad"})")),
+            RequestKind::ground_truth);
+  EXPECT_EQ(kind_of(wire::parse_request(
+                R"({"kind": "analyze-safety", "policy": "guideline-a"})")),
+            RequestKind::analyze_safety);
+  EXPECT_EQ(kind_of(wire::parse_request(
+                R"({"kind": "repair", "random": {"seed": 3}, "seed": 9})")),
+            RequestKind::repair);
+  EXPECT_EQ(kind_of(wire::parse_request(
+                R"({"kind": "emulate", "gadget": "good", "seed": 7})")),
+            RequestKind::emulate);
+}
+
+TEST(Wire, InlineSppMatchesTheLibraryGadgetFingerprint) {
+  // The DISAGREE gadget spelled inline must canonicalize to the same
+  // content identity as the library instance, name notwithstanding.
+  const Request inline_request = wire::parse_request(R"({
+      "kind": "ground-truth",
+      "spp": {"name": "my-disagree", "destination": "0",
+              "edges": [["1", "0"], ["2", "0"], ["1", "2"]],
+              "paths": [["1", "2", "0"], ["1", "0"],
+                        ["2", "1", "0"], ["2", "0"]]}})");
+  const Request library_request =
+      Request(GroundTruthRequest{shared_gadget("disagree"), {}});
+  EXPECT_EQ(fingerprint(inline_request), fingerprint(library_request));
+}
+
+TEST(Wire, SchemaViolationsThrow) {
+  EXPECT_THROW(wire::parse_request("not json"), InvalidArgument);
+  EXPECT_THROW(wire::parse_request(R"({"gadget": "bad"})"), InvalidArgument);
+  EXPECT_THROW(wire::parse_request(R"({"kind": "bogus", "gadget": "bad"})"),
+               InvalidArgument);
+  EXPECT_THROW(wire::parse_request(R"({"kind": "repair"})"), InvalidArgument);
+  EXPECT_THROW(
+      wire::parse_request(R"({"kind": "repair", "gadget": "no-such"})"),
+      InvalidArgument);
+  EXPECT_THROW(wire::parse_request(
+                   R"({"kind": "repair", "gadget": "bad", "policy": "backup"})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      wire::parse_request(
+          R"({"kind": "ground-truth", "gadget": "bad", "mode": "magic"})"),
+      InvalidArgument);
+}
+
+TEST(Wire, TimingsAreOptInProvenance) {
+  AnalysisService service;
+  const Response response =
+      service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+  const std::string plain = wire::render_response(response);
+  EXPECT_EQ(plain.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(plain.find("warm_session"), std::string::npos);
+  EXPECT_EQ(plain.find("conflicts"), std::string::npos);
+  wire::RenderOptions timed;
+  timed.timings = true;
+  const std::string with_timings = wire::render_response(response, timed);
+  EXPECT_NE(with_timings.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(with_timings.find("\"warm_session\""), std::string::npos);
+}
+
+// ------------------------------------------------------ service contracts --
+
+TEST(Service, AnswersEveryKindAndErrorsStayInBand) {
+  AnalysisService service;
+  const Response truth =
+      service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+  ASSERT_TRUE(truth.ground_truth.has_value());
+  EXPECT_TRUE(truth.ground_truth->decided);
+  EXPECT_FALSE(truth.ground_truth->has_stable);
+
+  const Response safety =
+      service.call(AnalyzeSafetyRequest{nullptr, shared_gadget("good")});
+  ASSERT_TRUE(safety.safety.has_value());
+  EXPECT_EQ(safety.safety->verdict, SafetyVerdict::safe);
+
+  const Response repair = service.call(RepairRequest{shared_gadget("bad"), 7});
+  ASSERT_TRUE(repair.repair.has_value());
+  EXPECT_TRUE(repair.repair->repaired());
+
+  EmulateRequest emulate;
+  emulate.spp = shared_gadget("good");
+  emulate.seed = 7;
+  const Response emulated = service.call(emulate);
+  ASSERT_TRUE(emulated.emulation.has_value());
+  EXPECT_TRUE(emulated.emulation->quiesced);
+
+  // A malformed request resolves its future with an in-band error.
+  const Response failed = service.call(Request(RepairRequest{}));
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_FALSE(failed.repair.has_value());
+  EXPECT_GE(service.stats().errors, 1u);
+}
+
+TEST(Service, PerRequestModeOverridesTheDefaultOracle) {
+  AnalysisService service;
+  const Response enumerated = service.call(
+      GroundTruthRequest{shared_gadget("disagree"), groundtruth::Mode::enumerate});
+  ASSERT_TRUE(enumerated.ground_truth.has_value());
+  EXPECT_TRUE(enumerated.ground_truth->decided);
+  EXPECT_EQ(enumerated.ground_truth->count, 2u);
+  EXPECT_GT(enumerated.ground_truth->states_scanned, 0u);  // enumerate ran
+}
+
+TEST(Service, WarmGroundTruthAgreesWithTheScratchEngineEverywhere) {
+  // Warm-session answers must carry the exact deterministic fields of the
+  // one-shot engine — the byte-stability the whole reuse design rests on.
+  AnalysisService service;
+  const auto engine = groundtruth::make_engine(groundtruth::Mode::sat_search);
+  for (const char* name :
+       {"good", "bad", "disagree", "ibgp-figure3", "ibgp-figure3-fixed",
+        "bad-chain-4", "bad-chain-8"}) {
+    const auto instance = shared_gadget(name);
+    // Twice per instance: the second answer comes from the warm session.
+    for (int round = 0; round < 2; ++round) {
+      const Response response =
+          service.call(GroundTruthRequest{instance, {}});
+      ASSERT_TRUE(response.ground_truth.has_value()) << name;
+      const groundtruth::Result scratch = engine->analyze(*instance);
+      EXPECT_EQ(response.ground_truth->decided, scratch.decided) << name;
+      EXPECT_EQ(response.ground_truth->has_stable, scratch.has_stable) << name;
+      EXPECT_EQ(response.ground_truth->count, scratch.count) << name;
+      EXPECT_EQ(response.ground_truth->count_exact, scratch.count_exact)
+          << name;
+      EXPECT_EQ(response.ground_truth->witness, scratch.witness) << name;
+    }
+  }
+}
+
+TEST(Service, BudgetStoppedGroundTruthAnswersFallBackToColdBytes) {
+  // 7 independent DISAGREE pairs sharing the destination: 2^7 = 128 stable
+  // assignments, past the 64-solution enumeration bound — so WHICH subset
+  // a capped enumeration finds follows the solver's search order, which
+  // warm learned clauses would perturb. The service must detect the
+  // budget stop and recompute on a fresh session instead of serving
+  // order-dependent warm bytes.
+  auto chain = std::make_shared<spp::SppInstance>("disagree-chain", "0");
+  for (int k = 0; k < 7; ++k) {
+    const std::string a = "a" + std::to_string(k);
+    const std::string b = "b" + std::to_string(k);
+    chain->add_edge(a, "0");
+    chain->add_edge(b, "0");
+    chain->add_edge(a, b);
+    chain->add_permitted_path({a, b, "0"});
+    chain->add_permitted_path({a, "0"});
+    chain->add_permitted_path({b, a, "0"});
+    chain->add_permitted_path({b, "0"});
+  }
+  const std::shared_ptr<const spp::SppInstance> instance = std::move(chain);
+
+  AnalysisService service;  // threads = 1: the second request WOULD be warm
+  const Response cold = service.call(GroundTruthRequest{instance, {}});
+  ASSERT_TRUE(cold.ground_truth.has_value());
+  EXPECT_FALSE(cold.ground_truth->count_exact);
+  EXPECT_EQ(cold.ground_truth->budget_stop,
+            groundtruth::BudgetStop::solutions);
+  const Response repeat = service.call(GroundTruthRequest{instance, {}});
+  EXPECT_FALSE(repeat.warm_session);  // warmth declined, not just unreported
+  EXPECT_EQ(deterministic_bytes(cold), deterministic_bytes(repeat));
+}
+
+TEST(Service, SecondIdenticalFingerprintRequestReportsAWarmHit) {
+  AnalysisService service;  // threads = 1: scheduling is deterministic
+  const Response cold = service.call(RepairRequest{shared_gadget("bad"), 7});
+  const Response warm = service.call(RepairRequest{shared_gadget("bad"), 7});
+  EXPECT_FALSE(cold.warm_session);
+  EXPECT_TRUE(warm.warm_session);
+  // Warmth is provenance only: deterministic bytes must not move.
+  EXPECT_EQ(deterministic_bytes(cold), deterministic_bytes(warm));
+
+  const Response truth_cold =
+      service.call(GroundTruthRequest{shared_gadget("disagree"), {}});
+  const Response truth_warm =
+      service.call(GroundTruthRequest{shared_gadget("disagree"), {}});
+  EXPECT_FALSE(truth_cold.warm_session);
+  EXPECT_TRUE(truth_warm.warm_session);
+  EXPECT_EQ(deterministic_bytes(truth_cold), deterministic_bytes(truth_warm));
+
+  // Kinds share the entry: the repair above already built bad's oracle, so
+  // a ground-truth request on the same content starts warm.
+  const Response cross = service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+  EXPECT_TRUE(cross.warm_session);
+  EXPECT_GE(service.stats().warm_hits, 3u);
+}
+
+TEST(Service, SessionCacheCapacityBoundsAndEvicts) {
+  ServiceOptions options;
+  options.session_cache_capacity = 1;
+  AnalysisService service(options);
+  // Alternating fingerprints under capacity 1: every request evicts the
+  // other's entry, so nothing is ever warm.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_FALSE(
+        service.call(GroundTruthRequest{shared_gadget("bad"), {}}).warm_session);
+    EXPECT_FALSE(service.call(GroundTruthRequest{shared_gadget("disagree"), {}})
+                     .warm_session);
+  }
+  EXPECT_EQ(service.stats().warm_hits, 0u);
+  EXPECT_GE(service.stats().sessions_evicted, 2u);
+
+  // Capacity 0 disables reuse outright.
+  ServiceOptions disabled;
+  disabled.session_cache_capacity = 0;
+  AnalysisService cold_service(disabled);
+  cold_service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+  EXPECT_FALSE(cold_service.call(GroundTruthRequest{shared_gadget("bad"), {}})
+                   .warm_session);
+}
+
+TEST(Service, BorrowedSessionsMatchSelfBuiltReportBytes) {
+  // The RepairSessions contract, head on: a report computed against
+  // caller-owned (then reused, warm) sessions is byte-identical to the
+  // engine building everything itself — including the already-safe gate
+  // path ("good") and the oracle-heavy chains.
+  const repair::RepairEngine engine;
+  for (const char* name : {"good", "bad", "disagree", "ibgp-figure3",
+                           "bad-chain-4", "bad-chain-8"}) {
+    const spp::SppInstance instance = spp::gadget_by_name(name);
+    const std::string self_built = repair::to_json(engine.repair(instance, 7));
+
+    IncrementalSafetySession::Options gate_options;
+    gate_options.extract_models = false;
+    IncrementalSafetySession gate(
+        spp::algebra_from_spp(instance)->symbolic(), MonotonicityMode::strict,
+        gate_options);
+    groundtruth::StableSatSession oracle(instance);
+    repair::RepairSessions sessions;
+    sessions.strict_gate = &gate;
+    sessions.oracle = &oracle;
+    EXPECT_EQ(repair::to_json(engine.repair(instance, 7, sessions)),
+              self_built)
+        << name << " (cold borrowed sessions)";
+    EXPECT_EQ(repair::to_json(engine.repair(instance, 7, sessions)),
+              self_built)
+        << name << " (warm borrowed sessions)";
+  }
+}
+
+TEST(Service, ResponsesByteIdenticalToSerialAtAnyPoolSizeAndClientCount) {
+  // The concurrency contract: N requests from M client threads through a
+  // pool of any size produce responses byte-identical to serial execution.
+  const std::vector<Request> requests = mixed_batch();
+
+  std::vector<std::string> serial;
+  {
+    AnalysisService service;  // threads = 1
+    for (const Request& request : requests) {
+      serial.push_back(deterministic_bytes(service.call(request)));
+    }
+  }
+
+  for (const int pool_size : {2, 8}) {
+    ServiceOptions options;
+    options.threads = pool_size;
+    AnalysisService service(options);
+
+    constexpr std::size_t k_clients = 4;
+    std::vector<std::future<Response>> futures(requests.size());
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < k_clients; ++c) {
+      clients.emplace_back([&, c]() {
+        for (std::size_t i = c; i < requests.size(); i += k_clients) {
+          futures[i] = service.submit(requests[i]);  // disjoint slots
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(deterministic_bytes(futures[i].get()), serial[i])
+          << "pool=" << pool_size << " request=" << i;
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, requests.size());
+    EXPECT_EQ(stats.completed, requests.size());
+    EXPECT_EQ(stats.errors, 0u);
+  }
+}
+
+TEST(Service, BatchRunReturnsResponsesInSubmissionOrder) {
+  ServiceOptions options;
+  options.threads = 4;
+  AnalysisService service(options);
+  const std::vector<Response> responses = service.run(mixed_batch());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, i);
+  }
+}
+
+}  // namespace
+}  // namespace fsr::api
