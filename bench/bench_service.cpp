@@ -29,6 +29,8 @@
 #include "api/service.h"
 #include "api/wire.h"
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spp/gadgets.h"
 
 namespace {
@@ -154,6 +156,22 @@ int main(int argc, char** argv) {
         return cold_ms / warm_ms;
       };
 
+  // Solver-effort provenance: registry deltas around the measured streams,
+  // recorded alongside the timing metrics so a perf regression in
+  // BENCH_pr.json can be read against "did the solver do more work" (an
+  // algorithmic change) or not (a constant-factor one).
+  const std::vector<std::string> effort_counters = {
+      "sat.queries",           "sat.conflicts", "sat.decisions",
+      "sat.propagations",      "smt.checks",    "repair.solver_checks"};
+  const auto effort_values = [&effort_counters]() {
+    std::vector<std::uint64_t> values;
+    for (const std::string& name : effort_counters) {
+      values.push_back(fsr::obs::registry().counter(name).value());
+    }
+    return values;
+  };
+  const std::vector<std::uint64_t> effort_floor = effort_values();
+
   bench::print_banner(
       "service throughput: cold vs warm-session request streams");
   bench::print_row({"stream", "requests", "cold ms", "warm ms", "speedup",
@@ -167,6 +185,36 @@ int main(int argc, char** argv) {
   // warmth only shaves the encode/base construction.
   metrics["service_repair_warm_speedup"] =
       measure_stream("repair", repair_stream(), "service_repair_");
+
+  const std::vector<std::uint64_t> effort_ceiling = effort_values();
+  for (std::size_t i = 0; i < effort_counters.size(); ++i) {
+    std::string key = "service_effort_" + effort_counters[i];
+    for (char& c : key) {
+      if (c == '.') c = '_';
+    }
+    metrics[key] =
+        static_cast<double>(effort_ceiling[i] - effort_floor[i]);
+  }
+
+  // ---- tracing overhead (informational, not gated) -----------------------
+  // The obs contract: a span is one relaxed atomic load when no tracer is
+  // installed, and recording stays off the deterministic path when one is.
+  // Measured on the warm hot-query stream, where per-request work is
+  // smallest and any fixed overhead is most visible.
+  {
+    AnalysisService service(warm_options);
+    service.run(query_stream());  // prime
+    const double off_ms = time_passes_ms(service, query_stream(), k_passes);
+    fsr::obs::Tracer tracer;
+    fsr::obs::install_tracer(&tracer);
+    const double on_ms = time_passes_ms(service, query_stream(), k_passes);
+    fsr::obs::install_tracer(nullptr);
+    const double overhead_pct = 100.0 * (on_ms / off_ms - 1.0);
+    bench::print_banner("tracing overhead: warm hot-query stream");
+    bench::print_row({"trace off ms", "trace on ms", "overhead"}, 14);
+    bench::print_row({fmt(off_ms), fmt(on_ms), fmt(overhead_pct, "%")}, 14);
+    metrics["service_trace_overhead_pct"] = overhead_pct;
+  }
 
   // ---- pool scaling (informational, not gated) ---------------------------
   bench::print_banner("service throughput: worker-pool scaling (warm)");

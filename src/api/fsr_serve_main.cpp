@@ -29,6 +29,7 @@
 #include "api/service.h"
 #include "api/wire.h"
 #include "groundtruth/engine.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace {
@@ -46,6 +47,9 @@ void print_usage() {
       "                     enumerate\n"
       "  --timings          add warm_session/wall_ms provenance (output\n"
       "                     is then no longer byte-stable)\n"
+      "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
+      "                     (load in about:tracing or ui.perfetto.dev);\n"
+      "                     response bytes are unaffected\n"
       "  --help             this message\n");
 }
 
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
 
   ServiceOptions options;
   wire::RenderOptions render_options;
+  std::string trace_out;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -106,6 +111,8 @@ int main(int argc, char** argv) {
       options.repair.ground_truth = *mode;
     } else if (std::strcmp(arg, "--timings") == 0) {
       render_options.timings = true;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_out = need_value(i, "--trace-out");
     } else if (std::strcmp(arg, "--help") == 0) {
       print_usage();
       return 0;
@@ -115,6 +122,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Install the tracer before the service spins up its workers; it is
+  // uninstalled (and the file written) only after the final flush below
+  // has resolved every future — by which point each request's spans are
+  // already recorded (a span ends before its response is delivered).
+  fsr::obs::Tracer tracer;
+  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
 
   AnalysisService service(options);
 
@@ -152,7 +166,14 @@ int main(int argc, char** argv) {
     }
     if (blank) continue;
     try {
-      pending.push_back(service.submit(wire::parse_request(line)));
+      Request request = wire::parse_request(line);
+      if (std::holds_alternative<StatsRequest>(request)) {
+        // Introspection is a stream barrier: drain everything submitted
+        // before it so the snapshot means "every request earlier in the
+        // stream" rather than "whatever happened to be done".
+        flush_ready(true);
+      }
+      pending.push_back(service.submit(std::move(request)));
     } catch (const std::exception& error) {
       // Parse/schema failures answer in-band, one response per request
       // line, WITHOUT touching the service — a synthetic ready future
@@ -179,5 +200,13 @@ int main(int argc, char** argv) {
     flush_ready(false);
   }
   flush_ready(true);
+  if (!trace_out.empty()) {
+    fsr::obs::install_tracer(nullptr);
+    if (!tracer.write(trace_out)) {
+      std::fprintf(stderr, "fsr_serve: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      any_error = true;
+    }
+  }
   return any_error ? 1 : 0;
 }

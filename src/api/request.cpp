@@ -15,6 +15,8 @@ const char* to_string(RequestKind kind) noexcept {
       return "repair";
     case RequestKind::emulate:
       return "emulate";
+    case RequestKind::stats:
+      return "stats";
   }
   return "analyze-safety";
 }
@@ -24,6 +26,7 @@ std::optional<RequestKind> parse_request_kind(const std::string& text) {
   if (text == "ground-truth") return RequestKind::ground_truth;
   if (text == "repair") return RequestKind::repair;
   if (text == "emulate") return RequestKind::emulate;
+  if (text == "stats") return RequestKind::stats;
   return std::nullopt;
 }
 
@@ -40,6 +43,9 @@ RequestKind kind_of(const Request& request) noexcept {
     }
     RequestKind operator()(const EmulateRequest&) const {
       return RequestKind::emulate;
+    }
+    RequestKind operator()(const StatsRequest&) const {
+      return RequestKind::stats;
     }
   };
   return std::visit(Visitor{}, request);
@@ -76,6 +82,7 @@ void validate(const Request& request) {
             "topology");
       }
     }
+    void operator()(const StatsRequest&) const {}  // no payload to check
   };
   std::visit(Visitor{}, request);
 }
@@ -101,6 +108,7 @@ std::string payload_canonical(const Request& request) {
              campaign::canonical_spec(req.algebra->symbolic()) + "|topo|" +
              campaign::canonical_topology(*req.topology);
     }
+    std::string operator()(const StatsRequest&) const { return std::string(); }
   };
   return std::visit(Visitor{}, request);
 }
@@ -109,6 +117,9 @@ std::string payload_canonical(const Request& request) {
 
 std::string fingerprint(const Request& request) {
   validate(request);
+  // Stats requests carry no payload: an empty fingerprint keeps them away
+  // from the session cache (nothing to warm, nothing to evict).
+  if (std::holds_alternative<StatsRequest>(request)) return std::string();
   return campaign::content_digest(payload_canonical(request));
 }
 

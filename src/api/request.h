@@ -27,17 +27,18 @@
 #include "fsr/emulation.h"
 #include "fsr/safety_analyzer.h"
 #include "groundtruth/engine.h"
+#include "obs/metrics.h"
 #include "repair/repair_engine.h"
 #include "spp/spp.h"
 #include "topology/topology.h"
 
 namespace fsr::api {
 
-enum class RequestKind { analyze_safety, ground_truth, repair, emulate };
+enum class RequestKind { analyze_safety, ground_truth, repair, emulate, stats };
 
 const char* to_string(RequestKind kind) noexcept;
 /// Parses the wire spelling ("analyze-safety", "ground-truth", "repair",
-/// "emulate"); nullopt for anything else.
+/// "emulate", "stats"); nullopt for anything else.
 std::optional<RequestKind> parse_request_kind(const std::string& text);
 
 /// Safety analysis (paper Section IV): exactly one of `algebra` (analyze
@@ -73,8 +74,17 @@ struct EmulateRequest {
   std::uint64_t seed = 1;
 };
 
+/// Live service introspection: no payload, no solver work. The response
+/// carries the service's own counters plus a snapshot of the process-wide
+/// obs registry. Values are execution state, not analysis results — the
+/// one request kind whose response bytes legitimately depend on what else
+/// the process has done (schema and field order stay fixed; fsr_serve
+/// drains every earlier request first so a serial stream sees a
+/// well-defined "everything before me" snapshot).
+struct StatsRequest {};
+
 using Request = std::variant<AnalyzeSafetyRequest, GroundTruthRequest,
-                             RepairRequest, EmulateRequest>;
+                             RepairRequest, EmulateRequest, StatsRequest>;
 
 RequestKind kind_of(const Request& request) noexcept;
 
@@ -89,6 +99,25 @@ void validate(const Request& request);
 /// Built from the campaign layer's canonical forms (campaign/cache.h).
 std::string fingerprint(const Request& request);
 
+/// Lifetime counters of one AnalysisService (deltas since construction,
+/// carved out of the process-wide obs registry so a test or caller can
+/// reason about "this service's" work even though the registry is global).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;       // responses with a non-empty error
+  std::uint64_t warm_hits = 0;    // responses served from warm sessions
+  std::uint64_t sessions_built = 0;
+  std::uint64_t sessions_evicted = 0;
+};
+
+/// What a StatsRequest answers with: the owning service's counters plus
+/// the process-wide registry snapshot (obs/metrics.h).
+struct StatsPayload {
+  ServiceStats service;
+  obs::MetricsSnapshot metrics;
+};
+
 /// One request's answer. Exactly one payload optional is set on success
 /// (matching the request kind); `error` is non-empty instead when the
 /// request failed, and a failed request never aborts the service.
@@ -102,6 +131,7 @@ struct Response {
   std::optional<groundtruth::Result> ground_truth;
   std::optional<repair::RepairReport> repair;
   std::optional<EmulationResult> emulation;
+  std::optional<StatsPayload> stats;
 
   // Execution provenance: scheduling-dependent, so excluded from
   // deterministic renderings (wire.h gates them behind `timings`).

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
 #include "spp/translate.h"
 #include "util/error.h"
 
@@ -34,10 +35,24 @@ groundtruth::Result to_ground_truth_result(
 }  // namespace
 
 AnalysisService::AnalysisService(ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      submitted_counter_(obs::registry().counter("service.requests.submitted")),
+      completed_counter_(obs::registry().counter("service.requests.completed")),
+      errors_counter_(obs::registry().counter("service.requests.errors")),
+      warm_hits_counter_(obs::registry().counter("service.warm_hits")),
+      sessions_built_counter_(obs::registry().counter("service.sessions_built")),
+      evictions_counter_(obs::registry().counter("session_cache.evictions")),
+      request_wall_us_(obs::registry().histogram("service.request_wall_us")) {
   if (options_.threads < 1) {
     throw InvalidArgument("service thread count must be >= 1");
   }
+  // stats() reports deltas against the registry state seen here.
+  baseline_.submitted = submitted_counter_.value();
+  baseline_.completed = completed_counter_.value();
+  baseline_.errors = errors_counter_.value();
+  baseline_.warm_hits = warm_hits_counter_.value();
+  baseline_.sessions_built = sessions_built_counter_.value();
+  baseline_.sessions_evicted = evictions_counter_.value();
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this]() { worker_loop(); });
@@ -65,6 +80,7 @@ std::future<Response> AnalysisService::submit(Request request) {
     job.id = next_id_++;
     queue_.push_back(std::move(job));
   }
+  submitted_counter_.add(1);
   work_ready_.notify_one();
   return future;
 }
@@ -89,15 +105,14 @@ Response AnalysisService::call(Request request) {
 
 ServiceStats AnalysisService::stats() const {
   ServiceStats stats;
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stats.submitted = next_id_;
-  }
-  stats.completed = completed_.load();
-  stats.errors = errors_.load();
-  stats.warm_hits = warm_hits_.load();
-  stats.sessions_built = sessions_built_.load();
-  stats.sessions_evicted = sessions_evicted_.load();
+  stats.submitted = submitted_counter_.value() - baseline_.submitted;
+  stats.completed = completed_counter_.value() - baseline_.completed;
+  stats.errors = errors_counter_.value() - baseline_.errors;
+  stats.warm_hits = warm_hits_counter_.value() - baseline_.warm_hits;
+  stats.sessions_built =
+      sessions_built_counter_.value() - baseline_.sessions_built;
+  stats.sessions_evicted =
+      evictions_counter_.value() - baseline_.sessions_evicted;
   return stats;
 }
 
@@ -106,7 +121,6 @@ void AnalysisService::worker_loop() {
   // solver session it stores live and die with this thread; nothing
   // mutable is ever shared across workers.
   SessionCache cache(options_.session_cache_capacity);
-  std::uint64_t evictions_reported = 0;
   while (true) {
     Job job;
     {
@@ -117,13 +131,11 @@ void AnalysisService::worker_loop() {
       queue_.pop_front();
     }
     Response response = execute(job.id, job.request, cache);
-    completed_.fetch_add(1);
-    if (!response.error.empty()) errors_.fetch_add(1);
-    if (response.warm_session) warm_hits_.fetch_add(1);
-    if (cache.evictions() > evictions_reported) {
-      sessions_evicted_.fetch_add(cache.evictions() - evictions_reported);
-      evictions_reported = cache.evictions();
-    }
+    completed_counter_.add(1);
+    if (!response.error.empty()) errors_counter_.add(1);
+    if (response.warm_session) warm_hits_counter_.add(1);
+    // Evictions are counted by the SessionCache itself, straight into the
+    // registry — no double bookkeeping here.
     job.promise.set_value(std::move(response));
   }
 }
@@ -133,6 +145,9 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
   Response response;
   response.id = id;
   response.kind = kind_of(request);
+  obs::Span span("service.execute");
+  span.arg("kind", to_string(response.kind));
+  span.arg("id", id);
   const auto start = std::chrono::steady_clock::now();
   try {
     validate(request);
@@ -158,7 +173,7 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
         response.warm_session = entry->oracle.has_value();
         if (!response.warm_session) {
           entry->oracle.emplace(*entry->instance);
-          sessions_built_.fetch_add(1);
+          sessions_built_counter_.add(1);
         }
         groundtruth::StableSearchResult search = entry->oracle->analyze(
             {}, truth_options.max_solutions, truth_options.max_conflicts);
@@ -190,7 +205,7 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
         entry->strict_gate.emplace(
             spp::algebra_from_spp(*entry->instance)->symbolic(),
             MonotonicityMode::strict, gate_options);
-        sessions_built_.fetch_add(1);
+        sessions_built_counter_.add(1);
       }
       repair::RepairSessions sessions;
       sessions.strict_gate = &*entry->strict_gate;
@@ -200,7 +215,7 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
         oracle_warm = entry->oracle.has_value();
         if (!oracle_warm) {
           entry->oracle.emplace(*entry->instance);
-          sessions_built_.fetch_add(1);
+          sessions_built_counter_.add(1);
         }
         sessions.oracle = &*entry->oracle;
       }
@@ -214,6 +229,13 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
                                ? emulate_spp(*req->spp, emulation)
                                : emulate_gpv(*req->algebra, *req->topology,
                                              emulation);
+    } else if (std::get_if<StatsRequest>(&request) != nullptr) {
+      // Live introspection: this service's own deltas plus the process
+      // registry. No solver work, no session-cache traffic.
+      StatsPayload payload;
+      payload.service = stats();
+      payload.metrics = obs::registry().snapshot();
+      response.stats = std::move(payload);
     }
   } catch (const std::exception& error) {
     response.error = error.what();
@@ -221,6 +243,10 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
   response.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+  request_wall_us_.record(
+      static_cast<std::uint64_t>(response.wall_ms * 1000.0));
+  span.arg("warm", response.warm_session);
+  if (!response.error.empty()) span.arg("error", true);
   return response;
 }
 

@@ -42,6 +42,7 @@
 #include "fsr/emulation.h"
 #include "fsr/safety_analyzer.h"
 #include "groundtruth/engine.h"
+#include "obs/metrics.h"
 #include "repair/repair_engine.h"
 
 namespace fsr::api {
@@ -65,14 +66,7 @@ struct ServiceOptions {
   EmulationOptions emulation;
 };
 
-struct ServiceStats {
-  std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;
-  std::uint64_t errors = 0;       // responses with a non-empty error
-  std::uint64_t warm_hits = 0;    // responses served from warm sessions
-  std::uint64_t sessions_built = 0;
-  std::uint64_t sessions_evicted = 0;
-};
+// ServiceStats now lives in request.h (a StatsRequest response embeds it).
 
 class AnalysisService {
  public:
@@ -96,6 +90,13 @@ class AnalysisService {
   Response call(Request request);
 
   const ServiceOptions& options() const noexcept { return options_; }
+  /// This service's own counter deltas since construction. The underlying
+  /// instruments are the process-wide obs registry ("service.*" and
+  /// "session_cache.evictions"); the constructor snapshots a baseline so
+  /// concurrent *sequential* services each see their own work. (Two
+  /// services running simultaneously share the registry and will see each
+  /// other's increments — the registry is process truth, stats() is a
+  /// per-instance view.)
   ServiceStats stats() const;
 
  private:
@@ -118,11 +119,16 @@ class AnalysisService {
   std::uint64_t next_id_ = 0;
   std::vector<std::thread> workers_;
 
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> errors_{0};
-  std::atomic<std::uint64_t> warm_hits_{0};
-  std::atomic<std::uint64_t> sessions_built_{0};
-  std::atomic<std::uint64_t> sessions_evicted_{0};
+  // Consolidated counters: one source of truth in the obs registry.
+  // References are stable for the process lifetime (obs/metrics.h).
+  obs::Counter& submitted_counter_;
+  obs::Counter& completed_counter_;
+  obs::Counter& errors_counter_;
+  obs::Counter& warm_hits_counter_;
+  obs::Counter& sessions_built_counter_;
+  obs::Counter& evictions_counter_;  // shared with SessionCache
+  obs::Histogram& request_wall_us_;
+  ServiceStats baseline_;  // registry values at construction
 };
 
 }  // namespace fsr::api

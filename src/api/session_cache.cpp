@@ -1,12 +1,34 @@
 #include "api/session_cache.h"
 
+#include "obs/metrics.h"
+
 namespace fsr::api {
+
+namespace {
+
+// Per-cache counters stay (single-thread, test-visible); the registry gets
+// the process-wide aggregate across all workers. References are resolved
+// once — ensure() itself never takes the registration lock.
+struct CacheMetrics {
+  obs::Counter& hits = obs::registry().counter("session_cache.hits");
+  obs::Counter& misses = obs::registry().counter("session_cache.misses");
+  obs::Counter& evictions = obs::registry().counter("session_cache.evictions");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 SessionCache::Entry* SessionCache::ensure(
     const std::string& fingerprint,
     const std::shared_ptr<const spp::SppInstance>& instance) {
+  CacheMetrics& metrics = cache_metrics();
   if (capacity_ == 0) {
     ++misses_;
+    metrics.misses.add(1);
     scratch_.emplace();
     scratch_->fingerprint = fingerprint;
     scratch_->instance = instance;
@@ -15,14 +37,17 @@ SessionCache::Entry* SessionCache::ensure(
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->fingerprint == fingerprint) {
       ++hits_;
+      metrics.hits.add(1);
       entries_.splice(entries_.begin(), entries_, it);  // bump to MRU
       return &entries_.front();
     }
   }
   ++misses_;
+  metrics.misses.add(1);
   if (entries_.size() >= capacity_) {
     entries_.pop_back();
     ++evictions_;
+    metrics.evictions.add(1);
   }
   entries_.emplace_front();
   entries_.front().fingerprint = fingerprint;

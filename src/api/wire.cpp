@@ -5,6 +5,7 @@
 #include "algebra/standard_policies.h"
 #include "api/json.h"
 #include "campaign/scenario_source.h"
+#include "obs/metrics.h"
 #include "spp/gadgets.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -177,7 +178,21 @@ void append_ground_truth(std::string& out, const groundtruth::Result& truth,
   out += "}";
 }
 
-void append_repair(std::string& out, const repair::RepairReport& report) {
+void append_stats(std::string& out, const StatsPayload& stats) {
+  const ServiceStats& service = stats.service;
+  out += "\"stats\": {\"service\": {\"submitted\": " +
+         std::to_string(service.submitted);
+  out += ", \"completed\": " + std::to_string(service.completed);
+  out += ", \"errors\": " + std::to_string(service.errors);
+  out += ", \"warm_hits\": " + std::to_string(service.warm_hits);
+  out += ", \"sessions_built\": " + std::to_string(service.sessions_built);
+  out += ", \"sessions_evicted\": " + std::to_string(service.sessions_evicted);
+  out += "}, \"metrics\": " + obs::to_json(stats.metrics);
+  out += "}";
+}
+
+void append_repair(std::string& out, const repair::RepairReport& report,
+                   bool timings) {
   out += "\"repair\": {\"instance\": " + json_quoted(report.instance);
   out += ", \"ground_truth_mode\": " +
          json_quoted(groundtruth::to_string(report.ground_truth_mode));
@@ -197,6 +212,17 @@ void append_repair(std::string& out, const repair::RepairReport& report) {
   out += ", \"beam_pruned\": " + std::to_string(report.beam_pruned);
   out += ", \"budget_exhausted\": ";
   out += report.budget_exhausted ? "true" : "false";
+  if (timings) {
+    // Session-effort counters depend on cache temperature (a warm oracle
+    // skips re-encoding groups a previous run paid for), so like the
+    // ground-truth effort block they ride with the provenance fields.
+    out += ", \"engine_rebuilds\": " + std::to_string(report.engine_rebuilds);
+    out += ", \"oracle_queries\": " + std::to_string(report.oracle_queries);
+    out += ", \"oracle_groups_encoded\": " +
+           std::to_string(report.oracle_groups_encoded);
+    out += ", \"oracle_cache_hits\": " +
+           std::to_string(report.oracle_cache_hits);
+  }
   out += ", \"repairs\": [";
   for (std::size_t i = 0; i < report.repairs.size(); ++i) {
     const repair::RepairCandidate& candidate = report.repairs[i];
@@ -258,6 +284,15 @@ Request parse_request(const std::string& line) {
     throw InvalidArgument("unknown request kind '" +
                           kind_value->as_string("kind") + "'");
   }
+  if (*kind == RequestKind::stats) {
+    // Introspection carries no payload; anything else on the line is a
+    // schema violation the caller should hear about.
+    if (body.find("gadget") != nullptr || body.find("policy") != nullptr ||
+        body.find("spp") != nullptr || body.find("random") != nullptr) {
+      throw InvalidArgument("stats request takes no payload");
+    }
+    return StatsRequest{};
+  }
   Payload payload = parse_payload(body);
   std::uint64_t seed = 1;
   if (const json::Value* seed_value = body.find("seed")) {
@@ -301,6 +336,8 @@ Request parse_request(const std::string& line) {
       validate(Request(request));
       return request;
     }
+    case RequestKind::stats:
+      break;  // handled above (payload-free)
   }
   throw InvalidArgument("unknown request kind");
 }
@@ -321,9 +358,11 @@ std::string render_response(const Response& response,
     } else if (response.ground_truth.has_value()) {
       append_ground_truth(out, *response.ground_truth, options.timings);
     } else if (response.repair.has_value()) {
-      append_repair(out, *response.repair);
+      append_repair(out, *response.repair, options.timings);
     } else if (response.emulation.has_value()) {
       append_emulation(out, *response.emulation);
+    } else if (response.stats.has_value()) {
+      append_stats(out, *response.stats);
     } else {
       out += "\"result\": null";
     }

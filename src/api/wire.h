@@ -6,7 +6,11 @@
 //   {"kind": K, <payload>, ["seed": N], ["mode": M]}
 //
 //   K        — "analyze-safety" | "ground-truth" | "repair" | "emulate"
-//   payload  — exactly one of
+//              | "stats"
+//   payload  — exactly one of (none for "stats", which takes no payload
+//              and answers live service counters + the obs registry
+//              snapshot; fsr_serve drains all earlier requests first, so
+//              its values summarise everything before it in the stream)
 //     "gadget": NAME          library gadget (spp::gadget_by_name: good,
 //                             bad, disagree, ibgp-figure3,
 //                             ibgp-figure3-fixed, good-chain-N,
@@ -32,6 +36,12 @@
 // ServiceOptions, regardless of --threads (the service determinism
 // contract). Deterministic fields only, unless RenderOptions.timings adds
 // execution provenance (warm_session, wall_ms, solver effort counters).
+// The one exception is "stats": its schema and field order are fixed, but
+// its VALUES are live execution state by design — counters such as
+// warm_hits depend on which worker served what, and the registry snapshot
+// includes wall-clock histograms — so stats responses make no
+// byte-reproducibility promise at all. Filter them out before diffing
+// streams (as the CI smoke does).
 #ifndef FSR_API_WIRE_H
 #define FSR_API_WIRE_H
 

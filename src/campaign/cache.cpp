@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace fsr::campaign {
@@ -572,6 +573,12 @@ void ResultCache::sweep_locked() {
     fs::remove(fs::path(directory_) / (oldest->first + ".outcome"), ec);
     disk_bytes_ -= oldest->second.bytes;
     ++evicted_files_;
+    static obs::Counter& evicted_counter =
+        obs::registry().counter("result_cache.evicted_files");
+    evicted_counter.add(1);
+    static obs::Gauge& bytes_gauge =
+        obs::registry().gauge("result_cache.disk_bytes");
+    bytes_gauge.set(static_cast<std::int64_t>(disk_bytes_));
     disk_records_.erase(oldest);
   }
 }
@@ -599,9 +606,15 @@ std::shared_ptr<const ScenarioOutcome> ResultCache::find(
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    static obs::Counter& miss_counter =
+        obs::registry().counter("result_cache.misses");
+    miss_counter.add(1);
     return nullptr;
   }
   ++hits_;
+  static obs::Counter& hit_counter =
+      obs::registry().counter("result_cache.hits");
+  hit_counter.add(1);
   // Recency bookkeeping (and its per-hit metadata write) only matters to
   // the size-cap sweep; an uncapped cache keeps find() memory-only.
   if (!directory_.empty() && max_bytes_ != 0) {
@@ -670,6 +683,9 @@ void ResultCache::insert(const std::string& key,
   if (record_inserted) {
     record_it->second.bytes = with_key.size();
     disk_bytes_ += with_key.size();
+    static obs::Gauge& bytes_gauge =
+        obs::registry().gauge("result_cache.disk_bytes");
+    bytes_gauge.set(static_cast<std::int64_t>(disk_bytes_));
   }
   record_it->second.last_access = next_stamp_locked();
   sweep_locked();

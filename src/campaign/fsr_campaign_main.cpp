@@ -15,6 +15,7 @@
 
 #include "campaign/runner.h"
 #include "groundtruth/engine.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace {
@@ -44,6 +45,9 @@ void print_usage() {
       "                   render byte-identical JSON)\n"
       "  --cache-max-bytes N  cap the disk cache at N bytes, evicting the\n"
       "                   least recently accessed records on overflow\n"
+      "  --trace-out FILE write a Chrome trace_event JSON of the run\n"
+      "                   (load in about:tracing or ui.perfetto.dev);\n"
+      "                   report bytes are unaffected\n"
       "  --list-sources   print available sources and exit\n"
       "  --help           this message\n"
       "exit status: 0 on success, 1 on fatal errors, 2 on usage errors,\n"
@@ -58,6 +62,7 @@ int main(int argc, char** argv) {
   CampaignOptions options;
   std::vector<std::string> source_names;
   std::string format = "json";
+  std::string trace_out;
   bool timings = false;
   bool emulate = false;
 
@@ -109,6 +114,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--cache-max-bytes") == 0) {
       options.cache_max_bytes =
           std::strtoull(need_value(i, "--cache-max-bytes"), nullptr, 10);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_out = need_value(i, "--trace-out");
     } else if (std::strcmp(arg, "--list-sources") == 0) {
       for (const std::string& name : builtin_source_names()) {
         std::printf("%s\n", name.c_str());
@@ -133,6 +140,8 @@ int main(int argc, char** argv) {
     source_names = builtin_source_names();
   }
 
+  fsr::obs::Tracer tracer;
+  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
   try {
     std::vector<std::unique_ptr<ScenarioSource>> sources;
     sources.reserve(source_names.size());
@@ -142,6 +151,17 @@ int main(int argc, char** argv) {
 
     CampaignRunner runner(options);
     const CampaignReport report = runner.run(sources);
+    if (!trace_out.empty()) {
+      // The runner's service (and its span-recording workers) is gone once
+      // run() returns; write the trace before rendering so a render error
+      // cannot lose it.
+      fsr::obs::install_tracer(nullptr);
+      if (!tracer.write(trace_out)) {
+        std::fprintf(stderr, "fsr_campaign: cannot write trace to '%s'\n",
+                     trace_out.c_str());
+        return 1;
+      }
+    }
 
     if (format == "table") {
       std::fputs(render_table(report).c_str(), stdout);

@@ -316,7 +316,18 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
       first = false;
       out += std::to_string(count);
     }
-    out += "], \"slowest\": [";
+    out += "], \"effort\": {\"sat_queries\": " +
+           std::to_string(report.effort.sat_queries) +
+           ", \"sat_conflicts\": " +
+           std::to_string(report.effort.sat_conflicts) +
+           ", \"sat_decisions\": " +
+           std::to_string(report.effort.sat_decisions) +
+           ", \"sat_propagations\": " +
+           std::to_string(report.effort.sat_propagations) +
+           ", \"smt_checks\": " + std::to_string(report.effort.smt_checks) +
+           ", \"repair_solver_checks\": " +
+           std::to_string(report.effort.repair_solver_checks) + "}";
+    out += ", \"slowest\": [";
     first = true;
     for (const std::size_t index : report.slowest()) {
       if (!first) out += ", ";

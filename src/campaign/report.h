@@ -58,6 +58,19 @@ struct CoreConstraintCount {
   std::size_t count = 0;    // scenarios whose failing core contains it
 };
 
+/// Solver-effort registry deltas captured around one campaign run — how
+/// much CDCL/SMT work the run actually bought. Execution provenance like
+/// wall clocks (warm sessions carry learned clauses across requests), so
+/// it renders only under JsonOptions.include_timings.
+struct SolverEffort {
+  std::uint64_t sat_queries = 0;
+  std::uint64_t sat_conflicts = 0;
+  std::uint64_t sat_decisions = 0;
+  std::uint64_t sat_propagations = 0;
+  std::uint64_t smt_checks = 0;
+  std::uint64_t repair_solver_checks = 0;
+};
+
 struct CampaignReport {
   std::uint64_t campaign_seed = 0;
   int threads = 1;  // wall-clock-affecting only; excluded from default JSON
@@ -66,6 +79,7 @@ struct CampaignReport {
   std::size_t deduplicated_count = 0;
   std::size_t cache_hit_count = 0;
   double total_wall_ms = 0.0;
+  SolverEffort effort;
 
   /// Verdict counts per source, in first-appearance order.
   std::vector<std::pair<std::string, SourceSummary>> per_source() const;

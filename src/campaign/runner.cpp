@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "api/service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spp/translate.h"
 #include "util/error.h"
 
@@ -83,6 +85,31 @@ CampaignReport CampaignRunner::run(
 }
 
 CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
+  obs::Span span("campaign.run");
+  span.arg("scenarios", scenarios.size());
+  // Solver-effort provenance: registry deltas around the whole run. The
+  // registry is process-global, so a campaign sharing its process with
+  // other concurrent work would fold that work in — the CLIs run one
+  // campaign per process, which is the supported reading.
+  struct EffortFloor {
+    obs::Counter& sat_queries = obs::registry().counter("sat.queries");
+    obs::Counter& sat_conflicts = obs::registry().counter("sat.conflicts");
+    obs::Counter& sat_decisions = obs::registry().counter("sat.decisions");
+    obs::Counter& sat_propagations =
+        obs::registry().counter("sat.propagations");
+    obs::Counter& smt_checks = obs::registry().counter("smt.checks");
+    obs::Counter& repair_checks =
+        obs::registry().counter("repair.solver_checks");
+  };
+  static EffortFloor counters;
+  SolverEffort floor;
+  floor.sat_queries = counters.sat_queries.value();
+  floor.sat_conflicts = counters.sat_conflicts.value();
+  floor.sat_decisions = counters.sat_decisions.value();
+  floor.sat_propagations = counters.sat_propagations.value();
+  floor.smt_checks = counters.smt_checks.value();
+  floor.repair_solver_checks = counters.repair_checks.value();
+
   CampaignReport report;
   report.campaign_seed = options_.seed;
   report.threads = options_.threads;
@@ -231,6 +258,36 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
       report.results[i].outcome = report.results[representative[i]].outcome;
     }
   }
+
+  report.effort.sat_queries = counters.sat_queries.value() - floor.sat_queries;
+  report.effort.sat_conflicts =
+      counters.sat_conflicts.value() - floor.sat_conflicts;
+  report.effort.sat_decisions =
+      counters.sat_decisions.value() - floor.sat_decisions;
+  report.effort.sat_propagations =
+      counters.sat_propagations.value() - floor.sat_propagations;
+  report.effort.smt_checks = counters.smt_checks.value() - floor.smt_checks;
+  report.effort.repair_solver_checks =
+      counters.repair_checks.value() - floor.repair_solver_checks;
+
+  static obs::Counter& scenario_counter =
+      obs::registry().counter("campaign.scenarios");
+  static obs::Counter& solved_counter =
+      obs::registry().counter("campaign.solved");
+  static obs::Counter& dedup_counter =
+      obs::registry().counter("campaign.deduplicated");
+  static obs::Counter& cache_hit_counter =
+      obs::registry().counter("campaign.cache_hits");
+  scenario_counter.add(scenarios.size());
+  solved_counter.add(report.solved_count);
+  dedup_counter.add(report.deduplicated_count);
+  cache_hit_counter.add(report.cache_hit_count);
+
+  span.arg("solved", report.solved_count);
+  span.arg("cache_hits", report.cache_hit_count);
+  span.arg("deduplicated", report.deduplicated_count);
+  span.arg("smt_checks", report.effort.smt_checks);
+  span.arg("sat_conflicts", report.effort.sat_conflicts);
   return report;
 }
 

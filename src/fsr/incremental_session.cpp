@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/sexpr.h"
 #include "smt/yices_frontend.h"
 #include "util/error.h"
@@ -83,6 +85,11 @@ bool IncrementalSafetySession::is_variable(std::size_t index) const {
 IncrementalSafetySession::Result IncrementalSafetySession::check(
     const std::vector<std::size_t>& keep, const std::vector<Extra>& extras) {
   ++checks_;
+  static obs::Counter& check_counter = obs::registry().counter("smt.checks");
+  check_counter.add(1);
+  obs::Span span("smt.check");
+  span.arg("keep", keep.size());
+  span.arg("extras", extras.size());
   std::vector<smt::AssertionId> kept_ids;
   kept_ids.reserve(keep.size());
   for (const std::size_t index : keep) {

@@ -4,6 +4,8 @@
 
 #include "fsr/constraint_encoder.h"
 #include "fsr/incremental_session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/yices_frontend.h"
 #include "util/error.h"
 
@@ -108,6 +110,11 @@ MonotonicityReport SafetyAnalyzer::check_monotonicity(
 
 SafetyReport SafetyAnalyzer::analyze(
     const algebra::RoutingAlgebra& algebra) const {
+  static obs::Counter& analyze_counter =
+      obs::registry().counter("safety.analyses");
+  analyze_counter.add(1);
+  obs::Span span("safety.analyze");
+  span.arg("algebra", algebra.name());
   SafetyReport report;
   const std::vector<const algebra::RoutingAlgebra*> factors =
       algebra.lexical_factors();

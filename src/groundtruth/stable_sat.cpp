@@ -6,9 +6,51 @@
 #include <set>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fsr::groundtruth {
+
+namespace {
+
+// Registry handles resolved once; per-query flushes below are a handful of
+// relaxed atomic adds at query END — the CDCL inner loops keep their own
+// cheap counters and never touch the registry.
+struct SatMetrics {
+  obs::Counter& queries = obs::registry().counter("sat.queries");
+  obs::Counter& conflicts = obs::registry().counter("sat.conflicts");
+  obs::Counter& decisions = obs::registry().counter("sat.decisions");
+  obs::Counter& propagations = obs::registry().counter("sat.propagations");
+  obs::Counter& learned = obs::registry().counter("sat.learned_clauses");
+  obs::Counter& restarts = obs::registry().counter("sat.restarts");
+  obs::Counter& groups_encoded = obs::registry().counter("sat.groups_encoded");
+  obs::Counter& group_cache_hits =
+      obs::registry().counter("sat.group_cache_hits");
+};
+
+SatMetrics& sat_metrics() {
+  static SatMetrics metrics;
+  return metrics;
+}
+
+void flush_search_effort(const StableSearchStats& stats,
+                         std::uint64_t restarts, obs::Span& span) {
+  SatMetrics& metrics = sat_metrics();
+  metrics.queries.add(1);
+  metrics.conflicts.add(stats.conflicts);
+  metrics.decisions.add(stats.decisions);
+  metrics.propagations.add(stats.propagations);
+  metrics.learned.add(stats.learned_clauses);
+  metrics.restarts.add(restarts);
+  span.arg("conflicts", stats.conflicts);
+  span.arg("decisions", stats.decisions);
+  span.arg("propagations", stats.propagations);
+  span.arg("learned_clauses", stats.learned_clauses);
+  span.arg("restarts", restarts);
+}
+
+}  // namespace
 
 const char* to_string(BudgetStop stop) noexcept {
   switch (stop) {
@@ -187,6 +229,8 @@ std::vector<Lit> blocking_clause(const Encoding& encoding) {
 StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
                                             std::size_t max_solutions,
                                             std::uint64_t max_conflicts) {
+  obs::Span span("sat.solve_scratch");
+  span.arg("instance", instance.name());
   StableSearchResult result;
   if (instance.nodes().empty()) {
     result.decided = true;
@@ -245,6 +289,7 @@ StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
   result.stats.decisions = encoding.solver.decisions();
   result.stats.propagations = encoding.solver.propagations();
   result.stats.learned_clauses = encoding.solver.learned_clauses();
+  flush_search_effort(result.stats, encoding.solver.restarts(), span);
   return result;
 }
 
@@ -423,6 +468,11 @@ StableSearchResult StableSatSession::analyze(
     const std::vector<RankingDelta>& deltas, std::size_t max_solutions,
     std::uint64_t max_conflicts) {
   ++stats_.queries;
+  obs::Span span("sat.analyze");
+  span.arg("deltas", deltas.size());
+  const std::uint64_t restart_floor = solver_.restarts();
+  const std::uint64_t groups_floor = stats_.groups_encoded;
+  const std::uint64_t group_hits_floor = stats_.group_cache_hits;
   StableSearchResult result;
   if (nodes_.empty()) {
     result.decided = true;
@@ -563,6 +613,10 @@ StableSearchResult StableSatSession::analyze(
   result.stats.decisions = solver_.decisions() - decision_floor;
   result.stats.propagations = solver_.propagations() - propagation_floor;
   result.stats.learned_clauses = solver_.learned_clauses() - learned_floor;
+  flush_search_effort(result.stats, solver_.restarts() - restart_floor, span);
+  sat_metrics().groups_encoded.add(stats_.groups_encoded - groups_floor);
+  sat_metrics().group_cache_hits.add(stats_.group_cache_hits -
+                                     group_hits_floor);
   return result;
 }
 

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsr::obs {
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  std::size_t b = 0;
+  while (b + 1 < k_buckets && (1ull << b) < sample) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::int64_t MetricsSnapshot::value(const std::string& name) const noexcept {
+  for (const MetricValue& metric : metrics) {
+    if (metric.name == name) return metric.value;
+  }
+  return 0;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricValue& metric : snapshot.metrics) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << metric.name << "\": ";
+    if (metric.kind == MetricValue::Kind::histogram) {
+      out << "{\"count\": " << metric.count << ", \"sum\": " << metric.sum
+          << ", \"buckets\": [";
+      for (std::size_t b = 0; b < metric.buckets.size(); ++b) {
+        if (b) out << ", ";
+        out << metric.buckets[b];
+      }
+      out << "]}";
+    } else {
+      out << metric.value;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+namespace {
+
+// Instruments are stored through unique_ptr so references handed out stay
+// stable while the map rebalances; entries are never erased.
+struct Instrument {
+  MetricValue::Kind kind = MetricValue::Kind::counter;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  std::mutex mutex;
+  std::map<std::string, Instrument> instruments;
+};
+
+Registry::Impl& Registry::impl() const {
+  // Leaked on purpose: instruments must outlive every static-destruction
+  // order; the registry is process-global state like the C runtime's.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  Instrument& slot = state.instruments[name];
+  if (slot.counter == nullptr) {
+    if (slot.gauge != nullptr || slot.histogram != nullptr) {
+      throw std::logic_error("obs: '" + name +
+                             "' already registered with another kind");
+    }
+    slot.kind = MetricValue::Kind::counter;
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  Instrument& slot = state.instruments[name];
+  if (slot.gauge == nullptr) {
+    if (slot.counter != nullptr || slot.histogram != nullptr) {
+      throw std::logic_error("obs: '" + name +
+                             "' already registered with another kind");
+    }
+    slot.kind = MetricValue::Kind::gauge;
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  Instrument& slot = state.instruments[name];
+  if (slot.histogram == nullptr) {
+    if (slot.counter != nullptr || slot.gauge != nullptr) {
+      throw std::logic_error("obs: '" + name +
+                             "' already registered with another kind");
+    }
+    slot.kind = MetricValue::Kind::histogram;
+    slot.histogram = std::make_unique<Histogram>();
+  }
+  return *slot.histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(state.instruments.size());
+  for (const auto& [name, slot] : state.instruments) {
+    MetricValue value;
+    value.name = name;
+    value.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricValue::Kind::counter:
+        value.value = static_cast<std::int64_t>(slot.counter->value());
+        break;
+      case MetricValue::Kind::gauge:
+        value.value = slot.gauge->value();
+        break;
+      case MetricValue::Kind::histogram: {
+        value.count = slot.histogram->count();
+        value.sum = slot.histogram->sum();
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < Histogram::k_buckets; ++b) {
+          if (slot.histogram->bucket(b) != 0) last = b + 1;
+        }
+        value.buckets.reserve(last);
+        for (std::size_t b = 0; b < last; ++b) {
+          value.buckets.push_back(slot.histogram->bucket(b));
+        }
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,140 @@
+// Process-wide metrics registry: named counters, gauges, and power-of-two
+// histograms shared by every subsystem (api, campaign, repair, groundtruth,
+// smt) so there is ONE source of truth for "what did the toolkit do".
+//
+// Design contract:
+//   * Registration (registry().counter("sat.conflicts")) takes a mutex and
+//     returns a STABLE reference — instruments are never destroyed for the
+//     life of the process, so callers register once (typically a
+//     function-local static or a member handle) and the hot path is a
+//     single relaxed atomic add: lock-free, no allocation, wait-free.
+//   * Snapshots are deterministic: instruments are keyed by name in an
+//     ordered map, so snapshot()/to_json render in one canonical order
+//     regardless of registration interleaving across threads.
+//   * Metrics never feed back into analysis results. Deterministic outputs
+//     (wire responses, campaign reports, repair JSON) remain pure functions
+//     of (request, options, seed); registry values only surface through
+//     explicitly live channels (the `stats` request kind) or timings-gated
+//     provenance. Tests therefore assert DELTAS or schema, never absolute
+//     process totals.
+//
+// Instrumentation guidelines (for new subsystems):
+//   * Count at boundaries, not in inner loops. The CDCL solver keeps its
+//     own cheap counters; sessions flush per-query deltas to the registry
+//     when a query ends. An increment per propagation would be measurable;
+//     an increment per query is free.
+//   * Name instruments "<subsystem>.<what>" (e.g. "sat.conflicts",
+//     "session_cache.hits"); dots group related metrics in snapshots.
+//   * Prefer counters (monotone) over gauges; histograms are for
+//     durations/sizes where the shape matters (power-of-two buckets match
+//     the campaign report's latency histogram).
+#ifndef FSR_OBS_METRICS_H
+#define FSR_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsr::obs {
+
+/// Monotone event count. Hot-path add is one relaxed atomic fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (bytes held, entries resident). May go down.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two histogram: bucket b counts samples in (2^(b-1), 2^b], with
+/// bucket 0 holding zeros and ones. Same shape as the campaign report's
+/// latency histogram, so traces and reports read the same way.
+class Histogram {
+ public:
+  static constexpr std::size_t k_buckets = 40;
+
+  void record(std::uint64_t sample) noexcept;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> buckets_[k_buckets] = {};
+};
+
+/// One instrument's state at snapshot time, already ordered by name.
+struct MetricValue {
+  std::string name;
+  enum class Kind { counter, gauge, histogram } kind = Kind::counter;
+  std::int64_t value = 0;       // counter/gauge
+  std::uint64_t count = 0;      // histogram
+  std::uint64_t sum = 0;        // histogram
+  std::vector<std::uint64_t> buckets;  // histogram, trailing zeros trimmed
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;  // sorted by name
+
+  /// Value of a counter/gauge by name (0 when absent) — test convenience.
+  std::int64_t value(const std::string& name) const noexcept;
+};
+
+/// Deterministic JSON rendering: one object, keys in sorted name order.
+/// Counters/gauges render as integers; histograms as
+/// {"count": N, "sum": S, "buckets": [...]}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+class Registry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The reference is stable for the process lifetime. Registering
+  /// the same name with a different instrument kind throws
+  /// std::logic_error — names are a global namespace.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry every subsystem shares.
+Registry& registry();
+
+}  // namespace fsr::obs
+
+#endif  // FSR_OBS_METRICS_H

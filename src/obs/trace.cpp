@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fsr::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+std::uint32_t this_thread_tid() {
+  // Dense per-process thread ids (0, 1, 2, ...) so traces are small and
+  // stable-looking; assigned in first-span order per thread.
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+void append_escaped(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                     return a.dur_us > b.dur_us;  // parents before children
+                   });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": ";
+    append_escaped(out, event.name);
+    out << ", \"cat\": \"fsr\", \"ph\": \"X\", \"ts\": " << event.start_us
+        << ", \"dur\": " << event.dur_us << ", \"pid\": 1, \"tid\": "
+        << event.tid;
+    if (!event.args.empty()) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : event.args) {
+        if (!first_arg) out << ", ";
+        first_arg = false;
+        append_escaped(out, key);
+        out << ": " << value;  // values are pre-rendered JSON scalars
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
+  return std::fclose(file) == 0 && ok;
+}
+
+void install_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* tracer() noexcept {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+Span::Span(const char* name) : tracer_(obs::tracer()) {
+  if (tracer_ == nullptr) return;
+  event_.name = name;
+  event_.tid = this_thread_tid();
+  event_.start_us = tracer_->now_us();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end = tracer_->now_us();
+  event_.dur_us = end > event_.start_us ? end - event_.start_us : 0;
+  tracer_->record(std::move(event_));
+}
+
+void Span::arg(const char* key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  std::ostringstream rendered;
+  append_escaped(rendered, value);
+  event_.args.emplace_back(key, rendered.str());
+}
+
+void Span::arg(const char* key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, bool value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(key, value ? "true" : "false");
+}
+
+}  // namespace fsr::obs

@@ -23,6 +23,7 @@
 #include "api/service.h"
 #include "campaign/scenario_source.h"
 #include "groundtruth/engine.h"
+#include "obs/trace.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
 #include "util/error.h"
@@ -50,6 +51,9 @@ void print_usage() {
       "  --from-scratch   disable incremental solving (ablation)\n"
       "  --scratch-oracle re-encode every candidate's oracle query from\n"
       "                   scratch instead of the shared session (ablation)\n"
+      "  --trace-out FILE write a Chrome trace_event JSON of the run\n"
+      "                   (load in about:tracing or ui.perfetto.dev);\n"
+      "                   report bytes are unaffected\n"
       "  --json           machine-readable JSON report array (the default)\n"
       "  --table          human-readable tables, timings included\n"
       "  --format F       compat alias: json | text\n"
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   int random_count = 0;
   std::uint64_t seed = 1;
   std::string format = "json";
+  std::string trace_out;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -127,6 +132,8 @@ int main(int argc, char** argv) {
       options.use_incremental = false;
     } else if (std::strcmp(arg, "--scratch-oracle") == 0) {
       options.use_incremental_oracle = false;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      trace_out = need_value(i, "--trace-out");
     } else if (std::strcmp(arg, "--json") == 0) {
       format = "json";
     } else if (std::strcmp(arg, "--table") == 0) {
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
     gadgets = {"bad", "disagree", "ibgp-figure3"};
   }
 
+  fsr::obs::Tracer tracer;
+  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
   try {
     std::vector<fsr::spp::SppInstance> instances;
     for (const std::string& name : gadgets) {
@@ -199,6 +208,15 @@ int main(int argc, char** argv) {
       first = false;
     }
     if (format == "json") std::printf("]\n");
+    if (!trace_out.empty()) {
+      // Every future resolved above, so all spans are recorded.
+      fsr::obs::install_tracer(nullptr);
+      if (!tracer.write(trace_out)) {
+        std::fprintf(stderr, "fsr_repair: cannot write trace to '%s'\n",
+                     trace_out.c_str());
+        return 1;
+      }
+    }
     if (any_error) return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fsr_repair: %s\n", error.what());

@@ -9,6 +9,8 @@
 
 #include "fsr/incremental_session.h"
 #include "groundtruth/stable_sat.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spp/translate.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -105,6 +107,12 @@ class Search {
         seed_(seed),
         spec_(spp::algebra_from_spp(instance)->symbolic()),
         gate_(sessions.strict_gate) {
+    // Snapshot the borrowed gate's lifetime counter NOW so every gate
+    // query this run issues — however many future search shapes need — is
+    // counted as a delta, exactly like the oracle stats below. A
+    // hand-maintained "+1 per call site" drifts the moment a second call
+    // site appears; a baseline cannot.
+    if (gate_ != nullptr) gate_checks_base_ = gate_->check_count();
     // A borrowed oracle only applies to the configuration that would build
     // one (the persistent sat-search session); any other oracle choice
     // ignores the loan so the ablation paths stay exactly what they claim.
@@ -146,7 +154,6 @@ class Search {
   }
 
   RepairReport run() {
-    const auto start = std::chrono::steady_clock::now();
     RepairReport report;
     report.instance = instance_.name();
     report.ground_truth_mode = options_.ground_truth;
@@ -158,13 +165,12 @@ class Search {
       // session's first check would report — and it still counts as one
       // solver check, exactly as the self-built initial check did.
       initial = gate_->check({});
-      ++borrowed_checks_;
     } else {
       initial = search_session().check({});
     }
     if (initial.holds) {
       report.already_safe = true;
-      finish(report, start);
+      finish(report);
       return report;
     }
     note_core(initial.core);
@@ -177,6 +183,11 @@ class Search {
         expand({}, edit_pool(initial.core, {}), visited);
     for (std::size_t depth = 1;
          depth <= options_.max_edits && !frontier.empty(); ++depth) {
+      obs::Span depth_span("repair.depth");
+      depth_span.arg("depth", depth);
+      depth_span.arg("frontier", frontier.size());
+      const std::size_t candidates_floor = report.candidates_checked;
+      const std::size_t pruned_floor = report.beam_pruned;
       premark(frontier);
       std::vector<SearchState> next;
       for (const SearchState& state : frontier) {
@@ -197,17 +208,21 @@ class Search {
           }
         }
       }
+      depth_span.arg("validated", report.candidates_checked - candidates_floor);
+      depth_span.arg("generated", next.size());
+      depth_span.arg("repairs", report.repairs.size());
       // All states of the minimal successful depth were evaluated before
       // stopping, so `repairs` holds every minimal fix the budget allowed.
       if (!report.repairs.empty() || report.budget_exhausted) break;
       if (options_.beam_width > 0 && next.size() > options_.beam_width) {
         next = prune_frontier(std::move(next), report);
       }
+      depth_span.arg("pruned", report.beam_pruned - pruned_floor);
       frontier = std::move(next);
     }
 
     rank(report.repairs);
-    finish(report, start);
+    finish(report);
     return report;
   }
 
@@ -251,12 +266,13 @@ class Search {
   /// max_checks budget and the report count, exactly as when every check
   /// ran on one self-built session.
   std::uint64_t solver_checks() const noexcept {
-    return borrowed_checks_ +
+    const std::uint64_t gate_checks =
+        gate_ != nullptr ? gate_->check_count() - gate_checks_base_ : 0;
+    return gate_checks +
            (own_session_.has_value() ? own_session_->check_count() : 0);
   }
 
-  void finish(RepairReport& report,
-              std::chrono::steady_clock::time_point start) {
+  void finish(RepairReport& report) {
     report.solver_checks = static_cast<std::size_t>(solver_checks());
     report.cores_seen = cores_seen_.size();
     report.engine_rebuilds =
@@ -271,9 +287,10 @@ class Search {
       report.oracle_cache_hits =
           stats.group_cache_hits - oracle_stats_base_.group_cache_hits;
     }
-    report.wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+    // wall_ms is set by RepairEngine::repair around the WHOLE Search
+    // lifetime: the constructor does real work (spec translation, path
+    // interning, session construction when nothing was lent), so timing
+    // run() alone understated self-built runs relative to borrowed ones.
   }
 
   /// Beam pruning: keep the beam_width states whose edits were most often
@@ -693,7 +710,7 @@ class Search {
   // until a candidate actually needs a re-check.
   IncrementalSafetySession* gate_ = nullptr;
   std::optional<IncrementalSafetySession> own_session_;
-  std::uint64_t borrowed_checks_ = 0;  // gate queries, counted in the report
+  std::uint64_t gate_checks_base_ = 0;  // gate check_count() at borrow time
   // Exactly one oracle path materialises at the first solver-safe
   // candidate: the persistent incremental session (default sat-search;
   // borrowed from RepairSessions when lent, else built lazily) or the
@@ -739,8 +756,45 @@ std::string RepairCandidate::describe() const { return edits_key(edits); }
 RepairReport RepairEngine::repair(const spp::SppInstance& instance,
                                   std::uint64_t seed,
                                   const RepairSessions& sessions) const {
-  Search search(instance, options_, seed, sessions);
-  return search.run();
+  obs::Span span("repair.run");
+  span.arg("instance", instance.name());
+  const auto start = std::chrono::steady_clock::now();
+  RepairReport report;
+  {
+    Search search(instance, options_, seed, sessions);
+    report = search.run();
+  }
+  // Time the whole Search lifetime so borrowed-session runs (construction
+  // nearly free) and self-built runs (construction pays translation +
+  // session setup) report comparable per-run wall clocks.
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  struct RepairMetrics {
+    obs::Counter& runs = obs::registry().counter("repair.runs");
+    obs::Counter& candidates =
+        obs::registry().counter("repair.candidates_checked");
+    obs::Counter& checks = obs::registry().counter("repair.solver_checks");
+    obs::Counter& cores = obs::registry().counter("repair.cores_seen");
+    obs::Counter& pruned = obs::registry().counter("repair.beam_pruned");
+    obs::Counter& oracle_queries =
+        obs::registry().counter("repair.oracle_queries");
+    obs::Counter& repaired = obs::registry().counter("repair.repaired");
+  };
+  static RepairMetrics metrics;
+  metrics.runs.add(1);
+  metrics.candidates.add(report.candidates_checked);
+  metrics.checks.add(report.solver_checks);
+  metrics.cores.add(report.cores_seen);
+  metrics.pruned.add(report.beam_pruned);
+  metrics.oracle_queries.add(report.oracle_queries);
+  if (report.repaired()) metrics.repaired.add(1);
+
+  span.arg("solver_checks", report.solver_checks);
+  span.arg("candidates_checked", report.candidates_checked);
+  span.arg("repaired", report.repaired());
+  return report;
 }
 
 RepairSummary summarize(const RepairReport& report) {

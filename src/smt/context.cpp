@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
 #include "smt/linear.h"
 #include "util/error.h"
 
@@ -391,6 +392,9 @@ void Context::sync_engine_base() {
   }
   if (!reuse) {
     ++stat_engine_rebuilds_;
+    static obs::Counter& rebuild_counter =
+        obs::registry().counter("smt.engine_rebuilds");
+    rebuild_counter.add(1);
     engine_.emplace(1);
     engine_base_ids_.clear();
     engine_variable_count_ = 0;

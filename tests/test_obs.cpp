@@ -1,0 +1,162 @@
+// Tests for fsr::obs: registry semantics (stable handles, kind conflicts,
+// deterministic snapshots), histogram bucketing, tracer span recording and
+// Chrome trace_event rendering, and the no-tracer-no-overhead contract.
+//
+// The registry is PROCESS-GLOBAL and other suites (and instrumented
+// subsystems) also write to it, so everything here asserts deltas against
+// freshly captured floors or uses test-unique instrument names — never
+// absolute process totals.
+//
+// Runs under the `fast` ctest label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fsr::obs {
+namespace {
+
+TEST(Metrics, CounterHandleIsStableAndShared) {
+  Counter& a = registry().counter("test_obs.counter_stable");
+  Counter& b = registry().counter("test_obs.counter_stable");
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t floor = a.value();
+  b.add(3);
+  a.add();
+  EXPECT_EQ(a.value(), floor + 4);
+}
+
+TEST(Metrics, KindConflictThrows) {
+  registry().counter("test_obs.kind_conflict");
+  EXPECT_THROW(registry().gauge("test_obs.kind_conflict"), std::logic_error);
+  EXPECT_THROW(registry().histogram("test_obs.kind_conflict"),
+               std::logic_error);
+}
+
+TEST(Metrics, GaugeSetsAndAdds) {
+  Gauge& gauge = registry().gauge("test_obs.gauge");
+  gauge.set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.add(-50);
+  EXPECT_EQ(gauge.value(), -8);
+}
+
+TEST(Metrics, HistogramPowerOfTwoBuckets) {
+  Histogram& hist = registry().histogram("test_obs.histogram");
+  const std::uint64_t count_floor = hist.count();
+  const std::uint64_t sum_floor = hist.sum();
+  // Bucket b counts samples in (2^(b-1), 2^b]; zeros and ones land in 0.
+  const std::uint64_t b0 = hist.bucket(0), b1 = hist.bucket(1),
+                      b2 = hist.bucket(2), b3 = hist.bucket(3);
+  hist.record(0);
+  hist.record(1);
+  hist.record(2);
+  hist.record(3);
+  hist.record(8);
+  EXPECT_EQ(hist.count(), count_floor + 5);
+  EXPECT_EQ(hist.sum(), sum_floor + 14);
+  EXPECT_EQ(hist.bucket(0), b0 + 2);  // 0, 1
+  EXPECT_EQ(hist.bucket(1), b1 + 1);  // 2
+  EXPECT_EQ(hist.bucket(2), b2 + 1);  // 3
+  EXPECT_EQ(hist.bucket(3), b3 + 1);  // 8
+}
+
+TEST(Metrics, SnapshotIsSortedByNameAndRendersCanonicalJson) {
+  registry().counter("test_obs.zz_last").add(1);
+  registry().counter("test_obs.aa_first").add(2);
+  const MetricsSnapshot snapshot = registry().snapshot();
+  ASSERT_GE(snapshot.metrics.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.metrics.size(); ++i) {
+    EXPECT_LT(snapshot.metrics[i - 1].name, snapshot.metrics[i].name);
+  }
+  // The JSON must parse and carry every instrument as a key.
+  const std::string json = to_json(snapshot);
+  const api::json::Value parsed = api::json::parse(json);
+  EXPECT_NE(parsed.find("test_obs.zz_last"), nullptr);
+  EXPECT_NE(parsed.find("test_obs.aa_first"), nullptr);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless) {
+  Counter& counter = registry().counter("test_obs.concurrent");
+  const std::uint64_t floor = counter.value();
+  constexpr int k_threads = 8;
+  constexpr int k_adds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&counter]() {
+      for (int i = 0; i < k_adds; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), floor + k_threads * k_adds);
+}
+
+TEST(Trace, SpanIsNoOpWithoutTracer) {
+  ASSERT_EQ(tracer(), nullptr);  // suites must not leak an installed tracer
+  Span span("test_obs.should_not_record");
+  EXPECT_FALSE(span.active());
+  span.arg("ignored", std::uint64_t{1});  // must not crash
+}
+
+TEST(Trace, SpansRecordWithArgsAndNesting) {
+  Tracer local;
+  install_tracer(&local);
+  {
+    Span outer("test_obs.outer");
+    outer.arg("label", std::string("a\"b"));  // exercises escaping
+    {
+      Span inner("test_obs.inner");
+      inner.arg("n", std::uint64_t{7});
+      inner.arg("flag", true);
+    }
+  }
+  install_tracer(nullptr);
+  EXPECT_EQ(local.event_count(), 2u);
+
+  const std::string json = local.chrome_trace_json();
+  const api::json::Value parsed = api::json::parse(json);
+  const api::json::Value* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const auto& list = events->as_array("traceEvents");
+  ASSERT_EQ(list.size(), 2u);
+  // Same thread, RAII scoping: the outer span must contain the inner.
+  std::uint64_t outer_start = 0, outer_end = 0, inner_start = 0, inner_end = 0;
+  for (const api::json::Value& event : list) {
+    const std::string name = event.find("name")->as_string("name");
+    const std::uint64_t ts = event.find("ts")->as_u64("ts");
+    const std::uint64_t dur = event.find("dur")->as_u64("dur");
+    EXPECT_EQ(event.find("ph")->as_string("ph"), "X");
+    if (name == "test_obs.outer") {
+      outer_start = ts;
+      outer_end = ts + dur;
+      EXPECT_EQ(event.find("args")->find("label")->as_string("label"), "a\"b");
+    } else {
+      EXPECT_EQ(name, "test_obs.inner");
+      inner_start = ts;
+      inner_end = ts + dur;
+      EXPECT_EQ(event.find("args")->find("n")->as_u64("n"), 7u);
+    }
+  }
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(Trace, SpanBoundAtConstructionSurvivesUninstall) {
+  // A span holds the tracer it saw at construction: uninstalling mid-span
+  // must neither drop the event nor crash.
+  Tracer local;
+  install_tracer(&local);
+  {
+    Span span("test_obs.mid_uninstall");
+    install_tracer(nullptr);
+  }
+  EXPECT_EQ(local.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace fsr::obs

@@ -18,6 +18,7 @@
 #include "api/wire.h"
 #include "fsr/incremental_session.h"
 #include "groundtruth/stable_sat.h"
+#include "obs/trace.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
 #include "spp/translate.h"
@@ -65,7 +66,7 @@ std::string deterministic_bytes(Response response) {
 TEST(Request, KindsRoundTripTheirWireNames) {
   for (const RequestKind kind :
        {RequestKind::analyze_safety, RequestKind::ground_truth,
-        RequestKind::repair, RequestKind::emulate}) {
+        RequestKind::repair, RequestKind::emulate, RequestKind::stats}) {
     EXPECT_EQ(parse_request_kind(to_string(kind)), kind);
   }
   EXPECT_FALSE(parse_request_kind("nonsense").has_value());
@@ -410,6 +411,162 @@ TEST(Service, BatchRunReturnsResponsesInSubmissionOrder) {
   const std::vector<Response> responses = service.run(mixed_batch());
   for (std::size_t i = 0; i < responses.size(); ++i) {
     EXPECT_EQ(responses[i].id, i);
+  }
+}
+
+// ------------------------------------------------------- observability --
+
+TEST(Wire, StatsRequestIsPayloadFreeAndFingerprintless) {
+  const Request request = wire::parse_request("{\"kind\": \"stats\"}");
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(request));
+  EXPECT_EQ(fingerprint(request), "");
+  // A payload on a stats line is a schema violation, not silently ignored.
+  EXPECT_THROW(
+      wire::parse_request("{\"kind\": \"stats\", \"gadget\": \"bad\"}"),
+      InvalidArgument);
+}
+
+TEST(Service, StatsRequestAnswersTheGoldenSchema) {
+  AnalysisService service;
+  service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+  service.call(RepairRequest{shared_gadget("bad"), 7});
+  const Response response = service.call(StatsRequest{});
+  EXPECT_TRUE(response.error.empty());
+  ASSERT_TRUE(response.stats.has_value());
+  EXPECT_EQ(response.fingerprint, "");
+
+  // The golden schema: values are live execution state, so the contract
+  // is the KEY SET and rendering shape, never the numbers.
+  const std::string line = wire::render_response(response);
+  const json::Value parsed = json::parse(line);
+  EXPECT_EQ(parsed.find("kind")->as_string("kind"), "stats");
+  const json::Value* stats = parsed.find("stats");
+  ASSERT_NE(stats, nullptr);
+  const json::Value* service_block = stats->find("service");
+  ASSERT_NE(service_block, nullptr);
+  for (const char* key : {"submitted", "completed", "errors", "warm_hits",
+                          "sessions_built", "sessions_evicted"}) {
+    EXPECT_NE(service_block->find(key), nullptr) << key;
+  }
+  const json::Value* metrics = stats->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // Spot-check the consolidated instruments the two calls above exercised.
+  for (const char* key :
+       {"service.requests.submitted", "service.requests.completed",
+        "session_cache.misses", "sat.queries", "sat.conflicts", "smt.checks",
+        "repair.runs", "repair.solver_checks"}) {
+    EXPECT_NE(metrics->find(key), nullptr) << key;
+  }
+
+  // The embedded service block is this service's own delta view: two
+  // analysis calls plus the stats call itself were submitted by now.
+  EXPECT_EQ(service_block->find("submitted")->as_u64("submitted"), 3u);
+  EXPECT_GE(metrics->find("sat.queries")->as_u64("sat.queries"), 1u);
+}
+
+TEST(Service, ServiceStatsAreRegistryDeltasPerInstance) {
+  // Two services used back-to-back must each report their own work even
+  // though both write the same process-wide instruments.
+  {
+    AnalysisService first;
+    first.call(GroundTruthRequest{shared_gadget("bad"), {}});
+    EXPECT_EQ(first.stats().submitted, 1u);
+    EXPECT_EQ(first.stats().completed, 1u);
+  }
+  AnalysisService second;
+  EXPECT_EQ(second.stats().submitted, 0u);
+  EXPECT_EQ(second.stats().completed, 0u);
+  second.call(GroundTruthRequest{shared_gadget("disagree"), {}});
+  const ServiceStats stats = second.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Service, ByteIdentityHoldsWithTracingOnAtPoolSizesOneAndEight) {
+  // The tentpole's hard contract: installing a tracer must not move one
+  // deterministic byte, at any pool size, against a tracing-off baseline.
+  const std::vector<Request> requests = mixed_batch();
+  std::vector<std::string> baseline;
+  {
+    AnalysisService service;  // tracing off, threads = 1
+    for (const Request& request : requests) {
+      baseline.push_back(deterministic_bytes(service.call(request)));
+    }
+  }
+
+  for (const int pool_size : {1, 8}) {
+    obs::Tracer tracer;
+    obs::install_tracer(&tracer);
+    ServiceOptions options;
+    options.threads = pool_size;
+    std::vector<Response> responses;
+    {
+      AnalysisService service(options);
+      responses = service.run(requests);
+    }
+    obs::install_tracer(nullptr);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(deterministic_bytes(responses[i]), baseline[i])
+          << "pool=" << pool_size << " request=" << i;
+    }
+    // The run actually traced: every request records at least its
+    // service.execute span.
+    EXPECT_GE(tracer.event_count(), requests.size());
+    const std::string trace = tracer.chrome_trace_json();
+    const json::Value parsed = json::parse(trace);
+    EXPECT_GE(parsed.find("traceEvents")->as_array("traceEvents").size(),
+              requests.size());
+  }
+}
+
+TEST(Service, RepairEffortDeltasAreExactInBorrowedAndSelfBuiltPaths) {
+  // The satellite bugfix, asserted directly on the report structs: per-run
+  // effort (solver checks, oracle session deltas) and per-run wall clocks
+  // must measure the same thing whether sessions were borrowed — cold or
+  // warm — or lazily self-built.
+  const repair::RepairEngine engine;
+  for (const char* name : {"good", "bad", "disagree", "bad-chain-4"}) {
+    const spp::SppInstance instance = spp::gadget_by_name(name);
+    const repair::RepairReport self_built = engine.repair(instance, 7);
+
+    IncrementalSafetySession::Options gate_options;
+    gate_options.extract_models = false;
+    IncrementalSafetySession gate(
+        spp::algebra_from_spp(instance)->symbolic(), MonotonicityMode::strict,
+        gate_options);
+    groundtruth::StableSatSession oracle(instance);
+    repair::RepairSessions sessions;
+    sessions.strict_gate = &gate;
+    sessions.oracle = &oracle;
+    const repair::RepairReport cold = engine.repair(instance, 7, sessions);
+    const repair::RepairReport warm = engine.repair(instance, 7, sessions);
+
+    for (const repair::RepairReport* borrowed : {&cold, &warm}) {
+      EXPECT_EQ(borrowed->solver_checks, self_built.solver_checks) << name;
+      EXPECT_EQ(borrowed->candidates_checked, self_built.candidates_checked)
+          << name;
+      EXPECT_EQ(borrowed->cores_seen, self_built.cores_seen) << name;
+      EXPECT_EQ(borrowed->oracle_queries, self_built.oracle_queries) << name;
+    }
+    // Oracle group effort: every run demands the same group set, so the
+    // encoded+cache-hit total is identical across borrowed runs no matter
+    // how warm the session is (the SPLIT is what warmth amortises). The
+    // self-built path additionally encodes the base instance inside its
+    // own delta window — strictly more work, never less.
+    EXPECT_EQ(cold.oracle_groups_encoded + cold.oracle_cache_hits,
+              warm.oracle_groups_encoded + warm.oracle_cache_hits)
+        << name;
+    EXPECT_GE(self_built.oracle_groups_encoded + self_built.oracle_cache_hits,
+              cold.oracle_groups_encoded + cold.oracle_cache_hits)
+        << name;
+    // Both paths time the whole repair call (setup included), so every
+    // run reports a positive wall clock — the self-built path used to
+    // drop its constructor work (spec translation, session builds) on
+    // the floor relative to the borrowed path.
+    EXPECT_GT(self_built.wall_ms, 0.0) << name;
+    EXPECT_GT(cold.wall_ms, 0.0) << name;
+    EXPECT_GT(warm.wall_ms, 0.0) << name;
   }
 }
 
