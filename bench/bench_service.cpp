@@ -29,7 +29,9 @@
 #include "api/service.h"
 #include "api/wire.h"
 #include "bench_util.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "spp/gadgets.h"
 
@@ -214,6 +216,42 @@ int main(int argc, char** argv) {
     bench::print_row({"trace off ms", "trace on ms", "overhead"}, 14);
     bench::print_row({fmt(off_ms), fmt(on_ms), fmt(overhead_pct, "%")}, 14);
     metrics["service_trace_overhead_pct"] = overhead_pct;
+  }
+
+  // ---- diagnostics overhead (informational, not gated) -------------------
+  // The full production-diagnostics stack at once: flight recorder
+  // installed, OpenMetrics file writer scraping every 100 ms, and the
+  // slow-request watchdog armed. Same contract as tracing: per-request cost
+  // is a handful of relaxed atomics plus one lock-free ring write, so the
+  // overhead on the warm hot-query stream should be noise.
+  {
+    AnalysisService service(warm_options);
+    service.run(query_stream());  // prime
+    const double off_ms = time_passes_ms(service, query_stream(), k_passes);
+    fsr::obs::FlightRecorder recorder(1024);
+    fsr::obs::install_recorder(&recorder);
+    const std::string metrics_path =
+        json_path.empty() ? "bench_service_metrics.prom.tmp-probe"
+                          : json_path + ".metrics.prom";
+    double on_ms = 0.0;
+    {
+      fsr::obs::MetricsFileWriter::Options writer_options;
+      writer_options.path = metrics_path;
+      writer_options.interval = std::chrono::milliseconds(100);
+      fsr::obs::MetricsFileWriter writer(writer_options);
+      on_ms = time_passes_ms(service, query_stream(), k_passes);
+    }
+    fsr::obs::install_recorder(nullptr);
+    std::remove(metrics_path.c_str());
+    const double overhead_pct = 100.0 * (on_ms / off_ms - 1.0);
+    bench::print_banner(
+        "diagnostics overhead: recorder + metrics writer, warm hot-query "
+        "stream");
+    bench::print_row({"diag off ms", "diag on ms", "overhead"}, 14);
+    bench::print_row({fmt(off_ms), fmt(on_ms), fmt(overhead_pct, "%")}, 14);
+    metrics["service_diagnostics_overhead_pct"] = overhead_pct;
+    metrics["service_recorder_events"] =
+        static_cast<double>(recorder.recorded());
   }
 
   // ---- pool scaling (informational, not gated) ---------------------------

@@ -23,12 +23,15 @@
 #include <deque>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "api/json.h"
 #include "api/service.h"
 #include "api/wire.h"
 #include "groundtruth/engine.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -50,6 +53,21 @@ void print_usage() {
       "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
       "                     (load in about:tracing or ui.perfetto.dev);\n"
       "                     response bytes are unaffected\n"
+      "  --metrics-out FILE rewrite FILE atomically with an OpenMetrics\n"
+      "                     snapshot of the obs registry, every\n"
+      "                     --metrics-interval-ms (default 1000) and once\n"
+      "                     at exit; scrape-ready, bytes unaffected\n"
+      "  --metrics-interval-ms N\n"
+      "                     snapshot period for --metrics-out\n"
+      "  --recorder N       install a flight recorder keeping the last N\n"
+      "                     events per thread (drained by the \"debug\"\n"
+      "                     request kind; 0 = off, the default)\n"
+      "  --crash-dump FILE  dump recorder events + a registry snapshot to\n"
+      "                     FILE on SIGSEGV/SIGABRT (then die) and on\n"
+      "                     SIGUSR1 (on demand, keep serving); implies\n"
+      "                     --recorder 1024 unless set explicitly\n"
+      "  --slow-ms N        slow-request watchdog threshold in ms\n"
+      "                     (fractional ok; default 1000; 0 disables)\n"
       "  --help             this message\n");
 }
 
@@ -61,6 +79,10 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   wire::RenderOptions render_options;
   std::string trace_out;
+  std::string metrics_out;
+  int metrics_interval_ms = 1000;
+  std::size_t recorder_capacity = 0;
+  std::string crash_dump;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -113,6 +135,31 @@ int main(int argc, char** argv) {
       render_options.timings = true;
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       trace_out = need_value(i, "--trace-out");
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      metrics_out = need_value(i, "--metrics-out");
+    } else if (std::strcmp(arg, "--metrics-interval-ms") == 0) {
+      metrics_interval_ms = std::atoi(need_value(i, "--metrics-interval-ms"));
+      if (metrics_interval_ms < 1) {
+        std::fprintf(stderr,
+                     "fsr_serve: --metrics-interval-ms needs a value >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--recorder") == 0) {
+      const int capacity = std::atoi(need_value(i, "--recorder"));
+      if (capacity < 0) {
+        std::fprintf(stderr, "fsr_serve: --recorder needs a value >= 0\n");
+        return 2;
+      }
+      recorder_capacity = static_cast<std::size_t>(capacity);
+    } else if (std::strcmp(arg, "--crash-dump") == 0) {
+      crash_dump = need_value(i, "--crash-dump");
+    } else if (std::strcmp(arg, "--slow-ms") == 0) {
+      const double slow_ms = std::atof(need_value(i, "--slow-ms"));
+      if (slow_ms < 0) {
+        std::fprintf(stderr, "fsr_serve: --slow-ms needs a value >= 0\n");
+        return 2;
+      }
+      options.slow_request_ms = slow_ms;
     } else if (std::strcmp(arg, "--help") == 0) {
       print_usage();
       return 0;
@@ -123,12 +170,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  fsr::obs::set_thread_name("main");
+
   // Install the tracer before the service spins up its workers; it is
   // uninstalled (and the file written) only after the final flush below
   // has resolved every future — by which point each request's spans are
   // already recorded (a span ends before its response is delivered).
   fsr::obs::Tracer tracer;
   if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
+
+  // The recorder outlives the service (declared first, destroyed last):
+  // worker threads cache ring pointers into it, so it must survive until
+  // the service has joined them. A crash dump without an explicit
+  // --recorder still wants history, so --crash-dump implies one.
+  if (!crash_dump.empty() && recorder_capacity == 0) recorder_capacity = 1024;
+  fsr::obs::FlightRecorder recorder(recorder_capacity == 0
+                                        ? 1
+                                        : recorder_capacity);
+  if (recorder_capacity > 0) fsr::obs::install_recorder(&recorder);
+  if (!crash_dump.empty()) fsr::obs::install_crash_handler(crash_dump);
+
+  std::optional<fsr::obs::MetricsFileWriter> metrics_writer;
+  if (!metrics_out.empty()) {
+    metrics_writer.emplace(fsr::obs::MetricsFileWriter::Options{
+        metrics_out, std::chrono::milliseconds(metrics_interval_ms)});
+  }
 
   AnalysisService service(options);
 
@@ -167,10 +233,12 @@ int main(int argc, char** argv) {
     if (blank) continue;
     try {
       Request request = wire::parse_request(line);
-      if (std::holds_alternative<StatsRequest>(request)) {
+      if (std::holds_alternative<StatsRequest>(request) ||
+          std::holds_alternative<DebugRequest>(request)) {
         // Introspection is a stream barrier: drain everything submitted
-        // before it so the snapshot means "every request earlier in the
-        // stream" rather than "whatever happened to be done".
+        // before it so the snapshot (stats counters or recorder history)
+        // means "every request earlier in the stream" rather than
+        // "whatever happened to be done".
         flush_ready(true);
       }
       pending.push_back(service.submit(std::move(request)));
@@ -200,6 +268,15 @@ int main(int argc, char** argv) {
     flush_ready(false);
   }
   flush_ready(true);
+  fsr::obs::install_recorder(nullptr);
+  if (metrics_writer.has_value()) {
+    metrics_writer->stop();
+    if (!metrics_writer->ok()) {
+      std::fprintf(stderr, "fsr_serve: cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      any_error = true;
+    }
+  }
   if (!trace_out.empty()) {
     fsr::obs::install_tracer(nullptr);
     if (!tracer.write(trace_out)) {

@@ -17,6 +17,8 @@ const char* to_string(RequestKind kind) noexcept {
       return "emulate";
     case RequestKind::stats:
       return "stats";
+    case RequestKind::debug:
+      return "debug";
   }
   return "analyze-safety";
 }
@@ -27,6 +29,7 @@ std::optional<RequestKind> parse_request_kind(const std::string& text) {
   if (text == "repair") return RequestKind::repair;
   if (text == "emulate") return RequestKind::emulate;
   if (text == "stats") return RequestKind::stats;
+  if (text == "debug") return RequestKind::debug;
   return std::nullopt;
 }
 
@@ -46,6 +49,9 @@ RequestKind kind_of(const Request& request) noexcept {
     }
     RequestKind operator()(const StatsRequest&) const {
       return RequestKind::stats;
+    }
+    RequestKind operator()(const DebugRequest&) const {
+      return RequestKind::debug;
     }
   };
   return std::visit(Visitor{}, request);
@@ -83,6 +89,7 @@ void validate(const Request& request) {
       }
     }
     void operator()(const StatsRequest&) const {}  // no payload to check
+    void operator()(const DebugRequest&) const {}  // no payload to check
   };
   std::visit(Visitor{}, request);
 }
@@ -109,6 +116,7 @@ std::string payload_canonical(const Request& request) {
              campaign::canonical_topology(*req.topology);
     }
     std::string operator()(const StatsRequest&) const { return std::string(); }
+    std::string operator()(const DebugRequest&) const { return std::string(); }
   };
   return std::visit(Visitor{}, request);
 }
@@ -117,9 +125,12 @@ std::string payload_canonical(const Request& request) {
 
 std::string fingerprint(const Request& request) {
   validate(request);
-  // Stats requests carry no payload: an empty fingerprint keeps them away
-  // from the session cache (nothing to warm, nothing to evict).
-  if (std::holds_alternative<StatsRequest>(request)) return std::string();
+  // Stats and debug requests carry no payload: an empty fingerprint keeps
+  // them away from the session cache (nothing to warm, nothing to evict).
+  if (std::holds_alternative<StatsRequest>(request) ||
+      std::holds_alternative<DebugRequest>(request)) {
+    return std::string();
+  }
   return campaign::content_digest(payload_canonical(request));
 }
 

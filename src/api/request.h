@@ -28,17 +28,25 @@
 #include "fsr/safety_analyzer.h"
 #include "groundtruth/engine.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "repair/repair_engine.h"
 #include "spp/spp.h"
 #include "topology/topology.h"
 
 namespace fsr::api {
 
-enum class RequestKind { analyze_safety, ground_truth, repair, emulate, stats };
+enum class RequestKind {
+  analyze_safety,
+  ground_truth,
+  repair,
+  emulate,
+  stats,
+  debug,
+};
 
 const char* to_string(RequestKind kind) noexcept;
 /// Parses the wire spelling ("analyze-safety", "ground-truth", "repair",
-/// "emulate", "stats"); nullopt for anything else.
+/// "emulate", "stats", "debug"); nullopt for anything else.
 std::optional<RequestKind> parse_request_kind(const std::string& text);
 
 /// Safety analysis (paper Section IV): exactly one of `algebra` (analyze
@@ -83,8 +91,18 @@ struct EmulateRequest {
 /// well-defined "everything before me" snapshot).
 struct StatsRequest {};
 
-using Request = std::variant<AnalyzeSafetyRequest, GroundTruthRequest,
-                             RepairRequest, EmulateRequest, StatsRequest>;
+/// Flight-recorder drain: no payload, no solver work. The response carries
+/// the merged recent-event history of the installed obs::FlightRecorder
+/// (empty with `enabled: false` when none is installed — e.g. fsr_serve
+/// without --recorder). Live execution state like `stats`: the event list
+/// depends on what the process did, the schema and ordering (global seq)
+/// are fixed, and fsr_serve drains every earlier request first so the
+/// history is quiesced and complete when read.
+struct DebugRequest {};
+
+using Request =
+    std::variant<AnalyzeSafetyRequest, GroundTruthRequest, RepairRequest,
+                 EmulateRequest, StatsRequest, DebugRequest>;
 
 RequestKind kind_of(const Request& request) noexcept;
 
@@ -109,6 +127,7 @@ struct ServiceStats {
   std::uint64_t warm_hits = 0;    // responses served from warm sessions
   std::uint64_t sessions_built = 0;
   std::uint64_t sessions_evicted = 0;
+  std::uint64_t slow_requests = 0;  // wall time over ServiceOptions threshold
 };
 
 /// What a StatsRequest answers with: the owning service's counters plus
@@ -116,6 +135,15 @@ struct ServiceStats {
 struct StatsPayload {
   ServiceStats service;
   obs::MetricsSnapshot metrics;
+};
+
+/// What a DebugRequest answers with: the installed flight recorder's
+/// merged event history (obs/recorder.h). `enabled` is false — and the
+/// rest zero/empty — when no recorder is installed.
+struct DebugPayload {
+  bool enabled = false;
+  std::uint64_t dropped = 0;  // lifetime ring-overwrite count
+  std::vector<obs::RecorderEvent> events;
 };
 
 /// One request's answer. Exactly one payload optional is set on success
@@ -132,6 +160,7 @@ struct Response {
   std::optional<repair::RepairReport> repair;
   std::optional<EmulationResult> emulation;
   std::optional<StatsPayload> stats;
+  std::optional<DebugPayload> debug;
 
   // Execution provenance: scheduling-dependent, so excluded from
   // deterministic renderings (wire.h gates them behind `timings`).

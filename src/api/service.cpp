@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "spp/translate.h"
 #include "util/error.h"
@@ -42,6 +43,7 @@ AnalysisService::AnalysisService(ServiceOptions options)
       warm_hits_counter_(obs::registry().counter("service.warm_hits")),
       sessions_built_counter_(obs::registry().counter("service.sessions_built")),
       evictions_counter_(obs::registry().counter("session_cache.evictions")),
+      slow_requests_counter_(obs::registry().counter("service.slow_requests")),
       request_wall_us_(obs::registry().histogram("service.request_wall_us")) {
   if (options_.threads < 1) {
     throw InvalidArgument("service thread count must be >= 1");
@@ -53,9 +55,13 @@ AnalysisService::AnalysisService(ServiceOptions options)
   baseline_.warm_hits = warm_hits_counter_.value();
   baseline_.sessions_built = sessions_built_counter_.value();
   baseline_.sessions_evicted = evictions_counter_.value();
+  baseline_.slow_requests = slow_requests_counter_.value();
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+    workers_.emplace_back([this, i]() {
+      obs::set_thread_name("worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -113,6 +119,8 @@ ServiceStats AnalysisService::stats() const {
       sessions_built_counter_.value() - baseline_.sessions_built;
   stats.sessions_evicted =
       evictions_counter_.value() - baseline_.sessions_evicted;
+  stats.slow_requests =
+      slow_requests_counter_.value() - baseline_.slow_requests;
   return stats;
 }
 
@@ -148,6 +156,8 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
   obs::Span span("service.execute");
   span.arg("kind", to_string(response.kind));
   span.arg("id", id);
+  obs::record_event(obs::RecorderEventKind::request_begin,
+                    to_string(response.kind), id);
   const auto start = std::chrono::steady_clock::now();
   try {
     validate(request);
@@ -236,6 +246,17 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
       payload.service = stats();
       payload.metrics = obs::registry().snapshot();
       response.stats = std::move(payload);
+    } else if (std::get_if<DebugRequest>(&request) != nullptr) {
+      // Flight-recorder drain: live like stats. This request's own
+      // begin event is already in the rings (intentional — the drain
+      // shows the recorder's view up to and including "debug started").
+      DebugPayload payload;
+      if (obs::FlightRecorder* recorder = obs::recorder()) {
+        payload.enabled = true;
+        payload.events = recorder->drain();
+        payload.dropped = recorder->dropped();
+      }
+      response.debug = std::move(payload);
     }
   } catch (const std::exception& error) {
     response.error = error.what();
@@ -243,8 +264,23 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
   response.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - start)
                          .count();
-  request_wall_us_.record(
-      static_cast<std::uint64_t>(response.wall_ms * 1000.0));
+  const auto wall_us = static_cast<std::uint64_t>(response.wall_ms * 1000.0);
+  request_wall_us_.record(wall_us);
+  if (!response.error.empty()) {
+    obs::record_event(obs::RecorderEventKind::error, response.error, id);
+  }
+  obs::record_event(obs::RecorderEventKind::request_end, response.fingerprint,
+                    id, wall_us);
+  if (options_.slow_request_ms > 0 &&
+      response.wall_ms >= options_.slow_request_ms) {
+    // Watchdog: count the outlier and leave a forensic mark in every
+    // enabled channel. Never touches the response itself.
+    slow_requests_counter_.add(1);
+    obs::record_event(
+        obs::RecorderEventKind::slow_request, response.fingerprint, wall_us,
+        static_cast<std::uint64_t>(options_.slow_request_ms));
+    obs::trace_instant("service.slow_request");
+  }
   span.arg("warm", response.warm_session);
   if (!response.error.empty()) span.arg("error", true);
   return response;

@@ -64,6 +64,13 @@ struct ServiceOptions {
   groundtruth::Options ground_truth_options;
   /// Base emulation options; each EmulateRequest overrides `.seed`.
   EmulationOptions emulation;
+  /// Slow-request watchdog: a request whose wall time reaches this many
+  /// milliseconds is counted in "service.slow_requests" (stats and the obs
+  /// registry), marked in the flight recorder when one is installed, and
+  /// stamped as a "service.slow_request" trace instant when tracing — the
+  /// forensic trail for latency outliers. 0 disables the watchdog.
+  /// Observation only: response bytes never depend on it.
+  double slow_request_ms = 1000.0;
 };
 
 // ServiceStats now lives in request.h (a StatsRequest response embeds it).
@@ -127,6 +134,7 @@ class AnalysisService {
   obs::Counter& warm_hits_counter_;
   obs::Counter& sessions_built_counter_;
   obs::Counter& evictions_counter_;  // shared with SessionCache
+  obs::Counter& slow_requests_counter_;
   obs::Histogram& request_wall_us_;
   ServiceStats baseline_;  // registry values at construction
 };

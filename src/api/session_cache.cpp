@@ -1,6 +1,7 @@
 #include "api/session_cache.h"
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace fsr::api {
 
@@ -45,6 +46,8 @@ SessionCache::Entry* SessionCache::ensure(
   ++misses_;
   metrics.misses.add(1);
   if (entries_.size() >= capacity_) {
+    obs::record_event(obs::RecorderEventKind::cache_eviction,
+                      entries_.back().fingerprint);
     entries_.pop_back();
     ++evictions_;
     metrics.evictions.add(1);

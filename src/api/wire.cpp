@@ -187,8 +187,29 @@ void append_stats(std::string& out, const StatsPayload& stats) {
   out += ", \"warm_hits\": " + std::to_string(service.warm_hits);
   out += ", \"sessions_built\": " + std::to_string(service.sessions_built);
   out += ", \"sessions_evicted\": " + std::to_string(service.sessions_evicted);
+  out += ", \"slow_requests\": " + std::to_string(service.slow_requests);
   out += "}, \"metrics\": " + obs::to_json(stats.metrics);
   out += "}";
+}
+
+void append_debug(std::string& out, const DebugPayload& debug) {
+  out += "\"debug\": {\"enabled\": ";
+  out += debug.enabled ? "true" : "false";
+  out += ", \"dropped\": " + std::to_string(debug.dropped);
+  out += ", \"events\": [";
+  for (std::size_t i = 0; i < debug.events.size(); ++i) {
+    const obs::RecorderEvent& event = debug.events[i];
+    if (i > 0) out += ", ";
+    out += "{\"seq\": " + std::to_string(event.seq);
+    out += ", \"ts_us\": " + std::to_string(event.ts_us);
+    out += ", \"tid\": " + std::to_string(event.tid);
+    out += ", \"kind\": " + json_quoted(obs::to_string(event.kind));
+    out += ", \"detail\": " + json_quoted(event.detail);
+    out += ", \"a\": " + std::to_string(event.a);
+    out += ", \"b\": " + std::to_string(event.b);
+    out += "}";
+  }
+  out += "]}";
 }
 
 void append_repair(std::string& out, const repair::RepairReport& report,
@@ -284,14 +305,16 @@ Request parse_request(const std::string& line) {
     throw InvalidArgument("unknown request kind '" +
                           kind_value->as_string("kind") + "'");
   }
-  if (*kind == RequestKind::stats) {
+  if (*kind == RequestKind::stats || *kind == RequestKind::debug) {
     // Introspection carries no payload; anything else on the line is a
     // schema violation the caller should hear about.
     if (body.find("gadget") != nullptr || body.find("policy") != nullptr ||
         body.find("spp") != nullptr || body.find("random") != nullptr) {
-      throw InvalidArgument("stats request takes no payload");
+      throw InvalidArgument(std::string(to_string(*kind)) +
+                            " request takes no payload");
     }
-    return StatsRequest{};
+    if (*kind == RequestKind::stats) return StatsRequest{};
+    return DebugRequest{};
   }
   Payload payload = parse_payload(body);
   std::uint64_t seed = 1;
@@ -337,6 +360,7 @@ Request parse_request(const std::string& line) {
       return request;
     }
     case RequestKind::stats:
+    case RequestKind::debug:
       break;  // handled above (payload-free)
   }
   throw InvalidArgument("unknown request kind");
@@ -363,6 +387,8 @@ std::string render_response(const Response& response,
       append_emulation(out, *response.emulation);
     } else if (response.stats.has_value()) {
       append_stats(out, *response.stats);
+    } else if (response.debug.has_value()) {
+      append_debug(out, *response.debug);
     } else {
       out += "\"result\": null";
     }

@@ -6,11 +6,13 @@
 //   {"kind": K, <payload>, ["seed": N], ["mode": M]}
 //
 //   K        — "analyze-safety" | "ground-truth" | "repair" | "emulate"
-//              | "stats"
+//              | "stats" | "debug"
 //   payload  — exactly one of (none for "stats", which takes no payload
 //              and answers live service counters + the obs registry
-//              snapshot; fsr_serve drains all earlier requests first, so
-//              its values summarise everything before it in the stream)
+//              snapshot, and none for "debug", which drains the installed
+//              flight recorder's recent-event history; fsr_serve drains
+//              all earlier requests first for both, so their values
+//              summarise everything before them in the stream)
 //     "gadget": NAME          library gadget (spp::gadget_by_name: good,
 //                             bad, disagree, ibgp-figure3,
 //                             ibgp-figure3-fixed, good-chain-N,
@@ -36,10 +38,11 @@
 // ServiceOptions, regardless of --threads (the service determinism
 // contract). Deterministic fields only, unless RenderOptions.timings adds
 // execution provenance (warm_session, wall_ms, solver effort counters).
-// The one exception is "stats": its schema and field order are fixed, but
-// its VALUES are live execution state by design — counters such as
-// warm_hits depend on which worker served what, and the registry snapshot
-// includes wall-clock histograms — so stats responses make no
+// The exceptions are "stats" and "debug": their schema and field order
+// are fixed, but their VALUES are live execution state by design —
+// counters such as warm_hits depend on which worker served what, the
+// registry snapshot includes wall-clock histograms, and recorder events
+// carry timestamps and thread ids — so those two kinds make no
 // byte-reproducibility promise at all. Filter them out before diffing
 // streams (as the CI smoke does).
 #ifndef FSR_API_WIRE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace fsr::groundtruth {
@@ -279,8 +280,38 @@ void SatSolver::analyze_final(Lit failed) {
 
 SolveStatus SatSolver::solve_under(const std::vector<Lit>& assumptions,
                                    std::uint64_t max_conflicts) {
+  obs::Tracer* const telemetry = obs::tracer();
+  if (telemetry == nullptr) return solve_under_impl(assumptions, max_conflicts);
+
+  // Telemetry wrapper: bracket the solve and flush end-of-query counter
+  // samples so every traced query carries a conflict-rate point and the
+  // learned-DB/propagation totals, even when it never restarts. Mid-run
+  // samples (restart sites) come from solve_under_impl.
+  const std::uint64_t start_us = telemetry->now_us();
+  const std::uint64_t conflict_floor = conflicts_;
+  const SolveStatus status = solve_under_impl(assumptions, max_conflicts);
+  const std::uint64_t elapsed_us = telemetry->now_us() - start_us;
+  const std::uint64_t spent = conflicts_ - conflict_floor;
+  const double rate = elapsed_us > 0 ? 1e6 * static_cast<double>(spent) /
+                                           static_cast<double>(elapsed_us)
+                                     : 0.0;
+  telemetry->counter("sat.conflict_rate", rate);
+  telemetry->counter("sat.learned_db", learned_);
+  telemetry->counter("sat.propagations", propagations_);
+  return status;
+}
+
+SolveStatus SatSolver::solve_under_impl(const std::vector<Lit>& assumptions,
+                                        std::uint64_t max_conflicts) {
   failed_assumptions_.clear();
   if (contradiction_) return SolveStatus::unsatisfiable;
+
+  // Loaded once per solve: free when tracing is off, and restarts are rare
+  // enough (k_restart_base conflicts apart at minimum) that the emission
+  // below never touches the propagation loop's cost.
+  obs::Tracer* const telemetry = obs::tracer();
+  std::uint64_t sample_us = telemetry != nullptr ? telemetry->now_us() : 0;
+  std::uint64_t sample_conflicts = conflicts_;
 
   const std::uint64_t conflict_floor = conflicts_;
   std::uint64_t restart_sequence = restarts_;
@@ -320,6 +351,22 @@ SolveStatus SatSolver::solve_under(const std::vector<Lit>& assumptions,
         restart_budget = k_restart_base * luby(restart_sequence);
         conflicts_this_restart = 0;
         backtrack(0);
+        if (telemetry != nullptr) {
+          // Restart instant + a mid-run sample of the series the query
+          // flushes at the end, so long solves read as timelines.
+          telemetry->instant("sat.restart");
+          const std::uint64_t now = telemetry->now_us();
+          const std::uint64_t spent = conflicts_ - sample_conflicts;
+          const double rate = now > sample_us
+                                  ? 1e6 * static_cast<double>(spent) /
+                                        static_cast<double>(now - sample_us)
+                                  : 0.0;
+          telemetry->counter("sat.conflict_rate", rate);
+          telemetry->counter("sat.learned_db", learned_);
+          telemetry->counter("sat.propagations", propagations_);
+          sample_us = now;
+          sample_conflicts = conflicts_;
+        }
       }
       continue;
     }

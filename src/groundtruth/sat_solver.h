@@ -83,6 +83,11 @@ class SatSolver {
   /// are implied by the clause set alone (assumptions only steer the
   /// search), so they remain valid across queries with different
   /// assumption vectors.
+  /// Telemetry: with a tracer installed (obs/trace.h), every solve flushes
+  /// end-of-query "sat.conflict_rate" / "sat.learned_db" /
+  /// "sat.propagations" counter samples, and each restart emits a
+  /// "sat.restart" instant plus a mid-run sample — observation only, the
+  /// search itself is byte-identical with tracing on or off.
   SolveStatus solve_under(const std::vector<Lit>& assumptions,
                           std::uint64_t max_conflicts = 0);
 
@@ -180,6 +185,9 @@ class SatSolver {
   /// falsifying assumption literal `failed` (MiniSat's analyzeFinal).
   void analyze_final(Lit failed);
   static std::uint64_t luby(std::uint64_t i);
+  /// The CDCL loop proper; solve_under() is its telemetry wrapper.
+  SolveStatus solve_under_impl(const std::vector<Lit>& assumptions,
+                               std::uint64_t max_conflicts);
 
   std::vector<Clause> clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by literal

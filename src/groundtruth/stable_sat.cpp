@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -34,7 +35,7 @@ SatMetrics& sat_metrics() {
   return metrics;
 }
 
-void flush_search_effort(const StableSearchStats& stats,
+void flush_search_effort(const char* site, const StableSearchStats& stats,
                          std::uint64_t restarts, obs::Span& span) {
   SatMetrics& metrics = sat_metrics();
   metrics.queries.add(1);
@@ -48,6 +49,8 @@ void flush_search_effort(const StableSearchStats& stats,
   span.arg("propagations", stats.propagations);
   span.arg("learned_clauses", stats.learned_clauses);
   span.arg("restarts", restarts);
+  obs::record_event(obs::RecorderEventKind::solver_query, site,
+                    stats.conflicts, stats.propagations);
 }
 
 }  // namespace
@@ -289,7 +292,8 @@ StableSearchResult solve_stable_assignments(const spp::SppInstance& instance,
   result.stats.decisions = encoding.solver.decisions();
   result.stats.propagations = encoding.solver.propagations();
   result.stats.learned_clauses = encoding.solver.learned_clauses();
-  flush_search_effort(result.stats, encoding.solver.restarts(), span);
+  flush_search_effort("sat.solve_scratch", result.stats,
+                      encoding.solver.restarts(), span);
   return result;
 }
 
@@ -613,7 +617,8 @@ StableSearchResult StableSatSession::analyze(
   result.stats.decisions = solver_.decisions() - decision_floor;
   result.stats.propagations = solver_.propagations() - propagation_floor;
   result.stats.learned_clauses = solver_.learned_clauses() - learned_floor;
-  flush_search_effort(result.stats, solver_.restarts() - restart_floor, span);
+  flush_search_effort("sat.analyze", result.stats,
+                      solver_.restarts() - restart_floor, span);
   sat_metrics().groups_encoded.add(stats_.groups_encoded - groups_floor);
   sat_metrics().group_cache_hits.add(stats_.group_cache_hits -
                                      group_hits_floor);

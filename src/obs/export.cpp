@@ -1,0 +1,135 @@
+#include "obs/export.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fsr::obs {
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "fsr_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_openmetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const MetricValue& metric : snapshot.metrics) {
+    const std::string family = openmetrics_name(metric.name);
+    out += "# HELP " + family + " fsr registry instrument '" + metric.name +
+           "'\n";
+    switch (metric.kind) {
+      case MetricValue::Kind::counter:
+        out += "# TYPE " + family + " counter\n";
+        out += family + "_total " + std::to_string(metric.value) + "\n";
+        break;
+      case MetricValue::Kind::gauge:
+        out += "# TYPE " + family + " gauge\n";
+        out += family + " " + std::to_string(metric.value) + "\n";
+        break;
+      case MetricValue::Kind::histogram: {
+        out += "# TYPE " + family + " histogram\n";
+        // Power-of-two buckets to cumulative `le`: bucket 0 counts {0,1}
+        // so its upper bound is 1; bucket b covers (2^(b-1), 2^b].
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < metric.buckets.size(); ++b) {
+          cumulative += metric.buckets[b];
+          const std::uint64_t upper = std::uint64_t{1} << b;
+          out += family + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += family + "_bucket{le=\"+Inf\"} " +
+               std::to_string(metric.count) + "\n";
+        out += family + "_sum " + std::to_string(metric.sum) + "\n";
+        out += family + "_count " + std::to_string(metric.count) + "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view contents) {
+  namespace fs = std::filesystem;
+  // Same idiom as the campaign disk cache: unique temp in the target
+  // directory, then an atomic rename so readers never see partial bytes.
+  static std::atomic<std::uint64_t> write_counter{0};
+  const std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(write_counter.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    if (!out.good()) {
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(temp, cleanup);
+    return false;
+  }
+  return true;
+}
+
+bool write_openmetrics_file(const std::string& path) {
+  return write_file_atomic(path, render_openmetrics(registry().snapshot()));
+}
+
+MetricsFileWriter::MetricsFileWriter(Options options)
+    : options_(std::move(options)) {
+  write_snapshot();
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+MetricsFileWriter::~MetricsFileWriter() { stop(); }
+
+void MetricsFileWriter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final snapshot: the file must reflect end-of-run totals even when the
+  // run finished mid-interval.
+  write_snapshot();
+}
+
+void MetricsFileWriter::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, options_.interval,
+                       [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    write_snapshot();
+    lock.lock();
+  }
+}
+
+void MetricsFileWriter::write_snapshot() {
+  if (!write_openmetrics_file(options_.path)) {
+    ok_.store(false, std::memory_order_relaxed);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fsr::obs

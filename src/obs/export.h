@@ -1,0 +1,104 @@
+// OpenMetrics exporter: renders a MetricsSnapshot as Prometheus/OpenMetrics
+// exposition text, plus the atomic-file plumbing that makes scraping safe.
+//
+// Today the export surface is a file (`--metrics-out FILE` on the CLIs,
+// rewritten atomically so a scraper or `cat` never sees a half-written
+// exposition); when the epoll server lands the same render_openmetrics()
+// string becomes the `/metrics` handler body.
+//
+// Mapping from the registry (obs/metrics.h):
+//   * names are sanitized to the OpenMetrics charset — every character
+//     outside [a-zA-Z0-9_] becomes '_' — and prefixed "fsr_", so
+//     "sat.conflicts" exports as "fsr_sat_conflicts";
+//   * counters export as "<name>_total" with TYPE counter;
+//   * gauges export under their plain name with TYPE gauge;
+//   * power-of-two histograms convert to cumulative `le` buckets: bucket 0
+//     (samples in {0,1}) becomes le="1", bucket b becomes le="2^b", plus
+//     the mandatory le="+Inf", `_sum`, and `_count` series;
+//   * the exposition ends with the mandatory "# EOF" line.
+//
+// Rendering is deterministic: snapshots are sorted by name and values
+// render in one canonical form, so two snapshots of equal state produce
+// byte-identical expositions.
+#ifndef FSR_OBS_EXPORT_H
+#define FSR_OBS_EXPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace fsr::obs {
+
+/// Registry metric name -> OpenMetrics family name ("sat.conflicts" ->
+/// "fsr_sat_conflicts"). Exposed so tests and tooling can round-trip.
+std::string openmetrics_name(std::string_view name);
+
+/// Full OpenMetrics exposition for `snapshot`: # HELP / # TYPE per family,
+/// one sample block per instrument, terminated by "# EOF\n".
+std::string render_openmetrics(const MetricsSnapshot& snapshot);
+
+/// Writes `contents` to `path` via a unique temp file in the same
+/// directory plus an atomic rename, so readers only ever see complete
+/// files. Returns false (best-effort cleanup of the temp) on any I/O
+/// error. Shared by the metrics writer, trace output, and crash dumps.
+bool write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Renders the process registry and writes it atomically to `path`.
+bool write_openmetrics_file(const std::string& path);
+
+/// Background scrape-file writer: snapshots the process registry every
+/// `interval` and rewrites `path` atomically; a final snapshot is written
+/// on stop() so the file always reflects end-of-run totals even when the
+/// run is shorter than one interval.
+///
+/// Observation-only, like every obs channel: the writer thread reads the
+/// registry with relaxed loads and never feeds anything back, so
+/// deterministic outputs are byte-identical with a writer running or not.
+class MetricsFileWriter {
+ public:
+  struct Options {
+    std::string path;
+    std::chrono::milliseconds interval{1000};
+  };
+
+  /// Starts the writer thread; the first snapshot is written immediately.
+  explicit MetricsFileWriter(Options options);
+  ~MetricsFileWriter();
+
+  MetricsFileWriter(const MetricsFileWriter&) = delete;
+  MetricsFileWriter& operator=(const MetricsFileWriter&) = delete;
+
+  /// Writes a final snapshot and joins the thread. Idempotent.
+  void stop();
+
+  /// False if any write so far failed (bad path, disk full, ...).
+  bool ok() const noexcept { return ok_.load(std::memory_order_relaxed); }
+  /// Snapshots written so far (including the final one after stop()).
+  std::uint64_t writes() const noexcept {
+    return writes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void writer_loop();
+  void write_snapshot();
+
+  const Options options_;
+  std::atomic<bool> ok_{true};
+  std::atomic<std::uint64_t> writes_{0};
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fsr::obs
+
+#endif  // FSR_OBS_EXPORT_H

@@ -24,10 +24,28 @@
 //     when a query ends. An increment per propagation would be measurable;
 //     an increment per query is free.
 //   * Name instruments "<subsystem>.<what>" (e.g. "sat.conflicts",
-//     "session_cache.hits"); dots group related metrics in snapshots.
+//     "session_cache.hits"); dots group related metrics in snapshots. The
+//     OpenMetrics exporter (obs/export.h) sanitizes the name and prefixes
+//     "fsr_", so pick names that stay readable after dots become
+//     underscores.
 //   * Prefer counters (monotone) over gauges; histograms are for
 //     durations/sizes where the shape matters (power-of-two buckets match
 //     the campaign report's latency histogram).
+//   * Counter TIMELINES (how a value evolved within a run, not just its
+//     total) belong on the tracer, not here: flush obs::trace_counter
+//     samples at natural boundaries — end of a solver query, each beam
+//     depth — and obs::trace_instant for point events (restarts, watchdog
+//     hits). Same boundary rule: a sample per query is free, a sample per
+//     conflict is not. The registry keeps the process total; the trace
+//     keeps the shape.
+//   * Flight-recorder events (obs/recorder.h) are for the bounded
+//     recent-history story a post-mortem needs: record at most one event
+//     per request-level boundary (begin/end, a per-query solver summary,
+//     an eviction, an error), with a short detail string — the rings are
+//     small and every event evicts an older one.
+//   * Whatever the channel, observability never steers: no analysis code
+//     path may branch on a metric, trace, or recorder state, so
+//     deterministic outputs stay byte-identical with every channel on.
 #ifndef FSR_OBS_METRICS_H
 #define FSR_OBS_METRICS_H
 

@@ -1,0 +1,286 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fsr::obs {
+
+const char* to_string(RecorderEventKind kind) noexcept {
+  switch (kind) {
+    case RecorderEventKind::request_begin:
+      return "request-begin";
+    case RecorderEventKind::request_end:
+      return "request-end";
+    case RecorderEventKind::solver_query:
+      return "solver-query";
+    case RecorderEventKind::cache_eviction:
+      return "cache-eviction";
+    case RecorderEventKind::error:
+      return "error";
+    case RecorderEventKind::slow_request:
+      return "slow-request";
+    case RecorderEventKind::mark:
+      return "mark";
+  }
+  return "mark";
+}
+
+namespace {
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+// Distinguishes recorder instances across create/destroy cycles so a
+// thread's cached ring pointer can never alias a new recorder that happens
+// to reuse the old one's address.
+std::atomic<std::uint64_t> g_recorder_ids{1};
+
+}  // namespace
+
+/// One thread's ring. Single-writer: only the owning thread touches
+/// `entries` and advances `count`; drains read `count` with acquire and
+/// re-check it after copying to shed entries the writer may have
+/// overwritten mid-copy.
+struct FlightRecorder::Ring {
+  explicit Ring(std::size_t capacity) : entries(capacity) {}
+  std::vector<RecorderEvent> entries;
+  std::atomic<std::uint64_t> count{0};  // lifetime writes by the owner
+};
+
+namespace {
+
+struct ThreadRingSlot {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;  // FlightRecorder::Ring*, type-erased (Ring is private)
+};
+
+thread_local ThreadRingSlot t_ring_slot;
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      id_(g_recorder_ids.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() {
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (Ring* ring : rings_) delete ring;
+  rings_.clear();
+}
+
+std::uint64_t FlightRecorder::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for_this_thread() {
+  if (t_ring_slot.recorder_id == id_) {
+    return *static_cast<Ring*>(t_ring_slot.ring);
+  }
+  auto* ring = new Ring(capacity_);
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(ring);
+  }
+  t_ring_slot.recorder_id = id_;
+  t_ring_slot.ring = ring;
+  return *ring;
+}
+
+void FlightRecorder::record(RecorderEventKind kind, std::string_view detail,
+                            std::uint64_t a, std::uint64_t b) noexcept {
+  Ring& ring = ring_for_this_thread();
+  // The slot index comes from the owner-thread write count; the sequence
+  // number is the global claim order drains merge by.
+  const std::uint64_t index = ring.count.load(std::memory_order_relaxed);
+  RecorderEvent& slot = ring.entries[index % capacity_];
+  slot.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  slot.ts_us = now_us();
+  slot.tid = current_thread_tid();
+  slot.kind = kind;
+  const std::size_t n =
+      detail.size() < RecorderEvent::k_detail_capacity - 1
+          ? detail.size()
+          : RecorderEvent::k_detail_capacity - 1;
+  std::memcpy(slot.detail, detail.data(), n);
+  slot.detail[n] = '\0';
+  slot.a = a;
+  slot.b = b;
+  ring.count.store(index + 1, std::memory_order_release);
+}
+
+std::vector<RecorderEvent> FlightRecorder::drain() const {
+  std::vector<RecorderEvent> merged;
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const Ring* ring : rings_) {
+      const std::uint64_t c1 = ring->count.load(std::memory_order_acquire);
+      const std::uint64_t first = c1 > capacity_ ? c1 - capacity_ : 0;
+      std::vector<std::pair<std::uint64_t, RecorderEvent>> copied;
+      copied.reserve(static_cast<std::size_t>(c1 - first));
+      for (std::uint64_t j = first; j < c1; ++j) {
+        copied.emplace_back(j, ring->entries[j % capacity_]);
+      }
+      // Entries the writer may have overwritten while we copied are torn:
+      // keep only indices still inside the ring window NOW.
+      const std::uint64_t c2 = ring->count.load(std::memory_order_acquire);
+      const std::uint64_t safe = c2 > capacity_ ? c2 - capacity_ : 0;
+      for (auto& [index, event] : copied) {
+        if (index >= safe) merged.push_back(event);
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RecorderEvent& a, const RecorderEvent& b) {
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::uint64_t dropped = 0;
+  for (const Ring* ring : rings_) {
+    const std::uint64_t count = ring->count.load(std::memory_order_acquire);
+    if (count > capacity_) dropped += count - capacity_;
+  }
+  return dropped;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  return next_seq_.load(std::memory_order_relaxed);
+}
+
+void install_recorder(FlightRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder* recorder() noexcept {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void record_event(RecorderEventKind kind, std::string_view detail,
+                  std::uint64_t a, std::uint64_t b) noexcept {
+  FlightRecorder* sink = g_recorder.load(std::memory_order_acquire);
+  if (sink == nullptr) return;
+  sink->record(kind, detail, a, b);
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+bool write_diagnostic_dump(const std::string& path,
+                           const std::string& reason) {
+  std::string out = "{\"reason\": ";
+  append_escaped(out, reason);
+  FlightRecorder* sink = recorder();
+  out += ", \"recorded\": " +
+         std::to_string(sink != nullptr ? sink->recorded() : 0);
+  out += ", \"dropped\": " +
+         std::to_string(sink != nullptr ? sink->dropped() : 0);
+  out += ", \"events\": [";
+  if (sink != nullptr) {
+    bool first = true;
+    for (const RecorderEvent& event : sink->drain()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n  {\"seq\": " + std::to_string(event.seq);
+      out += ", \"ts_us\": " + std::to_string(event.ts_us);
+      out += ", \"tid\": " + std::to_string(event.tid);
+      out += ", \"kind\": \"" + std::string(to_string(event.kind)) + "\"";
+      out += ", \"detail\": ";
+      append_escaped(out, event.detail);
+      out += ", \"a\": " + std::to_string(event.a);
+      out += ", \"b\": " + std::to_string(event.b) + "}";
+    }
+  }
+  out += "\n], \"metrics\": " + to_json(registry().snapshot()) + "}\n";
+  return write_file_atomic(path, out);
+}
+
+namespace {
+
+// The dump path lives in a fixed-size buffer written once, before
+// handlers are installed, so the handler never allocates for it.
+char g_dump_path[512] = {};
+std::atomic<bool> g_dump_taken{false};
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGUSR1: return "SIGUSR1";
+  }
+  return "signal";
+}
+
+void fatal_signal_handler(int sig) {
+  // Restore the default disposition first so a second fault (e.g. inside
+  // the dump itself) terminates instead of recursing.
+  std::signal(sig, SIG_DFL);
+  if (!g_dump_taken.exchange(true)) {
+    write_diagnostic_dump(g_dump_path, signal_name(sig));
+  }
+  std::raise(sig);
+}
+
+void dump_signal_handler(int /*sig*/) {
+  // On-demand snapshot: dump and keep running.
+  write_diagnostic_dump(g_dump_path, "SIGUSR1");
+}
+
+}  // namespace
+
+void install_crash_handler(const std::string& path) {
+  const std::size_t n =
+      path.size() < sizeof(g_dump_path) - 1 ? path.size()
+                                            : sizeof(g_dump_path) - 1;
+  std::memcpy(g_dump_path, path.data(), n);
+  g_dump_path[n] = '\0';
+
+  struct sigaction fatal = {};
+  fatal.sa_handler = fatal_signal_handler;
+  sigemptyset(&fatal.sa_mask);
+  sigaction(SIGSEGV, &fatal, nullptr);
+  sigaction(SIGABRT, &fatal, nullptr);
+
+  struct sigaction dump = {};
+  dump.sa_handler = dump_signal_handler;
+  sigemptyset(&dump.sa_mask);
+  dump.sa_flags = SA_RESTART;  // a dump must not fail in-flight reads
+  sigaction(SIGUSR1, &dump, nullptr);
+}
+
+}  // namespace fsr::obs

@@ -1,0 +1,139 @@
+// FlightRecorder: bounded recent-history capture for post-mortems.
+//
+// A fixed-capacity ring buffer of small structured events per thread —
+// request begin/end (fingerprint + wall), per-query solver summaries,
+// session-cache evictions, errors, and slow-request marks — so a crashed
+// or misbehaving process can explain its last moments without ever having
+// logged to disk. Three ways out of the rings:
+//
+//   * the payload-free "debug" request kind (api/wire.h) drains a merged,
+//     deterministically ordered view into a live response;
+//   * install_crash_handler() dumps the rings plus a registry snapshot to
+//     a JSON file on SIGSEGV/SIGABRT before re-raising, and on demand on
+//     SIGUSR1 (the process keeps running);
+//   * write_diagnostic_dump() does the same dump programmatically.
+//
+// Zero-overhead-when-off contract (mirrors obs::Span): no recorder is
+// installed by default and record_event() is then ONE relaxed atomic load.
+// When installed, the hot path is lock-free and wait-free: each thread
+// writes its own ring (single-writer), claims a global sequence number
+// with one relaxed fetch_add, and publishes the entry with one release
+// store — no mutex, no allocation after the ring exists.
+//
+// Determinism contract: the recorder observes, never steers. Deterministic
+// outputs are byte-identical with the recorder installed or not; recorder
+// state only surfaces through the live "debug" response kind and dump
+// files (both documented as execution state, like "stats").
+//
+// Draining while writers are active is safe but best-effort: entries that
+// may have been overwritten mid-copy are dropped rather than returned
+// torn. fsr_serve drains behind its stream barrier, where no request is in
+// flight, so debug responses see a complete, stable history.
+#ifndef FSR_OBS_RECORDER_H
+#define FSR_OBS_RECORDER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::obs {
+
+enum class RecorderEventKind : std::uint8_t {
+  request_begin,   // detail = request kind, a = request id
+  request_end,     // detail = fingerprint, a = request id, b = wall us
+  solver_query,    // detail = query site, a = conflicts, b = propagations
+  cache_eviction,  // detail = evicted fingerprint
+  error,           // detail = error text (truncated), a = request id
+  slow_request,    // detail = fingerprint, a = wall us, b = threshold ms
+  mark,            // detail = free-form caller text
+};
+
+const char* to_string(RecorderEventKind kind) noexcept;
+
+/// One recorded event. Fixed-size (no heap) so ring writes never allocate;
+/// `detail` is a truncated NUL-terminated string.
+struct RecorderEvent {
+  static constexpr std::size_t k_detail_capacity = 48;
+
+  std::uint64_t seq = 0;    // global claim order — the merged drain order
+  std::uint64_t ts_us = 0;  // microseconds since recorder construction
+  std::uint32_t tid = 0;    // dense per-thread id (shared with the tracer)
+  RecorderEventKind kind = RecorderEventKind::mark;
+  char detail[k_detail_capacity] = {};
+  std::uint64_t a = 0;  // kind-specific payload, see RecorderEventKind
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` = events retained per writing thread (older entries are
+  /// overwritten; the drop is counted, never silent).
+  explicit FlightRecorder(std::size_t capacity = 1024);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event to the calling thread's ring. Lock-free after the
+  /// thread's first event (which registers its ring under a mutex).
+  void record(RecorderEventKind kind, std::string_view detail,
+              std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+  /// Merged view of every thread's retained events, ordered by `seq` (the
+  /// global claim order — deterministic for a quiesced recorder). Entries
+  /// possibly overwritten while copying are dropped, not returned torn.
+  std::vector<RecorderEvent> drain() const;
+
+  /// Events overwritten because a ring wrapped (lifetime total).
+  std::uint64_t dropped() const;
+  /// Events ever recorded (lifetime total, = seq high-water mark).
+  std::uint64_t recorded() const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t now_us() const noexcept;
+
+ private:
+  struct Ring;
+  Ring& ring_for_this_thread();
+
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::uint64_t id_;  // process-unique; keys the thread ring cache
+  std::atomic<std::uint64_t> next_seq_{0};
+  mutable std::mutex rings_mutex_;
+  std::vector<Ring*> rings_;  // owned; freed in the destructor
+};
+
+/// Installs `recorder` as the process-wide sink (nullptr to disable). The
+/// caller keeps ownership and must uninstall before destroying it.
+void install_recorder(FlightRecorder* recorder);
+FlightRecorder* recorder() noexcept;
+
+/// Records into the installed recorder; one relaxed load and out when none
+/// is installed — safe on any hot path that is at least per-request.
+void record_event(RecorderEventKind kind, std::string_view detail,
+                  std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+/// Writes a post-mortem JSON file: {"reason", "recorded", "dropped",
+/// "events": [...], "metrics": <registry snapshot>}. Uses the installed
+/// recorder (the events array is empty with none installed — the registry
+/// snapshot alone is still worth having). Atomic temp+rename write;
+/// returns false on I/O failure.
+bool write_diagnostic_dump(const std::string& path, const std::string& reason);
+
+/// Installs handlers that write a diagnostic dump to `path`: SIGSEGV and
+/// SIGABRT dump then re-raise the default disposition (the process still
+/// dies, with its post-mortem on disk); SIGUSR1 dumps on demand and
+/// returns. Best-effort by design: the dump allocates and takes locks, so
+/// a crash inside the allocator or the registry can lose the dump — for a
+/// diagnostics file that is the right trade against perturbing every
+/// healthy run. Call once, from main, before worker threads exist.
+void install_crash_handler(const std::string& path);
+
+}  // namespace fsr::obs
+
+#endif  // FSR_OBS_RECORDER_H

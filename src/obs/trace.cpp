@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
+
+#include "obs/export.h"
+#include "util/strings.h"
 
 namespace fsr::obs {
 
@@ -10,12 +14,17 @@ namespace {
 
 std::atomic<Tracer*> g_tracer{nullptr};
 
-std::uint32_t this_thread_tid() {
-  // Dense per-process thread ids (0, 1, 2, ...) so traces are small and
-  // stable-looking; assigned in first-span order per thread.
-  static std::atomic<std::uint32_t> next{0};
-  thread_local std::uint32_t tid = next.fetch_add(1);
-  return tid;
+// Thread names are process-lifetime state keyed by dense tid, shared by
+// every tracer: a tracer installed after threads were named still renders
+// their metadata events.
+std::mutex& thread_names_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::uint32_t, std::string>& thread_names() {
+  static std::map<std::uint32_t, std::string> names;
+  return names;
 }
 
 void append_escaped(std::ostream& out, const std::string& text) {
@@ -56,6 +65,35 @@ void Tracer::record(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::counter(const char* name, std::uint64_t value) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'C';
+  event.tid = current_thread_tid();
+  event.start_us = now_us();
+  event.args.emplace_back("value", std::to_string(value));
+  record(std::move(event));
+}
+
+void Tracer::counter(const char* name, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'C';
+  event.tid = current_thread_tid();
+  event.start_us = now_us();
+  event.args.emplace_back("value", util::format_fixed(value, 3));
+  record(std::move(event));
+}
+
+void Tracer::instant(const char* name) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'i';
+  event.tid = current_thread_tid();
+  event.start_us = now_us();
+  record(std::move(event));
+}
+
 std::size_t Tracer::event_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
@@ -77,14 +115,32 @@ std::string Tracer::chrome_trace_json() const {
   std::ostringstream out;
   out << "{\"traceEvents\": [";
   bool first = true;
+  // Metadata first: the process name and one thread_name per named tid,
+  // so viewers label tracks before any data event references them.
+  out << "\n  {\"name\": \"process_name\", \"cat\": \"__metadata\", "
+         "\"ph\": \"M\", \"ts\": 0, \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"fsr\"}}";
+  first = false;
+  {
+    const std::lock_guard<std::mutex> lock(thread_names_mutex());
+    for (const auto& [tid, name] : thread_names()) {
+      out << ",\n  {\"name\": \"thread_name\", \"cat\": \"__metadata\", "
+             "\"ph\": \"M\", \"ts\": 0, \"pid\": 1, \"tid\": "
+          << tid << ", \"args\": {\"name\": ";
+      append_escaped(out, name);
+      out << "}}";
+    }
+  }
   for (const TraceEvent& event : events) {
     if (!first) out << ",";
     first = false;
     out << "\n  {\"name\": ";
     append_escaped(out, event.name);
-    out << ", \"cat\": \"fsr\", \"ph\": \"X\", \"ts\": " << event.start_us
-        << ", \"dur\": " << event.dur_us << ", \"pid\": 1, \"tid\": "
-        << event.tid;
+    out << ", \"cat\": \"fsr\", \"ph\": \"" << event.phase
+        << "\", \"ts\": " << event.start_us;
+    if (event.phase == 'X') out << ", \"dur\": " << event.dur_us;
+    if (event.phase == 'i') out << ", \"s\": \"t\"";
+    out << ", \"pid\": 1, \"tid\": " << event.tid;
     if (!event.args.empty()) {
       out << ", \"args\": {";
       bool first_arg = true;
@@ -103,11 +159,7 @@ std::string Tracer::chrome_trace_json() const {
 }
 
 bool Tracer::write(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) return false;
-  const std::string json = chrome_trace_json();
-  const bool ok = std::fwrite(json.data(), 1, json.size(), file) == json.size();
-  return std::fclose(file) == 0 && ok;
+  return write_file_atomic(path, chrome_trace_json());
 }
 
 void install_tracer(Tracer* tracer) {
@@ -118,10 +170,36 @@ Tracer* tracer() noexcept {
   return g_tracer.load(std::memory_order_acquire);
 }
 
+std::uint32_t current_thread_tid() noexcept {
+  // Dense per-process thread ids (0, 1, 2, ...) so traces are small and
+  // stable-looking; assigned in first-use order per thread.
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+void set_thread_name(const std::string& name) {
+  const std::uint32_t tid = current_thread_tid();
+  const std::lock_guard<std::mutex> lock(thread_names_mutex());
+  thread_names()[tid] = name;
+}
+
+void trace_counter(const char* name, std::uint64_t value) {
+  if (Tracer* sink = tracer()) sink->counter(name, value);
+}
+
+void trace_counter(const char* name, double value) {
+  if (Tracer* sink = tracer()) sink->counter(name, value);
+}
+
+void trace_instant(const char* name) {
+  if (Tracer* sink = tracer()) sink->instant(name);
+}
+
 Span::Span(const char* name) : tracer_(obs::tracer()) {
   if (tracer_ == nullptr) return;
   event_.name = name;
-  event_.tid = this_thread_tid();
+  event_.tid = current_thread_tid();
   event_.start_us = tracer_->now_us();
 }
 

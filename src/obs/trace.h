@@ -36,13 +36,17 @@
 
 namespace fsr::obs {
 
-/// One completed span ("X" event). args values are pre-rendered JSON
-/// scalars (quoted strings or bare numbers).
+/// One recorded trace event. args values are pre-rendered JSON scalars
+/// (quoted strings or bare numbers). `phase` selects the Chrome
+/// trace_event type: "X" complete spans (the default), "C" counter
+/// samples (args carry the sampled series values), "i" thread-scoped
+/// instants (point markers like solver restarts).
 struct TraceEvent {
   std::string name;
+  char phase = 'X';
   std::uint32_t tid = 0;
   std::uint64_t start_us = 0;
-  std::uint64_t dur_us = 0;
+  std::uint64_t dur_us = 0;  // spans only
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -55,18 +59,33 @@ class Tracer {
 
   void record(TraceEvent event);
 
+  /// Records a counter sample ("C" event) on the current thread: Perfetto
+  /// renders each named series as a counter track under the thread, so
+  /// per-query solver rates and sizes read as timelines beneath the spans
+  /// that produced them. Doubles render with fixed 3-digit precision so
+  /// documents stay deterministic for a given set of samples.
+  void counter(const char* name, std::uint64_t value);
+  void counter(const char* name, double value);
+
+  /// Records a thread-scoped instant ("i" event) — a point marker, e.g. a
+  /// solver restart, nested under whatever span encloses it.
+  void instant(const char* name);
+
   /// Microseconds since this tracer was created (steady clock).
   std::uint64_t now_us() const noexcept;
 
   std::size_t event_count() const;
 
   /// The full Chrome trace_event document:
-  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Events are emitted
-  /// sorted by (tid, start_us) so the document is stable for a given set
-  /// of recorded spans.
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}. Leads with "M"
+  /// metadata events (process_name "fsr" + one thread_name per thread
+  /// named via set_thread_name, sorted by tid), then data events sorted by
+  /// (tid, start_us) so the document is stable for a given set of events.
   std::string chrome_trace_json() const;
 
-  /// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+  /// Writes chrome_trace_json() to `path` via a temp file + atomic rename,
+  /// so an interrupted run never leaves a truncated, unparseable trace.
+  /// Returns false on I/O failure.
   bool write(const std::string& path) const;
 
  private:
@@ -80,6 +99,23 @@ class Tracer {
 /// Spans hold the pointer across the swap, so uninstall before destroying.
 void install_tracer(Tracer* tracer);
 Tracer* tracer() noexcept;
+
+/// Dense per-process thread id (0, 1, 2, ...) assigned on first use; the
+/// same ids key trace events, flight-recorder events, and thread names.
+std::uint32_t current_thread_tid() noexcept;
+
+/// Names the calling thread for trace output ("main", "worker-0", ...):
+/// every Tracer renders the name as a Chrome "M" thread_name metadata
+/// event so Perfetto shows named tracks instead of bare dense tids.
+/// Process-lifetime and tracer-independent; naming a tid twice keeps the
+/// latest name. Cheap, but not for hot paths (takes a mutex).
+void set_thread_name(const std::string& name);
+
+/// Counter/instant conveniences against the installed tracer; one relaxed
+/// load and out when tracing is off, mirroring Span's off-cost.
+void trace_counter(const char* name, std::uint64_t value);
+void trace_counter(const char* name, double value);
+void trace_instant(const char* name);
 
 /// RAII span: records [construction, destruction) on the current thread
 /// against the tracer installed at construction. When no tracer is

@@ -13,16 +13,20 @@
 // only, byte-identical for any --threads); --table renders the human
 // tables instead, timings included. Exit status: 0 on success, 1 when any
 // repair failed internally, 2 on usage errors.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/service.h"
 #include "campaign/scenario_source.h"
 #include "groundtruth/engine.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
@@ -54,6 +58,14 @@ void print_usage() {
       "  --trace-out FILE write a Chrome trace_event JSON of the run\n"
       "                   (load in about:tracing or ui.perfetto.dev);\n"
       "                   report bytes are unaffected\n"
+      "  --metrics-out FILE  rewrite FILE atomically with an OpenMetrics\n"
+      "                   snapshot of the obs registry, every\n"
+      "                   --metrics-interval-ms (default 1000) and once at\n"
+      "                   exit; report bytes are unaffected\n"
+      "  --metrics-interval-ms N  snapshot period for --metrics-out\n"
+      "  --crash-dump FILE  install a flight recorder and dump its events\n"
+      "                   + a registry snapshot to FILE on SIGSEGV/SIGABRT\n"
+      "                   (then die) and on demand on SIGUSR1\n"
       "  --json           machine-readable JSON report array (the default)\n"
       "  --table          human-readable tables, timings included\n"
       "  --format F       compat alias: json | text\n"
@@ -73,6 +85,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string format = "json";
   std::string trace_out;
+  std::string metrics_out;
+  int metrics_interval_ms = 1000;
+  std::string crash_dump;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -134,6 +149,17 @@ int main(int argc, char** argv) {
       options.use_incremental_oracle = false;
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       trace_out = need_value(i, "--trace-out");
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      metrics_out = need_value(i, "--metrics-out");
+    } else if (std::strcmp(arg, "--metrics-interval-ms") == 0) {
+      metrics_interval_ms = std::atoi(need_value(i, "--metrics-interval-ms"));
+      if (metrics_interval_ms < 1) {
+        std::fprintf(stderr,
+                     "fsr_repair: --metrics-interval-ms needs a value >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--crash-dump") == 0) {
+      crash_dump = need_value(i, "--crash-dump");
     } else if (std::strcmp(arg, "--json") == 0) {
       format = "json";
     } else if (std::strcmp(arg, "--table") == 0) {
@@ -163,8 +189,19 @@ int main(int argc, char** argv) {
     gadgets = {"bad", "disagree", "ibgp-figure3"};
   }
 
+  fsr::obs::set_thread_name("main");
   fsr::obs::Tracer tracer;
   if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
+  fsr::obs::FlightRecorder recorder(1024);
+  if (!crash_dump.empty()) {
+    fsr::obs::install_recorder(&recorder);
+    fsr::obs::install_crash_handler(crash_dump);
+  }
+  std::optional<fsr::obs::MetricsFileWriter> metrics_writer;
+  if (!metrics_out.empty()) {
+    metrics_writer.emplace(fsr::obs::MetricsFileWriter::Options{
+        metrics_out, std::chrono::milliseconds(metrics_interval_ms)});
+  }
   try {
     std::vector<fsr::spp::SppInstance> instances;
     for (const std::string& name : gadgets) {
@@ -208,6 +245,15 @@ int main(int argc, char** argv) {
       first = false;
     }
     if (format == "json") std::printf("]\n");
+    fsr::obs::install_recorder(nullptr);
+    if (metrics_writer.has_value()) {
+      metrics_writer->stop();
+      if (!metrics_writer->ok()) {
+        std::fprintf(stderr, "fsr_repair: cannot write metrics to '%s'\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+    }
     if (!trace_out.empty()) {
       // Every future resolved above, so all spans are recorded.
       fsr::obs::install_tracer(nullptr);

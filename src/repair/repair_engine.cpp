@@ -186,6 +186,10 @@ class Search {
       obs::Span depth_span("repair.depth");
       depth_span.arg("depth", depth);
       depth_span.arg("frontier", frontier.size());
+      // Beam timelines: frontier size per depth plus the cumulative prune
+      // count, so Perfetto shows the search narrowing under repair.run.
+      obs::trace_counter("repair.beam_frontier",
+                         static_cast<std::uint64_t>(frontier.size()));
       const std::size_t candidates_floor = report.candidates_checked;
       const std::size_t pruned_floor = report.beam_pruned;
       premark(frontier);
@@ -218,6 +222,8 @@ class Search {
         next = prune_frontier(std::move(next), report);
       }
       depth_span.arg("pruned", report.beam_pruned - pruned_floor);
+      obs::trace_counter("repair.beam_pruned",
+                         static_cast<std::uint64_t>(report.beam_pruned));
       frontier = std::move(next);
     }
 

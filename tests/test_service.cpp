@@ -7,6 +7,8 @@
 // Runs under the `service` ctest label.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -18,6 +20,8 @@
 #include "api/wire.h"
 #include "fsr/incremental_session.h"
 #include "groundtruth/stable_sat.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
@@ -66,7 +70,8 @@ std::string deterministic_bytes(Response response) {
 TEST(Request, KindsRoundTripTheirWireNames) {
   for (const RequestKind kind :
        {RequestKind::analyze_safety, RequestKind::ground_truth,
-        RequestKind::repair, RequestKind::emulate, RequestKind::stats}) {
+        RequestKind::repair, RequestKind::emulate, RequestKind::stats,
+        RequestKind::debug}) {
     EXPECT_EQ(parse_request_kind(to_string(kind)), kind);
   }
   EXPECT_FALSE(parse_request_kind("nonsense").has_value());
@@ -426,6 +431,110 @@ TEST(Wire, StatsRequestIsPayloadFreeAndFingerprintless) {
       InvalidArgument);
 }
 
+TEST(Wire, DebugRequestIsPayloadFreeAndFingerprintless) {
+  const Request request = wire::parse_request("{\"kind\": \"debug\"}");
+  EXPECT_TRUE(std::holds_alternative<DebugRequest>(request));
+  EXPECT_EQ(fingerprint(request), "");
+  EXPECT_THROW(
+      wire::parse_request("{\"kind\": \"debug\", \"gadget\": \"bad\"}"),
+      InvalidArgument);
+}
+
+TEST(Service, DebugRequestDrainsTheInstalledFlightRecorder) {
+  obs::FlightRecorder recorder(256);
+  obs::install_recorder(&recorder);
+  std::string line;
+  {
+    AnalysisService service;
+    service.call(GroundTruthRequest{shared_gadget("bad"), {}});
+    const Response response = service.call(DebugRequest{});
+    EXPECT_TRUE(response.error.empty());
+    EXPECT_EQ(response.fingerprint, "");
+    ASSERT_TRUE(response.debug.has_value());
+    EXPECT_TRUE(response.debug->enabled);
+    ASSERT_FALSE(response.debug->events.empty());
+    line = wire::render_response(response);
+  }
+  obs::install_recorder(nullptr);
+
+  // Golden schema: key set and shape, never values (they are live state).
+  const json::Value parsed = json::parse(line);
+  EXPECT_EQ(parsed.find("kind")->as_string("kind"), "debug");
+  const json::Value* debug = parsed.find("debug");
+  ASSERT_NE(debug, nullptr);
+  EXPECT_TRUE(debug->find("enabled")->as_bool("enabled"));
+  ASSERT_NE(debug->find("dropped"), nullptr);
+  const auto& events = debug->find("events")->as_array("events");
+  ASSERT_FALSE(events.empty());
+  bool saw_begin = false, saw_end = false, saw_query = false;
+  for (const json::Value& event : events) {
+    for (const char* key : {"seq", "ts_us", "tid", "kind", "detail", "a",
+                            "b"}) {
+      EXPECT_NE(event.find(key), nullptr) << key;
+    }
+    const std::string kind = event.find("kind")->as_string("kind");
+    if (kind == "request-begin" &&
+        event.find("detail")->as_string("detail") == "ground-truth") {
+      saw_begin = true;
+    } else if (kind == "request-end") {
+      saw_end = true;
+      EXPECT_FALSE(event.find("detail")->as_string("detail").empty());
+    } else if (kind == "solver-query") {
+      saw_query = true;
+    }
+  }
+  // The ground-truth request left its whole forensic trail: begin, the
+  // solver query it ran, and its end mark with the fingerprint.
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_query);
+}
+
+TEST(Service, DebugRequestReportsDisabledWithoutARecorder) {
+  ASSERT_EQ(obs::recorder(), nullptr);
+  AnalysisService service;
+  const Response response = service.call(DebugRequest{});
+  EXPECT_TRUE(response.error.empty());
+  ASSERT_TRUE(response.debug.has_value());
+  EXPECT_FALSE(response.debug->enabled);
+  EXPECT_TRUE(response.debug->events.empty());
+  const std::string line = wire::render_response(response);
+  const json::Value parsed = json::parse(line);
+  EXPECT_FALSE(parsed.find("debug")->find("enabled")->as_bool("enabled"));
+}
+
+TEST(Service, SlowRequestWatchdogCountsWithoutTouchingBytes) {
+  const Request request = GroundTruthRequest{shared_gadget("bad"), {}};
+  std::string baseline;
+  {
+    AnalysisService plain;  // default threshold: nothing here is slow
+    baseline = deterministic_bytes(plain.call(request));
+    EXPECT_EQ(plain.stats().slow_requests, 0u);
+  }
+  ServiceOptions options;
+  options.slow_request_ms = 1e-6;  // everything is an outlier
+  AnalysisService service(options);
+  obs::FlightRecorder recorder(64);
+  obs::install_recorder(&recorder);
+  const Response flagged = service.call(request);
+  obs::install_recorder(nullptr);
+  // Observation only: identical bytes, but the watchdog counted and left
+  // its forensic mark in the recorder.
+  EXPECT_EQ(deterministic_bytes(flagged), baseline);
+  EXPECT_GE(service.stats().slow_requests, 1u);
+  bool saw_slow = false;
+  for (const obs::RecorderEvent& event : recorder.drain()) {
+    if (event.kind == obs::RecorderEventKind::slow_request) saw_slow = true;
+  }
+  EXPECT_TRUE(saw_slow);
+
+  ServiceOptions off;
+  off.slow_request_ms = 0;  // 0 disables the watchdog outright
+  AnalysisService quiet(off);
+  quiet.call(request);
+  EXPECT_EQ(quiet.stats().slow_requests, 0u);
+}
+
 TEST(Service, StatsRequestAnswersTheGoldenSchema) {
   AnalysisService service;
   service.call(GroundTruthRequest{shared_gadget("bad"), {}});
@@ -444,8 +553,9 @@ TEST(Service, StatsRequestAnswersTheGoldenSchema) {
   ASSERT_NE(stats, nullptr);
   const json::Value* service_block = stats->find("service");
   ASSERT_NE(service_block, nullptr);
-  for (const char* key : {"submitted", "completed", "errors", "warm_hits",
-                          "sessions_built", "sessions_evicted"}) {
+  for (const char* key :
+       {"submitted", "completed", "errors", "warm_hits", "sessions_built",
+        "sessions_evicted", "slow_requests"}) {
     EXPECT_NE(service_block->find(key), nullptr) << key;
   }
   const json::Value* metrics = stats->find("metrics");
@@ -518,6 +628,63 @@ TEST(Service, ByteIdentityHoldsWithTracingOnAtPoolSizesOneAndEight) {
     EXPECT_GE(parsed.find("traceEvents")->as_array("traceEvents").size(),
               requests.size());
   }
+}
+
+TEST(Service, ByteIdentityHoldsWithEveryDiagnosticChannelEnabled) {
+  // The PR's hard contract, all channels at once: flight recorder
+  // installed, metrics file writer scraping, tracer recording, and the
+  // slow-request watchdog firing on every request must not move one
+  // deterministic byte at any pool size against an everything-off serial
+  // baseline. ("stats"/"debug" are live by contract and excluded here,
+  // exactly as the CI smoke filters them before diffing.)
+  const std::vector<Request> requests = mixed_batch();
+  std::vector<std::string> baseline;
+  {
+    AnalysisService service;  // channels off, threads = 1
+    for (const Request& request : requests) {
+      baseline.push_back(deterministic_bytes(service.call(request)));
+    }
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path metrics_path =
+      fs::temp_directory_path() / "fsr_test_service_metrics.prom";
+  for (const int pool_size : {1, 8}) {
+    obs::Tracer tracer;
+    obs::install_tracer(&tracer);
+    obs::FlightRecorder recorder(256);
+    obs::install_recorder(&recorder);
+    std::vector<Response> responses;
+    {
+      obs::MetricsFileWriter::Options writer_options;
+      writer_options.path = metrics_path.string();
+      writer_options.interval = std::chrono::milliseconds(5);
+      obs::MetricsFileWriter writer(writer_options);
+      ServiceOptions options;
+      options.threads = pool_size;
+      options.slow_request_ms = 1e-6;  // the watchdog fires on everything
+      AnalysisService service(options);
+      responses = service.run(requests);
+      // The live kinds answer in-band alongside the analysis traffic.
+      const Response debug = service.call(DebugRequest{});
+      ASSERT_TRUE(debug.debug.has_value());
+      EXPECT_TRUE(debug.debug->enabled);
+      EXPECT_FALSE(debug.debug->events.empty());
+      writer.stop();
+      EXPECT_TRUE(writer.ok());
+    }
+    obs::install_recorder(nullptr);
+    obs::install_tracer(nullptr);
+
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(deterministic_bytes(responses[i]), baseline[i])
+          << "pool=" << pool_size << " request=" << i;
+    }
+    // Every channel actually saw traffic.
+    EXPECT_GT(recorder.recorded(), 0u);
+    EXPECT_GE(tracer.event_count(), requests.size());
+  }
+  fs::remove(metrics_path);
 }
 
 TEST(Service, RepairEffortDeltasAreExactInBorrowedAndSelfBuiltPaths) {
