@@ -1,0 +1,152 @@
+// Event-driven simulator throughput: messages/sec and convergence-step
+// counts over the gadget library (informational — no CI gate).
+//
+// Two shapes:
+//   * convergence scaling — GOOD-gadget chains of growing size, steady and
+//     link-flap schedules, many seeds each: how many activation steps and
+//     messages a safe instance of N gadgets takes to quiesce, and how fast
+//     the simulator chews through them;
+//   * oscillation detection — the unsafe gadgets, where the run's cost is
+//     the exact state-repeat search, reported as steps/sec until the cycle
+//     is found.
+//
+// All numbers land in BENCH_pr.json via --json as sim_* metrics; they are
+// deliberately not threshold-gated (wall-clock throughput on shared CI
+// runners is provenance, not a contract — see bench/thresholds.json).
+//
+//   bench_sim [--json FILE] [--check THRESHOLDS]
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/simulator.h"
+#include "spp/gadgets.h"
+#include "spp/spp.h"
+
+namespace {
+
+constexpr std::uint64_t k_seed_base = 42;
+constexpr std::uint64_t k_seeds_per_instance = 32;
+
+struct SweepStats {
+  double wall_ms = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t oscillating = 0;
+};
+
+SweepStats sweep(const fsr::spp::SppInstance& instance,
+                 const std::string& scenario) {
+  SweepStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t s = 0; s < k_seeds_per_instance; ++s) {
+    fsr::sim::SimOptions options;
+    options.seed = k_seed_base + s;
+    options.scenario = scenario;
+    const fsr::sim::SimResult run = fsr::sim::simulate(instance, options);
+    stats.messages += run.messages;
+    stats.steps += run.steps;
+    ++stats.runs;
+    if (run.converged) ++stats.converged;
+    if (run.oscillating) ++stats.oscillating;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  return stats;
+}
+
+std::string fmt(double value, const char* suffix = "") {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = fsr::bench;
+
+  std::string json_path;
+  std::string thresholds_path;
+  if (!bench::parse_metric_args(argc, argv, "bench_sim", json_path,
+                                thresholds_path)) {
+    return 2;
+  }
+
+  std::map<std::string, double> metrics;
+  double total_messages = 0.0;
+  double total_ms = 0.0;
+
+  bench::print_banner(
+      "sim convergence scaling: GOOD-gadget chains, 32 seeds each");
+  bench::print_row({"instance", "scenario", "conv", "steps/run",
+                    "msgs/run", "msgs/sec"},
+                   13);
+  for (const std::int32_t length : {1, 4, 8, 16}) {
+    const fsr::spp::SppInstance chain = fsr::spp::good_gadget_chain(length);
+    for (const char* scenario : {"steady", "link-flap"}) {
+      const SweepStats stats = sweep(chain, scenario);
+      const double runs = static_cast<double>(stats.runs);
+      const double msgs_per_sec =
+          1000.0 * static_cast<double>(stats.messages) / stats.wall_ms;
+      bench::print_row(
+          {"good-chain-" + std::to_string(length), scenario,
+           std::to_string(stats.converged) + "/" + std::to_string(stats.runs),
+           fmt(static_cast<double>(stats.steps) / runs),
+           fmt(static_cast<double>(stats.messages) / runs), fmt(msgs_per_sec)},
+          13);
+      total_messages += static_cast<double>(stats.messages);
+      total_ms += stats.wall_ms;
+      if (std::string(scenario) == "steady") {
+        metrics["sim_chain" + std::to_string(length) + "_steps_per_run"] =
+            static_cast<double>(stats.steps) / runs;
+        metrics["sim_chain" + std::to_string(length) + "_messages_per_run"] =
+            static_cast<double>(stats.messages) / runs;
+      }
+    }
+  }
+
+  bench::print_banner(
+      "sim oscillation detection: unsafe gadgets, 32 seeds each");
+  bench::print_row({"instance", "osc", "steps/run", "steps/sec"}, 15);
+  for (const char* name : {"bad", "disagree", "ibgp-figure3"}) {
+    const SweepStats stats =
+        sweep(fsr::spp::gadget_by_name(name), "steady");
+    const double steps_per_sec =
+        1000.0 * static_cast<double>(stats.steps) / stats.wall_ms;
+    bench::print_row(
+        {name,
+         std::to_string(stats.oscillating) + "/" + std::to_string(stats.runs),
+         fmt(static_cast<double>(stats.steps) /
+             static_cast<double>(stats.runs)),
+         fmt(steps_per_sec)},
+        15);
+    total_messages += static_cast<double>(stats.messages);
+    total_ms += stats.wall_ms;
+    if (std::string(name) == "bad") {
+      metrics["sim_bad_detection_steps_per_sec"] = steps_per_sec;
+    }
+  }
+
+  metrics["sim_messages_per_sec"] = 1000.0 * total_messages / total_ms;
+  bench::print_banner("sim aggregate");
+  bench::print_row({"messages/sec (all sweeps)",
+                    fmt(metrics["sim_messages_per_sec"])},
+                   28);
+
+  if (!json_path.empty() && !bench::write_metrics_file(json_path, metrics)) {
+    std::fprintf(stderr, "bench_sim: cannot write '%s'\n", json_path.c_str());
+    return 1;
+  }
+  if (!thresholds_path.empty() &&
+      !bench::check_thresholds(metrics, thresholds_path, "sim_")) {
+    return 1;
+  }
+  return 0;
+}

@@ -15,6 +15,8 @@ const char* to_string(RequestKind kind) noexcept {
       return "repair";
     case RequestKind::emulate:
       return "emulate";
+    case RequestKind::simulate:
+      return "simulate";
     case RequestKind::stats:
       return "stats";
     case RequestKind::debug:
@@ -28,6 +30,7 @@ std::optional<RequestKind> parse_request_kind(const std::string& text) {
   if (text == "ground-truth") return RequestKind::ground_truth;
   if (text == "repair") return RequestKind::repair;
   if (text == "emulate") return RequestKind::emulate;
+  if (text == "simulate") return RequestKind::simulate;
   if (text == "stats") return RequestKind::stats;
   if (text == "debug") return RequestKind::debug;
   return std::nullopt;
@@ -46,6 +49,9 @@ RequestKind kind_of(const Request& request) noexcept {
     }
     RequestKind operator()(const EmulateRequest&) const {
       return RequestKind::emulate;
+    }
+    RequestKind operator()(const SimulateRequest&) const {
+      return RequestKind::simulate;
     }
     RequestKind operator()(const StatsRequest&) const {
       return RequestKind::stats;
@@ -88,6 +94,19 @@ void validate(const Request& request) {
             "topology");
       }
     }
+    void operator()(const SimulateRequest& req) const {
+      if (req.spp == nullptr) {
+        throw InvalidArgument("simulate request needs an SPP instance");
+      }
+      if (!sim::is_scenario_name(req.scenario)) {
+        throw InvalidArgument("unknown simulation scenario '" + req.scenario +
+                              "' (expected one of: steady, staged, "
+                              "link-flap, session-reset)");
+      }
+      if (req.max_steps.has_value() && *req.max_steps == 0) {
+        throw InvalidArgument("simulate max-steps must be >= 1");
+      }
+    }
     void operator()(const StatsRequest&) const {}  // no payload to check
     void operator()(const DebugRequest&) const {}  // no payload to check
   };
@@ -114,6 +133,9 @@ std::string payload_canonical(const Request& request) {
       return "alg|" + req.algebra->name() + "|" +
              campaign::canonical_spec(req.algebra->symbolic()) + "|topo|" +
              campaign::canonical_topology(*req.topology);
+    }
+    std::string operator()(const SimulateRequest& req) const {
+      return campaign::canonical_spp(*req.spp);
     }
     std::string operator()(const StatsRequest&) const { return std::string(); }
     std::string operator()(const DebugRequest&) const { return std::string(); }

@@ -30,6 +30,7 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "repair/repair_engine.h"
+#include "sim/simulator.h"
 #include "spp/spp.h"
 #include "topology/topology.h"
 
@@ -40,13 +41,14 @@ enum class RequestKind {
   ground_truth,
   repair,
   emulate,
+  simulate,
   stats,
   debug,
 };
 
 const char* to_string(RequestKind kind) noexcept;
 /// Parses the wire spelling ("analyze-safety", "ground-truth", "repair",
-/// "emulate", "stats", "debug"); nullopt for anything else.
+/// "emulate", "simulate", "stats", "debug"); nullopt for anything else.
 std::optional<RequestKind> parse_request_kind(const std::string& text);
 
 /// Safety analysis (paper Section IV): exactly one of `algebra` (analyze
@@ -82,13 +84,31 @@ struct EmulateRequest {
   std::uint64_t seed = 1;
 };
 
+/// Event-driven SPVP simulation (sim/simulator.h): how an SPP instance
+/// converges — messages, activation steps, churn response — rather than
+/// whether it can diverge. Results are seed-dependent by design (the seed
+/// fixes link delays and churn schedules), so the seed, scenario, and step
+/// budget are part of the request identity; the remaining knobs live in
+/// ServiceOptions::sim like every other engine's configuration.
+struct SimulateRequest {
+  std::shared_ptr<const spp::SppInstance> spp;
+  std::uint64_t seed = 1;
+  /// One of sim::scenario_names(); validate() rejects anything else.
+  std::string scenario = "steady";
+  /// Overrides ServiceOptions::sim.max_steps when set.
+  std::optional<std::uint64_t> max_steps;
+};
+
 /// Live service introspection: no payload, no solver work. The response
 /// carries the service's own counters plus a snapshot of the process-wide
 /// obs registry. Values are execution state, not analysis results — the
 /// one request kind whose response bytes legitimately depend on what else
 /// the process has done (schema and field order stay fixed; fsr_serve
 /// drains every earlier request first so a serial stream sees a
-/// well-defined "everything before me" snapshot).
+/// well-defined "everything before me" snapshot). Never cached: its
+/// fingerprint is empty by contract, so it can never hit the session cache
+/// or a campaign ResultCache — a live snapshot served from a cache would
+/// be a lie.
 struct StatsRequest {};
 
 /// Flight-recorder drain: no payload, no solver work. The response carries
@@ -97,12 +117,13 @@ struct StatsRequest {};
 /// without --recorder). Live execution state like `stats`: the event list
 /// depends on what the process did, the schema and ordering (global seq)
 /// are fixed, and fsr_serve drains every earlier request first so the
-/// history is quiesced and complete when read.
+/// history is quiesced and complete when read. Never cached, like `stats`:
+/// the empty fingerprint keeps it out of every cache layer by construction.
 struct DebugRequest {};
 
 using Request =
     std::variant<AnalyzeSafetyRequest, GroundTruthRequest, RepairRequest,
-                 EmulateRequest, StatsRequest, DebugRequest>;
+                 EmulateRequest, SimulateRequest, StatsRequest, DebugRequest>;
 
 RequestKind kind_of(const Request& request) noexcept;
 
@@ -159,6 +180,7 @@ struct Response {
   std::optional<groundtruth::Result> ground_truth;
   std::optional<repair::RepairReport> repair;
   std::optional<EmulationResult> emulation;
+  std::optional<sim::SimResult> sim;
   std::optional<StatsPayload> stats;
   std::optional<DebugPayload> debug;
 

@@ -239,6 +239,16 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
                                ? emulate_spp(*req->spp, emulation)
                                : emulate_gpv(*req->algebra, *req->topology,
                                              emulation);
+    } else if (const auto* req = std::get_if<SimulateRequest>(&request)) {
+      // The simulator is deterministic in (instance, options) and keeps no
+      // solver state, so there is nothing to warm: the fingerprint still
+      // identifies the content (shared with the other kinds over the same
+      // instance), but the session cache is never consulted.
+      sim::SimOptions sim_options = options_.sim;
+      sim_options.seed = req->seed;
+      sim_options.scenario = req->scenario;
+      if (req->max_steps.has_value()) sim_options.max_steps = *req->max_steps;
+      response.sim = sim::simulate(*req->spp, sim_options);
     } else if (std::get_if<StatsRequest>(&request) != nullptr) {
       // Live introspection: this service's own deltas plus the process
       // registry. No solver work, no session-cache traffic.

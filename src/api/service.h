@@ -44,6 +44,7 @@
 #include "groundtruth/engine.h"
 #include "obs/metrics.h"
 #include "repair/repair_engine.h"
+#include "sim/simulator.h"
 
 namespace fsr::api {
 
@@ -64,6 +65,9 @@ struct ServiceOptions {
   groundtruth::Options ground_truth_options;
   /// Base emulation options; each EmulateRequest overrides `.seed`.
   EmulationOptions emulation;
+  /// Base event-driven simulation options; each SimulateRequest overrides
+  /// `.seed`, `.scenario`, and (when set) `.max_steps`.
+  sim::SimOptions sim;
   /// Slow-request watchdog: a request whose wall time reaches this many
   /// milliseconds is counted in "service.slow_requests" (stats and the obs
   /// registry), marked in the flight recorder when one is installed, and

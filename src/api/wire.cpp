@@ -266,6 +266,33 @@ void append_repair(std::string& out, const repair::RepairReport& report,
   out += "]}";
 }
 
+void append_sim(std::string& out, const sim::SimResult& sim_result) {
+  // Every field here is deterministic in (request, options, seed) — the
+  // simulator never reads a wall clock — so nothing is timings-gated.
+  out += "\"sim\": {\"scenario\": " + json_quoted(sim_result.scenario);
+  out += ", \"converged\": ";
+  out += sim_result.converged ? "true" : "false";
+  out += ", \"oscillating\": ";
+  out += sim_result.oscillating ? "true" : "false";
+  out += ", \"steps\": " + std::to_string(sim_result.steps);
+  out += ", \"ticks\": " + std::to_string(sim_result.ticks);
+  out += ", \"messages\": " + std::to_string(sim_result.messages);
+  out += ", \"route_changes\": " + std::to_string(sim_result.route_changes);
+  out += ", \"convergence_tick\": " +
+         std::to_string(sim_result.convergence_tick);
+  out += ", \"cycle_length\": " + std::to_string(sim_result.cycle_length);
+  out += ", \"fixed_point_stable\": ";
+  out += sim_result.fixed_point_stable ? "true" : "false";
+  out += ", \"fixed_point\": {";
+  bool first = true;
+  for (const auto& [node, path] : sim_result.final_assignment) {
+    if (!first) out += ", ";
+    out += json_quoted(node) + ": " + json_quoted(render_path(path));
+    first = false;
+  }
+  out += "}}";
+}
+
 void append_emulation(std::string& out, const EmulationResult& emu) {
   out += "\"emulation\": {\"quiesced\": ";
   out += emu.quiesced ? "true" : "false";
@@ -302,8 +329,12 @@ Request parse_request(const std::string& line) {
   const std::optional<RequestKind> kind =
       parse_request_kind(kind_value->as_string("kind"));
   if (!kind.has_value()) {
+    // Named so a client staring at an fsr_serve error line can fix the
+    // request without opening this file.
     throw InvalidArgument("unknown request kind '" +
-                          kind_value->as_string("kind") + "'");
+                          kind_value->as_string("kind") +
+                          "' (want analyze-safety, ground-truth, repair, "
+                          "emulate, simulate, stats, or debug)");
   }
   if (*kind == RequestKind::stats || *kind == RequestKind::debug) {
     // Introspection carries no payload; anything else on the line is a
@@ -359,6 +390,19 @@ Request parse_request(const std::string& line) {
       validate(Request(request));
       return request;
     }
+    case RequestKind::simulate: {
+      SimulateRequest request;
+      request.spp = std::move(payload.spp);
+      request.seed = seed;
+      if (const json::Value* scenario = body.find("scenario")) {
+        request.scenario = scenario->as_string("scenario");
+      }
+      if (const json::Value* max_steps = body.find("max-steps")) {
+        request.max_steps = max_steps->as_u64("max-steps");
+      }
+      validate(Request(request));
+      return request;
+    }
     case RequestKind::stats:
     case RequestKind::debug:
       break;  // handled above (payload-free)
@@ -385,6 +429,8 @@ std::string render_response(const Response& response,
       append_repair(out, *response.repair, options.timings);
     } else if (response.emulation.has_value()) {
       append_emulation(out, *response.emulation);
+    } else if (response.sim.has_value()) {
+      append_sim(out, *response.sim);
     } else if (response.stats.has_value()) {
       append_stats(out, *response.stats);
     } else if (response.debug.has_value()) {

@@ -3,10 +3,11 @@
 //
 // One request object per input line. Schema:
 //
-//   {"kind": K, <payload>, ["seed": N], ["mode": M]}
+//   {"kind": K, <payload>, ["seed": N], ["mode": M], ["scenario": S],
+//    ["max-steps": N]}
 //
 //   K        — "analyze-safety" | "ground-truth" | "repair" | "emulate"
-//              | "stats" | "debug"
+//              | "simulate" | "stats" | "debug"
 //   payload  — exactly one of (none for "stats", which takes no payload
 //              and answers live service counters + the obs registry
 //              snapshot, and none for "debug", which drains the installed
@@ -30,8 +31,14 @@
 //                             inline instance; paths are added in ranked
 //                             order (earlier = more preferred at their
 //                             source node)
-//   "seed"   — SPVP-trial seed (repair) or emulation seed; optional
+//   "seed"   — SPVP-trial seed (repair), emulation seed, or simulation
+//              seed (link delays + churn schedule); optional
 //   "mode"   — ground-truth oracle override: "sat-search" | "enumerate"
+//   "scenario" — simulate only: churn scenario, one of "steady" (default)
+//              | "staged" | "link-flap" | "session-reset"
+//   "max-steps" — simulate only: event-budget override (>= 1)
+//
+// See docs/WIRE.md for the full request/response reference.
 //
 // Responses are one object per line, in request order, with fixed field
 // order and formatting — byte-identical for a fixed request stream and

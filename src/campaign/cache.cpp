@@ -90,9 +90,11 @@ std::string canonical_topology(const topology::Topology& topology) {
 
 std::string scenario_cache_key(const Scenario& scenario) {
   std::string out = to_string(scenario.kind);
-  if (scenario.kind == ScenarioKind::emulation) {
-    // Emulation outcomes depend on the scenario seed (jitter, batching
-    // drift); safety verdicts do not.
+  if (scenario.kind == ScenarioKind::emulation ||
+      scenario.kind == ScenarioKind::simulation) {
+    // Emulation and simulation outcomes depend on the scenario seed
+    // (jitter and batching drift; link delays and churn schedules); safety
+    // verdicts do not.
     out += "|seed=" + std::to_string(scenario.seed);
   }
   if (scenario.spp) {
@@ -165,9 +167,11 @@ std::string content_digest(const std::string& canonical) {
 
 namespace {
 
-// v2: RepairSummary gained oracle_budget (the incremental-oracle PR); v1
-// records from older builds fail the header check and degrade to misses.
-constexpr const char* k_record_header = "fsr-outcome v2";
+// v3: outcomes gained the simulation payload (has_sim + sim.* fields) and
+// the "simulation" kind tag; v2 lacked both. v2: RepairSummary gained
+// oracle_budget (the incremental-oracle PR). Records with an older header
+// fail the check and degrade to misses.
+constexpr const char* k_record_header = "fsr-outcome v3";
 
 std::string escape_value(const std::string& text) {
   std::string out;
@@ -412,6 +416,49 @@ bool read_emulation(RecordReader& reader, EmulationResult& emu) {
   return reader.ok();
 }
 
+void write_sim(RecordWriter& writer, const sim::SimResult& sim_result) {
+  writer.field("sim.scenario", sim_result.scenario);
+  writer.field("sim.converged", sim_result.converged);
+  writer.field("sim.oscillating", sim_result.oscillating);
+  writer.field("sim.steps", sim_result.steps);
+  writer.field("sim.ticks", sim_result.ticks);
+  writer.field("sim.messages", sim_result.messages);
+  writer.field("sim.route_changes", sim_result.route_changes);
+  writer.field("sim.convergence_tick", sim_result.convergence_tick);
+  writer.field("sim.cycle_length", sim_result.cycle_length);
+  writer.field("sim.stable", sim_result.fixed_point_stable);
+  writer.field("sim.assignment", sim_result.final_assignment.size());
+  for (const auto& [node, path] : sim_result.final_assignment) {
+    writer.field("assign.node", node);
+    writer.field("assign.hops", path.size());
+    for (const std::string& hop : path) writer.field("hop", hop);
+  }
+}
+
+bool read_sim(RecordReader& reader, sim::SimResult& sim_result) {
+  sim_result.scenario = reader.text("sim.scenario");
+  sim_result.converged = reader.boolean("sim.converged");
+  sim_result.oscillating = reader.boolean("sim.oscillating");
+  sim_result.steps = reader.u64("sim.steps");
+  sim_result.ticks = reader.u64("sim.ticks");
+  sim_result.messages = reader.u64("sim.messages");
+  sim_result.route_changes = reader.u64("sim.route_changes");
+  sim_result.convergence_tick = reader.u64("sim.convergence_tick");
+  sim_result.cycle_length = reader.u64("sim.cycle_length");
+  sim_result.fixed_point_stable = reader.boolean("sim.stable");
+  const std::uint64_t entries = reader.u64("sim.assignment");
+  if (!reader.ok() || entries > 1u << 20) return false;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::string node = reader.text("assign.node");
+    const std::uint64_t hops = reader.u64("assign.hops");
+    if (!reader.ok() || hops > 1u << 16) return false;
+    spp::Path path(hops);
+    for (std::string& hop : path) hop = reader.text("hop");
+    sim_result.final_assignment[node] = std::move(path);
+  }
+  return reader.ok();
+}
+
 void write_repair(RecordWriter& writer, const repair::RepairSummary& repair) {
   writer.field("repair.attempted", repair.attempted);
   writer.field("repair.solver_repaired", repair.solver_repaired);
@@ -459,6 +506,8 @@ std::string serialize_outcome(const ScenarioOutcome& outcome) {
   if (outcome.emulation.has_value()) {
     write_emulation(writer, *outcome.emulation);
   }
+  writer.field("has_sim", outcome.sim.has_value());
+  if (outcome.sim.has_value()) write_sim(writer, *outcome.sim);
   writer.field("has_repair", outcome.repair.has_value());
   if (outcome.repair.has_value()) write_repair(writer, *outcome.repair);
   return writer.take();
@@ -468,8 +517,10 @@ std::shared_ptr<const ScenarioOutcome> deserialize_outcome(
     const std::string& text) {
   RecordReader reader(text);
   auto outcome = std::make_shared<ScenarioOutcome>();
-  outcome->kind = reader.text("kind") == "emulation" ? ScenarioKind::emulation
-                                                     : ScenarioKind::safety;
+  const std::string kind = reader.text("kind");
+  outcome->kind = kind == "emulation"    ? ScenarioKind::emulation
+                  : kind == "simulation" ? ScenarioKind::simulation
+                                         : ScenarioKind::safety;
   outcome->error = reader.text("error");
   outcome->wall_ms = reader.real("wall_ms");
   if (reader.boolean("has_safety")) {
@@ -481,6 +532,11 @@ std::shared_ptr<const ScenarioOutcome> deserialize_outcome(
     EmulationResult emulation;
     if (!read_emulation(reader, emulation)) return nullptr;
     outcome->emulation = std::move(emulation);
+  }
+  if (reader.boolean("has_sim")) {
+    sim::SimResult sim_result;
+    if (!read_sim(reader, sim_result)) return nullptr;
+    outcome->sim = std::move(sim_result);
   }
   if (reader.boolean("has_repair")) {
     repair::RepairSummary repair;

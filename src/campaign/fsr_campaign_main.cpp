@@ -17,6 +17,7 @@
 
 #include "campaign/runner.h"
 #include "groundtruth/engine.h"
+#include "sim/simulator.h"
 #include "obs/export.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -36,6 +37,11 @@ void print_usage() {
       "  --timings        include wall-clock data (JSON output is then no\n"
       "                   longer byte-stable across runs)\n"
       "  --emulate        add emulation variants to the gadget source\n"
+      "  --simulate       add event-driven simulation variants to the\n"
+      "                   gadget source (incl. the unsafe gadgets, whose\n"
+      "                   runs report oscillation)\n"
+      "  --sim-scenario S churn scenario for simulation variants: steady\n"
+      "                   (default) | staged | link-flap | session-reset\n"
       "  --repair         run the repair engine on every not-provably-safe\n"
       "                   SPP scenario; adds repair data to the report\n"
       "  --repair-max-edits K  edit-size cap for repair candidates "
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
   std::string crash_dump;
   bool timings = false;
   bool emulate = false;
+  bool simulate = false;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -103,6 +110,16 @@ int main(int argc, char** argv) {
       timings = true;
     } else if (std::strcmp(arg, "--emulate") == 0) {
       emulate = true;
+    } else if (std::strcmp(arg, "--simulate") == 0) {
+      simulate = true;
+    } else if (std::strcmp(arg, "--sim-scenario") == 0) {
+      options.sim.scenario = need_value(i, "--sim-scenario");
+      if (!fsr::sim::is_scenario_name(options.sim.scenario)) {
+        std::fprintf(stderr,
+                     "fsr_campaign: --sim-scenario wants steady, staged, "
+                     "link-flap, or session-reset\n");
+        return 2;
+      }
     } else if (std::strcmp(arg, "--repair") == 0) {
       options.attempt_repair = true;
     } else if (std::strcmp(arg, "--repair-max-edits") == 0) {
@@ -183,7 +200,7 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<ScenarioSource>> sources;
     sources.reserve(source_names.size());
     for (const std::string& name : source_names) {
-      sources.push_back(make_builtin_source(name, emulate));
+      sources.push_back(make_builtin_source(name, emulate, simulate));
     }
 
     CampaignRunner runner(options);

@@ -22,6 +22,18 @@ bool executed(const ScenarioResult& result) {
   return !result.deduplicated && !result.cache_hit && result.outcome != nullptr;
 }
 
+/// Power-of-two bucket index for counters: 0 -> 0, and bucket i (i >= 1)
+/// covers [2^(i-1), 2^i). The integer sibling of the wall-ms bucketing in
+/// solve_time_histogram().
+std::size_t pow2_bucket(std::uint64_t value) {
+  std::size_t bucket = 0;
+  while (value > 0) {
+    ++bucket;
+    value >>= 1;
+  }
+  return bucket;
+}
+
 const char* safety_verdict_text(const SafetyReport& report) {
   return report.verdict == SafetyVerdict::safe ? "safe" : "not_provably_safe";
 }
@@ -96,6 +108,29 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
     if (!repair.error.empty()) out += ", \"error\": " + quoted(repair.error);
     out += "}";
   }
+  if (outcome != nullptr && outcome->sim.has_value()) {
+    // Every simulation field is deterministic in (content, seed), so the
+    // whole block lives in the default JSON — nothing is timings-gated.
+    const sim::SimResult& sim = *outcome->sim;
+    out += ", \"verdict\": ";
+    out += sim.converged     ? quoted("converged")
+           : sim.oscillating ? quoted("oscillating")
+                             : quoted("undecided");
+    out += ", \"sim_scenario\": " + quoted(sim.scenario) +
+           ", \"steps\": " + std::to_string(sim.steps) +
+           ", \"ticks\": " + std::to_string(sim.ticks) +
+           ", \"messages\": " + std::to_string(sim.messages) +
+           ", \"route_changes\": " + std::to_string(sim.route_changes);
+    if (sim.converged) {
+      out += ", \"convergence_tick\": " +
+             std::to_string(sim.convergence_tick) +
+             std::string(", \"fixed_point_stable\": ") +
+             (sim.fixed_point_stable ? "true" : "false");
+    }
+    if (sim.oscillating) {
+      out += ", \"cycle_length\": " + std::to_string(sim.cycle_length);
+    }
+  }
   if (outcome != nullptr && outcome->emulation.has_value()) {
     const EmulationResult& emu = *outcome->emulation;
     out += ", \"verdict\": ";
@@ -116,7 +151,7 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
 
 /// The comma-separated fields of a summary object, WITHOUT braces — the
 /// call sites wrap them (the per-source objects prepend a "source" field).
-std::string summary_json_fields(const SourceSummary& summary,
+std::string summary_json_fields(const SourceSummary& summary, bool with_sim,
                                 bool with_repair) {
   std::string out = "\"scenarios\": " + std::to_string(summary.scenarios) +
                     ", \"safe\": " + std::to_string(summary.safe) +
@@ -124,6 +159,12 @@ std::string summary_json_fields(const SourceSummary& summary,
                     std::to_string(summary.not_provably_safe) +
                     ", \"converged\": " + std::to_string(summary.converged) +
                     ", \"diverged\": " + std::to_string(summary.diverged);
+  if (with_sim) {
+    out += ", \"sim_runs\": " + std::to_string(summary.sim_runs) +
+           ", \"sim_converged\": " + std::to_string(summary.sim_converged) +
+           ", \"sim_oscillating\": " +
+           std::to_string(summary.sim_oscillating);
+  }
   if (with_repair) {
     out += ", \"repairs_attempted\": " +
            std::to_string(summary.repairs_attempted) +
@@ -150,6 +191,11 @@ void tally(SourceSummary& summary, const ScenarioResult& result) {
     } else {
       ++summary.diverged;
     }
+  }
+  if (outcome->sim.has_value()) {
+    ++summary.sim_runs;
+    if (outcome->sim->converged) ++summary.sim_converged;
+    if (outcome->sim->oscillating) ++summary.sim_oscillating;
   }
   if (outcome->repair.has_value()) {
     ++summary.repairs_attempted;
@@ -239,6 +285,34 @@ std::vector<std::size_t> CampaignReport::repair_edit_size_histogram() const {
   return buckets;
 }
 
+std::vector<std::size_t> CampaignReport::sim_message_histogram() const {
+  std::vector<std::size_t> buckets;
+  for (const ScenarioResult& result : results) {
+    if (result.outcome == nullptr || !result.outcome->sim.has_value()) {
+      continue;
+    }
+    const std::size_t bucket = pow2_bucket(result.outcome->sim->messages);
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+std::vector<std::size_t> CampaignReport::sim_convergence_step_histogram()
+    const {
+  std::vector<std::size_t> buckets;
+  for (const ScenarioResult& result : results) {
+    if (result.outcome == nullptr || !result.outcome->sim.has_value() ||
+        !result.outcome->sim->converged) {
+      continue;
+    }
+    const std::size_t bucket = pow2_bucket(result.outcome->sim->steps);
+    if (bucket >= buckets.size()) buckets.resize(bucket + 1, 0);
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
 std::vector<std::size_t> CampaignReport::slowest(std::size_t limit) const {
   std::vector<std::size_t> indices;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -264,17 +338,43 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
          ", \"deduplicated\": " + std::to_string(report.deduplicated_count) +
          "},\n";
   const SourceSummary totals = report.totals();
+  const bool with_sim = totals.sim_runs > 0;
   const bool with_repair = totals.repairs_attempted > 0;
-  out += "  \"totals\": {" + summary_json_fields(totals, with_repair) + "}";
+  out += "  \"totals\": {" +
+         summary_json_fields(totals, with_sim, with_repair) + "}";
   out += ",\n  \"per_source\": [";
   bool first = true;
   for (const auto& [source, summary] : report.per_source()) {
     if (!first) out += ", ";
     first = false;
     out += "{\"source\": " + quoted(source) + ", " +
-           summary_json_fields(summary, with_repair) + "}";
+           summary_json_fields(summary, with_sim, with_repair) + "}";
   }
   out += "],\n";
+  if (with_sim) {
+    // Both distributions are deterministic in (content, seed) — see
+    // sim_message_histogram() — so, unlike the solve-time histogram, they
+    // belong in the default byte-stable JSON.
+    out += "  \"simulation_summary\": {\"runs\": " +
+           std::to_string(totals.sim_runs) +
+           ", \"converged\": " + std::to_string(totals.sim_converged) +
+           ", \"oscillating\": " + std::to_string(totals.sim_oscillating) +
+           ", \"message_histogram_pow2\": [";
+    first = true;
+    for (const std::size_t count : report.sim_message_histogram()) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(count);
+    }
+    out += "], \"convergence_steps_histogram_pow2\": [";
+    first = true;
+    for (const std::size_t count : report.sim_convergence_step_histogram()) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::to_string(count);
+    }
+    out += "]},\n";
+  }
   out += "  \"core_frequency\": [";
   first = true;
   for (const CoreConstraintCount& entry : report.core_frequencies()) {
@@ -355,10 +455,14 @@ std::string render_table(const CampaignReport& report) {
                 report.threads, report.total_wall_ms);
   out += buf;
 
+  const bool with_sim = report.totals().sim_runs > 0;
   const bool with_repair = report.totals().repairs_attempted > 0;
+  std::string header_extra;
+  if (with_sim) header_extra += "  sim conv/osc/runs";
+  if (with_repair) header_extra += "  repaired/attempted";
   std::snprintf(buf, sizeof(buf), "%-16s%10s%8s%14s%10s%10s%s\n", "source",
                 "scenarios", "safe", "not-provable", "converged", "diverged",
-                with_repair ? "  repaired/attempted" : "");
+                header_extra.c_str());
   out += buf;
   const auto emit_row = [&](const std::string& source,
                             const SourceSummary& summary) {
@@ -367,6 +471,11 @@ std::string render_table(const CampaignReport& report) {
                   summary.not_provably_safe, summary.converged,
                   summary.diverged);
     out += buf;
+    if (with_sim) {
+      std::snprintf(buf, sizeof(buf), "  %zu/%zu/%zu", summary.sim_converged,
+                    summary.sim_oscillating, summary.sim_runs);
+      out += buf;
+    }
     if (with_repair) {
       std::snprintf(buf, sizeof(buf), "  %zu/%zu (%zu verified)",
                     summary.repaired, summary.repairs_attempted,
@@ -379,6 +488,19 @@ std::string render_table(const CampaignReport& report) {
     emit_row(source, summary);
   }
   emit_row("TOTAL", report.totals());
+
+  const auto message_histogram = report.sim_message_histogram();
+  if (!message_histogram.empty()) {
+    out += "\nsimulation message-count histogram (power-of-two buckets):\n";
+    for (std::size_t i = 0; i < message_histogram.size(); ++i) {
+      const std::uint64_t lo = i == 0 ? 0 : 1ull << (i - 1);
+      const std::uint64_t hi = i == 0 ? 1 : 1ull << i;
+      std::snprintf(buf, sizeof(buf), "  [%8llu, %8llu)  %zu\n",
+                    static_cast<unsigned long long>(lo),
+                    static_cast<unsigned long long>(hi), message_histogram[i]);
+      out += buf;
+    }
+  }
 
   const auto edit_histogram = report.repair_edit_size_histogram();
   if (!edit_histogram.empty()) {

@@ -47,6 +47,12 @@ struct SourceSummary {
   std::size_t not_provably_safe = 0;
   std::size_t converged = 0;
   std::size_t diverged = 0;
+  // Event-driven simulation aggregates (all zero unless the campaign ran
+  // simulation scenarios). A run that hits its step cap counts in
+  // sim_runs but in neither verdict bucket.
+  std::size_t sim_runs = 0;
+  std::size_t sim_converged = 0;
+  std::size_t sim_oscillating = 0;
   // Repair campaign aggregates (all zero unless attempt_repair was on).
   std::size_t repairs_attempted = 0;
   std::size_t repaired = 0;         // solver found a safe edit set
@@ -93,6 +99,15 @@ struct CampaignReport {
   /// has k edits (bucket 0 stays 0; minimal repairs start at one edit).
   /// Empty when no scenario was repaired.
   std::vector<std::size_t> repair_edit_size_histogram() const;
+  /// Power-of-two message-count distribution over simulation outcomes:
+  /// bucket i counts runs with messages in [2^(i-1), 2^i) (bucket 0: zero
+  /// messages). Deterministic — message counts are pure functions of
+  /// (content, seed) — so it renders in the default JSON, and duplicates /
+  /// cache hits count like the run that produced their shared outcome.
+  std::vector<std::size_t> sim_message_histogram() const;
+  /// Same shape over activation steps, restricted to converged runs — the
+  /// campaign-scale convergence-time distribution.
+  std::vector<std::size_t> sim_convergence_step_histogram() const;
   /// Indices into `results` of the `limit` slowest executed scenarios.
   std::vector<std::size_t> slowest(std::size_t limit = 5) const;
 };

@@ -25,11 +25,14 @@ api::ServiceOptions service_options(const CampaignOptions& options) {
   service.analyzer = options.analyzer;
   service.repair = options.repair;
   service.emulation = options.emulation;
+  service.sim = options.sim;
   return service;
 }
 
-/// The scenario's primary request: safety analysis or emulation.
-api::Request primary_request(const Scenario& scenario) {
+/// The scenario's primary request: safety analysis, emulation, or an
+/// event-driven simulation run.
+api::Request primary_request(const Scenario& scenario,
+                             const CampaignOptions& options) {
   if (scenario.kind == ScenarioKind::safety) {
     api::AnalyzeSafetyRequest request;
     // Prefer the algebra payload when both are present (translated SPP
@@ -39,6 +42,15 @@ api::Request primary_request(const Scenario& scenario) {
     } else {
       request.spp = scenario.spp;
     }
+    return request;
+  }
+  if (scenario.kind == ScenarioKind::simulation) {
+    api::SimulateRequest request;
+    request.spp = scenario.spp;
+    request.seed = scenario.seed;
+    // The churn regime is campaign-wide: every simulation scenario runs
+    // under the one scenario name from CampaignOptions.sim.
+    request.scenario = options.sim.scenario;
     return request;
   }
   api::EmulateRequest request;
@@ -171,7 +183,8 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
   std::vector<std::future<api::Response>> primary;
   primary.reserve(work.size());
   for (const std::size_t index : work) {
-    primary.push_back(service.submit(primary_request(scenarios[index])));
+    primary.push_back(
+        service.submit(primary_request(scenarios[index], options_)));
   }
 
   std::vector<std::pair<std::size_t, std::future<api::Response>>> followups;
@@ -187,6 +200,7 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
     if (response.emulation.has_value()) {
       outcome->emulation = response.emulation;
     }
+    if (response.sim.has_value()) outcome->sim = response.sim;
     if (options_.attempt_repair && response.error.empty() &&
         scenario.kind == ScenarioKind::safety && scenario.spp != nullptr &&
         outcome->safety.has_value() &&

@@ -48,6 +48,10 @@ struct CampaignOptions {
   SafetyAnalyzer::Options analyzer;
   /// Base emulation options; each scenario overrides `.seed` with its own.
   EmulationOptions emulation;
+  /// Base event-driven simulation options; each simulation scenario
+  /// overrides `.seed` with its own (the churn scenario and step cap come
+  /// from here, so a whole campaign simulates under one regime).
+  sim::SimOptions sim;
   /// Run the repair engine on every not-provably-safe SPP safety scenario
   /// (fsr_campaign --repair). Repair is a follow-up RepairRequest through
   /// the same AnalysisService, seeded from the scenario's content digest;

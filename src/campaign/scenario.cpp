@@ -16,7 +16,15 @@ std::uint64_t splitmix64(std::uint64_t x) {
 }  // namespace
 
 const char* to_string(ScenarioKind kind) noexcept {
-  return kind == ScenarioKind::safety ? "safety" : "emulation";
+  switch (kind) {
+    case ScenarioKind::safety:
+      return "safety";
+    case ScenarioKind::emulation:
+      return "emulation";
+    case ScenarioKind::simulation:
+      return "simulation";
+  }
+  return "safety";
 }
 
 void validate_scenario(const Scenario& scenario) {
@@ -29,6 +37,9 @@ void validate_scenario(const Scenario& scenario) {
     // an algebra, so carrying both would make the cache key (spp content)
     // and the executed work (the algebra) disagree.
     ok = (has_spp != has_algebra) && !has_topology;
+  } else if (scenario.kind == ScenarioKind::simulation) {
+    // The event-driven simulator runs concrete SPP instances only.
+    ok = has_spp && !has_algebra && !has_topology;
   } else {
     ok = (has_spp && !has_algebra && !has_topology) ||
          (!has_spp && has_algebra && has_topology);
@@ -37,8 +48,8 @@ void validate_scenario(const Scenario& scenario) {
     throw InvalidArgument(
         "scenario '" + scenario.id + "' has an invalid payload shape for " +
         to_string(scenario.kind) +
-        " (want: safety with spp XOR algebra, or emulation with spp or "
-        "algebra+topology)");
+        " (want: safety with spp XOR algebra, emulation with spp or "
+        "algebra+topology, or simulation with spp)");
   }
 }
 

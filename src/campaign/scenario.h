@@ -19,20 +19,22 @@
 #include "fsr/emulation.h"
 #include "fsr/safety_analyzer.h"
 #include "repair/repair_engine.h"
+#include "sim/simulator.h"
 #include "spp/spp.h"
 #include "topology/topology.h"
 
 namespace fsr::campaign {
 
-enum class ScenarioKind { safety, emulation };
+enum class ScenarioKind { safety, emulation, simulation };
 
 const char* to_string(ScenarioKind kind) noexcept;
 
 /// One unit of campaign work. Exactly one of the following shapes:
-///   * safety    + algebra              — analyze the algebra directly;
-///   * safety    + spp                  — translate (Section III-B), analyze;
-///   * emulation + spp                  — emulate_spp under `seed`;
-///   * emulation + algebra + topology   — emulate_gpv under `seed`.
+///   * safety     + algebra             — analyze the algebra directly;
+///   * safety     + spp                 — translate (Section III-B), analyze;
+///   * emulation  + spp                 — emulate_spp under `seed`;
+///   * emulation  + algebra + topology  — emulate_gpv under `seed`;
+///   * simulation + spp                 — event-driven SPVP run under `seed`.
 /// Payloads are shared immutable objects, so scenarios are cheap to copy
 /// and safe to hand to worker threads.
 struct Scenario {
@@ -53,6 +55,11 @@ struct ScenarioOutcome {
   ScenarioKind kind = ScenarioKind::safety;
   std::optional<SafetyReport> safety;
   std::optional<EmulationResult> emulation;
+  /// Simulation scenarios: the event-driven run's digest — message count,
+  /// activation steps, convergence tick, oscillation verdict. Fully
+  /// deterministic in (content, seed), so it participates in the
+  /// byte-stable JSON and the disk ResultCache like every other payload.
+  std::optional<sim::SimResult> sim;
   /// Present when the campaign ran with attempt_repair and this scenario
   /// was an unsafe SPP safety scenario: the repair engine's digest. All
   /// fields are deterministic — the SPVP ground-truth trials are seeded

@@ -71,8 +71,11 @@ class GadgetSource final : public ScenarioSource {
                                  std::uint64_t ordinal_base) const override {
     std::vector<Scenario> out;
     const auto add = [&](spp::SppInstance instance, ScenarioKind kind) {
-      const std::string suffix =
-          kind == ScenarioKind::emulation ? "(emulated)" : "";
+      const std::string suffix = kind == ScenarioKind::emulation
+                                     ? "(emulated)"
+                                 : kind == ScenarioKind::simulation
+                                     ? "(simulated)"
+                                     : "";
       Scenario scenario =
           make_scenario(name_, name_ + "/" + instance.name() + suffix, kind,
                         campaign_seed, ordinal_base + out.size());
@@ -97,6 +100,16 @@ class GadgetSource final : public ScenarioSource {
       add(spp::good_gadget(), ScenarioKind::emulation);
       add(spp::disagree_gadget(), ScenarioKind::emulation);
       add(spp::ibgp_figure3_fixed(), ScenarioKind::emulation);
+    }
+    if (sweep_.include_simulations) {
+      // Unlike the emulation list, the unsafe gadgets are deliberately in:
+      // BAD's oscillation (and DISAGREE's seed-dependent races) are the
+      // whole point of the simulation axis.
+      add(spp::good_gadget(), ScenarioKind::simulation);
+      add(spp::bad_gadget(), ScenarioKind::simulation);
+      add(spp::disagree_gadget(), ScenarioKind::simulation);
+      add(spp::ibgp_figure3_gadget(), ScenarioKind::simulation);
+      add(spp::ibgp_figure3_fixed(), ScenarioKind::simulation);
     }
     return out;
   }
@@ -404,10 +417,12 @@ const std::vector<std::string>& builtin_source_names() {
 }
 
 std::unique_ptr<ScenarioSource> make_builtin_source(const std::string& name,
-                                                    bool include_emulations) {
+                                                    bool include_emulations,
+                                                    bool include_simulations) {
   if (name == "gadgets") {
     GadgetSweep sweep;
     sweep.include_emulations = include_emulations;
+    sweep.include_simulations = include_simulations;
     return gadget_source(std::move(sweep));
   }
   if (name == "rocketfuel") return rocketfuel_source();

@@ -18,6 +18,10 @@
 //     provenance. Tests therefore assert DELTAS or schema, never absolute
 //     process totals.
 //
+// The user-facing tour of the six diagnostics channels built on this
+// layer (stats/debug kinds, OpenMetrics, Chrome traces, flight recorder,
+// watchdog, timings provenance) lives in docs/OBSERVABILITY.md.
+//
 // Instrumentation guidelines (for new subsystems):
 //   * Count at boundaries, not in inner loops. The CDCL solver keeps its
 //     own cheap counters; sessions flush per-query deltas to the registry

@@ -1,0 +1,561 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fsr::sim {
+
+namespace {
+
+using spp::Assignment;
+using spp::Path;
+using spp::SppInstance;
+
+using Link = std::pair<std::string, std::string>;  // normalised (min, max)
+
+Link link_of(const std::string& u, const std::string& v) {
+  return u < v ? Link{u, v} : Link{v, u};
+}
+
+/// One scheduled event. `seq` is the global insertion counter: the queue
+/// pops in (tick, seq) order, so ties resolve by enqueue order and the
+/// whole run is a deterministic function of the initial schedule.
+struct Event {
+  enum class Kind : std::uint8_t {
+    activate,       // a = node: (re)run the selection rule, advertise changes
+    deliver,        // a -> b carrying `payload` (nullopt = withdrawal)
+    timer,          // a = node: MRAI window expired, flush batched changes
+    link_down,      // a~b fails: in-flight lost, both ends withdraw state
+    link_up,        // a~b recovers: sessions re-establish, both ends re-send
+    session_reset,  // a~b session drops + re-establishes in one tick
+  };
+
+  std::uint64_t tick = 0;
+  std::uint64_t seq = 0;
+  Kind kind = Kind::activate;
+  std::string a;
+  std::string b;
+  std::optional<Path> payload;
+  std::uint64_t epoch = 0;  // deliver: sending link's epoch (stale = lost)
+};
+
+struct EventAfter {
+  bool operator()(const Event& x, const Event& y) const noexcept {
+    if (x.tick != y.tick) return x.tick > y.tick;
+    return x.seq > y.seq;
+  }
+};
+
+const char* kind_name(Event::Kind kind) noexcept {
+  switch (kind) {
+    case Event::Kind::activate: return "activate";
+    case Event::Kind::deliver: return "deliver";
+    case Event::Kind::timer: return "timer";
+    case Event::Kind::link_down: return "link-down";
+    case Event::Kind::link_up: return "link-up";
+    case Event::Kind::session_reset: return "session-reset";
+  }
+  return "activate";
+}
+
+/// The whole machine. Built once per simulate() call; everything mutable
+/// lives here so the canonical-state renderer can see all of it.
+class Machine {
+ public:
+  Machine(const SppInstance& instance, const SimOptions& options)
+      : instance_(instance), options_(options) {
+    util::Rng rng(options.seed);
+    for (const auto& [u, v] : instance.edges()) {
+      delay_[link_of(u, v)] = static_cast<std::uint64_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(
+                 options.max_link_delay < 1 ? 1 : options.max_link_delay)));
+      if (u != instance.destination()) adjacency_[u].push_back(v);
+      if (v != instance.destination()) adjacency_[v].push_back(u);
+    }
+    // Deterministic neighbour order regardless of edge declaration order.
+    for (auto& [node, neighbours] : adjacency_) {
+      std::sort(neighbours.begin(), neighbours.end());
+    }
+    schedule_scenario(rng);
+  }
+
+  SimResult run() {
+    SimResult result;
+    result.scenario = options_.scenario;
+    // step -> canonical state, populated once the churn schedule is done;
+    // an exact repeat proves the run cycles forever.
+    std::unordered_map<std::string, std::uint64_t> seen_states;
+
+    while (!queue_.empty() && result.steps < options_.max_steps) {
+      Event event = queue_.top();
+      queue_.pop();
+      now_ = event.tick;
+      ++result.steps;
+      process(event);
+      if (scheduled_remaining_ == 0) {
+        const auto [it, inserted] =
+            seen_states.emplace(canonical_state(), result.steps);
+        if (!inserted) {
+          result.oscillating = true;
+          result.cycle_length = result.steps - it->second;
+          break;
+        }
+      }
+    }
+
+    result.ticks = now_;
+    result.converged = queue_.empty() && !result.oscillating;
+    if (result.converged) result.convergence_tick = last_change_tick_;
+    result.messages = messages_;
+    result.route_changes = route_changes_;
+    result.final_assignment = selections_;
+    result.fixed_point_stable =
+        spp::is_stable_assignment(instance_, selections_);
+    if (options_.record_trace) result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  // -- schedule construction (all randomness is consumed here) --------------
+
+  void schedule_scenario(util::Rng& rng) {
+    const std::vector<std::string> nodes = instance_.nodes();
+    const auto schedule = [&](std::uint64_t tick, Event::Kind kind,
+                              std::string a, std::string b = {}) {
+      Event event;
+      event.tick = tick;
+      event.kind = kind;
+      event.a = std::move(a);
+      event.b = std::move(b);
+      push(std::move(event));
+      ++scheduled_remaining_;
+    };
+    if (options_.scenario == "staged") {
+      const auto window = static_cast<std::int64_t>(3 * nodes.size());
+      for (const std::string& node : nodes) {
+        schedule(static_cast<std::uint64_t>(rng.uniform_int(0, window)),
+                 Event::Kind::activate, node);
+      }
+    } else {
+      for (const std::string& node : nodes) {
+        schedule(0, Event::Kind::activate, node);
+      }
+    }
+    if (instance_.edges().empty()) return;
+    const auto& edges = instance_.edges();
+    const auto pick = edges[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1))];
+    if (options_.scenario == "link-flap") {
+      const auto down = static_cast<std::uint64_t>(rng.uniform_int(4, 12));
+      const auto duration = static_cast<std::uint64_t>(rng.uniform_int(3, 9));
+      schedule(down, Event::Kind::link_down, pick.first, pick.second);
+      schedule(down + duration, Event::Kind::link_up, pick.first, pick.second);
+    } else if (options_.scenario == "session-reset") {
+      const auto reset = static_cast<std::uint64_t>(rng.uniform_int(4, 12));
+      schedule(reset, Event::Kind::session_reset, pick.first, pick.second);
+    }
+  }
+
+  // -- event processing ------------------------------------------------------
+
+  void process(const Event& event) {
+    switch (event.kind) {
+      case Event::Kind::activate:
+        --scheduled_remaining_;
+        trace_line(event, activate(event.a) ? "changed" : "quiet");
+        break;
+      case Event::Kind::deliver: {
+        const Link link = link_of(event.a, event.b);
+        if (event.epoch != epoch_[link] || down_.contains(link)) {
+          trace_line(event, "lost");
+          break;
+        }
+        auto& rib = rib_in_[event.b];
+        if (event.payload.has_value()) {
+          rib[event.a] = *event.payload;
+        } else {
+          rib.erase(event.a);
+        }
+        trace_line(event, activate(event.b) ? "changed" : "quiet");
+        break;
+      }
+      case Event::Kind::timer: {
+        NodeTimer& timer = timers_[event.a];
+        timer.pending = false;
+        const bool had_changes = timer.dirty;
+        if (had_changes) flush(event.a);
+        trace_line(event, had_changes ? "flush" : "quiet");
+        break;
+      }
+      case Event::Kind::link_down: {
+        --scheduled_remaining_;
+        const Link link = link_of(event.a, event.b);
+        ++epoch_[link];  // in-flight messages on the link are lost
+        down_.insert(link);
+        sever(event.a, event.b);
+        sever(event.b, event.a);
+        trace_line(event, "down");
+        break;
+      }
+      case Event::Kind::link_up: {
+        --scheduled_remaining_;
+        const Link link = link_of(event.a, event.b);
+        down_.erase(link);
+        reestablish(event.a, event.b);
+        reestablish(event.b, event.a);
+        // A recovered destination link restores direct routes: re-select.
+        activate(event.a);
+        activate(event.b);
+        trace_line(event, "up");
+        break;
+      }
+      case Event::Kind::session_reset: {
+        --scheduled_remaining_;
+        const Link link = link_of(event.a, event.b);
+        ++epoch_[link];  // the old session's in-flight messages are lost
+        sever(event.a, event.b);
+        sever(event.b, event.a);
+        reestablish(event.a, event.b);
+        reestablish(event.b, event.a);
+        activate(event.a);
+        activate(event.b);
+        trace_line(event, "reset");
+        break;
+      }
+    }
+  }
+
+  /// `node` forgets everything it heard from `peer` and re-selects (a
+  /// selection change propagates to its other neighbours as usual).
+  void sever(const std::string& node, const std::string& peer) {
+    if (node == instance_.destination()) return;
+    rib_in_[node].erase(peer);
+    activate(node);
+  }
+
+  /// A fresh session towards `peer`: `node` re-sends its current selection
+  /// (or an explicit withdrawal) so the peer's adj-rib-in repopulates.
+  void reestablish(const std::string& node, const std::string& peer) {
+    if (node == instance_.destination() || peer == instance_.destination()) {
+      return;
+    }
+    send(node, peer, current_selection(node));
+  }
+
+  /// Re-runs the selection rule at `node`; on a change, records it and
+  /// advertises (directly or behind the MRAI timer). Returns true when the
+  /// selection changed.
+  bool activate(const std::string& node) {
+    if (node == instance_.destination()) return false;
+    const std::optional<Path> best = select(node);
+    const auto it = selections_.find(node);
+    const bool had = it != selections_.end();
+    if (best.has_value() == had &&
+        (!best.has_value() || *best == it->second)) {
+      return false;
+    }
+    if (best.has_value()) {
+      selections_[node] = *best;
+    } else {
+      selections_.erase(node);
+    }
+    ++route_changes_;
+    last_change_tick_ = now_;
+    advertise(node);
+    return true;
+  }
+
+  /// The SPVP selection rule over the node's adj-rib-in. With every
+  /// incident link up this is exactly spp::best_consistent_choice applied
+  /// to the advertised view; link churn only adds a filter dropping
+  /// candidates whose first hop crosses a currently-down link.
+  std::optional<Path> select(const std::string& node) {
+    Assignment view;
+    const auto rib = rib_in_.find(node);
+    if (rib != rib_in_.end()) {
+      for (const auto& [peer, path] : rib->second) {
+        if (!down_.contains(link_of(node, peer))) view[peer] = path;
+      }
+    }
+    if (down_.empty()) return spp::best_consistent_choice(instance_, node, view);
+    for (const Path& candidate : instance_.permitted(node)) {
+      if (down_.contains(link_of(candidate[0], candidate[1]))) continue;
+      if (candidate.size() == 2) return candidate;
+      const auto it = view.find(candidate[1]);
+      if (it == view.end()) continue;
+      if (candidate.size() != it->second.size() + 1) continue;
+      if (std::equal(candidate.begin() + 1, candidate.end(),
+                     it->second.begin())) {
+        return candidate;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Propagates a selection change: immediately under triggered updates,
+  /// batched behind the per-node timer inside an MRAI window.
+  void advertise(const std::string& node) {
+    if (options_.mrai_ticks == 0) {
+      flush(node);
+      return;
+    }
+    NodeTimer& timer = timers_[node];
+    if (now_ >= timer.ready_tick) {
+      flush(node);
+      return;
+    }
+    timer.dirty = true;
+    if (!timer.pending) {
+      timer.pending = true;
+      Event event;
+      event.tick = timer.ready_tick;
+      event.kind = Event::Kind::timer;
+      event.a = node;
+      push(std::move(event));
+    }
+  }
+
+  /// Sends the node's current selection to every neighbour over an up link
+  /// and opens the next MRAI window.
+  void flush(const std::string& node) {
+    const std::optional<Path> selection = current_selection(node);
+    const auto adj = adjacency_.find(node);
+    if (adj != adjacency_.end()) {
+      for (const std::string& peer : adj->second) {
+        if (peer == instance_.destination()) continue;
+        if (down_.contains(link_of(node, peer))) continue;
+        send(node, peer, selection);
+      }
+    }
+    if (options_.mrai_ticks > 0) {
+      NodeTimer& timer = timers_[node];
+      timer.ready_tick = now_ + options_.mrai_ticks;
+      timer.dirty = false;
+    }
+  }
+
+  void send(const std::string& from, const std::string& to,
+            std::optional<Path> payload) {
+    const Link link = link_of(from, to);
+    push(Event{now_ + delay_.at(link), 0, Event::Kind::deliver, from, to,
+               std::move(payload), epoch_[link]});
+    ++messages_;
+  }
+
+  std::optional<Path> current_selection(const std::string& node) const {
+    const auto it = selections_.find(node);
+    if (it == selections_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void push(Event event) {
+    event.seq = next_seq_++;
+    queue_.push(std::move(event));
+  }
+
+  // -- oscillation detection -------------------------------------------------
+
+  /// Canonical rendering of the ENTIRE machine state with absolute times
+  /// replaced by offsets from `now_` and sequence numbers by their relative
+  /// order. Two states with equal strings evolve identically (the queue
+  /// comparator only reads tick and relative seq order), so a repeat proves
+  /// a cycle — the detection is exact, never a heuristic.
+  std::string canonical_state() const {
+    std::string out;
+    out.reserve(256);
+    out += "sel:";
+    for (const auto& [node, path] : selections_) {
+      out += node;
+      out += '=';
+      out += spp::path_name(path);
+      out += ';';
+    }
+    out += "|rib:";
+    for (const auto& [node, rib] : rib_in_) {
+      for (const auto& [peer, path] : rib) {
+        out += node;
+        out += '<';
+        out += peer;
+        out += '=';
+        out += spp::path_name(path);
+        out += ';';
+      }
+    }
+    out += "|down:";
+    for (const auto& link : down_) {
+      out += link.first;
+      out += '~';
+      out += link.second;
+      out += ';';
+    }
+    if (options_.mrai_ticks > 0) {
+      out += "|mrai:";
+      for (const auto& [node, timer] : timers_) {
+        if (timer.ready_tick > now_ || timer.dirty || timer.pending) {
+          out += node;
+          out += '=';
+          out += std::to_string(
+              timer.ready_tick > now_ ? timer.ready_tick - now_ : 0);
+          out += timer.dirty ? 'd' : '-';
+          out += timer.pending ? 'p' : '-';
+          out += ';';
+        }
+      }
+    }
+    out += "|q:";
+    std::vector<Event> in_flight = sorted_queue();
+    for (const Event& event : in_flight) {
+      out += std::to_string(event.tick - now_);
+      out += ',';
+      out += kind_name(event.kind);
+      out += ',';
+      out += event.a;
+      out += '>';
+      out += event.b;
+      out += ',';
+      out += event.payload.has_value() ? spp::path_name(*event.payload)
+                                       : std::string("w");
+      const auto it = epoch_.find(link_of(event.a, event.b));
+      const bool fresh =
+          event.kind != Event::Kind::deliver ||
+          (it != epoch_.end() && it->second == event.epoch);
+      out += fresh ? 'f' : 's';
+      out += ';';
+    }
+    return out;
+  }
+
+  std::vector<Event> sorted_queue() const {
+    std::vector<Event> events;
+    events.reserve(queue_.size());
+    auto copy = queue_;
+    while (!copy.empty()) {
+      events.push_back(copy.top());
+      copy.pop();
+    }
+    return events;
+  }
+
+  // -- trace recording -------------------------------------------------------
+
+  void trace_line(const Event& event, const char* note) {
+    if (!options_.record_trace) return;
+    std::string line = "t=" + std::to_string(event.tick);
+    line += ' ';
+    line += kind_name(event.kind);
+    line += ' ';
+    line += event.a;
+    if (!event.b.empty()) {
+      line += '>';
+      line += event.b;
+    }
+    if (event.kind == Event::Kind::deliver) {
+      line += ' ';
+      line += event.payload.has_value() ? spp::path_name(*event.payload)
+                                        : std::string("withdraw");
+    }
+    line += ' ';
+    line += note;
+    trace_.push_back(std::move(line));
+  }
+
+  // -- state -----------------------------------------------------------------
+
+  struct NodeTimer {
+    std::uint64_t ready_tick = 0;  // earliest tick the node may flush again
+    bool pending = false;          // a timer event is in the queue
+    bool dirty = false;            // changes batched since the last flush
+  };
+
+  const SppInstance& instance_;
+  const SimOptions& options_;
+
+  std::map<std::string, std::vector<std::string>> adjacency_;
+  std::map<Link, std::uint64_t> delay_;
+  std::map<Link, std::uint64_t> epoch_;
+  std::set<Link> down_;
+
+  Assignment selections_;
+  std::map<std::string, std::map<std::string, Path>> rib_in_;
+  std::map<std::string, NodeTimer> timers_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t now_ = 0;
+  std::uint64_t scheduled_remaining_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t route_changes_ = 0;
+  std::uint64_t last_change_tick_ = 0;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names{"steady", "staged", "link-flap",
+                                              "session-reset"};
+  return names;
+}
+
+bool is_scenario_name(const std::string& name) {
+  for (const std::string& known : scenario_names()) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
+SimResult simulate(const SppInstance& instance, const SimOptions& options) {
+  if (!is_scenario_name(options.scenario)) {
+    throw InvalidArgument("unknown simulation scenario '" + options.scenario +
+                          "' (expected one of: steady, staged, link-flap, "
+                          "session-reset)");
+  }
+  if (options.max_steps == 0) {
+    throw InvalidArgument("simulation max_steps must be >= 1");
+  }
+
+  obs::Span span("sim.run");
+  span.arg("instance", instance.name());
+  span.arg("scenario", options.scenario);
+
+  Machine machine(instance, options);
+  SimResult result = machine.run();
+
+  // Per-run registry flush (boundary counting, per obs/metrics.h): one
+  // relaxed add per instrument per run, never per event.
+  static obs::Counter& runs = obs::registry().counter("sim.runs");
+  static obs::Counter& messages = obs::registry().counter("sim.messages");
+  static obs::Counter& converged = obs::registry().counter("sim.converged");
+  static obs::Counter& oscillations =
+      obs::registry().counter("sim.oscillations");
+  static obs::Histogram& steps_histogram =
+      obs::registry().histogram("sim.convergence_steps");
+  runs.add(1);
+  messages.add(result.messages);
+  if (result.converged) {
+    converged.add(1);
+    steps_histogram.record(result.steps);
+  }
+  if (result.oscillating) oscillations.add(1);
+
+  span.arg("steps", result.steps);
+  span.arg("messages", result.messages);
+  span.arg("converged", result.converged);
+  obs::record_event(obs::RecorderEventKind::mark,
+                    "sim:" + options.scenario + ":" + instance.name(),
+                    result.steps, result.messages);
+  return result;
+}
+
+}  // namespace fsr::sim

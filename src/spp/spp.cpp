@@ -107,11 +107,6 @@ std::size_t SppInstance::permitted_path_count() const noexcept {
   return n;
 }
 
-namespace {
-
-/// The path `node` would select under assignment `chosen`: its highest
-/// ranked permitted path whose one-step suffix is the current selection of
-/// the next hop (or a direct path to the destination).
 std::optional<Path> best_consistent_choice(const SppInstance& instance,
                                            const std::string& node,
                                            const Assignment& chosen) {
@@ -129,8 +124,6 @@ std::optional<Path> best_consistent_choice(const SppInstance& instance,
   }
   return std::nullopt;
 }
-
-}  // namespace
 
 bool is_stable_assignment(const SppInstance& instance,
                           const Assignment& assignment) {

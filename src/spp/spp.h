@@ -88,6 +88,15 @@ class SppInstance {
 /// nothing are absent).
 using Assignment = std::map<std::string, Path>;
 
+/// The path `node` would select under assignment `chosen`: its highest
+/// ranked permitted path whose one-step suffix is the current selection of
+/// the next hop (or a direct path to the destination). This is the SPVP
+/// selection rule — shared by the stability predicate, simulate_spvp, and
+/// the event-driven simulator in src/sim.
+std::optional<Path> best_consistent_choice(const SppInstance& instance,
+                                           const std::string& node,
+                                           const Assignment& chosen);
+
 /// True when `assignment` is stable: every node's entry equals its best
 /// consistent permitted path given the others' choices (and nodes without
 /// an entry have no consistent permitted path at all).

@@ -30,6 +30,8 @@
 #include "groundtruth/engine.h"
 #include "groundtruth/stable_sat.h"
 #include "repair/edit.h"
+#include "sim/simulator.h"
+#include "spp/gadgets.h"
 #include "spp/spp.h"
 #include "util/rng.h"
 
@@ -205,6 +207,67 @@ TEST(Differential, FourOraclesAgreeAcrossTheFuzzSweep) {
   EXPECT_GT(with_stable, k_instances / 2);
   EXPECT_GT(multi_stable, 0u);
   EXPECT_GT(edited_queries, k_instances);
+}
+
+TEST(Differential, EventSimulatorFixedPointsMatchTheSatOracle) {
+  // The event-driven simulator (src/sim) against oracle #1: 100 seeds per
+  // library gadget, cycling through every churn scenario. Every
+  // terminating run's fixed point must be a member of the SAT-enumerated
+  // stable set, and an instance the oracle proves has NO stable assignment
+  // must never terminate (the simulator's exact cycle detection has to
+  // catch it instead).
+  const std::uint64_t base = fuzz_seed_base();
+  constexpr std::size_t k_sim_seeds = 100;
+  const std::vector<std::string> gadgets = {
+      "good",       "bad",          "disagree",     "ibgp-figure3",
+      "ibgp-figure3-fixed", "good-chain-3", "bad-chain-2"};
+  const std::vector<std::string>& scenarios = sim::scenario_names();
+
+  std::size_t terminating = 0;
+  std::size_t oscillating = 0;
+  for (const std::string& name : gadgets) {
+    const spp::SppInstance instance = spp::gadget_by_name(name);
+    const StableSearchResult sat =
+        solve_stable_assignments(instance, k_solution_bound);
+    ASSERT_TRUE(sat.decided) << dump_instance(instance);
+    for (std::size_t s = 0; s < k_sim_seeds; ++s) {
+      sim::SimOptions options;
+      options.seed = base + s;
+      options.scenario = scenarios[s % scenarios.size()];
+      const sim::SimResult run = sim::simulate(instance, options);
+      SCOPED_TRACE(name + " seed " + std::to_string(options.seed) + " (" +
+                   options.scenario + ")");
+      // Finite deterministic transition system + generous step cap: every
+      // run decides one way or the other.
+      ASSERT_TRUE(run.converged || run.oscillating) << dump_instance(instance);
+      if (run.converged) {
+        ++terminating;
+        EXPECT_TRUE(run.fixed_point_stable) << dump_instance(instance);
+        EXPECT_TRUE(spp::is_stable_assignment(instance, run.final_assignment))
+            << dump_instance(instance);
+        EXPECT_TRUE(sat.has_stable) << dump_instance(instance);
+        if (sat.count_exact) {
+          EXPECT_NE(std::find(sat.assignments.begin(), sat.assignments.end(),
+                              run.final_assignment),
+                    sat.assignments.end())
+              << "simulated fixed point missing from the SAT stable set\n"
+              << dump_instance(instance);
+        }
+      } else {
+        ++oscillating;
+        EXPECT_GT(run.cycle_length, 0u) << dump_instance(instance);
+      }
+      if (!sat.has_stable) {
+        EXPECT_TRUE(run.oscillating)
+            << "run terminated on an instance with no stable assignment\n"
+            << dump_instance(instance);
+      }
+    }
+  }
+  // The sweep saw both behaviours in volume (BAD and its chain alone
+  // guarantee 200 oscillations; the safe gadgets guarantee termination).
+  EXPECT_GE(terminating, 3 * k_sim_seeds);
+  EXPECT_GE(oscillating, 2 * k_sim_seeds);
 }
 
 }  // namespace

@@ -54,6 +54,17 @@ std::vector<Request> mixed_batch() {
   emulate.spp = shared_gadget("good");
   emulate.seed = 7;
   requests.push_back(emulate);
+  // Simulations, convergent and oscillating, interleaved with the solver
+  // kinds — the same mix the CI serve smoke byte-diffs across pool sizes.
+  SimulateRequest sim_good;
+  sim_good.spp = shared_gadget("good");
+  sim_good.seed = 7;
+  requests.push_back(sim_good);
+  SimulateRequest sim_bad;
+  sim_bad.spp = shared_gadget("bad");
+  sim_bad.seed = 7;
+  sim_bad.scenario = "staged";
+  requests.push_back(sim_bad);
   return requests;
 }
 
@@ -70,8 +81,8 @@ std::string deterministic_bytes(Response response) {
 TEST(Request, KindsRoundTripTheirWireNames) {
   for (const RequestKind kind :
        {RequestKind::analyze_safety, RequestKind::ground_truth,
-        RequestKind::repair, RequestKind::emulate, RequestKind::stats,
-        RequestKind::debug}) {
+        RequestKind::repair, RequestKind::emulate, RequestKind::simulate,
+        RequestKind::stats, RequestKind::debug}) {
     EXPECT_EQ(parse_request_kind(to_string(kind)), kind);
   }
   EXPECT_FALSE(parse_request_kind("nonsense").has_value());
@@ -142,6 +153,14 @@ TEST(Wire, ParsesEveryPayloadShape) {
   EXPECT_EQ(kind_of(wire::parse_request(
                 R"({"kind": "emulate", "gadget": "good", "seed": 7})")),
             RequestKind::emulate);
+  const Request simulate = wire::parse_request(
+      R"({"kind": "simulate", "gadget": "bad", "seed": 3,)"
+      R"( "scenario": "link-flap", "max-steps": 500})");
+  EXPECT_EQ(kind_of(simulate), RequestKind::simulate);
+  const auto& sim = std::get<SimulateRequest>(simulate);
+  EXPECT_EQ(sim.seed, 3u);
+  EXPECT_EQ(sim.scenario, "link-flap");
+  EXPECT_EQ(sim.max_steps, std::optional<std::uint64_t>(500));
 }
 
 TEST(Wire, InlineSppMatchesTheLibraryGadgetFingerprint) {
@@ -174,6 +193,31 @@ TEST(Wire, SchemaViolationsThrow) {
       wire::parse_request(
           R"({"kind": "ground-truth", "gadget": "bad", "mode": "magic"})"),
       InvalidArgument);
+  // Simulate-only fields are validated, not silently defaulted.
+  EXPECT_THROW(validate(wire::parse_request(
+                   R"({"kind": "simulate", "gadget": "bad",)"
+                   R"( "scenario": "earthquake"})")),
+               InvalidArgument);
+  EXPECT_THROW(validate(wire::parse_request(
+                   R"({"kind": "simulate", "gadget": "bad",)"
+                   R"( "max-steps": 0})")),
+               InvalidArgument);
+}
+
+TEST(Wire, UnknownKindErrorNamesTheValidKinds) {
+  // fsr_serve turns this throw into an in-band {"error": ...} line, so the
+  // message must let a client fix the request without reading the source.
+  try {
+    wire::parse_request(R"({"kind": "simulat", "gadget": "bad"})");
+    FAIL() << "unknown kind parsed";
+  } catch (const InvalidArgument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown request kind 'simulat'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("simulate"), std::string::npos) << message;
+    EXPECT_NE(message.find("analyze-safety"), std::string::npos) << message;
+  }
 }
 
 TEST(Wire, TimingsAreOptInProvenance) {
@@ -216,6 +260,20 @@ TEST(Service, AnswersEveryKindAndErrorsStayInBand) {
   const Response emulated = service.call(emulate);
   ASSERT_TRUE(emulated.emulation.has_value());
   EXPECT_TRUE(emulated.emulation->quiesced);
+
+  SimulateRequest simulate;
+  simulate.spp = shared_gadget("good");
+  simulate.seed = 7;
+  const Response simulated = service.call(simulate);
+  ASSERT_TRUE(simulated.sim.has_value());
+  EXPECT_TRUE(simulated.sim->converged);
+  EXPECT_TRUE(simulated.sim->fixed_point_stable);
+  // Content identity is shared with the solver kinds over the same
+  // instance — but a repeat is NEVER served warm (the simulator keeps no
+  // solver state worth caching).
+  EXPECT_EQ(simulated.fingerprint,
+            fingerprint(Request(GroundTruthRequest{shared_gadget("good"), {}})));
+  EXPECT_FALSE(service.call(simulate).warm_session);
 
   // A malformed request resolves its future with an in-band error.
   const Response failed = service.call(Request(RepairRequest{}));

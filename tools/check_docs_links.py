@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link lint.
+
+Walks every tracked-ish *.md file in the repository, extracts inline
+markdown links and images, and fails (exit 1) when a repo-relative
+target does not resolve to an existing file or directory. External
+targets (http/https/mailto), pure in-page anchors (#...), and targets
+that resolve outside the repository root (e.g. the README's GitHub
+../../actions badge links, which only exist on the web UI) are skipped.
+
+Usage: tools/check_docs_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".ccache", "node_modules"}
+SKIP_DIR_PREFIXES = ("build",)
+
+# [text](target) and ![alt](target); target may be <wrapped> and may
+# carry an optional "title". Nested parens are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*(<[^>]*>|[^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_DIR_PREFIXES)
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    """Drops fenced and inline code spans so example snippets containing
+    bracket syntax never register as links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path, root):
+    dead = []
+    skipped = 0
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code(handle.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith("<") and target.endswith(">"):
+            target = target[1:-1].strip()
+        if not target or target.startswith("#"):
+            continue
+        if target.lower().startswith(EXTERNAL_PREFIXES):
+            continue
+        # Drop fragment/query: the lint checks file existence, not anchors.
+        target = target.split("#", 1)[0].split("?", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if os.path.commonpath([os.path.abspath(resolved), root]) != root:
+            skipped += 1  # escapes the repo (web-only links): unverifiable
+            continue
+        if not os.path.exists(resolved):
+            dead.append((target, resolved))
+    return dead, skipped
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = list(markdown_files(root))
+    if not files:
+        print("check_docs_links: no markdown files found under", root)
+        return 1
+    failures = 0
+    checked = 0
+    skipped_total = 0
+    for path in files:
+        dead, skipped = check_file(path, root)
+        checked += 1
+        skipped_total += skipped
+        for target, resolved in dead:
+            failures += 1
+            print(
+                "DEAD LINK %s -> %s (resolved: %s)"
+                % (os.path.relpath(path, root), target, os.path.relpath(resolved, root))
+            )
+    print(
+        "check_docs_links: %d files, %d dead links, %d external-to-repo skipped"
+        % (checked, failures, skipped_total)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
