@@ -10,9 +10,15 @@
 //     the exact state-repeat search, reported as steps/sec until the cycle
 //     is found.
 //
-// All numbers land in BENCH_pr.json via --json as sim_* metrics; they are
-// deliberately not threshold-gated (wall-clock throughput on shared CI
-// runners is provenance, not a contract — see bench/thresholds.json).
+// All throughput numbers land in BENCH_pr.json via --json as sim_* metrics
+// and are deliberately not threshold-gated (wall-clock throughput on shared
+// CI runners is provenance, not a contract). The exception is the detector
+// ablation: sim_hash_speedup — the PR-8 full-canonicalisation detector's
+// wall clock over the incremental-hash + Brent detector's on the x16
+// oscillation workload — IS gated (sim_hash_speedup_min in
+// bench/thresholds.json). A speedup ratio of two same-machine runs cancels
+// runner noise, and the incremental detector regressing to canonical cost
+// is exactly the regression this PR exists to prevent.
 //
 //   bench_sim [--json FILE] [--check THRESHOLDS]
 #include <chrono>
@@ -41,13 +47,15 @@ struct SweepStats {
 };
 
 SweepStats sweep(const fsr::spp::SppInstance& instance,
-                 const std::string& scenario) {
+                 const std::string& scenario,
+                 const std::string& detector = "incremental") {
   SweepStats stats;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t s = 0; s < k_seeds_per_instance; ++s) {
     fsr::sim::SimOptions options;
     options.seed = k_seed_base + s;
     options.scenario = scenario;
+    options.detector = detector;
     const fsr::sim::SimResult run = fsr::sim::simulate(instance, options);
     stats.messages += run.messages;
     stats.steps += run.steps;
@@ -132,6 +140,32 @@ int main(int argc, char** argv) {
     if (std::string(name) == "bad") {
       metrics["sim_bad_detection_steps_per_sec"] = steps_per_sec;
     }
+  }
+
+  bench::print_banner(
+      "detector ablation: canonicalisation vs incremental hash, "
+      "bad-chain-x16, 32 seeds");
+  bench::print_row({"detector", "osc", "wall ms", "speedup"}, 15);
+  {
+    const fsr::spp::SppInstance big_bad = fsr::spp::bad_gadget_chain(16);
+    // Warm-up pass so neither detector pays first-touch allocator costs.
+    (void)sweep(big_bad, "steady");
+    const SweepStats canonical = sweep(big_bad, "steady", "canonical");
+    const SweepStats incremental = sweep(big_bad, "steady", "incremental");
+    const double speedup = canonical.wall_ms / incremental.wall_ms;
+    bench::print_row({"canonical",
+                      std::to_string(canonical.oscillating) + "/" +
+                          std::to_string(canonical.runs),
+                      fmt(canonical.wall_ms), "1.00"},
+                     15);
+    bench::print_row({"incremental",
+                      std::to_string(incremental.oscillating) + "/" +
+                          std::to_string(incremental.runs),
+                      fmt(incremental.wall_ms), fmt(speedup, "x")},
+                     15);
+    metrics["sim_hash_speedup"] = speedup;
+    total_messages += static_cast<double>(incremental.messages);
+    total_ms += incremental.wall_ms;
   }
 
   metrics["sim_messages_per_sec"] = 1000.0 * total_messages / total_ms;

@@ -103,6 +103,12 @@ void validate(const Request& request) {
                               "' (expected one of: steady, staged, "
                               "link-flap, session-reset)");
       }
+      if (!sim::is_suppression_name(req.suppression)) {
+        throw InvalidArgument("unknown suppression policy '" +
+                              req.suppression +
+                              "' (expected one of: none, split-horizon, "
+                              "poisoned-reverse)");
+      }
       if (req.max_steps.has_value() && *req.max_steps == 0) {
         throw InvalidArgument("simulate max-steps must be >= 1");
       }

@@ -87,14 +87,17 @@ struct EmulateRequest {
 /// Event-driven SPVP simulation (sim/simulator.h): how an SPP instance
 /// converges — messages, activation steps, churn response — rather than
 /// whether it can diverge. Results are seed-dependent by design (the seed
-/// fixes link delays and churn schedules), so the seed, scenario, and step
-/// budget are part of the request identity; the remaining knobs live in
-/// ServiceOptions::sim like every other engine's configuration.
+/// fixes link delays and churn schedules), so the seed, scenario,
+/// suppression policy, and step budget are part of the request identity;
+/// the remaining knobs live in ServiceOptions::sim like every other
+/// engine's configuration.
 struct SimulateRequest {
   std::shared_ptr<const spp::SppInstance> spp;
   std::uint64_t seed = 1;
   /// One of sim::scenario_names(); validate() rejects anything else.
   std::string scenario = "steady";
+  /// One of sim::suppression_names(); validate() rejects anything else.
+  std::string suppression = "none";
   /// Overrides ServiceOptions::sim.max_steps when set.
   std::optional<std::uint64_t> max_steps;
 };

@@ -247,6 +247,7 @@ Response AnalysisService::execute(std::uint64_t id, const Request& request,
       sim::SimOptions sim_options = options_.sim;
       sim_options.seed = req->seed;
       sim_options.scenario = req->scenario;
+      sim_options.suppression = req->suppression;
       if (req->max_steps.has_value()) sim_options.max_steps = *req->max_steps;
       response.sim = sim::simulate(*req->spp, sim_options);
     } else if (std::get_if<StatsRequest>(&request) != nullptr) {

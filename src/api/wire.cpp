@@ -270,10 +270,13 @@ void append_sim(std::string& out, const sim::SimResult& sim_result) {
   // Every field here is deterministic in (request, options, seed) — the
   // simulator never reads a wall clock — so nothing is timings-gated.
   out += "\"sim\": {\"scenario\": " + json_quoted(sim_result.scenario);
+  out += ", \"suppression\": " + json_quoted(sim_result.suppression);
   out += ", \"converged\": ";
   out += sim_result.converged ? "true" : "false";
   out += ", \"oscillating\": ";
   out += sim_result.oscillating ? "true" : "false";
+  out += ", \"cutoff\": ";
+  out += sim_result.cutoff ? "true" : "false";
   out += ", \"steps\": " + std::to_string(sim_result.steps);
   out += ", \"ticks\": " + std::to_string(sim_result.ticks);
   out += ", \"messages\": " + std::to_string(sim_result.messages);
@@ -396,6 +399,9 @@ Request parse_request(const std::string& line) {
       request.seed = seed;
       if (const json::Value* scenario = body.find("scenario")) {
         request.scenario = scenario->as_string("scenario");
+      }
+      if (const json::Value* suppression = body.find("suppression")) {
+        request.suppression = suppression->as_string("suppression");
       }
       if (const json::Value* max_steps = body.find("max-steps")) {
         request.max_steps = max_steps->as_u64("max-steps");

@@ -110,9 +110,27 @@ std::string scenario_cache_key(const Scenario& scenario) {
   return out;
 }
 
-std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair,
-                               const repair::RepairOptions& repair) {
+std::string scenario_cache_key(const Scenario& scenario,
+                               const sim::SimOptions& sim) {
   std::string out = scenario_cache_key(scenario);
+  if (scenario.kind == ScenarioKind::simulation) {
+    // Every SimOptions knob that shapes a SimResult is keyed; the seed is
+    // already in the base key, and the detector (plus its test-only hash
+    // mask) is deliberately absent — both detectors are byte-identical (a
+    // tested property), so the ablation shares cache entries.
+    out += "|sim|scenario=" + sim.scenario +
+           ";suppression=" + sim.suppression +
+           ";mrai=" + std::to_string(sim.mrai_ticks) +
+           ";delay=" + std::to_string(sim.max_link_delay) +
+           ";steps=" + std::to_string(sim.max_steps);
+  }
+  return out;
+}
+
+std::string scenario_cache_key(const Scenario& scenario, bool attempt_repair,
+                               const repair::RepairOptions& repair,
+                               const sim::SimOptions& sim) {
+  std::string out = scenario_cache_key(scenario, sim);
   if (attempt_repair && scenario.kind == ScenarioKind::safety &&
       scenario.spp != nullptr) {
     // Repair outcomes are content-determined (ground-truth trials are
@@ -167,11 +185,15 @@ std::string content_digest(const std::string& canonical) {
 
 namespace {
 
-// v3: outcomes gained the simulation payload (has_sim + sim.* fields) and
-// the "simulation" kind tag; v2 lacked both. v2: RepairSummary gained
-// oracle_budget (the incremental-oracle PR). Records with an older header
-// fail the check and degrade to misses.
-constexpr const char* k_record_header = "fsr-outcome v3";
+// v4: the simulation payload gained sim.suppression and sim.cutoff (the
+// suppression-policy + budget-cutoff PR), and simulation cache keys gained
+// the sim-config marker — the version bump retires every v3 sim record,
+// whose keys could alias across sim configurations. v3: outcomes gained
+// the simulation payload (has_sim + sim.* fields) and the "simulation"
+// kind tag; v2 lacked both. v2: RepairSummary gained oracle_budget (the
+// incremental-oracle PR). Records with an older header fail the check and
+// degrade to misses.
+constexpr const char* k_record_header = "fsr-outcome v4";
 
 std::string escape_value(const std::string& text) {
   std::string out;
@@ -418,8 +440,10 @@ bool read_emulation(RecordReader& reader, EmulationResult& emu) {
 
 void write_sim(RecordWriter& writer, const sim::SimResult& sim_result) {
   writer.field("sim.scenario", sim_result.scenario);
+  writer.field("sim.suppression", sim_result.suppression);
   writer.field("sim.converged", sim_result.converged);
   writer.field("sim.oscillating", sim_result.oscillating);
+  writer.field("sim.cutoff", sim_result.cutoff);
   writer.field("sim.steps", sim_result.steps);
   writer.field("sim.ticks", sim_result.ticks);
   writer.field("sim.messages", sim_result.messages);
@@ -437,8 +461,10 @@ void write_sim(RecordWriter& writer, const sim::SimResult& sim_result) {
 
 bool read_sim(RecordReader& reader, sim::SimResult& sim_result) {
   sim_result.scenario = reader.text("sim.scenario");
+  sim_result.suppression = reader.text("sim.suppression");
   sim_result.converged = reader.boolean("sim.converged");
   sim_result.oscillating = reader.boolean("sim.oscillating");
+  sim_result.cutoff = reader.boolean("sim.cutoff");
   sim_result.steps = reader.u64("sim.steps");
   sim_result.ticks = reader.u64("sim.ticks");
   sim_result.messages = reader.u64("sim.messages");

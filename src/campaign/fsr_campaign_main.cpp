@@ -38,10 +38,18 @@ void print_usage() {
       "                   longer byte-stable across runs)\n"
       "  --emulate        add emulation variants to the gadget source\n"
       "  --simulate       add event-driven simulation variants to the\n"
-      "                   gadget source (incl. the unsafe gadgets, whose\n"
-      "                   runs report oscillation)\n"
+      "                   gadget, rocketfuel, and as-hierarchy sources\n"
+      "                   (incl. the unsafe gadgets, whose runs report\n"
+      "                   oscillation; topology sources simulate their\n"
+      "                   extracted SPP instances)\n"
       "  --sim-scenario S churn scenario for simulation variants: steady\n"
       "                   (default) | staged | link-flap | session-reset\n"
+      "  --sim-suppression P  advertisement-suppression policy for\n"
+      "                   simulation variants: none (default) |\n"
+      "                   split-horizon | poisoned-reverse\n"
+      "  --hierarchy-depth N  override the as-hierarchy source's depth\n"
+      "                   sweep with N (repeatable; larger depths grow the\n"
+      "                   topology geometrically)\n"
       "  --repair         run the repair engine on every not-provably-safe\n"
       "                   SPP scenario; adds repair data to the report\n"
       "  --repair-max-edits K  edit-size cap for repair candidates "
@@ -87,6 +95,7 @@ int main(int argc, char** argv) {
   bool timings = false;
   bool emulate = false;
   bool simulate = false;
+  std::vector<std::int32_t> hierarchy_depths;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -120,6 +129,22 @@ int main(int argc, char** argv) {
                      "link-flap, or session-reset\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--sim-suppression") == 0) {
+      options.sim.suppression = need_value(i, "--sim-suppression");
+      if (!fsr::sim::is_suppression_name(options.sim.suppression)) {
+        std::fprintf(stderr,
+                     "fsr_campaign: --sim-suppression wants none, "
+                     "split-horizon, or poisoned-reverse\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--hierarchy-depth") == 0) {
+      const int depth = std::atoi(need_value(i, "--hierarchy-depth"));
+      if (depth < 1) {
+        std::fprintf(stderr,
+                     "fsr_campaign: --hierarchy-depth needs a value >= 1\n");
+        return 2;
+      }
+      hierarchy_depths.push_back(depth);
     } else if (std::strcmp(arg, "--repair") == 0) {
       options.attempt_repair = true;
     } else if (std::strcmp(arg, "--repair-max-edits") == 0) {
@@ -200,7 +225,8 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<ScenarioSource>> sources;
     sources.reserve(source_names.size());
     for (const std::string& name : source_names) {
-      sources.push_back(make_builtin_source(name, emulate, simulate));
+      sources.push_back(
+          make_builtin_source(name, emulate, simulate, hierarchy_depths));
     }
 
     CampaignRunner runner(options);

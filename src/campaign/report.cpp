@@ -115,8 +115,9 @@ void append_scenario_json(std::string& out, const ScenarioResult& result,
     out += ", \"verdict\": ";
     out += sim.converged     ? quoted("converged")
            : sim.oscillating ? quoted("oscillating")
-                             : quoted("undecided");
+                             : quoted("cutoff");
     out += ", \"sim_scenario\": " + quoted(sim.scenario) +
+           ", \"sim_suppression\": " + quoted(sim.suppression) +
            ", \"steps\": " + std::to_string(sim.steps) +
            ", \"ticks\": " + std::to_string(sim.ticks) +
            ", \"messages\": " + std::to_string(sim.messages) +
@@ -163,7 +164,8 @@ std::string summary_json_fields(const SourceSummary& summary, bool with_sim,
     out += ", \"sim_runs\": " + std::to_string(summary.sim_runs) +
            ", \"sim_converged\": " + std::to_string(summary.sim_converged) +
            ", \"sim_oscillating\": " +
-           std::to_string(summary.sim_oscillating);
+           std::to_string(summary.sim_oscillating) +
+           ", \"sim_cutoff\": " + std::to_string(summary.sim_cutoff);
   }
   if (with_repair) {
     out += ", \"repairs_attempted\": " +
@@ -196,6 +198,7 @@ void tally(SourceSummary& summary, const ScenarioResult& result) {
     ++summary.sim_runs;
     if (outcome->sim->converged) ++summary.sim_converged;
     if (outcome->sim->oscillating) ++summary.sim_oscillating;
+    if (outcome->sim->cutoff) ++summary.sim_cutoff;
   }
   if (outcome->repair.has_value()) {
     ++summary.repairs_attempted;
@@ -285,10 +288,12 @@ std::vector<std::size_t> CampaignReport::repair_edit_size_histogram() const {
   return buckets;
 }
 
-std::vector<std::size_t> CampaignReport::sim_message_histogram() const {
+std::vector<std::size_t> CampaignReport::sim_message_histogram(
+    const std::string& source) const {
   std::vector<std::size_t> buckets;
   for (const ScenarioResult& result : results) {
-    if (result.outcome == nullptr || !result.outcome->sim.has_value()) {
+    if (result.outcome == nullptr || !result.outcome->sim.has_value() ||
+        (!source.empty() && result.source != source)) {
       continue;
     }
     const std::size_t bucket = pow2_bucket(result.outcome->sim->messages);
@@ -298,12 +303,13 @@ std::vector<std::size_t> CampaignReport::sim_message_histogram() const {
   return buckets;
 }
 
-std::vector<std::size_t> CampaignReport::sim_convergence_step_histogram()
-    const {
+std::vector<std::size_t> CampaignReport::sim_convergence_step_histogram(
+    const std::string& source) const {
   std::vector<std::size_t> buckets;
   for (const ScenarioResult& result : results) {
     if (result.outcome == nullptr || !result.outcome->sim.has_value() ||
-        !result.outcome->sim->converged) {
+        !result.outcome->sim->converged ||
+        (!source.empty() && result.source != source)) {
       continue;
     }
     const std::size_t bucket = pow2_bucket(result.outcome->sim->steps);
@@ -342,13 +348,33 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
   const bool with_repair = totals.repairs_attempted > 0;
   out += "  \"totals\": {" +
          summary_json_fields(totals, with_sim, with_repair) + "}";
+  const auto append_counts = [](std::string& text,
+                                const std::vector<std::size_t>& counts) {
+    bool first_count = true;
+    for (const std::size_t count : counts) {
+      if (!first_count) text += ", ";
+      first_count = false;
+      text += std::to_string(count);
+    }
+  };
   out += ",\n  \"per_source\": [";
   bool first = true;
   for (const auto& [source, summary] : report.per_source()) {
     if (!first) out += ", ";
     first = false;
     out += "{\"source\": " + quoted(source) + ", " +
-           summary_json_fields(summary, with_sim, with_repair) + "}";
+           summary_json_fields(summary, with_sim, with_repair);
+    if (summary.sim_runs > 0) {
+      // Per-source distributions (deterministic, like the campaign-wide
+      // ones below): how THIS source's simulated instances converge and
+      // how chatty they are — the rocketfuel/as-hierarchy axes read these.
+      out += ", \"sim_message_histogram_pow2\": [";
+      append_counts(out, report.sim_message_histogram(source));
+      out += "], \"sim_convergence_steps_histogram_pow2\": [";
+      append_counts(out, report.sim_convergence_step_histogram(source));
+      out += "]";
+    }
+    out += "}";
   }
   out += "],\n";
   if (with_sim) {
@@ -359,6 +385,7 @@ std::string to_json(const CampaignReport& report, JsonOptions options) {
            std::to_string(totals.sim_runs) +
            ", \"converged\": " + std::to_string(totals.sim_converged) +
            ", \"oscillating\": " + std::to_string(totals.sim_oscillating) +
+           ", \"cutoff\": " + std::to_string(totals.sim_cutoff) +
            ", \"message_histogram_pow2\": [";
     first = true;
     for (const std::size_t count : report.sim_message_histogram()) {

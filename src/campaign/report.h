@@ -49,10 +49,11 @@ struct SourceSummary {
   std::size_t diverged = 0;
   // Event-driven simulation aggregates (all zero unless the campaign ran
   // simulation scenarios). A run that hits its step cap counts in
-  // sim_runs but in neither verdict bucket.
+  // sim_runs and sim_cutoff but in neither verdict bucket.
   std::size_t sim_runs = 0;
   std::size_t sim_converged = 0;
   std::size_t sim_oscillating = 0;
+  std::size_t sim_cutoff = 0;
   // Repair campaign aggregates (all zero unless attempt_repair was on).
   std::size_t repairs_attempted = 0;
   std::size_t repaired = 0;         // solver found a safe edit set
@@ -104,10 +105,15 @@ struct CampaignReport {
   /// messages). Deterministic — message counts are pure functions of
   /// (content, seed) — so it renders in the default JSON, and duplicates /
   /// cache hits count like the run that produced their shared outcome.
-  std::vector<std::size_t> sim_message_histogram() const;
+  /// A non-empty `source` restricts the tally to that source's scenarios —
+  /// the per-source distributions rendered inside each per_source object.
+  std::vector<std::size_t> sim_message_histogram(
+      const std::string& source = {}) const;
   /// Same shape over activation steps, restricted to converged runs — the
-  /// campaign-scale convergence-time distribution.
-  std::vector<std::size_t> sim_convergence_step_histogram() const;
+  /// campaign-scale convergence-time distribution (same optional
+  /// per-source restriction).
+  std::vector<std::size_t> sim_convergence_step_histogram(
+      const std::string& source = {}) const;
   /// Indices into `results` of the `limit` slowest executed scenarios.
   std::vector<std::size_t> slowest(std::size_t limit = 5) const;
 };

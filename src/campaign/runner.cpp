@@ -48,9 +48,11 @@ api::Request primary_request(const Scenario& scenario,
     api::SimulateRequest request;
     request.spp = scenario.spp;
     request.seed = scenario.seed;
-    // The churn regime is campaign-wide: every simulation scenario runs
-    // under the one scenario name from CampaignOptions.sim.
+    // The churn regime and suppression policy are campaign-wide: every
+    // simulation scenario runs under the one configuration from
+    // CampaignOptions.sim.
     request.scenario = options.sim.scenario;
+    request.suppression = options.sim.suppression;
     return request;
   }
   api::EmulateRequest request;
@@ -146,7 +148,7 @@ CampaignReport CampaignRunner::run_scenarios(std::vector<Scenario> scenarios) {
     result.seed = scenario.seed;
     validate_scenario(scenario);
     keys[i] = scenario_cache_key(scenario, options_.attempt_repair,
-                                 options_.repair);
+                                 options_.repair, options_.sim);
     result.content_id = content_digest(keys[i]);
 
     const auto [it, inserted] = first_with_key.emplace(keys[i], i);

@@ -1,6 +1,7 @@
 #include "campaign/scenario_source.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "algebra/standard_policies.h"
@@ -59,6 +60,19 @@ void enumerate_paths(const std::map<std::string, std::vector<std::string>>&
     enumerate_paths(adjacency, destination, prefix, max_edges, max_paths, out);
     prefix.pop_back();
   }
+}
+
+/// The preference rule shared with proto/reference_pv's aggregate: `a`
+/// outranks `b` when the algebra strictly prefers it, or when they are
+/// equal/incomparable and `a` is structurally smaller — a deterministic
+/// total refinement of the algebra's partial order.
+bool outranks(const algebra::RoutingAlgebra& alg,
+              const std::pair<algebra::Value, spp::Path>& a,
+              const std::pair<algebra::Value, spp::Path>& b) {
+  const algebra::Ordering order = alg.compare(a.first, b.first);
+  if (order == algebra::Ordering::better) return true;
+  if (order == algebra::Ordering::worse) return false;
+  return a < b;
 }
 
 class GadgetSource final : public ScenarioSource {
@@ -145,7 +159,21 @@ class RocketfuelSource final : public ScenarioSource {
                             ordinal_base + out.size());
           scenario.spp = std::make_shared<const spp::SppInstance>(
               std::move(experiment.instance));
-          out.push_back(std::move(scenario));
+          if (sweep_.include_simulations) {
+            // The simulation variant shares the safety scenario's extracted
+            // instance (same shared payload, distinct scenario seed); the
+            // gadget-embedded members are the real-topology oscillation
+            // workload.
+            Scenario sim = make_scenario(name_, id + "(simulated)",
+                                         ScenarioKind::simulation,
+                                         campaign_seed,
+                                         ordinal_base + out.size() + 1);
+            sim.spp = scenario.spp;
+            out.push_back(std::move(scenario));
+            out.push_back(std::move(sim));
+          } else {
+            out.push_back(std::move(scenario));
+          }
         }
       }
     }
@@ -193,13 +221,36 @@ class AsHierarchySource final : public ScenarioSource {
           Scenario scenario =
               make_scenario(name_, id, ScenarioKind::emulation, campaign_seed,
                             ordinal_base + out.size());
-          scenario.topology =
-              std::make_shared<const topology::Topology>(std::move(topo));
           scenario.algebra =
               choice.scheme == topology::LabelScheme::business
                   ? algebra::gao_rexford_guideline_a()
                   : algebra::gao_rexford_with_hop_count();
-          out.push_back(std::move(scenario));
+          if (sweep_.include_simulations) {
+            // The simulator speaks SPP, not annotated topologies: extract
+            // a concrete instance under the same policy before the
+            // topology payload is moved into the emulation scenario.
+            const std::int32_t max_edges =
+                sweep_.sim_max_path_edges > 0 ? sweep_.sim_max_path_edges
+                                              : depth + 4;
+            spp::SppInstance extracted = spp_from_topology(
+                topo.name, topo, *scenario.algebra, max_edges,
+                static_cast<std::size_t>(sweep_.sim_max_candidates),
+                static_cast<std::size_t>(sweep_.sim_paths_per_node));
+            Scenario sim = make_scenario(name_, id + "(simulated)",
+                                         ScenarioKind::simulation,
+                                         campaign_seed,
+                                         ordinal_base + out.size() + 1);
+            sim.spp = std::make_shared<const spp::SppInstance>(
+                std::move(extracted));
+            scenario.topology =
+                std::make_shared<const topology::Topology>(std::move(topo));
+            out.push_back(std::move(scenario));
+            out.push_back(std::move(sim));
+          } else {
+            scenario.topology =
+                std::make_shared<const topology::Topology>(std::move(topo));
+            out.push_back(std::move(scenario));
+          }
         }
       }
     }
@@ -385,6 +436,148 @@ spp::SppInstance random_spp_instance(std::string name, std::uint64_t seed,
   return instance;
 }
 
+spp::SppInstance spp_from_topology(std::string name,
+                                   const topology::Topology& topology,
+                                   const algebra::RoutingAlgebra& algebra,
+                                   std::int32_t max_path_edges,
+                                   std::size_t max_candidates,
+                                   std::size_t paths_per_node) {
+  spp::SppInstance instance(std::move(name), topology.destination);
+  std::map<std::string, std::vector<std::string>> adjacency;
+  // from -> (to -> from's label towards to); one pass here instead of a
+  // linear link scan per fold step (path_signature's label_of would make
+  // extraction quadratic on hierarchy-scale topologies).
+  std::map<std::string, std::map<std::string, algebra::Value>> labels;
+  for (const topology::TopoLink& link : topology.links) {
+    if (instance.has_edge(link.u, link.v)) continue;  // parallel links: first wins
+    instance.add_edge(link.u, link.v);
+    adjacency[link.u].push_back(link.v);
+    adjacency[link.v].push_back(link.u);
+    labels[link.u].emplace(link.v, link.label_uv);
+    labels[link.v].emplace(link.u, link.label_vu);
+  }
+
+  // BFS hop distances to the destination: the enumerator only follows
+  // edges that can still complete within the length budget, so the DFS
+  // never wanders into branches with no destination in reach — without
+  // this, top-tier nodes of a deep hierarchy explore exponentially many
+  // dead ends before the candidate cap bites.
+  std::map<std::string, std::int32_t> dist;
+  {
+    std::vector<std::string> frontier = {topology.destination};
+    dist[topology.destination] = 0;
+    while (!frontier.empty()) {
+      std::vector<std::string> next_frontier;
+      for (const std::string& here : frontier) {
+        const auto it = adjacency.find(here);
+        if (it == adjacency.end()) continue;
+        for (const std::string& next : it->second) {
+          if (dist.emplace(next, dist[here] + 1).second) {
+            next_frontier.push_back(next);
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+  }
+  // Destination-ward neighbour order (ties by name, unreachable last): the
+  // DFS dives straight towards the destination before spending budget on
+  // detours. Without this the step budget can drain inside a subtree that
+  // cannot complete any path — e.g. a stub destination's single provider
+  // exploring the whole core first — and "nearest neighbour first" keeps
+  // which paths get found independent of link declaration order.
+  for (auto& [node, neighbours] : adjacency) {
+    std::sort(neighbours.begin(), neighbours.end(),
+              [&](const std::string& a, const std::string& b) {
+                const auto da = dist.find(a);
+                const auto db = dist.find(b);
+                const std::int32_t ka =
+                    da == dist.end() ? std::numeric_limits<std::int32_t>::max()
+                                     : da->second;
+                const std::int32_t kb =
+                    db == dist.end() ? std::numeric_limits<std::int32_t>::max()
+                                     : db->second;
+                if (ka != kb) return ka < kb;
+                return a < b;
+              });
+  }
+
+  /// sigma(p) over the prebuilt label map, folded exactly as
+  /// proto::path_signature: origination on the destination-adjacent link,
+  /// combined_extend outward to the source.
+  const auto fold_signature =
+      [&](const spp::Path& path) -> std::optional<algebra::Value> {
+    const auto label_of = [&](const std::string& from,
+                              const std::string& to) {
+      return labels.at(from).at(to);
+    };
+    std::optional<algebra::Value> sig =
+        algebra.originate(label_of(path[path.size() - 2], path.back()));
+    for (std::size_t i = path.size() - 2; i-- > 0;) {
+      if (!sig.has_value()) return sig;
+      sig = algebra.combined_extend(label_of(path[i], path[i + 1]), *sig);
+    }
+    return sig;
+  };
+
+  for (const std::string& node : topology.nodes) {
+    if (node == topology.destination) continue;
+    std::vector<spp::Path> candidates;
+    // Guided DFS: extend only along edges whose endpoint can still reach
+    // the destination within the remaining edge budget. The step budget is
+    // a deterministic backstop against pathological path diversity.
+    std::size_t steps_left = 64 * max_candidates;
+    spp::Path prefix = {node};
+    const auto dfs = [&](const auto& self, const std::string& here) -> void {
+      if (candidates.size() >= max_candidates || steps_left == 0) return;
+      --steps_left;
+      if (here == topology.destination) {
+        candidates.push_back(prefix);
+        return;
+      }
+      const std::int32_t used =
+          static_cast<std::int32_t>(prefix.size()) - 1;
+      const auto it = adjacency.find(here);
+      if (it == adjacency.end()) return;
+      for (const std::string& next : it->second) {
+        const auto d = dist.find(next);
+        if (d == dist.end() || used + 1 + d->second > max_path_edges) {
+          continue;
+        }
+        if (std::find(prefix.begin(), prefix.end(), next) != prefix.end()) {
+          continue;
+        }
+        prefix.push_back(next);
+        self(self, next);
+        prefix.pop_back();
+      }
+    };
+    dfs(dfs, node);
+    // Fold each candidate through the algebra; phi paths (e.g. valley
+    // violations under Gao-Rexford export rules) drop out here, exactly as
+    // they would never be advertised by the protocol.
+    std::vector<std::pair<algebra::Value, spp::Path>> ranked;
+    ranked.reserve(candidates.size());
+    for (spp::Path& path : candidates) {
+      const auto sig = fold_signature(path);
+      if (sig.has_value()) ranked.emplace_back(*sig, std::move(path));
+    }
+    // Repeated best-pick under the shared preference rule instead of a
+    // comparison sort: algebra::compare is a partial order, which is not a
+    // strict weak ordering, so std::sort would be undefined on it.
+    const std::size_t keep = std::min(paths_per_node, ranked.size());
+    for (std::size_t i = 0; i < keep; ++i) {
+      std::size_t best = i;
+      for (std::size_t j = i + 1; j < ranked.size(); ++j) {
+        if (outranks(algebra, ranked[j], ranked[best])) best = j;
+      }
+      std::swap(ranked[i], ranked[best]);
+      instance.add_permitted_path(ranked[i].second);
+    }
+  }
+  return instance;
+}
+
 std::unique_ptr<ScenarioSource> gadget_source(GadgetSweep sweep) {
   return std::make_unique<GadgetSource>(std::move(sweep));
 }
@@ -416,17 +609,27 @@ const std::vector<std::string>& builtin_source_names() {
   return names;
 }
 
-std::unique_ptr<ScenarioSource> make_builtin_source(const std::string& name,
-                                                    bool include_emulations,
-                                                    bool include_simulations) {
+std::unique_ptr<ScenarioSource> make_builtin_source(
+    const std::string& name, bool include_emulations,
+    bool include_simulations,
+    const std::vector<std::int32_t>& hierarchy_depths) {
   if (name == "gadgets") {
     GadgetSweep sweep;
     sweep.include_emulations = include_emulations;
     sweep.include_simulations = include_simulations;
     return gadget_source(std::move(sweep));
   }
-  if (name == "rocketfuel") return rocketfuel_source();
-  if (name == "as-hierarchy") return as_hierarchy_source();
+  if (name == "rocketfuel") {
+    RocketfuelSweep sweep;
+    sweep.include_simulations = include_simulations;
+    return rocketfuel_source(std::move(sweep));
+  }
+  if (name == "as-hierarchy") {
+    AsHierarchySweep sweep;
+    sweep.include_simulations = include_simulations;
+    if (!hierarchy_depths.empty()) sweep.depths = hierarchy_depths;
+    return as_hierarchy_source(std::move(sweep));
+  }
   if (name == "random-spp") return random_spp_source();
   if (name == "policies") return standard_policy_source();
   if (name == "repair-targets") return repair_target_source();

@@ -18,6 +18,7 @@
 #include "algebra/standard_policies.h"
 #include "campaign/scenario_source.h"
 #include "spp/gadgets.h"
+#include "topology/as_hierarchy.h"
 #include "util/error.h"
 
 namespace fsr::campaign {
@@ -404,6 +405,142 @@ TEST(Cache, RepairModeSeparatesKeys) {
   algebra_scenario.algebra = algebra::gao_rexford_guideline_a();
   EXPECT_EQ(scenario_cache_key(algebra_scenario, true),
             scenario_cache_key(algebra_scenario, false));
+}
+
+TEST(Cache, SimConfigSeparatesKeys) {
+  // The PR-9 regression: simulation outcomes depend on the whole sim
+  // configuration, not just the per-scenario seed, so every axis that can
+  // change the run must land in the key — records written under one config
+  // must never satisfy a lookup under another.
+  Scenario simulation;
+  simulation.id = "s";
+  simulation.kind = ScenarioKind::simulation;
+  simulation.seed = 7;
+  simulation.spp =
+      std::make_shared<const spp::SppInstance>(spp::bad_gadget());
+  const sim::SimOptions base;
+  const std::string base_key = scenario_cache_key(simulation, base);
+
+  sim::SimOptions churn = base;
+  churn.scenario = "link-flap";
+  EXPECT_NE(scenario_cache_key(simulation, churn), base_key);
+  sim::SimOptions suppressed = base;
+  suppressed.suppression = "split-horizon";
+  EXPECT_NE(scenario_cache_key(simulation, suppressed), base_key);
+  sim::SimOptions mrai = base;
+  mrai.mrai_ticks = 5;
+  EXPECT_NE(scenario_cache_key(simulation, mrai), base_key);
+  sim::SimOptions slower_links = base;
+  slower_links.max_link_delay = 9;
+  EXPECT_NE(scenario_cache_key(simulation, slower_links), base_key);
+  sim::SimOptions tighter_budget = base;
+  tighter_budget.max_steps = 64;
+  EXPECT_NE(scenario_cache_key(simulation, tighter_budget), base_key);
+
+  // The detector axes are deliberately NOT keyed: the differential suite
+  // proves both detectors byte-identical (and the hash mask is verified
+  // away), so their records are interchangeable by construction.
+  sim::SimOptions canonical = base;
+  canonical.detector = "canonical";
+  EXPECT_EQ(scenario_cache_key(simulation, canonical), base_key);
+  sim::SimOptions masked = base;
+  masked.detector_hash_mask = 0;
+  EXPECT_EQ(scenario_cache_key(simulation, masked), base_key);
+
+  // The per-run seed is already in the base key, not the sim marker.
+  Scenario reseeded = simulation;
+  reseeded.seed = 8;
+  EXPECT_NE(scenario_cache_key(reseeded, base), base_key);
+
+  // Non-simulation scenarios ignore the sim config entirely.
+  Scenario safety = simulation;
+  safety.kind = ScenarioKind::safety;
+  EXPECT_EQ(scenario_cache_key(safety, churn), scenario_cache_key(safety));
+}
+
+TEST(CampaignRunner, WarmCacheNeverServesADifferentSimConfig) {
+  // Disk-backed cross-config regression for the same bug: a cache filled
+  // under one sim configuration must be useless to a campaign running
+  // another — and fully warm again for the configuration that wrote it.
+  const std::string dir = testing::TempDir() + "fsr_cache_simcfg_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  GadgetSweep sweep;
+  sweep.include_simulations = true;
+  const auto sim_sources = [&sweep] {
+    std::vector<std::unique_ptr<ScenarioSource>> sources;
+    sources.push_back(gadget_source(sweep));
+    return sources;
+  };
+
+  CampaignOptions cold_options;
+  cold_options.cache_dir = dir;
+  {
+    CampaignRunner cold(cold_options);
+    const CampaignReport report = cold.run(sim_sources());
+    EXPECT_GT(report.totals().sim_runs, 0u);
+  }
+
+  CampaignOptions flap_options = cold_options;
+  flap_options.sim.scenario = "link-flap";
+  flap_options.sim.suppression = "poisoned-reverse";
+  CampaignRunner warm_other(flap_options);
+  const CampaignReport other = warm_other.run(sim_sources());
+  std::size_t sims = 0;
+  for (const ScenarioResult& result : other.results) {
+    if (result.kind != ScenarioKind::simulation) continue;
+    ++sims;
+    EXPECT_FALSE(result.cache_hit) << result.id;
+    ASSERT_TRUE(result.outcome->sim.has_value()) << result.id;
+    // The outcome really ran under the new config, not the cached one.
+    EXPECT_EQ(result.outcome->sim->scenario, "link-flap") << result.id;
+    EXPECT_EQ(result.outcome->sim->suppression, "poisoned-reverse")
+        << result.id;
+  }
+  EXPECT_GT(sims, 0u);
+
+  // Same config as the cold run => every simulation is a warm hit again.
+  CampaignRunner warm_same(cold_options);
+  const CampaignReport same = warm_same.run(sim_sources());
+  for (const ScenarioResult& result : same.results) {
+    if (result.kind != ScenarioKind::simulation || result.deduplicated) {
+      continue;
+    }
+    EXPECT_TRUE(result.cache_hit) << result.id;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioSource, SppFromTopologyExtractsSimulatableInstances) {
+  // The campaign's --simulate bridge for annotated topologies: the
+  // extracted instance must give the destination's neighbours real routes
+  // (otherwise nothing ever originates and every simulation is a trivial
+  // zero-message convergence) and fold only policy-permitted paths.
+  topology::AsHierarchyParams params;
+  params.depth = 5;
+  params.seed = 1;
+  const topology::Topology topo =
+      topology::generate_as_hierarchy(params, topology::LabelScheme::business);
+  const spp::SppInstance instance = spp_from_topology(
+      "x", topo, *algebra::gao_rexford_guideline_a(), params.depth + 4, 16, 3);
+  EXPECT_EQ(instance.destination(), topo.destination);
+  EXPECT_GT(instance.permitted_path_count(), 0u);
+  bool destination_reachable = false;
+  for (const auto& [u, v] : instance.edges()) {
+    const std::string& neighbour = u == topo.destination   ? v
+                                   : v == topo.destination ? u
+                                                           : std::string();
+    if (neighbour.empty()) continue;
+    if (!instance.permitted(neighbour).empty()) destination_reachable = true;
+  }
+  EXPECT_TRUE(destination_reachable);
+
+  // And the simulator actually has something to do on it.
+  sim::SimOptions options;
+  options.seed = 3;
+  const sim::SimResult run = sim::simulate(instance, options);
+  EXPECT_TRUE(run.converged || run.oscillating);
+  EXPECT_GT(run.messages, 0u);
 }
 
 TEST(ScenarioSource, RepairTargetsSourceIsRegistered) {

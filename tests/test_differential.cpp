@@ -270,5 +270,50 @@ TEST(Differential, EventSimulatorFixedPointsMatchTheSatOracle) {
   EXPECT_GE(oscillating, 2 * k_sim_seeds);
 }
 
+TEST(Differential, IncrementalDetectorIsByteIdenticalToCanonical) {
+  // The incremental-hash + Brent detector against the PR-8 full
+  // canonicalisation detector: 100 seeds per library gadget cycling through
+  // every churn scenario, every SimResult field AND the per-event trace
+  // byte-identical. This is the property that lets the cache layer share
+  // records across detectors (campaign/cache.cpp keys sim outcomes without
+  // the detector axis).
+  const std::uint64_t base = fuzz_seed_base();
+  constexpr std::size_t k_sim_seeds = 100;
+  const std::vector<std::string> gadgets = {
+      "good",       "bad",          "disagree",     "ibgp-figure3",
+      "ibgp-figure3-fixed", "good-chain-3", "bad-chain-2"};
+  const std::vector<std::string>& scenarios = sim::scenario_names();
+  const std::vector<std::string>& policies = sim::suppression_names();
+
+  for (const std::string& name : gadgets) {
+    const spp::SppInstance instance = spp::gadget_by_name(name);
+    for (std::size_t s = 0; s < k_sim_seeds; ++s) {
+      sim::SimOptions incremental;
+      incremental.seed = base + s;
+      incremental.scenario = scenarios[s % scenarios.size()];
+      incremental.suppression = policies[s % policies.size()];
+      incremental.record_trace = true;
+      sim::SimOptions canonical = incremental;
+      canonical.detector = "canonical";
+      const sim::SimResult a = sim::simulate(instance, incremental);
+      const sim::SimResult b = sim::simulate(instance, canonical);
+      SCOPED_TRACE(name + " seed " + std::to_string(incremental.seed) + " (" +
+                   incremental.scenario + "/" + incremental.suppression + ")");
+      ASSERT_EQ(a.converged, b.converged);
+      ASSERT_EQ(a.oscillating, b.oscillating);
+      ASSERT_EQ(a.cutoff, b.cutoff);
+      ASSERT_EQ(a.steps, b.steps);
+      ASSERT_EQ(a.ticks, b.ticks);
+      ASSERT_EQ(a.messages, b.messages);
+      ASSERT_EQ(a.route_changes, b.route_changes);
+      ASSERT_EQ(a.convergence_tick, b.convergence_tick);
+      ASSERT_EQ(a.cycle_length, b.cycle_length);
+      ASSERT_EQ(a.fixed_point_stable, b.fixed_point_stable);
+      ASSERT_EQ(a.final_assignment, b.final_assignment);
+      ASSERT_EQ(a.trace, b.trace);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fsr::groundtruth

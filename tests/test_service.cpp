@@ -155,12 +155,18 @@ TEST(Wire, ParsesEveryPayloadShape) {
             RequestKind::emulate);
   const Request simulate = wire::parse_request(
       R"({"kind": "simulate", "gadget": "bad", "seed": 3,)"
-      R"( "scenario": "link-flap", "max-steps": 500})");
+      R"( "scenario": "link-flap", "suppression": "split-horizon",)"
+      R"( "max-steps": 500})");
   EXPECT_EQ(kind_of(simulate), RequestKind::simulate);
   const auto& sim = std::get<SimulateRequest>(simulate);
   EXPECT_EQ(sim.seed, 3u);
   EXPECT_EQ(sim.scenario, "link-flap");
+  EXPECT_EQ(sim.suppression, "split-horizon");
   EXPECT_EQ(sim.max_steps, std::optional<std::uint64_t>(500));
+  // Omitted => the SPVP default, exactly like scenario.
+  const auto& defaulted = std::get<SimulateRequest>(wire::parse_request(
+      R"({"kind": "simulate", "gadget": "bad", "seed": 3})"));
+  EXPECT_EQ(defaulted.suppression, "none");
 }
 
 TEST(Wire, InlineSppMatchesTheLibraryGadgetFingerprint) {
@@ -200,8 +206,48 @@ TEST(Wire, SchemaViolationsThrow) {
                InvalidArgument);
   EXPECT_THROW(validate(wire::parse_request(
                    R"({"kind": "simulate", "gadget": "bad",)"
+                   R"( "suppression": "route-dampening"})")),
+               InvalidArgument);
+  EXPECT_THROW(validate(wire::parse_request(
+                   R"({"kind": "simulate", "gadget": "bad",)"
                    R"( "max-steps": 0})")),
                InvalidArgument);
+}
+
+TEST(Service, SimulateSuppressionRoundTripsThroughTheWire) {
+  AnalysisService service;
+  for (const std::string& policy : sim::suppression_names()) {
+    SimulateRequest request;
+    request.spp = shared_gadget("good");
+    request.seed = 7;
+    request.suppression = policy;
+    const Response response = service.call(request);
+    ASSERT_TRUE(response.sim.has_value()) << policy;
+    EXPECT_EQ(response.sim->suppression, policy);
+    const std::string rendered = wire::render_response(response);
+    EXPECT_NE(rendered.find("\"suppression\": \"" + policy + "\""),
+              std::string::npos)
+        << rendered;
+  }
+}
+
+TEST(Service, SimulateCutoffRendersNoFixedPoint) {
+  // A budget-cut run must say so on the wire — and must not pass off its
+  // mid-flight selections as a fixed point (WIRE.md's cutoff contract).
+  AnalysisService service;
+  SimulateRequest request;
+  request.spp = shared_gadget("bad");
+  request.seed = 3;
+  request.max_steps = 3;
+  const Response response = service.call(request);
+  ASSERT_TRUE(response.sim.has_value());
+  EXPECT_TRUE(response.sim->cutoff);
+  const std::string rendered = wire::render_response(response);
+  EXPECT_NE(rendered.find("\"cutoff\": true"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("\"fixed_point_stable\": false"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("\"fixed_point\": {}"), std::string::npos)
+      << rendered;
 }
 
 TEST(Wire, UnknownKindErrorNamesTheValidKinds) {

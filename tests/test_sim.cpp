@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "groundtruth/engine.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "spp/gadgets.h"
 #include "spp/spp.h"
@@ -37,6 +38,17 @@ TEST(Sim, ScenarioNamesAreTheDocumentedFour) {
   EXPECT_FALSE(is_scenario_name(""));
 }
 
+TEST(Sim, SuppressionNamesAreTheDocumentedThree) {
+  const std::vector<std::string> expected = {"none", "split-horizon",
+                                             "poisoned-reverse"};
+  EXPECT_EQ(suppression_names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(is_suppression_name(name)) << name;
+  }
+  EXPECT_FALSE(is_suppression_name("route-dampening"));
+  EXPECT_FALSE(is_suppression_name(""));
+}
+
 TEST(Sim, InvalidOptionsThrow) {
   SimOptions bad_scenario;
   bad_scenario.scenario = "earthquake";
@@ -44,6 +56,12 @@ TEST(Sim, InvalidOptionsThrow) {
   SimOptions no_budget;
   no_budget.max_steps = 0;
   EXPECT_THROW(run_gadget("good", no_budget), InvalidArgument);
+  SimOptions bad_suppression;
+  bad_suppression.suppression = "carrier-pigeon";
+  EXPECT_THROW(run_gadget("good", bad_suppression), InvalidArgument);
+  SimOptions bad_detector;
+  bad_detector.detector = "quantum";
+  EXPECT_THROW(run_gadget("good", bad_detector), InvalidArgument);
 }
 
 // ---------------------------------------------------------- determinism --
@@ -193,7 +211,117 @@ TEST(Sim, StepBudgetCutsOffUndecidedRuns) {
   const SimResult run = run_gadget("bad", options);
   EXPECT_FALSE(run.converged);
   EXPECT_FALSE(run.oscillating);
+  EXPECT_TRUE(run.cutoff);
   EXPECT_EQ(run.steps, 3u);
+}
+
+TEST(Sim, CutoffRunsCarryNoFixedPoint) {
+  // A truncated run's mid-flight selections are not a fixed point: the
+  // result must not smuggle them out as one (the wire layer renders this
+  // contract, so it is load-bearing beyond the struct).
+  SimOptions options;
+  options.max_steps = 3;
+  const SimResult cut = run_gadget("bad", options);
+  ASSERT_TRUE(cut.cutoff);
+  EXPECT_TRUE(cut.final_assignment.empty());
+  EXPECT_FALSE(cut.fixed_point_stable);
+  // Decided runs never report cutoff.
+  const SimResult decided = run_gadget("bad", SimOptions{});
+  ASSERT_TRUE(decided.oscillating);
+  EXPECT_FALSE(decided.cutoff);
+  const SimResult quiesced = run_gadget("good", SimOptions{});
+  ASSERT_TRUE(quiesced.converged);
+  EXPECT_FALSE(quiesced.cutoff);
+  EXPECT_FALSE(quiesced.final_assignment.empty());
+}
+
+// -------------------------------------------------------------- suppression --
+
+TEST(Sim, SuppressionPoliciesAreEchoedAndStillDecideSafeInstances) {
+  for (const std::string& policy : suppression_names()) {
+    SimOptions options;
+    options.seed = 7;
+    options.suppression = policy;
+    const SimResult run = run_gadget("good", options);
+    EXPECT_EQ(run.suppression, policy);
+    EXPECT_TRUE(run.converged) << policy;
+    EXPECT_FALSE(run.cutoff) << policy;
+  }
+}
+
+TEST(Sim, SplitHorizonNeverSendsMoreThanUnsuppressed) {
+  // Split horizon only ever drops advertisements (towards the selected next
+  // hop); for a fixed (instance, seed) it cannot generate message traffic
+  // the unsuppressed run would not have.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SimOptions plain;
+    plain.seed = seed;
+    const SimResult none = run_gadget("good-chain-3", plain);
+    SimOptions horizon = plain;
+    horizon.suppression = "split-horizon";
+    const SimResult suppressed = run_gadget("good-chain-3", horizon);
+    EXPECT_LE(suppressed.messages, none.messages) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------- detectors --
+
+std::string result_fingerprint(const SimResult& run) {
+  std::string out;
+  out += run.converged ? 'C' : '-';
+  out += run.oscillating ? 'O' : '-';
+  out += run.cutoff ? 'X' : '-';
+  out += '|' + std::to_string(run.steps) + '|' + std::to_string(run.ticks);
+  out += '|' + std::to_string(run.messages);
+  out += '|' + std::to_string(run.route_changes);
+  out += '|' + std::to_string(run.convergence_tick);
+  out += '|' + std::to_string(run.cycle_length);
+  out += run.fixed_point_stable ? "|S" : "|-";
+  for (const auto& [node, path] : run.final_assignment) {
+    out += '|' + node + '=' + spp::path_name(path);
+  }
+  return out;
+}
+
+TEST(Sim, IncrementalAndCanonicalDetectorsAgreeOnEveryField) {
+  // The fast lane of the 100-seed sweep in test_differential.cpp: both
+  // detectors must report byte-identical results on a converging, an
+  // oscillating, and a tie-breaking instance.
+  for (const char* gadget : {"good", "bad", "disagree"}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      SimOptions incremental;
+      incremental.seed = seed;
+      SimOptions canonical = incremental;
+      canonical.detector = "canonical";
+      EXPECT_EQ(result_fingerprint(run_gadget(gadget, incremental)),
+                result_fingerprint(run_gadget(gadget, canonical)))
+          << gadget << " seed " << seed;
+    }
+  }
+}
+
+TEST(Sim, ForcedHashCollisionsAreVerifiedAwayAndCounted) {
+  // detector_hash_mask=0 makes every state hash identical, so every
+  // post-churn step looks like a cycle candidate. Canonical verification
+  // must reject the fakes (counting them) and the reported result must be
+  // byte-identical to the honest-hash run — a collision can never fake a
+  // cycle, only cost time.
+  const std::uint64_t before =
+      obs::registry().counter("sim.hash_collisions").value();
+  SimOptions honest;
+  honest.seed = 11;
+  SimOptions colliding = honest;
+  colliding.detector_hash_mask = 0;
+  for (const char* gadget : {"good", "bad"}) {
+    EXPECT_EQ(result_fingerprint(run_gadget(gadget, honest)),
+              result_fingerprint(run_gadget(gadget, colliding)))
+        << gadget;
+  }
+  const std::uint64_t after =
+      obs::registry().counter("sim.hash_collisions").value();
+  // BAD oscillates after a multi-step prefix: the all-collisions run must
+  // have hit (and rejected) at least one fake match before the real repeat.
+  EXPECT_GT(after, before);
 }
 
 }  // namespace
