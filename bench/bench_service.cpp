@@ -20,10 +20,13 @@
 // --json writes the speedup/rps metrics; --check enforces
 // service_warm_speedup_min from bench/thresholds.json — the CI gate for
 // the warm-session contract.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/service.h"
@@ -268,6 +271,104 @@ int main(int argc, char** argv) {
         {std::to_string(threads), fmt(ms),
          fmt(1000.0 * static_cast<double>(scaling_stream.size()) / ms)},
         14);
+  }
+
+  // ---- fingerprint-affinity sharding ablation (gated) --------------------
+  // Concurrent clients over a wide instance set, warm caches scarce: the
+  // shape fsr::netserve routes for. Each worker keeps an LRU of 4 warm
+  // sessions while the stream cycles 15 distinct instances, so WHERE a
+  // request lands decides whether it finds warm state. Consistent-hash
+  // affinity pins each instance to one home worker (its session survives);
+  // round-robin sprays them, and every worker thrashes its tiny cache
+  // building sessions the others already built. The gate is the warm
+  // hit-rate ratio between the two policies — the scheduling half of the
+  // netserve design, measured end to end.
+  {
+    std::vector<Request> affinity_stream;
+    std::vector<std::string> chain_names;
+    for (int length = 2; length <= 8; ++length) {
+      chain_names.push_back("good-chain-" + std::to_string(length));
+      chain_names.push_back("bad-chain-" + std::to_string(length));
+    }
+    chain_names.push_back("bad");  // 15 distinct: deliberately not a
+                                   // multiple of the worker count, so
+                                   // round-robin never self-aligns
+    for (const std::string& name : chain_names) {
+      affinity_stream.push_back(GroundTruthRequest{
+          std::make_shared<const fsr::spp::SppInstance>(
+              fsr::spp::gadget_by_name(name)),
+          {}});
+    }
+
+    struct PolicyResult {
+      double hit_rate = 0.0;
+      double requests_per_sec = 0.0;
+    };
+    const auto measure_policy = [&](SchedulePolicy policy) {
+      ServiceOptions options;
+      options.threads = 8;
+      options.session_cache_capacity = 4;  // scarce: 15 instances in play
+      options.schedule = policy;
+      AnalysisService service(options);
+      service.run(affinity_stream);  // prime (one build per instance)
+      const ServiceStats before = service.stats();
+
+      constexpr int k_clients = 4;
+      constexpr int k_client_passes = 4;
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      for (int c = 0; c < k_clients; ++c) {
+        clients.emplace_back([&service, &affinity_stream] {
+          for (int pass = 0; pass < k_client_passes; ++pass) {
+            std::vector<std::future<Response>> futures;
+            futures.reserve(affinity_stream.size());
+            for (const Request& request : affinity_stream) {
+              futures.push_back(service.submit(request));
+            }
+            for (std::future<Response>& future : futures) future.get();
+          }
+        });
+      }
+      for (std::thread& client : clients) client.join();
+      const auto stop = std::chrono::steady_clock::now();
+
+      const ServiceStats after = service.stats();
+      const double completed =
+          static_cast<double>(after.completed - before.completed);
+      const double warm_hits =
+          static_cast<double>(after.warm_hits - before.warm_hits);
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      PolicyResult result;
+      result.hit_rate = completed > 0.0 ? warm_hits / completed : 0.0;
+      result.requests_per_sec = ms > 0.0 ? 1000.0 * completed / ms : 0.0;
+      return result;
+    };
+
+    const PolicyResult affinity = measure_policy(SchedulePolicy::affinity);
+    const PolicyResult round_robin =
+        measure_policy(SchedulePolicy::round_robin);
+    // A zero round-robin hit rate is the expected thrash endpoint; clamp
+    // so the gated ratio stays finite.
+    const double ratio =
+        affinity.hit_rate / std::max(round_robin.hit_rate, 0.02);
+
+    bench::print_banner(
+        "fingerprint-affinity sharding: warm hit rate, 4 clients x 8 "
+        "workers, scarce caches");
+    bench::print_row({"policy", "warm hit rate", "req/sec"}, 16);
+    bench::print_row({"affinity", fmt(100.0 * affinity.hit_rate, "%"),
+                      fmt(affinity.requests_per_sec)},
+                     16);
+    bench::print_row({"round-robin", fmt(100.0 * round_robin.hit_rate, "%"),
+                      fmt(round_robin.requests_per_sec)},
+                     16);
+    metrics["service_affinity_warm_hit_rate"] = affinity.hit_rate;
+    metrics["service_round_robin_warm_hit_rate"] = round_robin.hit_rate;
+    metrics["service_affinity_warm_hit_ratio"] = ratio;
+    metrics["service_affinity_requests_per_sec"] = affinity.requests_per_sec;
+    metrics["service_round_robin_requests_per_sec"] =
+        round_robin.requests_per_sec;
   }
 
   if (!json_path.empty() && !bench::write_metrics_file(json_path, metrics)) {

@@ -12,11 +12,19 @@
 // value (the service determinism contract; --timings adds scheduling-
 // dependent provenance and breaks that property on purpose).
 //
+// With --listen HOST:PORT and/or --unix PATH the same protocol is served
+// over sockets instead (fsr::netserve): many concurrent clients, per-
+// connection pipelining and backpressure, graceful drain on SIGTERM.
+// Each connection gets the stdin contract — identical response bytes for
+// its request stream, at any --shards value (docs/WIRE.md "Transport").
+//
 // A malformed or failing request answers with an error response on its
-// line — it never aborts the stream. The process exits 0 when every line
+// line — it never aborts the stream. Stdin mode exits 0 when every line
 // was answered, 1 when any response carried an error (so batch pipelines
-// notice), 2 on usage errors.
+// notice), 2 on usage errors; server mode exits 0 on a clean drain
+// (client errors are per-connection, not process state).
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,8 +38,9 @@
 #include "api/service.h"
 #include "api/wire.h"
 #include "groundtruth/engine.h"
-#include "obs/export.h"
-#include "obs/recorder.h"
+#include "netserve/framing.h"
+#include "netserve/server.h"
+#include "obs/cli.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -40,35 +49,40 @@ namespace {
 void print_usage() {
   std::printf(
       "usage: fsr_serve [options] < requests.jsonl > responses.jsonl\n"
+      "       fsr_serve --listen HOST:PORT [options]\n"
+      "       fsr_serve --unix PATH [options]\n"
       "  --threads N        service worker threads (default 1); responses\n"
       "                     are byte-identical for any value\n"
+      "  --shards N         alias for --threads (the worker shards the\n"
+      "                     fingerprint-affinity scheduler maps onto)\n"
+      "  --listen HOST:PORT serve the protocol over TCP (port 0 picks an\n"
+      "                     ephemeral port, announced on stderr); may be\n"
+      "                     combined with --unix\n"
+      "  --unix PATH        serve the protocol over a Unix-domain socket\n"
+      "  --round-robin      ablation: schedule by rotation instead of\n"
+      "                     fingerprint affinity (bytes identical, warm\n"
+      "                     hit rate usually worse)\n"
       "  --session-cache N  warm solver sessions kept per worker\n"
       "                     (default 8; 0 disables cross-request reuse)\n"
       "  --max-edits K      repair edit-size cap (default 2)\n"
       "  --beam W           repair frontier beam width (default 64)\n"
       "  --ground-truth M   default oracle: sat-search (default) |\n"
       "                     enumerate\n"
-      "  --timings          add warm_session/wall_ms provenance (output\n"
-      "                     is then no longer byte-stable)\n"
-      "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
-      "                     (load in about:tracing or ui.perfetto.dev);\n"
-      "                     response bytes are unaffected\n"
-      "  --metrics-out FILE rewrite FILE atomically with an OpenMetrics\n"
-      "                     snapshot of the obs registry, every\n"
-      "                     --metrics-interval-ms (default 1000) and once\n"
-      "                     at exit; scrape-ready, bytes unaffected\n"
-      "  --metrics-interval-ms N\n"
-      "                     snapshot period for --metrics-out\n"
-      "  --recorder N       install a flight recorder keeping the last N\n"
-      "                     events per thread (drained by the \"debug\"\n"
-      "                     request kind; 0 = off, the default)\n"
-      "  --crash-dump FILE  dump recorder events + a registry snapshot to\n"
-      "                     FILE on SIGSEGV/SIGABRT (then die) and on\n"
-      "                     SIGUSR1 (on demand, keep serving); implies\n"
-      "                     --recorder 1024 unless set explicitly\n"
+      "  --timings          add warm_session/shard/wall_ms provenance\n"
+      "                     (output is then no longer byte-stable)\n"
+      "%s"
       "  --slow-ms N        slow-request watchdog threshold in ms\n"
       "                     (fractional ok; default 1000; 0 disables)\n"
-      "  --help             this message\n");
+      "  --help             this message\n",
+      fsr::obs::diagnostics_usage());
+}
+
+fsr::netserve::Server* g_server = nullptr;
+
+void handle_drain_signal(int) {
+  // Async-signal-safe: request_drain only stores an atomic and writes a
+  // pre-opened pipe fd.
+  if (g_server != nullptr) g_server->request_drain();
 }
 
 }  // namespace
@@ -78,11 +92,9 @@ int main(int argc, char** argv) {
 
   ServiceOptions options;
   wire::RenderOptions render_options;
-  std::string trace_out;
-  std::string metrics_out;
-  int metrics_interval_ms = 1000;
-  std::size_t recorder_capacity = 0;
-  std::string crash_dump;
+  fsr::obs::DiagnosticsCliOptions diagnostics;
+  std::string listen_spec;
+  std::string unix_path;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -94,12 +106,23 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--threads") == 0) {
-      options.threads = std::atoi(need_value(i, "--threads"));
+    if (fsr::obs::consume_diagnostics_flag(argc, argv, i, "fsr_serve",
+                                           diagnostics)) {
+      continue;
+    }
+    if (std::strcmp(arg, "--threads") == 0 ||
+        std::strcmp(arg, "--shards") == 0) {
+      options.threads = std::atoi(need_value(i, arg));
       if (options.threads < 1) {
-        std::fprintf(stderr, "fsr_serve: --threads needs a value >= 1\n");
+        std::fprintf(stderr, "fsr_serve: %s needs a value >= 1\n", arg);
         return 2;
       }
+    } else if (std::strcmp(arg, "--listen") == 0) {
+      listen_spec = need_value(i, "--listen");
+    } else if (std::strcmp(arg, "--unix") == 0) {
+      unix_path = need_value(i, "--unix");
+    } else if (std::strcmp(arg, "--round-robin") == 0) {
+      options.schedule = SchedulePolicy::round_robin;
     } else if (std::strcmp(arg, "--session-cache") == 0) {
       const int capacity = std::atoi(need_value(i, "--session-cache"));
       if (capacity < 0) {
@@ -133,26 +156,6 @@ int main(int argc, char** argv) {
       options.repair.ground_truth = *mode;
     } else if (std::strcmp(arg, "--timings") == 0) {
       render_options.timings = true;
-    } else if (std::strcmp(arg, "--trace-out") == 0) {
-      trace_out = need_value(i, "--trace-out");
-    } else if (std::strcmp(arg, "--metrics-out") == 0) {
-      metrics_out = need_value(i, "--metrics-out");
-    } else if (std::strcmp(arg, "--metrics-interval-ms") == 0) {
-      metrics_interval_ms = std::atoi(need_value(i, "--metrics-interval-ms"));
-      if (metrics_interval_ms < 1) {
-        std::fprintf(stderr,
-                     "fsr_serve: --metrics-interval-ms needs a value >= 1\n");
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--recorder") == 0) {
-      const int capacity = std::atoi(need_value(i, "--recorder"));
-      if (capacity < 0) {
-        std::fprintf(stderr, "fsr_serve: --recorder needs a value >= 0\n");
-        return 2;
-      }
-      recorder_capacity = static_cast<std::size_t>(capacity);
-    } else if (std::strcmp(arg, "--crash-dump") == 0) {
-      crash_dump = need_value(i, "--crash-dump");
     } else if (std::strcmp(arg, "--slow-ms") == 0) {
       const double slow_ms = std::atof(need_value(i, "--slow-ms"));
       if (slow_ms < 0) {
@@ -172,30 +175,59 @@ int main(int argc, char** argv) {
 
   fsr::obs::set_thread_name("main");
 
-  // Install the tracer before the service spins up its workers; it is
-  // uninstalled (and the file written) only after the final flush below
-  // has resolved every future — by which point each request's spans are
-  // already recorded (a span ends before its response is delivered).
-  fsr::obs::Tracer tracer;
-  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
+  // The diagnostics stack (tracer/recorder/crash handler/metrics writer)
+  // must outlive the service — workers cache recorder ring pointers — so
+  // it is constructed before, and finalized after, everything below.
+  fsr::obs::DiagnosticsSession diagnostics_session(diagnostics, "fsr_serve");
 
-  // The recorder outlives the service (declared first, destroyed last):
-  // worker threads cache ring pointers into it, so it must survive until
-  // the service has joined them. A crash dump without an explicit
-  // --recorder still wants history, so --crash-dump implies one.
-  if (!crash_dump.empty() && recorder_capacity == 0) recorder_capacity = 1024;
-  fsr::obs::FlightRecorder recorder(recorder_capacity == 0
-                                        ? 1
-                                        : recorder_capacity);
-  if (recorder_capacity > 0) fsr::obs::install_recorder(&recorder);
-  if (!crash_dump.empty()) fsr::obs::install_crash_handler(crash_dump);
-
-  std::optional<fsr::obs::MetricsFileWriter> metrics_writer;
-  if (!metrics_out.empty()) {
-    metrics_writer.emplace(fsr::obs::MetricsFileWriter::Options{
-        metrics_out, std::chrono::milliseconds(metrics_interval_ms)});
+  if (!listen_spec.empty() || !unix_path.empty()) {
+    // ---- Socket server mode (fsr::netserve) ----
+    fsr::netserve::ServerOptions server_options;
+    server_options.service = options;
+    server_options.render = render_options;
+    server_options.unix_path = unix_path;
+    if (!listen_spec.empty()) {
+      const std::size_t colon = listen_spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "fsr_serve: --listen needs HOST:PORT\n");
+        return 2;
+      }
+      server_options.tcp_host = listen_spec.substr(0, colon);
+      const int port = std::atoi(listen_spec.c_str() + colon + 1);
+      if (server_options.tcp_host.empty() || port < 0 || port > 65535) {
+        std::fprintf(stderr, "fsr_serve: --listen needs HOST:PORT\n");
+        return 2;
+      }
+      server_options.tcp_port = static_cast<std::uint16_t>(port);
+    }
+    const std::string tcp_host = server_options.tcp_host;
+    try {
+      fsr::netserve::Server server(std::move(server_options));
+      g_server = &server;
+      struct sigaction action {};
+      action.sa_handler = handle_drain_signal;
+      ::sigaction(SIGTERM, &action, nullptr);
+      ::sigaction(SIGINT, &action, nullptr);
+      if (!listen_spec.empty()) {
+        // Announced so scripts (and CI) can discover an ephemeral port.
+        std::fprintf(stderr, "fsr_serve: listening on %s:%u\n",
+                     tcp_host.c_str(),
+                     static_cast<unsigned>(server.tcp_port()));
+      }
+      if (!unix_path.empty()) {
+        std::fprintf(stderr, "fsr_serve: listening on unix:%s\n",
+                     unix_path.c_str());
+      }
+      const int status = server.run();
+      g_server = nullptr;
+      return diagnostics_session.finalize() && status == 0 ? status : 1;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "fsr_serve: %s\n", error.what());
+      return 1;
+    }
   }
 
+  // ---- Stdin pipe mode (byte-compatible with every earlier release) ----
   AnalysisService service(options);
 
   // In-flight responses, drained to stdout in request order: submissions
@@ -231,6 +263,14 @@ int main(int argc, char** argv) {
       if (c != ' ' && c != '\t' && c != '\r') blank = false;
     }
     if (blank) continue;
+    // Bounded in-flight queue: on huge streams std::getline outruns the
+    // pool, and an unbounded pending deque would hold every response of
+    // the backlog in memory. Same constant as a netserve connection's
+    // in-flight cap — the two front-ends make the same memory promise.
+    while (pending.size() >= fsr::netserve::kMaxInflightPerConnection) {
+      pending.front().wait();
+      flush_ready(false);  // the front is ready: writes at least one
+    }
     try {
       Request request = wire::parse_request(line);
       if (std::holds_alternative<StatsRequest>(request) ||
@@ -268,22 +308,6 @@ int main(int argc, char** argv) {
     flush_ready(false);
   }
   flush_ready(true);
-  fsr::obs::install_recorder(nullptr);
-  if (metrics_writer.has_value()) {
-    metrics_writer->stop();
-    if (!metrics_writer->ok()) {
-      std::fprintf(stderr, "fsr_serve: cannot write metrics to '%s'\n",
-                   metrics_out.c_str());
-      any_error = true;
-    }
-  }
-  if (!trace_out.empty()) {
-    fsr::obs::install_tracer(nullptr);
-    if (!tracer.write(trace_out)) {
-      std::fprintf(stderr, "fsr_serve: cannot write trace to '%s'\n",
-                   trace_out.c_str());
-      any_error = true;
-    }
-  }
+  if (!diagnostics_session.finalize()) any_error = true;
   return any_error ? 1 : 0;
 }

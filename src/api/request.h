@@ -152,6 +152,11 @@ struct ServiceStats {
   std::uint64_t sessions_built = 0;
   std::uint64_t sessions_evicted = 0;
   std::uint64_t slow_requests = 0;  // wall time over ServiceOptions threshold
+  /// Warm hits that landed on the worker the shard router maps the
+  /// instance to — affinity scheduling observed, not inferred. Under
+  /// SchedulePolicy::affinity this tracks warm_hits; under round_robin it
+  /// counts only accidental alignment.
+  std::uint64_t affinity_hits = 0;
 };
 
 /// What a StatsRequest answers with: the owning service's counters plus
@@ -191,6 +196,7 @@ struct Response {
   // deterministic renderings (wire.h gates them behind `timings`).
   bool warm_session = false;  // served entirely from cached solver sessions
   double wall_ms = 0.0;
+  int shard = -1;  // worker that served the request; -1 = not recorded
 };
 
 }  // namespace fsr::api

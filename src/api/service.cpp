@@ -35,8 +35,20 @@ groundtruth::Result to_ground_truth_result(
 
 }  // namespace
 
+const char* to_string(SchedulePolicy policy) noexcept {
+  switch (policy) {
+    case SchedulePolicy::affinity:
+      return "affinity";
+    case SchedulePolicy::round_robin:
+      return "round-robin";
+  }
+  return "affinity";
+}
+
 AnalysisService::AnalysisService(ServiceOptions options)
     : options_(std::move(options)),
+      router_(options_.threads < 1 ? 1
+                                   : static_cast<std::size_t>(options_.threads)),
       submitted_counter_(obs::registry().counter("service.requests.submitted")),
       completed_counter_(obs::registry().counter("service.requests.completed")),
       errors_counter_(obs::registry().counter("service.requests.errors")),
@@ -44,6 +56,8 @@ AnalysisService::AnalysisService(ServiceOptions options)
       sessions_built_counter_(obs::registry().counter("service.sessions_built")),
       evictions_counter_(obs::registry().counter("session_cache.evictions")),
       slow_requests_counter_(obs::registry().counter("service.slow_requests")),
+      affinity_hits_counter_(
+          obs::registry().counter("session_cache.affinity_hits")),
       request_wall_us_(obs::registry().histogram("service.request_wall_us")) {
   if (options_.threads < 1) {
     throw InvalidArgument("service thread count must be >= 1");
@@ -56,11 +70,13 @@ AnalysisService::AnalysisService(ServiceOptions options)
   baseline_.sessions_built = sessions_built_counter_.value();
   baseline_.sessions_evicted = evictions_counter_.value();
   baseline_.slow_requests = slow_requests_counter_.value();
+  baseline_.affinity_hits = affinity_hits_counter_.value();
+  queues_.resize(static_cast<std::size_t>(options_.threads));
   workers_.reserve(static_cast<std::size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this, i]() {
       obs::set_thread_name("worker-" + std::to_string(i));
-      worker_loop();
+      worker_loop(static_cast<std::size_t>(i));
     });
   }
 }
@@ -74,21 +90,54 @@ AnalysisService::~AnalysisService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-std::future<Response> AnalysisService::submit(Request request) {
+std::uint64_t AnalysisService::enqueue(Request request,
+                                       std::function<void(Response)> deliver) {
   Job job;
   job.request = std::move(request);
-  std::future<Response> future = job.promise.get_future();
+  job.deliver = std::move(deliver);
+  // Routing fingerprint. fingerprint() validates first and throws on a bad
+  // payload; the error must surface as the response's error field (from
+  // execute(), where the bytes are defined), not here — so an unfingerprintable
+  // request just routes by the empty string, deterministically.
+  try {
+    job.fingerprint = fingerprint(job.request);
+  } catch (const std::exception&) {
+    job.fingerprint.clear();
+  }
+  std::uint64_t id = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw InvalidArgument("submit on a shut-down AnalysisService");
     }
-    job.id = next_id_++;
-    queue_.push_back(std::move(job));
+    id = job.id = next_id_++;
+    const std::size_t shard =
+        options_.schedule == SchedulePolicy::affinity
+            ? router_.shard_of(job.fingerprint)
+            : static_cast<std::size_t>(rr_next_++) % queues_.size();
+    queues_[shard].push_back(std::move(job));
   }
   submitted_counter_.add(1);
-  work_ready_.notify_one();
+  // Affinity pins jobs to one worker's queue, so a targeted wake matters;
+  // notify_all keeps the logic simple and submission is rare next to work.
+  work_ready_.notify_all();
+  return id;
+}
+
+std::future<Response> AnalysisService::submit(Request request) {
+  // std::function must be copyable; a promise is move-only, so park it in a
+  // shared_ptr the deliver closure can own.
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  enqueue(std::move(request), [promise](Response response) {
+    promise->set_value(std::move(response));
+  });
   return future;
+}
+
+std::uint64_t AnalysisService::submit(Request request,
+                                      std::function<void(Response)> on_complete) {
+  return enqueue(std::move(request), std::move(on_complete));
 }
 
 std::vector<Response> AnalysisService::run(std::vector<Request> requests) {
@@ -121,38 +170,53 @@ ServiceStats AnalysisService::stats() const {
       evictions_counter_.value() - baseline_.sessions_evicted;
   stats.slow_requests =
       slow_requests_counter_.value() - baseline_.slow_requests;
+  stats.affinity_hits =
+      affinity_hits_counter_.value() - baseline_.affinity_hits;
   return stats;
 }
 
-void AnalysisService::worker_loop() {
+void AnalysisService::worker_loop(std::size_t worker) {
   // Worker-owned mutable state: the session cache and (transitively) every
   // solver session it stores live and die with this thread; nothing
-  // mutable is ever shared across workers.
+  // mutable is ever shared across workers. Each worker drains only its own
+  // queue — that is what makes affinity routing stick.
   SessionCache cache(options_.session_cache_capacity);
+  std::deque<Job>& queue = queues_[worker];
   while (true) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [&]() { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_, and nothing left to drain
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      work_ready_.wait(lock, [&]() { return stopping_ || !queue.empty(); });
+      if (queue.empty()) return;  // stopping_, and nothing left to drain
+      job = std::move(queue.front());
+      queue.pop_front();
     }
-    Response response = execute(job.id, job.request, cache);
+    Response response = execute(job.id, job.request, cache, worker);
     completed_counter_.add(1);
     if (!response.error.empty()) errors_counter_.add(1);
-    if (response.warm_session) warm_hits_counter_.add(1);
+    if (response.warm_session) {
+      warm_hits_counter_.add(1);
+      if (!response.fingerprint.empty() &&
+          router_.shard_of(response.fingerprint) == worker) {
+        // A warm hit on the worker the router maps this instance to: the
+        // observable signature of affinity scheduling doing its job.
+        affinity_hits_counter_.add(1);
+      }
+    }
     // Evictions are counted by the SessionCache itself, straight into the
     // registry — no double bookkeeping here.
-    job.promise.set_value(std::move(response));
+    job.deliver(std::move(response));
   }
 }
 
 Response AnalysisService::execute(std::uint64_t id, const Request& request,
-                                  SessionCache& cache) {
+                                  SessionCache& cache, std::size_t worker) {
   Response response;
   response.id = id;
   response.kind = kind_of(request);
+  // Execution provenance (timings-gated on the wire, like wall_ms): WHICH
+  // worker served the request. Never part of the deterministic bytes.
+  response.shard = static_cast<int>(worker);
   obs::Span span("service.execute");
   span.arg("kind", to_string(response.kind));
   span.arg("id", id);

@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -42,11 +43,29 @@
 #include "fsr/emulation.h"
 #include "fsr/safety_analyzer.h"
 #include "groundtruth/engine.h"
+#include "netserve/shard_router.h"
 #include "obs/metrics.h"
 #include "repair/repair_engine.h"
 #include "sim/simulator.h"
 
 namespace fsr::api {
+
+/// How submit() picks the worker for a request.
+enum class SchedulePolicy {
+  /// Fingerprint-affinity sharding (the default): the request's content
+  /// fingerprint is consistent-hashed onto a worker shard
+  /// (netserve::ShardRouter), so the same instance always lands on the
+  /// worker already holding its warm StableSatSession /
+  /// IncrementalSafetySession. This is what keeps the warm hit rate from
+  /// being diluted by concurrency; response bytes never depend on it.
+  affinity,
+  /// Blind rotation over the workers, ignoring the fingerprint — the
+  /// pre-netserve submission behaviour, kept as the measurable ablation
+  /// baseline (bench_service gates affinity's win over this).
+  round_robin,
+};
+
+const char* to_string(SchedulePolicy policy) noexcept;
 
 /// The one options struct behind the façade: subsumes the per-engine
 /// option structs the four previous entry points took separately.
@@ -75,6 +94,11 @@ struct ServiceOptions {
   /// forensic trail for latency outliers. 0 disables the watchdog.
   /// Observation only: response bytes never depend on it.
   double slow_request_ms = 1000.0;
+  /// Worker-selection policy for submit(). Affinity preserves warm-session
+  /// locality; round_robin is the hash-free ablation baseline. Response
+  /// bytes are identical either way (the determinism contract) — only
+  /// cache temperature, and hence latency, differs.
+  SchedulePolicy schedule = SchedulePolicy::affinity;
 };
 
 // ServiceStats now lives in request.h (a StatsRequest response embeds it).
@@ -93,12 +117,28 @@ class AnalysisService {
   /// itself throws only after the service started shutting down.
   std::future<Response> submit(Request request);
 
+  /// Completion-callback submission — the netserve event loop's hook.
+  /// `on_complete` runs on the worker thread that served the request, with
+  /// the finished Response; it must be fast and must not throw (dispatch a
+  /// wake-up, not work). Returns the request's dense submission id.
+  std::uint64_t submit(Request request,
+                       std::function<void(Response)> on_complete);
+
   /// Submits the batch and waits for all of it; responses come back in
   /// submission (id) order regardless of which workers answered.
   std::vector<Response> run(std::vector<Request> requests);
 
   /// Synchronous convenience: submit + get.
   Response call(Request request);
+
+  /// The fingerprint→worker mapping — the affinity seam, exposed so the
+  /// scheduling decision is a first-class, testable artifact rather than
+  /// an implementation detail. Under SchedulePolicy::affinity this is the
+  /// worker submit() picks; responses expose the worker that actually
+  /// served them as timings-gated `shard` provenance.
+  std::size_t shard_of(const std::string& fingerprint) const noexcept {
+    return router_.shard_of(fingerprint);
+  }
 
   const ServiceOptions& options() const noexcept { return options_; }
   /// This service's own counter deltas since construction. The underlying
@@ -114,20 +154,32 @@ class AnalysisService {
   struct Job {
     std::uint64_t id = 0;
     Request request;
-    std::promise<Response> promise;
+    /// Routing fingerprint (empty for stats/debug and invalid payloads).
+    std::string fingerprint;
+    /// Fulfils the caller: a promise-setter for future submits, the raw
+    /// callback for hook submits.
+    std::function<void(Response)> deliver;
   };
 
-  void worker_loop();
+  std::uint64_t enqueue(Request request,
+                        std::function<void(Response)> deliver);
+  void worker_loop(std::size_t worker);
   Response execute(std::uint64_t id, const Request& request,
-                   SessionCache& cache);
+                   SessionCache& cache, std::size_t worker);
 
   ServiceOptions options_;
+  netserve::ShardRouter router_;
 
+  // One queue per worker: affinity routing is a push-time decision, and a
+  // worker only ever drains its own queue (sessions stay single-owner).
+  // One mutex/condvar pair guards them all — submission is cheap next to
+  // solver work, so finer-grained locking would buy nothing.
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
-  std::deque<Job> queue_;
+  std::vector<std::deque<Job>> queues_;
   bool stopping_ = false;
   std::uint64_t next_id_ = 0;
+  std::uint64_t rr_next_ = 0;  // round_robin rotation state (under mutex_)
   std::vector<std::thread> workers_;
 
   // Consolidated counters: one source of truth in the obs registry.
@@ -139,6 +191,7 @@ class AnalysisService {
   obs::Counter& sessions_built_counter_;
   obs::Counter& evictions_counter_;  // shared with SessionCache
   obs::Counter& slow_requests_counter_;
+  obs::Counter& affinity_hits_counter_;  // warm hits on the mapped shard
   obs::Histogram& request_wall_us_;
   ServiceStats baseline_;  // registry values at construction
 };

@@ -185,6 +185,7 @@ void append_stats(std::string& out, const StatsPayload& stats) {
   out += ", \"completed\": " + std::to_string(service.completed);
   out += ", \"errors\": " + std::to_string(service.errors);
   out += ", \"warm_hits\": " + std::to_string(service.warm_hits);
+  out += ", \"affinity_hits\": " + std::to_string(service.affinity_hits);
   out += ", \"sessions_built\": " + std::to_string(service.sessions_built);
   out += ", \"sessions_evicted\": " + std::to_string(service.sessions_evicted);
   out += ", \"slow_requests\": " + std::to_string(service.slow_requests);
@@ -448,6 +449,11 @@ std::string render_response(const Response& response,
   if (options.timings) {
     out += ", \"warm_session\": ";
     out += response.warm_session ? "true" : "false";
+    if (response.shard >= 0) {
+      // Scheduling provenance, like wall_ms: which worker shard served the
+      // request. Timings-gated because it depends on --shards and policy.
+      out += ", \"shard\": " + std::to_string(response.shard);
+    }
     out += ", \"wall_ms\": " + util::format_fixed(response.wall_ms, 3);
   }
   out += "}";

@@ -18,8 +18,7 @@
 #include "campaign/runner.h"
 #include "groundtruth/engine.h"
 #include "sim/simulator.h"
-#include "obs/export.h"
-#include "obs/recorder.h"
+#include "obs/cli.h"
 #include "obs/trace.h"
 #include "util/error.h"
 
@@ -63,21 +62,12 @@ void print_usage() {
       "                   render byte-identical JSON)\n"
       "  --cache-max-bytes N  cap the disk cache at N bytes, evicting the\n"
       "                   least recently accessed records on overflow\n"
-      "  --trace-out FILE write a Chrome trace_event JSON of the run\n"
-      "                   (load in about:tracing or ui.perfetto.dev);\n"
-      "                   report bytes are unaffected\n"
-      "  --metrics-out FILE  rewrite FILE atomically with an OpenMetrics\n"
-      "                   snapshot of the obs registry, every\n"
-      "                   --metrics-interval-ms (default 1000) and once at\n"
-      "                   exit; report bytes are unaffected\n"
-      "  --metrics-interval-ms N  snapshot period for --metrics-out\n"
-      "  --crash-dump FILE  install a flight recorder and dump its events\n"
-      "                   + a registry snapshot to FILE on SIGSEGV/SIGABRT\n"
-      "                   (then die) and on demand on SIGUSR1\n"
+      "%s"
       "  --list-sources   print available sources and exit\n"
       "  --help           this message\n"
       "exit status: 0 on success, 1 on fatal errors, 2 on usage errors,\n"
-      "3 when any scenario failed internally (its error is in the report)\n");
+      "3 when any scenario failed internally (its error is in the report)\n",
+      fsr::obs::diagnostics_usage());
 }
 
 }  // namespace
@@ -88,10 +78,7 @@ int main(int argc, char** argv) {
   CampaignOptions options;
   std::vector<std::string> source_names;
   std::string format = "json";
-  std::string trace_out;
-  std::string metrics_out;
-  int metrics_interval_ms = 1000;
-  std::string crash_dump;
+  fsr::obs::DiagnosticsCliOptions diagnostics;
   bool timings = false;
   bool emulate = false;
   bool simulate = false;
@@ -107,6 +94,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (fsr::obs::consume_diagnostics_flag(argc, argv, i, "fsr_campaign",
+                                           diagnostics)) {
+      continue;
+    }
     if (std::strcmp(arg, "--source") == 0) {
       source_names.emplace_back(need_value(i, "--source"));
     } else if (std::strcmp(arg, "--threads") == 0) {
@@ -171,19 +162,6 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--cache-max-bytes") == 0) {
       options.cache_max_bytes =
           std::strtoull(need_value(i, "--cache-max-bytes"), nullptr, 10);
-    } else if (std::strcmp(arg, "--trace-out") == 0) {
-      trace_out = need_value(i, "--trace-out");
-    } else if (std::strcmp(arg, "--metrics-out") == 0) {
-      metrics_out = need_value(i, "--metrics-out");
-    } else if (std::strcmp(arg, "--metrics-interval-ms") == 0) {
-      metrics_interval_ms = std::atoi(need_value(i, "--metrics-interval-ms"));
-      if (metrics_interval_ms < 1) {
-        std::fprintf(
-            stderr, "fsr_campaign: --metrics-interval-ms needs a value >= 1\n");
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--crash-dump") == 0) {
-      crash_dump = need_value(i, "--crash-dump");
     } else if (std::strcmp(arg, "--list-sources") == 0) {
       for (const std::string& name : builtin_source_names()) {
         std::printf("%s\n", name.c_str());
@@ -209,18 +187,10 @@ int main(int argc, char** argv) {
   }
 
   fsr::obs::set_thread_name("main");
-  fsr::obs::Tracer tracer;
-  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
-  fsr::obs::FlightRecorder recorder(1024);
-  if (!crash_dump.empty()) {
-    fsr::obs::install_recorder(&recorder);
-    fsr::obs::install_crash_handler(crash_dump);
-  }
-  std::optional<fsr::obs::MetricsFileWriter> metrics_writer;
-  if (!metrics_out.empty()) {
-    metrics_writer.emplace(fsr::obs::MetricsFileWriter::Options{
-        metrics_out, std::chrono::milliseconds(metrics_interval_ms)});
-  }
+  // Shared diagnostics stack (obs/cli.h): constructed before the runner's
+  // service so the recorder outlives every worker thread.
+  fsr::obs::DiagnosticsSession diagnostics_session(diagnostics,
+                                                   "fsr_campaign");
   try {
     std::vector<std::unique_ptr<ScenarioSource>> sources;
     sources.reserve(source_names.size());
@@ -231,26 +201,10 @@ int main(int argc, char** argv) {
 
     CampaignRunner runner(options);
     const CampaignReport report = runner.run(sources);
-    fsr::obs::install_recorder(nullptr);
-    if (metrics_writer.has_value()) {
-      metrics_writer->stop();
-      if (!metrics_writer->ok()) {
-        std::fprintf(stderr, "fsr_campaign: cannot write metrics to '%s'\n",
-                     metrics_out.c_str());
-        return 1;
-      }
-    }
-    if (!trace_out.empty()) {
-      // The runner's service (and its span-recording workers) is gone once
-      // run() returns; write the trace before rendering so a render error
-      // cannot lose it.
-      fsr::obs::install_tracer(nullptr);
-      if (!tracer.write(trace_out)) {
-        std::fprintf(stderr, "fsr_campaign: cannot write trace to '%s'\n",
-                     trace_out.c_str());
-        return 1;
-      }
-    }
+    // The runner's service (and its span-recording workers) is gone once
+    // run() returns; write the diagnostics outputs before rendering so a
+    // render error cannot lose them.
+    if (!diagnostics_session.finalize()) return 1;
 
     if (format == "table") {
       std::fputs(render_table(report).c_str(), stdout);

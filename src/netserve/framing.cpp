@@ -1,0 +1,56 @@
+#include "netserve/framing.h"
+
+namespace fsr::netserve {
+
+LineFramer::LineFramer(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+std::vector<Frame> LineFramer::feed(std::string_view chunk) {
+  std::vector<Frame> frames;
+  while (!chunk.empty()) {
+    const std::size_t newline = chunk.find('\n');
+    if (newline == std::string_view::npos) {
+      append_bounded(chunk);
+      break;
+    }
+    append_bounded(chunk.substr(0, newline));
+    // The line is complete. In discard mode the content is already gone;
+    // the oversized marker frame is what remains of it.
+    if (discarding_) {
+      frames.push_back(Frame{std::string(), true});
+      discarding_ = false;
+    } else {
+      frames.push_back(Frame{std::move(partial_), false});
+    }
+    partial_.clear();
+    chunk.remove_prefix(newline + 1);
+  }
+  return frames;
+}
+
+std::vector<Frame> LineFramer::finish() {
+  std::vector<Frame> frames;
+  if (discarding_) {
+    frames.push_back(Frame{std::string(), true});
+    discarding_ = false;
+  } else if (!partial_.empty()) {
+    frames.push_back(Frame{std::move(partial_), false});
+  }
+  partial_.clear();
+  return frames;
+}
+
+void LineFramer::append_bounded(std::string_view text) {
+  if (discarding_) return;  // the rest of this line is being dropped
+  if (partial_.size() + text.size() > max_line_bytes_) {
+    // Cap blown: stop buffering THIS line entirely and drop bytes until
+    // its newline. The memory already spent is released immediately.
+    partial_.clear();
+    partial_.shrink_to_fit();
+    discarding_ = true;
+    return;
+  }
+  partial_.append(text.data(), text.size());
+}
+
+}  // namespace fsr::netserve

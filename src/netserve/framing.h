@@ -1,0 +1,82 @@
+// Line framing for the netserve byte stream — the transport half of the
+// JSON-lines wire protocol (api/wire.h).
+//
+// A socket delivers arbitrary chunks: half a line, three lines and a
+// fragment, a 100 MB line from a hostile client. The framer turns that
+// into the same sequence of lines std::getline gives fsr_serve's stdin
+// mode — byte for byte, so the per-connection protocol object (Connection)
+// can reuse the stdin front-end's exact request flow — while keeping
+// memory bounded: a line that exceeds the cap is dropped in O(1) space
+// (the framer discards bytes until the newline) and surfaced as one
+// `oversized` frame so the connection can answer it with an in-band error
+// instead of buffering it.
+//
+// Carriage returns are NOT stripped: std::getline leaves a trailing '\r'
+// in place and the wire layer treats it as whitespace, so keeping it
+// preserves stdin-mode byte behaviour for CRLF clients.
+//
+// Thread-safety: none needed; a framer belongs to one connection on the
+// event-loop thread.
+#ifndef FSR_NETSERVE_FRAMING_H
+#define FSR_NETSERVE_FRAMING_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsr::netserve {
+
+/// The shared backpressure constants — netserve's per-connection bounds
+/// AND fsr_serve's stdin-mode in-flight cap use these same values, so the
+/// two front-ends make the same memory promise.
+///
+/// Max requests a connection may have parsed-but-unanswered (queued +
+/// in-flight + completed-but-unemitted). Reads pause beyond this.
+inline constexpr std::size_t kMaxInflightPerConnection = 64;
+/// Max bytes in one request line; longer lines answer an error.
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 20;  // 1 MiB
+/// Max bytes of rendered-but-unsent responses per connection. Reads (and
+/// further submissions) pause until the client drains below this.
+inline constexpr std::size_t kMaxOutputBufferBytes = std::size_t{4} << 20;
+
+/// One complete input line. `oversized` frames carry an empty `line` —
+/// the content was discarded unbuffered — and stand for exactly one
+/// over-limit line (the connection answers it in-band).
+struct Frame {
+  std::string line;
+  bool oversized = false;
+};
+
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line_bytes = kMaxLineBytes);
+
+  /// Consumes a received chunk; returns every line completed by it, in
+  /// order. Partial trailing data is buffered for the next feed.
+  std::vector<Frame> feed(std::string_view chunk);
+
+  /// True when buffered partial-line data is pending (an EOF now would
+  /// mean the peer sent an unterminated final line — which, matching
+  /// std::getline, is still delivered: call finish()).
+  bool midline() const noexcept { return !partial_.empty() || discarding_; }
+
+  /// EOF handling: returns the unterminated final line as a frame when one
+  /// is pending (std::getline also yields a final line with no '\n').
+  std::vector<Frame> finish();
+
+  std::size_t max_line_bytes() const noexcept { return max_line_bytes_; }
+
+ private:
+  void append_bounded(std::string_view text);
+
+  std::size_t max_line_bytes_;
+  std::string partial_;
+  /// In discard mode: the current line already blew the cap; drop bytes
+  /// until its newline, then emit one oversized frame.
+  bool discarding_ = false;
+};
+
+}  // namespace fsr::netserve
+
+#endif  // FSR_NETSERVE_FRAMING_H

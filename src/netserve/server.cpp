@@ -1,0 +1,381 @@
+#include "netserve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/recorder.h"
+#include "util/error.h"
+
+namespace fsr::netserve {
+
+namespace {
+
+void close_quiet(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw Error("netserve: cannot set O_NONBLOCK: " +
+                std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      connections_counter_(obs::registry().counter("net.connections")),
+      bytes_in_counter_(obs::registry().counter("net.bytes_in")),
+      bytes_out_counter_(obs::registry().counter("net.bytes_out")),
+      inflight_gauge_(obs::registry().gauge("net.inflight")),
+      service_(options_.service) {
+  if (options_.tcp_host.empty() && options_.unix_path.empty()) {
+    throw InvalidArgument("netserve: no listener configured");
+  }
+  try {
+    if (::pipe(wake_pipe_) != 0) {
+      throw Error("netserve: cannot create wake pipe: " +
+                  std::string(std::strerror(errno)));
+    }
+    set_nonblocking(wake_pipe_[0]);
+    set_nonblocking(wake_pipe_[1]);
+    if (!options_.tcp_host.empty()) listen_tcp();
+    if (!options_.unix_path.empty()) listen_unix();
+  } catch (...) {
+    close_quiet(tcp_listener_);
+    close_quiet(unix_listener_);
+    close_quiet(wake_pipe_[0]);
+    close_quiet(wake_pipe_[1]);
+    throw;
+  }
+}
+
+Server::~Server() {
+  for (auto& [id, conn] : conns_) close_quiet(conn.fd);
+  conns_.clear();
+  close_quiet(tcp_listener_);
+  if (unix_listener_ >= 0 && !options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+  close_quiet(unix_listener_);
+  close_quiet(wake_pipe_[0]);
+  close_quiet(wake_pipe_[1]);
+  // service_ (declared last) is destroyed after this body returns but
+  // BEFORE the other members — its workers join while the completion
+  // queue and gauge still exist; queued completions then die with us.
+}
+
+void Server::listen_tcp() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.tcp_port);
+  std::string host = options_.tcp_host;
+  if (host == "localhost") host = "127.0.0.1";
+  if (host == "0.0.0.0" || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Deliberately no DNS here: a server bind address should be an
+    // explicit interface, and resolver calls have no place in startup.
+    throw InvalidArgument("netserve: --listen host must be an IPv4 address "
+                          "(or localhost/0.0.0.0), got '" +
+                          options_.tcp_host + "'");
+  }
+  tcp_listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (tcp_listener_ < 0) {
+    throw Error("netserve: cannot create TCP socket: " +
+                std::string(std::strerror(errno)));
+  }
+  set_nonblocking(tcp_listener_);
+  const int one = 1;
+  ::setsockopt(tcp_listener_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(tcp_listener_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw Error("netserve: cannot bind " + options_.tcp_host + ":" +
+                std::to_string(options_.tcp_port) + ": " +
+                std::string(std::strerror(errno)));
+  }
+  if (::listen(tcp_listener_, SOMAXCONN) != 0) {
+    throw Error("netserve: listen failed: " +
+                std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(tcp_listener_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_tcp_port_ = ntohs(bound.sin_port);
+  }
+}
+
+void Server::listen_unix() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+    throw InvalidArgument("netserve: --unix path too long (max " +
+                          std::to_string(sizeof(addr.sun_path) - 1) +
+                          " bytes)");
+  }
+  std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+              options_.unix_path.size() + 1);
+  ::unlink(options_.unix_path.c_str());  // stale socket from a dead server
+  unix_listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_listener_ < 0) {
+    throw Error("netserve: cannot create Unix socket: " +
+                std::string(std::strerror(errno)));
+  }
+  set_nonblocking(unix_listener_);
+  if (::bind(unix_listener_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw Error("netserve: cannot bind '" + options_.unix_path + "': " +
+                std::string(std::strerror(errno)));
+  }
+  if (::listen(unix_listener_, SOMAXCONN) != 0) {
+    throw Error("netserve: listen failed: " +
+                std::string(std::strerror(errno)));
+  }
+}
+
+void Server::wake() noexcept {
+  // Async-signal-safe (write(2) on a pre-opened fd); also the worker->loop
+  // doorbell. A full pipe is fine — the loop is already awake then.
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void Server::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  close_quiet(tcp_listener_);
+  if (unix_listener_ >= 0) {
+    ::unlink(options_.unix_path.c_str());
+    close_quiet(unix_listener_);
+  }
+  // Everything already received is still answered and flushed; we just
+  // stop reading more. Clients see their responses, then EOF.
+  for (auto& [id, conn] : conns_) {
+    if (conn.read_open) {
+      conn.read_open = false;
+      conn.protocol->input_closed();
+    }
+  }
+}
+
+void Server::accept_ready(int listener_fd, const char* transport) {
+  while (true) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept error: poll again
+    }
+    try {
+      set_nonblocking(fd);
+    } catch (...) {
+      ::close(fd);
+      continue;
+    }
+    if (listener_fd == tcp_listener_) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    const std::uint64_t id = next_conn_id_++;
+    Conn conn;
+    conn.fd = fd;
+    conn.protocol = std::make_unique<Connection>(
+        id, options_.render, options_.limits,
+        [this, id](std::uint64_t slot, api::Request request) {
+          inflight_gauge_.add(1);
+          service_.submit(
+              std::move(request), [this, id, slot](api::Response response) {
+                {
+                  const std::lock_guard<std::mutex> lock(completions_mutex_);
+                  completions_.push_back(
+                      Completion{id, slot, std::move(response)});
+                }
+                inflight_gauge_.add(-1);
+                wake();
+              });
+        });
+    conns_.emplace(id, std::move(conn));
+    connections_counter_.add(1);
+    obs::record_event(obs::RecorderEventKind::net_accept, transport, id);
+  }
+}
+
+void Server::handle_readable(Conn& conn) {
+  char buffer[65536];
+  // Bounded rounds per poll wake-up: one greedy client must not starve
+  // the rest of the loop.
+  for (int round = 0; round < 4 && conn.read_open && conn.protocol->wants_read();
+       ++round) {
+    const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bytes_in_counter_.add(static_cast<std::uint64_t>(n));
+      conn.protocol->feed(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or a read error: either way no more input is coming. In-flight
+    // work still completes and flushes (half-close support — a client may
+    // shutdown(SHUT_WR) and keep reading responses).
+    conn.read_open = false;
+    conn.protocol->input_closed();
+    return;
+  }
+}
+
+void Server::handle_writable(Conn& conn) {
+  while (!conn.protocol->output().empty()) {
+    const std::string& out = conn.protocol->output();
+    const ssize_t n = ::send(conn.fd, out.data(), out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_counter_.add(static_cast<std::uint64_t>(n));
+      conn.protocol->consume_output(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer is gone (EPIPE/ECONNRESET): nothing left to deliver to. Mark
+    // the connection dead; close_finished() reaps it. Completions for its
+    // in-flight requests arrive later and are dropped by conn-id lookup.
+    obs::record_event(obs::RecorderEventKind::net_close, "reset", conn.protocol->id(),
+                      conn.protocol->responses_emitted());
+    close_quiet(conn.fd);
+    return;
+  }
+}
+
+void Server::drain_completions() {
+  std::vector<Completion> ready;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& completion : ready) {
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end() || it->second.fd < 0) continue;  // client gone
+    it->second.protocol->on_response(completion.slot,
+                                     std::move(completion.response));
+  }
+}
+
+void Server::close_finished() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = it->second;
+    const bool dead = conn.fd < 0;  // write error already closed the fd
+    if (dead || conn.protocol->finished()) {
+      if (!dead) {
+        obs::record_event(obs::RecorderEventKind::net_close,
+                          conn.protocol->saw_error() ? "done-with-errors"
+                                                     : "done",
+                          conn.protocol->id(),
+                          conn.protocol->responses_emitted());
+        close_quiet(conn.fd);
+      }
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Server::run() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conns_ key per pollfd (0 = none)
+  while (true) {
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+    close_finished();
+    if (draining_ && conns_.empty()) return 0;
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fd_conn.push_back(0);
+    if (tcp_listener_ >= 0) {
+      fds.push_back(pollfd{tcp_listener_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    if (unix_listener_ >= 0) {
+      fds.push_back(pollfd{unix_listener_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : conns_) {
+      short events = 0;
+      if (conn.read_open && conn.protocol->wants_read()) events |= POLLIN;
+      if (!conn.protocol->output().empty()) events |= POLLOUT;
+      if (events == 0) continue;  // quiescent: waiting on the service
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conn.push_back(id + 1);
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw Error("netserve: poll failed: " +
+                  std::string(std::strerror(errno)));
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const pollfd& entry = fds[i];
+      if (entry.revents == 0) continue;
+      if (entry.fd == wake_pipe_[0]) {
+        char sink[256];
+        while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (entry.fd == tcp_listener_) {
+        accept_ready(tcp_listener_, "tcp");
+        continue;
+      }
+      if (entry.fd == unix_listener_) {
+        accept_ready(unix_listener_, "unix");
+        continue;
+      }
+      const auto it = conns_.find(fd_conn[i] - 1);
+      if (it == conns_.end() || it->second.fd != entry.fd) continue;
+      if ((entry.revents & (POLLERR | POLLNVAL)) != 0) {
+        obs::record_event(obs::RecorderEventKind::net_close, "error",
+                          it->second.protocol->id(),
+                          it->second.protocol->responses_emitted());
+        close_quiet(it->second.fd);
+        continue;
+      }
+      if ((entry.revents & POLLOUT) != 0) handle_writable(it->second);
+      if (it->second.fd >= 0 &&
+          (entry.revents & (POLLIN | POLLHUP)) != 0) {
+        handle_readable(it->second);
+      }
+    }
+
+    drain_completions();
+    // Eager flush: responses that just completed go out this round rather
+    // than waiting for one more poll cycle.
+    for (auto& [id, conn] : conns_) {
+      if (conn.fd >= 0 && !conn.protocol->output().empty()) {
+        handle_writable(conn);
+      }
+    }
+  }
+}
+
+}  // namespace fsr::netserve

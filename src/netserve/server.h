@@ -1,0 +1,134 @@
+// Server: the socket front-end of fsr::netserve — a single-threaded
+// poll() event loop multiplexing many JSON-lines clients over TCP and/or
+// Unix-domain sockets onto one AnalysisService worker pool.
+//
+// Division of labour: the loop thread owns every socket and every
+// Connection (connection.h); service workers execute requests and hand
+// finished Responses to a completion queue, waking the loop through a
+// self-pipe. Connections are therefore single-threaded objects, and the
+// loop never blocks on solver work — it blocks only in poll().
+//
+// Readiness is per-connection backpressure-aware: a connection that has
+// too many unanswered lines or an undrained output buffer is simply not
+// polled for POLLIN, so the kernel's receive window pushes back on the
+// client while the server's memory stays bounded (connection.h).
+//
+// Graceful drain (SIGTERM/SIGINT in fsr_serve): request_drain() is
+// async-signal-safe — it flips an atomic and writes the self-pipe. The
+// loop then closes the listeners (new connects are refused), treats every
+// connection's input as closed (lines already received are still
+// answered), flushes, and run() returns 0 once the last client is done.
+//
+// Instrumentation (fsr::obs): "net.connections" (lifetime accepts),
+// "net.bytes_in"/"net.bytes_out", "net.backpressure_stalls" (from the
+// connections), a "net.inflight" gauge (requests submitted, not yet
+// completed, across all connections), and net-accept/net-close flight-
+// recorder events carrying the connection id.
+#ifndef FSR_NETSERVE_SERVER_H
+#define FSR_NETSERVE_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "api/wire.h"
+#include "netserve/connection.h"
+
+namespace fsr::netserve {
+
+struct ServerOptions {
+  /// TCP listener; empty host disables. Port 0 binds an ephemeral port
+  /// (read it back via tcp_port() — tests and CI use this).
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+  /// Unix-domain listener; empty disables. The path is unlinked before
+  /// bind and again on shutdown.
+  std::string unix_path;
+
+  api::ServiceOptions service;
+  api::wire::RenderOptions render;
+  ConnectionLimits limits;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws fsr::Error on any socket failure); the
+  /// service pool spins up here too. At least one listener is required.
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The event loop. Returns 0 after a clean drain (request_drain()
+  /// observed, every accepted line answered and flushed, every client
+  /// closed). Runs until then.
+  int run();
+
+  /// Stop accepting, finish in-flight, flush, make run() return — safe
+  /// from signal handlers and other threads.
+  void request_drain() noexcept;
+
+  /// The TCP listener's bound port (after ephemeral-port resolution);
+  /// 0 when no TCP listener exists.
+  std::uint16_t tcp_port() const noexcept { return bound_tcp_port_; }
+
+  api::AnalysisService& service() noexcept { return service_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<Connection> protocol;
+    bool read_open = true;  // false after EOF/drain: stop polling POLLIN
+  };
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t slot = 0;
+    api::Response response;
+  };
+
+  void listen_tcp();
+  void listen_unix();
+  void accept_ready(int listener_fd, const char* transport);
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void drain_completions();
+  void close_finished();
+  void begin_drain();
+  void wake() noexcept;
+
+  ServerOptions options_;
+
+  int tcp_listener_ = -1;
+  int unix_listener_ = -1;
+  std::uint16_t bound_tcp_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, Conn> conns_;  // keyed by connection id
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  obs::Counter& connections_counter_;
+  obs::Counter& bytes_in_counter_;
+  obs::Counter& bytes_out_counter_;
+  obs::Gauge& inflight_gauge_;
+
+  // Declared LAST on purpose: destroyed FIRST, so the worker pool joins
+  // (and its completion callbacks stop touching the members above) while
+  // the completion queue, gauge, and wake pipe are all still alive.
+  api::AnalysisService service_;
+};
+
+}  // namespace fsr::netserve
+
+#endif  // FSR_NETSERVE_SERVER_H

@@ -26,6 +26,10 @@ const char* to_string(RecorderEventKind kind) noexcept {
       return "error";
     case RecorderEventKind::slow_request:
       return "slow-request";
+    case RecorderEventKind::net_accept:
+      return "net-accept";
+    case RecorderEventKind::net_close:
+      return "net-close";
     case RecorderEventKind::mark:
       return "mark";
   }

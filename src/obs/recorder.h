@@ -49,6 +49,8 @@ enum class RecorderEventKind : std::uint8_t {
   cache_eviction,  // detail = evicted fingerprint
   error,           // detail = error text (truncated), a = request id
   slow_request,    // detail = fingerprint, a = wall us, b = threshold ms
+  net_accept,      // detail = peer/transport, a = connection id
+  net_close,       // detail = close reason, a = connection id, b = responses
   mark,            // detail = free-form caller text
 };
 

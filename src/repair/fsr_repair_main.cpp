@@ -25,8 +25,7 @@
 #include "api/service.h"
 #include "campaign/scenario_source.h"
 #include "groundtruth/engine.h"
-#include "obs/export.h"
-#include "obs/recorder.h"
+#include "obs/cli.h"
 #include "obs/trace.h"
 #include "repair/repair_engine.h"
 #include "spp/gadgets.h"
@@ -55,22 +54,13 @@ void print_usage() {
       "  --from-scratch   disable incremental solving (ablation)\n"
       "  --scratch-oracle re-encode every candidate's oracle query from\n"
       "                   scratch instead of the shared session (ablation)\n"
-      "  --trace-out FILE write a Chrome trace_event JSON of the run\n"
-      "                   (load in about:tracing or ui.perfetto.dev);\n"
-      "                   report bytes are unaffected\n"
-      "  --metrics-out FILE  rewrite FILE atomically with an OpenMetrics\n"
-      "                   snapshot of the obs registry, every\n"
-      "                   --metrics-interval-ms (default 1000) and once at\n"
-      "                   exit; report bytes are unaffected\n"
-      "  --metrics-interval-ms N  snapshot period for --metrics-out\n"
-      "  --crash-dump FILE  install a flight recorder and dump its events\n"
-      "                   + a registry snapshot to FILE on SIGSEGV/SIGABRT\n"
-      "                   (then die) and on demand on SIGUSR1\n"
+      "%s"
       "  --json           machine-readable JSON report array (the default)\n"
       "  --table          human-readable tables, timings included\n"
       "  --format F       compat alias: json | text\n"
       "  --list-gadgets   print known gadget names and exit\n"
-      "  --help           this message\n");
+      "  --help           this message\n",
+      fsr::obs::diagnostics_usage());
 }
 
 }  // namespace
@@ -84,10 +74,7 @@ int main(int argc, char** argv) {
   int random_count = 0;
   std::uint64_t seed = 1;
   std::string format = "json";
-  std::string trace_out;
-  std::string metrics_out;
-  int metrics_interval_ms = 1000;
-  std::string crash_dump;
+  fsr::obs::DiagnosticsCliOptions diagnostics;
 
   const auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -99,6 +86,10 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (fsr::obs::consume_diagnostics_flag(argc, argv, i, "fsr_repair",
+                                           diagnostics)) {
+      continue;
+    }
     if (std::strcmp(arg, "--gadget") == 0) {
       gadgets.emplace_back(need_value(i, "--gadget"));
     } else if (std::strcmp(arg, "--random") == 0) {
@@ -147,19 +138,6 @@ int main(int argc, char** argv) {
       options.use_incremental = false;
     } else if (std::strcmp(arg, "--scratch-oracle") == 0) {
       options.use_incremental_oracle = false;
-    } else if (std::strcmp(arg, "--trace-out") == 0) {
-      trace_out = need_value(i, "--trace-out");
-    } else if (std::strcmp(arg, "--metrics-out") == 0) {
-      metrics_out = need_value(i, "--metrics-out");
-    } else if (std::strcmp(arg, "--metrics-interval-ms") == 0) {
-      metrics_interval_ms = std::atoi(need_value(i, "--metrics-interval-ms"));
-      if (metrics_interval_ms < 1) {
-        std::fprintf(stderr,
-                     "fsr_repair: --metrics-interval-ms needs a value >= 1\n");
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--crash-dump") == 0) {
-      crash_dump = need_value(i, "--crash-dump");
     } else if (std::strcmp(arg, "--json") == 0) {
       format = "json";
     } else if (std::strcmp(arg, "--table") == 0) {
@@ -190,18 +168,9 @@ int main(int argc, char** argv) {
   }
 
   fsr::obs::set_thread_name("main");
-  fsr::obs::Tracer tracer;
-  if (!trace_out.empty()) fsr::obs::install_tracer(&tracer);
-  fsr::obs::FlightRecorder recorder(1024);
-  if (!crash_dump.empty()) {
-    fsr::obs::install_recorder(&recorder);
-    fsr::obs::install_crash_handler(crash_dump);
-  }
-  std::optional<fsr::obs::MetricsFileWriter> metrics_writer;
-  if (!metrics_out.empty()) {
-    metrics_writer.emplace(fsr::obs::MetricsFileWriter::Options{
-        metrics_out, std::chrono::milliseconds(metrics_interval_ms)});
-  }
+  // Shared diagnostics stack (obs/cli.h): constructed before the service
+  // so the recorder outlives every worker thread.
+  fsr::obs::DiagnosticsSession diagnostics_session(diagnostics, "fsr_repair");
   try {
     std::vector<fsr::spp::SppInstance> instances;
     for (const std::string& name : gadgets) {
@@ -245,24 +214,8 @@ int main(int argc, char** argv) {
       first = false;
     }
     if (format == "json") std::printf("]\n");
-    fsr::obs::install_recorder(nullptr);
-    if (metrics_writer.has_value()) {
-      metrics_writer->stop();
-      if (!metrics_writer->ok()) {
-        std::fprintf(stderr, "fsr_repair: cannot write metrics to '%s'\n",
-                     metrics_out.c_str());
-        return 1;
-      }
-    }
-    if (!trace_out.empty()) {
-      // Every future resolved above, so all spans are recorded.
-      fsr::obs::install_tracer(nullptr);
-      if (!tracer.write(trace_out)) {
-        std::fprintf(stderr, "fsr_repair: cannot write trace to '%s'\n",
-                     trace_out.c_str());
-        return 1;
-      }
-    }
+    // Every future resolved above, so all spans are recorded.
+    if (!diagnostics_session.finalize()) return 1;
     if (any_error) return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fsr_repair: %s\n", error.what());

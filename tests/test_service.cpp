@@ -658,8 +658,8 @@ TEST(Service, StatsRequestAnswersTheGoldenSchema) {
   const json::Value* service_block = stats->find("service");
   ASSERT_NE(service_block, nullptr);
   for (const char* key :
-       {"submitted", "completed", "errors", "warm_hits", "sessions_built",
-        "sessions_evicted", "slow_requests"}) {
+       {"submitted", "completed", "errors", "warm_hits", "affinity_hits",
+        "sessions_built", "sessions_evicted", "slow_requests"}) {
     EXPECT_NE(service_block->find(key), nullptr) << key;
   }
   const json::Value* metrics = stats->find("metrics");

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for fsr_serve's socket mode (src/netserve/).
+
+Usage: python3 tools/serve_socket_smoke.py path/to/fsr_serve
+
+Proves the transport acceptance properties of docs/WIRE.md ("Transport"):
+
+  * byte identity — a fixed request stream produces byte-identical
+    responses over stdin, TCP, and Unix-domain transports, at --shards 1
+    and --shards 8, from 8 concurrent clients at once (stats/debug lines
+    are live state, the two documented exceptions, and are filtered);
+  * the stdin contract per connection — dense ids, blank lines skipped,
+    in-band errors;
+  * graceful drain — SIGTERM makes the server answer everything already
+    received, flush, close cleanly, and exit 0.
+
+Self-contained on purpose: it generates its own request stream and its
+own stdin-mode reference, so the release and sanitizer CI jobs can run
+the same file against different build trees.
+"""
+
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REQUESTS = [
+    '{"kind": "analyze-safety", "gadget": "bad"}',
+    '{"kind": "ground-truth", "gadget": "bad-chain-8"}',
+    '',  # blank: skipped without a response, but counted for line numbers
+    '{"kind": "simulate", "gadget": "good", "seed": 7}',
+    '{"kind": "repair", "gadget": "bad"}',
+    '{"kind": "simulate", "gadget": "bad", "seed": 7, "scenario": "staged"}',
+    '{"kind": "stats"}',
+    '{"kind": "ground-truth", "gadget": "disagree", "mode": "enumerate"}',
+    '{"kind": "this-is-not-a-kind"}',  # answered in-band, with a line number
+    '{"kind": "emulate", "gadget": "good", "seed": 7}',
+]
+STREAM = "".join(line + "\n" for line in REQUESTS).encode()
+
+
+def deterministic(payload: bytes) -> bytes:
+    """Drops the stats lines — live execution state, the documented
+    exception to byte-reproducibility."""
+    return b"".join(
+        line + b"\n"
+        for line in payload.splitlines()
+        if b'"kind": "stats"' not in line and b'"kind": "debug"' not in line
+    )
+
+
+def stdin_reference(binary: str) -> bytes:
+    # Exit status 1 is expected: the stream contains an in-band error line.
+    result = subprocess.run(
+        [binary], input=STREAM, stdout=subprocess.PIPE, check=False
+    )
+    assert result.returncode == 1, result.returncode
+    reference = deterministic(result.stdout)
+    assert b'"id": 0' in reference and b'"id": 8' in reference, reference
+    assert b"line 9: " in reference, reference  # the in-band error line
+    return reference
+
+
+def launch(binary: str, shards: int, unix_path: str):
+    server = subprocess.Popen(
+        [binary, "--listen", "127.0.0.1:0", "--unix", unix_path,
+         "--shards", str(shards)],
+        stderr=subprocess.PIPE,
+    )
+    port = None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = server.stderr.readline().decode()
+        assert line, "server exited before announcing its listeners"
+        sys.stderr.write(line)
+        if line.startswith("fsr_serve: listening on 127.0.0.1:"):
+            port = int(line.rsplit(":", 1)[1])
+        if line.startswith("fsr_serve: listening on unix:"):
+            break
+    assert port, "no TCP announce within 30s"
+    return server, port
+
+
+def connect(port: int, unix_path: str, use_unix: bool) -> socket.socket:
+    if use_unix:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(unix_path)
+    else:
+        sock = socket.create_connection(("127.0.0.1", port))
+    sock.settimeout(60)
+    return sock
+
+
+def client(port: int, unix_path: str, index: int, replies: list):
+    sock = connect(port, unix_path, use_unix=index % 2 == 1)
+    # Odd clients dribble the stream in small pieces: framing must
+    # reassemble arbitrary chunk boundaries into the same bytes.
+    if index % 2 == 1:
+        for start in range(0, len(STREAM), 7):
+            sock.sendall(STREAM[start : start + 7])
+    else:
+        sock.sendall(STREAM)
+    sock.shutdown(socket.SHUT_WR)
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    sock.close()
+    replies[index] = data
+
+
+def drain_check(binary: str, unix_path: str):
+    """SIGTERM with a client mid-connection: the received line is still
+    answered, the close is clean, and the exit status is 0."""
+    server, port = launch(binary, shards=4, unix_path=unix_path)
+    sock = connect(port, unix_path, use_unix=False)
+    sock.sendall(b'{"kind": "analyze-safety", "gadget": "good"}\n')
+    first = b""
+    while not first.endswith(b"\n"):  # proves the line was answered
+        first += sock.recv(1)
+    assert b'"id": 0' in first, first
+
+    server.send_signal(signal.SIGTERM)
+    rest = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    sock.close()
+    assert rest == b"", rest  # clean EOF, no stray bytes after the answer
+    assert server.wait(timeout=60) == 0, server.returncode
+    print("smoke ok: SIGTERM drain answered the in-flight line, exit 0")
+
+
+def main() -> int:
+    binary = sys.argv[1]
+    reference = stdin_reference(binary)
+    clients = 8
+
+    with tempfile.TemporaryDirectory() as tmp:
+        unix_path = tmp + "/fsr-serve-smoke.sock"
+        for shards in (1, 8):
+            server, port = launch(binary, shards, unix_path)
+            replies = [None] * clients
+            threads = [
+                threading.Thread(
+                    target=client, args=(port, unix_path, i, replies)
+                )
+                for i in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for i, payload in enumerate(replies):
+                assert payload is not None, f"client {i} got no reply"
+                actual = deterministic(payload)
+                assert actual == reference, (
+                    f"client {i} (shards {shards}) drifted from stdin bytes:\n"
+                    f"{actual!r}\nvs\n{reference!r}"
+                )
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=60) == 0, server.returncode
+            print(
+                f"smoke ok: {clients} clients x shards={shards}: TCP and "
+                "Unix responses byte-identical to stdin mode"
+            )
+        drain_check(binary, unix_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
